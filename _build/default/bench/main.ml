@@ -1,0 +1,224 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every figure and experiment table from the paper
+   (page-access counts, element counts, efficiencies — the units the
+   paper reports); part 2 runs Bechamel timing micro-benchmarks over the
+   main code paths so wall-clock behaviour can be tracked too.
+
+   Run with: dune exec bench/main.exe *)
+
+module Z = Sqp_zorder
+module W = Sqp_workload
+module Zindex = Sqp_btree.Zindex
+
+open Bechamel
+open Toolkit
+
+let space = Z.Space.make ~dims:2 ~depth:10
+
+let side = Z.Space.side space
+
+let points =
+  let rng = W.Rng.create ~seed:77 in
+  W.Datagen.uniform rng ~side ~n:5000 ~dims:2
+
+let tagged = Array.mapi (fun i p -> (p, i)) points
+
+let index = Zindex.of_points ~leaf_capacity:20 space tagged
+
+let kd = Sqp_kdtree.Paged_kdtree.build ~page_capacity:20 tagged
+
+let prep = Sqp_core.Range_search.prepare space tagged
+
+let query = Sqp_geom.Box.of_ranges [ (100, 355); (200, 455) ]
+
+let query_lo = [| 100; 200 |] and query_hi = [| 355; 455 |]
+
+let bench_zorder =
+  Test.make_grouped ~name:"zorder"
+    [
+      Test.make ~name:"shuffle"
+        (Staged.stage (fun () -> Z.Interleave.shuffle space [| 123; 456 |]));
+      Test.make ~name:"unshuffle"
+        (let z = Z.Interleave.shuffle space [| 123; 456 |] in
+         Staged.stage (fun () -> Z.Interleave.unshuffle space z));
+      Test.make ~name:"decompose-box"
+        (Staged.stage (fun () ->
+             Z.Decompose.decompose_box space ~lo:query_lo ~hi:query_hi));
+      Test.make ~name:"bigmin"
+        (Staged.stage (fun () ->
+             Z.Bigmin.bigmin space ~lo:query_lo ~hi:query_hi 123456));
+    ]
+
+let bench_range =
+  Test.make_grouped ~name:"range-query(5000pts,1/16)"
+    [
+      Test.make ~name:"zkd-merge"
+        (Staged.stage (fun () ->
+             Zindex.range_search ~strategy:Zindex.Merge index query));
+      Test.make ~name:"zkd-lazy"
+        (Staged.stage (fun () ->
+             Zindex.range_search ~strategy:Zindex.Lazy_merge index query));
+      Test.make ~name:"zkd-bigmin"
+        (Staged.stage (fun () ->
+             Zindex.range_search ~strategy:Zindex.Bigmin index query));
+      Test.make ~name:"zkd-scan"
+        (Staged.stage (fun () ->
+             Zindex.range_search ~strategy:Zindex.Scan index query));
+      Test.make ~name:"paged-kdtree"
+        (Staged.stage (fun () -> Sqp_kdtree.Paged_kdtree.range_search kd query));
+      Test.make ~name:"mem-merge-plain"
+        (Staged.stage (fun () -> Sqp_core.Range_search.search_plain prep query));
+      Test.make ~name:"mem-merge-skip"
+        (Staged.stage (fun () -> Sqp_core.Range_search.search_skip prep query));
+    ]
+
+let join_inputs n =
+  let rng = W.Rng.create ~seed:13 in
+  let objs tag =
+    List.init n (fun i ->
+        let w = 1 + W.Rng.int rng (side / 8)
+        and h = 1 + W.Rng.int rng (side / 8) in
+        let x = W.Rng.int rng (side - w) and y = W.Rng.int rng (side - h) in
+        ( tag + i,
+          Sqp_geom.Shape.Box
+            (Sqp_geom.Box.make ~lo:[| x; y |] ~hi:[| x + w - 1; y + h - 1 |]) ))
+  in
+  let opts = { Z.Decompose.max_level = Some 12; max_elements = None } in
+  let tag_of objects =
+    List.concat_map
+      (fun (id, s) ->
+        List.map
+          (fun e -> (e, id))
+          (Sqp_geom.Shape.decompose ~options:opts space s))
+      objects
+  in
+  (tag_of (objs 0), tag_of (objs 1000))
+
+let join_l, join_r = join_inputs 48
+
+let bench_join =
+  Test.make_grouped ~name:"spatial-join(48x48 boxes)"
+    [
+      Test.make ~name:"z-merge"
+        (Staged.stage (fun () -> Sqp_core.Zmerge.pairs join_l join_r));
+      Test.make ~name:"nested-loop"
+        (Staged.stage (fun () -> Sqp_core.Zmerge.pairs_naive join_l join_r));
+    ]
+
+let overlay_space = Z.Space.make ~dims:2 ~depth:8
+
+let overlay_a, overlay_b =
+  let s = Z.Space.side overlay_space in
+  ( Sqp_core.Overlay.of_shape overlay_space
+      (Sqp_geom.Shape.Circle
+         (Sqp_geom.Circle.make ~cx:(s / 3) ~cy:(s / 2) ~radius:(s / 4)))
+      (),
+    Sqp_core.Overlay.of_shape overlay_space
+      (Sqp_geom.Shape.Polygon
+         (Sqp_geom.Polygon.make
+            [
+              (s / 8, s / 8);
+              (s - (s / 8), s / 4);
+              (s - (s / 4), s - (s / 8));
+              (s / 4, s - (s / 4));
+            ]))
+      () )
+
+let grid_a = Sqp_grid.Bitgrid.of_elements overlay_space (List.map fst overlay_a)
+
+let grid_b = Sqp_grid.Bitgrid.of_elements overlay_space (List.map fst overlay_b)
+
+let bench_overlay =
+  Test.make_grouped ~name:"overlay(256x256)"
+    [
+      Test.make ~name:"ag-elements"
+        (Staged.stage (fun () ->
+             Sqp_core.Overlay.overlay overlay_space overlay_a overlay_b));
+      Test.make ~name:"grid-pixels"
+        (Staged.stage (fun () -> Sqp_grid.Bitgrid.inter grid_a grid_b));
+    ]
+
+let ccl_fixture =
+  let s = Z.Space.side overlay_space in
+  let g = Sqp_grid.Bitgrid.create ~side:s in
+  let rng = W.Rng.create ~seed:3 in
+  for _ = 1 to 40 do
+    let cx = W.Rng.int rng s and cy = W.Rng.int rng s in
+    let r = 1 + W.Rng.int rng (s / 16) in
+    for x = max 0 (cx - r) to min (s - 1) (cx + r) do
+      for y = max 0 (cy - r) to min (s - 1) (cy + r) do
+        if ((x - cx) * (x - cx)) + ((y - cy) * (y - cy)) <= r * r then
+          Sqp_grid.Bitgrid.set g x y true
+      done
+    done
+  done;
+  (g, Sqp_grid.Bitgrid.to_elements overlay_space g)
+
+let bench_ccl =
+  let g, els = ccl_fixture in
+  Test.make_grouped ~name:"ccl(256x256,40 blobs)"
+    [
+      Test.make ~name:"ag-elements"
+        (Staged.stage (fun () -> Sqp_core.Ccl.label overlay_space els));
+      Test.make ~name:"grid-pixels"
+        (Staged.stage (fun () -> Sqp_grid.Bitgrid.connected_components g));
+    ]
+
+let kd_mem = Sqp_kdtree.Kdtree.build tagged
+
+let bench_nearest =
+  Test.make_grouped ~name:"nearest-neighbour(5000pts)"
+    [
+      Test.make ~name:"zkd-expanding-box"
+        (Staged.stage (fun () -> Zindex.nearest index [| 500; 501 |]));
+      Test.make ~name:"kdtree"
+        (Staged.stage (fun () -> Sqp_kdtree.Kdtree.nearest kd_mem [| 500; 501 |]));
+    ]
+
+let bench_btree =
+  Test.make_grouped ~name:"bptree"
+    [
+      Test.make ~name:"point-lookup"
+        (Staged.stage (fun () -> Zindex.find index [| 123; 456 |]));
+      Test.make ~name:"bulk-build-5000"
+        (Staged.stage (fun () -> Zindex.of_points ~leaf_capacity:20 space tagged));
+    ]
+
+let run_bechamel () =
+  let tests =
+    Test.make_grouped ~name:"sqp"
+      [
+        bench_zorder; bench_range; bench_join; bench_overlay; bench_ccl;
+        bench_nearest; bench_btree;
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  print_newline ();
+  print_endline "Timing micro-benchmarks (Bechamel, monotonic clock)";
+  print_endline "===================================================";
+  List.iter
+    (fun (name, o) ->
+      let estimate =
+        match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> nan
+      in
+      let r2 = match Analyze.OLS.r_square o with Some r -> r | None -> nan in
+      let pretty v =
+        if v >= 1e9 then Printf.sprintf "%8.2f s " (v /. 1e9)
+        else if v >= 1e6 then Printf.sprintf "%8.2f ms" (v /. 1e6)
+        else if v >= 1e3 then Printf.sprintf "%8.2f us" (v /. 1e3)
+        else Printf.sprintf "%8.2f ns" v
+      in
+      Printf.printf "  %-45s %s/run   (r2 %.3f)\n" name (pretty estimate) r2)
+    rows
+
+let () =
+  Sqp_core.Reports.run_all ();
+  run_bechamel ()

@@ -1,0 +1,135 @@
+(* sqp: command-line front end for the reproduction.  Each subcommand
+   regenerates one of the paper's figures or experiment tables. *)
+
+open Cmdliner
+
+let dataset_conv =
+  let parse = function
+    | "U" | "u" | "uniform" -> Ok Sqp_workload.Datagen.Uniform
+    | "C" | "c" | "clustered" -> Ok Sqp_workload.Datagen.Clustered
+    | "D" | "d" | "diagonal" -> Ok Sqp_workload.Datagen.Diagonal
+    | s -> Error (`Msg (Printf.sprintf "unknown dataset %S (use U, C or D)" s))
+  in
+  let print fmt ds =
+    Format.pp_print_string fmt (Sqp_workload.Datagen.dataset_name ds)
+  in
+  Arg.conv (parse, print)
+
+let dataset_arg =
+  Arg.(
+    value
+    & opt dataset_conv Sqp_workload.Datagen.Uniform
+    & info [ "d"; "dataset" ] ~docv:"DATASET"
+        ~doc:"Dataset: U (uniform), C (clustered) or D (diagonal).")
+
+let all_datasets_arg =
+  Arg.(
+    value & flag
+    & info [ "all" ] ~doc:"Run for all three datasets (U, C, D).")
+
+let simple name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let with_dataset name doc f =
+  let run dataset all =
+    if all then
+      List.iter f Sqp_workload.Datagen.[ Uniform; Clustered; Diagonal ]
+    else f dataset
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ dataset_arg $ all_datasets_arg)
+
+let figures_cmd =
+  simple "figures" "Reproduce Figures 1-5 (z order, decomposition, merge)."
+    (fun () ->
+      Sqp_core.Reports.print_figure1 ();
+      Sqp_core.Reports.print_figure2 ();
+      Sqp_core.Reports.print_figure3 ();
+      Sqp_core.Reports.print_figure4 ();
+      Sqp_core.Reports.print_figure5 ())
+
+let figure6_cmd =
+  with_dataset "figure6" "Figure 6: page-partition map of the zkd B+-tree."
+    (fun ds -> Sqp_core.Reports.print_figure6 ~datasets:[ ds ] ())
+
+let experiment_cmd =
+  with_dataset "experiment" "The Section 5.3.2 range-query experiment table."
+    Sqp_core.Reports.print_range_experiment
+
+let compare_cmd =
+  with_dataset "compare" "zkd B+-tree vs kd tree vs linear scan."
+    Sqp_core.Reports.print_structure_comparison
+
+let strategies_cmd =
+  with_dataset "strategies" "Search-strategy ablation (merge/lazy/bigmin/scan)."
+    Sqp_core.Reports.print_strategy_comparison
+
+let policies_cmd =
+  with_dataset "policies" "Buffer-replacement policies under the merge workload."
+    Sqp_core.Reports.print_buffer_policies
+
+let partial_match_cmd =
+  simple "partial-match" "Partial-match page accesses vs N (predicted N^0.5)."
+    Sqp_core.Reports.print_partial_match
+
+let euv_cmd =
+  simple "euv" "E(U,V) table: border sensitivity and cyclicity (Section 5.1)."
+    Sqp_core.Reports.print_euv_table
+
+let coarsen_cmd =
+  simple "coarsen" "The coarsening optimization trade-off (Section 5.1)."
+    Sqp_core.Reports.print_coarsening
+
+let proximity_cmd =
+  simple "proximity" "Proximity preservation of z order (Section 5.2)."
+    Sqp_core.Reports.print_proximity
+
+let join_cmd =
+  simple "join" "Spatial join: merge vs nested loop (Section 4)."
+    Sqp_core.Reports.print_spatial_join
+
+let overlay_cmd =
+  simple "overlay" "Overlay on elements vs grid (Section 6)."
+    Sqp_core.Reports.print_overlay_scaling
+
+let ccl_cmd =
+  simple "ccl" "Connected component labelling on elements (Section 6)."
+    Sqp_core.Reports.print_ccl
+
+let interference_cmd =
+  simple "interference" "CAD interference detection (Section 6)."
+    Sqp_core.Reports.print_interference
+
+let fill_cmd =
+  with_dataset "fill" "Leaf fill-factor ablation (bulk-load occupancy)."
+    Sqp_core.Reports.print_fill_factor
+
+let three_d_cmd =
+  simple "three-d" "3d range and partial-match experiment (higher-dim follow-up)."
+    Sqp_core.Reports.print_3d_experiment
+
+let curves_cmd =
+  simple "curves" "Curve-clustering ablation: z vs Hilbert vs row-major."
+    Sqp_core.Reports.print_curve_comparison
+
+let object_join_cmd =
+  simple "object-join" "Disk-resident spatial join over B+-tree leaf chains."
+    Sqp_core.Reports.print_object_join
+
+let all_cmd = simple "all" "Every figure and table, in paper order."
+    Sqp_core.Reports.run_all
+
+let () =
+  let info =
+    Cmd.info "sqp" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of Orenstein's 'Spatial Query Processing in an \
+         Object-Oriented Database System' (SIGMOD 1986)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            figures_cmd; figure6_cmd; experiment_cmd; compare_cmd;
+            strategies_cmd; policies_cmd; partial_match_cmd; euv_cmd;
+            coarsen_cmd; proximity_cmd; join_cmd; overlay_cmd; ccl_cmd;
+            interference_cmd; fill_cmd; three_d_cmd; curves_cmd; object_join_cmd; all_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/cad_interference.ml: List Printf Sqp_core Sqp_geom Sqp_zorder

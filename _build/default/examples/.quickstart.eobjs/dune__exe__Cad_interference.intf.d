@@ -1,0 +1,1 @@
+examples/cad_interference.mli:

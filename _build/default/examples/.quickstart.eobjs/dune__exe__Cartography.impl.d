@@ -1,0 +1,1 @@
+examples/cartography.ml: Array List Printf Sqp_core Sqp_geom Sqp_zorder

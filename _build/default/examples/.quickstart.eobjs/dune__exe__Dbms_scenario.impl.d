@@ -1,0 +1,1 @@
+examples/dbms_scenario.ml: Format Sqp_core Sqp_geom Sqp_relalg Sqp_zorder

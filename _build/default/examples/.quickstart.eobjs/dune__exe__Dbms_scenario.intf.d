@@ -1,0 +1,1 @@
+examples/dbms_scenario.mli:

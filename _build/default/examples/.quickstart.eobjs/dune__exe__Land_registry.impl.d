@@ -1,0 +1,1 @@
+examples/land_registry.ml: Array Filename Format List Printf Sqp_btree Sqp_core Sqp_geom Sqp_relalg Sqp_zorder Sys

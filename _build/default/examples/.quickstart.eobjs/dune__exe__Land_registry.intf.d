@@ -1,0 +1,1 @@
+examples/land_registry.mli:

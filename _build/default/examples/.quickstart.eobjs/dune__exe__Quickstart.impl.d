@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Printf Sqp_btree Sqp_core Sqp_geom Sqp_workload Sqp_zorder

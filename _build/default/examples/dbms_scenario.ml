@@ -1,0 +1,69 @@
+(* The DBMS integration scenario of Section 4, executed literally on the
+   relational substrate:
+
+     P(p@, zp, x, y)  := Points[p@, shuffle([x:x, y:y]), x, y]
+     B(zb)            := Decompose(Box)
+     Result           := (P [zp <> zb] B)[x, y]
+
+   plus the general object-overlap form with two decomposed relations.
+
+   Run with: dune exec examples/dbms_scenario.exe *)
+
+module Z = Sqp_zorder
+
+let () =
+  let space = Sqp_core.Ag.space ~dims:2 ~depth:6 in
+
+  (* Base relation: a handful of identified points. *)
+  let points =
+    [
+      (1, [| 5; 3 |]); (2, [| 12; 40 |]); (3, [| 33; 20 |]); (4, [| 34; 21 |]);
+      (5, [| 50; 50 |]); (6, [| 20; 22 |]); (7, [| 21; 60 |]); (8, [| 40; 18 |]);
+    ]
+  in
+  let p = Sqp_relalg.Query.points_relation space points in
+  Format.printf "%a" Sqp_relalg.Relation.pp p;
+
+  (* The query region: one tuple in relation Box, decomposed into B. *)
+  let box = Sqp_geom.Box.of_ranges [ (18, 42); (15, 25) ] in
+  let b = Sqp_relalg.Query.box_relation space box in
+  Format.printf "@.B = Decompose(Box %a): %d element tuples@."
+    Sqp_geom.Box.pp box
+    (Sqp_relalg.Relation.cardinality b);
+
+  (* Spatial join + projection. *)
+  let result = Sqp_relalg.Query.range_query space points box in
+  Format.printf "@.Result = (P[zp <> zb]B)[x, y]:@.%a" Sqp_relalg.Relation.pp result;
+
+  (* The general spatial join: overlap between two object relations. *)
+  let parks =
+    [
+      (1, Sqp_geom.Shape.Box (Sqp_geom.Box.of_ranges [ (0, 15); (0, 15) ]));
+      (2, Sqp_geom.Shape.Circle (Sqp_geom.Circle.make ~cx:40 ~cy:40 ~radius:10));
+    ]
+  in
+  let roads =
+    [
+      (* A long thin horizontal road crossing the park disc. *)
+      (7, Sqp_geom.Shape.Box (Sqp_geom.Box.of_ranges [ (0, 63); (39, 41) ]));
+      (* A road in the far corner, touching nothing. *)
+      (8, Sqp_geom.Shape.Box (Sqp_geom.Box.of_ranges [ (55, 63); (0, 5) ]));
+    ]
+  in
+  let pairs = Sqp_relalg.Query.overlapping_pairs space parks roads in
+  Format.printf "@.park/road overlaps (RS = R[zr <> zs]S projected to ids):@.%a"
+    Sqp_relalg.Relation.pp pairs;
+
+  (* Cross-check against the nested-loop join. *)
+  let r =
+    Sqp_relalg.Ops.rename [ ("id", "rid"); ("z", "zr") ]
+      (Sqp_relalg.Query.decompose_relation space parks)
+  in
+  let s =
+    Sqp_relalg.Ops.rename [ ("id", "sid"); ("z", "zs") ]
+      (Sqp_relalg.Query.decompose_relation space roads)
+  in
+  let merged, _ = Sqp_relalg.Spatial_join.merge r ~zr:"zr" s ~zs:"zs" in
+  let nested, _ = Sqp_relalg.Spatial_join.nested_loop r ~zr:"zr" s ~zs:"zs" in
+  Format.printf "@.merge join = nested-loop join: %b@."
+    (Sqp_relalg.Relation.equal_contents merged nested)

@@ -1,0 +1,64 @@
+(* Quickstart: index 2d points in z order and run range queries.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Z = Sqp_zorder
+module Zindex = Sqp_btree.Zindex
+
+let () =
+  (* A 2^8 x 2^8 grid. *)
+  let space = Sqp_core.Ag.space ~dims:2 ~depth:8 in
+
+  (* The five operators of the element object class. *)
+  let e = Sqp_core.Ag.shuffle space [| 3; 5 |] in
+  Printf.printf "z value of (3, 5): %s\n" (Sqp_core.Ag.z_string e);
+  let box =
+    Sqp_geom.Shape.Box (Sqp_geom.Box.of_ranges [ (10, 90); (20, 60) ])
+  in
+  let elements = Sqp_core.Ag.decompose space box in
+  Printf.printf "the box [10..90] x [20..60] decomposes into %d elements\n"
+    (List.length elements);
+  (match elements with
+  | a :: b :: _ ->
+      Printf.printf "  first two: %s, %s (precedes: %b, contains: %b)\n"
+        (Sqp_core.Ag.z_string a) (Sqp_core.Ag.z_string b)
+        (Sqp_core.Ag.precedes a b) (Sqp_core.Ag.contains a b)
+  | _ -> ());
+
+  (* Build a zkd B+-tree over random points (page capacity 20). *)
+  let rng = Sqp_workload.Rng.create ~seed:42 in
+  let points =
+    Sqp_workload.Datagen.uniform rng ~side:256 ~n:2000 ~dims:2
+  in
+  let index = Zindex.of_points space (Array.mapi (fun i p -> (p, i)) points) in
+  Printf.printf "\nindexed %d points on %d data pages (tree height %d)\n"
+    (Zindex.length index)
+    (Zindex.data_page_count index)
+    (Zindex.Tree.height (Zindex.tree index));
+
+  (* Range query: the decompose-and-merge algorithm of Section 3.3. *)
+  let query = Sqp_geom.Box.of_ranges [ (30, 70); (100, 180) ] in
+  let results, stats = Zindex.range_search index query in
+  Printf.printf "query %s -> %d points\n"
+    (Format.asprintf "%a" Sqp_geom.Box.pp query)
+    (List.length results);
+  Printf.printf
+    "  cost: %d data pages, %d index-node reads, %d box elements, %d entries scanned\n"
+    stats.Zindex.data_pages stats.Zindex.internal_accesses stats.Zindex.elements
+    stats.Zindex.entries_scanned;
+  Printf.printf "  efficiency: %.2f\n" (Zindex.efficiency index stats);
+
+  (* Partial match: pin x, leave y free. *)
+  let _, pm = Zindex.partial_match index [| Some 123; None |] in
+  Printf.printf "partial match x=123: %d pages (of %d)\n" pm.Zindex.data_pages
+    (Zindex.data_page_count index);
+
+  (* The same query without the index machinery, via the in-memory merge. *)
+  let prep =
+    Sqp_core.Range_search.prepare space (Array.mapi (fun i p -> (p, i)) points)
+  in
+  let res_skip, counters = Sqp_core.Range_search.search_skip prep query in
+  Printf.printf
+    "\nin-memory skip merge finds %d points with %d comparisons (%d point jumps)\n"
+    (List.length res_skip) counters.Sqp_core.Range_search.comparisons
+    counters.Sqp_core.Range_search.point_jumps

@@ -1,0 +1,1 @@
+lib/btree/bptree.ml: Array Format Int List Option Printf Sqp_storage Sqp_zorder

@@ -1,0 +1,1 @@
+lib/btree/bptree.mli: Format Sqp_storage Sqp_zorder

@@ -1,0 +1,1 @@
+lib/btree/persist.ml: Array Buffer Bytes Int32 Int64 List Option Sqp_storage Sqp_zorder String Zindex

@@ -1,0 +1,1 @@
+lib/btree/zindex.ml: Array Bptree Hashtbl List Option Seq Sqp_geom Sqp_zorder

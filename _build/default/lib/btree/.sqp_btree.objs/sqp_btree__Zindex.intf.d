@@ -1,0 +1,1 @@
+lib/btree/zindex.mli: Bptree Sqp_geom Sqp_storage Sqp_zorder

@@ -1,0 +1,1 @@
+lib/btree/zobjects.ml: Bptree Hashtbl List Sqp_geom Sqp_zorder

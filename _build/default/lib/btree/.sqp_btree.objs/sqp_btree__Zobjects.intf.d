@@ -1,0 +1,1 @@
+lib/btree/zobjects.mli: Sqp_geom Sqp_storage Sqp_zorder

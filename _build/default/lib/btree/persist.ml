@@ -1,0 +1,104 @@
+module Z = Sqp_zorder
+module FP = Sqp_storage.File_pager
+
+(* Metadata page payload: "SQPX" | dims:u8 | depth:u8 | leaf_capacity:u16 |
+   entry_count:i64.
+   Entry encoding: coords (dims x i32) | payload_len:u16 | payload.
+   Data pages hold entries back to back, in z order. *)
+
+let meta_magic = "SQPX"
+
+let encode_meta ~dims ~depth ~leaf_capacity ~count =
+  let buf = Bytes.create (4 + 1 + 1 + 2 + 8) in
+  Bytes.blit_string meta_magic 0 buf 0 4;
+  Bytes.set_uint8 buf 4 dims;
+  Bytes.set_uint8 buf 5 depth;
+  Bytes.set_uint16_be buf 6 leaf_capacity;
+  Bytes.set_int64_be buf 8 (Int64.of_int count);
+  buf
+
+let decode_meta buf =
+  if Bytes.length buf < 16 || Bytes.sub_string buf 0 4 <> meta_magic then
+    failwith "Persist.load: bad metadata page";
+  ( Bytes.get_uint8 buf 4,
+    Bytes.get_uint8 buf 5,
+    Bytes.get_uint16_be buf 6,
+    Int64.to_int (Bytes.get_int64_be buf 8) )
+
+let encode_entry dims point payload =
+  let plen = String.length payload in
+  if plen > 0xFFFF then invalid_arg "Persist: payload too long";
+  let buf = Bytes.create ((4 * dims) + 2 + plen) in
+  Array.iteri (fun i c -> Bytes.set_int32_be buf (4 * i) (Int32.of_int c)) point;
+  Bytes.set_uint16_be buf (4 * dims) plen;
+  Bytes.blit_string payload 0 buf ((4 * dims) + 2) plen;
+  buf
+
+let decode_entry dims buf off =
+  let point = Array.init dims (fun i -> Int32.to_int (Bytes.get_int32_be buf (off + (4 * i)))) in
+  let plen = Bytes.get_uint16_be buf (off + (4 * dims)) in
+  let payload = Bytes.sub_string buf (off + (4 * dims) + 2) plen in
+  (point, payload, off + (4 * dims) + 2 + plen)
+
+let save ~path ?(page_bytes = 4096) ~encode index =
+  let space = Zindex.space index in
+  let dims = Z.Space.dims space and depth = Z.Space.depth space in
+  let store = FP.create ~path ~page_bytes in
+  let capacity = page_bytes - 4 in
+  (* Entries in z order straight off the leaf chain. *)
+  let entries =
+    Zindex.Tree.to_list (Zindex.tree index)
+    |> List.map (fun (_, (p, v)) -> encode_entry dims p (encode v))
+  in
+  ignore
+    (FP.alloc store
+       (encode_meta ~dims ~depth
+          ~leaf_capacity:(Zindex.leaf_capacity index)
+          ~count:(List.length entries)));
+  let data_pages = ref 0 in
+  let buf = Buffer.create capacity in
+  let flush_page () =
+    if Buffer.length buf > 0 then begin
+      ignore (FP.alloc store (Buffer.to_bytes buf));
+      incr data_pages;
+      Buffer.clear buf
+    end
+  in
+  List.iter
+    (fun e ->
+      if Bytes.length e > capacity then
+        invalid_arg "Persist.save: entry larger than a page";
+      if Buffer.length buf + Bytes.length e > capacity then flush_page ();
+      Buffer.add_bytes buf e)
+    entries;
+  flush_page ();
+  FP.close store;
+  !data_pages
+
+let load ~path ~decode () =
+  let store = FP.open_existing ~path in
+  let meta = ref None in
+  let entries = ref [] in
+  FP.iter store (fun slot payload ->
+      if !meta = None then begin
+        (* Slot order is id order; the metadata page was written first. *)
+        ignore slot;
+        meta := Some (decode_meta payload)
+      end
+      else begin
+        let dims, _, _, _ = Option.get !meta in
+        let off = ref 0 in
+        while !off < Bytes.length payload do
+          let point, p, next = decode_entry dims payload !off in
+          entries := (point, decode p) :: !entries;
+          off := next
+        done
+      end);
+  FP.close store;
+  match !meta with
+  | None -> failwith "Persist.load: empty store"
+  | Some (dims, depth, leaf_capacity, count) ->
+      let entries = Array.of_list (List.rev !entries) in
+      if Array.length entries <> count then failwith "Persist.load: entry count mismatch";
+      let space = Z.Space.make ~dims ~depth in
+      Zindex.of_points ~leaf_capacity space entries

@@ -1,0 +1,26 @@
+(** Dump / restore a {!Zindex} through the file-backed page store.
+
+    The on-disk form is the paper's "preprocessing" artifact: the point
+    set with payloads, packed onto fixed-size pages in z order, plus a
+    metadata page (space shape, leaf capacity).  Loading rebuilds the
+    prefix B+-tree by bulk load, so a reloaded index answers queries
+    identically to the original. *)
+
+val save :
+  path:string ->
+  ?page_bytes:int ->
+  encode:('a -> string) ->
+  'a Zindex.t ->
+  int
+(** Write the index contents; returns the number of data pages written.
+    [page_bytes] defaults to 4096.
+    @raise Invalid_argument if an encoded payload is larger than a page
+    can hold. *)
+
+val load :
+  path:string ->
+  decode:(string -> 'a) ->
+  unit ->
+  'a Zindex.t
+(** Rebuild an index from a file written by {!save}.
+    @raise Failure on format errors. *)

@@ -1,0 +1,156 @@
+module Z = Sqp_zorder
+module B = Z.Bitstring
+module Tree = Bptree.Make (Bptree.Bitstring_key)
+
+type 'a t = { space : Z.Space.t; tree : 'a Tree.t }
+
+let create ?policy ?pool_capacity ?(leaf_capacity = 20) ?(internal_capacity = 20)
+    space =
+  { space; tree = Tree.create ?policy ?pool_capacity ~leaf_capacity ~internal_capacity () }
+
+let space t = t.space
+
+let add_elements t payload elements =
+  List.iter (fun e -> Tree.insert t.tree e payload) elements
+
+let add ?options t payload shape =
+  let elements = Sqp_geom.Shape.decompose ?options t.space shape in
+  add_elements t payload elements;
+  List.length elements
+
+let entry_count t = Tree.length t.tree
+
+let data_page_count t = Tree.leaf_count t.tree
+
+type join_stats = {
+  left_pages : int;
+  right_pages : int;
+  pairs : int;
+  entries : int;
+}
+
+(* A z-ordered stream of (z value, payload) with page accounting. *)
+type 'a stream = {
+  peek : unit -> (B.t * 'a) option;
+  advance : unit -> unit;
+  pages : (int, unit) Hashtbl.t;
+}
+
+let tree_stream tree =
+  let pages = Hashtbl.create 16 in
+  let cursor = Tree.seek_first tree in
+  let note () =
+    match Tree.cursor_page cursor with
+    | Some id -> Hashtbl.replace pages id ()
+    | None -> ()
+  in
+  note ();
+  {
+    peek = (fun () -> Tree.cursor_peek cursor);
+    advance =
+      (fun () ->
+        Tree.cursor_next cursor;
+        note ());
+    pages;
+  }
+
+let list_stream items =
+  let remaining = ref items in
+  {
+    peek = (fun () -> match !remaining with [] -> None | x :: _ -> Some x);
+    advance =
+      (fun () -> match !remaining with [] -> () | _ :: rest -> remaining := rest);
+    pages = Hashtbl.create 1;
+  }
+
+(* One synchronized sweep with containment stacks — the streaming version
+   of the stack merge (cf. {!Sqp_relalg.Spatial_join.merge}). *)
+let sweep left right =
+  let stack_l = ref [] and stack_r = ref [] in
+  let pop_closed z stack =
+    let rec go = function
+      | (ze, _) :: rest when not (B.is_prefix ze z) -> go rest
+      | kept -> kept
+    in
+    stack := go !stack
+  in
+  let out = ref [] and pairs = ref 0 and entries = ref 0 in
+  let take_left (z, v) =
+    pop_closed z stack_l;
+    pop_closed z stack_r;
+    List.iter
+      (fun (_, w) ->
+        incr pairs;
+        out := (v, w) :: !out)
+      !stack_r;
+    stack_l := (z, v) :: !stack_l
+  in
+  let take_right (z, w) =
+    pop_closed z stack_l;
+    pop_closed z stack_r;
+    List.iter
+      (fun (_, v) ->
+        incr pairs;
+        out := (v, w) :: !out)
+      !stack_l;
+    stack_r := (z, w) :: !stack_r
+  in
+  let rec loop () =
+    match (left.peek (), right.peek ()) with
+    | None, None -> ()
+    | Some item, None ->
+        incr entries;
+        take_left item;
+        left.advance ();
+        loop ()
+    | None, Some item ->
+        incr entries;
+        take_right item;
+        right.advance ();
+        loop ()
+    | Some ((zl, _) as l), Some ((zr, _) as r) ->
+        incr entries;
+        if B.compare zl zr <= 0 then begin
+          take_left l;
+          left.advance ()
+        end
+        else begin
+          take_right r;
+          right.advance ()
+        end;
+        loop ()
+  in
+  loop ();
+  (List.rev !out, !pairs, !entries)
+
+let join a b =
+  if Z.Space.dims a.space <> Z.Space.dims b.space
+     || Z.Space.depth a.space <> Z.Space.depth b.space
+  then invalid_arg "Zobjects.join: space mismatch";
+  let left = tree_stream a.tree and right = tree_stream b.tree in
+  let out, pairs, entries = sweep left right in
+  ( out,
+    {
+      left_pages = Hashtbl.length left.pages;
+      right_pages = Hashtbl.length right.pages;
+      pairs;
+      entries;
+    } )
+
+let range_candidates t box =
+  match Sqp_geom.Box.clip box ~side:(Z.Space.side t.space) with
+  | None -> ([], { left_pages = 0; right_pages = 0; pairs = 0; entries = 0 })
+  | Some clipped ->
+      let lo = Sqp_geom.Box.lo clipped and hi = Sqp_geom.Box.hi clipped in
+      let box_els =
+        List.map (fun e -> (e, e)) (Z.Decompose.decompose_box t.space ~lo ~hi)
+      in
+      let left = tree_stream t.tree and right = list_stream box_els in
+      let out, pairs, entries = sweep left right in
+      ( out,
+        {
+          left_pages = Hashtbl.length left.pages;
+          right_pages = 0;
+          pairs;
+          entries;
+        } )

@@ -1,0 +1,58 @@
+(** Disk-resident spatial objects: decompositions stored in a prefix
+    B+-tree, and the spatial join executed page-at-a-time over cursors.
+
+    Section 4 defines [R\[zr <> zs\]S] and argues existing DBMS machinery
+    suffices; the merge implementation over B+-tree cursors — one
+    synchronized sequential pass with containment stacks, LRU-friendly —
+    is exactly what this module provides, with page-access accounting. *)
+
+type 'a t
+(** A set of spatial objects: one B+-tree entry per (element, object). *)
+
+val create :
+  ?policy:Sqp_storage.Buffer_pool.policy ->
+  ?pool_capacity:int ->
+  ?leaf_capacity:int ->
+  ?internal_capacity:int ->
+  Sqp_zorder.Space.t ->
+  'a t
+(** Defaults match {!Zindex.create}. *)
+
+val space : 'a t -> Sqp_zorder.Space.t
+
+val add :
+  ?options:Sqp_zorder.Decompose.options ->
+  'a t ->
+  'a ->
+  Sqp_geom.Shape.t ->
+  int
+(** Decompose the shape and insert its elements tagged with the payload;
+    returns the number of elements inserted. *)
+
+val add_elements : 'a t -> 'a -> Sqp_zorder.Element.t list -> unit
+(** Insert a pre-computed decomposition. *)
+
+val entry_count : 'a t -> int
+(** Total (element, object) entries. *)
+
+val data_page_count : 'a t -> int
+
+type join_stats = {
+  left_pages : int;      (** distinct data pages read from the left tree *)
+  right_pages : int;
+  pairs : int;           (** (left, right) payload pairs emitted *)
+  entries : int;         (** total entries consumed from both trees *)
+}
+
+val join : 'a t -> 'b t -> ('a * 'b) list * join_stats
+(** The spatial join: every payload pair whose elements are related by
+    containment, via one synchronized z-order sweep of both leaf chains.
+    Pairs repeat if several element pairs witness the same object pair
+    (project afterwards, as the paper notes).
+    @raise Invalid_argument if the spaces differ. *)
+
+val range_candidates :
+  'a t -> Sqp_geom.Box.t -> ('a * Sqp_zorder.Element.t) list * join_stats
+(** Objects with an element inside/overlapping the query box: a spatial
+    join against the box's decomposition, streaming only the relevant key
+    range of the tree. *)

@@ -1,0 +1,1 @@
+lib/core/ag.ml: Sqp_geom Sqp_zorder

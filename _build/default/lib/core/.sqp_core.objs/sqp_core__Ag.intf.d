@@ -1,0 +1,1 @@
+lib/core/ag.mli: Sqp_geom Sqp_zorder

@@ -1,0 +1,1 @@
+lib/core/ccl.ml: Array Hashtbl List Option Sqp_zorder Union_find

@@ -1,0 +1,1 @@
+lib/core/ccl.mli: Sqp_zorder

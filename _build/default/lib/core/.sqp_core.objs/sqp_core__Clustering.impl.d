@@ -1,0 +1,1 @@
+lib/core/clustering.ml: Array Hashtbl List Sqp_geom Sqp_zorder

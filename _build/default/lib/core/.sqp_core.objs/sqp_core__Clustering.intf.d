@@ -1,0 +1,1 @@
+lib/core/clustering.mli: Sqp_geom Sqp_zorder

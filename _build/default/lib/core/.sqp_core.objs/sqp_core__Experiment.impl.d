@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Analysis Array List Sqp_btree Sqp_kdtree Sqp_report Sqp_workload Sqp_zorder

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Sqp_btree Sqp_geom Sqp_workload

@@ -1,0 +1,1 @@
+lib/core/interference.ml: Array Hashtbl List Sqp_geom Sqp_zorder Zmerge

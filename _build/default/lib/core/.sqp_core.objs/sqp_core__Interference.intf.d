@@ -1,0 +1,1 @@
+lib/core/interference.mli: Sqp_geom Sqp_zorder

@@ -1,0 +1,1 @@
+lib/core/overlay.ml: Format List Sqp_geom Sqp_zorder

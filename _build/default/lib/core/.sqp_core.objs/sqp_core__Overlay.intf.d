@@ -1,0 +1,1 @@
+lib/core/overlay.mli: Sqp_geom Sqp_zorder

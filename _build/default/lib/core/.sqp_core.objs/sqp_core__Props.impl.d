@@ -1,0 +1,1 @@
+lib/core/props.ml: Array Ccl Hashtbl List Option Sqp_zorder

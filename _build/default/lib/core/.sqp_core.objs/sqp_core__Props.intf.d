@@ -1,0 +1,1 @@
+lib/core/props.mli: Sqp_zorder

@@ -1,0 +1,1 @@
+lib/core/range_search.ml: Array Format List Printf Sqp_geom Sqp_zorder

@@ -1,0 +1,1 @@
+lib/core/range_search.mli: Sqp_geom Sqp_zorder

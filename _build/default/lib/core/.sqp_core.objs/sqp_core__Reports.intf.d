@@ -1,0 +1,1 @@
+lib/core/reports.mli: Experiment Sqp_workload

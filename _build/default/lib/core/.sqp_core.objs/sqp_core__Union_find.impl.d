@@ -1,0 +1,1 @@
+lib/core/union_find.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/core/zmerge.ml: List Sqp_zorder

@@ -1,0 +1,1 @@
+lib/core/zmerge.mli: Sqp_zorder

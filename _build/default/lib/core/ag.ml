@@ -1,0 +1,35 @@
+module Z = Sqp_zorder
+
+type space = Z.Space.t
+
+type element = Z.Element.t
+
+let space ~dims ~depth = Z.Space.make ~dims ~depth
+
+let shuffle = Z.Interleave.shuffle
+
+let shuffle_region space ~lo ~hi = Z.Element.of_box space ~lo ~hi
+
+let unshuffle space e = Z.Element.box space e
+
+let decompose ?options space shape = Sqp_geom.Shape.decompose ?options space shape
+
+let precedes = Z.Element.precedes
+
+let contains = Z.Element.contains
+
+let compare = Z.Element.compare
+
+let z_string = Z.Bitstring.to_string
+
+let of_z_string = Z.Bitstring.of_string
+
+let zlo = Z.Element.zlo
+let zhi = Z.Element.zhi
+
+let related a b =
+  if Z.Element.equal a b then `Equal
+  else if contains a b then `Contains
+  else if contains b a then `Contained
+  else if precedes a b then `Precedes
+  else `Follows

@@ -1,0 +1,56 @@
+(** The approximate-geometry object class.
+
+    Section 4 lists the operations the element object class must provide:
+    [shuffle], [unshuffle], [decompose], [precedes], [contains].  This
+    module is that object class — a thin, documented facade over the
+    z-order machinery, which is what a PROBE query processor (or any
+    DBMS adding an "element" ADT) would program against. *)
+
+type space = Sqp_zorder.Space.t
+
+type element = Sqp_zorder.Element.t
+(** An element: a variable-length bitstring (z value) denoting a region
+    obtained by recursive halving. *)
+
+val space : dims:int -> depth:int -> space
+(** The [2^depth x ... x 2^depth] grid in [dims] dimensions. *)
+
+(** {1 The five operators of Section 4} *)
+
+val shuffle : space -> int array -> element
+(** [shuffle(r: region) -> element] for a single pixel: interleave the
+    coordinate bits. *)
+
+val shuffle_region : space -> lo:int array -> hi:int array -> element option
+(** General form: the element for a coordinate region, if the region is
+    one ([None] otherwise). *)
+
+val unshuffle : space -> element -> int array * int array
+(** [(lo, hi)] coordinate ranges of the element's region. *)
+
+val decompose : ?options:Sqp_zorder.Decompose.options -> space -> Sqp_geom.Shape.t -> element list
+(** [decompose(b) -> set of elements], in z order. *)
+
+val precedes : element -> element -> bool
+(** Strict z-order precedence. *)
+
+val contains : element -> element -> bool
+(** Prefix containment ([contains e1 e2]: [e1] contains [e2]). *)
+
+(** {1 Derived forms} *)
+
+val compare : element -> element -> int
+
+val z_string : element -> string
+(** The z value as a ["0101..."] string. *)
+
+val of_z_string : string -> element
+
+val zlo : space -> element -> element
+val zhi : space -> element -> element
+(** Extreme pixel z values covered by an element (Figure 3's consecutive
+    range). *)
+
+val related : element -> element -> [ `Precedes | `Follows | `Contains | `Contained | `Equal ]
+(** The complete case analysis the paper highlights: two elements can
+    only nest or precede one another — partial overlap is impossible. *)

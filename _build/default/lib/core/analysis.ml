@@ -1,0 +1,41 @@
+let pages_per_block_bound ~dims =
+  match dims with
+  | 2 -> 6.0
+  | 3 -> 28.0 /. 3.0
+  | k ->
+      let p = Float.pow 2.0 (float_of_int k) in
+      p *. (p -. 1.0) /. (p -. 2.0)
+
+let predicted_range_pages ~n_pages ~side ~query_extents =
+  let dims = Array.length query_extents in
+  Sqp_zorder.Zmath.predicted_range_pages
+    ~pages_per_block:(pages_per_block_bound ~dims)
+    ~n_pages ~side ~query_extents ()
+
+let predicted_partial_match_pages = Sqp_zorder.Zmath.predicted_partial_match_pages
+
+let fit_power samples =
+  if List.length samples < 2 then invalid_arg "Analysis.fit_power: need >= 2 samples";
+  List.iter
+    (fun (x, y) ->
+      if x <= 0.0 || y <= 0.0 then
+        invalid_arg "Analysis.fit_power: non-positive sample")
+    samples;
+  let logs = List.map (fun (x, y) -> (log x, log y)) samples in
+  let n = float_of_int (List.length logs) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 logs in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 logs in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 logs in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 logs in
+  let alpha = ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx)) in
+  let c = exp ((sy -. (alpha *. sx)) /. n) in
+  (c, alpha)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geometric_mean = function
+  | [] -> 0.0
+  | xs ->
+      exp (List.fold_left (fun a x -> a +. log x) 0.0 xs /. float_of_int (List.length xs))

@@ -1,0 +1,26 @@
+(** Performance model of Section 5, as used by the experiment harness:
+    predictions to print next to measurements, and fitting helpers to
+    check the predicted exponents. *)
+
+val predicted_range_pages :
+  n_pages:int -> side:int -> query_extents:int array -> float
+(** The O(vN) block-model bound (see {!Sqp_zorder.Zmath}). *)
+
+val predicted_partial_match_pages :
+  n_pages:int -> dims:int -> restricted:int -> float
+(** O(N^(1 - t/k)). *)
+
+val pages_per_block_bound : dims:int -> float
+(** The paper's bound on pages per rectangular block: 6 in 2d, 28/3 in
+    3d; we expose the 2d/3d constants and the general pattern
+    [2^k * (2^k - 1) / (2^k - 2)] fitted to those two values for other
+    dimensions. *)
+
+val fit_power : (float * float) list -> float * float
+(** [(c, alpha)] least-squares fit of [y = c * x^alpha] (on logs).
+    @raise Invalid_argument with fewer than 2 samples or non-positive
+    values. *)
+
+val mean : float list -> float
+
+val geometric_mean : float list -> float

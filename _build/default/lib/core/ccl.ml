@@ -1,0 +1,105 @@
+module Z = Sqp_zorder
+
+type rect = { xlo : int; xhi : int; ylo : int; yhi : int; idx : int }
+
+type result = {
+  component_count : int;
+  labels : int array;
+  areas : float array;
+  adjacencies : int;
+}
+
+let rects_of space elements =
+  List.mapi
+    (fun idx e ->
+      let lo, hi = Z.Element.box space e in
+      { xlo = lo.(0); xhi = hi.(0); ylo = lo.(1); yhi = hi.(1); idx })
+    elements
+
+let check_disjoint elements =
+  let rec go = function
+    | [] | [ _ ] -> ()
+    | a :: (b :: _ as rest) ->
+        if not (Z.Element.precedes a b) then
+          invalid_arg "Ccl.label: elements overlap or are out of z order";
+        go rest
+  in
+  go (List.sort Z.Element.compare elements)
+
+(* Enumerate pairs (a, b) with a.hi_axis + 1 = b.lo_axis and overlapping
+   ranges on the other axis, for one axis orientation. *)
+let adjacent_pairs rights lefts lo_other hi_other =
+  (* [rights]: rects keyed by closing coordinate + 1; [lefts]: rects keyed
+     by opening coordinate.  Both lists share one boundary coordinate. *)
+  let lefts =
+    List.sort (fun a b -> compare (lo_other a) (lo_other b)) lefts
+  in
+  let arr = Array.of_list lefts in
+  let n = Array.length arr in
+  let pairs = ref [] in
+  List.iter
+    (fun r ->
+      (* First left whose hi >= r.lo: linear from a binary-searched start
+         on lo; since intervals are disjoint within one boundary (elements
+         are disjoint), lo order = hi order. *)
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if hi_other arr.(mid) < lo_other r then lo := mid + 1 else hi := mid
+      done;
+      let i = ref !lo in
+      while !i < n && lo_other arr.(!i) <= hi_other r do
+        pairs := (r, arr.(!i)) :: !pairs;
+        incr i
+      done)
+    rights;
+  !pairs
+
+let label space elements =
+  if Z.Space.dims space <> 2 then invalid_arg "Ccl.label: 2d only";
+  check_disjoint elements;
+  let rects = rects_of space elements in
+  let n = List.length rects in
+  let uf = Union_find.create n in
+  let adjacencies = ref 0 in
+  (* Vertical shared edges: a.xhi + 1 = b.xlo with y overlap. *)
+  let by_key f rects =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun r -> Hashtbl.replace tbl (f r) (r :: (Option.value ~default:[] (Hashtbl.find_opt tbl (f r))))) rects;
+    tbl
+  in
+  let do_axis key_close key_open lo_other hi_other =
+    let closes = by_key key_close rects and opens = by_key key_open rects in
+    Hashtbl.iter
+      (fun boundary rights ->
+        match Hashtbl.find_opt opens boundary with
+        | None -> ()
+        | Some lefts ->
+            List.iter
+              (fun (a, b) ->
+                incr adjacencies;
+                Union_find.union uf a.idx b.idx)
+              (adjacent_pairs rights lefts lo_other hi_other))
+      closes
+  in
+  do_axis (fun r -> r.xhi + 1) (fun r -> r.xlo) (fun r -> r.ylo) (fun r -> r.yhi);
+  do_axis (fun r -> r.yhi + 1) (fun r -> r.ylo) (fun r -> r.xlo) (fun r -> r.xhi);
+  let labels = Union_find.compress_labels uf in
+  let count = Union_find.count uf in
+  let areas = Array.make count 0.0 in
+  List.iteri
+    (fun i e ->
+      areas.(labels.(i)) <- areas.(labels.(i)) +. Z.Element.cells space e)
+    elements;
+  { component_count = count; labels; areas; adjacencies = !adjacencies }
+
+let component_of_cell space elements result x y =
+  let rec go i = function
+    | [] -> None
+    | e :: rest ->
+        let lo, hi = Z.Element.box space e in
+        if x >= lo.(0) && x <= hi.(0) && y >= lo.(1) && y <= hi.(1) then
+          Some result.labels.(i)
+        else go (i + 1) rest
+  in
+  go 0 elements

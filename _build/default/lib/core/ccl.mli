@@ -1,0 +1,25 @@
+(** Connected component labelling on element sequences (Section 6).
+
+    Computes the 4-connected components of the black region described by
+    a disjoint element list, working on the elements directly (never
+    expanding to pixels): element rectangles are swept for shared edges
+    and merged with union-find.  Compare [SAME85c]'s quadtree algorithm;
+    the element-sequence formulation is the concise AG version the paper
+    advertises.  2d only. *)
+
+type result = {
+  component_count : int;
+  labels : int array;
+      (** label of each input element (dense, [0 .. count-1]), in input
+          order *)
+  areas : float array; (** pixels per component, indexed by label *)
+  adjacencies : int;   (** element pairs found to share an edge *)
+}
+
+val label : Sqp_zorder.Space.t -> Sqp_zorder.Element.t list -> result
+(** @raise Invalid_argument if the space is not 2d or elements overlap. *)
+
+val component_of_cell :
+  Sqp_zorder.Space.t -> Sqp_zorder.Element.t list -> result -> int -> int -> int option
+(** Label of the component covering a cell, if any (helper for tests and
+    examples). *)

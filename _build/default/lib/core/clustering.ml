@@ -1,0 +1,63 @@
+module Z = Sqp_zorder
+
+type order = Z_order | Hilbert_order | Row_major
+
+let order_name = function
+  | Z_order -> "z order"
+  | Hilbert_order -> "Hilbert order"
+  | Row_major -> "row major"
+
+let rank_of order space p =
+  match order with
+  | Z_order -> Z.Interleave.rank space p
+  | Hilbert_order -> Z.Hilbert.rank space p
+  | Row_major ->
+      if Z.Space.dims space <> 2 then invalid_arg "Clustering: row major is 2d";
+      (p.(1) * Z.Space.side space) + p.(0)
+
+type t = {
+  pages : (Sqp_geom.Point.t * int) array array; (* point, page id *)
+  page_of_rank : (int, int) Hashtbl.t;          (* curve rank -> page id *)
+}
+
+let build order space ?(page_capacity = 20) points =
+  if page_capacity < 1 then invalid_arg "Clustering.build: capacity < 1";
+  let ranked = Array.map (fun p -> (rank_of order space p, p)) points in
+  Array.sort (fun (a, _) (b, _) -> compare a b) ranked;
+  let n = Array.length ranked in
+  let n_pages = (n + page_capacity - 1) / page_capacity in
+  let page_of_rank = Hashtbl.create n in
+  let pages =
+    Array.init n_pages (fun page ->
+        let start = page * page_capacity in
+        Array.init
+          (min page_capacity (n - start))
+          (fun i ->
+            let rank, p = ranked.(start + i) in
+            Hashtbl.replace page_of_rank rank page;
+            (p, page)))
+  in
+  { pages; page_of_rank }
+
+let page_count t = Array.length t.pages
+
+let pages_touched t box =
+  let seen = Hashtbl.create 16 in
+  let results = ref 0 in
+  Array.iter
+    (Array.iter (fun (p, page) ->
+         if Sqp_geom.Box.contains_point box p then begin
+           incr results;
+           Hashtbl.replace seen page ()
+         end))
+    t.pages;
+  (Hashtbl.length seen, !results)
+
+let mean_pages t boxes =
+  match boxes with
+  | [] -> 0.0
+  | _ ->
+      let total =
+        List.fold_left (fun acc box -> acc + fst (pages_touched t box)) 0 boxes
+      in
+      float_of_int total /. float_of_int (List.length boxes)

@@ -1,0 +1,36 @@
+(** Curve-clustering ablation: how well does an ordering of the grid pack
+    range queries onto few pages?
+
+    Section 5.2's analysis rests on z order preserving proximity.  This
+    module measures that directly, for any total order of points: sort the
+    points by the order, pack them onto pages of fixed capacity (exactly
+    what the zkd B+-tree's leaf level does), and count the distinct pages
+    a query's answers land on.  Comparing z order against Hilbert order
+    and row-major order isolates the contribution of the curve itself from
+    everything else in the system. *)
+
+type order = Z_order | Hilbert_order | Row_major
+
+val order_name : order -> string
+
+val rank_of : order -> Sqp_zorder.Space.t -> Sqp_geom.Point.t -> int
+(** The position of a point along the given curve.
+    @raise Invalid_argument for non-2d spaces (except [Z_order], which is
+    any-dimensional). *)
+
+type t
+(** Points packed onto pages in curve order. *)
+
+val build :
+  order -> Sqp_zorder.Space.t -> ?page_capacity:int -> Sqp_geom.Point.t array -> t
+(** Default capacity 20. *)
+
+val page_count : t -> int
+
+val pages_touched : t -> Sqp_geom.Box.t -> int * int
+(** [(pages, results)]: distinct pages holding answers to the box query,
+    and the number of answers. *)
+
+val mean_pages :
+  t -> Sqp_geom.Box.t list -> float
+(** Mean pages touched over a query list. *)

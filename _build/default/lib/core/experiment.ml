@@ -1,0 +1,223 @@
+module W = Sqp_workload
+module Z = Sqp_zorder
+module Zindex = Sqp_btree.Zindex
+
+type config = {
+  dataset : W.Datagen.dataset;
+  n_points : int;
+  depth : int;
+  page_capacity : int;
+  volumes : float list;
+  aspects : float list;
+  locations : int;
+  seed : int;
+  strategy : Zindex.strategy;
+}
+
+let default dataset =
+  {
+    dataset;
+    n_points = 5000;
+    depth = 10;
+    page_capacity = 20;
+    volumes = W.Querygen.paper_volumes;
+    aspects = W.Querygen.paper_aspects;
+    locations = 5;
+    seed = 1986;
+    strategy = Zindex.Merge;
+  }
+
+let space_of config = Z.Space.make ~dims:2 ~depth:config.depth
+
+let build_points config =
+  let rng = W.Rng.create ~seed:config.seed in
+  W.Datagen.generate rng config.dataset ~side:(1 lsl config.depth) ~n:config.n_points
+
+let build_index config =
+  let points = build_points config in
+  Zindex.of_points
+    ~leaf_capacity:config.page_capacity
+    (space_of config)
+    (Array.mapi (fun i p -> (p, i)) points)
+
+type row = {
+  volume : float;
+  aspect : float;
+  width : int;
+  height : int;
+  mean_pages : float;
+  max_pages : int;
+  predicted : float;
+  mean_efficiency : float;
+  mean_results : float;
+}
+
+let query_rng config = W.Rng.create ~seed:(config.seed + 7919)
+
+let range_rows config =
+  let index = build_index config in
+  let side = 1 lsl config.depth in
+  let n_pages = Zindex.data_page_count index in
+  let rng = query_rng config in
+  List.concat_map
+    (fun volume ->
+      List.map
+        (fun aspect ->
+          let spec = { W.Querygen.volume_fraction = volume; aspect } in
+          let width, height = W.Querygen.extents_of_spec ~side spec in
+          let boxes = W.Querygen.random_boxes rng ~side spec ~count:config.locations in
+          let outcomes =
+            List.map
+              (fun box ->
+                let _, stats = Zindex.range_search ~strategy:config.strategy index box in
+                stats)
+              boxes
+          in
+          let pagesf = List.map (fun s -> float_of_int s.Zindex.data_pages) outcomes in
+          {
+            volume;
+            aspect;
+            width;
+            height;
+            mean_pages = Analysis.mean pagesf;
+            max_pages =
+              List.fold_left (fun m s -> max m s.Zindex.data_pages) 0 outcomes;
+            predicted =
+              Analysis.predicted_range_pages ~n_pages ~side
+                ~query_extents:[| width; height |];
+            mean_efficiency =
+              Analysis.mean (List.map (Zindex.efficiency index) outcomes);
+            mean_results =
+              Analysis.mean (List.map (fun s -> float_of_int s.Zindex.results) outcomes);
+          })
+        config.aspects)
+    config.volumes
+
+type comparison = {
+  c_volume : float;
+  c_aspect : float;
+  zkd_pages : float;
+  kd_pages : float;
+  gf_pages : float;
+  rt_pages : float;
+  scan_pages : float;
+  zkd_efficiency : float;
+  kd_efficiency : float;
+}
+
+let structure_comparison config =
+  let points = build_points config in
+  let tagged = Array.mapi (fun i p -> (p, i)) points in
+  let side = 1 lsl config.depth in
+  let zkd =
+    Zindex.of_points ~leaf_capacity:config.page_capacity (space_of config) tagged
+  in
+  let kd = Sqp_kdtree.Paged_kdtree.build ~page_capacity:config.page_capacity tagged in
+  let gf =
+    let t =
+      Sqp_kdtree.Grid_file.create ~bucket_capacity:config.page_capacity ~side ()
+    in
+    Array.iter (fun (p, v) -> Sqp_kdtree.Grid_file.insert t p v) tagged;
+    t
+  in
+  let rt = Sqp_kdtree.Rtree.of_points_str ~page_capacity:config.page_capacity tagged in
+  let scan = Sqp_kdtree.Linear_scan.build ~page_capacity:config.page_capacity tagged in
+  let rng = query_rng config in
+  List.concat_map
+    (fun volume ->
+      List.map
+        (fun aspect ->
+          let spec = { W.Querygen.volume_fraction = volume; aspect } in
+          let boxes = W.Querygen.random_boxes rng ~side spec ~count:config.locations in
+          let per f = Analysis.mean (List.map f boxes) in
+          {
+            c_volume = volume;
+            c_aspect = aspect;
+            zkd_pages =
+              per (fun b ->
+                  let _, s = Zindex.range_search ~strategy:config.strategy zkd b in
+                  float_of_int s.Zindex.data_pages);
+            kd_pages =
+              per (fun b ->
+                  let _, s = Sqp_kdtree.Paged_kdtree.range_search kd b in
+                  float_of_int s.Sqp_kdtree.Paged_kdtree.data_pages);
+            gf_pages =
+              per (fun b ->
+                  let _, s = Sqp_kdtree.Grid_file.range_search gf b in
+                  float_of_int s.Sqp_kdtree.Grid_file.data_pages);
+            rt_pages =
+              per (fun b ->
+                  let _, s = Sqp_kdtree.Rtree.range_search rt b in
+                  float_of_int s.Sqp_kdtree.Rtree.data_pages);
+            scan_pages =
+              per (fun b ->
+                  let _, s = Sqp_kdtree.Linear_scan.range_search scan b in
+                  float_of_int s.Sqp_kdtree.Linear_scan.data_pages);
+            zkd_efficiency =
+              per (fun b ->
+                  let _, s = Zindex.range_search ~strategy:config.strategy zkd b in
+                  Zindex.efficiency zkd s);
+            kd_efficiency =
+              per (fun b ->
+                  let _, s = Sqp_kdtree.Paged_kdtree.range_search kd b in
+                  Sqp_kdtree.Paged_kdtree.efficiency kd s);
+          })
+        config.aspects)
+    config.volumes
+
+type pm_point = { pm_n : int; pm_pages : float; pm_predicted : float }
+
+let partial_match_scaling ?(ns = [ 625; 1250; 2500; 5000; 10000; 20000 ]) config =
+  let side = 1 lsl config.depth in
+  let queries_per_size = max 5 config.locations in
+  let points_rng = W.Rng.create ~seed:config.seed in
+  let points =
+    W.Datagen.generate points_rng config.dataset ~side ~n:(List.fold_left max 0 ns)
+  in
+  let rng = query_rng config in
+  let samples =
+    List.map
+      (fun n ->
+        let tagged = Array.mapi (fun i p -> (p, i)) (Array.sub points 0 n) in
+        let index =
+          Zindex.of_points ~leaf_capacity:config.page_capacity (space_of config) tagged
+        in
+        let n_pages = Zindex.data_page_count index in
+        let accesses =
+          List.init queries_per_size (fun _ ->
+              let specs =
+                W.Querygen.partial_match_spec rng ~side ~dims:2 ~restricted:1
+              in
+              let _, stats = Zindex.partial_match ~strategy:config.strategy index specs in
+              float_of_int stats.Zindex.data_pages)
+        in
+        {
+          pm_n = n;
+          pm_pages = Analysis.mean accesses;
+          pm_predicted =
+            Analysis.predicted_partial_match_pages ~n_pages ~dims:2 ~restricted:1;
+        })
+      ns
+  in
+  let _, alpha =
+    Analysis.fit_power
+      (List.map (fun s -> (float_of_int s.pm_n, max 1.0 s.pm_pages)) samples)
+  in
+  (samples, alpha)
+
+let figure6 ?(depth = 6) ?(n_points = 1000) ?(seed = 1986) dataset =
+  let side = 1 lsl depth in
+  (* The diagonal band only holds (2*jitter + 1) * side distinct cells;
+     cap the point count so generation can terminate. *)
+  let n_points =
+    match dataset with
+    | W.Datagen.Diagonal ->
+        let jitter = max 1 (side / 128) in
+        min n_points (((2 * jitter) + 1) * side * 3 / 4)
+    | W.Datagen.Uniform | W.Datagen.Clustered -> n_points
+  in
+  let config =
+    { (default dataset) with depth; n_points; seed }
+  in
+  let index = build_index config in
+  Sqp_report.Figure.page_map ~side:(1 lsl depth) (Zindex.leaf_points index)

@@ -1,0 +1,76 @@
+(** The experiments of Section 5.3.2, as a reusable driver.
+
+    The paper's setup: a prefix B+-tree (page capacity 20) holding 5000
+    2d points in z order; datasets U (uniform), C (50 clusters x 100),
+    D (diagonal); rectangular queries of several shapes and four volumes
+    at five random locations; measured data-page accesses and efficiency.
+    All parameters are exposed in {!config}; {!default} reproduces the
+    paper's values. *)
+
+type config = {
+  dataset : Sqp_workload.Datagen.dataset;
+  n_points : int;     (** 5000 in the paper *)
+  depth : int;        (** grid resolution d (side = 2^d) *)
+  page_capacity : int;(** 20 in the paper *)
+  volumes : float list;
+  aspects : float list;
+  locations : int;    (** random locations per shape; 5 in the paper *)
+  seed : int;
+  strategy : Sqp_btree.Zindex.strategy;
+}
+
+val default : Sqp_workload.Datagen.dataset -> config
+(** Paper parameters on a 1024 x 1024 grid, seed 1986. *)
+
+val build_points : config -> Sqp_geom.Point.t array
+
+val build_index : config -> int Sqp_btree.Zindex.t
+
+(** {1 Range-query experiment (the main table)} *)
+
+type row = {
+  volume : float;
+  aspect : float;
+  width : int;
+  height : int;
+  mean_pages : float;
+  max_pages : int;
+  predicted : float;    (** block-model upper bound *)
+  mean_efficiency : float;
+  mean_results : float;
+}
+
+val range_rows : config -> row list
+(** One row per (volume, aspect), averaged over [locations] random
+    placements. *)
+
+(** {1 Structure comparison (zkd vs kd tree vs scan)} *)
+
+type comparison = {
+  c_volume : float;
+  c_aspect : float;
+  zkd_pages : float;
+  kd_pages : float;
+  gf_pages : float;   (** grid file ([NIEV84]) data buckets *)
+  rt_pages : float;   (** R-tree (Guttman 1984) leaf pages *)
+  scan_pages : float;
+  zkd_efficiency : float;
+  kd_efficiency : float;
+}
+
+val structure_comparison : config -> comparison list
+
+(** {1 Partial-match scaling} *)
+
+type pm_point = { pm_n : int; pm_pages : float; pm_predicted : float }
+
+val partial_match_scaling : ?ns:int list -> config -> pm_point list * float
+(** Mean data pages for x-pinned partial-match queries as the point count
+    grows, and the fitted exponent of pages ~ N^alpha (paper predicts
+    alpha = 1 - t/k = 0.5 in 2d). *)
+
+(** {1 Figure 6} *)
+
+val figure6 : ?depth:int -> ?n_points:int -> ?seed:int -> Sqp_workload.Datagen.dataset -> string
+(** ASCII page-partition map (default: 64 x 64 grid, 1000 points, so the
+    map fits a terminal). *)

@@ -1,0 +1,97 @@
+module Z = Sqp_zorder
+
+type stats = {
+  candidate_pairs : int;
+  emitted_pairs : int;
+  exact_tests : int;
+  elements : int;
+  result_pairs : int;
+}
+
+(* Exact interference: do the two shapes share a cell?  Cell membership is
+   the shapes' own (cell-center) semantics, so the answer is independent
+   of decomposition resolution. *)
+let shapes_intersect space a b =
+  let side = Z.Space.side space in
+  let bb a = Sqp_geom.Box.clip (Sqp_geom.Shape.bounding_box a) ~side in
+  match (bb a, bb b) with
+  | None, _ | _, None -> false
+  | Some ba, Some bb -> (
+      match Sqp_geom.Box.intersection ba bb with
+      | None -> false
+      | Some box ->
+          let lo = Sqp_geom.Box.lo box and hi = Sqp_geom.Box.hi box in
+          let rec scan x y =
+            if x > hi.(0) then false
+            else if y > hi.(1) then scan (x + 1) lo.(1)
+            else if
+              Sqp_geom.Shape.contains_cell a x y && Sqp_geom.Shape.contains_cell b x y
+            then true
+            else scan x (y + 1)
+          in
+          scan lo.(0) lo.(1))
+
+let dedup_pairs pairs =
+  let tbl = Hashtbl.create 64 in
+  List.filter
+    (fun pair ->
+      if Hashtbl.mem tbl pair then false
+      else begin
+        Hashtbl.replace tbl pair ();
+        true
+      end)
+    pairs
+
+let detect ?options space left right =
+  let tag objects =
+    List.concat_map
+      (fun (id, shape) ->
+        List.map
+          (fun e -> (e, id))
+          (Sqp_geom.Shape.decompose ?options space shape))
+      objects
+  in
+  let tl = tag left and tr = tag right in
+  let emitted, merge_stats = Zmerge.pairs tl tr in
+  let candidates = dedup_pairs emitted in
+  let exact_tests = ref 0 in
+  let left_shapes = left and right_shapes = right in
+  let shape_of objs id = List.assoc id objs in
+  let result =
+    List.filter
+      (fun (lid, rid) ->
+        incr exact_tests;
+        shapes_intersect space (shape_of left_shapes lid) (shape_of right_shapes rid))
+      candidates
+  in
+  let result = List.sort compare result in
+  ( result,
+    {
+      candidate_pairs = List.length candidates;
+      emitted_pairs = merge_stats.Zmerge.pairs;
+      exact_tests = !exact_tests;
+      elements = List.length tl + List.length tr;
+      result_pairs = List.length result;
+    } )
+
+let detect_brute_force space left right =
+  let exact_tests = ref 0 in
+  let result =
+    List.concat_map
+      (fun (lid, ls) ->
+        List.filter_map
+          (fun (rid, rs) ->
+            incr exact_tests;
+            if shapes_intersect space ls rs then Some (lid, rid) else None)
+          right)
+      left
+  in
+  let result = List.sort compare result in
+  ( result,
+    {
+      candidate_pairs = List.length result;
+      emitted_pairs = 0;
+      exact_tests = !exact_tests;
+      elements = 0;
+      result_pairs = List.length result;
+    } )

@@ -1,0 +1,34 @@
+(** Interference detection for mechanical CAD (Section 6, after
+    [MANT83]): find all pairs of parts from two assemblies whose volumes
+    intersect.
+
+    AG strategy: decompose every part (optionally coarsely — a budgeted
+    decomposition over-approximates, which is safe for a filter), run the
+    containment merge over the two tagged element sequences to get
+    candidate pairs, then refine candidates with the exact geometry test.
+    Brute force compares all pairs exactly. *)
+
+type stats = {
+  candidate_pairs : int;  (** distinct pairs surviving the AG filter *)
+  emitted_pairs : int;    (** raw merge outputs before deduplication *)
+  exact_tests : int;      (** exact geometry tests performed *)
+  elements : int;         (** total elements in the decompositions *)
+  result_pairs : int;
+}
+
+val detect :
+  ?options:Sqp_zorder.Decompose.options ->
+  Sqp_zorder.Space.t ->
+  (int * Sqp_geom.Shape.t) list ->
+  (int * Sqp_geom.Shape.t) list ->
+  (int * int) list * stats
+(** Pairs (id from first list, id from second list) of parts whose pixel
+    sets intersect, sorted.  With coarse [options] the filter admits more
+    candidates but the refinement keeps the result exact. *)
+
+val detect_brute_force :
+  Sqp_zorder.Space.t ->
+  (int * Sqp_geom.Shape.t) list ->
+  (int * Sqp_geom.Shape.t) list ->
+  (int * int) list * stats
+(** All-pairs exact testing (the oracle and cost baseline). *)

@@ -1,0 +1,87 @@
+module Z = Sqp_zorder
+
+let area space elements =
+  List.fold_left (fun acc e -> acc +. Z.Element.cells space e) 0.0 elements
+
+type rect = { xlo : int; xhi : int; ylo : int; yhi : int }
+
+let rects_of space elements =
+  if Z.Space.dims space <> 2 then invalid_arg "Props: 2d only";
+  List.map
+    (fun e ->
+      let lo, hi = Z.Element.box space e in
+      { xlo = lo.(0); xhi = hi.(0); ylo = lo.(1); yhi = hi.(1) })
+    elements
+
+let check_disjoint elements =
+  let sorted = List.sort Z.Element.compare elements in
+  let rec go = function
+    | [] | [ _ ] -> ()
+    | a :: (b :: _ as rest) ->
+        if not (Z.Element.precedes a b) then
+          invalid_arg "Props: elements overlap";
+        go rest
+  in
+  go sorted
+
+(* Total shared-edge length between rects along one orientation: pairs
+   with a.close + 1 = b.open and overlapping ranges on the other axis. *)
+let shared_edges rects key_close key_open lo_other hi_other =
+  let opens = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let k = key_open r in
+      Hashtbl.replace opens k (r :: Option.value ~default:[] (Hashtbl.find_opt opens k)))
+    rects;
+  List.fold_left
+    (fun acc r ->
+      match Hashtbl.find_opt opens (key_close r + 1) with
+      | None -> acc
+      | Some candidates ->
+          List.fold_left
+            (fun acc c ->
+              let overlap =
+                min (hi_other r) (hi_other c) - max (lo_other r) (lo_other c) + 1
+              in
+              if overlap > 0 then acc + overlap else acc)
+            acc candidates)
+    0 rects
+
+let perimeter space elements =
+  check_disjoint elements;
+  let rects = rects_of space elements in
+  let rect_perimeter =
+    List.fold_left
+      (fun acc r -> acc + (2 * (r.xhi - r.xlo + 1)) + (2 * (r.yhi - r.ylo + 1)))
+      0 rects
+  in
+  let shared_x =
+    shared_edges rects (fun r -> r.xhi) (fun r -> r.xlo) (fun r -> r.ylo) (fun r -> r.yhi)
+  in
+  let shared_y =
+    shared_edges rects (fun r -> r.yhi) (fun r -> r.ylo) (fun r -> r.xlo) (fun r -> r.xhi)
+  in
+  rect_perimeter - (2 * (shared_x + shared_y))
+
+let centroid space elements =
+  match elements with
+  | [] -> None
+  | _ ->
+      let total = ref 0.0 and sx = ref 0.0 and sy = ref 0.0 in
+      List.iter
+        (fun e ->
+          let lo, hi = Z.Element.box space e in
+          let cells = Z.Element.cells space e in
+          let cx = (float_of_int lo.(0) +. float_of_int hi.(0)) /. 2.0 in
+          let cy = (float_of_int lo.(1) +. float_of_int hi.(1)) /. 2.0 in
+          total := !total +. cells;
+          sx := !sx +. (cells *. cx);
+          sy := !sy +. (cells *. cy))
+        elements;
+      Some (!sx /. !total, !sy /. !total)
+
+let component_areas space elements =
+  let result = Ccl.label space elements in
+  let areas = Array.copy result.Ccl.areas in
+  Array.sort (fun a b -> compare b a) areas;
+  areas

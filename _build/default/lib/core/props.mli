@@ -1,0 +1,24 @@
+(** Global properties of regions represented as element sequences.
+
+    Section 6 motivates computing "global properties" (how many objects,
+    what area) directly on the compact representation.  These operators
+    work on a disjoint element list without expanding pixels: area and
+    centroid are sums over elements, perimeter is the total rectangle
+    perimeter minus twice the shared-edge length found by the same
+    adjacency sweep CCL uses.  All 2d. *)
+
+val area : Sqp_zorder.Space.t -> Sqp_zorder.Element.t list -> float
+(** Number of cells covered. *)
+
+val perimeter : Sqp_zorder.Space.t -> Sqp_zorder.Element.t list -> int
+(** Length of the boundary between the region and its complement
+    (grid-line segments; the grid border counts as boundary).
+    @raise Invalid_argument if elements overlap or the space is not 2d. *)
+
+val centroid : Sqp_zorder.Space.t -> Sqp_zorder.Element.t list -> (float * float) option
+(** Mean position of covered cell centres; [None] for the empty region. *)
+
+val component_areas :
+  Sqp_zorder.Space.t -> Sqp_zorder.Element.t list -> float array
+(** Area of each 4-connected component (delegates to {!Ccl}), sorted
+    descending — "what is the area of each object?". *)

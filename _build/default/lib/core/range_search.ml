@@ -1,0 +1,231 @@
+module Z = Sqp_zorder
+
+type space = Z.Space.t
+
+type 'a prepared = {
+  space : space;
+  zs : Z.Bitstring.t array;            (* sorted *)
+  pts : (Sqp_geom.Point.t * 'a) array; (* aligned with zs *)
+}
+
+let prepare space points =
+  let tagged =
+    Array.map (fun (p, v) -> (Z.Interleave.shuffle space p, (p, v))) points
+  in
+  Array.sort (fun (a, _) (b, _) -> Z.Bitstring.compare a b) tagged;
+  {
+    space;
+    zs = Array.map fst tagged;
+    pts = Array.map snd tagged;
+  }
+
+let prepared_length p = Array.length p.zs
+
+type counters = {
+  point_steps : int;
+  element_steps : int;
+  point_jumps : int;
+  element_jumps : int;
+  comparisons : int;
+}
+
+type range = { zlo : Z.Bitstring.t; zhi : Z.Bitstring.t }
+
+let box_ranges prep box =
+  let total = Z.Space.total_bits prep.space in
+  let lo = Sqp_geom.Box.lo box and hi = Sqp_geom.Box.hi box in
+  let els = Z.Decompose.decompose_box prep.space ~lo ~hi in
+  Array.of_list
+    (List.map
+       (fun e ->
+         {
+           zlo = Z.Bitstring.pad_to e total false;
+           zhi = Z.Bitstring.pad_to e total true;
+         })
+       els)
+
+let clip prep box =
+  Sqp_geom.Box.clip box ~side:(Z.Space.side prep.space)
+
+let search_plain prep box =
+  match clip prep box with
+  | None ->
+      ([], { point_steps = 0; element_steps = 0; point_jumps = 0; element_jumps = 0; comparisons = 0 })
+  | Some box ->
+      let ranges = box_ranges prep box in
+      let np = Array.length prep.zs and nb = Array.length ranges in
+      let point_steps = ref 0 and element_steps = ref 0 and comparisons = ref 0 in
+      let acc = ref [] in
+      let i = ref 0 and j = ref 0 in
+      while !i < np && !j < nb do
+        let z = prep.zs.(!i) and r = ranges.(!j) in
+        incr comparisons;
+        if Z.Bitstring.compare z r.zlo < 0 then begin
+          incr i;
+          incr point_steps
+        end
+        else begin
+          incr comparisons;
+          if Z.Bitstring.compare z r.zhi > 0 then begin
+            incr j;
+            incr element_steps
+          end
+          else begin
+            acc := prep.pts.(!i) :: !acc;
+            incr i;
+            incr point_steps
+          end
+        end
+      done;
+      ( List.rev !acc,
+        {
+          point_steps = !point_steps;
+          element_steps = !element_steps;
+          point_jumps = 0;
+          element_jumps = 0;
+          comparisons = !comparisons;
+        } )
+
+(* First index in [zs] with zs.(i) >= z (binary search = random access). *)
+let lower_bound_z zs z comparisons =
+  let lo = ref 0 and hi = ref (Array.length zs) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    incr comparisons;
+    if Z.Bitstring.compare zs.(mid) z < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* First index in [ranges] with zhi >= z. *)
+let first_live_range ranges z comparisons =
+  let lo = ref 0 and hi = ref (Array.length ranges) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    incr comparisons;
+    if Z.Bitstring.compare ranges.(mid).zhi z < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let search_skip prep box =
+  match clip prep box with
+  | None ->
+      ([], { point_steps = 0; element_steps = 0; point_jumps = 0; element_jumps = 0; comparisons = 0 })
+  | Some box ->
+      let ranges = box_ranges prep box in
+      let np = Array.length prep.zs and nb = Array.length ranges in
+      let point_steps = ref 0 and element_steps = ref 0 in
+      let point_jumps = ref 0 and element_jumps = ref 0 in
+      let comparisons = ref 0 in
+      let acc = ref [] in
+      let i = ref 0 and j = ref 0 in
+      (if np > 0 && nb > 0 then begin
+         (* Initial random access: position P at the box's first z value. *)
+         i := lower_bound_z prep.zs ranges.(0).zlo comparisons;
+         incr point_jumps
+       end);
+      while !i < np && !j < nb do
+        let z = prep.zs.(!i) and r = ranges.(!j) in
+        incr comparisons;
+        if Z.Bitstring.compare z r.zlo < 0 then begin
+          (* Point is before the current element: jump P forward. *)
+          i := lower_bound_z prep.zs r.zlo comparisons;
+          incr point_jumps
+        end
+        else begin
+          incr comparisons;
+          if Z.Bitstring.compare z r.zhi > 0 then begin
+            (* Point is past the current element: jump B forward. *)
+            j := first_live_range ranges z comparisons;
+            incr element_jumps
+          end
+          else begin
+            acc := prep.pts.(!i) :: !acc;
+            incr i;
+            incr point_steps
+          end
+        end
+      done;
+      ( List.rev !acc,
+        {
+          point_steps = !point_steps;
+          element_steps = !element_steps;
+          point_jumps = !point_jumps;
+          element_jumps = !element_jumps;
+          comparisons = !comparisons;
+        } )
+
+type trace_step = {
+  description : string;
+  point_z : string option;
+  element_z : string option;
+}
+
+let search_trace prep box =
+  match clip prep box with
+  | None -> ([], [ { description = "query box outside the grid"; point_z = None; element_z = None } ])
+  | Some box ->
+      let total = Z.Space.total_bits prep.space in
+      let lo = Sqp_geom.Box.lo box and hi = Sqp_geom.Box.hi box in
+      let els = Array.of_list (Z.Decompose.decompose_box prep.space ~lo ~hi) in
+      let ranges =
+        Array.map
+          (fun e ->
+            (e, Z.Bitstring.pad_to e total false, Z.Bitstring.pad_to e total true))
+          els
+      in
+      let np = Array.length prep.zs and nb = Array.length ranges in
+      let steps = ref [] and acc = ref [] in
+      let note description i j =
+        steps :=
+          {
+            description;
+            point_z = (if i < np then Some (Z.Bitstring.to_string prep.zs.(i)) else None);
+            element_z =
+              (if j < nb then
+                 let e, _, _ = ranges.(j) in
+                 Some (Z.Bitstring.to_string e)
+               else None);
+          }
+          :: !steps
+      in
+      let i = ref 0 and j = ref 0 in
+      let dummy = ref 0 in
+      while !i < np && !j < nb do
+        let z = prep.zs.(!i) in
+        let e, rlo, rhi = ranges.(!j) in
+        if Z.Bitstring.compare z rlo < 0 then begin
+          note
+            (Printf.sprintf "point z %s before element %s: random access into P"
+               (Z.Bitstring.to_string z) (Z.Bitstring.to_string e))
+            !i !j;
+          i := lower_bound_z prep.zs rlo dummy
+        end
+        else if Z.Bitstring.compare z rhi > 0 then begin
+          note
+            (Printf.sprintf "point z %s after element %s: advance B"
+               (Z.Bitstring.to_string z) (Z.Bitstring.to_string e))
+            !i !j;
+          let z' = z in
+          let rec bump () =
+            if !j < nb then
+              let _, _, rhi = ranges.(!j) in
+              if Z.Bitstring.compare rhi z' < 0 then begin
+                incr j;
+                bump ()
+              end
+          in
+          bump ()
+        end
+        else begin
+          let p, _ = prep.pts.(!i) in
+          note
+            (Printf.sprintf "point z %s inside element %s: report %s"
+               (Z.Bitstring.to_string z) (Z.Bitstring.to_string e)
+               (Format.asprintf "%a" Sqp_geom.Point.pp p))
+            !i !j;
+          acc := prep.pts.(!i) :: !acc;
+          incr i
+        end
+      done;
+      note "merge exhausted" !i !j;
+      (List.rev !acc, List.rev !steps)

@@ -1,0 +1,779 @@
+module Z = Sqp_zorder
+module W = Sqp_workload
+module T = Sqp_report.Table
+module F = Sqp_report.Figure
+module Zindex = Sqp_btree.Zindex
+
+let figure_space = Z.Space.make ~dims:2 ~depth:3
+
+let figure_box = Sqp_geom.Box.of_ranges [ (1, 3); (0, 4) ]
+
+let heading title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let print_figure1 () =
+  heading "Figure 1: the range query 1 <= X <= 3 & 0 <= Y <= 4";
+  print_string
+    (F.box_query figure_space figure_box
+       ~points:[ [| 2; 1 |]; [| 3; 4 |]; [| 5; 2 |]; [| 6; 6 |]; [| 1; 7 |] ]);
+  print_endline "(+ query region, * point, @ point inside the query)"
+
+let print_figure2 () =
+  heading "Figure 2: decomposition of the box into elements";
+  let els =
+    Z.Decompose.decompose_box figure_space ~lo:[| 1; 0 |] ~hi:[| 3; 4 |]
+  in
+  print_string (F.decomposition figure_space els);
+  print_newline ();
+  print_string (F.decomposition_labels figure_space els)
+
+let print_figure3 () =
+  heading "Figure 3: z values inside an element are consecutive";
+  let e = Z.Bitstring.of_string "001" in
+  let zlo, zhi = Z.Zrange.of_element figure_space e in
+  Printf.printf "element 001 covers z values %d .. %d:\n" zlo zhi;
+  for z = zlo to zhi do
+    let bits = Z.Bitstring.of_int z ~width:(Z.Space.total_bits figure_space) in
+    let p = Array.map fst (Z.Interleave.unshuffle figure_space bits) in
+    Printf.printf "  %s = %2d -> pixel (%d, %d)\n" (Z.Bitstring.to_string bits) z
+      p.(0) p.(1)
+  done;
+  print_endline "all share the prefix 001."
+
+let print_figure4 () =
+  heading "Figure 4: the z curve (ranks, then the path)";
+  print_string (F.zcurve_ranks figure_space);
+  Printf.printf "rank of (3, 5): %d\n\n" (Z.Curve.rank figure_space [| 3; 5 |]);
+  print_string (F.zcurve_path (Z.Space.make ~dims:2 ~depth:2))
+
+let print_figure5 () =
+  heading "Figure 5: the range-search merge, step by step";
+  let points =
+    [| [| 2; 1 |]; [| 3; 4 |]; [| 5; 2 |]; [| 6; 6 |]; [| 1; 7 |]; [| 2; 3 |] |]
+  in
+  let prep =
+    Range_search.prepare figure_space (Array.map (fun p -> (p, ())) points)
+  in
+  let results, trace = Range_search.search_trace prep figure_box in
+  List.iter (fun step -> Printf.printf "  %s\n" step.Range_search.description) trace;
+  Printf.printf "result: %s\n"
+    (String.concat ", "
+       (List.map (fun (p, ()) -> Format.asprintf "%a" Sqp_geom.Point.pp p) results))
+
+let print_figure6 ?(datasets = W.Datagen.[ Uniform; Clustered; Diagonal ]) () =
+  List.iter
+    (fun ds ->
+      heading
+        (Printf.sprintf "Figure 6 (%s): zkd B+-tree page partitioning"
+           (W.Datagen.dataset_name ds));
+      print_string (Experiment.figure6 ds);
+      print_endline "(each letter = one data page; . = empty cell)")
+    datasets
+
+let shape_label aspect =
+  if aspect < 1.0 then Printf.sprintf "1:%d tall" (int_of_float (1.0 /. aspect))
+  else if aspect > 1.0 then Printf.sprintf "%d:1 wide" (int_of_float aspect)
+  else "square"
+
+let print_range_experiment ?config dataset =
+  let config =
+    match config with Some c -> { c with Experiment.dataset } | None -> Experiment.default dataset
+  in
+  let rows = Experiment.range_rows config in
+  heading
+    (Printf.sprintf
+       "Range queries, experiment %s (%d points, page capacity %d, %d locations/shape)"
+       (W.Datagen.dataset_name dataset)
+       config.Experiment.n_points config.Experiment.page_capacity
+       config.Experiment.locations);
+  T.print
+    ~columns:
+      [
+        T.column "volume";
+        T.column ~align:T.Left "shape";
+        T.column "w x h";
+        T.column "pages (mean)";
+        T.column "pages (max)";
+        T.column "predicted";
+        T.column "efficiency";
+        T.column "results";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           Experiment.
+             [
+               T.fmt_float ~decimals:4 r.volume;
+               shape_label r.aspect;
+               Printf.sprintf "%dx%d" r.width r.height;
+               T.fmt_float ~decimals:1 r.mean_pages;
+               T.fmt_int r.max_pages;
+               T.fmt_float ~decimals:1 r.predicted;
+               T.fmt_float r.mean_efficiency;
+               T.fmt_float ~decimals:1 r.mean_results;
+             ])
+         rows)
+    ()
+
+let print_shape_sweep ?config () =
+  let config =
+    match config with
+    | Some c -> c
+    | None ->
+        { (Experiment.default W.Datagen.Uniform) with Experiment.volumes = [ 0.0625 ] }
+  in
+  heading "Shape sweep at fixed volume 1/16 (dataset U)";
+  print_range_experiment ~config config.Experiment.dataset
+
+let print_structure_comparison ?config dataset =
+  let config =
+    match config with Some c -> { c with Experiment.dataset } | None -> Experiment.default dataset
+  in
+  let rows = Experiment.structure_comparison config in
+  heading
+    (Printf.sprintf "zkd B+-tree vs kd tree vs grid file vs R-tree vs scan (dataset %s, data pages)"
+       (W.Datagen.dataset_name dataset));
+  T.print
+    ~columns:
+      [
+        T.column "volume";
+        T.column ~align:T.Left "shape";
+        T.column "zkd pages";
+        T.column "kd pages";
+        T.column "grid-file pages";
+        T.column "r-tree(STR) pages";
+        T.column "scan pages";
+        T.column "zkd eff";
+        T.column "kd eff";
+      ]
+    ~rows:
+      (List.map
+         (fun c ->
+           Experiment.
+             [
+               T.fmt_float ~decimals:4 c.c_volume;
+               shape_label c.c_aspect;
+               T.fmt_float ~decimals:1 c.zkd_pages;
+               T.fmt_float ~decimals:1 c.kd_pages;
+               T.fmt_float ~decimals:1 c.gf_pages;
+               T.fmt_float ~decimals:1 c.rt_pages;
+               T.fmt_float ~decimals:1 c.scan_pages;
+               T.fmt_float c.zkd_efficiency;
+               T.fmt_float c.kd_efficiency;
+             ])
+         rows)
+    ()
+
+let print_partial_match ?config () =
+  let config =
+    match config with Some c -> c | None -> Experiment.default W.Datagen.Uniform
+  in
+  let samples, alpha = Experiment.partial_match_scaling config in
+  heading "Partial-match scaling (x pinned, y free; dataset U)";
+  T.print
+    ~columns:
+      [ T.column "N points"; T.column "pages (mean)"; T.column "predicted N^(1/2)" ]
+    ~rows:
+      (List.map
+         (fun s ->
+           Experiment.
+             [
+               T.fmt_int s.pm_n;
+               T.fmt_float ~decimals:1 s.pm_pages;
+               T.fmt_float ~decimals:1 s.pm_predicted;
+             ])
+         samples)
+    ();
+  Printf.printf "fitted exponent: pages ~ N^%.2f (paper predicts 0.5)\n" alpha
+
+let print_strategy_comparison ?config dataset =
+  let config =
+    match config with Some c -> { c with Experiment.dataset } | None -> Experiment.default dataset
+  in
+  let index = Experiment.build_index config in
+  let side = 1 lsl config.Experiment.depth in
+  let rng = W.Rng.create ~seed:(config.Experiment.seed + 31) in
+  let boxes =
+    List.concat_map
+      (fun volume ->
+        W.Querygen.random_boxes rng ~side
+          { W.Querygen.volume_fraction = volume; aspect = 1.0 }
+          ~count:config.Experiment.locations)
+      config.Experiment.volumes
+  in
+  heading
+    (Printf.sprintf "Search-strategy ablation (dataset %s, squares, all volumes)"
+       (W.Datagen.dataset_name dataset));
+  T.print
+    ~columns:
+      [
+        T.column ~align:T.Left "strategy";
+        T.column "data pages";
+        T.column "internal";
+        T.column "elements";
+        T.column "scanned";
+      ]
+    ~rows:
+      (List.map
+         (fun (name, strategy) ->
+           let totals = ref (0, 0, 0, 0) in
+           List.iter
+             (fun box ->
+               let _, s = Zindex.range_search ~strategy index box in
+               let a, b, c, d = !totals in
+               totals :=
+                 ( a + s.Zindex.data_pages,
+                   b + s.Zindex.internal_accesses,
+                   c + s.Zindex.elements,
+                   d + s.Zindex.entries_scanned ))
+             boxes;
+           let a, b, c, d = !totals in
+           let n = float_of_int (List.length boxes) in
+           [
+             name;
+             T.fmt_float ~decimals:1 (float_of_int a /. n);
+             T.fmt_float ~decimals:1 (float_of_int b /. n);
+             T.fmt_float ~decimals:1 (float_of_int c /. n);
+             T.fmt_float ~decimals:1 (float_of_int d /. n);
+           ])
+         [
+           ("merge (decomposed)", Zindex.Merge);
+           ("merge (lazy elements)", Zindex.Lazy_merge);
+           ("bigmin skip", Zindex.Bigmin);
+           ("full scan", Zindex.Scan);
+         ])
+    ()
+
+let print_euv_table () =
+  let space = Z.Space.make ~dims:2 ~depth:10 in
+  heading "E(U,V): elements in the decomposition of a U x V box at the origin";
+  let cases =
+    [
+      (3, 5); (6, 10); (12, 20); (100, 100); (127, 127); (128, 128);
+      (255, 255); (256, 256); (255, 256); (85, 170); (1, 1000);
+    ]
+  in
+  T.print
+    ~columns:
+      [
+        T.column "U"; T.column "V"; T.column "E(U,V)"; T.column "bit spread(U|V)";
+        T.column "E(2U,2V)";
+      ]
+    ~rows:
+      (List.map
+         (fun (u, v) ->
+           [
+             T.fmt_int u;
+             T.fmt_int v;
+             T.fmt_int (Z.Zmath.element_count space ~extents:[| u; v |]);
+             T.fmt_int (Z.Zmath.bit_spread [| u; v |]);
+             (if 2 * u <= Z.Space.side space && 2 * v <= Z.Space.side space then
+                T.fmt_int (Z.Zmath.element_count space ~extents:[| 2 * u; 2 * v |])
+              else "-");
+           ])
+         cases)
+    ();
+  print_endline
+    "note 255 vs 256: a one-cell change in the border moves E by an order of magnitude."
+
+let print_coarsening () =
+  let space = Z.Space.make ~dims:2 ~depth:9 in
+  let extents = [| 173; 107 |] in
+  heading "Coarsening (Section 5.1): round U,V up to multiples of 2^m";
+  T.print
+    ~columns:
+      [
+        T.column "m"; T.column "U'"; T.column "V'"; T.column "elements";
+        T.column "area ratio";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           Z.Zmath.
+             [
+               T.fmt_int r.m;
+               T.fmt_int r.extents.(0);
+               T.fmt_int r.extents.(1);
+               T.fmt_int r.elements;
+               T.fmt_float r.area_ratio;
+             ])
+         (Z.Zmath.coarsening_sweep space ~extents))
+    ()
+
+let print_proximity () =
+  let space = Z.Space.make ~dims:2 ~depth:8 in
+  let rng = W.Rng.create ~seed:2024 in
+  heading "Proximity preservation (Section 5.2): rank distance vs spatial distance";
+  let rows =
+    Z.Zmath.proximity_table
+      ~rng:(fun n -> W.Rng.int rng n)
+      space
+      ~distances:[ 1; 2; 4; 8; 16; 32 ]
+      ~samples:2000 ~pages:250
+  in
+  T.print
+    ~columns:
+      [
+        T.column "spatial distance";
+        T.column "median rank distance";
+        T.column "p90 rank distance";
+        T.column "within one page";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           Z.Zmath.
+             [
+               T.fmt_int r.spatial_distance;
+               T.fmt_int r.median_rank_distance;
+               T.fmt_int r.p90_rank_distance;
+               T.fmt_pct r.within_page;
+             ])
+         rows)
+    ()
+
+let random_boxes_objects rng space n =
+  let side = Z.Space.side space in
+  List.init n (fun i ->
+      let w = 1 + W.Rng.int rng (side / 4) and h = 1 + W.Rng.int rng (side / 4) in
+      let x = W.Rng.int rng (side - w) and y = W.Rng.int rng (side - h) in
+      ( i,
+        Sqp_geom.Shape.Box
+          (Sqp_geom.Box.make ~lo:[| x; y |] ~hi:[| x + w - 1; y + h - 1 |]) ))
+
+let print_spatial_join () =
+  let space = Z.Space.make ~dims:2 ~depth:6 in
+  let rng = W.Rng.create ~seed:99 in
+  heading "Spatial join R[zr <> zs]S: merge vs nested loop (element comparisons)";
+  T.print
+    ~columns:
+      [
+        T.column "|R| objects";
+        T.column "|S| objects";
+        T.column "R+S elements";
+        T.column "pairs";
+        T.column "merge cmp";
+        T.column "nested-loop cmp";
+      ]
+    ~rows:
+      (List.map
+         (fun n ->
+           let robj = random_boxes_objects rng space n in
+           let sobj = random_boxes_objects rng space n in
+           let r = Sqp_relalg.Query.decompose_relation ~name:"R" space robj in
+           let s =
+             Sqp_relalg.Ops.rename
+               [ ("id", "sid"); ("z", "zs") ]
+               (Sqp_relalg.Query.decompose_relation ~name:"S" space sobj)
+           in
+           let r = Sqp_relalg.Ops.rename [ ("id", "rid"); ("z", "zr") ] r in
+           let _, ms = Sqp_relalg.Spatial_join.merge r ~zr:"zr" s ~zs:"zs" in
+           let _, ns = Sqp_relalg.Spatial_join.nested_loop r ~zr:"zr" s ~zs:"zs" in
+           [
+             T.fmt_int n;
+             T.fmt_int n;
+             T.fmt_int ms.Sqp_relalg.Spatial_join.sorted_items;
+             T.fmt_int ms.Sqp_relalg.Spatial_join.pairs;
+             T.fmt_int ms.Sqp_relalg.Spatial_join.comparisons;
+             T.fmt_int ns.Sqp_relalg.Spatial_join.comparisons;
+           ])
+         [ 8; 16; 32; 64 ])
+    ()
+
+let overlay_shapes side =
+  ( Sqp_geom.Shape.Circle
+      (Sqp_geom.Circle.make ~cx:(side / 3) ~cy:(side / 2) ~radius:(side / 4)),
+    Sqp_geom.Shape.Polygon
+      (Sqp_geom.Polygon.make
+         [
+           (side / 8, side / 8);
+           (side - (side / 8), side / 4);
+           (side - (side / 4), side - (side / 8));
+           (side / 4, side - (side / 4));
+         ]) )
+
+let print_overlay_scaling () =
+  heading "Overlay: AG element merge (surface) vs grid pixel pass (volume)";
+  T.print
+    ~columns:
+      [
+        T.column "side";
+        T.column "AG input elements";
+        T.column "AG segments";
+        T.column "grid cells";
+        T.column "cells / elements";
+      ]
+    ~rows:
+      (List.map
+         (fun depth ->
+           let space = Z.Space.make ~dims:2 ~depth in
+           let side = Z.Space.side space in
+           let sa, sb = overlay_shapes side in
+           let la = Overlay.of_shape space sa `A and lb = Overlay.of_shape space sb `B in
+           let _, stats = Overlay.overlay space la lb in
+           let n_cells = side * side in
+           [
+             T.fmt_int side;
+             T.fmt_int stats.Overlay.input_elements;
+             T.fmt_int stats.Overlay.segments;
+             T.fmt_int n_cells;
+             T.fmt_float
+               (float_of_int n_cells /. float_of_int (max 1 stats.Overlay.input_elements));
+           ])
+         [ 4; 5; 6; 7; 8 ])
+    ();
+  print_endline
+    "element counts grow like the perimeter (x2 per doubling); cells grow x4."
+
+let print_ccl () =
+  heading "Connected component labelling: elements vs pixels";
+  let space = Z.Space.make ~dims:2 ~depth:6 in
+  let side = Z.Space.side space in
+  let rng = W.Rng.create ~seed:5 in
+  let g = Sqp_grid.Bitgrid.create ~side in
+  for _ = 1 to 15 do
+    let cx = W.Rng.int rng side and cy = W.Rng.int rng side in
+    let r = 1 + W.Rng.int rng (side / 10) in
+    for x = max 0 (cx - r) to min (side - 1) (cx + r) do
+      for y = max 0 (cy - r) to min (side - 1) (cy + r) do
+        if ((x - cx) * (x - cx)) + ((y - cy) * (y - cy)) <= r * r then
+          Sqp_grid.Bitgrid.set g x y true
+      done
+    done
+  done;
+  let els = Sqp_grid.Bitgrid.to_elements space g in
+  let ag = Ccl.label space els in
+  let pix = Sqp_grid.Bitgrid.connected_components g in
+  T.print
+    ~columns:
+      [ T.column ~align:T.Left "method"; T.column "units processed"; T.column "components" ]
+    ~rows:
+      [
+        [ "AG (elements)"; T.fmt_int (List.length els); T.fmt_int ag.Ccl.component_count ];
+        [
+          "grid (pixels)";
+          T.fmt_int (side * side);
+          T.fmt_int pix.Sqp_grid.Bitgrid.count;
+        ];
+      ]
+    ();
+  Printf.printf "areas agree: %b\n"
+    (List.sort compare (Array.to_list (Array.map int_of_float ag.Ccl.areas))
+    = List.sort compare (Array.to_list pix.Sqp_grid.Bitgrid.areas))
+
+let print_interference () =
+  heading "CAD interference detection: AG filter + refine vs brute force";
+  let space = Z.Space.make ~dims:2 ~depth:7 in
+  let rng = W.Rng.create ~seed:11 in
+  T.print
+    ~columns:
+      [
+        T.column "parts/side";
+        T.column "true pairs";
+        T.column "AG candidates";
+        T.column "AG exact tests";
+        T.column "brute exact tests";
+      ]
+    ~rows:
+      (List.map
+         (fun n ->
+           let left = random_boxes_objects rng space n in
+           let right = random_boxes_objects rng space n in
+           let opts = { Z.Decompose.max_level = Some 8; max_elements = None } in
+           let ag, ags = Interference.detect ~options:opts space left right in
+           let bf, bfs = Interference.detect_brute_force space left right in
+           assert (ag = bf);
+           Interference.
+             [
+               T.fmt_int n;
+               T.fmt_int (List.length ag);
+               T.fmt_int ags.candidate_pairs;
+               T.fmt_int ags.exact_tests;
+               T.fmt_int bfs.exact_tests;
+             ])
+         [ 10; 20; 40; 80 ])
+    ()
+
+let print_fill_factor ?config dataset =
+  let config =
+    match config with Some c -> { c with Experiment.dataset } | None -> Experiment.default dataset
+  in
+  let points = Experiment.build_points config in
+  let tagged = Array.mapi (fun i p -> (p, i)) points in
+  let space = Z.Space.make ~dims:2 ~depth:config.Experiment.depth in
+  let side = 1 lsl config.Experiment.depth in
+  heading
+    (Printf.sprintf
+       "Leaf fill factor (dataset %s): page count vs per-query page accesses"
+       (W.Datagen.dataset_name dataset));
+  T.print
+    ~columns:
+      [
+        T.column "fill";
+        T.column "data pages";
+        T.column "pages/query (mean)";
+        T.column "efficiency";
+      ]
+    ~rows:
+      (List.map
+         (fun fill ->
+           let index =
+             Zindex.of_points ~fill ~leaf_capacity:config.Experiment.page_capacity
+               space tagged
+           in
+           let rng = W.Rng.create ~seed:(config.Experiment.seed + 17) in
+           let boxes =
+             W.Querygen.random_boxes rng ~side
+               { W.Querygen.volume_fraction = 1.0 /. 16.0; aspect = 1.0 }
+               ~count:10
+           in
+           let stats =
+             List.map (fun b -> snd (Zindex.range_search index b)) boxes
+           in
+           [
+             T.fmt_float fill;
+             T.fmt_int (Zindex.data_page_count index);
+             T.fmt_float ~decimals:1
+               (Analysis.mean
+                  (List.map (fun s -> float_of_int s.Zindex.data_pages) stats));
+             T.fmt_float (Analysis.mean (List.map (Zindex.efficiency index) stats));
+           ])
+         [ 0.5; 0.7; 0.9; 1.0 ])
+    ();
+  print_endline
+    "(the paper's 250-page tree corresponds to fill 1.0: 5000 points / 20 per page)"
+
+let print_3d_experiment () =
+  let space = Z.Space.make ~dims:3 ~depth:7 in
+  let side = Z.Space.side space in
+  let rng = W.Rng.create ~seed:1986 in
+  let points = W.Datagen.uniform rng ~side ~n:4000 ~dims:3 in
+  let index =
+    Zindex.of_points ~leaf_capacity:20 space (Array.mapi (fun i p -> (p, i)) points)
+  in
+  let n_pages = Zindex.data_page_count index in
+  heading
+    (Printf.sprintf "3d range queries (4000 uniform points, %d^3 grid, %d pages)"
+       side n_pages);
+  let qrng = W.Rng.create ~seed:7 in
+  let cube_rows =
+    List.map
+      (fun volume ->
+        let extent =
+          max 1 (int_of_float (Float.round (float_of_int side *. Float.cbrt volume)))
+        in
+        let extent = min extent side in
+        let boxes =
+          List.init 5 (fun _ ->
+              let corner () = W.Rng.int qrng (side - extent + 1) in
+              let x = corner () and y = corner () and z = corner () in
+              Sqp_geom.Box.make ~lo:[| x; y; z |]
+                ~hi:[| x + extent - 1; y + extent - 1; z + extent - 1 |])
+        in
+        let pages =
+          Analysis.mean
+            (List.map
+               (fun b ->
+                 let _, s = Zindex.range_search index b in
+                 float_of_int s.Zindex.data_pages)
+               boxes)
+        in
+        ( volume,
+          extent,
+          pages,
+          Analysis.predicted_range_pages ~n_pages ~side
+            ~query_extents:[| extent; extent; extent |] ))
+      [ 1.0 /. 64.0; 1.0 /. 16.0; 1.0 /. 4.0; 1.0 /. 2.0 ]
+  in
+  T.print
+    ~columns:
+      [
+        T.column "volume"; T.column "cube side"; T.column "pages (mean)";
+        T.column "predicted";
+      ]
+    ~rows:
+      (List.map
+         (fun (v, e, p, pred) ->
+           [
+             T.fmt_float ~decimals:4 v; T.fmt_int e; T.fmt_float ~decimals:1 p;
+             T.fmt_float ~decimals:1 pred;
+           ])
+         cube_rows)
+    ();
+  (* Partial match with t = 1 and t = 2 pinned axes. *)
+  let pm restricted =
+    let runs =
+      List.init 8 (fun _ ->
+          let specs =
+            W.Querygen.partial_match_spec qrng ~side ~dims:3 ~restricted
+          in
+          let _, s = Zindex.partial_match index specs in
+          float_of_int s.Zindex.data_pages)
+    in
+    ( Analysis.mean runs,
+      Analysis.predicted_partial_match_pages ~n_pages ~dims:3 ~restricted )
+  in
+  let m1, p1 = pm 1 and m2, p2 = pm 2 in
+  T.print
+    ~columns:
+      [ T.column "restricted axes t"; T.column "pages (mean)"; T.column "predicted N^(1-t/3)" ]
+    ~rows:
+      [
+        [ "1"; T.fmt_float ~decimals:1 m1; T.fmt_float ~decimals:1 p1 ];
+        [ "2"; T.fmt_float ~decimals:1 m2; T.fmt_float ~decimals:1 p2 ];
+      ]
+    ()
+
+let print_curve_comparison () =
+  let space = Z.Space.make ~dims:2 ~depth:9 in
+  let side = Z.Space.side space in
+  let rng = W.Rng.create ~seed:77 in
+  let points = W.Datagen.uniform rng ~side ~n:5000 ~dims:2 in
+  let qrng = W.Rng.create ~seed:78 in
+  let boxes =
+    List.concat_map
+      (fun volume ->
+        W.Querygen.random_boxes qrng ~side
+          { W.Querygen.volume_fraction = volume; aspect = 1.0 }
+          ~count:10)
+      [ 1.0 /. 64.0; 1.0 /. 16.0 ]
+  in
+  heading "Curve clustering: pages holding the answers (square queries, 5000 points)";
+  T.print
+    ~columns:[ T.column ~align:T.Left "ordering"; T.column "pages (mean)" ]
+    ~rows:
+      (List.map
+         (fun order ->
+           let t = Clustering.build order space ~page_capacity:20 points in
+           [
+             Clustering.order_name order;
+             T.fmt_float ~decimals:1 (Clustering.mean_pages t boxes);
+           ])
+         Clustering.[ Z_order; Hilbert_order; Row_major ])
+    ();
+  print_endline
+    "z order sits within a few percent of Hilbert; both crush row-major —";
+  print_endline
+    "the curve's proximity preservation, isolated from the rest of the system."
+
+let print_object_join () =
+  let space = Z.Space.make ~dims:2 ~depth:8 in
+  let side = Z.Space.side space in
+  heading "Disk-resident spatial join (Zobjects): synchronized leaf sweep";
+  T.print
+    ~columns:
+      [
+        T.column "objects/side";
+        T.column "entries";
+        T.column "pages read (L+R)";
+        T.column "pairs";
+      ]
+    ~rows:
+      (List.map
+         (fun n ->
+           let rng = W.Rng.create ~seed:(n + 5) in
+           let mk tag =
+             let t = Sqp_btree.Zobjects.create space in
+             for i = 0 to n - 1 do
+               let w = 1 + W.Rng.int rng (side / 8)
+               and h = 1 + W.Rng.int rng (side / 8) in
+               let x = W.Rng.int rng (side - w) and y = W.Rng.int rng (side - h) in
+               ignore
+                 (Sqp_btree.Zobjects.add t (tag + i)
+                    (Sqp_geom.Shape.Box
+                       (Sqp_geom.Box.make ~lo:[| x; y |] ~hi:[| x + w - 1; y + h - 1 |])))
+             done;
+             t
+           in
+           let a = mk 0 and b = mk 1000 in
+           let _, stats = Sqp_btree.Zobjects.join a b in
+           Sqp_btree.Zobjects.
+             [
+               T.fmt_int n;
+               T.fmt_int stats.entries;
+               T.fmt_int (stats.left_pages + stats.right_pages);
+               T.fmt_int stats.pairs;
+             ])
+         [ 16; 32; 64 ])
+    ()
+
+let print_buffer_policies ?config dataset =
+  let config =
+    match config with Some c -> { c with Experiment.dataset } | None -> Experiment.default dataset
+  in
+  let points = Experiment.build_points config in
+  let tagged = Array.mapi (fun i p -> (p, i)) points in
+  let space = Z.Space.make ~dims:2 ~depth:config.Experiment.depth in
+  let side = 1 lsl config.Experiment.depth in
+  heading
+    (Printf.sprintf
+       "Buffer policies under the merge workload (dataset %s, 4-frame pool)"
+       (W.Datagen.dataset_name dataset));
+  T.print
+    ~columns:
+      [
+        T.column ~align:T.Left "policy";
+        T.column "physical reads";
+        T.column "pool hit ratio";
+      ]
+    ~rows:
+      (List.map
+         (fun (name, policy) ->
+           let index =
+             Zindex.of_points ~policy ~pool_capacity:4
+               ~leaf_capacity:config.Experiment.page_capacity space tagged
+           in
+           let before =
+             Sqp_storage.Stats.snapshot (Zindex.io_stats index)
+           in
+           let rng = W.Rng.create ~seed:(config.Experiment.seed + 63) in
+           List.iter
+             (fun volume ->
+               List.iter
+                 (fun box -> ignore (Zindex.range_search index box))
+                 (W.Querygen.random_boxes rng ~side
+                    { W.Querygen.volume_fraction = volume; aspect = 1.0 }
+                    ~count:config.Experiment.locations))
+             config.Experiment.volumes;
+           let after = Sqp_storage.Stats.snapshot (Zindex.io_stats index) in
+           let d = Sqp_storage.Stats.diff ~after ~before in
+           [
+             name;
+             T.fmt_int d.Sqp_storage.Stats.physical_reads;
+             T.fmt_float (Sqp_storage.Stats.hit_ratio d);
+           ])
+         [
+           ("LRU", Sqp_storage.Buffer_pool.Lru);
+           ("FIFO", Sqp_storage.Buffer_pool.Fifo);
+           ("CLOCK", Sqp_storage.Buffer_pool.Clock);
+         ])
+    ()
+
+let run_all () =
+  print_figure1 ();
+  print_figure2 ();
+  print_figure3 ();
+  print_figure4 ();
+  print_figure5 ();
+  List.iter
+    (fun ds -> print_range_experiment ds)
+    W.Datagen.[ Uniform; Clustered; Diagonal ];
+  print_shape_sweep ();
+  List.iter
+    (fun ds -> print_structure_comparison ds)
+    W.Datagen.[ Uniform; Clustered; Diagonal ];
+  print_partial_match ();
+  print_strategy_comparison W.Datagen.Uniform;
+  print_euv_table ();
+  print_coarsening ();
+  print_proximity ();
+  print_spatial_join ();
+  print_object_join ();
+  print_overlay_scaling ();
+  print_ccl ();
+  print_interference ();
+  print_buffer_policies W.Datagen.Uniform;
+  print_fill_factor W.Datagen.Uniform;
+  print_3d_experiment ();
+  print_curve_comparison ();
+  print_figure6 ()

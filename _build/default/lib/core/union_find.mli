@@ -1,0 +1,19 @@
+(** Disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+val create : int -> t
+(** [create n]: elements [0 .. n-1], each its own set. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> unit
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of distinct sets. *)
+
+val compress_labels : t -> int array
+(** [labels.(i)]: a dense label in [0 .. count-1] for element [i]'s set. *)

@@ -1,0 +1,73 @@
+module B = Sqp_zorder.Bitstring
+
+type stats = { pairs : int; items : int; comparisons : int }
+
+type ('a, 'b) item = Left of 'a | Right of 'b
+
+let pairs left right =
+  let comparisons = ref 0 in
+  let items =
+    List.map (fun (z, v) -> (z, Left v)) left
+    @ List.map (fun (z, v) -> (z, Right v)) right
+  in
+  let items =
+    List.sort
+      (fun (za, _) (zb, _) ->
+        incr comparisons;
+        B.compare za zb)
+      items
+  in
+  let stack_l = ref [] and stack_r = ref [] in
+  let pop_closed z stack =
+    let rec go = function
+      | (ze, _) :: rest
+        when (incr comparisons;
+              not (B.is_prefix ze z)) ->
+          go rest
+      | kept -> kept
+    in
+    stack := go !stack
+  in
+  let out = ref [] and count = ref 0 in
+  List.iter
+    (fun (z, item) ->
+      pop_closed z stack_l;
+      pop_closed z stack_r;
+      match item with
+      | Left a ->
+          List.iter
+            (fun (_, b) ->
+              incr count;
+              out := (a, b) :: !out)
+            !stack_r;
+          stack_l := (z, a) :: !stack_l
+      | Right b ->
+          List.iter
+            (fun (_, a) ->
+              incr count;
+              out := (a, b) :: !out)
+            !stack_l;
+          stack_r := (z, b) :: !stack_r)
+    items;
+  (List.rev !out, { pairs = !count; items = List.length items; comparisons = !comparisons })
+
+let pairs_naive left right =
+  let comparisons = ref 0 in
+  let out = ref [] and count = ref 0 in
+  List.iter
+    (fun (za, a) ->
+      List.iter
+        (fun (zb, b) ->
+          incr comparisons;
+          if B.is_prefix za zb || B.is_prefix zb za then begin
+            incr count;
+            out := (a, b) :: !out
+          end)
+        right)
+    left;
+  ( List.rev !out,
+    {
+      pairs = !count;
+      items = List.length left + List.length right;
+      comparisons = !comparisons;
+    } )

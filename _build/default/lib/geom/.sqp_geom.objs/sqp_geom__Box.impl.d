@@ -1,0 +1,1 @@
+lib/geom/box.ml: Array Format List Printf Sqp_zorder String

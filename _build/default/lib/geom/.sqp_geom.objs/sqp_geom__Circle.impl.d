@@ -1,0 +1,1 @@
+lib/geom/circle.ml: Array Box Format Sqp_zorder

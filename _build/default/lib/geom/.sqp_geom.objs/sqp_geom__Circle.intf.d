@@ -1,0 +1,1 @@
+lib/geom/circle.mli: Box Format Sqp_zorder

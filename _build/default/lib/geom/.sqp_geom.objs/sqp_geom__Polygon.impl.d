@@ -1,0 +1,1 @@
+lib/geom/polygon.ml: Array Box Format List Printf Sqp_zorder String

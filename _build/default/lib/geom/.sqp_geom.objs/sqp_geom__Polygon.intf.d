@@ -1,0 +1,1 @@
+lib/geom/polygon.mli: Box Format Sqp_zorder

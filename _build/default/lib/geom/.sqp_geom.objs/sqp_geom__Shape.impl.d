@@ -1,0 +1,1 @@
+lib/geom/shape.ml: Box Circle Polygon Sqp_zorder

@@ -1,0 +1,1 @@
+lib/geom/shape.mli: Box Circle Format Polygon Sqp_zorder

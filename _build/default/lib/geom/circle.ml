@@ -1,0 +1,34 @@
+type t = { cx : int; cy : int; radius : int }
+
+let make ~cx ~cy ~radius =
+  if radius < 0 then invalid_arg "Circle.make: negative radius";
+  { cx; cy; radius }
+
+let contains_cell c x y =
+  let dx = x - c.cx and dy = y - c.cy in
+  (dx * dx) + (dy * dy) <= c.radius * c.radius
+
+let bounding_box c =
+  Box.make
+    ~lo:[| c.cx - c.radius; c.cy - c.radius |]
+    ~hi:[| c.cx + c.radius; c.cy + c.radius |]
+
+(* Distance bounds from the circle center to the box of cell centers. *)
+let classify_box c ~xlo ~xhi ~ylo ~yhi : Sqp_zorder.Decompose.classification =
+  let clamp v lo hi = max lo (min hi v) in
+  let nx = clamp c.cx xlo xhi and ny = clamp c.cy ylo yhi in
+  let min_dx = nx - c.cx and min_dy = ny - c.cy in
+  let min_d2 = (min_dx * min_dx) + (min_dy * min_dy) in
+  let far v lo hi = max (abs (v - lo)) (abs (v - hi)) in
+  let max_dx = far c.cx xlo xhi and max_dy = far c.cy ylo yhi in
+  let max_d2 = (max_dx * max_dx) + (max_dy * max_dy) in
+  let r2 = c.radius * c.radius in
+  if max_d2 <= r2 then Inside else if min_d2 > r2 then Outside else Crosses
+
+let classifier space c =
+  if Sqp_zorder.Space.dims space <> 2 then invalid_arg "Circle.classifier: 2d only";
+  fun e ->
+    let lo, hi = Sqp_zorder.Element.box space e in
+    classify_box c ~xlo:lo.(0) ~xhi:hi.(0) ~ylo:lo.(1) ~yhi:hi.(1)
+
+let pp fmt c = Format.fprintf fmt "circle[(%d,%d) r=%d]" c.cx c.cy c.radius

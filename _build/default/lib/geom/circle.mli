@@ -1,0 +1,17 @@
+(** Discs on the integer grid: a cell belongs to the disc iff its center
+    lies within [radius] of the disc center (measured center-to-center). *)
+
+type t = private { cx : int; cy : int; radius : int }
+
+val make : cx:int -> cy:int -> radius:int -> t
+(** Center cell [(cx, cy)]; radius in cells, [>= 0]. *)
+
+val contains_cell : t -> int -> int -> bool
+
+val bounding_box : t -> Box.t
+
+val classify_box : t -> xlo:int -> xhi:int -> ylo:int -> yhi:int -> Sqp_zorder.Decompose.classification
+
+val classifier : Sqp_zorder.Space.t -> t -> Sqp_zorder.Decompose.classifier
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type t = int array
+
+let make = Array.of_list
+
+let dims = Array.length
+
+let coord p i = p.(i)
+
+let equal a b = a = b
+
+let compare = Stdlib.compare
+
+let fold2 f init a b =
+  if Array.length a <> Array.length b then invalid_arg "Point: dimension mismatch";
+  let acc = ref init in
+  Array.iteri (fun i ai -> acc := f !acc ai b.(i)) a;
+  !acc
+
+let chebyshev a b = fold2 (fun acc x y -> max acc (abs (x - y))) 0 a b
+
+let manhattan a b = fold2 (fun acc x y -> acc + abs (x - y)) 0 a b
+
+let euclidean_sq a b = fold2 (fun acc x y -> acc + ((x - y) * (x - y))) 0 a b
+
+let in_grid ~side p = Array.for_all (fun c -> c >= 0 && c < side) p
+
+let pp fmt p =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", " (Array.to_list (Array.map string_of_int p)))

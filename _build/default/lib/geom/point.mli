@@ -1,0 +1,25 @@
+(** Integer grid points in k dimensions. *)
+
+type t = int array
+
+val make : int list -> t
+
+val dims : t -> int
+
+val coord : t -> int -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Lexicographic on coordinates. *)
+
+val chebyshev : t -> t -> int
+
+val manhattan : t -> t -> int
+
+val euclidean_sq : t -> t -> int
+
+val in_grid : side:int -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(x, y, ...)]. *)

@@ -1,0 +1,99 @@
+type t = { verts : (int * int) array }
+
+let make verts =
+  if List.length verts < 3 then invalid_arg "Polygon.make: need >= 3 vertices";
+  { verts = Array.of_list verts }
+
+let vertices p = Array.to_list p.verts
+
+let bounding_box p =
+  let xs = Array.map fst p.verts and ys = Array.map snd p.verts in
+  let amin = Array.fold_left min max_int and amax = Array.fold_left max min_int in
+  (* Vertices live on grid lines; the cells possibly covered extend from
+     min vertex to max vertex - 1 (cells are [x, x+1) spans). *)
+  Box.make
+    ~lo:[| amin xs; amin ys |]
+    ~hi:[| max (amin xs) (amax xs - 1); max (amin ys) (amax ys - 1) |]
+
+let area2 p =
+  let n = Array.length p.verts in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    let x1, y1 = p.verts.(i) and x2, y2 = p.verts.((i + 1) mod n) in
+    acc := !acc + ((x1 * y2) - (x2 * y1))
+  done;
+  !acc
+
+let edges p =
+  let n = Array.length p.verts in
+  List.init n (fun i -> (p.verts.(i), p.verts.((i + 1) mod n)))
+
+(* Even-odd ray cast from the cell center towards +x. *)
+let contains_cell p x y =
+  let px = float_of_int x +. 0.5 and py = float_of_int y +. 0.5 in
+  let crossings = ref 0 in
+  List.iter
+    (fun ((x1, y1), (x2, y2)) ->
+      let x1 = float_of_int x1 and y1 = float_of_int y1
+      and x2 = float_of_int x2 and y2 = float_of_int y2 in
+      (* Does the edge cross the horizontal line y = py with x > px? *)
+      if (y1 <= py && py < y2) || (y2 <= py && py < y1) then begin
+        let t = (py -. y1) /. (y2 -. y1) in
+        let xint = x1 +. (t *. (x2 -. x1)) in
+        if xint > px then incr crossings
+      end)
+    (edges p);
+  !crossings land 1 = 1
+
+(* Liang-Barsky segment/rectangle intersection in continuous space. *)
+let segment_intersects_rect (x1, y1) (x2, y2) ~rxlo ~rxhi ~rylo ~ryhi =
+  let x1 = float_of_int x1 and y1 = float_of_int y1
+  and x2 = float_of_int x2 and y2 = float_of_int y2 in
+  let dx = x2 -. x1 and dy = y2 -. y1 in
+  let t0 = ref 0.0 and t1 = ref 1.0 in
+  let clip p q =
+    (* Constraint p * t <= q. *)
+    if p = 0.0 then q >= 0.0
+    else begin
+      let r = q /. p in
+      if p < 0.0 then
+        if r > !t1 then false
+        else begin
+          if r > !t0 then t0 := r;
+          true
+        end
+      else if r < !t0 then false
+      else begin
+        if r < !t1 then t1 := r;
+        true
+      end
+    end
+  in
+  clip (-.dx) (x1 -. rxlo)
+  && clip dx (rxhi -. x1)
+  && clip (-.dy) (y1 -. rylo)
+  && clip dy (ryhi -. y1)
+  && !t0 <= !t1
+
+let edge_crosses_box p ~xlo ~xhi ~ylo ~yhi =
+  let rxlo = float_of_int xlo and rxhi = float_of_int (xhi + 1)
+  and rylo = float_of_int ylo and ryhi = float_of_int (yhi + 1) in
+  List.exists
+    (fun (a, b) -> segment_intersects_rect a b ~rxlo ~rxhi ~rylo ~ryhi)
+    (edges p)
+
+let classify_box p ~xlo ~xhi ~ylo ~yhi : Sqp_zorder.Decompose.classification =
+  if edge_crosses_box p ~xlo ~xhi ~ylo ~yhi then Crosses
+  else if contains_cell p xlo ylo then Inside
+  else Outside
+
+let classifier space p =
+  if Sqp_zorder.Space.dims space <> 2 then invalid_arg "Polygon.classifier: 2d only";
+  fun e ->
+    let lo, hi = Sqp_zorder.Element.box space e in
+    classify_box p ~xlo:lo.(0) ~xhi:hi.(0) ~ylo:lo.(1) ~yhi:hi.(1)
+
+let pp fmt p =
+  Format.fprintf fmt "polygon[%s]"
+    (String.concat "; "
+       (List.map (fun (x, y) -> Printf.sprintf "(%d,%d)" x y) (vertices p)))

@@ -1,0 +1,33 @@
+(** Simple 2d polygons on the integer grid.
+
+    Vertices are given in order (either orientation); edges may not
+    self-intersect (not checked).  Point membership uses the even-odd rule
+    with half-open semantics robust for integer vertices: a grid cell
+    [(x, y)] is tested at its center [(x + 0.5, y + 0.5)], so a polygon
+    with vertices on grid lines yields an unambiguous pixel set. *)
+
+type t
+
+val make : (int * int) list -> t
+(** @raise Invalid_argument with fewer than 3 vertices. *)
+
+val vertices : t -> (int * int) list
+
+val bounding_box : t -> Box.t
+
+val area2 : t -> int
+(** Twice the signed area (shoelace). *)
+
+val contains_cell : t -> int -> int -> bool
+(** Even-odd test of the cell center [(x + 0.5, y + 0.5)]. *)
+
+val edge_crosses_box : t -> xlo:int -> xhi:int -> ylo:int -> yhi:int -> bool
+(** Does any polygon edge intersect the closed cell-box
+    [[xlo, xhi+1] x [ylo, yhi+1]] in continuous space? *)
+
+val classify_box : t -> xlo:int -> xhi:int -> ylo:int -> yhi:int -> Sqp_zorder.Decompose.classification
+(** Inside / Outside / Crosses for a cell-aligned box. *)
+
+val classifier : Sqp_zorder.Space.t -> t -> Sqp_zorder.Decompose.classifier
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/grid/bitgrid.ml: Array Bytes Char Format List Printf Sqp_zorder Stack

@@ -1,0 +1,1 @@
+lib/grid/bitgrid.mli: Format Sqp_zorder

@@ -1,0 +1,180 @@
+type t = { side : int; bits : Bytes.t }
+
+let create ~side =
+  if side < 1 || side > 4096 then invalid_arg "Bitgrid.create: side out of range";
+  { side; bits = Bytes.make ((side * side + 7) / 8) '\000' }
+
+let side t = t.side
+
+let copy t = { t with bits = Bytes.copy t.bits }
+
+let index t x y =
+  if x < 0 || x >= t.side || y < 0 || y >= t.side then
+    invalid_arg (Printf.sprintf "Bitgrid: (%d, %d) out of range" x y);
+  (y * t.side) + x
+
+let get t x y =
+  let i = index t x y in
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t x y b =
+  let i = index t x y in
+  let byte = i lsr 3 and mask = 1 lsl (i land 7) in
+  let old = Char.code (Bytes.get t.bits byte) in
+  Bytes.set t.bits byte (Char.chr (if b then old lor mask else old land lnot mask))
+
+let count t =
+  let n = ref 0 in
+  for i = 0 to Bytes.length t.bits - 1 do
+    let b = Char.code (Bytes.get t.bits i) in
+    let rec pop acc v = if v = 0 then acc else pop (acc + (v land 1)) (v lsr 1) in
+    n := !n + pop 0 b
+  done;
+  !n
+
+let equal a b = a.side = b.side && Bytes.equal a.bits b.bits
+
+let check_space space =
+  if Sqp_zorder.Space.dims space <> 2 then invalid_arg "Bitgrid: 2d spaces only";
+  if Sqp_zorder.Space.depth space > 12 then invalid_arg "Bitgrid: space too large"
+
+let of_classifier space classify =
+  check_space space;
+  let s = Sqp_zorder.Space.side space in
+  let g = create ~side:s in
+  for x = 0 to s - 1 do
+    for y = 0 to s - 1 do
+      match classify (Sqp_zorder.Element.pixel space [| x; y |]) with
+      | Sqp_zorder.Decompose.Inside | Sqp_zorder.Decompose.Crosses -> set g x y true
+      | Sqp_zorder.Decompose.Outside -> ()
+    done
+  done;
+  g
+
+let of_elements space elements =
+  check_space space;
+  let g = create ~side:(Sqp_zorder.Space.side space) in
+  List.iter
+    (fun e ->
+      let lo, hi = Sqp_zorder.Element.box space e in
+      for x = lo.(0) to hi.(0) do
+        for y = lo.(1) to hi.(1) do
+          set g x y true
+        done
+      done)
+    elements;
+  g
+
+let to_elements space t =
+  check_space space;
+  if Sqp_zorder.Space.side space <> t.side then invalid_arg "Bitgrid.to_elements: size mismatch";
+  let classify e : Sqp_zorder.Decompose.classification =
+    let lo, hi = Sqp_zorder.Element.box space e in
+    let all = ref true and any = ref false in
+    (try
+       for x = lo.(0) to hi.(0) do
+         for y = lo.(1) to hi.(1) do
+           if get t x y then any := true else all := false;
+           if !any && not !all then raise Exit
+         done
+       done
+     with Exit -> ());
+    if !all then Inside else if !any then Crosses else Outside
+  in
+  (* The classifier never answers Crosses at pixel level, so the
+     decomposition is exact. *)
+  Sqp_zorder.Decompose.run space classify
+
+type op_stats = { cells_visited : int }
+
+let binop f a b =
+  if a.side <> b.side then invalid_arg "Bitgrid: size mismatch";
+  let g = create ~side:a.side in
+  (* Pixel at a time, as the naive grid algorithm would. *)
+  for x = 0 to a.side - 1 do
+    for y = 0 to a.side - 1 do
+      set g x y (f (get a x y) (get b x y))
+    done
+  done;
+  (g, { cells_visited = a.side * a.side })
+
+let union = binop ( || )
+let inter = binop ( && )
+let diff = binop (fun x y -> x && not y)
+let xor = binop ( <> )
+
+let perimeter t =
+  let s = t.side in
+  let total = ref 0 in
+  for x = 0 to s - 1 do
+    for y = 0 to s - 1 do
+      if get t x y then
+        List.iter
+          (fun (dx, dy) ->
+            let nx = x + dx and ny = y + dy in
+            let black = nx >= 0 && nx < s && ny >= 0 && ny < s && get t nx ny in
+            if not black then incr total)
+          [ (1, 0); (-1, 0); (0, 1); (0, -1) ]
+    done
+  done;
+  !total
+
+let centroid t =
+  let n = ref 0 and sx = ref 0 and sy = ref 0 in
+  for x = 0 to t.side - 1 do
+    for y = 0 to t.side - 1 do
+      if get t x y then begin
+        incr n;
+        sx := !sx + x;
+        sy := !sy + y
+      end
+    done
+  done;
+  if !n = 0 then None
+  else Some (float_of_int !sx /. float_of_int !n, float_of_int !sy /. float_of_int !n)
+
+type components = { count : int; labels : int array array; areas : int array }
+
+let connected_components t =
+  let s = t.side in
+  let labels = Array.make_matrix s s (-1) in
+  let areas = ref [] in
+  let n = ref 0 in
+  let stack = Stack.create () in
+  for y0 = 0 to s - 1 do
+    for x0 = 0 to s - 1 do
+      if get t x0 y0 && labels.(y0).(x0) = -1 then begin
+        let label = !n in
+        incr n;
+        let area = ref 0 in
+        Stack.push (x0, y0) stack;
+        labels.(y0).(x0) <- label;
+        while not (Stack.is_empty stack) do
+          let x, y = Stack.pop stack in
+          incr area;
+          List.iter
+            (fun (dx, dy) ->
+              let nx = x + dx and ny = y + dy in
+              if
+                nx >= 0 && nx < s && ny >= 0 && ny < s
+                && get t nx ny
+                && labels.(ny).(nx) = -1
+              then begin
+                labels.(ny).(nx) <- label;
+                Stack.push (nx, ny) stack
+              end)
+            [ (1, 0); (-1, 0); (0, 1); (0, -1) ]
+        done;
+        areas := !area :: !areas
+      end
+    done
+  done;
+  { count = !n; labels; areas = Array.of_list (List.rev !areas) }
+
+let pp fmt t =
+  for y = t.side - 1 downto 0 do
+    for x = 0 to t.side - 1 do
+      Format.pp_print_char fmt (if get t x y then '#' else '.')
+    done;
+    Format.pp_print_newline fmt ()
+  done

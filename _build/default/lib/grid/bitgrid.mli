@@ -1,0 +1,69 @@
+(** Explicit 2d bit raster — the representation AG optimizes away.
+
+    The paper's Section 5.1 argues that explicit grids cost volume where
+    element sequences cost surface; this module is the explicit grid, used
+    both as that baseline and as the correctness oracle for the overlay
+    and connected-component algorithms on element sequences. *)
+
+type t
+
+val create : side:int -> t
+(** All-white (empty) grid of [side x side] cells.
+    @raise Invalid_argument unless [1 <= side <= 4096]. *)
+
+val side : t -> int
+
+val copy : t -> t
+
+val get : t -> int -> int -> bool
+
+val set : t -> int -> int -> bool -> unit
+
+val count : t -> int
+(** Number of black cells. *)
+
+val equal : t -> t -> bool
+
+(** {1 Construction from higher-level descriptions} *)
+
+val of_classifier : Sqp_zorder.Space.t -> Sqp_zorder.Decompose.classifier -> t
+(** Rasterize pixel by pixel: a cell is black iff the pixel element
+    classifies [Inside] or [Crosses] — exactly the pixel set of an exact
+    decomposition. *)
+
+val of_elements : Sqp_zorder.Space.t -> Sqp_zorder.Element.t list -> t
+(** Paint every cell covered by any of the elements. *)
+
+val to_elements : Sqp_zorder.Space.t -> t -> Sqp_zorder.Element.t list
+(** Exact decomposition of the black region (z-ordered). *)
+
+(** {1 Pixel-at-a-time operations (the grid algorithms of Section 6)} *)
+
+type op_stats = { cells_visited : int }
+
+val union : t -> t -> t * op_stats
+val inter : t -> t -> t * op_stats
+val diff : t -> t -> t * op_stats
+val xor : t -> t -> t * op_stats
+
+val perimeter : t -> int
+(** Boundary length of the black region: for every black cell, one unit
+    per white or out-of-grid 4-neighbour.  Pixel oracle for
+    {!Sqp_core.Props.perimeter}. *)
+
+val centroid : t -> (float * float) option
+(** Mean black-cell position; [None] if the grid is empty. *)
+
+(** {1 Connected components (pixel flood fill, 4-connectivity)} *)
+
+type components = {
+  count : int;
+  labels : int array array; (** [labels.(y).(x)]; [-1] for white cells *)
+  areas : int array;        (** area per component, indexed by label *)
+}
+
+val connected_components : t -> components
+
+val pp : Format.formatter -> t -> unit
+(** ASCII art; black = ['#'], white = ['.']; row y=0 printed at the
+    bottom. *)

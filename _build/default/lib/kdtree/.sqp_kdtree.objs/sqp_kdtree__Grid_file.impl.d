@@ -1,0 +1,1 @@
+lib/kdtree/grid_file.ml: Array Hashtbl List Printf Sqp_geom

@@ -1,0 +1,1 @@
+lib/kdtree/grid_file.mli: Sqp_geom

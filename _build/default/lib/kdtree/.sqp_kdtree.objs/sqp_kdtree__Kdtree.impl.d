@@ -1,0 +1,1 @@
+lib/kdtree/kdtree.ml: Array List Sqp_geom

@@ -1,0 +1,1 @@
+lib/kdtree/kdtree.mli: Sqp_geom

@@ -1,0 +1,1 @@
+lib/kdtree/linear_scan.ml: Array List Sqp_geom

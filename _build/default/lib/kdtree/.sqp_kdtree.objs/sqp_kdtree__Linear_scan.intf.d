@@ -1,0 +1,1 @@
+lib/kdtree/linear_scan.mli: Sqp_geom

@@ -1,0 +1,1 @@
+lib/kdtree/paged_kdtree.ml: Array List Seq Sqp_geom

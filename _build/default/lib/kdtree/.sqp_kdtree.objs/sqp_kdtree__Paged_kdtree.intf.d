@@ -1,0 +1,1 @@
+lib/kdtree/paged_kdtree.mli: Sqp_geom

@@ -1,0 +1,1 @@
+lib/kdtree/rtree.ml: Array Float List Printf Sqp_geom

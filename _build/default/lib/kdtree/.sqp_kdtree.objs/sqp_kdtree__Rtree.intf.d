@@ -1,0 +1,1 @@
+lib/kdtree/rtree.mli: Sqp_geom

@@ -1,0 +1,259 @@
+type 'a bucket = {
+  id : int;
+  mutable points : (Sqp_geom.Point.t * 'a) list;
+  mutable n : int;
+  (* Region in directory-cell indices, inclusive. *)
+  mutable i0 : int;
+  mutable i1 : int;
+  mutable j0 : int;
+  mutable j1 : int;
+}
+
+type 'a t = {
+  side : int;
+  capacity : int;
+  mutable xcuts : int array; (* sorted interior cuts: cell boundary before coordinate c *)
+  mutable ycuts : int array;
+  mutable dir : 'a bucket array array; (* dir.(i).(j) *)
+  mutable size : int;
+  mutable next_id : int;
+}
+
+let create ?(bucket_capacity = 20) ~side () =
+  if bucket_capacity < 1 then invalid_arg "Grid_file.create: capacity < 1";
+  if side < 1 then invalid_arg "Grid_file.create: side < 1";
+  let b = { id = 0; points = []; n = 0; i0 = 0; i1 = 0; j0 = 0; j1 = 0 } in
+  {
+    side;
+    capacity = bucket_capacity;
+    xcuts = [||];
+    ycuts = [||];
+    dir = [| [| b |] |];
+    size = 0;
+    next_id = 1;
+  }
+
+let length t = t.size
+
+(* Number of cuts <= x = index of the cell containing coordinate x. *)
+let cell_of cuts x =
+  let lo = ref 0 and hi = ref (Array.length cuts) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cuts.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let cell_low cuts i = if i = 0 then 0 else cuts.(i - 1)
+
+let cell_high t cuts i =
+  if i = Array.length cuts then t.side - 1 else cuts.(i) - 1
+
+let directory_size t = (Array.length t.dir, Array.length t.dir.(0))
+
+let distinct_buckets t =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  Array.iter
+    (Array.iter (fun b ->
+         if not (Hashtbl.mem seen b.id) then begin
+           Hashtbl.replace seen b.id ();
+           acc := b :: !acc
+         end))
+    t.dir;
+  !acc
+
+let bucket_count t = List.length (distinct_buckets t)
+
+let fresh_bucket t ~i0 ~i1 ~j0 ~j1 =
+  let b = { id = t.next_id; points = []; n = 0; i0; i1; j0; j1 } in
+  t.next_id <- t.next_id + 1;
+  b
+
+(* Insert a new cut splitting directory column/row [pos] of the given
+   axis; every cell index > pos shifts by one, and buckets spanning the
+   old cell now span both halves. *)
+let refine_x t pos cut =
+  let nx = Array.length t.xcuts in
+  t.xcuts <- Array.init (nx + 1) (fun k -> if k < pos then t.xcuts.(k) else if k = pos then cut else t.xcuts.(k - 1));
+  List.iter
+    (fun b ->
+      if b.i0 > pos then b.i0 <- b.i0 + 1;
+      if b.i1 >= pos then b.i1 <- b.i1 + 1)
+    (distinct_buckets t);
+  let old = t.dir in
+  t.dir <-
+    Array.init
+      (Array.length old + 1)
+      (fun i -> Array.copy old.(if i <= pos then i else i - 1))
+
+let refine_y t pos cut =
+  let ny = Array.length t.ycuts in
+  t.ycuts <- Array.init (ny + 1) (fun k -> if k < pos then t.ycuts.(k) else if k = pos then cut else t.ycuts.(k - 1));
+  List.iter
+    (fun b ->
+      if b.j0 > pos then b.j0 <- b.j0 + 1;
+      if b.j1 >= pos then b.j1 <- b.j1 + 1)
+    (distinct_buckets t);
+  t.dir <-
+    Array.map
+      (fun col ->
+        Array.init
+          (Array.length col + 1)
+          (fun j -> col.(if j <= pos then j else j - 1)))
+      t.dir
+
+let assign_region t b =
+  for i = b.i0 to b.i1 do
+    for j = b.j0 to b.j1 do
+      t.dir.(i).(j) <- b
+    done
+  done
+
+let rec split t b =
+  if b.n <= t.capacity then ()
+  else begin
+    let spanx = b.i1 - b.i0 + 1 and spany = b.j1 - b.j0 + 1 in
+    if spanx > 1 || spany > 1 then begin
+      (* Split the bucket region along an existing cut. *)
+      let along_x = spanx >= spany in
+      let right =
+        if along_x then begin
+          let mid = b.i0 + (spanx / 2) in
+          let r = fresh_bucket t ~i0:mid ~i1:b.i1 ~j0:b.j0 ~j1:b.j1 in
+          b.i1 <- mid - 1;
+          r
+        end
+        else begin
+          let mid = b.j0 + (spany / 2) in
+          let r = fresh_bucket t ~i0:b.i0 ~i1:b.i1 ~j0:mid ~j1:b.j1 in
+          b.j1 <- mid - 1;
+          r
+        end
+      in
+      assign_region t right;
+      let all = b.points in
+      b.points <- [];
+      b.n <- 0;
+      List.iter
+        (fun ((p, _) as entry) ->
+          let target =
+            if along_x then
+              if cell_of t.xcuts p.(0) >= right.i0 then right else b
+            else if cell_of t.ycuts p.(1) >= right.j0 then right
+            else b
+          in
+          target.points <- entry :: target.points;
+          target.n <- target.n + 1)
+        all;
+      split t b;
+      split t right
+    end
+    else begin
+      (* Single directory cell: refine a scale first, then retry. *)
+      let xlo = cell_low t.xcuts b.i0 and xhi = cell_high t t.xcuts b.i1 in
+      let ylo = cell_low t.ycuts b.j0 and yhi = cell_high t t.ycuts b.j1 in
+      let xext = xhi - xlo + 1 and yext = yhi - ylo + 1 in
+      if xext = 1 && yext = 1 then () (* unrefinable: tolerate overflow *)
+      else if xext >= yext then begin
+        let cut = xlo + (xext / 2) in
+        refine_x t b.i0 cut;
+        split t b
+      end
+      else begin
+        let cut = ylo + (yext / 2) in
+        refine_y t b.j0 cut;
+        split t b
+      end
+    end
+  end
+
+let insert t p v =
+  if Array.length p <> 2 then invalid_arg "Grid_file.insert: 2d points only";
+  if p.(0) < 0 || p.(0) >= t.side || p.(1) < 0 || p.(1) >= t.side then
+    invalid_arg "Grid_file.insert: point outside the square";
+  let b = t.dir.(cell_of t.xcuts p.(0)).(cell_of t.ycuts p.(1)) in
+  b.points <- (p, v) :: b.points;
+  b.n <- b.n + 1;
+  t.size <- t.size + 1;
+  split t b
+
+type query_stats = { data_pages : int; results : int }
+
+let range_search t box =
+  let lo = Sqp_geom.Box.lo box and hi = Sqp_geom.Box.hi box in
+  let clamp v = max 0 (min (t.side - 1) v) in
+  if lo.(0) >= t.side || lo.(1) >= t.side || hi.(0) < 0 || hi.(1) < 0 then
+    ([], { data_pages = 0; results = 0 })
+  else begin
+    let ilo = cell_of t.xcuts (clamp lo.(0)) and ihi = cell_of t.xcuts (clamp hi.(0)) in
+    let jlo = cell_of t.ycuts (clamp lo.(1)) and jhi = cell_of t.ycuts (clamp hi.(1)) in
+    let seen = Hashtbl.create 16 in
+    let acc = ref [] in
+    for i = ilo to ihi do
+      for j = jlo to jhi do
+        let b = t.dir.(i).(j) in
+        if not (Hashtbl.mem seen b.id) then begin
+          Hashtbl.replace seen b.id ();
+          List.iter
+            (fun (p, v) ->
+              if Sqp_geom.Box.contains_point box p then acc := (p, v) :: !acc)
+            b.points
+        end
+      done
+    done;
+    (!acc, { data_pages = Hashtbl.length seen; results = List.length !acc })
+  end
+
+let efficiency t stats =
+  if stats.data_pages = 0 then 0.0
+  else
+    float_of_int stats.results
+    /. (float_of_int stats.data_pages *. float_of_int t.capacity)
+
+let check_invariants t =
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  try
+    let nx = Array.length t.dir and ny = Array.length t.dir.(0) in
+    if nx <> Array.length t.xcuts + 1 then fail "x directory/scale mismatch";
+    if ny <> Array.length t.ycuts + 1 then fail "y directory/scale mismatch";
+    for k = 1 to Array.length t.xcuts - 1 do
+      if t.xcuts.(k - 1) >= t.xcuts.(k) then fail "x cuts not increasing"
+    done;
+    for k = 1 to Array.length t.ycuts - 1 do
+      if t.ycuts.(k - 1) >= t.ycuts.(k) then fail "y cuts not increasing"
+    done;
+    let buckets = distinct_buckets t in
+    (* Every directory cell points at a bucket whose region contains it,
+       and every region cell points back. *)
+    for i = 0 to nx - 1 do
+      for j = 0 to ny - 1 do
+        let b = t.dir.(i).(j) in
+        if i < b.i0 || i > b.i1 || j < b.j0 || j > b.j1 then
+          fail "cell outside its bucket region"
+      done
+    done;
+    List.iter
+      (fun b ->
+        for i = b.i0 to b.i1 do
+          for j = b.j0 to b.j1 do
+            if t.dir.(i).(j) != b then fail "region cell not owned by bucket"
+          done
+        done;
+        if List.length b.points <> b.n then fail "bucket count mismatch";
+        let xlo = cell_low t.xcuts b.i0 and xhi = cell_high t t.xcuts b.i1 in
+        let ylo = cell_low t.ycuts b.j0 and yhi = cell_high t t.ycuts b.j1 in
+        List.iter
+          (fun (p, _) ->
+            if p.(0) < xlo || p.(0) > xhi || p.(1) < ylo || p.(1) > yhi then
+              fail "point outside bucket region")
+          b.points;
+        let unrefinable = xhi = xlo && yhi = ylo in
+        if b.n > t.capacity && not unrefinable then
+          fail "bucket %d overfull (%d)" b.id b.n)
+      buckets;
+    let total = List.fold_left (fun acc b -> acc + b.n) 0 buckets in
+    if total <> t.size then fail "size mismatch";
+    Ok ()
+  with Bad m -> Error m

@@ -1,0 +1,41 @@
+(** A 2d grid file ([NIEV84], close kin of EXCELL [TAMM81/82]) — the
+    "grid methods" family of the paper's related work, as a third
+    disk-resident baseline next to the zkd B+-tree and the bucket kd
+    tree.
+
+    Linear scales cut each axis into intervals; a directory maps each
+    grid cell to a data bucket; a bucket may serve several directory
+    cells as long as its region stays rectangular.  Overflowing buckets
+    split along an existing cut when their region spans several cells,
+    otherwise a new cut refines the scale first.  Range queries read the
+    distinct buckets under the query rectangle — two disk accesses in
+    grid-file terms (directory + bucket); we count data buckets, matching
+    how the other structures are measured. *)
+
+type 'a t
+
+val create : ?bucket_capacity:int -> side:int -> unit -> 'a t
+(** Empty grid file over the coordinate square [0, side-1]^2.
+    Default capacity 20. *)
+
+val insert : 'a t -> Sqp_geom.Point.t -> 'a -> unit
+(** @raise Invalid_argument if the point lies outside the square. *)
+
+val length : 'a t -> int
+
+val bucket_count : 'a t -> int
+(** Data pages. *)
+
+val directory_size : 'a t -> int * int
+(** Cells along x and y. *)
+
+type query_stats = { data_pages : int; results : int }
+
+val range_search : 'a t -> Sqp_geom.Box.t -> (Sqp_geom.Point.t * 'a) list * query_stats
+
+val efficiency : 'a t -> query_stats -> float
+
+val check_invariants : 'a t -> (unit, string) result
+(** Buckets rectangular and disjoint, covering the directory; every point
+    inside its bucket's region; occupancy within capacity except
+    unrefinable single-coordinate regions. *)

@@ -1,0 +1,150 @@
+type 'a node =
+  | Empty
+  | Node of {
+      point : Sqp_geom.Point.t;
+      value : 'a;
+      axis : int;
+      left : 'a node;   (* coord < point.(axis) *)
+      right : 'a node;  (* coord >= point.(axis), excluding the node itself *)
+    }
+
+type 'a t = { dims : int; root : 'a node; size : int }
+
+let length t = t.size
+
+let rec node_height = function
+  | Empty -> 0
+  | Node { left; right; _ } -> 1 + max (node_height left) (node_height right)
+
+let height t = node_height t.root
+
+let build points =
+  let n = Array.length points in
+  if n = 0 then { dims = 0; root = Empty; size = 0 }
+  else begin
+    let dims = Array.length (fst points.(0)) in
+    Array.iter
+      (fun (p, _) ->
+        if Array.length p <> dims then invalid_arg "Kdtree.build: mixed dimensions")
+      points;
+    let pts = Array.copy points in
+    (* Build [lo, hi) with the median point at the root of the subtree. *)
+    let rec go lo hi depth =
+      if lo >= hi then Empty
+      else begin
+        let axis = depth mod dims in
+        let sub = Array.sub pts lo (hi - lo) in
+        Array.sort (fun (a, _) (b, _) -> compare a.(axis) b.(axis)) sub;
+        Array.blit sub 0 pts lo (hi - lo);
+        let mid = (lo + hi) / 2 in
+        (* Push [mid] left while its predecessor has an equal coordinate,
+           so the right subtree holds strictly >= and the left strictly <
+           is preserved (points equal on this axis go right). *)
+        let mid = ref mid in
+        while !mid > lo && (fst pts.(!mid - 1)).(axis) = (fst pts.(!mid)).(axis) do
+          decr mid
+        done;
+        let m = !mid in
+        let point, value = pts.(m) in
+        Node
+          {
+            point;
+            value;
+            axis;
+            left = go lo m (depth + 1);
+            right = go (m + 1) hi (depth + 1);
+          }
+      end
+    in
+    { dims; root = go 0 n 0; size = n }
+  end
+
+let insert t p v =
+  let dims = if t.size = 0 then Array.length p else t.dims in
+  if Array.length p <> dims then invalid_arg "Kdtree.insert: dimension mismatch";
+  let rec go node depth =
+    match node with
+    | Empty ->
+        Node { point = p; value = v; axis = depth mod dims; left = Empty; right = Empty }
+    | Node n ->
+        if p.(n.axis) < n.point.(n.axis) then Node { n with left = go n.left (depth + 1) }
+        else Node { n with right = go n.right (depth + 1) }
+  in
+  { dims; root = go t.root 0; size = t.size + 1 }
+
+let find t p =
+  let rec go = function
+    | Empty -> None
+    | Node n ->
+        if Sqp_geom.Point.equal n.point p then Some n.value
+        else if p.(n.axis) < n.point.(n.axis) then go n.left
+        else go n.right
+  in
+  go t.root
+
+type search_stats = { nodes_visited : int; results : int }
+
+let range_search t box =
+  let visited = ref 0 in
+  let acc = ref [] in
+  let lo = Sqp_geom.Box.lo box and hi = Sqp_geom.Box.hi box in
+  let rec go = function
+    | Empty -> ()
+    | Node n ->
+        incr visited;
+        if Sqp_geom.Box.contains_point box n.point then
+          acc := (n.point, n.value) :: !acc;
+        if lo.(n.axis) < n.point.(n.axis) then go n.left;
+        if hi.(n.axis) >= n.point.(n.axis) then go n.right
+  in
+  go t.root;
+  (!acc, { nodes_visited = !visited; results = List.length !acc })
+
+let nearest t target =
+  let visited = ref 0 in
+  let best = ref None in
+  let best_d2 = ref max_int in
+  let rec go = function
+    | Empty -> ()
+    | Node n ->
+        incr visited;
+        let d2 = Sqp_geom.Point.euclidean_sq n.point target in
+        if d2 < !best_d2 then begin
+          best_d2 := d2;
+          best := Some (n.point, n.value)
+        end;
+        let diff = target.(n.axis) - n.point.(n.axis) in
+        let near, far = if diff < 0 then (n.left, n.right) else (n.right, n.left) in
+        go near;
+        if diff * diff <= !best_d2 then go far
+  in
+  go t.root;
+  match !best with
+  | None -> None
+  | Some pv -> Some (pv, { nodes_visited = !visited; results = 1 })
+
+let check_invariants t =
+  let exception Bad of string in
+  let rec walk node depth count =
+    match node with
+    | Empty -> count
+    | Node n ->
+        if Array.length n.point <> t.dims then raise (Bad "dimension mismatch");
+        if n.axis <> depth mod t.dims then raise (Bad "axis out of cycle");
+        let check_side side cmp_ok =
+          let rec each = function
+            | Empty -> ()
+            | Node m ->
+                if not (cmp_ok m.point.(n.axis)) then raise (Bad "discriminator violated");
+                each m.left;
+                each m.right
+          in
+          each side
+        in
+        check_side n.left (fun c -> c < n.point.(n.axis));
+        check_side n.right (fun c -> c >= n.point.(n.axis));
+        walk n.right (depth + 1) (walk n.left (depth + 1) (count + 1))
+  in
+  match walk t.root 0 0 with
+  | count -> if count = t.size then Ok () else Error "size mismatch"
+  | exception Bad m -> Error m

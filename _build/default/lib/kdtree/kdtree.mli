@@ -1,0 +1,31 @@
+(** The kd tree of [BENT75] — the paper's performance yardstick
+    ("performance is comparable to that of other practical solutions
+    (e.g. the kd tree)").
+
+    In-memory point kd tree: internal nodes discriminate on one
+    coordinate, cycling through the axes by depth, exactly as in Bentley's
+    original formulation.  Costs are reported as nodes visited. *)
+
+type 'a t
+
+val build : (Sqp_geom.Point.t * 'a) array -> 'a t
+(** Balanced build by repeated median partitioning.  O(n log^2 n). *)
+
+val insert : 'a t -> Sqp_geom.Point.t -> 'a -> 'a t
+(** Functional insertion (no rebalancing, as in [BENT75]). *)
+
+val length : 'a t -> int
+
+val height : 'a t -> int
+
+val find : 'a t -> Sqp_geom.Point.t -> 'a option
+
+type search_stats = { nodes_visited : int; results : int }
+
+val range_search : 'a t -> Sqp_geom.Box.t -> (Sqp_geom.Point.t * 'a) list * search_stats
+(** All points in the (inclusive) box. *)
+
+val nearest : 'a t -> Sqp_geom.Point.t -> ((Sqp_geom.Point.t * 'a) * search_stats) option
+(** Nearest neighbour by Euclidean distance; [None] on an empty tree. *)
+
+val check_invariants : 'a t -> (unit, string) result

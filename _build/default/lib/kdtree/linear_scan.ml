@@ -1,0 +1,26 @@
+type 'a t = { pages : (Sqp_geom.Point.t * 'a) array array; size : int }
+
+let build ?(page_capacity = 20) points =
+  if page_capacity < 1 then invalid_arg "Linear_scan.build: capacity < 1";
+  let n = Array.length points in
+  let n_pages = (n + page_capacity - 1) / page_capacity in
+  let pages =
+    Array.init n_pages (fun i ->
+        let start = i * page_capacity in
+        Array.sub points start (min page_capacity (n - start)))
+  in
+  { pages; size = n }
+
+let length t = t.size
+
+let page_count t = Array.length t.pages
+
+type query_stats = { data_pages : int; results : int }
+
+let range_search t box =
+  let acc = ref [] in
+  Array.iter
+    (Array.iter (fun (p, v) ->
+         if Sqp_geom.Box.contains_point box p then acc := (p, v) :: !acc))
+    t.pages;
+  (!acc, { data_pages = Array.length t.pages; results = List.length !acc })

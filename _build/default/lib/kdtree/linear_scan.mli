@@ -1,0 +1,14 @@
+(** Degenerate baseline: points packed onto pages in arrival order, every
+    query reads every page.  The floor any real access method must beat. *)
+
+type 'a t
+
+val build : ?page_capacity:int -> (Sqp_geom.Point.t * 'a) array -> 'a t
+
+val length : 'a t -> int
+
+val page_count : 'a t -> int
+
+type query_stats = { data_pages : int; results : int }
+
+val range_search : 'a t -> Sqp_geom.Box.t -> (Sqp_geom.Point.t * 'a) list * query_stats

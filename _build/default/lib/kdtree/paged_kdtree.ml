@@ -1,0 +1,90 @@
+type 'a node =
+  | Bucket of (Sqp_geom.Point.t * 'a) array
+  | Split of { axis : int; at : int; left : 'a node; right : 'a node }
+      (* left: coord < at; right: coord >= at *)
+
+type 'a t = { root : 'a node; size : int; page_capacity : int }
+
+let page_capacity t = t.page_capacity
+
+let length t = t.size
+
+let build ?(page_capacity = 20) points =
+  if page_capacity < 1 then invalid_arg "Paged_kdtree.build: capacity < 1";
+  let dims = if Array.length points = 0 then 1 else Array.length (fst points.(0)) in
+  let rec go pts depth =
+    let n = Array.length pts in
+    if n <= page_capacity then Bucket pts
+    else begin
+      let axis = depth mod dims in
+      let sorted = Array.copy pts in
+      Array.sort (fun (a, _) (b, _) -> compare a.(axis) b.(axis)) sorted;
+      let mid = n / 2 in
+      (* Split value: the median coordinate; left strictly below.  Degrade
+         gracefully when many points share the coordinate. *)
+      let at = (fst sorted.(mid)).(axis) in
+      let left = Array.of_seq (Seq.filter (fun (p, _) -> p.(axis) < at) (Array.to_seq sorted))
+      and right = Array.of_seq (Seq.filter (fun (p, _) -> p.(axis) >= at) (Array.to_seq sorted)) in
+      if Array.length left = 0 || Array.length right = 0 then
+        (* All points equal on this axis at the median: try the next axis;
+           if every axis degenerates the bucket stays oversized. *)
+        let rec try_axis a =
+          if a = dims then Bucket pts
+          else
+            let axis = (depth + a) mod dims in
+            let sorted = Array.copy pts in
+            Array.sort (fun (p, _) (q, _) -> compare p.(axis) q.(axis)) sorted;
+            let at = (fst sorted.(n / 2)).(axis) in
+            let l = Array.of_seq (Seq.filter (fun (p, _) -> p.(axis) < at) (Array.to_seq sorted))
+            and r = Array.of_seq (Seq.filter (fun (p, _) -> p.(axis) >= at) (Array.to_seq sorted)) in
+            if Array.length l = 0 || Array.length r = 0 then try_axis (a + 1)
+            else Split { axis; at; left = go l (depth + 1); right = go r (depth + 1) }
+        in
+        try_axis 1
+      else Split { axis; at; left = go left (depth + 1); right = go right (depth + 1) }
+    end
+  in
+  { root = go points 0; size = Array.length points; page_capacity }
+
+let rec count_pages = function
+  | Bucket _ -> 1
+  | Split { left; right; _ } -> count_pages left + count_pages right
+
+let page_count t = count_pages t.root
+
+type query_stats = { data_pages : int; internal_nodes : int; results : int }
+
+let range_search t box =
+  let pages = ref 0 and internals = ref 0 in
+  let acc = ref [] in
+  let lo = Sqp_geom.Box.lo box and hi = Sqp_geom.Box.hi box in
+  let rec go = function
+    | Bucket pts ->
+        incr pages;
+        Array.iter
+          (fun (p, v) -> if Sqp_geom.Box.contains_point box p then acc := (p, v) :: !acc)
+          pts
+    | Split { axis; at; left; right } ->
+        incr internals;
+        if lo.(axis) < at then go left;
+        if hi.(axis) >= at then go right
+  in
+  go t.root;
+  (!acc, { data_pages = !pages; internal_nodes = !internals; results = List.length !acc })
+
+let efficiency t stats =
+  if stats.data_pages = 0 then 0.0
+  else
+    float_of_int stats.results
+    /. (float_of_int stats.data_pages *. float_of_int t.page_capacity)
+
+let pages t =
+  let acc = ref [] in
+  let rec go = function
+    | Bucket pts -> acc := Array.to_list (Array.map fst pts) :: !acc
+    | Split { left; right; _ } ->
+        go left;
+        go right
+  in
+  go t.root;
+  List.rev !acc

@@ -1,0 +1,32 @@
+(** Bucket kd tree: leaves hold up to a page worth of points.
+
+    This is the disk-resident reading of the kd tree: the space is
+    recursively median-split (axes cycling) until each region fits on one
+    page, and a range query's cost is the number of leaf pages whose
+    region it touches.  It is the structure the analysis of Section 5.3.1
+    compares against (same O(vN) / O(N^(1-t/k)) page bounds). *)
+
+type 'a t
+
+val build : ?page_capacity:int -> (Sqp_geom.Point.t * 'a) array -> 'a t
+(** Default page capacity 20, matching the paper's experiments. *)
+
+val page_capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val page_count : 'a t -> int
+
+type query_stats = {
+  data_pages : int;     (** leaf pages touched *)
+  internal_nodes : int; (** directory nodes visited *)
+  results : int;
+}
+
+val range_search : 'a t -> Sqp_geom.Box.t -> (Sqp_geom.Point.t * 'a) list * query_stats
+
+val efficiency : 'a t -> query_stats -> float
+(** [results / (data_pages * page_capacity)]. *)
+
+val pages : 'a t -> Sqp_geom.Point.t list list
+(** Points grouped by page (for partition visualizations). *)

@@ -1,0 +1,287 @@
+type rect = { x0 : int; y0 : int; x1 : int; y1 : int }
+
+let rect_of_point p = { x0 = p.(0); y0 = p.(1); x1 = p.(0); y1 = p.(1) }
+
+let union a b =
+  { x0 = min a.x0 b.x0; y0 = min a.y0 b.y0; x1 = max a.x1 b.x1; y1 = max a.y1 b.y1 }
+
+let area r = float_of_int (r.x1 - r.x0 + 1) *. float_of_int (r.y1 - r.y0 + 1)
+
+let enlargement r extra = area (union r extra) -. area r
+
+let intersects_box r box =
+  let lo = Sqp_geom.Box.lo box and hi = Sqp_geom.Box.hi box in
+  r.x0 <= hi.(0) && lo.(0) <= r.x1 && r.y0 <= hi.(1) && lo.(1) <= r.y1
+
+type 'a node =
+  | Leaf of (Sqp_geom.Point.t * 'a) array
+  | Node of ('a node * rect) array
+
+type 'a t = {
+  capacity : int;
+  mutable root : 'a node;
+  mutable size : int;
+}
+
+let create ?(page_capacity = 20) () =
+  if page_capacity < 4 then invalid_arg "Rtree.create: capacity < 4";
+  { capacity = page_capacity; root = Leaf [||]; size = 0 }
+
+let length t = t.size
+
+let rec node_height = function
+  | Leaf _ -> 1
+  | Node children -> 1 + node_height (fst children.(0))
+
+let height t = match t.root with Leaf [||] -> 1 | n -> node_height n
+
+let rec count_leaves = function
+  | Leaf _ -> 1
+  | Node children -> Array.fold_left (fun acc (c, _) -> acc + count_leaves c) 0 children
+
+let leaf_count t = count_leaves t.root
+
+let mbr_of_node = function
+  | Leaf pts ->
+      Array.fold_left
+        (fun acc (p, _) ->
+          match acc with
+          | None -> Some (rect_of_point p)
+          | Some r -> Some (union r (rect_of_point p)))
+        None pts
+  | Node children ->
+      Array.fold_left
+        (fun acc (_, r) ->
+          match acc with None -> Some r | Some a -> Some (union a r))
+        None children
+
+(* Quadratic split of tagged entries into two groups with minimum fill. *)
+let quadratic_split rects entries min_fill =
+  let n = Array.length entries in
+  (* Seeds: the pair wasting the most area. *)
+  let best = ref (0, 1) and worst = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let waste = area (union rects.(i) rects.(j)) -. area rects.(i) -. area rects.(j) in
+      if waste > !worst then begin
+        worst := waste;
+        best := (i, j)
+      end
+    done
+  done;
+  let s1, s2 = !best in
+  let g1 = ref [ s1 ] and g2 = ref [ s2 ] in
+  let r1 = ref rects.(s1) and r2 = ref rects.(s2) in
+  let rest = ref [] in
+  for i = n - 1 downto 0 do
+    if i <> s1 && i <> s2 then rest := i :: !rest
+  done;
+  let take_first i =
+    g1 := i :: !g1;
+    r1 := union !r1 rects.(i)
+  in
+  let take_second i =
+    g2 := i :: !g2;
+    r2 := union !r2 rects.(i)
+  in
+  let rec assign = function
+    | [] -> ()
+    | remaining when List.length !g1 + List.length remaining <= min_fill ->
+        (* Force: group 1 needs every remaining entry to reach min fill. *)
+        List.iter take_first remaining
+    | remaining when List.length !g2 + List.length remaining <= min_fill ->
+        List.iter take_second remaining
+    | i :: remaining ->
+        let e1 = enlargement !r1 rects.(i) and e2 = enlargement !r2 rects.(i) in
+        let to_first =
+          if e1 < e2 then true
+          else if e2 < e1 then false
+          else area !r1 <= area !r2
+        in
+        if to_first then take_first i else take_second i;
+        assign remaining
+  in
+  assign !rest;
+  let pick idxs = Array.of_list (List.rev_map (Array.get entries) idxs) in
+  ((pick !g1, !r1), (pick !g2, !r2))
+
+(* Insert; returns the replacement node, or two nodes if it split. *)
+let rec insert_rec t node p v =
+  match node with
+  | Leaf pts ->
+      let pts = Array.append pts [| (p, v) |] in
+      if Array.length pts <= t.capacity then `One (Leaf pts)
+      else begin
+        let rects = Array.map (fun (q, _) -> rect_of_point q) pts in
+        let (e1, r1), (e2, r2) = quadratic_split rects pts (t.capacity / 2) in
+        `Two ((Leaf e1, r1), (Leaf e2, r2))
+      end
+  | Node children ->
+      let pr = rect_of_point p in
+      (* Least enlargement, ties by area. *)
+      let best = ref 0 and best_cost = ref infinity and best_area = ref infinity in
+      Array.iteri
+        (fun i (_, r) ->
+          let e = enlargement r pr in
+          if e < !best_cost || (e = !best_cost && area r < !best_area) then begin
+            best := i;
+            best_cost := e;
+            best_area := area r
+          end)
+        children;
+      let child, crect = children.(!best) in
+      let children =
+        match insert_rec t child p v with
+        | `One replacement ->
+            let updated = Array.copy children in
+            updated.(!best) <- (replacement, union crect pr);
+            updated
+        | `Two ((n1, r1), (n2, r2)) ->
+            Array.concat
+              [
+                Array.sub children 0 !best;
+                [| (n1, r1); (n2, r2) |];
+                Array.sub children (!best + 1) (Array.length children - !best - 1);
+              ]
+      in
+      if Array.length children <= t.capacity then `One (Node children)
+      else begin
+        let rects = Array.map snd children in
+        let (e1, r1), (e2, r2) = quadratic_split rects children (t.capacity / 2) in
+        `Two ((Node e1, r1), (Node e2, r2))
+      end
+
+let insert t p v =
+  if Array.length p <> 2 then invalid_arg "Rtree.insert: 2d points only";
+  (match insert_rec t t.root p v with
+  | `One node -> t.root <- node
+  | `Two ((n1, r1), (n2, r2)) -> t.root <- Node [| (n1, r1); (n2, r2) |]);
+  t.size <- t.size + 1
+
+let of_points ?page_capacity points =
+  let t = create ?page_capacity () in
+  Array.iter (fun (p, v) -> insert t p v) points;
+  t
+
+(* Sort-Tile-Recursive packing: sort by x, cut into vertical slabs of
+   ~sqrt(n/c) leaves each, sort each slab by y, chunk into full leaves;
+   pack parent levels the same way over MBR centers. *)
+let of_points_str ?page_capacity points =
+  let t = create ?page_capacity () in
+  let c = t.capacity in
+  let n = Array.length points in
+  if n = 0 then t
+  else begin
+    let leaves =
+      let pts = Array.copy points in
+      Array.sort (fun (a, _) (b, _) -> compare (a.(0), a.(1)) (b.(0), b.(1))) pts;
+      let n_leaves = (n + c - 1) / c in
+      let slabs = max 1 (int_of_float (Float.round (sqrt (float_of_int n_leaves)))) in
+      let per_slab = (n + slabs - 1) / slabs in
+      let acc = ref [] in
+      let i = ref 0 in
+      while !i < n do
+        let len = min per_slab (n - !i) in
+        let slab = Array.sub pts !i len in
+        Array.sort (fun (a, _) (b, _) -> compare (a.(1), a.(0)) (b.(1), b.(0))) slab;
+        let j = ref 0 in
+        while !j < len do
+          let k = min c (len - !j) in
+          let chunk = Array.sub slab !j k in
+          let node = Leaf chunk in
+          (match mbr_of_node node with
+          | Some r -> acc := (node, r) :: !acc
+          | None -> ());
+          j := !j + k
+        done;
+        i := !i + len
+      done;
+      List.rev !acc
+    in
+    let center r = ((r.x0 + r.x1) / 2, (r.y0 + r.y1) / 2) in
+    let rec pack level =
+      match level with
+      | [ (node, _) ] -> node
+      | _ ->
+          let arr = Array.of_list level in
+          Array.sort
+            (fun (_, a) (_, b) -> compare (center a) (center b))
+            arr;
+          let m = Array.length arr in
+          let parents = ref [] in
+          let i = ref 0 in
+          while !i < m do
+            let k = min c (m - !i) in
+            let children = Array.sub arr !i k in
+            let node = Node children in
+            (match mbr_of_node node with
+            | Some r -> parents := (node, r) :: !parents
+            | None -> ());
+            i := !i + k
+          done;
+          pack (List.rev !parents)
+    in
+    t.root <- pack leaves;
+    t.size <- n;
+    t
+  end
+
+type query_stats = { data_pages : int; internal_nodes : int; results : int }
+
+let range_search t box =
+  let pages = ref 0 and internals = ref 0 in
+  let acc = ref [] in
+  let rec go = function
+    | Leaf pts ->
+        incr pages;
+        Array.iter
+          (fun (p, v) -> if Sqp_geom.Box.contains_point box p then acc := (p, v) :: !acc)
+          pts
+    | Node children ->
+        incr internals;
+        Array.iter (fun (c, r) -> if intersects_box r box then go c) children
+  in
+  (match t.root with
+  | Leaf [||] -> ()
+  | root -> go root);
+  (!acc, { data_pages = !pages; internal_nodes = !internals; results = List.length !acc })
+
+let efficiency t stats =
+  if stats.data_pages = 0 then 0.0
+  else
+    float_of_int stats.results
+    /. (float_of_int stats.data_pages *. float_of_int t.capacity)
+
+let check_invariants t =
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  let min_fill = t.capacity / 2 in
+  let rec walk node ~is_root =
+    match node with
+    | Leaf pts ->
+        let n = Array.length pts in
+        if n > t.capacity then fail "leaf overfull (%d)" n;
+        if (not is_root) && n < min_fill then fail "leaf underfull (%d)" n;
+        (1, n, mbr_of_node node)
+    | Node children ->
+        let n = Array.length children in
+        if n > t.capacity then fail "node overfull";
+        if (not is_root) && n < min_fill then fail "node underfull";
+        if n < 2 && not is_root then fail "degenerate node";
+        let depth = ref 0 and count = ref 0 in
+        Array.iter
+          (fun (c, r) ->
+            let d, cnt, mbr = walk c ~is_root:false in
+            (match mbr with
+            | Some m ->
+                if m <> r then fail "stored rectangle not tight"
+            | None -> fail "empty subtree");
+            if !depth = 0 then depth := d
+            else if d <> !depth then fail "uneven leaf depth";
+            count := !count + cnt)
+          children;
+        (!depth + 1, !count, mbr_of_node node)
+  in
+  match walk t.root ~is_root:true with
+  | _, count, _ -> if count = t.size then Ok () else Error "size mismatch"
+  | exception Bad m -> Error m

@@ -1,0 +1,46 @@
+(** An R-tree (Guttman 1984, quadratic split) — the contemporary
+    spatial access method the z-order approach competes with.
+
+    The paper argues that z order needs no new access method at all; the
+    R-tree is what "adding a new access method" ([STON85]) looked like at
+    the time.  Points are stored in leaf pages with bounding rectangles;
+    range queries descend every subtree whose rectangle intersects the
+    query and the cost is the number of leaf pages touched — directly
+    comparable with the zkd B+-tree, bucket kd tree and grid file. *)
+
+type 'a t
+
+val create : ?page_capacity:int -> unit -> 'a t
+(** Default capacity 20 entries per node (leaf and internal). *)
+
+val insert : 'a t -> Sqp_geom.Point.t -> 'a -> unit
+(** 2d points.
+    @raise Invalid_argument for non-2d points. *)
+
+val of_points : ?page_capacity:int -> (Sqp_geom.Point.t * 'a) array -> 'a t
+(** Repeated insertion (Guttman's dynamic build; ~70% leaf occupancy). *)
+
+val of_points_str : ?page_capacity:int -> (Sqp_geom.Point.t * 'a) array -> 'a t
+(** Sort-Tile-Recursive bulk load: full leaves, minimal overlap — the
+    fair comparison against the bulk-loaded zkd B+-tree. *)
+
+val length : 'a t -> int
+
+val height : 'a t -> int
+
+val leaf_count : 'a t -> int
+(** Data pages. *)
+
+type query_stats = {
+  data_pages : int;      (** leaf pages touched *)
+  internal_nodes : int;  (** directory nodes visited *)
+  results : int;
+}
+
+val range_search : 'a t -> Sqp_geom.Box.t -> (Sqp_geom.Point.t * 'a) list * query_stats
+
+val efficiency : 'a t -> query_stats -> float
+
+val check_invariants : 'a t -> (unit, string) result
+(** Bounding rectangles tight and containing, uniform leaf depth,
+    occupancy within capacity, size consistent. *)

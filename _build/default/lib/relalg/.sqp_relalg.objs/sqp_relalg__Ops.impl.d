@@ -1,0 +1,1 @@
+lib/relalg/ops.ml: Array Format Hashtbl List Relation Schema String Value

@@ -1,0 +1,1 @@
+lib/relalg/ops.mli: Relation Value

@@ -1,0 +1,1 @@
+lib/relalg/plan.ml: Buffer Float Format List Ops Printf Relation Schema Spatial_join String Value

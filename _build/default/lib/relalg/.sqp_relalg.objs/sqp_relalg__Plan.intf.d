@@ -1,0 +1,1 @@
+lib/relalg/plan.mli: Relation Schema Value

@@ -1,0 +1,1 @@
+lib/relalg/query.ml: Array List Ops Printf Relation Schema Spatial_join Sqp_geom Sqp_zorder Value

@@ -1,0 +1,1 @@
+lib/relalg/query.mli: Relation Sqp_geom Sqp_zorder

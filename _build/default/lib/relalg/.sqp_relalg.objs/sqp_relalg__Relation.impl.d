@@ -1,0 +1,1 @@
+lib/relalg/relation.ml: Array Format Int List Schema String Value

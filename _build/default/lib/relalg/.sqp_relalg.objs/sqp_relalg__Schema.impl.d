@@ -1,0 +1,1 @@
+lib/relalg/schema.ml: Array Format Hashtbl List Option Printf String Value

@@ -1,0 +1,1 @@
+lib/relalg/schema.mli: Format Value

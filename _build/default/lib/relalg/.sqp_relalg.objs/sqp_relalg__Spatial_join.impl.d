@@ -1,0 +1,1 @@
+lib/relalg/spatial_join.ml: Array List Relation Schema Sqp_zorder Value

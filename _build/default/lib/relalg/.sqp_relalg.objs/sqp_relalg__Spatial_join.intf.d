@@ -1,0 +1,1 @@
+lib/relalg/spatial_join.mli: Relation

@@ -1,0 +1,1 @@
+lib/relalg/value.ml: Bool Float Format Int Sqp_zorder String

@@ -1,0 +1,1 @@
+lib/relalg/value.mli: Format Sqp_zorder

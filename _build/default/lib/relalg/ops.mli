@@ -1,0 +1,54 @@
+(** Classic relational operators.  Section 4's point is that spatial join
+    needs nothing beyond this machinery plus the element domain; these are
+    the operators the scenario scripts compose with it. *)
+
+val select : (Relation.tuple -> bool) -> Relation.t -> Relation.t
+
+val project : string list -> Relation.t -> Relation.t
+(** Duplicate-eliminating projection (set semantics, as in the paper's
+    "projecting out the zr and zs fields eliminates this redundancy"). *)
+
+val project_all : string list -> Relation.t -> Relation.t
+(** Projection keeping duplicates (bag semantics). *)
+
+val rename : (string * string) list -> Relation.t -> Relation.t
+
+val extend : string -> Value.ty -> (Relation.tuple -> Value.t) -> Relation.t -> Relation.t
+(** Append a computed attribute. *)
+
+val product : Relation.t -> Relation.t -> Relation.t
+(** @raise Invalid_argument on attribute-name clashes. *)
+
+val union : Relation.t -> Relation.t -> Relation.t
+(** Set union. @raise Invalid_argument on schema mismatch. *)
+
+val distinct : Relation.t -> Relation.t
+
+val sort_by : string list -> Relation.t -> Relation.t
+(** Stable sort by the given attributes ("existing sort utilities can be
+    used to create z ordered sequences"). *)
+
+val natural_join : Relation.t -> Relation.t -> Relation.t
+(** Hash join on the common attributes; the non-spatial workhorse whose
+    implementation strategies the spatial join reuses. *)
+
+type aggregate =
+  | Count                        (** number of rows per group *)
+  | Sum of string                (** sum of an [Int] attribute *)
+  | Min of string
+  | Max of string
+
+val group_by :
+  string list ->
+  (string * aggregate) list ->
+  Relation.t ->
+  Relation.t
+(** [group_by keys aggs r]: one output tuple per distinct key combination,
+    with the named aggregate columns appended — enough relational muscle
+    to phrase "area per object" over a decomposition relation.
+    @raise Invalid_argument if an aggregate attribute is not [TInt]. *)
+
+val flatten_sets :
+  Relation.t -> set_attr:string -> (Value.t -> Value.t list) -> Value.ty -> Relation.t
+(** The "flattening" step of the Decompose scenario: replace [set_attr]
+    (whose values denote sets) by one output tuple per member. *)

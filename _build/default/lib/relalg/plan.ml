@@ -1,0 +1,206 @@
+type pred = {
+  description : string;
+  attrs : string list;
+  test : Relation.tuple -> Schema.t -> bool;
+}
+
+let pred description attrs test = { description; attrs; test }
+
+let attr_equals attr value =
+  {
+    description = Printf.sprintf "%s = %s" attr (Format.asprintf "%a" Value.pp value);
+    attrs = [ attr ];
+    test = (fun tu schema -> Value.equal (Relation.get tu schema attr) value);
+  }
+
+let attr_between attr lo hi =
+  {
+    description =
+      Printf.sprintf "%s between %s and %s" attr
+        (Format.asprintf "%a" Value.pp lo)
+        (Format.asprintf "%a" Value.pp hi);
+    attrs = [ attr ];
+    test =
+      (fun tu schema ->
+        let v = Relation.get tu schema attr in
+        Value.compare lo v <= 0 && Value.compare v hi <= 0);
+  }
+
+type t =
+  | Scan of Relation.t
+  | Select of pred * t
+  | Project of string list * t
+  | Project_all of string list * t
+  | Rename of (string * string) list * t
+  | Sort of string list * t
+  | Natural_join of t * t
+  | Spatial_join of { zl : string; zr : string; left : t; right : t }
+  | Product of t * t
+  | Union of t * t
+
+let rec schema = function
+  | Scan r -> Relation.schema r
+  | Select (_, p) -> schema p
+  | Project (names, p) | Project_all (names, p) -> Schema.project (schema p) names
+  | Rename (renames, p) -> Schema.rename (schema p) renames
+  | Sort (_, p) -> schema p
+  | Natural_join (a, b) ->
+      let sa = schema a and sb = schema b in
+      let common = Schema.common sa sb in
+      let keep = List.filter (fun n -> not (List.mem n common)) (Schema.names sb) in
+      Schema.concat sa (Schema.make (List.map (fun n -> (n, Schema.ty sb n)) keep))
+  | Spatial_join { left; right; _ } | Product (left, right) ->
+      Schema.concat (schema left) (schema right)
+  | Union (a, _) -> schema a
+
+let rec estimated_rows = function
+  | Scan r -> float_of_int (Relation.cardinality r)
+  | Select (_, p) -> estimated_rows p /. 3.0
+  | Project (_, p) -> estimated_rows p *. 0.9
+  | Project_all (_, p) | Rename (_, p) | Sort (_, p) -> estimated_rows p
+  | Natural_join (a, b) ->
+      let ra = estimated_rows a and rb = estimated_rows b in
+      ra *. rb /. Float.max 1.0 (Float.max ra rb)
+  | Spatial_join { left; right; _ } ->
+      (* Elements per object pair up rarely; assume ~2 witnesses per
+         overlapping pair and 10% overlapping pairs. *)
+      0.2 *. Float.max (estimated_rows left) (estimated_rows right)
+  | Product (a, b) -> estimated_rows a *. estimated_rows b
+  | Union (a, b) -> estimated_rows a +. estimated_rows b
+
+(* {2 Optimizer} *)
+
+let pred_applies_to s p = List.for_all (Schema.mem s) p.attrs
+
+let rename_pred renames p =
+  (* Moving a Select below [Rename renames]: rewrite its attributes from
+     the renamed (outer) names back to the original (inner) names. *)
+  let back = List.map (fun (old_name, fresh) -> (fresh, old_name)) renames in
+  let rewrite n = match List.assoc_opt n back with Some o -> o | None -> n in
+  {
+    description = p.description;
+    attrs = List.map rewrite p.attrs;
+    test =
+      (fun tu inner_schema ->
+        (* Evaluate against the renamed view of the inner schema. *)
+        p.test tu (Schema.rename inner_schema renames));
+  }
+
+let rec push_select p plan =
+  match plan with
+  | Rename (renames, inner) -> Rename (renames, push_select (rename_pred renames p) inner)
+  | Sort (keys, inner) -> Sort (keys, push_select p inner)
+  | Product (a, b) when pred_applies_to (schema a) p -> Product (push_select p a, b)
+  | Product (a, b) when pred_applies_to (schema b) p -> Product (a, push_select p b)
+  | Natural_join (a, b) when pred_applies_to (schema a) p ->
+      Natural_join (push_select p a, b)
+  | Natural_join (a, b) when pred_applies_to (schema b) p ->
+      Natural_join (a, push_select p b)
+  | Spatial_join ({ left; _ } as j) when pred_applies_to (schema left) p ->
+      Spatial_join { j with left = push_select p left }
+  | Spatial_join ({ right; _ } as j) when pred_applies_to (schema right) p ->
+      Spatial_join { j with right = push_select p right }
+  | Union (a, b) -> Union (push_select p a, push_select p b)
+  | Scan _ | Select _ | Project _ | Project_all _
+  | Product _ | Natural_join _ | Spatial_join _ ->
+      Select (p, plan)
+
+let rec optimize plan =
+  match plan with
+  | Scan _ -> plan
+  | Select (p, inner) -> push_select p (optimize inner)
+  | Project (names, inner) -> Project (names, optimize inner)
+  | Project_all (names, inner) -> Project_all (names, optimize inner)
+  | Rename (renames, inner) -> Rename (renames, optimize inner)
+  | Sort (keys, inner) -> (
+      match optimize inner with
+      | Sort (_, deeper) -> Sort (keys, deeper) (* outer sort wins *)
+      | opt -> Sort (keys, opt))
+  | Natural_join (a, b) -> Natural_join (optimize a, optimize b)
+  | Spatial_join j -> Spatial_join { j with left = optimize j.left; right = optimize j.right }
+  | Product (a, b) -> Product (optimize a, optimize b)
+  | Union (a, b) -> Union (optimize a, optimize b)
+
+(* {2 Execution} *)
+
+let spatial_join_threshold = 20_000.0
+(* Estimated |L| * |R| above which the z-merge implementation is chosen
+   over the nested loop. *)
+
+let use_merge left_rows right_rows = left_rows *. right_rows > spatial_join_threshold
+
+let rec run plan =
+  match plan with
+  | Scan r -> r
+  | Select (p, inner) ->
+      let r = run inner in
+      let s = Relation.schema r in
+      Ops.select (fun tu -> p.test tu s) r
+  | Project (names, inner) -> Ops.project names (run inner)
+  | Project_all (names, inner) -> Ops.project_all names (run inner)
+  | Rename (renames, inner) -> Ops.rename renames (run inner)
+  | Sort (keys, inner) -> Ops.sort_by keys (run inner)
+  | Natural_join (a, b) -> Ops.natural_join (run a) (run b)
+  | Spatial_join { zl; zr; left; right } ->
+      let l = run left and r = run right in
+      let joined, _ =
+        if
+          use_merge
+            (float_of_int (Relation.cardinality l))
+            (float_of_int (Relation.cardinality r))
+        then Spatial_join.merge l ~zr:zl r ~zs:zr
+        else Spatial_join.nested_loop l ~zr:zl r ~zs:zr
+      in
+      joined
+  | Product (a, b) -> Ops.product (run a) (run b)
+  | Union (a, b) -> Ops.union (run a) (run b)
+
+(* {2 Explain} *)
+
+let explain plan =
+  let buf = Buffer.create 256 in
+  let line depth fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf (String.make (2 * depth) ' ');
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let rec go depth plan =
+    let rows = estimated_rows plan in
+    (match plan with
+    | Scan r ->
+        line depth "scan %s %s (~%.0f rows)"
+          (match Relation.name r with "" -> "<anon>" | n -> n)
+          (Format.asprintf "%a" Schema.pp (Relation.schema r))
+          rows
+    | Select (p, _) -> line depth "select [%s] (~%.0f rows)" p.description rows
+    | Project (names, _) -> line depth "project distinct {%s} (~%.0f rows)" (String.concat ", " names) rows
+    | Project_all (names, _) -> line depth "project {%s} (~%.0f rows)" (String.concat ", " names) rows
+    | Rename (renames, _) ->
+        line depth "rename {%s}"
+          (String.concat ", " (List.map (fun (o, n) -> o ^ " -> " ^ n) renames))
+    | Sort (keys, _) -> line depth "sort by {%s}" (String.concat ", " keys)
+    | Natural_join (_, _) -> line depth "natural join (~%.0f rows)" rows
+    | Spatial_join { zl; zr; left; right } ->
+        let impl =
+          if use_merge (estimated_rows left) (estimated_rows right) then "z-merge"
+          else "nested loop"
+        in
+        line depth "spatial join %s <> %s via %s (~%.0f rows)" zl zr impl rows
+    | Product _ -> line depth "product (~%.0f rows)" rows
+    | Union _ -> line depth "union (~%.0f rows)" rows);
+    match plan with
+    | Scan _ -> ()
+    | Select (_, i) | Project (_, i) | Project_all (_, i) | Rename (_, i) | Sort (_, i) ->
+        go (depth + 1) i
+    | Natural_join (a, b) | Product (a, b) | Union (a, b) ->
+        go (depth + 1) a;
+        go (depth + 1) b
+    | Spatial_join { left; right; _ } ->
+        go (depth + 1) left;
+        go (depth + 1) right
+  in
+  go 0 plan;
+  Buffer.contents buf

@@ -1,0 +1,55 @@
+(** Logical query plans over the relational substrate.
+
+    The PROBE framing of Section 2 is that the DBMS optimizes
+    set-at-a-time operations while the object class supplies the
+    element-level semantics.  This module is that thin optimizer layer: a
+    plan algebra including the spatial join, a cost-estimating EXPLAIN,
+    and a rewriter that pushes selections below joins and picks the
+    spatial-join implementation (z-merge vs nested loop) from estimated
+    input sizes. *)
+
+type pred = {
+  description : string;          (** shown by EXPLAIN *)
+  attrs : string list;           (** attributes the predicate reads *)
+  test : Relation.tuple -> Schema.t -> bool;
+}
+
+val pred : string -> string list -> (Relation.tuple -> Schema.t -> bool) -> pred
+
+val attr_equals : string -> Value.t -> pred
+(** [attr = value]. *)
+
+val attr_between : string -> Value.t -> Value.t -> pred
+(** Inclusive range on one attribute. *)
+
+type t =
+  | Scan of Relation.t
+  | Select of pred * t
+  | Project of string list * t       (** duplicate-eliminating *)
+  | Project_all of string list * t   (** bag projection *)
+  | Rename of (string * string) list * t
+  | Sort of string list * t
+  | Natural_join of t * t
+  | Spatial_join of { zl : string; zr : string; left : t; right : t }
+  | Product of t * t
+  | Union of t * t
+
+val schema : t -> Schema.t
+(** Output schema; raises [Invalid_argument]/[Not_found] on malformed
+    plans (name clashes, missing attributes). *)
+
+val estimated_rows : t -> float
+(** Crude textbook cardinality estimate (selections 1/3, natural joins
+    via 1/max-side, spatial joins via element fan-out). *)
+
+val optimize : t -> t
+(** Rewrites: push selections below renames, products and joins when
+    their attributes allow; fuse [Select] over [Select]; drop redundant
+    [Sort] under [Sort].  Semantics-preserving. *)
+
+val run : t -> Relation.t
+(** Execute (materializing operator by operator). *)
+
+val explain : t -> string
+(** An indented operator tree with schemas and row estimates, plus the
+    implementation choice for each spatial join. *)

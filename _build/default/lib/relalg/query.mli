@@ -1,0 +1,45 @@
+(** The query scenarios of Section 4, scripted against the relational
+    operators: decompose spatial relations, spatial-join them, project. *)
+
+val points_relation :
+  ?name:string ->
+  Sqp_zorder.Space.t ->
+  (int * Sqp_geom.Point.t) list ->
+  Relation.t
+(** [P(p@, zp, x, y, ...) := Points\[p@, shuffle(...), coords\]]: one tuple
+    per point with its id, full-resolution z value, and coordinates
+    (attributes ["id"; "z"; "x0"; "x1"; ...]). *)
+
+val decompose_relation :
+  ?name:string ->
+  ?options:Sqp_zorder.Decompose.options ->
+  Sqp_zorder.Space.t ->
+  (int * Sqp_geom.Shape.t) list ->
+  Relation.t
+(** [R(q@, zr) := Decompose(Q)]: one tuple per (object id, element) — the
+    decompose-then-flatten step (attributes ["id"; "z"]). *)
+
+val box_relation :
+  ?name:string -> Sqp_zorder.Space.t -> Sqp_geom.Box.t -> Relation.t
+(** [B(zb) := Decompose(Box)] (attribute ["z"]). *)
+
+val range_query :
+  Sqp_zorder.Space.t ->
+  (int * Sqp_geom.Point.t) list ->
+  Sqp_geom.Box.t ->
+  Relation.t
+(** The full script at the end of Section 4:
+    [Result := (P\[zp <> zb\]B)\[coords\]] — returns the relation of
+    coordinates of points inside the box (attributes ["x0"; "x1"; ...]). *)
+
+val overlapping_pairs :
+  ?options:Sqp_zorder.Decompose.options ->
+  Sqp_zorder.Space.t ->
+  (int * Sqp_geom.Shape.t) list ->
+  (int * Sqp_geom.Shape.t) list ->
+  Relation.t
+(** [RS := R\[zr <> zs\]S] projected to id pairs: candidate overlapping
+    object pairs (attributes ["rid"; "sid"]).  With exact decompositions
+    the candidates whose elements touch only boundary pixels may
+    over-approximate true geometric overlap; refine with exact geometry
+    if needed. *)

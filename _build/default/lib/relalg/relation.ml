@@ -1,0 +1,59 @@
+type tuple = Value.t array
+
+type t = { name : string; schema : Schema.t; tuples : tuple list }
+
+let make ?(name = "") schema tuples =
+  let arity = Schema.arity schema in
+  List.iter
+    (fun tu ->
+      if Array.length tu <> arity then
+        invalid_arg "Relation.make: tuple arity does not match schema")
+    tuples;
+  { name; schema; tuples }
+
+let name t = t.name
+
+let schema t = t.schema
+
+let tuples t = t.tuples
+
+let cardinality t = List.length t.tuples
+
+let get tuple schema attr = tuple.(Schema.index schema attr)
+
+let iter t f = List.iter f t.tuples
+
+let compare_tuples a b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i = Array.length a then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let sort_tuples tuples = List.sort compare_tuples tuples
+
+let equal_contents a b =
+  Schema.equal a.schema b.schema
+  && List.length a.tuples = List.length b.tuples
+  && List.for_all2
+       (fun x y -> Array.length x = Array.length y && Array.for_all2 Value.equal x y)
+       (sort_tuples a.tuples) (sort_tuples b.tuples)
+
+let pp fmt t =
+  Format.fprintf fmt "%s%a [%d tuples]@." t.name Schema.pp t.schema (cardinality t);
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  List.iter
+    (fun tu ->
+      Format.fprintf fmt "  (%s)@."
+        (String.concat ", "
+           (Array.to_list (Array.map (Format.asprintf "%a" Value.pp) tu))))
+    (take 20 t.tuples);
+  if cardinality t > 20 then Format.fprintf fmt "  ...@."

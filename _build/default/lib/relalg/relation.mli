@@ -1,0 +1,28 @@
+(** Relations: a schema plus tuples (value arrays of matching arity). *)
+
+type tuple = Value.t array
+
+type t
+
+val make : ?name:string -> Schema.t -> tuple list -> t
+(** @raise Invalid_argument if a tuple's arity differs from the schema's. *)
+
+val name : t -> string
+
+val schema : t -> Schema.t
+
+val tuples : t -> tuple list
+
+val cardinality : t -> int
+
+val get : tuple -> Schema.t -> string -> Value.t
+(** Value of an attribute by name.
+    @raise Not_found if absent. *)
+
+val iter : t -> (tuple -> unit) -> unit
+
+val equal_contents : t -> t -> bool
+(** Same schema, same multiset of tuples (order ignored). *)
+
+val pp : Format.formatter -> t -> unit
+(** A small ASCII dump (schema + up to 20 tuples). *)

@@ -1,0 +1,57 @@
+type t = { attrs : (string * Value.ty) array }
+
+let make attrs =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate attribute %s" name);
+      Hashtbl.replace seen name ())
+    attrs;
+  { attrs = Array.of_list attrs }
+
+let attrs t = Array.to_list t.attrs
+
+let arity t = Array.length t.attrs
+
+let find_opt t name =
+  let rec go i =
+    if i = Array.length t.attrs then None
+    else if fst t.attrs.(i) = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let mem t name = Option.is_some (find_opt t name)
+
+let index t name =
+  match find_opt t name with Some i -> i | None -> raise Not_found
+
+let ty t name = snd t.attrs.(index t name)
+
+let names t = List.map fst (attrs t)
+
+let common a b = List.filter (mem b) (names a)
+
+let concat a b = make (attrs a @ attrs b)
+
+let project t names = make (List.map (fun n -> t.attrs.(index t n)) names)
+
+let rename t renames =
+  List.iter (fun (old_name, _) -> ignore (index t old_name)) renames;
+  make
+    (List.map
+       (fun (name, ty) ->
+         match List.assoc_opt name renames with
+         | Some fresh -> (fresh, ty)
+         | None -> (name, ty))
+       (attrs t))
+
+let equal a b = attrs a = attrs b
+
+let pp fmt t =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", "
+       (List.map
+          (fun (n, ty) -> Printf.sprintf "%s:%s" n (Value.ty_to_string ty))
+          (attrs t)))

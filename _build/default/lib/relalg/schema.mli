@@ -1,0 +1,36 @@
+(** Relation schemas: ordered, uniquely named, typed attributes. *)
+
+type t
+
+val make : (string * Value.ty) list -> t
+(** @raise Invalid_argument on duplicate attribute names. *)
+
+val attrs : t -> (string * Value.ty) list
+
+val arity : t -> int
+
+val mem : t -> string -> bool
+
+val index : t -> string -> int
+(** @raise Not_found if absent. *)
+
+val ty : t -> string -> Value.ty
+
+val names : t -> string list
+
+val common : t -> t -> string list
+(** Attribute names present in both, in the order of the first. *)
+
+val concat : t -> t -> t
+(** @raise Invalid_argument on name clashes. *)
+
+val project : t -> string list -> t
+(** @raise Not_found on a missing attribute. *)
+
+val rename : t -> (string * string) list -> t
+(** [rename s [(old, new); ...]].
+    @raise Not_found on a missing old name. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

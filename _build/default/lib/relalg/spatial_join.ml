@@ -1,0 +1,87 @@
+module B = Sqp_zorder.Bitstring
+
+type stats = { pairs : int; comparisons : int; sorted_items : int }
+
+let out_schema r s =
+  Schema.concat (Relation.schema r) (Relation.schema s)
+
+let zval_of schema attr tu =
+  match Relation.get tu schema attr with
+  | Value.Zval z -> z
+  | _ -> invalid_arg "Spatial_join: z attribute does not hold an element"
+
+let nested_loop r ~zr s ~zs =
+  let schema = out_schema r s in
+  let sr = Relation.schema r and ss = Relation.schema s in
+  let comparisons = ref 0 in
+  let tuples =
+    List.concat_map
+      (fun tr ->
+        let zrv = zval_of sr zr tr in
+        List.filter_map
+          (fun ts ->
+            let zsv = zval_of ss zs ts in
+            incr comparisons;
+            if B.is_prefix zrv zsv || B.is_prefix zsv zrv then
+              Some (Array.append tr ts)
+            else None)
+          (Relation.tuples s))
+      (Relation.tuples r)
+  in
+  ( Relation.make schema tuples,
+    { pairs = List.length tuples; comparisons = !comparisons; sorted_items = 0 } )
+
+type side = R | S
+
+let merge r ~zr s ~zs =
+  let schema = out_schema r s in
+  let sr = Relation.schema r and ss = Relation.schema s in
+  let comparisons = ref 0 in
+  let items =
+    List.map (fun tu -> (zval_of sr zr tu, R, tu)) (Relation.tuples r)
+    @ List.map (fun tu -> (zval_of ss zs tu, S, tu)) (Relation.tuples s)
+  in
+  let items =
+    List.sort
+      (fun (za, _, _) (zb, _, _) ->
+        incr comparisons;
+        B.compare za zb)
+      items
+  in
+  (* Stacks of open (containing) elements per side; an element stays open
+     while the sweep position is within its z range, i.e. while it is a
+     prefix of the current item's z value. *)
+  let stack_r = ref [] and stack_s = ref [] in
+  let pop_closed z stack =
+    let rec go = function
+      | (ze, _) :: rest when
+          (incr comparisons;
+           not (B.is_prefix ze z)) ->
+          go rest
+      | kept -> kept
+    in
+    stack := go !stack
+  in
+  let out = ref [] and pairs = ref 0 in
+  List.iter
+    (fun (z, side, tu) ->
+      pop_closed z stack_r;
+      pop_closed z stack_s;
+      (match side with
+      | R ->
+          List.iter
+            (fun (_, ts) ->
+              incr pairs;
+              out := Array.append tu ts :: !out)
+            !stack_s;
+          stack_r := (z, tu) :: !stack_r
+      | S ->
+          List.iter
+            (fun (_, tr) ->
+              incr pairs;
+              out := Array.append tr tu :: !out)
+            !stack_r;
+          stack_s := (z, tu) :: !stack_s))
+    items;
+  ( Relation.make schema (List.rev !out),
+    { pairs = !pairs; comparisons = !comparisons; sorted_items = List.length items } )

@@ -1,0 +1,26 @@
+(** The spatial join [R\[zr <> zs\]S] (Section 4).
+
+    Both relations carry an element-valued attribute.  The join emits a
+    combined tuple for every pair whose elements are related by
+    containment in either direction — which, for decomposed objects,
+    means the objects overlap.
+
+    Two implementations:
+    - [merge]: sort both inputs into z order and sweep once, keeping a
+      stack of currently "open" (containing) elements per side — the
+      z-order analogue of sort-merge join.  O(n log n + output).
+    - [nested_loop]: compare all pairs; the correctness oracle. *)
+
+type stats = {
+  pairs : int;         (** tuples emitted *)
+  comparisons : int;   (** element comparisons performed *)
+  sorted_items : int;  (** total items sorted (merge only) *)
+}
+
+val merge :
+  Relation.t -> zr:string -> Relation.t -> zs:string -> Relation.t * stats
+(** @raise Invalid_argument if attribute names of the two relations
+    clash (rename first) or the z attributes hold non-[Zval] values. *)
+
+val nested_loop :
+  Relation.t -> zr:string -> Relation.t -> zs:string -> Relation.t * stats

@@ -1,0 +1,59 @@
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Zval of Sqp_zorder.Bitstring.t
+  | Null
+
+type ty = TInt | TFloat | TStr | TBool | TZval
+
+let type_of = function
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Str _ -> Some TStr
+  | Bool _ -> Some TBool
+  | Zval _ -> Some TZval
+  | Null -> None
+
+let rank = function
+  | Null -> 0
+  | Int _ -> 1
+  | Float _ -> 2
+  | Str _ -> 3
+  | Bool _ -> 4
+  | Zval _ -> 5
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Zval x, Zval y -> Sqp_zorder.Bitstring.compare x y
+  | Null, Null -> 0
+  | (Int _ | Float _ | Str _ | Bool _ | Zval _ | Null), _ ->
+      Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let to_int = function Int i -> i | _ -> invalid_arg "Value.to_int: not an Int"
+
+let to_zval = function Zval z -> z | _ -> invalid_arg "Value.to_zval: not a Zval"
+
+let to_string_exn = function Str s -> s | _ -> invalid_arg "Value.to_string_exn: not a Str"
+
+let ty_to_string = function
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TStr -> "string"
+  | TBool -> "bool"
+  | TZval -> "zval"
+
+let pp fmt = function
+  | Int i -> Format.pp_print_int fmt i
+  | Float f -> Format.fprintf fmt "%g" f
+  | Str s -> Format.fprintf fmt "%S" s
+  | Bool b -> Format.pp_print_bool fmt b
+  | Zval z -> Sqp_zorder.Bitstring.pp fmt z
+  | Null -> Format.pp_print_string fmt "null"

@@ -1,0 +1,35 @@
+(** Attribute values.  [Zval] is the "element" domain the paper says a
+    DBMS needs to add (Section 4): a variable-length bitstring with a
+    spatial interpretation, compared lexicographically. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Zval of Sqp_zorder.Bitstring.t
+  | Null
+
+type ty = TInt | TFloat | TStr | TBool | TZval
+
+val type_of : t -> ty option
+(** [None] for [Null]. *)
+
+val compare : t -> t -> int
+(** Total order: within a type, natural order ([Zval]: z order); across
+    types, an arbitrary fixed order; [Null] sorts first. *)
+
+val equal : t -> t -> bool
+
+val to_int : t -> int
+(** @raise Invalid_argument if not [Int]. *)
+
+val to_zval : t -> Sqp_zorder.Bitstring.t
+(** @raise Invalid_argument if not [Zval]. *)
+
+val to_string_exn : t -> string
+(** @raise Invalid_argument if not [Str]. *)
+
+val ty_to_string : ty -> string
+
+val pp : Format.formatter -> t -> unit

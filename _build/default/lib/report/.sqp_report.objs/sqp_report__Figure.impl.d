@@ -1,0 +1,1 @@
+lib/report/figure.ml: Array Buffer Hashtbl List Printf Sqp_geom Sqp_zorder String

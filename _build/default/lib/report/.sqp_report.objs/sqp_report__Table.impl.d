@@ -1,0 +1,1 @@
+lib/report/table.ml: Buffer List Printf String

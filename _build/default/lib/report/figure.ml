@@ -1,0 +1,106 @@
+let grid ~side cell =
+  let buf = Buffer.create (side * (side + 1)) in
+  for y = side - 1 downto 0 do
+    for x = 0 to side - 1 do
+      Buffer.add_char buf (cell x y)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let box_query space box ~points =
+  let side = Sqp_zorder.Space.side space in
+  let point_set = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace point_set (p.(0), p.(1)) ()) points;
+  grid ~side (fun x y ->
+      let inside = Sqp_geom.Box.contains_point box [| x; y |] in
+      let is_point = Hashtbl.mem point_set (x, y) in
+      match (inside, is_point) with
+      | true, true -> '@'
+      | true, false -> '+'
+      | false, true -> '*'
+      | false, false -> '.')
+
+let letters =
+  "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+let letter i = letters.[i mod String.length letters]
+
+let decomposition space elements =
+  let side = Sqp_zorder.Space.side space in
+  let canvas = Array.make_matrix side side '.' in
+  List.iteri
+    (fun i e ->
+      let lo, hi = Sqp_zorder.Element.box space e in
+      for x = lo.(0) to hi.(0) do
+        for y = lo.(1) to hi.(1) do
+          canvas.(x).(y) <- letter i
+        done
+      done)
+    elements;
+  grid ~side (fun x y -> canvas.(x).(y))
+
+let decomposition_labels space elements =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i e ->
+      let lo, hi = Sqp_zorder.Element.box space e in
+      Buffer.add_string buf
+        (Printf.sprintf "%c: z=%s  x %d..%d  y %d..%d\n" (letter i)
+           (Sqp_zorder.Bitstring.to_string e)
+           lo.(0) hi.(0) lo.(1) hi.(1)))
+    elements;
+  Buffer.contents buf
+
+let zcurve_ranks space =
+  if Sqp_zorder.Space.dims space <> 2 then invalid_arg "Figure.zcurve_ranks: 2d only";
+  let side = Sqp_zorder.Space.side space in
+  let width = String.length (string_of_int ((side * side) - 1)) in
+  let buf = Buffer.create 256 in
+  for y = side - 1 downto 0 do
+    for x = 0 to side - 1 do
+      if x > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf
+        (Printf.sprintf "%*d" width (Sqp_zorder.Curve.rank space [| x; y |]))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let zcurve_path space =
+  if Sqp_zorder.Space.dims space <> 2 then invalid_arg "Figure.zcurve_path: 2d only";
+  let side = Sqp_zorder.Space.side space in
+  let cside = (2 * side) - 1 in
+  let canvas = Array.make_matrix cside cside ' ' in
+  let pts = Array.of_seq (Sqp_zorder.Curve.traverse space) in
+  Array.iter (fun p -> canvas.(2 * p.(0)).(2 * p.(1)) <- 'o') pts;
+  for i = 0 to Array.length pts - 2 do
+    let a = pts.(i) and b = pts.(i + 1) in
+    let dx = b.(0) - a.(0) and dy = b.(1) - a.(1) in
+    if abs dx <= 1 && abs dy <= 1 then begin
+      let mx = (2 * a.(0)) + dx and my = (2 * a.(1)) + dy in
+      let ch =
+        if dx = 0 then '|'
+        else if dy = 0 then '-'
+        else if dx * dy > 0 then '/'
+        else '\\'
+      in
+      if canvas.(mx).(my) = ' ' then canvas.(mx).(my) <- ch
+    end
+  done;
+  let buf = Buffer.create (cside * (cside + 1)) in
+  for y = cside - 1 downto 0 do
+    for x = 0 to cside - 1 do
+      Buffer.add_char buf canvas.(x).(y)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let page_map ~side pages =
+  let canvas = Array.make_matrix side side '.' in
+  List.iteri
+    (fun i (_, points) ->
+      List.iter (fun p -> canvas.(p.(0)).(p.(1)) <- letter i) points)
+    pages;
+  grid ~side (fun x y -> canvas.(x).(y))

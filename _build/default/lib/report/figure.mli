@@ -1,0 +1,28 @@
+(** ASCII renderings of the paper's figures. *)
+
+val grid : side:int -> (int -> int -> char) -> string
+(** Render a [side x side] cell grid, x growing right, y growing {e up}
+    (row y = side-1 printed first), one char per cell. *)
+
+val box_query : Sqp_zorder.Space.t -> Sqp_geom.Box.t -> points:Sqp_geom.Point.t list -> string
+(** Figure 1: points ([*]) and the query box region ([+], or [@] for a
+    point inside the box). *)
+
+val decomposition : Sqp_zorder.Space.t -> Sqp_zorder.Element.t list -> string
+(** Figure 2: each element painted with its own letter (cycling
+    a-z A-Z 0-9); uncovered cells ['.']. *)
+
+val decomposition_labels : Sqp_zorder.Space.t -> Sqp_zorder.Element.t list -> string
+(** Listing of elements: letter, z value, covered coordinate ranges. *)
+
+val zcurve_ranks : Sqp_zorder.Space.t -> string
+(** Figure 4: the grid with each cell's z-curve rank. *)
+
+val zcurve_path : Sqp_zorder.Space.t -> string
+(** Figure 4 as a path drawing on a doubled canvas: cells are [o],
+    consecutive-rank cells are joined with [-], [|] or diagonal [\ /]
+    segments. *)
+
+val page_map : side:int -> (int * Sqp_geom.Point.t list) list -> string
+(** Figure 6: every point painted with a letter identifying its data
+    page (letters cycle; empty cells ['.']). *)

@@ -1,0 +1,63 @@
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+let column ?(align = Right) header = { header; align }
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ~columns ~rows =
+  let ncols = List.length columns in
+  List.iter
+    (fun row ->
+      if List.length row <> ncols then
+        invalid_arg "Table.render: row arity mismatch")
+    rows;
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length c.header) rows)
+      columns
+  in
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    List.iteri
+      (fun i (cell, width, align) ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad align width cell);
+        ignore i)
+      (List.map2 (fun (c, w) a -> (c, w, a)) (List.combine cells widths)
+         (List.map (fun c -> c.align) columns));
+    Buffer.add_char buf '\n'
+  in
+  emit_row (List.map (fun c -> c.header) columns);
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make w '-'))
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?title ~columns ~rows () =
+  (match title with
+  | Some t ->
+      print_newline ();
+      print_endline t;
+      print_endline (String.make (String.length t) '=')
+  | None -> ());
+  print_string (render ~columns ~rows)
+
+let fmt_int = string_of_int
+
+let fmt_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+
+let fmt_pct f = Printf.sprintf "%.1f%%" (100.0 *. f)

@@ -1,0 +1,23 @@
+(** Minimal ASCII table rendering for experiment output. *)
+
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+val column : ?align:align -> string -> column
+(** Default alignment: [Right]. *)
+
+val render : columns:column list -> rows:string list list -> string
+(** Pads cells, draws a header rule.
+    @raise Invalid_argument if a row's width differs from the header's. *)
+
+val print : ?title:string -> columns:column list -> rows:string list list -> unit -> unit
+(** [render] to stdout, with an optional underlined title. *)
+
+val fmt_int : int -> string
+
+val fmt_float : ?decimals:int -> float -> string
+(** Default 2 decimals. *)
+
+val fmt_pct : float -> string
+(** [0.125 -> "12.5%"]. *)

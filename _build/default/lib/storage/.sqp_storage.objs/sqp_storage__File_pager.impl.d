@@ -1,0 +1,1 @@
+lib/storage/file_pager.ml: Bytes Hashtbl Int32 Int64 Printf Stats Unix

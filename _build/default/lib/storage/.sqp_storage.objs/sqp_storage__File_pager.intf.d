@@ -1,0 +1,1 @@
+lib/storage/file_pager.mli: Pager Stats

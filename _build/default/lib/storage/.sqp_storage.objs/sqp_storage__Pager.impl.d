@@ -1,0 +1,1 @@
+lib/storage/pager.ml: Hashtbl Printf Stats

@@ -1,0 +1,128 @@
+type policy = Lru | Fifo | Clock
+
+type 'a frame = {
+  mutable value : 'a;
+  mutable dirty : bool;
+  mutable last_used : int;   (* LRU timestamp *)
+  inserted : int;            (* FIFO sequence *)
+  mutable referenced : bool; (* CLOCK reference bit *)
+}
+
+type 'a t = {
+  pager : 'a Pager.t;
+  policy : policy;
+  capacity : int;
+  frames : (Pager.page_id, 'a frame) Hashtbl.t;
+  mutable tick : int;
+  mutable hand : Pager.page_id list; (* CLOCK order of resident pages *)
+}
+
+let create ?(policy = Lru) ~capacity pager =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
+  { pager; policy; capacity; frames = Hashtbl.create capacity; tick = 0; hand = [] }
+
+let policy t = t.policy
+
+let capacity t = t.capacity
+
+let resident t = Hashtbl.length t.frames
+
+let write_back t id frame =
+  if frame.dirty then begin
+    Pager.write t.pager id frame.value;
+    frame.dirty <- false
+  end
+
+let evict_victim t =
+  match t.policy with
+  | Lru | Fifo ->
+      let metric f = match t.policy with Lru -> f.last_used | _ -> f.inserted in
+      let best = ref None in
+      Hashtbl.iter
+        (fun id f ->
+          match !best with
+          | None -> best := Some (id, f)
+          | Some (_, bf) -> if metric f < metric bf then best := Some (id, f))
+        t.frames;
+      (match !best with Some v -> v | None -> assert false)
+  | Clock ->
+      (* Sweep the hand, clearing reference bits, until an unreferenced
+         frame is found.  Two sweeps suffice: the first clears every bit. *)
+      let rec sweep order scanned passes =
+        match order with
+        | [] ->
+            if passes > 2 then assert false
+            else sweep (List.rev scanned) [] (passes + 1)
+        | id :: rest -> (
+            match Hashtbl.find_opt t.frames id with
+            | None -> sweep rest scanned passes
+            | Some f ->
+                if f.referenced then begin
+                  f.referenced <- false;
+                  sweep rest (id :: scanned) passes
+                end
+                else begin
+                  (* Rotate the hand to just after the victim. *)
+                  t.hand <- rest @ List.rev scanned;
+                  (id, f)
+                end)
+      in
+      sweep t.hand [] 1
+
+let evict t =
+  let id, frame = evict_victim t in
+  write_back t id frame;
+  Hashtbl.remove t.frames id;
+  t.hand <- List.filter (fun x -> x <> id) t.hand
+
+let touch t frame =
+  t.tick <- t.tick + 1;
+  frame.last_used <- t.tick;
+  frame.referenced <- true
+
+let install t id value dirty =
+  if Hashtbl.length t.frames >= t.capacity then evict t;
+  t.tick <- t.tick + 1;
+  let frame =
+    { value; dirty; last_used = t.tick; inserted = t.tick; referenced = true }
+  in
+  Hashtbl.replace t.frames id frame;
+  t.hand <- t.hand @ [ id ];
+  frame
+
+let stats t = Pager.stats t.pager
+
+let get t id =
+  match Hashtbl.find_opt t.frames id with
+  | Some frame ->
+      (stats t).pool_hits <- (stats t).pool_hits + 1;
+      touch t frame;
+      frame.value
+  | None ->
+      (stats t).pool_misses <- (stats t).pool_misses + 1;
+      let value = Pager.read t.pager id in
+      let frame = install t id value false in
+      frame.value
+
+let update t id value =
+  match Hashtbl.find_opt t.frames id with
+  | Some frame ->
+      (stats t).pool_hits <- (stats t).pool_hits + 1;
+      touch t frame;
+      frame.value <- value;
+      frame.dirty <- true
+  | None ->
+      (stats t).pool_misses <- (stats t).pool_misses + 1;
+      if not (Pager.mem t.pager id) then
+        invalid_arg "Buffer_pool.update: unallocated page";
+      ignore (install t id value true)
+
+let flush t = Hashtbl.iter (fun id frame -> write_back t id frame) t.frames
+
+let drop t =
+  Hashtbl.reset t.frames;
+  t.hand <- []
+
+let discard t id =
+  Hashtbl.remove t.frames id;
+  t.hand <- List.filter (fun x -> x <> id) t.hand

@@ -1,0 +1,40 @@
+(** Buffer pool over a {!Pager}.
+
+    Section 4 argues that plain DBMS buffering — LRU in particular — serves
+    AG perfectly because merges touch each page once, sequentially.  The
+    pool lets that claim be measured: hits/misses are recorded in the
+    pager's {!Stats.t}, and the replacement policy is pluggable so LRU can
+    be compared with FIFO and CLOCK. *)
+
+type policy = Lru | Fifo | Clock
+
+type 'a t
+
+val create : ?policy:policy -> capacity:int -> 'a Pager.t -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val policy : 'a t -> policy
+
+val capacity : 'a t -> int
+
+val get : 'a t -> Pager.page_id -> 'a
+(** Fetch through the pool: a hit costs nothing physical, a miss reads
+    from the pager and may evict (writing back a dirty frame). *)
+
+val update : 'a t -> Pager.page_id -> 'a -> unit
+(** Modify a page through the pool; the frame is marked dirty and written
+    back on eviction or {!flush}. *)
+
+val flush : 'a t -> unit
+(** Write all dirty frames back. *)
+
+val drop : 'a t -> unit
+(** Empty the pool without writing (for tests). *)
+
+val discard : 'a t -> Pager.page_id -> unit
+(** Forget a single frame without writing back.  Must be called when a
+    page is freed while possibly resident, so a stale dirty frame is not
+    flushed to a dead page later. *)
+
+val resident : 'a t -> int
+(** Number of frames currently held. *)

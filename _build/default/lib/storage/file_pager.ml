@@ -1,0 +1,202 @@
+(* Layout: slot 0 is the header, data pages are slots 1..slot_count-1 at
+   byte offset slot * page_bytes.
+
+   Header: magic "SQP1" | page_bytes:i64 | slot_count:i64 | free_head:i64
+   (-1 = none) | live_count:i64.
+
+   Live page: payload_len:i32 (< 0xFFFFFFFF) | payload bytes.
+   Free page: 0xFFFFFFFF:i32 | next_free_slot:i64 (-1 = end of list). *)
+
+type t = {
+  fd : Unix.file_descr;
+  page_bytes : int;
+  stats : Stats.t;
+  mutable slot_count : int; (* including the header slot *)
+  mutable free_head : int;  (* -1 = none *)
+  mutable live : int;
+  live_set : (int, unit) Hashtbl.t;
+  mutable closed : bool;
+}
+
+let magic = "SQP1"
+
+let free_marker = 0xFFFFFFFF
+
+let header_bytes = 4 + (8 * 4)
+
+let check_open t = if t.closed then invalid_arg "File_pager: store is closed"
+
+let pwrite t ~offset buf =
+  ignore (Unix.lseek t.fd offset Unix.SEEK_SET);
+  let n = Unix.write t.fd buf 0 (Bytes.length buf) in
+  if n <> Bytes.length buf then failwith "File_pager: short write"
+
+let pread t ~offset len =
+  ignore (Unix.lseek t.fd offset Unix.SEEK_SET);
+  let buf = Bytes.create len in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.read t.fd buf off (len - off) in
+      if n = 0 then failwith "File_pager: short read";
+      go (off + n)
+    end
+  in
+  go 0;
+  buf
+
+let write_header t =
+  let buf = Bytes.make t.page_bytes '\000' in
+  Bytes.blit_string magic 0 buf 0 4;
+  Bytes.set_int64_be buf 4 (Int64.of_int t.page_bytes);
+  Bytes.set_int64_be buf 12 (Int64.of_int t.slot_count);
+  Bytes.set_int64_be buf 20 (Int64.of_int t.free_head);
+  Bytes.set_int64_be buf 28 (Int64.of_int t.live);
+  pwrite t ~offset:0 buf
+
+let create ~path ~page_bytes =
+  if page_bytes < 16 then invalid_arg "File_pager.create: page_bytes < 16";
+  if page_bytes < header_bytes then invalid_arg "File_pager.create: page too small for header";
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let t =
+    {
+      fd;
+      page_bytes;
+      stats = Stats.create ();
+      slot_count = 1;
+      free_head = -1;
+      live = 0;
+      live_set = Hashtbl.create 64;
+      closed = false;
+    }
+  in
+  write_header t;
+  t
+
+let open_existing ~path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let head = Bytes.create header_bytes in
+  let rec fill off =
+    if off < header_bytes then begin
+      let n = Unix.read fd head off (header_bytes - off) in
+      if n = 0 then failwith "File_pager.open_existing: truncated header";
+      fill (off + n)
+    end
+  in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  fill 0;
+  if Bytes.sub_string head 0 4 <> magic then
+    failwith "File_pager.open_existing: bad magic";
+  let geti off = Int64.to_int (Bytes.get_int64_be head off) in
+  let t =
+    {
+      fd;
+      page_bytes = geti 4;
+      stats = Stats.create ();
+      slot_count = geti 12;
+      free_head = geti 20;
+      live = geti 28;
+      live_set = Hashtbl.create 64;
+      closed = false;
+    }
+  in
+  if t.page_bytes < header_bytes || t.slot_count < 1 then
+    failwith "File_pager.open_existing: corrupt header";
+  (* Rebuild the live-slot set from the page markers. *)
+  for slot = 1 to t.slot_count - 1 do
+    let first4 = pread t ~offset:(slot * t.page_bytes) 4 in
+    let marker = Int32.to_int (Bytes.get_int32_be first4 0) land 0xFFFFFFFF in
+    if marker <> free_marker then Hashtbl.replace t.live_set slot ()
+  done;
+  if Hashtbl.length t.live_set <> t.live then
+    failwith "File_pager.open_existing: live count mismatch";
+  t
+
+let page_bytes t = t.page_bytes
+
+let page_count t = t.live
+
+let stats t = t.stats
+
+let payload_capacity t = t.page_bytes - 4
+
+let encode_page t payload =
+  if Bytes.length payload > payload_capacity t then
+    invalid_arg "File_pager: payload exceeds page capacity";
+  let buf = Bytes.make t.page_bytes '\000' in
+  Bytes.set_int32_be buf 0 (Int32.of_int (Bytes.length payload));
+  Bytes.blit payload 0 buf 4 (Bytes.length payload);
+  buf
+
+let alloc t payload =
+  check_open t;
+  let buf = encode_page t payload in
+  let slot =
+    if t.free_head >= 0 then begin
+      let slot = t.free_head in
+      let page = pread t ~offset:(slot * t.page_bytes) 12 in
+      t.free_head <- Int64.to_int (Bytes.get_int64_be page 4);
+      slot
+    end
+    else begin
+      let slot = t.slot_count in
+      t.slot_count <- slot + 1;
+      slot
+    end
+  in
+  pwrite t ~offset:(slot * t.page_bytes) buf;
+  Hashtbl.replace t.live_set slot ();
+  t.live <- t.live + 1;
+  t.stats.allocations <- t.stats.allocations + 1;
+  t.stats.physical_writes <- t.stats.physical_writes + 1;
+  slot
+
+let check_live t slot =
+  if not (Hashtbl.mem t.live_set slot) then
+    invalid_arg (Printf.sprintf "File_pager: page %d is not live" slot)
+
+let read t slot =
+  check_open t;
+  check_live t slot;
+  let buf = pread t ~offset:(slot * t.page_bytes) t.page_bytes in
+  let len = Int32.to_int (Bytes.get_int32_be buf 0) in
+  t.stats.physical_reads <- t.stats.physical_reads + 1;
+  Bytes.sub buf 4 len
+
+let write t slot payload =
+  check_open t;
+  check_live t slot;
+  pwrite t ~offset:(slot * t.page_bytes) (encode_page t payload);
+  t.stats.physical_writes <- t.stats.physical_writes + 1
+
+let free t slot =
+  check_open t;
+  check_live t slot;
+  let buf = Bytes.make t.page_bytes '\000' in
+  Bytes.set_int32_be buf 0 (Int32.of_int free_marker);
+  Bytes.set_int64_be buf 4 (Int64.of_int t.free_head);
+  pwrite t ~offset:(slot * t.page_bytes) buf;
+  t.free_head <- slot;
+  Hashtbl.remove t.live_set slot;
+  t.live <- t.live - 1;
+  t.stats.frees <- t.stats.frees + 1
+
+let iter t f =
+  check_open t;
+  for slot = 1 to t.slot_count - 1 do
+    if Hashtbl.mem t.live_set slot then begin
+      let buf = pread t ~offset:(slot * t.page_bytes) t.page_bytes in
+      let len = Int32.to_int (Bytes.get_int32_be buf 0) in
+      f slot (Bytes.sub buf 4 len)
+    end
+  done
+
+let flush t =
+  check_open t;
+  write_header t
+
+let close t =
+  if not t.closed then begin
+    write_header t;
+    Unix.close t.fd;
+    t.closed <- true
+  end

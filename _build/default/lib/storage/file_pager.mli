@@ -1,0 +1,48 @@
+(** File-backed page store: fixed-size pages in a single file.
+
+    Section 4's integration claim is that z-order processing needs nothing
+    beyond "widely available" file organizations; this module is that
+    plain organization — numbered fixed-size pages with a free list — used
+    by the persistence helpers to dump and reload indexes.  Page contents
+    are raw bytes; callers bring their own encoding.
+
+    Not crash-safe (the header is rewritten on {!flush}/{!close}); it
+    models the layout, not recovery. *)
+
+type t
+
+val create : path:string -> page_bytes:int -> t
+(** Create or truncate the file.
+    @raise Invalid_argument if [page_bytes < 16]. *)
+
+val open_existing : path:string -> t
+(** Re-open a store written by {!create}.
+    @raise Failure on a bad magic number or corrupt header. *)
+
+val page_bytes : t -> int
+
+val page_count : t -> int
+(** Allocated (live) pages. *)
+
+val stats : t -> Stats.t
+
+val alloc : t -> bytes -> Pager.page_id
+(** Write a new page (reusing a freed slot if any).
+    @raise Invalid_argument if the payload exceeds the page payload
+    capacity ([page_bytes - 4]). *)
+
+val read : t -> Pager.page_id -> bytes
+(** @raise Invalid_argument on a non-live page. *)
+
+val write : t -> Pager.page_id -> bytes -> unit
+
+val free : t -> Pager.page_id -> unit
+
+val iter : t -> (Pager.page_id -> bytes -> unit) -> unit
+(** All live pages, in id order; does not touch the counters. *)
+
+val flush : t -> unit
+(** Persist the header. *)
+
+val close : t -> unit
+(** Flush and close the file descriptor; the handle becomes unusable. *)

@@ -1,0 +1,44 @@
+type page_id = int
+
+type 'a t = {
+  pages : (page_id, 'a) Hashtbl.t;
+  stats : Stats.t;
+  mutable next_id : page_id;
+}
+
+let create () = { pages = Hashtbl.create 64; stats = Stats.create (); next_id = 0 }
+
+let stats t = t.stats
+
+let alloc t v =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.pages id v;
+  t.stats.allocations <- t.stats.allocations + 1;
+  t.stats.physical_writes <- t.stats.physical_writes + 1;
+  id
+
+let read t id =
+  match Hashtbl.find_opt t.pages id with
+  | None -> invalid_arg (Printf.sprintf "Pager.read: unallocated page %d" id)
+  | Some v ->
+      t.stats.physical_reads <- t.stats.physical_reads + 1;
+      v
+
+let write t id v =
+  if not (Hashtbl.mem t.pages id) then
+    invalid_arg (Printf.sprintf "Pager.write: unallocated page %d" id);
+  Hashtbl.replace t.pages id v;
+  t.stats.physical_writes <- t.stats.physical_writes + 1
+
+let free t id =
+  if not (Hashtbl.mem t.pages id) then
+    invalid_arg (Printf.sprintf "Pager.free: unallocated page %d" id);
+  Hashtbl.remove t.pages id;
+  t.stats.frees <- t.stats.frees + 1
+
+let page_count t = Hashtbl.length t.pages
+
+let mem t id = Hashtbl.mem t.pages id
+
+let iter t f = Hashtbl.iter f t.pages

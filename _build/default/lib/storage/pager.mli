@@ -1,0 +1,33 @@
+(** Simulated disk: a store of pages addressed by id.
+
+    Every [read] / [write] bumps the {!Stats.t} counters — this is the
+    "physical I/O" layer.  Access it through a {!Buffer_pool} to model
+    the DBMS buffering the paper relies on, or directly to charge one
+    physical access per touch. *)
+
+type 'a t
+
+type page_id = int
+
+val create : unit -> 'a t
+
+val stats : 'a t -> Stats.t
+
+val alloc : 'a t -> 'a -> page_id
+(** Allocate a fresh page with initial contents (counts an allocation and
+    a write). *)
+
+val read : 'a t -> page_id -> 'a
+(** @raise Invalid_argument on an unallocated id. *)
+
+val write : 'a t -> page_id -> 'a -> unit
+
+val free : 'a t -> page_id -> unit
+
+val page_count : 'a t -> int
+(** Currently allocated pages. *)
+
+val mem : 'a t -> page_id -> bool
+
+val iter : 'a t -> (page_id -> 'a -> unit) -> unit
+(** Iterate without touching the counters (inspection only). *)

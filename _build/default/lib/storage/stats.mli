@@ -1,0 +1,30 @@
+(** Access-cost accounting.  The paper's experiments measure page accesses
+    rather than wall-clock time; these counters are the repository's unit
+    of cost throughout. *)
+
+type t = {
+  mutable physical_reads : int;   (** pages fetched from the "disk" *)
+  mutable physical_writes : int;  (** pages written back *)
+  mutable allocations : int;      (** pages allocated *)
+  mutable frees : int;
+  mutable pool_hits : int;        (** buffer-pool hits *)
+  mutable pool_misses : int;
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val snapshot : t -> t
+(** An independent copy. *)
+
+val diff : after:t -> before:t -> t
+(** Counter-wise subtraction. *)
+
+val total_accesses : t -> int
+(** [physical_reads + physical_writes]. *)
+
+val hit_ratio : t -> float
+(** [hits / (hits + misses)]; 0 if no pool traffic. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/datagen.ml: Array Float Hashtbl List Rng

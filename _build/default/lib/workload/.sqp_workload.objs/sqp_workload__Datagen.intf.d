@@ -1,0 +1,1 @@
+lib/workload/datagen.mli: Rng Sqp_geom

@@ -1,0 +1,1 @@
+lib/workload/querygen.ml: Array Float List Rng Sqp_geom

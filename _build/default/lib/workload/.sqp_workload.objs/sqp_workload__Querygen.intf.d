@@ -1,0 +1,1 @@
+lib/workload/querygen.mli: Rng Sqp_geom

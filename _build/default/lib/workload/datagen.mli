@@ -1,0 +1,39 @@
+(** The datasets of Section 5.3.2.
+
+    Experiment U: points uniform over the grid.
+    Experiment C: clustered — 50 small clusters of 100 points each.
+    Experiment D: diagonal — points uniformly along the x = y line.
+
+    All generators return distinct points (sampling continues until the
+    requested count of distinct points is reached), 2d unless stated. *)
+
+type dataset = Uniform | Clustered | Diagonal
+
+val dataset_name : dataset -> string
+(** "U", "C" or "D". *)
+
+val uniform : Rng.t -> side:int -> n:int -> dims:int -> Sqp_geom.Point.t array
+(** @raise Invalid_argument if more distinct points are requested than the
+    grid holds. *)
+
+val clustered :
+  Rng.t ->
+  side:int ->
+  clusters:int ->
+  per_cluster:int ->
+  spread:float ->
+  Sqp_geom.Point.t array
+(** 2d: cluster centers uniform; members Gaussian around the center with
+    standard deviation [spread] (in cells), clamped to the grid. *)
+
+val diagonal : Rng.t -> side:int -> n:int -> jitter:int -> Sqp_geom.Point.t array
+(** 2d: x uniform, y = x plus uniform jitter in [-jitter, jitter],
+    clamped. *)
+
+val generate : Rng.t -> dataset -> side:int -> n:int -> Sqp_geom.Point.t array
+(** The paper's three datasets with its parameters scaled to [n]:
+    [Clustered] uses 50 clusters of [n/50] points (spread = side/64),
+    [Diagonal] uses jitter side/128. *)
+
+val with_ids : Sqp_geom.Point.t array -> (Sqp_geom.Point.t * int) array
+(** Pair each point with its index — the payload used by the indexes. *)

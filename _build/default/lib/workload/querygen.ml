@@ -1,0 +1,33 @@
+type spec = { volume_fraction : float; aspect : float }
+
+let paper_volumes = [ 1.0 /. 64.0; 1.0 /. 16.0; 1.0 /. 4.0; 1.0 /. 2.0 ]
+
+let paper_aspects = [ 1.0 /. 16.0; 1.0 /. 4.0; 1.0 /. 2.0; 1.0; 2.0; 4.0; 16.0 ]
+
+let extents_of_spec ~side spec =
+  if spec.volume_fraction <= 0.0 || spec.volume_fraction > 1.0 then
+    invalid_arg "Querygen: volume fraction out of (0, 1]";
+  if spec.aspect <= 0.0 then invalid_arg "Querygen: aspect must be positive";
+  let area = spec.volume_fraction *. float_of_int (side * side) in
+  let clamp v = max 1 (min side v) in
+  let w = clamp (int_of_float (Float.round (sqrt (area *. spec.aspect)))) in
+  let h = clamp (int_of_float (Float.round (area /. float_of_int w))) in
+  (w, h)
+
+let random_box rng ~side spec =
+  let w, h = extents_of_spec ~side spec in
+  let x = Rng.int rng (side - w + 1) and y = Rng.int rng (side - h + 1) in
+  Sqp_geom.Box.make ~lo:[| x; y |] ~hi:[| x + w - 1; y + h - 1 |]
+
+let random_boxes rng ~side spec ~count =
+  List.init count (fun _ -> random_box rng ~side spec)
+
+let partial_match_spec rng ~side ~dims ~restricted =
+  if restricted < 0 || restricted > dims then
+    invalid_arg "Querygen.partial_match_spec: bad restricted count";
+  let axes = Array.init dims (fun i -> i) in
+  Rng.shuffle rng axes;
+  let pinned = Array.sub axes 0 restricted in
+  let specs = Array.make dims None in
+  Array.iter (fun a -> specs.(a) <- Some (Rng.int rng side)) pinned;
+  specs

@@ -1,0 +1,30 @@
+(** Query workloads of Section 5.3.2: rectangular queries of several
+    aspect ratios ("shapes") and volumes, dropped at random locations. *)
+
+type spec = {
+  volume_fraction : float; (** query area / space area *)
+  aspect : float;          (** width / height; 1.0 = square *)
+}
+
+val paper_volumes : float list
+(** The four volume fractions used in the experiment tables:
+    1/64, 1/16, 1/4, 1/2. *)
+
+val paper_aspects : float list
+(** Aspect sweep: 1/16, 1/4, 1/2, 1, 2, 4, 16 (partial-match-like at the
+    extremes, square in the middle). *)
+
+val extents_of_spec : side:int -> spec -> int * int
+(** Integer width and height whose product approximates
+    [volume_fraction * side^2] with ratio [aspect], both clamped to
+    [1, side]. *)
+
+val random_box : Rng.t -> side:int -> spec -> Sqp_geom.Box.t
+(** A query box of the given shape at a uniform location fully inside the
+    grid. *)
+
+val random_boxes : Rng.t -> side:int -> spec -> count:int -> Sqp_geom.Box.t list
+
+val partial_match_spec : Rng.t -> side:int -> dims:int -> restricted:int -> int option array
+(** A random partial-match query: [restricted] axes pinned to uniform
+    values, the rest free. *)

@@ -1,0 +1,52 @@
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: 62 random bits mod n has negligible
+     bias for the n used here (n << 2^62). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  bits mod n
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let bits = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+  float_of_int bits /. 9007199254740992.0 (* 2^53 *)
+
+let gaussian t =
+  let rec draw () =
+    let u = float t in
+    if u = 0.0 then draw () else u
+  in
+  let u1 = draw () and u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split t = { state = next t }

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every experiment in the repository draws randomness through a seeded
+    [Rng.t], so results are reproducible bit for bit. *)
+
+type t
+
+val create : seed:int -> t
+
+val copy : t -> t
+
+val next : t -> int64
+(** Raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n]: uniform in [0, n-1].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi]: uniform in [lo, hi] inclusive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val gaussian : t -> float
+(** Standard normal (Box-Muller). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)
+
+val split : t -> t
+(** A statistically independent child generator. *)

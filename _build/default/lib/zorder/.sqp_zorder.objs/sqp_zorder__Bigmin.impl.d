@@ -1,0 +1,1 @@
+lib/zorder/bigmin.ml: Array Interleave Space

@@ -1,0 +1,1 @@
+lib/zorder/bitstring.ml: Array Bytes Char Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/zorder/bitstring.mli: Format

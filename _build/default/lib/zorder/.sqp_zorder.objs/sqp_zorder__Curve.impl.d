@@ -1,0 +1,1 @@
+lib/zorder/curve.ml: Array Interleave List Seq Space

@@ -1,0 +1,1 @@
+lib/zorder/curve.mli: Seq Space

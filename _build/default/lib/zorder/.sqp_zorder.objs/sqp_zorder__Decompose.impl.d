@@ -1,0 +1,1 @@
+lib/zorder/decompose.ml: Array Bitstring Element List Seq Space

@@ -1,0 +1,1 @@
+lib/zorder/decompose.mli: Bitstring Element Seq Space

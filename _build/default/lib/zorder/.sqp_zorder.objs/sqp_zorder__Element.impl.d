@@ -1,0 +1,1 @@
+lib/zorder/element.ml: Array Bitstring Float Interleave Space

@@ -1,0 +1,1 @@
+lib/zorder/element.mli: Bitstring Format Space

@@ -1,0 +1,1 @@
+lib/zorder/hilbert.ml: Array Seq Space

@@ -1,0 +1,1 @@
+lib/zorder/hilbert.mli: Seq Space

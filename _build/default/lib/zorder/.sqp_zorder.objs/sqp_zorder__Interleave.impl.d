@@ -1,0 +1,1 @@
+lib/zorder/interleave.ml: Array Bitstring Printf Space

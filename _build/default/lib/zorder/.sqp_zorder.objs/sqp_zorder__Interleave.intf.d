@@ -1,0 +1,1 @@
+lib/zorder/interleave.mli: Bitstring Space

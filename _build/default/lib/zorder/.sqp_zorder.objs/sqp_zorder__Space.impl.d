@@ -1,0 +1,1 @@
+lib/zorder/space.ml: Float Format

@@ -1,0 +1,1 @@
+lib/zorder/space.mli: Format

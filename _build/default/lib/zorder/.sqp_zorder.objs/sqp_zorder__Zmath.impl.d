@@ -1,0 +1,1 @@
+lib/zorder/zmath.ml: Array Curve Decompose Float Hashtbl List Space

@@ -1,0 +1,1 @@
+lib/zorder/zmath.mli: Space

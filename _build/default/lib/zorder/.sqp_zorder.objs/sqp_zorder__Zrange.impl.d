@@ -1,0 +1,1 @@
+lib/zorder/zrange.ml: Bitstring Element List Space

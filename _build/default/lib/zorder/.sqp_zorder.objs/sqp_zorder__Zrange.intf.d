@@ -1,0 +1,1 @@
+lib/zorder/zrange.mli: Element Space

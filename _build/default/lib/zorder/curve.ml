@@ -1,0 +1,27 @@
+let rank = Interleave.rank
+
+let point_of_rank = Interleave.point_of_rank
+
+let traverse space =
+  let total = Space.total_bits space in
+  if total > 24 then invalid_arg "Curve.traverse: space too large";
+  let n = 1 lsl total in
+  Seq.init n (point_of_rank space)
+
+let rank_distance space a b = abs (rank space a - rank space b)
+
+let chebyshev_distance a b =
+  let d = ref 0 in
+  Array.iteri (fun i ai -> d := max !d (abs (ai - b.(i)))) a;
+  !d
+
+let step_lengths space =
+  if Space.dims space <> 2 then invalid_arg "Curve.step_lengths: 2d only";
+  let pts = List.of_seq (traverse space) in
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        let dx = b.(0) - a.(0) and dy = b.(1) - a.(1) in
+        ((dx * dx) + (dy * dy)) :: go rest
+    | _ -> []
+  in
+  go pts

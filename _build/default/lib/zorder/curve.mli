@@ -1,0 +1,24 @@
+(** The z curve itself (Figure 4): ranks, traversal, neighbours. *)
+
+val rank : Space.t -> int array -> int
+(** Position of a pixel along the z curve (alias of {!Interleave.rank}). *)
+
+val point_of_rank : Space.t -> int -> int array
+(** Inverse of {!rank}. *)
+
+val traverse : Space.t -> int array Seq.t
+(** All pixels in z order.  Only for small spaces (fails above 24 total
+    bits to avoid accidents).
+    @raise Invalid_argument if the space has more than 2^24 pixels. *)
+
+val rank_distance : Space.t -> int array -> int array -> int
+(** [abs (rank a - rank b)]: distance along the curve. *)
+
+val chebyshev_distance : int array -> int array -> int
+(** Max per-axis coordinate distance (spatial proximity measure used in
+    the Section 5.2 discussion). *)
+
+val step_lengths : Space.t -> int list
+(** For a 2d space: the Euclidean-squared lengths of successive curve
+    steps, in order — used to visualize how often the curve makes long
+    jumps (the source of proximity violations). *)

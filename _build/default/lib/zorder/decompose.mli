@@ -1,0 +1,64 @@
+(** Decomposition of spatial objects into elements (Section 3.1; the
+    generalized RangeSearch decomposition of [OREN84]).
+
+    The object is described by a {e classifier} telling, for any element,
+    whether the element lies entirely inside the object, entirely outside,
+    or crosses its boundary.  The decomposition recursively splits crossing
+    elements; inside elements are emitted whole, and crossing elements that
+    reach pixel resolution (or a recursion/size budget) are emitted as
+    over-approximating boundary elements.
+
+    Output is always in z order, with pairwise-disjoint elements. *)
+
+type classification = Inside | Outside | Crosses
+
+type classifier = Element.t -> classification
+(** Must be consistent: a child of an [Inside] ([Outside]) element is
+    [Inside] ([Outside]). *)
+
+type options = {
+  max_level : int option;
+      (** Stop splitting below this level; crossing elements at the level
+          are emitted (coarser, over-approximating).  [None]: split to
+          pixel resolution. *)
+  max_elements : int option;
+      (** Soft budget: once at least this many elements have been emitted,
+          remaining crossing elements are emitted un-split.  [None]:
+          unbounded.  The result over-approximates but stays exact on
+          [Inside] regions already emitted. *)
+}
+
+val default_options : options
+(** No limits: exact decomposition to pixel resolution. *)
+
+val run : ?options:options -> Space.t -> classifier -> Element.t list
+(** Eager decomposition, elements in z order. *)
+
+val to_seq : ?options:options -> Space.t -> classifier -> Element.t Seq.t
+(** Lazy decomposition: elements are produced on demand, in z order —
+    Section 3.3's "elements of the box may be generated on demand".
+    [max_elements] is ignored in this form (the consumer controls how many
+    elements to force). *)
+
+val seq_from : Space.t -> classifier -> Bitstring.t -> Element.t Seq.t
+(** [seq_from space classify zmin] lazily produces, in z order, the
+    decomposition elements [e] with [Element.zhi e >= zmin] — i.e. it
+    skips (without generating) all elements wholly before [zmin].  This is
+    the "random access on sequence B" of Section 3.3. *)
+
+val box_classifier : Space.t -> lo:int array -> hi:int array -> classifier
+(** Classifier for an axis-aligned box with inclusive integer bounds.
+    @raise Invalid_argument if bounds are invalid ([lo > hi] on some axis
+    or out of the grid). *)
+
+val decompose_box : ?options:options -> Space.t -> lo:int array -> hi:int array -> Element.t list
+(** [run] with {!box_classifier}; the decomposition of Figure 2. *)
+
+val count : ?options:options -> Space.t -> classifier -> int
+(** Number of elements [run] would produce, without materializing them. *)
+
+val is_exact_cover :
+  Space.t -> classifier -> Element.t list -> bool
+(** Debug/test helper: are the elements disjoint, in z order, and is every
+    [Inside] pixel covered and every [Outside] pixel uncovered?  Only
+    feasible for tiny spaces (iterates all pixels). *)

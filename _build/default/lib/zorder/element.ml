@@ -1,0 +1,80 @@
+type t = Bitstring.t
+
+let root = Bitstring.empty
+
+let z e = e
+
+let level = Bitstring.length
+
+let is_pixel space e = level e = Space.total_bits space
+
+let low_child e = Bitstring.append_bit e false
+let high_child e = Bitstring.append_bit e true
+let children e = (low_child e, high_child e)
+
+let parent e =
+  if Bitstring.is_empty e then None else Some (Bitstring.take e (level e - 1))
+
+let split_axis space e = Space.axis_of_level space (level e)
+
+let contains = Bitstring.is_prefix
+
+let precedes e1 e2 = Bitstring.compare e1 e2 < 0 && not (contains e1 e2)
+
+let compare = Bitstring.compare
+let equal = Bitstring.equal
+
+let zlo space e = Bitstring.pad_to e (Space.total_bits space) false
+let zhi space e = Bitstring.pad_to e (Space.total_bits space) true
+
+let box space e =
+  let d = Space.depth space in
+  let prefixes = Interleave.unshuffle space e in
+  let lo = Array.map (fun (v, len) -> v lsl (d - len)) prefixes in
+  let hi =
+    Array.map (fun (v, len) -> ((v + 1) lsl (d - len)) - 1) prefixes
+  in
+  (lo, hi)
+
+let of_box space ~lo ~hi =
+  let k = Space.dims space and d = Space.depth space in
+  if Array.length lo <> k || Array.length hi <> k then None
+  else begin
+    (* Each axis range must be [v * 2^s, (v+1) * 2^s - 1] for some shift s;
+       recover (v, d - s) per axis and check the interleaving pattern. *)
+    let exception Not_an_element in
+    try
+      let prefixes =
+        Array.init k (fun i ->
+            if not (Space.valid_coord space lo.(i) && Space.valid_coord space hi.(i)) then
+              raise Not_an_element;
+            let extent = hi.(i) - lo.(i) + 1 in
+            if extent <= 0 || extent land (extent - 1) <> 0 then raise Not_an_element;
+            let s =
+              let rec log2 acc n = if n = 1 then acc else log2 (acc + 1) (n lsr 1) in
+              log2 0 extent
+            in
+            if lo.(i) land (extent - 1) <> 0 then raise Not_an_element;
+            (lo.(i) lsr s, d - s))
+      in
+      let lens = Array.map snd prefixes in
+      for i = 1 to k - 1 do
+        if lens.(i) > lens.(i - 1) then raise Not_an_element
+      done;
+      if lens.(0) - lens.(k - 1) > 1 then raise Not_an_element;
+      Some (Interleave.shuffle_prefixes space prefixes)
+    with Not_an_element -> None
+  end
+
+let cells space e =
+  Float.pow 2.0 (float_of_int (Space.total_bits space - level e))
+
+let side_along space e axis =
+  let _, len = (Interleave.unshuffle space e).(axis) in
+  1 lsl (Space.depth space - len)
+
+let pixel = Interleave.shuffle
+
+let first_pixel space e = fst (box space e)
+
+let pp = Bitstring.pp

@@ -1,0 +1,78 @@
+(** Elements: the regions produced by recursive halving (Section 3.1).
+
+    An element is identified by its z value — a bitstring of length
+    [level] obtained by interleaving the defining coordinate-prefix bits.
+    The root element (whole space) has the empty z value; appending 0 / 1
+    descends into the low / high half of the split at the current level.
+
+    Key facts from the paper, all realized here:
+    - two elements either nest (one z value is a prefix of the other) or
+      are disjoint and ordered (z-order precedence) — overlap is impossible;
+    - the pixel z values inside an element are exactly the consecutive
+      interval [zlo, zhi] (Figure 3). *)
+
+type t = Bitstring.t
+(** An element {e is} its z value. *)
+
+val root : t
+
+val z : t -> Bitstring.t
+(** Identity; for readability at call sites. *)
+
+val level : t -> int
+(** Number of splits that produced the element = z-value length. *)
+
+val is_pixel : Space.t -> t -> bool
+(** Whether the element is a single grid cell ([level = dims * depth]). *)
+
+val low_child : t -> t
+val high_child : t -> t
+
+val children : t -> t * t
+(** [(low_child e, high_child e)], in z order. *)
+
+val parent : t -> t option
+(** [None] for the root. *)
+
+val split_axis : Space.t -> t -> int
+(** The axis discriminated by the {e next} split of this element. *)
+
+val contains : t -> t -> bool
+(** [contains e1 e2]: does [e1] spatially contain [e2]?  (Prefix test —
+    Section 4's [contains] operator.)  Reflexive. *)
+
+val precedes : t -> t -> bool
+(** Strict z-order precedence (Section 4's [precedes] operator). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val zlo : Space.t -> t -> Bitstring.t
+(** Smallest full-resolution pixel z value inside the element: the z value
+    padded with 0s to [total_bits]. *)
+
+val zhi : Space.t -> t -> Bitstring.t
+(** Largest pixel z value inside: padded with 1s. *)
+
+val box : Space.t -> t -> int array * int array
+(** [(lo, hi)]: inclusive per-axis coordinate ranges covered.  The root
+    covers [([|0;...|], [|side-1;...|])]. *)
+
+val of_box : Space.t -> lo:int array -> hi:int array -> t option
+(** [of_box space ~lo ~hi] is [Some e] iff the coordinate ranges are
+    exactly those of an element (each axis range a power-of-two-aligned
+    block and the per-axis prefix lengths a valid interleaving pattern). *)
+
+val cells : Space.t -> t -> float
+(** Number of pixels covered: [2^(total_bits - level)]. *)
+
+val side_along : Space.t -> t -> int -> int
+(** [side_along space e axis]: extent of the element along [axis]. *)
+
+val pixel : Space.t -> int array -> t
+(** The pixel element at the given coordinates ([Interleave.shuffle]). *)
+
+val first_pixel : Space.t -> t -> int array
+(** Coordinates of the lower corner (the pixel whose z value is [zlo]). *)
+
+val pp : Format.formatter -> t -> unit

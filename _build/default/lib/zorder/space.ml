@@ -1,0 +1,24 @@
+type t = { dims : int; depth : int }
+
+let make ~dims ~depth =
+  if dims < 1 then invalid_arg "Space.make: dims must be >= 1";
+  if depth < 0 then invalid_arg "Space.make: depth must be >= 0";
+  if dims * depth > 512 then invalid_arg "Space.make: dims * depth too large";
+  { dims; depth }
+
+let dims t = t.dims
+let depth t = t.depth
+
+let side t =
+  if t.depth > 61 then invalid_arg "Space.side: depth too large for int";
+  1 lsl t.depth
+
+let total_bits t = t.dims * t.depth
+
+let axis_of_level t level = level mod t.dims
+
+let cells t = Float.pow 2.0 (float_of_int (t.dims * t.depth))
+
+let valid_coord t c = c >= 0 && c < side t
+
+let pp fmt t = Format.fprintf fmt "%dd grid of 2^%d per axis" t.dims t.depth

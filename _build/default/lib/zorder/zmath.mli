@@ -1,0 +1,81 @@
+(** The analysis of Section 5: element counts E(U,V), the cyclicity and
+    border-sensitivity facts, the coarsening optimization (5.1), and the
+    proximity-preservation measurements (5.2). *)
+
+(** {1 Space requirements (Section 5.1)} *)
+
+val element_count : Space.t -> extents:int array -> int
+(** [element_count space ~extents] is E(U,V,...): the number of elements
+    in the decomposition of the box anchored at the origin with the given
+    per-axis extents (so the 2d box is [0,U-1] x [0,V-1]).
+    @raise Invalid_argument if an extent is [< 1] or exceeds the side. *)
+
+val element_count_analytic : Space.t -> extents:int array -> int
+(** E(U,V,...) computed by the [OREN83]-style recurrence over the split
+    tree (no decomposition materialized): a region contributes 1 when the
+    box covers it exactly, 0 when disjoint, and otherwise the sum over its
+    two halves.  Memoized; runs in O((k*d)^2) states.  Agrees with
+    {!element_count} on every input (property-tested). *)
+
+val bit_spread : int array -> int
+(** Number of bit positions between the first and last 1 bits (inclusive)
+    of the bitwise OR of the extents — the quantity the paper says E is
+    "highly dependent on".  [bit_spread [|12|] = 3] (1100). *)
+
+val coarsen_extent : int -> m:int -> int
+(** [coarsen_extent u ~m]: the smallest [u' >= u] whose last [m] bits are
+    zero — the paper's boundary-expansion construction (e.g.
+    [coarsen_extent 0b01101101 ~m:4 = 0b01110000]). *)
+
+val coarsen : Space.t -> extents:int array -> m:int -> int array
+(** Apply {!coarsen_extent} to every axis, clamping at the grid side. *)
+
+type coarsening_report = {
+  m : int;
+  extents : int array;          (** coarsened extents *)
+  elements : int;               (** E of the coarsened box *)
+  area_ratio : float;           (** coarsened volume / true volume *)
+}
+
+val coarsening_sweep : Space.t -> extents:int array -> coarsening_report list
+(** One report per [m = 0 .. depth]: how the element count falls and the
+    over-approximation grows — the trade-off of Section 5.1. *)
+
+(** {1 Proximity (Section 5.2)} *)
+
+type proximity_row = {
+  spatial_distance : int;          (** Chebyshev distance delta *)
+  samples : int;
+  median_rank_distance : int;
+  p90_rank_distance : int;
+  within_page : float;
+      (** Fraction of sampled pairs whose rank distance is below one page
+          worth of pixels (space cells / pages). *)
+}
+
+val proximity_table :
+  rng:(int -> int) ->
+  Space.t ->
+  distances:int list ->
+  samples:int ->
+  pages:int ->
+  proximity_row list
+(** Monte-Carlo measurement of proximity preservation: for each spatial
+    distance delta, sample [samples] random pairs of pixels at Chebyshev
+    distance exactly delta and record how far apart they land in z order.
+    [rng n] must return a uniform integer in [0, n-1]. *)
+
+(** {1 Page-access predictions (Section 5.3.1)} *)
+
+val predicted_range_pages :
+  ?pages_per_block:float ->
+  n_pages:int -> side:int -> query_extents:int array -> unit -> float
+(** Upper bound on data pages accessed by a range query, from the
+    fixed-size-page block model of Section 5.2: the space is tiled by
+    equal rectangular blocks of at most [pages_per_block] pages (6 in 2d,
+    28/3 in 3d); the query overlaps at most
+    [prod_i (q_i / block_side + 1)] blocks.  Expands to [v*N + perimeter
+    terms + const] — the O(vN), shape-sensitive bound. *)
+
+val predicted_partial_match_pages : n_pages:int -> dims:int -> restricted:int -> float
+(** [O(N^(1 - t/k))] with constant 1. *)

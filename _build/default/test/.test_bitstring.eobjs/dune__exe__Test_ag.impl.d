@@ -1,0 +1,1 @@
+test/test_ag.ml: Alcotest Array List Sqp_btree Sqp_core Sqp_geom Sqp_zorder

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest List Sqp_core Sqp_workload String

@@ -1,0 +1,1 @@
+test/test_bigmin.ml: Alcotest List QCheck2 QCheck_alcotest Sqp_zorder

@@ -1,0 +1,1 @@
+test/test_bptree.ml: Alcotest Array Fun Hashtbl List QCheck2 QCheck_alcotest Sqp_btree Sqp_storage Sqp_workload Sqp_zorder

@@ -1,0 +1,1 @@
+test/test_ccl.ml: Alcotest Array Hashtbl List QCheck2 QCheck_alcotest Sqp_core Sqp_grid Sqp_workload Sqp_zorder

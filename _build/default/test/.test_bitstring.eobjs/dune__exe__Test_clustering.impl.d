@@ -1,0 +1,1 @@
+test/test_clustering.ml: Alcotest Array List Sqp_core Sqp_geom Sqp_workload Sqp_zorder

@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest List QCheck2 QCheck_alcotest Sqp_geom Sqp_zorder

@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Array Format List QCheck2 QCheck_alcotest Sqp_grid Sqp_zorder

@@ -1,0 +1,1 @@
+test/test_hilbert.ml: Alcotest Array Hashtbl List QCheck2 QCheck_alcotest Sqp_zorder

@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest List QCheck2 QCheck_alcotest Sqp_core Sqp_geom Sqp_grid Sqp_workload Sqp_zorder

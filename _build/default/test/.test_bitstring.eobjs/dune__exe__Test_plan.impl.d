@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Array List Sqp_geom Sqp_relalg Sqp_zorder String

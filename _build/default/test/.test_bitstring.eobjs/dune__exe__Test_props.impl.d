@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest List QCheck2 QCheck_alcotest Sqp_core Sqp_grid Sqp_workload Sqp_zorder

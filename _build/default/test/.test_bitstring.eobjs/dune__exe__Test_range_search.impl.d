@@ -1,0 +1,1 @@
+test/test_range_search.ml: Alcotest Array List QCheck2 QCheck_alcotest Sqp_core Sqp_geom Sqp_workload Sqp_zorder String

@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Array List Sqp_geom Sqp_relalg Sqp_workload Sqp_zorder

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest List Printf Sqp_geom Sqp_report Sqp_zorder String

@@ -1,0 +1,1 @@
+test/test_reports.ml: Alcotest Fun Sqp_core Sqp_workload Sys Unix

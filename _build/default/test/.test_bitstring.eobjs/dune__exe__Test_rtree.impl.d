@@ -1,0 +1,1 @@
+test/test_rtree.ml: Alcotest Array List QCheck2 QCheck_alcotest Sqp_geom Sqp_kdtree Sqp_workload

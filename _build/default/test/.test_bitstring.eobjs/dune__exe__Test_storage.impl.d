@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array List QCheck2 QCheck_alcotest Sqp_storage

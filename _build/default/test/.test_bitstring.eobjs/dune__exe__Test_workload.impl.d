@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fun Hashtbl List Sqp_geom Sqp_workload

@@ -1,0 +1,1 @@
+test/test_zindex.ml: Alcotest Array List QCheck2 QCheck_alcotest Sqp_btree Sqp_geom Sqp_workload Sqp_zorder

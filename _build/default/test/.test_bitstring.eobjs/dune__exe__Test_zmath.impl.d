@@ -1,0 +1,1 @@
+test/test_zmath.ml: Alcotest List Printf QCheck2 QCheck_alcotest Sqp_workload Sqp_zorder

@@ -1,0 +1,1 @@
+test/test_zobjects.ml: Alcotest List Sqp_btree Sqp_geom Sqp_workload Sqp_zorder

@@ -1,0 +1,1 @@
+test/test_zorder.ml: Alcotest Array List QCheck2 QCheck_alcotest Sqp_zorder Stdlib

@@ -1,0 +1,1 @@
+test/test_zrange.ml: Alcotest List QCheck2 QCheck_alcotest Sqp_zorder

@@ -1,0 +1,146 @@
+(* The object-class facade (Section 4's five operators) and the 1d case
+   the paper mentions in passing ("the ideas extend ... to 1d"). *)
+
+module Ag = Sqp_core.Ag
+module Z = Sqp_zorder
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let space = Ag.space ~dims:2 ~depth:3
+
+let test_shuffle () =
+  check_str "pixel z value" "011011" (Ag.z_string (Ag.shuffle space [| 3; 5 |]))
+
+let test_shuffle_region () =
+  (match Ag.shuffle_region space ~lo:[| 2; 0 |] ~hi:[| 3; 3 |] with
+  | Some e -> check_str "region 001" "001" (Ag.z_string e)
+  | None -> Alcotest.fail "region expected");
+  check "non-element region" true
+    (Ag.shuffle_region space ~lo:[| 1; 0 |] ~hi:[| 2; 1 |] = None)
+
+let test_unshuffle () =
+  let lo, hi = Ag.unshuffle space (Ag.of_z_string "001") in
+  Alcotest.(check (array int)) "lo" [| 2; 0 |] lo;
+  Alcotest.(check (array int)) "hi" [| 3; 3 |] hi
+
+let test_decompose () =
+  let els =
+    Ag.decompose space (Sqp_geom.Shape.Box (Sqp_geom.Box.of_ranges [ (1, 3); (0, 4) ]))
+  in
+  Alcotest.(check (list string)) "figure 2"
+    [ "00001"; "00011"; "001"; "010010"; "011000"; "011010" ]
+    (List.map Ag.z_string els)
+
+let test_precedes_contains () =
+  let a = Ag.of_z_string "001" and b = Ag.of_z_string "001101" in
+  check "contains" true (Ag.contains a b);
+  check "contains is reflexive" true (Ag.contains a a);
+  check "precedes" true (Ag.precedes (Ag.of_z_string "000") a);
+  check "contained not precedes" false (Ag.precedes a b)
+
+let test_related () =
+  let a = Ag.of_z_string "001" in
+  check "equal" true (Ag.related a a = `Equal);
+  check "contains" true (Ag.related a (Ag.of_z_string "0011") = `Contains);
+  check "contained" true (Ag.related (Ag.of_z_string "0011") a = `Contained);
+  check "precedes" true (Ag.related (Ag.of_z_string "000") a = `Precedes);
+  check "follows" true (Ag.related (Ag.of_z_string "01") a = `Follows)
+
+let test_related_exhaustive () =
+  (* The paper's dichotomy: any two elements are related; overlap other
+     than containment is impossible.  Verify geometrically. *)
+  let all_elements =
+    let rec gen e depth acc =
+      let acc = e :: acc in
+      if depth = 0 then acc
+      else
+        let l, h = Z.Element.children e in
+        gen h (depth - 1) (gen l (depth - 1) acc)
+    in
+    gen Z.Element.root 4 []
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let alo, ahi = Ag.unshuffle space a and blo, bhi = Ag.unshuffle space b in
+          let overlap =
+            alo.(0) <= bhi.(0) && blo.(0) <= ahi.(0) && alo.(1) <= bhi.(1)
+            && blo.(1) <= ahi.(1)
+          in
+          match Ag.related a b with
+          | `Equal | `Contains | `Contained ->
+              if not overlap then Alcotest.fail "containment without overlap"
+          | `Precedes | `Follows ->
+              if overlap then Alcotest.fail "overlap without containment")
+        all_elements)
+    all_elements
+
+let test_zlo_zhi () =
+  let e = Ag.of_z_string "001" in
+  check_str "zlo" "001000" (Ag.z_string (Ag.zlo space e));
+  check_str "zhi" "001111" (Ag.z_string (Ag.zhi space e))
+
+(* {1 The 1d case} *)
+
+let space1 = Ag.space ~dims:1 ~depth:6
+
+let test_1d_shuffle_is_identity () =
+  (* With one dimension, interleaving is the identity: z value = binary
+     representation, z order = numeric order. *)
+  for v = 0 to 63 do
+    check_int "rank = value" v (Z.Interleave.rank space1 [| v |])
+  done
+
+let test_1d_interval_decomposition () =
+  (* Decomposing [21, 42] gives the classic binary cover of an interval. *)
+  let els = Z.Decompose.decompose_box space1 ~lo:[| 21 |] ~hi:[| 42 |] in
+  let covered =
+    List.concat_map
+      (fun e ->
+        let lo, hi = Z.Element.box space1 e in
+        List.init (hi.(0) - lo.(0) + 1) (fun i -> lo.(0) + i))
+      els
+  in
+  Alcotest.(check (list int)) "covers the interval" (List.init 22 (fun i -> 21 + i))
+    (List.sort compare covered);
+  check "few elements" true (List.length els <= 2 * 6)
+
+let test_1d_range_search () =
+  (* 1d points = plain numbers; the zkd B+-tree degenerates to an ordinary
+     B+-tree range scan. *)
+  let points = Array.init 40 (fun i -> ([| (i * 13) mod 64 |], i)) in
+  let index = Sqp_btree.Zindex.of_points ~leaf_capacity:4 space1 points in
+  let results, _ =
+    Sqp_btree.Zindex.range_search index (Sqp_geom.Box.of_ranges [ (10, 30) ])
+  in
+  let expected =
+    Array.to_list points
+    |> List.filter (fun (p, _) -> p.(0) >= 10 && p.(0) <= 30)
+    |> List.length
+  in
+  check_int "1d range" expected (List.length results)
+
+let () =
+  Alcotest.run "ag"
+    [
+      ( "facade",
+        [
+          Alcotest.test_case "shuffle" `Quick test_shuffle;
+          Alcotest.test_case "shuffle_region" `Quick test_shuffle_region;
+          Alcotest.test_case "unshuffle" `Quick test_unshuffle;
+          Alcotest.test_case "decompose (figure 2)" `Quick test_decompose;
+          Alcotest.test_case "precedes/contains" `Quick test_precedes_contains;
+          Alcotest.test_case "related" `Quick test_related;
+          Alcotest.test_case "related is geometrically exhaustive" `Quick test_related_exhaustive;
+          Alcotest.test_case "zlo/zhi" `Quick test_zlo_zhi;
+        ] );
+      ( "one-dimensional",
+        [
+          Alcotest.test_case "1d shuffle = identity" `Quick test_1d_shuffle_is_identity;
+          Alcotest.test_case "1d interval decomposition" `Quick test_1d_interval_decomposition;
+          Alcotest.test_case "1d range search" `Quick test_1d_range_search;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+module A = Sqp_core.Analysis
+module E = Sqp_core.Experiment
+module W = Sqp_workload
+
+let check = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 0.0001))
+
+let test_fit_power_exact () =
+  (* y = 3 * x^2 recovers exactly. *)
+  let samples = List.map (fun x -> (x, 3.0 *. x *. x)) [ 1.0; 2.0; 4.0; 8.0 ] in
+  let c, alpha = A.fit_power samples in
+  check_float "exponent" 2.0 alpha;
+  check_float "constant" 3.0 c
+
+let test_fit_power_sqrt () =
+  let samples = List.map (fun x -> (x, sqrt x)) [ 1.0; 4.0; 16.0; 64.0 ] in
+  let _, alpha = A.fit_power samples in
+  check_float "exponent 0.5" 0.5 alpha
+
+let test_fit_power_invalid () =
+  List.iter
+    (fun samples ->
+      match A.fit_power samples with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+    [ []; [ (1.0, 1.0) ]; [ (1.0, 1.0); (0.0, 2.0) ]; [ (1.0, -1.0); (2.0, 1.0) ] ]
+
+let test_means () =
+  check_float "mean" 2.0 (A.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "mean empty" 0.0 (A.mean []);
+  check_float "gmean" 2.0 (A.geometric_mean [ 1.0; 2.0; 4.0 ]);
+  check_float "gmean empty" 0.0 (A.geometric_mean [])
+
+let test_pages_per_block () =
+  check_float "2d" 6.0 (A.pages_per_block_bound ~dims:2);
+  check_float "3d" (28.0 /. 3.0) (A.pages_per_block_bound ~dims:3);
+  check "grows with k" true
+    (A.pages_per_block_bound ~dims:4 > 6.0)
+
+let test_predictions_monotone () =
+  let pred q =
+    A.predicted_range_pages ~n_pages:250 ~side:1024 ~query_extents:[| q; q |]
+  in
+  check "monotone in query size" true (pred 100 < pred 200 && pred 200 < pred 400);
+  let pm t = A.predicted_partial_match_pages ~n_pages:250 ~dims:2 ~restricted:t in
+  check "more restriction, fewer pages" true (pm 1 < pm 0 && pm 2 < pm 1)
+
+(* {1 Experiment driver} *)
+
+let small_config dataset =
+  {
+    (E.default dataset) with
+    E.n_points = 600;
+    depth = 8;
+    locations = 3;
+    volumes = [ 0.0625; 0.25 ];
+    aspects = [ 0.25; 1.0; 4.0 ];
+  }
+
+let test_build_points_deterministic () =
+  let c = small_config W.Datagen.Uniform in
+  let a = E.build_points c and b = E.build_points c in
+  check "same seed, same data" true (a = b);
+  let c2 = { c with E.seed = 7 } in
+  check "different seed differs" true (E.build_points c2 <> a)
+
+let test_range_rows_shape () =
+  let rows = E.range_rows (small_config W.Datagen.Uniform) in
+  Alcotest.(check int) "rows = volumes x aspects" 6 (List.length rows);
+  List.iter
+    (fun r ->
+      check "pages positive" true (r.E.mean_pages > 0.0);
+      check "prediction above measurement (paper hypothesis)" true
+        (r.E.predicted >= r.E.mean_pages *. 0.8);
+      check "efficiency in range" true
+        (r.E.mean_efficiency >= 0.0 && r.E.mean_efficiency <= 1.0))
+    rows
+
+let test_efficiency_grows_with_volume () =
+  let rows = E.range_rows (small_config W.Datagen.Uniform) in
+  let eff v =
+    let matching = List.filter (fun r -> r.E.volume = v) rows in
+    A.mean (List.map (fun r -> r.E.mean_efficiency) matching)
+  in
+  check "bigger volume, higher efficiency" true (eff 0.25 > eff 0.0625)
+
+let test_structure_comparison_sane () =
+  let rows = E.structure_comparison (small_config W.Datagen.Uniform) in
+  List.iter
+    (fun c ->
+      check "zkd comparable to kd (within 4x)" true
+        (c.E.zkd_pages <= 4.0 *. c.E.kd_pages +. 4.0);
+      check "zkd beats scan on small queries" true
+        (c.E.c_volume > 0.1 || c.E.zkd_pages < c.E.scan_pages))
+    rows
+
+let test_partial_match_scaling () =
+  let config = { (small_config W.Datagen.Uniform) with E.locations = 5 } in
+  let samples, alpha = E.partial_match_scaling ~ns:[ 500; 1000; 2000; 4000 ] config in
+  Alcotest.(check int) "sample count" 4 (List.length samples);
+  (* The paper predicts exponent 1 - t/k = 0.5; allow a generous band. *)
+  check "exponent near 0.5" true (alpha > 0.2 && alpha < 0.8)
+
+let test_figure6_renders () =
+  let s = E.figure6 ~depth:5 ~n_points:200 W.Datagen.Uniform in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "32 rows + trailing" 33 (List.length lines);
+  check "uses page letters" true (String.exists (fun c -> c <> '.' && c <> '\n') s)
+
+let test_figure6_diagonal_capped () =
+  (* Must not hang: the diagonal band holds few distinct cells. *)
+  let s = E.figure6 ~depth:5 ~n_points:100000 W.Datagen.Diagonal in
+  check "rendered" true (String.length s > 0)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "fitting",
+        [
+          Alcotest.test_case "power fit exact" `Quick test_fit_power_exact;
+          Alcotest.test_case "sqrt fit" `Quick test_fit_power_sqrt;
+          Alcotest.test_case "invalid inputs" `Quick test_fit_power_invalid;
+          Alcotest.test_case "means" `Quick test_means;
+        ] );
+      ( "predictions",
+        [
+          Alcotest.test_case "pages per block" `Quick test_pages_per_block;
+          Alcotest.test_case "monotone" `Quick test_predictions_monotone;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "deterministic" `Quick test_build_points_deterministic;
+          Alcotest.test_case "range rows" `Quick test_range_rows_shape;
+          Alcotest.test_case "efficiency vs volume (paper)" `Quick test_efficiency_grows_with_volume;
+          Alcotest.test_case "structure comparison" `Quick test_structure_comparison_sane;
+          Alcotest.test_case "partial-match exponent" `Quick test_partial_match_scaling;
+          Alcotest.test_case "figure 6 renders" `Quick test_figure6_renders;
+          Alcotest.test_case "figure 6 diagonal capped" `Quick test_figure6_diagonal_capped;
+        ] );
+    ]

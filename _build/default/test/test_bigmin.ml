@@ -1,0 +1,122 @@
+module Z = Sqp_zorder
+
+let check = Alcotest.(check bool)
+
+let s23 = Z.Space.make ~dims:2 ~depth:3
+let s33 = Z.Space.make ~dims:3 ~depth:2
+
+let brute_bigmin space ~lo ~hi z =
+  let n = 1 lsl Z.Space.total_bits space in
+  let rec go r =
+    if r >= n then None
+    else if r >= z && Z.Bigmin.in_box space ~lo ~hi r then Some r
+    else go (r + 1)
+  in
+  go 0
+
+let brute_litmax space ~lo ~hi z =
+  let rec go r =
+    if r < 0 then None
+    else if r <= z && Z.Bigmin.in_box space ~lo ~hi r then Some r
+    else go (r - 1)
+  in
+  go ((1 lsl Z.Space.total_bits space) - 1)
+
+let test_in_box () =
+  let lo = [| 1; 0 |] and hi = [| 3; 4 |] in
+  check "27 = (3,5) outside" false (Z.Bigmin.in_box s23 ~lo ~hi 27);
+  let z21 = Z.Interleave.rank s23 [| 2; 1 |] in
+  check "(2,1) inside" true (Z.Bigmin.in_box s23 ~lo ~hi z21)
+
+let test_bigmin_exhaustive_2d () =
+  let boxes =
+    [
+      ([| 1; 0 |], [| 3; 4 |]);
+      ([| 0; 0 |], [| 7; 7 |]);
+      ([| 3; 3 |], [| 3; 3 |]);
+      ([| 0; 6 |], [| 1; 7 |]);
+      ([| 2; 2 |], [| 5; 5 |]);
+      ([| 0; 0 |], [| 0; 7 |]);
+    ]
+  in
+  List.iter
+    (fun (lo, hi) ->
+      for z = 0 to 63 do
+        if Z.Bigmin.bigmin s23 ~lo ~hi z <> brute_bigmin s23 ~lo ~hi z then
+          Alcotest.failf "bigmin mismatch at z=%d" z
+      done)
+    boxes
+
+let test_litmax_exhaustive_2d () =
+  let boxes =
+    [ ([| 1; 0 |], [| 3; 4 |]); ([| 2; 2 |], [| 5; 5 |]); ([| 3; 3 |], [| 3; 3 |]) ]
+  in
+  List.iter
+    (fun (lo, hi) ->
+      for z = 0 to 63 do
+        if Z.Bigmin.litmax s23 ~lo ~hi z <> brute_litmax s23 ~lo ~hi z then
+          Alcotest.failf "litmax mismatch at z=%d" z
+      done)
+    boxes
+
+let test_bigmin_exhaustive_3d () =
+  let lo = [| 1; 0; 2 |] and hi = [| 2; 3; 3 |] in
+  for z = 0 to 63 do
+    if Z.Bigmin.bigmin s33 ~lo ~hi z <> brute_bigmin s33 ~lo ~hi z then
+      Alcotest.failf "3d bigmin mismatch at z=%d" z
+  done
+
+let test_bigmin_inside_is_identity () =
+  let lo = [| 1; 0 |] and hi = [| 3; 4 |] in
+  for z = 0 to 63 do
+    if Z.Bigmin.in_box s23 ~lo ~hi z then
+      check "identity" true (Z.Bigmin.bigmin s23 ~lo ~hi z = Some z)
+  done
+
+let test_invalid () =
+  List.iter
+    (fun f ->
+      match f () with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> Z.Bigmin.bigmin s23 ~lo:[| 3; 3 |] ~hi:[| 1; 1 |] 0);
+      (fun () -> Z.Bigmin.bigmin s23 ~lo:[| 0 |] ~hi:[| 1 |] 0);
+      (fun () -> Z.Bigmin.bigmin s23 ~lo:[| 0; 0 |] ~hi:[| 8; 3 |] 0);
+    ]
+
+(* Property: random boxes on a 16x16 grid vs brute force. *)
+
+let s4 = Z.Space.make ~dims:2 ~depth:4
+
+let gen_case =
+  QCheck2.Gen.(
+    let coord = int_bound 15 in
+    map
+      (fun (x1, x2, y1, y2, z) ->
+        (([| min x1 x2; min y1 y2 |], [| max x1 x2; max y1 y2 |]), z))
+      (tup5 coord coord coord coord (int_bound 255)))
+
+let prop_bigmin =
+  QCheck2.Test.make ~name:"bigmin = brute force (16x16)" ~count:500 gen_case
+    (fun ((lo, hi), z) -> Z.Bigmin.bigmin s4 ~lo ~hi z = brute_bigmin s4 ~lo ~hi z)
+
+let prop_litmax =
+  QCheck2.Test.make ~name:"litmax = brute force (16x16)" ~count:500 gen_case
+    (fun ((lo, hi), z) -> Z.Bigmin.litmax s4 ~lo ~hi z = brute_litmax s4 ~lo ~hi z)
+
+let () =
+  Alcotest.run "bigmin"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "in_box" `Quick test_in_box;
+          Alcotest.test_case "bigmin exhaustive 2d" `Quick test_bigmin_exhaustive_2d;
+          Alcotest.test_case "litmax exhaustive 2d" `Quick test_litmax_exhaustive_2d;
+          Alcotest.test_case "bigmin exhaustive 3d" `Quick test_bigmin_exhaustive_3d;
+          Alcotest.test_case "bigmin inside = identity" `Quick test_bigmin_inside_is_identity;
+          Alcotest.test_case "invalid" `Quick test_invalid;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_bigmin; prop_litmax ] );
+    ]

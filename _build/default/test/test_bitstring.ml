@@ -1,0 +1,239 @@
+module B = Sqp_zorder.Bitstring
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let bs = B.of_string
+
+let test_empty () =
+  check_int "length" 0 (B.length B.empty);
+  check "is_empty" true (B.is_empty B.empty);
+  check_str "to_string" "" (B.to_string B.empty)
+
+let test_of_string_roundtrip () =
+  List.iter
+    (fun s -> check_str s s (B.to_string (bs s)))
+    [ "0"; "1"; "01"; "10"; "0110"; "11111111"; "101010101"; "0000000000000000" ]
+
+let test_of_string_invalid () =
+  Alcotest.check_raises "bad char" (Invalid_argument "Bitstring.of_string: bad char x")
+    (fun () -> ignore (bs "01x0"))
+
+let test_get () =
+  let t = bs "0110" in
+  check "bit 0" false (B.get t 0);
+  check "bit 1" true (B.get t 1);
+  check "bit 2" true (B.get t 2);
+  check "bit 3" false (B.get t 3)
+
+let test_get_out_of_bounds () =
+  let t = bs "01" in
+  List.iter
+    (fun i ->
+      match B.get t i with
+      | _ -> Alcotest.failf "expected failure at index %d" i
+      | exception Invalid_argument _ -> ())
+    [ -1; 2; 100 ]
+
+let test_of_int () =
+  check_str "27 in 6 bits" "011011" (B.to_string (B.of_int 27 ~width:6));
+  check_str "0 in 4 bits" "0000" (B.to_string (B.of_int 0 ~width:4));
+  check_str "0 in 0 bits" "" (B.to_string (B.of_int 0 ~width:0));
+  check_int "roundtrip" 27 (B.to_int (B.of_int 27 ~width:6))
+
+let test_of_int_invalid () =
+  List.iter
+    (fun f ->
+      match f () with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> B.of_int (-1) ~width:4);
+      (fun () -> B.of_int 16 ~width:4);
+      (fun () -> B.of_int 1 ~width:63);
+      (fun () -> B.of_int 0 ~width:(-1));
+    ]
+
+let test_append_bit () =
+  check_str "append 1" "011" (B.to_string (B.append_bit (bs "01") true));
+  check_str "append 0" "0" (B.to_string (B.append_bit B.empty false))
+
+let test_concat () =
+  check_str "both" "0110" (B.to_string (B.concat (bs "01") (bs "10")));
+  check_str "left empty" "10" (B.to_string (B.concat B.empty (bs "10")));
+  check_str "right empty" "01" (B.to_string (B.concat (bs "01") B.empty));
+  (* Crossing byte boundaries. *)
+  check_str "long"
+    "0110110101101101"
+    (B.to_string (B.concat (bs "01101101") (bs "01101101")))
+
+let test_take_drop () =
+  let t = bs "0110110" in
+  check_str "take 3" "011" (B.to_string (B.take t 3));
+  check_str "take 0" "" (B.to_string (B.take t 0));
+  check_str "take all" "0110110" (B.to_string (B.take t 7));
+  check_str "drop 3" "0110" (B.to_string (B.drop t 3));
+  check_str "drop 0" "0110110" (B.to_string (B.drop t 0));
+  check_str "drop all" "" (B.to_string (B.drop t 7))
+
+let test_take_invariant () =
+  (* take must zero trailing bits so equality stays structural. *)
+  let a = B.take (bs "0111") 2 and b = B.take (bs "0100") 2 in
+  check "equal after take" true (B.equal a b);
+  check_int "same hash" (B.hash a) (B.hash b)
+
+let test_pad_to () =
+  check_str "pad 0s" "01000" (B.to_string (B.pad_to (bs "01") 5 false));
+  check_str "pad 1s" "01111" (B.to_string (B.pad_to (bs "01") 5 true));
+  check_str "pad same" "01" (B.to_string (B.pad_to (bs "01") 2 true))
+
+let test_set () =
+  check_str "set" "0100" (B.to_string (B.set (bs "0110") 2 false));
+  let t = bs "0110" in
+  ignore (B.set t 2 false);
+  check_str "original untouched" "0110" (B.to_string t)
+
+let test_compare_lexicographic () =
+  let lt a b = B.compare (bs a) (bs b) < 0 in
+  check "0 < 1" true (lt "0" "1");
+  check "00 < 01" true (lt "00" "01");
+  check "prefix < extension" true (lt "01" "010");
+  check "prefix < extension 1" true (lt "01" "011");
+  check "equal" true (B.compare (bs "0101") (bs "0101") = 0);
+  check "0010 < 01" true (lt "0010" "01");
+  check "empty < 0" true (lt "" "0")
+
+let test_compare_long () =
+  (* Multi-byte comparison paths. *)
+  let a = bs "00000000000000001" and b = bs "00000000000000010" in
+  check "17-bit compare" true (B.compare a b < 0);
+  check "reverse" true (B.compare b a > 0)
+
+let test_is_prefix () =
+  check "empty prefix" true (B.is_prefix B.empty (bs "0110"));
+  check "proper" true (B.is_prefix (bs "011") (bs "0110"));
+  check "equal" true (B.is_prefix (bs "0110") (bs "0110"));
+  check "longer" false (B.is_prefix (bs "01101") (bs "0110"));
+  check "mismatch" false (B.is_prefix (bs "010") (bs "0110"))
+
+let test_common_prefix_len () =
+  check_int "disjoint at 0" 0 (B.common_prefix_len (bs "0") (bs "1"));
+  check_int "partial" 2 (B.common_prefix_len (bs "0110") (bs "0101"));
+  check_int "full" 4 (B.common_prefix_len (bs "0110") (bs "0110"));
+  check_int "prefix" 2 (B.common_prefix_len (bs "01") (bs "0110"))
+
+let test_shortest_separator () =
+  let sep lo hi = B.to_string (B.shortest_separator ~lo:(bs lo) ~hi:(bs hi)) in
+  check_str "simple" "01" (sep "0010" "0100");
+  check_str "prefix case" "011" (sep "01" "0110");
+  check_str "adjacent" "1" (sep "0111" "1000");
+  Alcotest.check_raises "lo >= hi"
+    (Invalid_argument "Bitstring.shortest_separator: lo >= hi") (fun () ->
+      ignore (B.shortest_separator ~lo:(bs "01") ~hi:(bs "01")))
+
+let test_successor () =
+  let succ s =
+    match B.successor (bs s) with None -> "none" | Some t -> B.to_string t
+  in
+  check_str "simple" "0110" (succ "0101");
+  check_str "carry" "1000" (succ "0111");
+  check_str "all ones" "none" (succ "111");
+  check_str "zero" "001" (succ "000")
+
+(* Property tests *)
+
+let gen_bitstring =
+  QCheck2.Gen.(
+    map
+      (fun bits -> B.of_bools bits)
+      (list_size (int_bound 40) bool))
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"of_string/to_string roundtrip" ~count:500 gen_bitstring
+    (fun t -> B.equal t (B.of_string (B.to_string t)))
+
+let prop_compare_antisym =
+  QCheck2.Test.make ~name:"compare antisymmetric" ~count:500
+    QCheck2.Gen.(pair gen_bitstring gen_bitstring)
+    (fun (a, b) -> B.compare a b = -B.compare b a)
+
+let prop_compare_transitive =
+  QCheck2.Test.make ~name:"compare transitive" ~count:500
+    QCheck2.Gen.(triple gen_bitstring gen_bitstring gen_bitstring)
+    (fun (a, b, c) ->
+      let l = List.sort B.compare [ a; b; c ] in
+      match l with
+      | [ x; y; z ] -> B.compare x y <= 0 && B.compare y z <= 0 && B.compare x z <= 0
+      | _ -> false)
+
+let prop_concat_take_drop =
+  QCheck2.Test.make ~name:"take ++ drop = id" ~count:500
+    QCheck2.Gen.(pair gen_bitstring (int_bound 40))
+    (fun (t, n) ->
+      let n = min n (B.length t) in
+      B.equal t (B.concat (B.take t n) (B.drop t n)))
+
+let prop_prefix_compare =
+  QCheck2.Test.make ~name:"prefix sorts before extension" ~count:500
+    QCheck2.Gen.(pair gen_bitstring gen_bitstring)
+    (fun (a, ext) ->
+      B.length ext = 0 || B.compare a (B.concat a ext) < 0)
+
+let prop_separator =
+  QCheck2.Test.make ~name:"separator: lo < s <= hi" ~count:500
+    QCheck2.Gen.(pair gen_bitstring gen_bitstring)
+    (fun (a, b) ->
+      let c = B.compare a b in
+      if c = 0 then true
+      else
+        let lo, hi = if c < 0 then (a, b) else (b, a) in
+        let s = B.shortest_separator ~lo ~hi in
+        B.compare lo s < 0 && B.compare s hi <= 0)
+
+let prop_successor =
+  QCheck2.Test.make ~name:"successor is +1 as integer" ~count:500
+    QCheck2.Gen.(pair (int_bound 1000000) (int_range 20 30))
+    (fun (v, width) ->
+      let t = B.of_int v ~width in
+      match B.successor t with
+      | Some s -> B.to_int s = v + 1
+      | None -> v = (1 lsl width) - 1)
+
+let () =
+  Alcotest.run "bitstring"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "of_string roundtrip" `Quick test_of_string_roundtrip;
+          Alcotest.test_case "of_string invalid" `Quick test_of_string_invalid;
+          Alcotest.test_case "get" `Quick test_get;
+          Alcotest.test_case "get out of bounds" `Quick test_get_out_of_bounds;
+          Alcotest.test_case "of_int" `Quick test_of_int;
+          Alcotest.test_case "of_int invalid" `Quick test_of_int_invalid;
+          Alcotest.test_case "append_bit" `Quick test_append_bit;
+          Alcotest.test_case "concat" `Quick test_concat;
+          Alcotest.test_case "take/drop" `Quick test_take_drop;
+          Alcotest.test_case "take zeroes trailing bits" `Quick test_take_invariant;
+          Alcotest.test_case "pad_to" `Quick test_pad_to;
+          Alcotest.test_case "set" `Quick test_set;
+          Alcotest.test_case "compare lexicographic" `Quick test_compare_lexicographic;
+          Alcotest.test_case "compare long" `Quick test_compare_long;
+          Alcotest.test_case "is_prefix" `Quick test_is_prefix;
+          Alcotest.test_case "common_prefix_len" `Quick test_common_prefix_len;
+          Alcotest.test_case "shortest_separator" `Quick test_shortest_separator;
+          Alcotest.test_case "successor" `Quick test_successor;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_roundtrip;
+            prop_compare_antisym;
+            prop_compare_transitive;
+            prop_concat_take_drop;
+            prop_prefix_compare;
+            prop_separator;
+            prop_successor;
+          ] );
+    ]

@@ -1,0 +1,161 @@
+module C = Sqp_core.Ccl
+module U = Sqp_core.Union_find
+module Z = Sqp_zorder
+module G = Sqp_grid.Bitgrid
+module W = Sqp_workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let space = Z.Space.make ~dims:2 ~depth:5
+
+(* {1 Union-find} *)
+
+let test_union_find () =
+  let uf = U.create 6 in
+  check_int "initial sets" 6 (U.count uf);
+  U.union uf 0 1;
+  U.union uf 2 3;
+  U.union uf 1 2;
+  check_int "after unions" 3 (U.count uf);
+  check "same" true (U.same uf 0 3);
+  check "different" false (U.same uf 0 4);
+  U.union uf 0 3; (* no-op *)
+  check_int "idempotent" 3 (U.count uf);
+  let labels = U.compress_labels uf in
+  check_int "dense labels" 3 (1 + Array.fold_left max 0 labels);
+  check "label consistency" true (labels.(0) = labels.(3) && labels.(4) <> labels.(5))
+
+(* {1 CCL vs pixel oracle} *)
+
+let random_grid seed blobs =
+  let rng = W.Rng.create ~seed in
+  let g = G.create ~side:32 in
+  for _ = 1 to blobs do
+    let cx = W.Rng.int rng 32 and cy = W.Rng.int rng 32 in
+    let r = 1 + W.Rng.int rng 4 in
+    for x = max 0 (cx - r) to min 31 (cx + r) do
+      for y = max 0 (cy - r) to min 31 (cy + r) do
+        if ((x - cx) * (x - cx)) + ((y - cy) * (y - cy)) <= r * r then
+          G.set g x y true
+      done
+    done
+  done;
+  g
+
+let labels_agree g els result =
+  (* Two cells get the same AG label iff they get the same pixel label. *)
+  let pix = G.connected_components g in
+  let pairs = Hashtbl.create 16 in
+  let ok = ref true in
+  for x = 0 to 31 do
+    for y = 0 to 31 do
+      if G.get g x y then begin
+        match C.component_of_cell space els result x y with
+        | None -> ok := false
+        | Some ag_label -> (
+            let p_label = pix.G.labels.(y).(x) in
+            match Hashtbl.find_opt pairs ag_label with
+            | None -> Hashtbl.replace pairs ag_label p_label
+            | Some expected -> if expected <> p_label then ok := false)
+      end
+    done
+  done;
+  !ok && Hashtbl.length pairs = pix.G.count
+
+let test_single_component () =
+  let els = Z.Decompose.decompose_box space ~lo:[| 3; 3 |] ~hi:[| 12; 20 |] in
+  let r = C.label space els in
+  check_int "one component" 1 r.C.component_count;
+  Alcotest.(check (float 0.1)) "area" 180.0 r.C.areas.(0)
+
+let test_two_separate_boxes () =
+  let a = Z.Decompose.decompose_box space ~lo:[| 0; 0 |] ~hi:[| 3; 3 |] in
+  let b = Z.Decompose.decompose_box space ~lo:[| 10; 10 |] ~hi:[| 13; 13 |] in
+  let els = List.sort Z.Element.compare (a @ b) in
+  let r = C.label space els in
+  check_int "two components" 2 r.C.component_count
+
+let test_touching_corner_not_connected () =
+  (* Diagonal contact only: 4-connectivity keeps them apart. *)
+  let a = Z.Decompose.decompose_box space ~lo:[| 0; 0 |] ~hi:[| 3; 3 |] in
+  let b = Z.Decompose.decompose_box space ~lo:[| 4; 4 |] ~hi:[| 7; 7 |] in
+  let els = List.sort Z.Element.compare (a @ b) in
+  check_int "corner contact" 2 (C.label space els).C.component_count
+
+let test_edge_adjacency_connects () =
+  (* Abutting edges: one component. *)
+  let a = Z.Decompose.decompose_box space ~lo:[| 0; 0 |] ~hi:[| 3; 3 |] in
+  let b = Z.Decompose.decompose_box space ~lo:[| 4; 0 |] ~hi:[| 7; 3 |] in
+  let els = List.sort Z.Element.compare (a @ b) in
+  let r = C.label space els in
+  check_int "edge contact" 1 r.C.component_count;
+  check "adjacency found" true (r.C.adjacencies >= 1)
+
+let test_u_shape () =
+  (* A U: connected through the bottom even though the arms are distant. *)
+  let g = G.create ~side:32 in
+  for y = 5 to 20 do
+    G.set g 5 y true;
+    G.set g 15 y true
+  done;
+  for x = 5 to 15 do
+    G.set g x 5 true
+  done;
+  let els = G.to_elements space g in
+  check_int "U connected" 1 (C.label space els).C.component_count
+
+let test_empty () =
+  let r = C.label space [] in
+  check_int "no components" 0 r.C.component_count
+
+let test_overlapping_input_rejected () =
+  let bad = [ Z.Bitstring.of_string "0"; Z.Bitstring.of_string "00" ] in
+  match C.label space bad with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_matches_pixel_oracle () =
+  for seed = 1 to 20 do
+    let g = random_grid seed (3 + (seed mod 8)) in
+    let els = G.to_elements space g in
+    let r = C.label space els in
+    let pix = G.connected_components g in
+    if r.C.component_count <> pix.G.count then
+      Alcotest.failf "seed %d: %d vs %d components" seed r.C.component_count pix.G.count;
+    if
+      List.sort compare (Array.to_list (Array.map int_of_float r.C.areas))
+      <> List.sort compare (Array.to_list pix.G.areas)
+    then Alcotest.failf "seed %d: areas differ" seed;
+    if not (labels_agree g els r) then Alcotest.failf "seed %d: labelling differs" seed
+  done
+
+(* Property: random rectangles unioned, components match the oracle. *)
+
+let prop_oracle =
+  QCheck2.Test.make ~name:"element CCL = pixel CCL" ~count:60
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let g = random_grid seed 6 in
+      let els = G.to_elements space g in
+      let r = C.label space els in
+      let pix = G.connected_components g in
+      r.C.component_count = pix.G.count)
+
+let () =
+  Alcotest.run "ccl"
+    [
+      ("union-find", [ Alcotest.test_case "basics" `Quick test_union_find ]);
+      ( "labelling",
+        [
+          Alcotest.test_case "single component" `Quick test_single_component;
+          Alcotest.test_case "two boxes" `Quick test_two_separate_boxes;
+          Alcotest.test_case "corner contact (4-conn)" `Quick test_touching_corner_not_connected;
+          Alcotest.test_case "edge contact" `Quick test_edge_adjacency_connects;
+          Alcotest.test_case "U shape" `Quick test_u_shape;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "overlap rejected" `Quick test_overlapping_input_rejected;
+          Alcotest.test_case "matches pixel oracle" `Quick test_matches_pixel_oracle;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_oracle ]);
+    ]

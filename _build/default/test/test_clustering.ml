@@ -1,0 +1,67 @@
+module C = Sqp_core.Clustering
+module Z = Sqp_zorder
+module W = Sqp_workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let space = Z.Space.make ~dims:2 ~depth:8
+
+let points n seed =
+  let rng = W.Rng.create ~seed in
+  W.Datagen.uniform rng ~side:256 ~n ~dims:2
+
+let test_ranks () =
+  check_int "z rank" 27 (C.rank_of C.Z_order (Z.Space.make ~dims:2 ~depth:3) [| 3; 5 |]);
+  check_int "row major" (5 * 256 + 3) (C.rank_of C.Row_major space [| 3; 5 |]);
+  check "hilbert defined" true (C.rank_of C.Hilbert_order space [| 3; 5 |] >= 0)
+
+let test_build_pages () =
+  let t = C.build C.Z_order space ~page_capacity:20 (points 1000 1) in
+  check_int "pages" 50 (C.page_count t)
+
+let test_pages_touched_counts_results () =
+  let pts = points 1000 1 in
+  let t = C.build C.Z_order space (points 1000 1) in
+  let box = Sqp_geom.Box.of_ranges [ (10, 100); (10, 100) ] in
+  let pages, results = C.pages_touched t box in
+  let expected =
+    Array.to_list pts |> List.filter (Sqp_geom.Box.contains_point box) |> List.length
+  in
+  check_int "results" expected results;
+  check "pages bounded" true (pages <= C.page_count t);
+  check "pages at least results/capacity" true (pages * 20 >= results)
+
+let test_curves_beat_row_major_on_squares () =
+  (* The point of space-filling curves: square queries touch fewer pages
+     than with row-major layout. *)
+  let pts = points 2000 7 in
+  let rng = W.Rng.create ~seed:5 in
+  let boxes =
+    W.Querygen.random_boxes rng ~side:256
+      { W.Querygen.volume_fraction = 1.0 /. 16.0; aspect = 1.0 }
+      ~count:20
+  in
+  let mean order = C.mean_pages (C.build order space pts) boxes in
+  let z = mean C.Z_order and h = mean C.Hilbert_order and rm = mean C.Row_major in
+  check "z beats row major" true (z < rm);
+  check "hilbert beats row major" true (h < rm);
+  (* Hilbert and z are close; hilbert usually no worse. *)
+  check "hilbert within 30% of z" true (h < 1.3 *. z)
+
+let test_empty_boxes () =
+  let t = C.build C.Hilbert_order space (points 100 3) in
+  Alcotest.(check (float 0.001)) "no boxes" 0.0 (C.mean_pages t [])
+
+let () =
+  Alcotest.run "clustering"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "ranks" `Quick test_ranks;
+          Alcotest.test_case "build" `Quick test_build_pages;
+          Alcotest.test_case "pages touched" `Quick test_pages_touched_counts_results;
+          Alcotest.test_case "curves beat row-major" `Quick test_curves_beat_row_major_on_squares;
+          Alcotest.test_case "empty boxes" `Quick test_empty_boxes;
+        ] );
+    ]

@@ -1,0 +1,149 @@
+module G = Sqp_grid.Bitgrid
+module Z = Sqp_zorder
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let s4 = Z.Space.make ~dims:2 ~depth:4
+
+let test_create_get_set () =
+  let g = G.create ~side:16 in
+  check_int "empty count" 0 (G.count g);
+  check "get" false (G.get g 3 4);
+  G.set g 3 4 true;
+  check "after set" true (G.get g 3 4);
+  check_int "count" 1 (G.count g);
+  G.set g 3 4 false;
+  check_int "unset" 0 (G.count g)
+
+let test_bounds () =
+  let g = G.create ~side:8 in
+  List.iter
+    (fun (x, y) ->
+      match G.get g x y with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+    [ (-1, 0); (0, -1); (8, 0); (0, 8) ]
+
+let test_copy_independent () =
+  let g = G.create ~side:8 in
+  G.set g 1 1 true;
+  let h = G.copy g in
+  G.set g 2 2 true;
+  check "copy unaffected" false (G.get h 2 2);
+  check "copy has original" true (G.get h 1 1)
+
+let test_of_elements_roundtrip () =
+  let els = Z.Decompose.decompose_box s4 ~lo:[| 3; 1 |] ~hi:[| 11; 9 |] in
+  let g = G.of_elements s4 els in
+  check_int "area" (9 * 9) (G.count g);
+  let els2 = G.to_elements s4 g in
+  check "canonical roundtrip" true (List.equal Z.Bitstring.equal els els2)
+
+let test_of_classifier () =
+  let classify = Z.Decompose.box_classifier s4 ~lo:[| 0; 0 |] ~hi:[| 7; 15 |] in
+  let g = G.of_classifier s4 classify in
+  check_int "half grid" 128 (G.count g)
+
+let test_boolean_ops () =
+  let a = G.create ~side:8 and b = G.create ~side:8 in
+  G.set a 1 1 true;
+  G.set a 2 2 true;
+  G.set b 2 2 true;
+  G.set b 3 3 true;
+  let u, stats = G.union a b in
+  check_int "union" 3 (G.count u);
+  check_int "visited all cells" 64 stats.G.cells_visited;
+  let i, _ = G.inter a b in
+  check_int "inter" 1 (G.count i);
+  check "inter cell" true (G.get i 2 2);
+  let d, _ = G.diff a b in
+  check_int "diff" 1 (G.count d);
+  check "diff cell" true (G.get d 1 1);
+  let x, _ = G.xor a b in
+  check_int "xor" 2 (G.count x)
+
+let test_size_mismatch () =
+  let a = G.create ~side:8 and b = G.create ~side:16 in
+  match G.union a b with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_components_simple () =
+  let g = G.create ~side:8 in
+  (* Two blobs + a single pixel. *)
+  List.iter (fun (x, y) -> G.set g x y true)
+    [ (0, 0); (0, 1); (1, 0); (5, 5); (5, 6); (6, 5); (6, 6); (3, 7) ];
+  let c = G.connected_components g in
+  check_int "three components" 3 c.G.count;
+  Alcotest.(check (list int)) "areas sorted" [ 1; 3; 4 ]
+    (List.sort compare (Array.to_list c.G.areas));
+  (* Labels consistent. *)
+  check "same blob same label" true (c.G.labels.(0).(0) = c.G.labels.(1).(0));
+  check "different blobs differ" true (c.G.labels.(0).(0) <> c.G.labels.(5).(5));
+  check "white is -1" true (c.G.labels.(7).(0) = -1)
+
+let test_components_diagonal_not_connected () =
+  let g = G.create ~side:4 in
+  G.set g 0 0 true;
+  G.set g 1 1 true;
+  let c = G.connected_components g in
+  check_int "4-connectivity" 2 c.G.count
+
+let test_components_spiral () =
+  (* A connected spiral: one component however complex the shape is. *)
+  let g = G.create ~side:8 in
+  let path =
+    [ (0,0);(1,0);(2,0);(3,0);(4,0);(5,0);(6,0);(7,0);(7,1);(7,2);(7,3);
+      (6,3);(5,3);(4,3);(3,3);(2,3);(2,2);(3,1) ]
+  in
+  List.iter (fun (x, y) -> G.set g x y true) path;
+  check_int "spiral is one component" 1 (G.connected_components g).G.count
+
+let test_pp () =
+  let g = G.create ~side:2 in
+  G.set g 0 0 true;
+  let s = Format.asprintf "%a" G.pp g in
+  Alcotest.(check string) "render" "..\n#.\n" s
+
+(* Property: to_elements . of_elements preserves the pixel set. *)
+
+let prop_elements_pixelset =
+  QCheck2.Test.make ~name:"to_elements preserves pixels" ~count:100
+    QCheck2.Gen.(list_size (int_bound 40) (pair (int_bound 15) (int_bound 15)))
+    (fun cells ->
+      let g = G.create ~side:16 in
+      List.iter (fun (x, y) -> G.set g x y true) cells;
+      let g2 = G.of_elements s4 (G.to_elements s4 g) in
+      G.equal g g2)
+
+let prop_component_count_conserves_area =
+  QCheck2.Test.make ~name:"component areas sum to count" ~count:100
+    QCheck2.Gen.(list_size (int_bound 60) (pair (int_bound 15) (int_bound 15)))
+    (fun cells ->
+      let g = G.create ~side:16 in
+      List.iter (fun (x, y) -> G.set g x y true) cells;
+      let c = G.connected_components g in
+      Array.fold_left ( + ) 0 c.G.areas = G.count g)
+
+let () =
+  Alcotest.run "grid"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "create/get/set" `Quick test_create_get_set;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "of/to elements" `Quick test_of_elements_roundtrip;
+          Alcotest.test_case "of_classifier" `Quick test_of_classifier;
+          Alcotest.test_case "boolean ops" `Quick test_boolean_ops;
+          Alcotest.test_case "size mismatch" `Quick test_size_mismatch;
+          Alcotest.test_case "components" `Quick test_components_simple;
+          Alcotest.test_case "4-connectivity" `Quick test_components_diagonal_not_connected;
+          Alcotest.test_case "complex shape" `Quick test_components_spiral;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_elements_pixelset; prop_component_count_conserves_area ] );
+    ]

@@ -1,0 +1,142 @@
+module GF = Sqp_kdtree.Grid_file
+module W = Sqp_workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let expect_ok t =
+  match GF.check_invariants t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariant violation: %s" m
+
+let build ?(capacity = 8) ?(side = 256) points =
+  let t = GF.create ~bucket_capacity:capacity ~side () in
+  Array.iter (fun (p, v) -> GF.insert t p v) points;
+  t
+
+let random_points ?(n = 400) ?(seed = 31) ?(side = 256) () =
+  let rng = W.Rng.create ~seed in
+  Array.mapi (fun i p -> (p, i)) (W.Datagen.uniform rng ~side ~n ~dims:2)
+
+let brute pts box =
+  Array.to_list pts
+  |> List.filter (fun (p, _) -> Sqp_geom.Box.contains_point box p)
+  |> List.sort compare
+
+let test_empty () =
+  let t = GF.create ~side:64 () in
+  check_int "length" 0 (GF.length t);
+  check_int "one bucket" 1 (GF.bucket_count t);
+  expect_ok t;
+  let r, stats = GF.range_search t (Sqp_geom.Box.of_ranges [ (0, 63); (0, 63) ]) in
+  check_int "no results" 0 (List.length r);
+  check_int "one page" 1 stats.GF.data_pages
+
+let test_insert_and_split () =
+  let t = build ~capacity:4 (random_points ~n:100 ()) in
+  expect_ok t;
+  check_int "length" 100 (GF.length t);
+  check "buckets grew" true (GF.bucket_count t > 10);
+  let nx, ny = GF.directory_size t in
+  check "directory refined" true (nx > 1 && ny > 1)
+
+let test_invariants_during_build () =
+  let t = GF.create ~bucket_capacity:4 ~side:128 () in
+  Array.iter
+    (fun (p, v) ->
+      GF.insert t p v;
+      expect_ok t)
+    (random_points ~n:200 ~side:128 ());
+  check_int "all inserted" 200 (GF.length t)
+
+let test_range_matches_brute_force () =
+  let pts = random_points () in
+  let t = build pts in
+  let rng = W.Rng.create ~seed:4 in
+  for _ = 1 to 60 do
+    let x1 = W.Rng.int rng 256 and x2 = W.Rng.int rng 256 in
+    let y1 = W.Rng.int rng 256 and y2 = W.Rng.int rng 256 in
+    let box =
+      Sqp_geom.Box.make ~lo:[| min x1 x2; min y1 y2 |] ~hi:[| max x1 x2; max y1 y2 |]
+    in
+    let got, stats = GF.range_search t box in
+    if List.sort compare got <> brute pts box then Alcotest.fail "range mismatch";
+    check "pages bounded" true (stats.GF.data_pages <= GF.bucket_count t)
+  done
+
+let test_out_of_grid () =
+  let t = build (random_points ()) in
+  let r, stats = GF.range_search t (Sqp_geom.Box.of_ranges [ (300, 400); (0, 10) ]) in
+  check_int "none" 0 (List.length r);
+  check_int "no pages" 0 stats.GF.data_pages;
+  (* Clipped queries still work. *)
+  let got, _ = GF.range_search t (Sqp_geom.Box.of_ranges [ (-10, 300); (-10, 300) ]) in
+  check_int "all points" 400 (List.length got)
+
+let test_duplicates_tolerated () =
+  let t = GF.create ~bucket_capacity:3 ~side:32 () in
+  for v = 0 to 9 do
+    GF.insert t [| 5; 5 |] v
+  done;
+  expect_ok t;
+  let got, _ = GF.range_search t (Sqp_geom.Box.of_ranges [ (5, 5); (5, 5) ]) in
+  check_int "all duplicates" 10 (List.length got)
+
+let test_skewed_data () =
+  (* Diagonal data stresses scale refinement. *)
+  let rng = W.Rng.create ~seed:5 in
+  let pts =
+    Array.mapi (fun i p -> (p, i)) (W.Datagen.diagonal rng ~side:256 ~n:300 ~jitter:3)
+  in
+  let t = build ~capacity:5 pts in
+  expect_ok t;
+  let box = Sqp_geom.Box.of_ranges [ (64, 192); (64, 192) ] in
+  let got, _ = GF.range_search t box in
+  check "matches brute force" true (List.sort compare got = brute pts box)
+
+let test_small_query_reads_few_pages () =
+  let t = build ~capacity:20 (random_points ~n:1000 ~seed:77 ()) in
+  let _, small = GF.range_search t (Sqp_geom.Box.of_ranges [ (10, 25); (10, 25) ]) in
+  let total = GF.bucket_count t in
+  check "few pages for a small query" true (small.GF.data_pages * 5 < total)
+
+let test_invalid () =
+  let t = GF.create ~side:16 () in
+  List.iter
+    (fun p ->
+      match GF.insert t p 0 with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+    [ [| -1; 0 |]; [| 16; 0 |]; [| 0 |] ]
+
+let prop_model =
+  QCheck2.Test.make ~name:"grid file = brute force (random builds)" ~count:30
+    QCheck2.Gen.(
+      pair (int_range 0 10000)
+        (pair (pair (int_bound 63) (int_bound 63)) (pair (int_bound 63) (int_bound 63))))
+    (fun (seed, ((x1, y1), (x2, y2))) ->
+      let pts = random_points ~n:150 ~seed ~side:64 () in
+      let t = build ~capacity:5 ~side:64 pts in
+      let box =
+        Sqp_geom.Box.make ~lo:[| min x1 x2; min y1 y2 |] ~hi:[| max x1 x2; max y1 y2 |]
+      in
+      GF.check_invariants t = Ok ()
+      && List.sort compare (fst (GF.range_search t box)) = brute pts box)
+
+let () =
+  Alcotest.run "gridfile"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert and split" `Quick test_insert_and_split;
+          Alcotest.test_case "invariants during build" `Quick test_invariants_during_build;
+          Alcotest.test_case "range = brute force" `Quick test_range_matches_brute_force;
+          Alcotest.test_case "out of grid" `Quick test_out_of_grid;
+          Alcotest.test_case "duplicates" `Quick test_duplicates_tolerated;
+          Alcotest.test_case "skewed data" `Quick test_skewed_data;
+          Alcotest.test_case "small queries cheap" `Quick test_small_query_reads_few_pages;
+          Alcotest.test_case "invalid input" `Quick test_invalid;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_model ]);
+    ]

@@ -1,0 +1,104 @@
+module Z = Sqp_zorder
+module H = Z.Hilbert
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let s4 = Z.Space.make ~dims:2 ~depth:4
+
+let test_corners () =
+  check_int "origin is rank 0" 0 (H.rank s4 [| 0; 0 |]);
+  (* The Hilbert curve ends adjacent to its start: at (side-1, 0) for the
+     canonical orientation. *)
+  check_int "end of curve" 255 (H.rank s4 [| 15; 0 |])
+
+let test_bijective () =
+  let seen = Hashtbl.create 256 in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let r = H.rank s4 [| x; y |] in
+      check "rank in range" true (r >= 0 && r < 256);
+      check "injective" false (Hashtbl.mem seen r);
+      Hashtbl.replace seen r ()
+    done
+  done;
+  check_int "surjective" 256 (Hashtbl.length seen)
+
+let test_roundtrip () =
+  for r = 0 to 255 do
+    check_int "roundtrip" r (H.rank s4 (H.point_of_rank s4 r))
+  done
+
+let test_adjacency () =
+  (* The defining property: consecutive ranks are 4-neighbours.  (The z
+     curve violates this at every N-jump.) *)
+  let prev = ref (H.point_of_rank s4 0) in
+  for r = 1 to 255 do
+    let p = H.point_of_rank s4 r in
+    let d = abs (p.(0) - !prev.(0)) + abs (p.(1) - !prev.(1)) in
+    if d <> 1 then Alcotest.failf "non-adjacent step at rank %d" r;
+    prev := p
+  done
+
+let test_z_curve_jumps_for_contrast () =
+  (* Confirm the ablation premise: z order does make non-unit steps. *)
+  let jumps = ref 0 in
+  let prev = ref (Z.Curve.point_of_rank s4 0) in
+  for r = 1 to 255 do
+    let p = Z.Curve.point_of_rank s4 r in
+    let d = abs (p.(0) - !prev.(0)) + abs (p.(1) - !prev.(1)) in
+    if d > 1 then incr jumps;
+    prev := p
+  done;
+  check "z curve jumps" true (!jumps > 0)
+
+let test_traverse () =
+  let pts = List.of_seq (H.traverse s4) in
+  check_int "covers grid" 256 (List.length pts);
+  let tbl = Hashtbl.create 256 in
+  List.iter (fun p -> Hashtbl.replace tbl (p.(0), p.(1)) ()) pts;
+  check_int "all distinct" 256 (Hashtbl.length tbl)
+
+let test_invalid () =
+  List.iter
+    (fun f ->
+      match f () with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> [| H.rank (Z.Space.make ~dims:3 ~depth:4) [| 0; 0; 0 |] |]);
+      (fun () -> [| H.rank s4 [| 16; 0 |] |]);
+      (fun () -> ignore (H.point_of_rank s4 (-1)); [| 0 |]);
+    ]
+
+let prop_roundtrip_large =
+  QCheck2.Test.make ~name:"rank/point_of_rank roundtrip (1024 grid)" ~count:500
+    QCheck2.Gen.(pair (int_bound 1023) (int_bound 1023))
+    (fun (x, y) ->
+      let s = Z.Space.make ~dims:2 ~depth:10 in
+      H.point_of_rank s (H.rank s [| x; y |]) = [| x; y |])
+
+let prop_adjacency_large =
+  QCheck2.Test.make ~name:"consecutive ranks adjacent (256 grid)" ~count:500
+    QCheck2.Gen.(int_bound 65534)
+    (fun r ->
+      let s = Z.Space.make ~dims:2 ~depth:8 in
+      let a = H.point_of_rank s r and b = H.point_of_rank s (r + 1) in
+      abs (a.(0) - b.(0)) + abs (a.(1) - b.(1)) = 1)
+
+let () =
+  Alcotest.run "hilbert"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "corners" `Quick test_corners;
+          Alcotest.test_case "bijective" `Quick test_bijective;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "adjacency" `Quick test_adjacency;
+          Alcotest.test_case "z jumps (contrast)" `Quick test_z_curve_jumps_for_contrast;
+          Alcotest.test_case "traverse" `Quick test_traverse;
+          Alcotest.test_case "invalid" `Quick test_invalid;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip_large; prop_adjacency_large ] );
+    ]

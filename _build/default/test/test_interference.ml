@@ -1,0 +1,164 @@
+module I = Sqp_core.Interference
+module Zm = Sqp_core.Zmerge
+module Z = Sqp_zorder
+module B = Z.Bitstring
+module W = Sqp_workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let space = Z.Space.make ~dims:2 ~depth:6
+
+(* {1 Zmerge} *)
+
+let test_zmerge_simple () =
+  let l = [ (B.of_string "00", "a"); (B.of_string "01", "b") ] in
+  let r = [ (B.of_string "0011", "x"); (B.of_string "1", "y") ] in
+  let pairs, stats = Zm.pairs l r in
+  Alcotest.(check (list (pair string string))) "containment" [ ("a", "x") ] pairs;
+  check_int "items" 4 stats.Zm.items
+
+let test_zmerge_unsorted_input () =
+  (* Inputs may arrive in any order; the merge sorts. *)
+  let l = [ (B.of_string "01", "b"); (B.of_string "00", "a") ] in
+  let r = [ (B.of_string "0011", "x") ] in
+  let pairs, _ = Zm.pairs l r in
+  check "found" true (pairs = [ ("a", "x") ])
+
+let test_zmerge_nested_same_side () =
+  (* Nested elements on one side each pair with a contained element. *)
+  let l = [ (B.of_string "0", "outer"); (B.of_string "00", "inner") ] in
+  let r = [ (B.of_string "000", "x") ] in
+  let pairs, _ = Zm.pairs l r in
+  check_int "both containers found" 2 (List.length pairs);
+  check "outer" true (List.mem ("outer", "x") pairs);
+  check "inner" true (List.mem ("inner", "x") pairs)
+
+let test_zmerge_equal_elements () =
+  let l = [ (B.of_string "0101", 1) ] and r = [ (B.of_string "0101", 2) ] in
+  let pairs, _ = Zm.pairs l r in
+  check_int "exactly one pair" 1 (List.length pairs)
+
+let test_zmerge_matches_naive () =
+  let rng = W.Rng.create ~seed:6 in
+  for _ = 1 to 30 do
+    let rand_els n =
+      List.init n (fun i ->
+          let len = W.Rng.int rng 10 in
+          (B.init len (fun _ -> W.Rng.bool rng), i))
+    in
+    let l = rand_els 40 and r = rand_els 40 in
+    let p1, _ = Zm.pairs l r in
+    let p2, _ = Zm.pairs_naive l r in
+    if List.sort compare p1 <> List.sort compare p2 then
+      Alcotest.fail "zmerge disagrees with naive"
+  done
+
+(* {1 Interference detection} *)
+
+let mk_box x y w h =
+  Sqp_geom.Shape.Box (Sqp_geom.Box.of_ranges [ (x, x + w - 1); (y, y + h - 1) ])
+
+let random_parts rng n =
+  List.init n (fun i ->
+      let w = 1 + W.Rng.int rng 12 and h = 1 + W.Rng.int rng 12 in
+      let x = W.Rng.int rng (64 - w) and y = W.Rng.int rng (64 - h) in
+      (i, mk_box x y w h))
+
+let test_simple_overlap () =
+  let left = [ (1, mk_box 0 0 8 8) ] and right = [ (2, mk_box 4 4 8 8) ] in
+  let hits, _ = I.detect space left right in
+  Alcotest.(check (list (pair int int))) "overlap" [ (1, 2) ] hits
+
+let test_touching_boxes_interfere () =
+  (* Cell-adjacent boxes that share no cell do not interfere. *)
+  let left = [ (1, mk_box 0 0 4 4) ] and right = [ (2, mk_box 4 0 4 4) ] in
+  let hits, _ = I.detect space left right in
+  check_int "no shared cell" 0 (List.length hits)
+
+let test_circle_polygon_mix () =
+  let left =
+    [
+      (1, Sqp_geom.Shape.Circle (Sqp_geom.Circle.make ~cx:20 ~cy:20 ~radius:6));
+      (2, mk_box 40 40 8 8);
+    ]
+  in
+  let right =
+    [
+      (10, Sqp_geom.Shape.Polygon (Sqp_geom.Polygon.make [ (15, 15); (30, 18); (22, 30) ]));
+      (11, mk_box 0 0 4 4);
+    ]
+  in
+  let ag, _ = I.detect space left right in
+  let bf, _ = I.detect_brute_force space left right in
+  check "matches brute force" true (ag = bf);
+  check "circle hits polygon" true (List.mem (1, 10) ag)
+
+let test_matches_brute_force_random () =
+  let rng = W.Rng.create ~seed:12 in
+  for _ = 1 to 10 do
+    let left = random_parts rng 12 and right = random_parts rng 12 in
+    let ag, stats = I.detect space left right in
+    let bf, _ = I.detect_brute_force space left right in
+    if ag <> bf then Alcotest.fail "detect disagrees with brute force";
+    check "filter sound" true (stats.I.result_pairs <= stats.I.candidate_pairs)
+  done
+
+let test_coarse_options_still_exact () =
+  let rng = W.Rng.create ~seed:13 in
+  let left = random_parts rng 15 and right = random_parts rng 15 in
+  let bf, _ = I.detect_brute_force space left right in
+  List.iter
+    (fun level ->
+      let options = { Z.Decompose.max_level = Some level; max_elements = None } in
+      let ag, stats = I.detect ~options space left right in
+      if ag <> bf then Alcotest.failf "coarse level %d wrong" level;
+      check "coarser -> fewer elements" true (stats.I.elements > 0))
+    [ 4; 6; 8; 12 ]
+
+let test_filter_prunes () =
+  (* Sparse scene: the AG filter must test far fewer pairs than n^2. *)
+  let left = List.init 12 (fun i -> (i, mk_box (i * 5) 0 3 3)) in
+  let right = List.init 12 (fun i -> (100 + i, mk_box (i * 5) 32 3 3)) in
+  let _, stats = I.detect space left right in
+  check "few candidates" true (stats.I.exact_tests * 4 < 144)
+
+let test_empty_sides () =
+  let hits, _ = I.detect space [] [ (1, mk_box 0 0 4 4) ] in
+  check_int "no pairs" 0 (List.length hits);
+  let hits2, _ = I.detect space [] [] in
+  check_int "empty" 0 (List.length hits2)
+
+(* Property *)
+
+let prop_brute_force =
+  QCheck2.Test.make ~name:"detect = brute force" ~count:30
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = W.Rng.create ~seed in
+      let left = random_parts rng 8 and right = random_parts rng 8 in
+      fst (I.detect space left right) = fst (I.detect_brute_force space left right))
+
+let () =
+  Alcotest.run "interference"
+    [
+      ( "zmerge",
+        [
+          Alcotest.test_case "simple" `Quick test_zmerge_simple;
+          Alcotest.test_case "unsorted input" `Quick test_zmerge_unsorted_input;
+          Alcotest.test_case "nested same side" `Quick test_zmerge_nested_same_side;
+          Alcotest.test_case "equal elements" `Quick test_zmerge_equal_elements;
+          Alcotest.test_case "matches naive" `Quick test_zmerge_matches_naive;
+        ] );
+      ( "interference",
+        [
+          Alcotest.test_case "simple overlap" `Quick test_simple_overlap;
+          Alcotest.test_case "touching boxes" `Quick test_touching_boxes_interfere;
+          Alcotest.test_case "mixed shapes" `Quick test_circle_polygon_mix;
+          Alcotest.test_case "random = brute force" `Quick test_matches_brute_force_random;
+          Alcotest.test_case "coarse filter stays exact" `Quick test_coarse_options_still_exact;
+          Alcotest.test_case "filter prunes" `Quick test_filter_prunes;
+          Alcotest.test_case "empty inputs" `Quick test_empty_sides;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_brute_force ]);
+    ]

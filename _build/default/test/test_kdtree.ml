@@ -1,0 +1,154 @@
+module K = Sqp_kdtree.Kdtree
+module P = Sqp_kdtree.Paged_kdtree
+module L = Sqp_kdtree.Linear_scan
+module W = Sqp_workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let points ?(n = 200) ?(seed = 9) ?(side = 64) () =
+  let rng = W.Rng.create ~seed in
+  Array.mapi (fun i p -> (p, i)) (W.Datagen.uniform rng ~side ~n ~dims:2)
+
+let brute pts box =
+  Array.to_list pts
+  |> List.filter (fun (p, _) -> Sqp_geom.Box.contains_point box p)
+  |> List.sort compare
+
+let test_build_invariants () =
+  let t = K.build (points ()) in
+  check_int "length" 200 (K.length t);
+  (match K.check_invariants t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariants: %s" m);
+  (* A median-built tree over 200 points is shallow. *)
+  check "balanced-ish" true (K.height t <= 12)
+
+let test_find () =
+  let pts = points () in
+  let t = K.build pts in
+  Array.iter (fun (p, v) -> check "find each" true (K.find t p = Some v)) pts;
+  check "missing" true (K.find t [| 200; 200 |] = None)
+
+let test_insert () =
+  let t = Array.fold_left (fun t (p, v) -> K.insert t p v) (K.build [||]) (points ()) in
+  check_int "length" 200 (K.length t);
+  (match K.check_invariants t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariants: %s" m)
+
+let test_range_search () =
+  let pts = points () in
+  let t = K.build pts in
+  let rng = W.Rng.create ~seed:4 in
+  for _ = 1 to 50 do
+    let x1 = W.Rng.int rng 64 and x2 = W.Rng.int rng 64 in
+    let y1 = W.Rng.int rng 64 and y2 = W.Rng.int rng 64 in
+    let box =
+      Sqp_geom.Box.make ~lo:[| min x1 x2; min y1 y2 |] ~hi:[| max x1 x2; max y1 y2 |]
+    in
+    let got, stats = K.range_search t box in
+    if List.sort compare got <> brute pts box then Alcotest.fail "range mismatch";
+    check "visited bounded" true (stats.K.nodes_visited <= K.length t)
+  done
+
+let test_nearest () =
+  let pts = points () in
+  let t = K.build pts in
+  let rng = W.Rng.create ~seed:8 in
+  for _ = 1 to 50 do
+    let q = [| W.Rng.int rng 64; W.Rng.int rng 64 |] in
+    match K.nearest t q with
+    | None -> Alcotest.fail "nearest on non-empty tree"
+    | Some ((p, _), _) ->
+        let d = Sqp_geom.Point.euclidean_sq p q in
+        Array.iter
+          (fun (p', _) ->
+            if Sqp_geom.Point.euclidean_sq p' q < d then
+              Alcotest.fail "non-optimal nearest neighbour")
+          pts
+  done;
+  check "empty tree" true (K.nearest (K.build [||]) [| 0; 0 |] = None)
+
+let test_paged_build () =
+  let t = P.build ~page_capacity:10 (points ()) in
+  check_int "length" 200 (P.length t);
+  check "page count sane" true (P.page_count t >= 20);
+  let sizes = List.map List.length (P.pages t) in
+  check "no empty pages" true (List.for_all (fun s -> s > 0) sizes);
+  check_int "points conserved" 200 (List.fold_left ( + ) 0 sizes)
+
+let test_paged_range () =
+  let pts = points () in
+  let t = P.build ~page_capacity:10 pts in
+  let box = Sqp_geom.Box.of_ranges [ (10, 40); (5, 50) ] in
+  let got, stats = P.range_search t box in
+  check "results" true (List.sort compare got = brute pts box);
+  check "pages <= total" true (stats.P.data_pages <= P.page_count t);
+  check "efficiency in [0,1]" true
+    (P.efficiency t stats >= 0.0 && P.efficiency t stats <= 1.0)
+
+let test_paged_degenerate () =
+  (* All points on one vertical line: splits must still terminate. *)
+  let pts = Array.init 100 (fun i -> ([| 7; i mod 64 |], i)) in
+  let t = P.build ~page_capacity:10 pts in
+  check_int "length" 100 (P.length t);
+  let box = Sqp_geom.Box.of_ranges [ (0, 10); (0, 63) ] in
+  let got, _ = P.range_search t box in
+  check "finds all distinct cells" true (List.length got = 100)
+
+let test_paged_identical_points () =
+  (* Fully degenerate: every point identical; bucket stays oversized. *)
+  let pts = Array.init 50 (fun i -> ([| 3; 3 |], i)) in
+  let t = P.build ~page_capacity:10 pts in
+  let got, _ = P.range_search t (Sqp_geom.Box.of_ranges [ (3, 3); (3, 3) ]) in
+  check_int "all found" 50 (List.length got)
+
+let test_linear_scan () =
+  let pts = points () in
+  let t = L.build ~page_capacity:20 pts in
+  check_int "pages" 10 (L.page_count t);
+  let box = Sqp_geom.Box.of_ranges [ (0, 20); (0, 20) ] in
+  let got, stats = L.range_search t box in
+  check "results" true (List.sort compare got = brute pts box);
+  check_int "always reads everything" 10 stats.L.data_pages
+
+(* Property: paged kd results = in-memory kd results = brute force. *)
+
+let prop_agreement =
+  QCheck2.Test.make ~name:"kd variants = brute force" ~count:50
+    QCheck2.Gen.(
+      tup3 (int_range 0 1000)
+        (pair (int_bound 63) (int_bound 63))
+        (pair (int_bound 63) (int_bound 63)))
+    (fun (seed, (x1, y1), (x2, y2)) ->
+      let pts = points ~seed () in
+      let box =
+        Sqp_geom.Box.make ~lo:[| min x1 x2; min y1 y2 |] ~hi:[| max x1 x2; max y1 y2 |]
+      in
+      let expected = brute pts box in
+      let t = K.build pts and pt = P.build ~page_capacity:16 pts in
+      List.sort compare (fst (K.range_search t box)) = expected
+      && List.sort compare (fst (P.range_search pt box)) = expected)
+
+let () =
+  Alcotest.run "kdtree"
+    [
+      ( "in-memory",
+        [
+          Alcotest.test_case "build invariants" `Quick test_build_invariants;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "insert" `Quick test_insert;
+          Alcotest.test_case "range search" `Quick test_range_search;
+          Alcotest.test_case "nearest neighbour" `Quick test_nearest;
+        ] );
+      ( "paged",
+        [
+          Alcotest.test_case "build" `Quick test_paged_build;
+          Alcotest.test_case "range search" `Quick test_paged_range;
+          Alcotest.test_case "degenerate line" `Quick test_paged_degenerate;
+          Alcotest.test_case "identical points" `Quick test_paged_identical_points;
+        ] );
+      ("linear scan", [ Alcotest.test_case "scan" `Quick test_linear_scan ]);
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_agreement ]);
+    ]

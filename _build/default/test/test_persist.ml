@@ -1,0 +1,179 @@
+module FP = Sqp_storage.File_pager
+module Zindex = Sqp_btree.Zindex
+module Persist = Sqp_btree.Persist
+module Z = Sqp_zorder
+module W = Sqp_workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("sqp_test_" ^ name)
+
+let with_file name f =
+  let path = tmp name in
+  if Sys.file_exists path then Sys.remove path;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* {1 File pager} *)
+
+let test_fp_roundtrip () =
+  with_file "roundtrip" (fun path ->
+      let s = FP.create ~path ~page_bytes:128 in
+      let a = FP.alloc s (Bytes.of_string "hello") in
+      let b = FP.alloc s (Bytes.of_string "world!") in
+      Alcotest.(check string) "a" "hello" (Bytes.to_string (FP.read s a));
+      Alcotest.(check string) "b" "world!" (Bytes.to_string (FP.read s b));
+      FP.write s a (Bytes.of_string "HELLO");
+      Alcotest.(check string) "rewritten" "HELLO" (Bytes.to_string (FP.read s a));
+      check_int "live" 2 (FP.page_count s);
+      FP.close s)
+
+let test_fp_reopen () =
+  with_file "reopen" (fun path ->
+      let s = FP.create ~path ~page_bytes:64 in
+      let ids = List.init 5 (fun i -> FP.alloc s (Bytes.of_string (string_of_int i))) in
+      FP.free s (List.nth ids 2);
+      FP.close s;
+      let s2 = FP.open_existing ~path in
+      check_int "live after reopen" 4 (FP.page_count s2);
+      List.iteri
+        (fun i id ->
+          if i <> 2 then
+            Alcotest.(check string) "content" (string_of_int i)
+              (Bytes.to_string (FP.read s2 id)))
+        ids;
+      (match FP.read s2 (List.nth ids 2) with
+      | _ -> Alcotest.fail "freed page readable"
+      | exception Invalid_argument _ -> ());
+      FP.close s2)
+
+let test_fp_free_reuse () =
+  with_file "reuse" (fun path ->
+      let s = FP.create ~path ~page_bytes:64 in
+      let a = FP.alloc s (Bytes.of_string "a") in
+      let _b = FP.alloc s (Bytes.of_string "b") in
+      FP.free s a;
+      let c = FP.alloc s (Bytes.of_string "c") in
+      check_int "slot reused" a c;
+      FP.close s)
+
+let test_fp_overflow () =
+  with_file "overflow" (fun path ->
+      let s = FP.create ~path ~page_bytes:64 in
+      (match FP.alloc s (Bytes.make 61 'x') with
+      | _ -> Alcotest.fail "expected overflow"
+      | exception Invalid_argument _ -> ());
+      (* Exactly at capacity is fine. *)
+      let id = FP.alloc s (Bytes.make 60 'x') in
+      check_int "full page" 60 (Bytes.length (FP.read s id));
+      FP.close s)
+
+let test_fp_iter_order () =
+  with_file "iter" (fun path ->
+      let s = FP.create ~path ~page_bytes:64 in
+      let _ = FP.alloc s (Bytes.of_string "1") in
+      let b = FP.alloc s (Bytes.of_string "2") in
+      let _ = FP.alloc s (Bytes.of_string "3") in
+      FP.free s b;
+      let seen = ref [] in
+      FP.iter s (fun _ payload -> seen := Bytes.to_string payload :: !seen);
+      Alcotest.(check (list string)) "live pages in order" [ "1"; "3" ] (List.rev !seen);
+      FP.close s)
+
+let test_fp_bad_magic () =
+  with_file "magic" (fun path ->
+      let oc = open_out path in
+      output_string oc "this is not a page store";
+      close_out oc;
+      match FP.open_existing ~path with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure _ -> ())
+
+let test_fp_closed () =
+  with_file "closed" (fun path ->
+      let s = FP.create ~path ~page_bytes:64 in
+      FP.close s;
+      match FP.alloc s (Bytes.of_string "x") with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
+(* {1 Index persistence} *)
+
+let build_index n =
+  let space = Z.Space.make ~dims:2 ~depth:8 in
+  let rng = W.Rng.create ~seed:123 in
+  let points = W.Datagen.uniform rng ~side:256 ~n ~dims:2 in
+  Zindex.of_points space (Array.mapi (fun i p -> (p, i)) points)
+
+let test_save_load_roundtrip () =
+  with_file "index" (fun path ->
+      let index = build_index 500 in
+      let pages = Persist.save ~path ~encode:string_of_int index in
+      check "some data pages" true (pages > 0);
+      let loaded = Persist.load ~path ~decode:int_of_string () in
+      check_int "length" 500 (Zindex.length loaded);
+      check_int "capacity preserved" (Zindex.leaf_capacity index)
+        (Zindex.leaf_capacity loaded);
+      (* Queries agree. *)
+      let rng = W.Rng.create ~seed:9 in
+      for _ = 1 to 20 do
+        let x1 = W.Rng.int rng 256 and x2 = W.Rng.int rng 256 in
+        let y1 = W.Rng.int rng 256 and y2 = W.Rng.int rng 256 in
+        let box =
+          Sqp_geom.Box.make ~lo:[| min x1 x2; min y1 y2 |]
+            ~hi:[| max x1 x2; max y1 y2 |]
+        in
+        let a, _ = Zindex.range_search index box in
+        let b, _ = Zindex.range_search loaded box in
+        if a <> b then Alcotest.fail "reloaded index answers differently"
+      done)
+
+let test_save_load_3d_and_strings () =
+  with_file "index3d" (fun path ->
+      let space = Z.Space.make ~dims:3 ~depth:4 in
+      let rng = W.Rng.create ~seed:3 in
+      let points = W.Datagen.uniform rng ~side:16 ~n:100 ~dims:3 in
+      let index =
+        Zindex.of_points ~leaf_capacity:8 space
+          (Array.map (fun p -> (p, Printf.sprintf "p%d-%d-%d" p.(0) p.(1) p.(2))) points)
+      in
+      ignore (Persist.save ~path ~encode:Fun.id index);
+      let loaded = Persist.load ~path ~decode:Fun.id () in
+      check_int "length" 100 (Zindex.length loaded);
+      check_int "capacity" 8 (Zindex.leaf_capacity loaded);
+      Array.iter
+        (fun p ->
+          check "payload preserved" true
+            (Zindex.find loaded p = Some (Printf.sprintf "p%d-%d-%d" p.(0) p.(1) p.(2))))
+        points)
+
+let test_save_empty_index () =
+  with_file "empty" (fun path ->
+      let space = Z.Space.make ~dims:2 ~depth:4 in
+      let index = Zindex.create space in
+      let pages = Persist.save ~path ~encode:string_of_int index in
+      check_int "no data pages" 0 pages;
+      let loaded = Persist.load ~path ~decode:int_of_string () in
+      check_int "empty" 0 (Zindex.length loaded))
+
+let () =
+  Alcotest.run "persist"
+    [
+      ( "file pager",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_fp_roundtrip;
+          Alcotest.test_case "reopen" `Quick test_fp_reopen;
+          Alcotest.test_case "free-slot reuse" `Quick test_fp_free_reuse;
+          Alcotest.test_case "overflow" `Quick test_fp_overflow;
+          Alcotest.test_case "iter order" `Quick test_fp_iter_order;
+          Alcotest.test_case "bad magic" `Quick test_fp_bad_magic;
+          Alcotest.test_case "closed handle" `Quick test_fp_closed;
+        ] );
+      ( "index persistence",
+        [
+          Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip;
+          Alcotest.test_case "3d + string payloads" `Quick test_save_load_3d_and_strings;
+          Alcotest.test_case "empty index" `Quick test_save_empty_index;
+        ] );
+    ]

@@ -1,0 +1,112 @@
+module P = Sqp_core.Props
+module Z = Sqp_zorder
+module G = Sqp_grid.Bitgrid
+module W = Sqp_workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let space = Z.Space.make ~dims:2 ~depth:5
+
+let box_els lo hi = Z.Decompose.decompose_box space ~lo ~hi
+
+let test_area () =
+  Alcotest.(check (float 0.001)) "box area" 35.0
+    (P.area space (box_els [| 1; 2 |] [| 7; 6 |]));
+  Alcotest.(check (float 0.001)) "empty" 0.0 (P.area space [])
+
+let test_perimeter_rectangle () =
+  (* A 7x5 rectangle has perimeter 24 regardless of its decomposition. *)
+  check_int "rectangle" 24 (P.perimeter space (box_els [| 1; 2 |] [| 7; 6 |]));
+  (* A single cell: 4. *)
+  check_int "cell" 4 (P.perimeter space (box_els [| 3; 3 |] [| 3; 3 |]));
+  (* The whole space: the outer border. *)
+  check_int "whole space" (4 * 32) (P.perimeter space [ Z.Element.root ])
+
+let test_perimeter_disjoint_boxes () =
+  let els =
+    List.sort Z.Element.compare
+      (box_els [| 0; 0 |] [| 1; 1 |] @ box_els [| 4; 4 |] [| 5; 5 |])
+  in
+  check_int "two squares" 16 (P.perimeter space els)
+
+let test_perimeter_vs_pixel_oracle () =
+  for seed = 1 to 15 do
+    let rng = W.Rng.create ~seed in
+    let g = G.create ~side:32 in
+    for _ = 1 to 4 + W.Rng.int rng 6 do
+      let w = 1 + W.Rng.int rng 10 and h = 1 + W.Rng.int rng 10 in
+      let x = W.Rng.int rng (32 - w) and y = W.Rng.int rng (32 - h) in
+      for i = x to x + w - 1 do
+        for j = y to y + h - 1 do
+          G.set g i j true
+        done
+      done
+    done;
+    let els = G.to_elements space g in
+    if P.perimeter space els <> G.perimeter g then
+      Alcotest.failf "perimeter mismatch at seed %d" seed
+  done
+
+let test_centroid () =
+  (match P.centroid space (box_els [| 2; 2 |] [| 5; 5 |]) with
+  | Some (cx, cy) ->
+      Alcotest.(check (float 0.001)) "cx" 3.5 cx;
+      Alcotest.(check (float 0.001)) "cy" 3.5 cy
+  | None -> Alcotest.fail "centroid expected");
+  check "empty" true (P.centroid space [] = None)
+
+let test_centroid_vs_pixel_oracle () =
+  let rng = W.Rng.create ~seed:8 in
+  let g = G.create ~side:32 in
+  for _ = 1 to 30 do
+    G.set g (W.Rng.int rng 32) (W.Rng.int rng 32) true
+  done;
+  let els = G.to_elements space g in
+  match (P.centroid space els, G.centroid g) with
+  | Some (ax, ay), Some (bx, by) ->
+      check "cx" true (abs_float (ax -. bx) < 1e-9);
+      check "cy" true (abs_float (ay -. by) < 1e-9)
+  | _ -> Alcotest.fail "both should exist"
+
+let test_component_areas () =
+  let els =
+    List.sort Z.Element.compare
+      (box_els [| 0; 0 |] [| 3; 3 |] @ box_els [| 10; 10 |] [| 11; 11 |])
+  in
+  Alcotest.(check (array (float 0.001))) "descending areas" [| 16.0; 4.0 |]
+    (P.component_areas space els)
+
+let test_overlap_rejected () =
+  let bad = [ Z.Bitstring.of_string "0"; Z.Bitstring.of_string "00" ] in
+  match P.perimeter space bad with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* Property: perimeter of AG representation = pixel perimeter for random
+   blobs. *)
+
+let prop_perimeter =
+  QCheck2.Test.make ~name:"element perimeter = pixel perimeter" ~count:60
+    QCheck2.Gen.(list_size (int_bound 50) (pair (int_bound 31) (int_bound 31)))
+    (fun cells ->
+      let g = G.create ~side:32 in
+      List.iter (fun (x, y) -> G.set g x y true) cells;
+      P.perimeter space (G.to_elements space g) = G.perimeter g)
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "area" `Quick test_area;
+          Alcotest.test_case "perimeter of rectangles" `Quick test_perimeter_rectangle;
+          Alcotest.test_case "perimeter of disjoint boxes" `Quick test_perimeter_disjoint_boxes;
+          Alcotest.test_case "perimeter vs pixels" `Quick test_perimeter_vs_pixel_oracle;
+          Alcotest.test_case "centroid" `Quick test_centroid;
+          Alcotest.test_case "centroid vs pixels" `Quick test_centroid_vs_pixel_oracle;
+          Alcotest.test_case "component areas" `Quick test_component_areas;
+          Alcotest.test_case "overlap rejected" `Quick test_overlap_rejected;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_perimeter ]);
+    ]

@@ -1,0 +1,88 @@
+module T = Sqp_report.Table
+module F = Sqp_report.Figure
+module Z = Sqp_zorder
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_table_render () =
+  let out =
+    T.render
+      ~columns:[ T.column ~align:T.Left "name"; T.column "n" ]
+      ~rows:[ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  check_str "layout" "name    n\n-----  --\nalpha   1\nb      22\n" out
+
+let test_table_arity_check () =
+  match
+    T.render ~columns:[ T.column "a" ] ~rows:[ [ "1"; "2" ] ]
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_formatters () =
+  check_str "int" "42" (T.fmt_int 42);
+  check_str "float" "3.14" (T.fmt_float 3.14159);
+  check_str "float decimals" "3.1416" (T.fmt_float ~decimals:4 3.14159);
+  check_str "pct" "12.5%" (T.fmt_pct 0.125)
+
+let test_grid_orientation () =
+  (* y = 0 must be the bottom row. *)
+  let s = F.grid ~side:2 (fun x y -> if x = 0 && y = 0 then 'o' else '.') in
+  check_str "origin at bottom left" "..\no.\n" s
+
+let test_box_query_figure () =
+  let space = Z.Space.make ~dims:2 ~depth:3 in
+  let box = Sqp_geom.Box.of_ranges [ (1, 3); (0, 4) ] in
+  let s = F.box_query space box ~points:[ [| 2; 1 |]; [| 6; 6 |] ] in
+  check "query region drawn" true (String.contains s '+');
+  check "inside point marked" true (String.contains s '@');
+  check "outside point marked" true (String.contains s '*')
+
+let test_decomposition_figure () =
+  let space = Z.Space.make ~dims:2 ~depth:3 in
+  let els = Z.Decompose.decompose_box space ~lo:[| 1; 0 |] ~hi:[| 3; 4 |] in
+  let s = F.decomposition space els in
+  (* 6 elements -> letters a..f present, empty cells dotted. *)
+  List.iter
+    (fun c -> check (Printf.sprintf "letter %c" c) true (String.contains s c))
+    [ 'a'; 'b'; 'c'; 'd'; 'e'; 'f' ];
+  check "uncovered" true (String.contains s '.');
+  let labels = F.decomposition_labels space els in
+  check "labels mention z" true (String.length labels > 0)
+
+let test_zcurve_ranks () =
+  let s = F.zcurve_ranks (Z.Space.make ~dims:2 ~depth:1) in
+  (* 2x2 grid: rows printed top (y=1: 1 3) then bottom (y=0: 0 2). *)
+  check_str "2x2 ranks" "1 3\n0 2\n" s
+
+let test_zcurve_path () =
+  let s = F.zcurve_path (Z.Space.make ~dims:2 ~depth:1) in
+  check "points drawn" true (String.contains s 'o');
+  check "diagonal step" true (String.contains s '\\' || String.contains s '/')
+
+let test_page_map () =
+  let s = F.page_map ~side:4 [ (0, [ [| 0; 0 |]; [| 1; 0 |] ]); (1, [ [| 3; 3 |] ]) ] in
+  check "page a" true (String.contains s 'a');
+  check "page b" true (String.contains s 'b');
+  check "empty cells" true (String.contains s '.')
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity check" `Quick test_table_arity_check;
+          Alcotest.test_case "formatters" `Quick test_formatters;
+        ] );
+      ( "figure",
+        [
+          Alcotest.test_case "grid orientation" `Quick test_grid_orientation;
+          Alcotest.test_case "box query (fig 1)" `Quick test_box_query_figure;
+          Alcotest.test_case "decomposition (fig 2)" `Quick test_decomposition_figure;
+          Alcotest.test_case "z curve ranks (fig 4)" `Quick test_zcurve_ranks;
+          Alcotest.test_case "z curve path" `Quick test_zcurve_path;
+          Alcotest.test_case "page map (fig 6)" `Quick test_page_map;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+(* Integration smoke tests: every report function runs to completion on a
+   reduced configuration.  Output content is pinned elsewhere (figures in
+   test_report.ml, numbers in per-module tests); here we exercise the
+   full printing paths end to end. *)
+
+module Reports = Sqp_core.Reports
+module E = Sqp_core.Experiment
+module W = Sqp_workload
+
+let check = Alcotest.(check bool)
+
+(* Run [f] with stdout captured so test output stays readable. *)
+let quietly f =
+  let dev_null = open_out (if Sys.win32 then "NUL" else "/dev/null") in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 (Unix.descr_of_out_channel dev_null) Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      close_out dev_null)
+    f
+
+let small =
+  {
+    (E.default W.Datagen.Uniform) with
+    E.n_points = 300;
+    depth = 7;
+    locations = 2;
+    volumes = [ 0.0625; 0.25 ];
+    aspects = [ 0.5; 1.0; 2.0 ];
+  }
+
+let run name f = Alcotest.test_case name `Quick (fun () -> quietly f; check name true true)
+
+let () =
+  Alcotest.run "reports"
+    [
+      ( "figures",
+        [
+          run "figure 1" Reports.print_figure1;
+          run "figure 2" Reports.print_figure2;
+          run "figure 3" Reports.print_figure3;
+          run "figure 4" Reports.print_figure4;
+          run "figure 5" Reports.print_figure5;
+          run "figure 6 (all datasets)" (fun () -> Reports.print_figure6 ());
+        ] );
+      ( "tables",
+        [
+          run "range experiment" (fun () ->
+              Reports.print_range_experiment ~config:small W.Datagen.Uniform);
+          run "range experiment D" (fun () ->
+              Reports.print_range_experiment ~config:small W.Datagen.Diagonal);
+          run "structure comparison" (fun () ->
+              Reports.print_structure_comparison ~config:small W.Datagen.Clustered);
+          run "strategy comparison" (fun () ->
+              Reports.print_strategy_comparison ~config:small W.Datagen.Uniform);
+          run "buffer policies" (fun () ->
+              Reports.print_buffer_policies ~config:small W.Datagen.Uniform);
+          run "fill factor" (fun () ->
+              Reports.print_fill_factor ~config:small W.Datagen.Uniform);
+          run "partial match" (fun () ->
+              (* depth 7 holds only 16384 cells; use the default depth. *)
+              Reports.print_partial_match
+                ~config:{ small with E.depth = 10; locations = 3 }
+                ());
+          run "euv" Reports.print_euv_table;
+          run "coarsening" Reports.print_coarsening;
+          run "proximity" Reports.print_proximity;
+          run "spatial join" Reports.print_spatial_join;
+          run "object join" Reports.print_object_join;
+          run "overlay scaling" Reports.print_overlay_scaling;
+          run "ccl" Reports.print_ccl;
+          run "interference" Reports.print_interference;
+          run "curve comparison" Reports.print_curve_comparison;
+        ] );
+    ]

@@ -1,0 +1,148 @@
+module R = Sqp_kdtree.Rtree
+module W = Sqp_workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let expect_ok t =
+  match R.check_invariants t with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariant violation: %s" m
+
+let random_points ?(n = 400) ?(seed = 3) ?(side = 256) () =
+  let rng = W.Rng.create ~seed in
+  Array.mapi (fun i p -> (p, i)) (W.Datagen.uniform rng ~side ~n ~dims:2)
+
+let brute pts box =
+  Array.to_list pts
+  |> List.filter (fun (p, _) -> Sqp_geom.Box.contains_point box p)
+  |> List.sort compare
+
+let test_empty () =
+  let t = R.create () in
+  check_int "length" 0 (R.length t);
+  check_int "height" 1 (R.height t);
+  expect_ok t;
+  let r, stats = R.range_search t (Sqp_geom.Box.of_ranges [ (0, 10); (0, 10) ]) in
+  check_int "no results" 0 (List.length r);
+  check_int "no pages" 0 stats.R.data_pages
+
+let test_build_invariants () =
+  let t = R.create ~page_capacity:8 () in
+  Array.iter
+    (fun (p, v) ->
+      R.insert t p v;
+      expect_ok t)
+    (random_points ~n:300 ());
+  check_int "length" 300 (R.length t);
+  check "grew" true (R.height t >= 2);
+  check "leaves" true (R.leaf_count t >= 300 / 8)
+
+let test_range_matches_brute_force () =
+  let pts = random_points () in
+  let t = R.of_points ~page_capacity:10 pts in
+  expect_ok t;
+  let rng = W.Rng.create ~seed:4 in
+  for _ = 1 to 60 do
+    let x1 = W.Rng.int rng 256 and x2 = W.Rng.int rng 256 in
+    let y1 = W.Rng.int rng 256 and y2 = W.Rng.int rng 256 in
+    let box =
+      Sqp_geom.Box.make ~lo:[| min x1 x2; min y1 y2 |] ~hi:[| max x1 x2; max y1 y2 |]
+    in
+    let got, stats = R.range_search t box in
+    if List.sort compare got <> brute pts box then Alcotest.fail "range mismatch";
+    check "pages bounded" true (stats.R.data_pages <= R.leaf_count t)
+  done
+
+let test_small_query_cheap () =
+  let t = R.of_points ~page_capacity:20 (random_points ~n:1000 ~seed:8 ()) in
+  let _, small = R.range_search t (Sqp_geom.Box.of_ranges [ (5, 20); (5, 20) ]) in
+  check "selective" true (small.R.data_pages * 5 < R.leaf_count t)
+
+let test_duplicates () =
+  let t = R.create ~page_capacity:4 () in
+  for v = 0 to 19 do
+    R.insert t [| 7; 7 |] v
+  done;
+  expect_ok t;
+  let got, _ = R.range_search t (Sqp_geom.Box.of_ranges [ (7, 7); (7, 7) ]) in
+  check_int "all duplicates" 20 (List.length got)
+
+let test_clustered_data () =
+  let rng = W.Rng.create ~seed:6 in
+  let pts =
+    Array.mapi (fun i p -> (p, i))
+      (W.Datagen.clustered rng ~side:256 ~clusters:8 ~per_cluster:40 ~spread:4.0)
+  in
+  let t = R.of_points ~page_capacity:10 pts in
+  expect_ok t;
+  let box = Sqp_geom.Box.of_ranges [ (0, 127); (0, 127) ] in
+  let got, _ = R.range_search t box in
+  check "matches brute force" true (List.sort compare got = brute pts box)
+
+let test_str_bulk_load () =
+  let pts = random_points ~n:500 ~seed:10 () in
+  let t = R.of_points_str ~page_capacity:20 pts in
+  check_int "length" 500 (R.length t);
+  (* Full packing: exactly ceil(500/20) = 25 leaves. *)
+  check_int "packed leaves" 25 (R.leaf_count t);
+  let rng = W.Rng.create ~seed:11 in
+  for _ = 1 to 40 do
+    let x1 = W.Rng.int rng 256 and x2 = W.Rng.int rng 256 in
+    let y1 = W.Rng.int rng 256 and y2 = W.Rng.int rng 256 in
+    let box =
+      Sqp_geom.Box.make ~lo:[| min x1 x2; min y1 y2 |] ~hi:[| max x1 x2; max y1 y2 |]
+    in
+    let got, _ = R.range_search t box in
+    if List.sort compare got <> brute pts box then Alcotest.fail "STR range mismatch"
+  done
+
+let test_str_beats_insertion_on_pages () =
+  let pts = random_points ~n:2000 ~seed:12 () in
+  let dynamic = R.of_points ~page_capacity:20 pts in
+  let packed = R.of_points_str ~page_capacity:20 pts in
+  let box = Sqp_geom.Box.of_ranges [ (40, 140); (40, 140) ] in
+  let _, ds = R.range_search dynamic box in
+  let _, ps = R.range_search packed box in
+  check "STR touches fewer leaves" true (ps.R.data_pages <= ds.R.data_pages)
+
+let test_invalid () =
+  let t = R.create () in
+  (match R.insert t [| 1 |] 0 with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  match R.create ~page_capacity:2 () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let prop_model =
+  QCheck2.Test.make ~name:"r-tree = brute force (random builds)" ~count:30
+    QCheck2.Gen.(
+      pair (int_range 0 10000)
+        (pair (pair (int_bound 63) (int_bound 63)) (pair (int_bound 63) (int_bound 63))))
+    (fun (seed, ((x1, y1), (x2, y2))) ->
+      let pts = random_points ~n:120 ~seed ~side:64 () in
+      let t = R.of_points ~page_capacity:6 pts in
+      let box =
+        Sqp_geom.Box.make ~lo:[| min x1 x2; min y1 y2 |] ~hi:[| max x1 x2; max y1 y2 |]
+      in
+      R.check_invariants t = Ok ()
+      && List.sort compare (fst (R.range_search t box)) = brute pts box)
+
+let () =
+  Alcotest.run "rtree"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "build invariants" `Quick test_build_invariants;
+          Alcotest.test_case "range = brute force" `Quick test_range_matches_brute_force;
+          Alcotest.test_case "small queries cheap" `Quick test_small_query_cheap;
+          Alcotest.test_case "duplicates" `Quick test_duplicates;
+          Alcotest.test_case "clustered data" `Quick test_clustered_data;
+          Alcotest.test_case "STR bulk load" `Quick test_str_bulk_load;
+          Alcotest.test_case "STR vs insertion" `Quick test_str_beats_insertion_on_pages;
+          Alcotest.test_case "invalid" `Quick test_invalid;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_model ]);
+    ]

@@ -1,0 +1,187 @@
+module Z = Sqp_zorder
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let s8 = Z.Space.make ~dims:2 ~depth:8
+let s10 = Z.Space.make ~dims:2 ~depth:10
+
+let test_element_count_tiny () =
+  (* 1x1 box at origin = one pixel element. *)
+  check_int "1x1" 1 (Z.Zmath.element_count s8 ~extents:[| 1; 1 |]);
+  (* Whole space = the root. *)
+  check_int "whole" 1 (Z.Zmath.element_count s8 ~extents:[| 256; 256 |]);
+  (* Half space. *)
+  check_int "half" 1 (Z.Zmath.element_count s8 ~extents:[| 128; 256 |])
+
+let test_element_count_powers () =
+  (* Power-of-two squares at the origin are single elements. *)
+  List.iter
+    (fun side -> check_int "pow2 square" 1 (Z.Zmath.element_count s8 ~extents:[| side; side |]))
+    [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
+
+let test_cyclicity () =
+  (* E(U,V) = E(2U,2V) — the paper's Section 5.1 fact. *)
+  List.iter
+    (fun (u, v) ->
+      check_int
+        (Printf.sprintf "E(%d,%d) = E(%d,%d)" u v (2 * u) (2 * v))
+        (Z.Zmath.element_count s10 ~extents:[| u; v |])
+        (Z.Zmath.element_count s10 ~extents:[| 2 * u; 2 * v |]))
+    [ (3, 5); (7, 11); (100, 100); (127, 1); (85, 170) ]
+
+let test_border_sensitivity () =
+  (* 255x255 decomposes into many elements; 256x256 into one. *)
+  let e255 = Z.Zmath.element_count s10 ~extents:[| 255; 255 |] in
+  let e256 = Z.Zmath.element_count s10 ~extents:[| 256; 256 |] in
+  check "255 >> 256" true (e255 > 50 * e256)
+
+let test_bit_spread () =
+  check_int "12 = 1100" 2 (Z.Zmath.bit_spread [| 12 |]);
+  check_int "1" 1 (Z.Zmath.bit_spread [| 1 |]);
+  check_int "0" 0 (Z.Zmath.bit_spread [| 0 |]);
+  check_int "255" 8 (Z.Zmath.bit_spread [| 255 |]);
+  check_int "256" 1 (Z.Zmath.bit_spread [| 256 |]);
+  check_int "or of pair" 8 (Z.Zmath.bit_spread [| 0x80; 1 |])
+
+let test_coarsen_extent () =
+  (* The paper's example: U = 01101101, m = 4 -> U' = 01110000. *)
+  check_int "paper example" 0b01110000 (Z.Zmath.coarsen_extent 0b01101101 ~m:4);
+  check_int "already aligned" 16 (Z.Zmath.coarsen_extent 16 ~m:4);
+  check_int "m=0" 13 (Z.Zmath.coarsen_extent 13 ~m:0)
+
+let test_coarsening_monotone () =
+  let reports = Z.Zmath.coarsening_sweep s8 ~extents:[| 173; 107 |] in
+  check_int "rows" 9 (List.length reports);
+  (* Area ratio grows with m; element count at max m is 1 (whole rounded
+     block is a single aligned square or the full space). *)
+  let rec check_ratio prev = function
+    | [] -> ()
+    | (r : Z.Zmath.coarsening_report) :: rest ->
+        check "ratio nondecreasing" true (r.area_ratio >= prev -. 1e-9);
+        check "ratio >= 1" true (r.area_ratio >= 1.0);
+        check_ratio r.area_ratio rest
+  in
+  check_ratio 1.0 reports;
+  let last = List.nth reports 8 in
+  check_int "fully coarse" 1 last.elements;
+  (* Coarsening should dramatically reduce elements vs m = 0. *)
+  let first = List.hd reports in
+  check "reduction" true (first.elements > 10 * last.elements)
+
+let test_proximity_table () =
+  let rng =
+    let r = Sqp_workload.Rng.create ~seed:7 in
+    fun n -> Sqp_workload.Rng.int r n
+  in
+  let rows =
+    Z.Zmath.proximity_table ~rng s8 ~distances:[ 1; 16 ] ~samples:500 ~pages:100
+  in
+  match rows with
+  | [ near; far ] ->
+      check "near pairs closer in rank" true
+        (near.Z.Zmath.median_rank_distance <= far.Z.Zmath.median_rank_distance);
+      check "near more often within page" true
+        (near.Z.Zmath.within_page >= far.Z.Zmath.within_page);
+      check "fractions in [0,1]" true
+        (near.Z.Zmath.within_page >= 0.0 && near.Z.Zmath.within_page <= 1.0)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_predicted_range_pages () =
+  (* v*N behaviour: doubling the area of the query roughly doubles the
+     prediction for large queries. *)
+  let pred q =
+    Z.Zmath.predicted_range_pages ~pages_per_block:6.0 ~n_pages:250 ~side:1024
+      ~query_extents:[| q; q |] ()
+  in
+  check "monotone" true (pred 512 > pred 256 && pred 256 > pred 128);
+  let vn = 0.25 *. 250.0 in
+  check "close to vN for big squares" true (pred 512 >= vn && pred 512 < 3.0 *. vn);
+  (* Shape sensitivity: same area, long-narrow costs more. *)
+  let narrow =
+    Z.Zmath.predicted_range_pages ~pages_per_block:6.0 ~n_pages:250 ~side:1024
+      ~query_extents:[| 64; 1024 |] ()
+  in
+  check "narrow > square" true (narrow > pred 256)
+
+let test_predicted_partial_match () =
+  Alcotest.(check (float 0.001)) "sqrt N" 50.0
+    (Z.Zmath.predicted_partial_match_pages ~n_pages:2500 ~dims:2 ~restricted:1);
+  Alcotest.(check (float 0.001)) "t=0 gives N" 2500.0
+    (Z.Zmath.predicted_partial_match_pages ~n_pages:2500 ~dims:2 ~restricted:0)
+
+let test_analytic_matches_decomposition () =
+  List.iter
+    (fun (u, v) ->
+      check_int
+        (Printf.sprintf "analytic E(%d,%d)" u v)
+        (Z.Zmath.element_count s10 ~extents:[| u; v |])
+        (Z.Zmath.element_count_analytic s10 ~extents:[| u; v |]))
+    [ (3, 5); (100, 100); (255, 255); (256, 256); (1, 1000); (1024, 1024); (173, 107) ]
+
+let test_analytic_3d () =
+  let s3 = Z.Space.make ~dims:3 ~depth:5 in
+  List.iter
+    (fun extents ->
+      check_int "3d analytic"
+        (Z.Zmath.element_count s3 ~extents)
+        (Z.Zmath.element_count_analytic s3 ~extents))
+    [ [| 5; 9; 21 |]; [| 32; 32; 32 |]; [| 1; 1; 1 |]; [| 31; 17; 2 |] ]
+
+(* Property: cyclicity over random extents. *)
+
+let prop_analytic =
+  QCheck2.Test.make ~name:"analytic count = decomposition count" ~count:200
+    QCheck2.Gen.(pair (int_range 1 256) (int_range 1 256))
+    (fun (u, v) ->
+      Z.Zmath.element_count s8 ~extents:[| u; v |]
+      = Z.Zmath.element_count_analytic s8 ~extents:[| u; v |])
+
+let prop_cyclic =
+  QCheck2.Test.make ~name:"E(U,V) = E(2U,2V)" ~count:100
+    QCheck2.Gen.(pair (int_range 1 127) (int_range 1 127))
+    (fun (u, v) ->
+      Z.Zmath.element_count s8 ~extents:[| u; v |]
+      = Z.Zmath.element_count s8 ~extents:[| 2 * u; 2 * v |])
+
+let prop_coarsen_extent =
+  QCheck2.Test.make ~name:"coarsen_extent: smallest aligned >= u" ~count:300
+    QCheck2.Gen.(pair (int_bound 100000) (int_bound 16))
+    (fun (u, m) ->
+      let u' = Z.Zmath.coarsen_extent u ~m in
+      u' >= u && u' land ((1 lsl m) - 1) = 0 && u' - u < 1 lsl m)
+
+let prop_coarsen_fewer_elements =
+  (* With all trailing bits cleared, the decomposition at the origin can
+     only shrink or stay equal when measured against a full coarsening. *)
+  QCheck2.Test.make ~name:"full coarsening yields at most as many elements"
+    ~count:100
+    QCheck2.Gen.(pair (int_range 1 255) (int_range 1 255))
+    (fun (u, v) ->
+      let e = Z.Zmath.element_count s8 ~extents:[| u; v |] in
+      let coarse = Z.Zmath.coarsen s8 ~extents:[| u; v |] ~m:8 in
+      let e' = Z.Zmath.element_count s8 ~extents:coarse in
+      e' <= e)
+
+let () =
+  Alcotest.run "zmath"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "element_count tiny" `Quick test_element_count_tiny;
+          Alcotest.test_case "element_count powers" `Quick test_element_count_powers;
+          Alcotest.test_case "cyclicity" `Quick test_cyclicity;
+          Alcotest.test_case "analytic recurrence" `Quick test_analytic_matches_decomposition;
+          Alcotest.test_case "analytic recurrence 3d" `Quick test_analytic_3d;
+          Alcotest.test_case "border sensitivity 255/256" `Quick test_border_sensitivity;
+          Alcotest.test_case "bit_spread" `Quick test_bit_spread;
+          Alcotest.test_case "coarsen_extent (paper example)" `Quick test_coarsen_extent;
+          Alcotest.test_case "coarsening sweep" `Quick test_coarsening_monotone;
+          Alcotest.test_case "proximity table" `Quick test_proximity_table;
+          Alcotest.test_case "predicted range pages" `Quick test_predicted_range_pages;
+          Alcotest.test_case "predicted partial match" `Quick test_predicted_partial_match;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_analytic; prop_cyclic; prop_coarsen_extent; prop_coarsen_fewer_elements ] );
+    ]

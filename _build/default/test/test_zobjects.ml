@@ -1,0 +1,146 @@
+module Zo = Sqp_btree.Zobjects
+module Z = Sqp_zorder
+module W = Sqp_workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let space = Z.Space.make ~dims:2 ~depth:6
+
+let mk_box x y w h =
+  Sqp_geom.Shape.Box (Sqp_geom.Box.of_ranges [ (x, x + w - 1); (y, y + h - 1) ])
+
+let build shapes =
+  let t = Zo.create space in
+  List.iter (fun (id, s) -> ignore (Zo.add t id s)) shapes;
+  t
+
+let dedup l = List.sort_uniq compare l
+
+let brute_overlaps left right =
+  List.concat_map
+    (fun (lid, ls) ->
+      List.filter_map
+        (fun (rid, rs) ->
+          (* Pixel-set overlap via decompositions. *)
+          let la = Sqp_geom.Shape.decompose space ls in
+          let lb = Sqp_geom.Shape.decompose space rs in
+          let hit =
+            List.exists
+              (fun a ->
+                List.exists
+                  (fun b -> Z.Bitstring.is_prefix a b || Z.Bitstring.is_prefix b a)
+                  lb)
+              la
+          in
+          if hit then Some (lid, rid) else None)
+        right)
+    left
+
+let test_add () =
+  let t = Zo.create space in
+  let n = Zo.add t 1 (mk_box 0 0 8 8) in
+  check_int "one element for an aligned square" 1 n;
+  check_int "entries" 1 (Zo.entry_count t);
+  let n2 = Zo.add t 2 (mk_box 1 1 3 3) in
+  check "unaligned box has several elements" true (n2 > 1)
+
+let test_join_simple () =
+  let a = build [ (1, mk_box 0 0 8 8); (2, mk_box 32 32 4 4) ] in
+  let b = build [ (10, mk_box 4 4 8 8); (11, mk_box 48 48 2 2) ] in
+  let pairs, stats = Zo.join a b in
+  check "1 overlaps 10" true (List.mem (1, 10) (dedup pairs));
+  check "2 matches nothing" false (List.exists (fun (l, _) -> l = 2) pairs);
+  check "pages counted" true (stats.Zo.left_pages >= 1 && stats.Zo.right_pages >= 1);
+  check_int "entries consumed = total" (Zo.entry_count a + Zo.entry_count b) stats.Zo.entries
+
+let test_join_matches_brute_force () =
+  let rng = W.Rng.create ~seed:44 in
+  let random_shapes tag n =
+    List.init n (fun i ->
+        let w = 1 + W.Rng.int rng 10 and h = 1 + W.Rng.int rng 10 in
+        let x = W.Rng.int rng (64 - w) and y = W.Rng.int rng (64 - h) in
+        (tag + i, mk_box x y w h))
+  in
+  for _ = 1 to 5 do
+    let left = random_shapes 0 10 and right = random_shapes 100 10 in
+    let a = build left and b = build right in
+    let pairs, _ = Zo.join a b in
+    if dedup pairs <> dedup (brute_overlaps left right) then
+      Alcotest.fail "join disagrees with brute force"
+  done
+
+let test_join_space_mismatch () =
+  let a = Zo.create space and b = Zo.create (Z.Space.make ~dims:2 ~depth:5) in
+  match Zo.join a b with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_join_empty () =
+  let a = Zo.create space and b = build [ (1, mk_box 0 0 4 4) ] in
+  let pairs, _ = Zo.join a b in
+  check_int "empty join" 0 (List.length pairs)
+
+let test_range_candidates () =
+  let t =
+    build [ (1, mk_box 0 0 8 8); (2, mk_box 20 20 8 8); (3, mk_box 50 50 8 8) ]
+  in
+  let box = Sqp_geom.Box.of_ranges [ (4, 24); (4, 24) ] in
+  let hits, stats = Zo.range_candidates t box in
+  let ids = dedup (List.map fst hits) in
+  Alcotest.(check (list int)) "objects 1 and 2" [ 1; 2 ] ids;
+  check "pages counted" true (stats.Zo.left_pages >= 1);
+  (* Fully outside the grid: nothing. *)
+  let none, _ = Zo.range_candidates t (Sqp_geom.Box.of_ranges [ (100, 120); (0, 3) ]) in
+  check_int "out of grid" 0 (List.length none)
+
+let test_range_candidates_match_interference_semantics () =
+  let shapes =
+    [ (1, mk_box 3 3 9 9); (2, mk_box 40 1 5 20); (3, mk_box 10 40 20 5) ]
+  in
+  let t = build shapes in
+  let rng = W.Rng.create ~seed:77 in
+  for _ = 1 to 20 do
+    let x1 = W.Rng.int rng 64 and x2 = W.Rng.int rng 64 in
+    let y1 = W.Rng.int rng 64 and y2 = W.Rng.int rng 64 in
+    let box =
+      Sqp_geom.Box.make ~lo:[| min x1 x2; min y1 y2 |] ~hi:[| max x1 x2; max y1 y2 |]
+    in
+    let hits, _ = Zo.range_candidates t box in
+    let got = dedup (List.map fst hits) in
+    let expected =
+      List.filter_map
+        (fun (id, shape) ->
+          match shape with
+          | Sqp_geom.Shape.Box b -> if Sqp_geom.Box.overlaps b box then Some id else None
+          | _ -> None)
+        shapes
+      |> List.sort compare
+    in
+    if got <> expected then Alcotest.fail "range_candidates mismatch"
+  done
+
+let test_payloads_can_differ_between_trees () =
+  (* Type-level check really: payloads of the two sides are independent. *)
+  let a = Zo.create space and b = Zo.create space in
+  ignore (Zo.add a "left" (mk_box 0 0 4 4));
+  ignore (Zo.add b 42 (mk_box 2 2 4 4));
+  let pairs, _ = Zo.join a b in
+  check "pair found" true (List.mem ("left", 42) pairs)
+
+let () =
+  Alcotest.run "zobjects"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "add" `Quick test_add;
+          Alcotest.test_case "join simple" `Quick test_join_simple;
+          Alcotest.test_case "join = brute force" `Quick test_join_matches_brute_force;
+          Alcotest.test_case "space mismatch" `Quick test_join_space_mismatch;
+          Alcotest.test_case "empty join" `Quick test_join_empty;
+          Alcotest.test_case "range candidates" `Quick test_range_candidates;
+          Alcotest.test_case "range candidates semantics" `Quick
+            test_range_candidates_match_interference_semantics;
+          Alcotest.test_case "heterogeneous payloads" `Quick test_payloads_can_differ_between_trees;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+module Z = Sqp_zorder
+module B = Z.Bitstring
+module R = Z.Zrange
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let s23 = Z.Space.make ~dims:2 ~depth:3
+
+let test_usable () =
+  check "2d depth 3" true (R.usable s23);
+  check "2d depth 30" true (R.usable (Z.Space.make ~dims:2 ~depth:30));
+  check "2d depth 31 too deep" false (R.usable (Z.Space.make ~dims:2 ~depth:31))
+
+let test_of_element () =
+  Alcotest.(check (pair int int)) "001" (8, 15) (R.of_element s23 (B.of_string "001"));
+  Alcotest.(check (pair int int)) "root" (0, 63) (R.of_element s23 B.empty);
+  Alcotest.(check (pair int int)) "pixel" (27, 27)
+    (R.of_element s23 (B.of_string "011011"))
+
+let test_to_element () =
+  (match R.to_element s23 ~lo:8 ~hi:15 with
+  | Some e -> Alcotest.(check string) "001" "001" (B.to_string e)
+  | None -> Alcotest.fail "element expected");
+  check "unaligned" true (R.to_element s23 ~lo:9 ~hi:16 = None);
+  check "not power of two" true (R.to_element s23 ~lo:8 ~hi:13 = None);
+  check "out of range" true (R.to_element s23 ~lo:0 ~hi:64 = None)
+
+let test_cover_single_element () =
+  (* Covering exactly one element's range yields that element. *)
+  List.iter
+    (fun s ->
+      let e = B.of_string s in
+      let lo, hi = R.of_element s23 e in
+      match R.cover s23 ~lo ~hi with
+      | [ e' ] -> check ("cover " ^ s) true (B.equal e e')
+      | other -> Alcotest.failf "cover %s: %d elements" s (List.length other))
+    [ ""; "0"; "001"; "011011"; "1111" ]
+
+let test_cover_unaligned () =
+  (* [1, 6] = {1} {2,3} {4,5} {6}: buddy decomposition. *)
+  let els = R.cover s23 ~lo:1 ~hi:6 in
+  Alcotest.(check (list string)) "buddy"
+    [ "000001"; "00001"; "00010"; "000110" ]
+    (List.map B.to_string els)
+
+let test_cover_count () =
+  for lo = 0 to 63 do
+    for hi = lo to 63 do
+      check_int "count" (List.length (R.cover s23 ~lo ~hi)) (R.cover_count s23 ~lo ~hi)
+    done
+  done
+
+let test_elements_to_intervals () =
+  let els = [ B.of_string "000001"; B.of_string "00001"; B.of_string "00010" ] in
+  Alcotest.(check (list (pair int int))) "merged" [ (1, 5) ]
+    (R.elements_to_intervals s23 els);
+  let gap = [ B.of_string "000001"; B.of_string "00010" ] in
+  Alcotest.(check (list (pair int int))) "gap" [ (1, 1); (4, 5) ]
+    (R.elements_to_intervals s23 gap)
+
+let test_total_cells () =
+  check_int "cells" 7 (R.total_cells [ (1, 5); (10, 11) ])
+
+(* Properties *)
+
+let s6 = Z.Space.make ~dims:2 ~depth:6
+
+let gen_interval =
+  QCheck2.Gen.(
+    map
+      (fun (a, b) -> (min a b, max a b))
+      (pair (int_bound 4095) (int_bound 4095)))
+
+let prop_cover_exact =
+  QCheck2.Test.make ~name:"cover = interval, disjoint, sorted, aligned" ~count:300
+    gen_interval (fun (lo, hi) ->
+      let els = R.cover s6 ~lo ~hi in
+      (* Ranges are consecutive and exactly tile [lo, hi]. *)
+      let rec walk pos = function
+        | [] -> pos = hi + 1
+        | e :: rest ->
+            let elo, ehi = R.of_element s6 e in
+            elo = pos && ehi <= hi && walk (ehi + 1) rest
+      in
+      walk lo els)
+
+let prop_cover_minimal =
+  QCheck2.Test.make ~name:"cover is canonical (no sibling pairs)" ~count:300
+    gen_interval (fun (lo, hi) ->
+      let els = R.cover s6 ~lo ~hi in
+      (* No two adjacent output elements may be siblings (they would merge
+         into the parent). *)
+      let rec ok = function
+        | a :: b :: rest ->
+            let merged =
+              match (Z.Element.parent a, Z.Element.parent b) with
+              | Some pa, Some pb -> B.equal pa pb && B.get a (B.length a - 1) = false
+              | _ -> false
+            in
+            (not merged) && ok (b :: rest)
+        | _ -> true
+      in
+      ok els)
+
+let prop_roundtrip_intervals =
+  QCheck2.Test.make ~name:"intervals -> elements -> intervals" ~count:300
+    QCheck2.Gen.(list_size (int_bound 5) gen_interval)
+    (fun intervals ->
+      (* Normalize to disjoint, sorted, non-adjacent. *)
+      let sorted = List.sort_uniq compare intervals in
+      let rec normalize = function
+        | (a1, b1) :: (a2, b2) :: rest ->
+            if a2 <= b1 + 1 then normalize ((a1, max b1 b2) :: rest)
+            else (a1, b1) :: normalize ((a2, b2) :: rest)
+        | l -> l
+      in
+      let normalized = normalize sorted in
+      let els = R.intervals_to_elements s6 normalized in
+      R.elements_to_intervals s6 els = normalized)
+
+let () =
+  Alcotest.run "zrange"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "usable" `Quick test_usable;
+          Alcotest.test_case "of_element" `Quick test_of_element;
+          Alcotest.test_case "to_element" `Quick test_to_element;
+          Alcotest.test_case "cover single element" `Quick test_cover_single_element;
+          Alcotest.test_case "cover unaligned" `Quick test_cover_unaligned;
+          Alcotest.test_case "cover_count exhaustive" `Quick test_cover_count;
+          Alcotest.test_case "elements_to_intervals" `Quick test_elements_to_intervals;
+          Alcotest.test_case "total_cells" `Quick test_total_cells;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_cover_exact; prop_cover_minimal; prop_roundtrip_intervals ] );
+    ]
