@@ -185,12 +185,112 @@ let bench_btree =
         (Staged.stage (fun () -> Zindex.of_points ~leaf_capacity:20 space tagged));
     ]
 
-let run_bechamel () =
+(* {1 Parallel execution} *)
+
+module Pool = Sqp_parallel.Pool
+module Par_rs = Sqp_parallel.Par_range_search
+module Par_join = Sqp_parallel.Par_spatial_join
+
+let pprep = Par_rs.prepare space tagged
+
+(* The speedup workload: a batch of seeded random boxes over the
+   5000-point dataset, answered one task per query. *)
+let par_boxes =
+  let rng = W.Rng.create ~seed:99 in
+  Array.init 400 (fun _ ->
+      let w = 1 + W.Rng.int rng (side / 4) and h = 1 + W.Rng.int rng (side / 4) in
+      let x = W.Rng.int rng (side - w) and y = W.Rng.int rng (side - h) in
+      Sqp_geom.Box.of_ranges [ (x, x + w - 1); (y, y + h - 1) ])
+
+let bench_parallel pool =
+  Test.make_grouped ~name:"parallel"
+    [
+      Test.make ~name:"range-sequential"
+        (Staged.stage (fun () -> Sqp_core.Range_search.search_skip prep query));
+      Test.make ~name:"range-sharded"
+        (Staged.stage (fun () -> Par_rs.search pool pprep query));
+      Test.make ~name:"join-sequential"
+        (Staged.stage (fun () -> Sqp_core.Zmerge.pairs join_l join_r));
+      Test.make ~name:"join-sharded"
+        (Staged.stage (fun () -> Par_join.pairs pool join_l join_r));
+    ]
+
+let time_batch pool =
+  ignore (Par_rs.search_batch pool pprep par_boxes) (* warm-up *);
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let t0 = Unix.gettimeofday () in
+    ignore (Par_rs.search_batch pool pprep par_boxes);
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+let speedup_table () =
+  let cores = Domain.recommended_domain_count () in
+  let rows =
+    List.map
+      (fun domains -> (domains, Pool.with_pool ~domains time_batch))
+      [ 1; 2; 4; 8 ]
+  in
+  let base = List.assoc 1 rows in
+  print_newline ();
+  Printf.printf
+    "Parallel range-search throughput (%d queries over %d points, %d core%s)\n"
+    (Array.length par_boxes) (Array.length points) cores
+    (if cores = 1 then "" else "s");
+  print_endline "=====================================================================";
+  List.iter
+    (fun (domains, seconds) ->
+      Printf.printf "  %d domain%s  %8.2f ms   speedup %.2fx\n" domains
+        (if domains = 1 then " " else "s")
+        (seconds *. 1e3) (base /. seconds))
+    rows;
+  if cores = 1 then
+    print_endline
+      "  (single core: extra domains add GC-synchronization overhead and no\n\
+      \   parallelism, so speedups < 1x here; >1x needs a multi-core machine)";
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n  \"workload\": \"range-search batch\",\n  \"queries\": %d,\n  \
+     \"points\": %d,\n  \"cores\": %d,\n  \"runs\": [\n%s\n  ]\n}\n"
+    (Array.length par_boxes) (Array.length points) cores
+    (String.concat ",\n"
+       (List.map
+          (fun (domains, seconds) ->
+            Printf.sprintf
+              "    { \"domains\": %d, \"seconds\": %.6f, \"speedup\": %.3f }"
+              domains seconds (base /. seconds))
+          rows));
+  close_out oc;
+  print_endline "  -> BENCH_parallel.json"
+
+(* Fast correctness smoke for CI: the parallel drivers must agree with
+   the sequential paths on a slice of the bench workload. *)
+let quick_smoke () =
+  let failures = ref 0 in
+  Pool.with_pool ~domains:2 (fun pool ->
+      Array.iter
+        (fun box ->
+          let seq = fst (Sqp_core.Range_search.search_skip prep box) in
+          let par = fst (Par_rs.search pool pprep box) in
+          if seq <> par then incr failures)
+        (Array.sub par_boxes 0 50);
+      let seq_pairs = fst (Sqp_core.Zmerge.pairs join_l join_r) in
+      let par_pairs = fst (Par_join.pairs pool join_l join_r) in
+      if seq_pairs <> par_pairs then incr failures);
+  if !failures = 0 then
+    print_endline "quick smoke: parallel = sequential (50 range queries + join)"
+  else begin
+    Printf.printf "quick smoke: %d mismatches\n" !failures;
+    exit 1
+  end
+
+let run_bechamel pool =
   let tests =
     Test.make_grouped ~name:"sqp"
       [
         bench_zorder; bench_range; bench_join; bench_overlay; bench_ccl;
-        bench_nearest; bench_btree;
+        bench_nearest; bench_btree; bench_parallel pool;
       ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
@@ -220,5 +320,9 @@ let run_bechamel () =
     rows
 
 let () =
-  Sqp_core.Reports.run_all ();
-  run_bechamel ()
+  if Array.exists (String.equal "--quick") Sys.argv then quick_smoke ()
+  else begin
+    Sqp_core.Reports.run_all ();
+    Pool.with_pool ~domains:2 run_bechamel;
+    speedup_table ()
+  end

@@ -1,0 +1,1 @@
+lib/parallel/par_range_search.mli: Pool Sqp_geom Sqp_zorder

@@ -1,0 +1,1 @@
+lib/parallel/par_spatial_join.ml: Array List Pool Shard Sqp_zorder

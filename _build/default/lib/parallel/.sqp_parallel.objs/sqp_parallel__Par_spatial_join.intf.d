@@ -1,0 +1,1 @@
+lib/parallel/par_spatial_join.mli: Pool Sqp_zorder

@@ -1,0 +1,1 @@
+lib/parallel/pool.ml: Array Condition Domain Fun List Mutex Queue

@@ -1,0 +1,1 @@
+lib/parallel/pool.mli:

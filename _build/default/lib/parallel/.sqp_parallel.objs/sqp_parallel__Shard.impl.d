@@ -1,0 +1,1 @@
+lib/parallel/shard.ml: Array Printf Sqp_zorder

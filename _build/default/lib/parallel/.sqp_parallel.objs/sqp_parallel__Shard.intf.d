@@ -1,0 +1,1 @@
+lib/parallel/shard.mli: Sqp_zorder

@@ -1,0 +1,195 @@
+module Z = Sqp_zorder
+module B = Z.Bitstring
+
+type 'a prepared = {
+  space : Z.Space.t;
+  zs : B.t array;            (* sorted *)
+  pts : (Sqp_geom.Point.t * 'a) array; (* aligned with zs *)
+}
+
+let prepare space points =
+  let tagged =
+    Array.map (fun (p, v) -> (Z.Interleave.shuffle space p, (p, v))) points
+  in
+  Array.sort (fun (a, _) (b, _) -> B.compare a b) tagged;
+  { space; zs = Array.map fst tagged; pts = Array.map snd tagged }
+
+let prepared_length p = Array.length p.zs
+
+let space p = p.space
+
+type counters = {
+  point_steps : int;
+  element_steps : int;
+  point_jumps : int;
+  element_jumps : int;
+  comparisons : int;
+  shards_searched : int;
+}
+
+let no_counters =
+  {
+    point_steps = 0;
+    element_steps = 0;
+    point_jumps = 0;
+    element_jumps = 0;
+    comparisons = 0;
+    shards_searched = 0;
+  }
+
+let add_counters a b =
+  {
+    point_steps = a.point_steps + b.point_steps;
+    element_steps = a.element_steps + b.element_steps;
+    point_jumps = a.point_jumps + b.point_jumps;
+    element_jumps = a.element_jumps + b.element_jumps;
+    comparisons = a.comparisons + b.comparisons;
+    shards_searched = a.shards_searched + b.shards_searched;
+  }
+
+type range = { rlo : B.t; rhi : B.t }
+
+let box_ranges space box =
+  let total = Z.Space.total_bits space in
+  let lo = Sqp_geom.Box.lo box and hi = Sqp_geom.Box.hi box in
+  let els = Z.Decompose.decompose_box space ~lo ~hi in
+  Array.of_list
+    (List.map
+       (fun e -> { rlo = B.pad_to e total false; rhi = B.pad_to e total true })
+       els)
+
+(* First index in [zs[lo, hi)] with zs.(i) >= z. *)
+let lower_bound_z zs ~lo ~hi z comparisons =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    incr comparisons;
+    if B.compare zs.(mid) z < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* First index in [ranges] with rhi >= z. *)
+let first_live_range ranges z comparisons =
+  let lo = ref 0 and hi = ref (Array.length ranges) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    incr comparisons;
+    if B.compare ranges.(mid).rhi z < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* The skip-merge of Range_search.search_skip, restricted to the point
+   slice [i0, i1) and the given (clipped) ranges. *)
+let merge_slice zs pts ~i0 ~i1 ranges =
+  let nb = Array.length ranges in
+  let point_steps = ref 0 and element_steps = ref 0 in
+  let point_jumps = ref 0 and element_jumps = ref 0 in
+  let comparisons = ref 0 in
+  let acc = ref [] in
+  let i = ref i0 and j = ref 0 in
+  if i1 > i0 && nb > 0 then begin
+    i := lower_bound_z zs ~lo:i0 ~hi:i1 ranges.(0).rlo comparisons;
+    incr point_jumps
+  end;
+  while !i < i1 && !j < nb do
+    let z = zs.(!i) and r = ranges.(!j) in
+    incr comparisons;
+    if B.compare z r.rlo < 0 then begin
+      i := lower_bound_z zs ~lo:!i ~hi:i1 r.rlo comparisons;
+      incr point_jumps
+    end
+    else begin
+      incr comparisons;
+      if B.compare z r.rhi > 0 then begin
+        j := first_live_range ranges z comparisons;
+        incr element_jumps
+      end
+      else begin
+        acc := pts.(!i) :: !acc;
+        incr i;
+        incr point_steps
+      end
+    end
+  done;
+  ( List.rev !acc,
+    {
+      point_steps = !point_steps;
+      element_steps = !element_steps;
+      point_jumps = !point_jumps;
+      element_jumps = !element_jumps;
+      comparisons = !comparisons;
+      shards_searched = 1;
+    } )
+
+let bmin a b = if B.compare a b <= 0 then a else b
+let bmax a b = if B.compare a b >= 0 then a else b
+
+(* Query ranges intersected with one shard's z interval.  Ranges are
+   ascending and disjoint, so the overlapping ones are contiguous. *)
+let clip_ranges ranges (shard : Shard.t) =
+  let nb = Array.length ranges in
+  let first =
+    let lo = ref 0 and hi = ref nb in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if B.compare ranges.(mid).rhi shard.zlo < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let out = ref [] in
+  let k = ref first in
+  while !k < nb && B.compare ranges.(!k).rlo shard.zhi <= 0 do
+    let r = ranges.(!k) in
+    out := { rlo = bmax r.rlo shard.zlo; rhi = bmin r.rhi shard.zhi } :: !out;
+    incr k
+  done;
+  Array.of_list (List.rev !out)
+
+let clip prep box = Sqp_geom.Box.clip box ~side:(Z.Space.side prep.space)
+
+let search ?shard_bits pool prep box =
+  match clip prep box with
+  | None -> ([], no_counters)
+  | Some box ->
+      let bits =
+        match shard_bits with
+        | Some b -> b
+        | None -> Shard.default_bits prep.space ~domains:(Pool.domains pool)
+      in
+      let ranges = box_ranges prep.space box in
+      let shards = Shard.make prep.space ~bits in
+      let n = Array.length prep.zs in
+      let nshards = Array.length shards in
+      (* Slice boundaries: points of shard i live in [bounds.(i), bounds.(i+1)). *)
+      let dummy = ref 0 in
+      let bounds =
+        Array.init (nshards + 1) (fun i ->
+            if i = nshards then n
+            else lower_bound_z prep.zs ~lo:0 ~hi:n shards.(i).zlo dummy)
+      in
+      let tasks =
+        Array.to_list shards
+        |> List.filter_map (fun (sh : Shard.t) ->
+               let clipped = clip_ranges ranges sh in
+               if Array.length clipped = 0 then None
+               else
+                 Some
+                   (fun () ->
+                     merge_slice prep.zs prep.pts ~i0:bounds.(sh.index)
+                       ~i1:bounds.(sh.index + 1) clipped))
+      in
+      let per_shard = Pool.run pool tasks in
+      let results = List.concat_map fst per_shard in
+      let counters =
+        List.fold_left (fun acc (_, c) -> add_counters acc c) no_counters per_shard
+      in
+      (results, counters)
+
+let search_one prep box =
+  match clip prep box with
+  | None -> ([], no_counters)
+  | Some box ->
+      let ranges = box_ranges prep.space box in
+      merge_slice prep.zs prep.pts ~i0:0 ~i1:(Array.length prep.zs) ranges
+
+let search_batch pool prep boxes = Pool.map pool (search_one prep) boxes

@@ -1,0 +1,51 @@
+(** Domain-parallel range search: the Section 3.3 skip-merge, fanned out
+    over z shards.
+
+    The query box is decomposed into z-ordered elements once; each shard
+    then merges its slice of the point array against the query ranges
+    clipped to its z interval.  Because the shards partition the z range
+    and both inputs are z-sorted, concatenating the per-shard outputs in
+    shard order reproduces the sequential result {e exactly} — same
+    points, same (z) order — for any number of domains.  The differential
+    suite in [test/test_differential.ml] enforces this. *)
+
+type 'a prepared
+
+val prepare :
+  Sqp_zorder.Space.t -> (Sqp_geom.Point.t * 'a) array -> 'a prepared
+(** Shuffle each point to its z value and sort — the same preprocessing
+    step as [Sqp_core.Range_search.prepare]. *)
+
+val prepared_length : 'a prepared -> int
+
+val space : 'a prepared -> Sqp_zorder.Space.t
+
+type counters = {
+  point_steps : int;
+  element_steps : int;
+  point_jumps : int;
+  element_jumps : int;
+  comparisons : int;
+  shards_searched : int;  (** shard merges actually run (parallel tasks) *)
+}
+(** Work counters summed over all shards (deterministic: independent of
+    scheduling). *)
+
+val search :
+  ?shard_bits:int ->
+  Pool.t ->
+  'a prepared ->
+  Sqp_geom.Box.t ->
+  (Sqp_geom.Point.t * 'a) list * counters
+(** All points inside the (inclusive, clipped) box, in z order.
+    [shard_bits] defaults to {!Shard.default_bits} for the pool's size;
+    [~shard_bits:0] is a single-shard (sequential) merge. *)
+
+val search_batch :
+  Pool.t ->
+  'a prepared ->
+  Sqp_geom.Box.t array ->
+  ((Sqp_geom.Point.t * 'a) list * counters) array
+(** Heavy-traffic mode: one task per query, each a whole-space sequential
+    merge, results in query order.  This is the throughput shape the
+    speedup bench measures. *)

@@ -1,0 +1,165 @@
+module B = Sqp_zorder.Bitstring
+
+type stats = {
+  pairs : int;
+  comparisons : int;
+  sorted_items : int;
+  shards_swept : int;
+  spanners : int;
+}
+
+type ('a, 'b) arrival = L of 'a | R of 'b
+
+let sort_items comparisons items =
+  List.stable_sort
+    (fun (za, _) (zb, _) ->
+      incr comparisons;
+      B.compare za zb)
+    items
+
+(* One containment sweep (the body of Zmerge.pairs), with the stacks
+   optionally pre-seeded by spanners that contain the whole z interval
+   being swept — seeds are prefixes of every arriving z, so they are
+   never popped and pair with every arrival of the opposite side.  Each
+   emitted pair is tagged with the z of the arrival that produced it. *)
+let sweep ~seed_l ~seed_r items =
+  let comparisons = ref 0 in
+  let stack_l = ref seed_l and stack_r = ref seed_r in
+  let pop_closed z stack =
+    let rec go = function
+      | (ze, _) :: rest
+        when (incr comparisons;
+              not (B.is_prefix ze z)) ->
+          go rest
+      | kept -> kept
+    in
+    stack := go !stack
+  in
+  let out = ref [] and pairs = ref 0 in
+  List.iter
+    (fun (z, arr) ->
+      pop_closed z stack_l;
+      pop_closed z stack_r;
+      match arr with
+      | L a ->
+          List.iter
+            (fun (_, b) ->
+              incr pairs;
+              out := (z, (a, b)) :: !out)
+            !stack_r;
+          stack_l := (z, a) :: !stack_l
+      | R b ->
+          List.iter
+            (fun (_, a) ->
+              incr pairs;
+              out := (z, (a, b)) :: !out)
+            !stack_l;
+          stack_r := (z, b) :: !stack_r)
+    items;
+  (List.rev !out, !pairs, !comparisons)
+
+let partition ~bits items =
+  let buckets = Array.make (1 lsl bits) [] in
+  let spanners = ref [] in
+  List.iter
+    (fun ((z, _) as it) ->
+      if Shard.spans ~bits z then spanners := it :: !spanners
+      else begin
+        let i = Shard.shard_of_z ~bits z in
+        buckets.(i) <- it :: buckets.(i)
+      end)
+    items;
+  (Array.map List.rev buckets, List.rev !spanners)
+
+let default_bits ~domains =
+  if domains <= 1 then 0
+  else begin
+    let rec ceil_log2 k n = if 1 lsl k >= n then k else ceil_log2 (k + 1) n in
+    min Shard.max_bits (ceil_log2 0 (4 * domains))
+  end
+
+let pairs ?shard_bits pool left right =
+  let bits =
+    match shard_bits with
+    | Some b ->
+        if b < 0 || b > Shard.max_bits then
+          invalid_arg "Par_spatial_join.pairs: shard_bits out of range";
+        b
+    | None -> default_bits ~domains:(Pool.domains pool)
+  in
+  let nshards = 1 lsl bits in
+  let buckets_l, spanners_l = partition ~bits left in
+  let buckets_r, spanners_r = partition ~bits right in
+  (* The spanner pass finds every pair whose later (longer) element is
+     itself a spanner; both sides of such a pair are spanners. *)
+  let span_comparisons = ref 0 in
+  let span_items =
+    sort_items span_comparisons
+      (List.map (fun (z, a) -> (z, L a)) spanners_l
+      @ List.map (fun (z, b) -> (z, R b)) spanners_r)
+  in
+  let span_out, span_pairs, span_sweep_cmp = sweep ~seed_l:[] ~seed_r:[] span_items in
+  (* Seeds are pushed in ascending z order so each stack ends newest
+     (longest prefix) first, exactly as the sequential sweep leaves it. *)
+  let sorted_spanners_l = sort_items (ref 0) spanners_l in
+  let sorted_spanners_r = sort_items (ref 0) spanners_r in
+  let seeds_for prefix spanners =
+    List.fold_left
+      (fun st ((z, _) as it) -> if B.is_prefix z prefix then it :: st else st)
+      [] spanners
+  in
+  let tasks =
+    List.init nshards (fun i -> i)
+    |> List.filter_map (fun i ->
+           if buckets_l.(i) = [] && buckets_r.(i) = [] then None
+           else
+             Some
+               (fun () ->
+                 let prefix = B.of_int i ~width:bits in
+                 let comparisons = ref 0 in
+                 let items =
+                   sort_items comparisons
+                     (List.map (fun (z, a) -> (z, L a)) buckets_l.(i)
+                     @ List.map (fun (z, b) -> (z, R b)) buckets_r.(i))
+                 in
+                 let seed_l = seeds_for prefix sorted_spanners_l in
+                 let seed_r = seeds_for prefix sorted_spanners_r in
+                 let out, pairs, sweep_cmp = sweep ~seed_l ~seed_r items in
+                 (out, pairs, !comparisons + sweep_cmp, List.length items)))
+  in
+  let per_shard = Pool.run pool tasks in
+  (* Re-interleave on the emission key.  Keys collide only within one
+     sweep's output (shards have disjoint prefixes; spanner keys are
+     shorter than resident keys), so a stable sort restores the global
+     sequential emission order. *)
+  let merge_comparisons = ref 0 in
+  let tagged =
+    span_out @ List.concat_map (fun (out, _, _, _) -> out) per_shard
+  in
+  let ordered =
+    List.stable_sort
+      (fun (ka, _) (kb, _) ->
+        incr merge_comparisons;
+        B.compare ka kb)
+      tagged
+  in
+  let pairs_total =
+    List.fold_left (fun acc (_, p, _, _) -> acc + p) span_pairs per_shard
+  in
+  let comparisons_total =
+    List.fold_left
+      (fun acc (_, _, c, _) -> acc + c)
+      (!span_comparisons + span_sweep_cmp + !merge_comparisons)
+      per_shard
+  in
+  let sorted_items_total =
+    List.fold_left (fun acc (_, _, _, n) -> acc + n) (List.length span_items) per_shard
+  in
+  ( List.map snd ordered,
+    {
+      pairs = pairs_total;
+      comparisons = comparisons_total;
+      sorted_items = sorted_items_total;
+      shards_swept = List.length per_shard;
+      spanners = List.length spanners_l + List.length spanners_r;
+    } )

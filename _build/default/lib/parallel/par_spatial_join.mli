@@ -1,0 +1,45 @@
+(** Domain-parallel spatial join: the Section 4 containment merge over
+    z-sorted element relations, partitioned by z shard.
+
+    Two z elements join when one is a prefix of the other.  Fixing a
+    shard depth [k]:
+
+    - an element of level >= k (a {e resident}) lies in exactly one
+      shard, named by its first [k] bits;
+    - an element of level < k (a {e spanner}) contains every shard whose
+      prefix it is a prefix of, and is disjoint from all others.
+
+    Resident/resident pairs therefore never cross shards (the longer
+    element extends the shorter, so they share the k-bit prefix) and are
+    found by an independent per-shard sweep.  Spanner/resident pairs are
+    found by pre-seeding each shard's open-element stacks with the
+    spanners covering it (they stay open for the whole shard).  Pairs
+    where {e both} sides are spanners are found by one small sequential
+    sweep over the spanners alone.  Every pair is produced exactly once.
+
+    Each pair is tagged with the z value of its later (longer) element —
+    the sweep position at which the sequential algorithm would emit it —
+    and the per-shard outputs are re-interleaved on that key, so the
+    result is {e bit-identical}, including order, to
+    [Sqp_core.Zmerge.pairs] on the same inputs. *)
+
+type stats = {
+  pairs : int;
+  comparisons : int;   (** sort + prefix comparisons, summed over shards *)
+  sorted_items : int;  (** items stably sorted, summed over shards *)
+  shards_swept : int;  (** per-shard sweeps actually run *)
+  spanners : int;      (** items of level < shard depth (both sides) *)
+}
+
+val pairs :
+  ?shard_bits:int ->
+  Pool.t ->
+  (Sqp_zorder.Bitstring.t * 'a) list ->
+  (Sqp_zorder.Bitstring.t * 'b) list ->
+  ('a * 'b) list * stats
+(** [pairs pool left right]: all [(a, b)] with [z a] a prefix of [z b] or
+    vice versa, in the same order as [Sqp_core.Zmerge.pairs].
+    [shard_bits] defaults to a depth suited to the pool's size; [0] runs
+    a single sequential sweep.
+    @raise Invalid_argument if [shard_bits] is outside
+    [0, ]{!Shard.max_bits}. *)

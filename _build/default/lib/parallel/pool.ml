@@ -1,0 +1,107 @@
+type t = {
+  domains : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  batch_done : Condition.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let domains t = t.domains
+
+(* Jobs are wrapped by [map] and never raise. *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec await () =
+    if t.stopping then None
+    else if Queue.is_empty t.queue then begin
+      Condition.wait t.work_available t.mutex;
+      await ()
+    end
+    else Some (Queue.pop t.queue)
+  in
+  let job = await () in
+  Mutex.unlock t.mutex;
+  match job with
+  | None -> ()
+  | Some job ->
+      job ();
+      worker_loop t
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let t =
+    {
+      domains;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map t f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let first_error = ref None in
+    let remaining = ref n in
+    (* Mutable batch state (results, remaining, first_error) is only
+       touched under the pool mutex, which also publishes the task's
+       writes to the caller. *)
+    let job i () =
+      let r = match f items.(i) with v -> Ok v | exception e -> Error e in
+      Mutex.lock t.mutex;
+      (match r with
+      | Ok v -> results.(i) <- Some v
+      | Error e -> if !first_error = None then first_error := Some e);
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast t.batch_done;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (job i) t.queue
+    done;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mutex;
+    (* The caller helps drain the queue, then waits for stragglers. *)
+    let rec help () =
+      Mutex.lock t.mutex;
+      match Queue.pop t.queue with
+      | job ->
+          Mutex.unlock t.mutex;
+          job ();
+          help ()
+      | exception Queue.Empty -> Mutex.unlock t.mutex
+    in
+    help ();
+    Mutex.lock t.mutex;
+    while !remaining > 0 do
+      Condition.wait t.batch_done t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    (match !first_error with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let run t thunks =
+  Array.to_list (map t (fun f -> f ()) (Array.of_list thunks))

@@ -1,0 +1,46 @@
+module Z = Sqp_zorder
+module B = Z.Bitstring
+
+type t = {
+  index : int;
+  prefix : Z.Element.t;
+  zlo : B.t;
+  zhi : B.t;
+  lo : int;
+  hi : int;
+}
+
+let max_bits = 12
+
+let make space ~bits =
+  if bits < 0 || bits > max_bits then
+    invalid_arg (Printf.sprintf "Shard.make: bits %d out of [0, %d]" bits max_bits);
+  let total = Z.Space.total_bits space in
+  if bits > total then invalid_arg "Shard.make: bits deeper than the space";
+  Array.init (1 lsl bits) (fun index ->
+      let prefix = B.of_int index ~width:bits in
+      let lo, hi = Z.Zrange.of_element space prefix in
+      {
+        index;
+        prefix;
+        zlo = B.pad_to prefix total false;
+        zhi = B.pad_to prefix total true;
+        lo;
+        hi;
+      })
+
+let shard_of_z ~bits z =
+  if B.length z < bits then invalid_arg "Shard.shard_of_z: z shorter than shard depth";
+  B.to_int (B.take z bits)
+
+let spans ~bits z = B.length z < bits
+
+let covers shard z = B.is_prefix z shard.prefix
+
+let default_bits space ~domains =
+  if domains <= 1 then 0
+  else begin
+    let target = 4 * domains in
+    let rec ceil_log2 k n = if 1 lsl k >= n then k else ceil_log2 (k + 1) n in
+    min (ceil_log2 0 target) (min max_bits (Z.Space.total_bits space))
+  end

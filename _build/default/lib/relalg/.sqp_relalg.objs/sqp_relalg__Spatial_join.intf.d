@@ -1,1 +1,1 @@
-lib/relalg/spatial_join.mli: Relation
+lib/relalg/spatial_join.mli: Relation Sqp_parallel

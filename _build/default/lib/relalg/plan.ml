@@ -129,7 +129,8 @@ let spatial_join_threshold = 20_000.0
 
 let use_merge left_rows right_rows = left_rows *. right_rows > spatial_join_threshold
 
-let rec run plan =
+let rec run_with pool plan =
+  let run = run_with pool in
   match plan with
   | Scan r -> r
   | Select (p, inner) ->
@@ -148,16 +149,26 @@ let rec run plan =
           use_merge
             (float_of_int (Relation.cardinality l))
             (float_of_int (Relation.cardinality r))
-        then Spatial_join.merge l ~zr:zl r ~zs:zr
+        then
+          match pool with
+          | Some pool -> Spatial_join.merge_parallel pool l ~zr:zl r ~zs:zr
+          | None -> Spatial_join.merge l ~zr:zl r ~zs:zr
         else Spatial_join.nested_loop l ~zr:zl r ~zs:zr
       in
       joined
   | Product (a, b) -> Ops.product (run a) (run b)
   | Union (a, b) -> Ops.union (run a) (run b)
 
+let run ?(parallelism = 1) plan =
+  if parallelism < 1 then invalid_arg "Plan.run: parallelism must be >= 1";
+  if parallelism = 1 then run_with None plan
+  else
+    Sqp_parallel.Pool.with_pool ~domains:parallelism (fun pool ->
+        run_with (Some pool) plan)
+
 (* {2 Explain} *)
 
-let explain plan =
+let explain ?(parallelism = 1) plan =
   let buf = Buffer.create 256 in
   let line depth fmt =
     Printf.ksprintf
@@ -185,7 +196,10 @@ let explain plan =
     | Natural_join (_, _) -> line depth "natural join (~%.0f rows)" rows
     | Spatial_join { zl; zr; left; right } ->
         let impl =
-          if use_merge (estimated_rows left) (estimated_rows right) then "z-merge"
+          if use_merge (estimated_rows left) (estimated_rows right) then
+            if parallelism > 1 then
+              Printf.sprintf "parallel z-merge (%d domains)" parallelism
+            else "z-merge"
           else "nested loop"
         in
         line depth "spatial join %s <> %s via %s (~%.0f rows)" zl zr impl rows

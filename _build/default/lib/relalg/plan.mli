@@ -47,9 +47,16 @@ val optimize : t -> t
     their attributes allow; fuse [Select] over [Select]; drop redundant
     [Sort] under [Sort].  Semantics-preserving. *)
 
-val run : t -> Relation.t
-(** Execute (materializing operator by operator). *)
+val run : ?parallelism:int -> t -> Relation.t
+(** Execute (materializing operator by operator).  [parallelism] (default
+    1) is the number of execution streams: with more than one, a domain
+    pool is created for the duration of the run and every z-merge spatial
+    join executes shard-parallel ({!Spatial_join.merge_parallel}), with
+    results identical to the sequential plan.
+    @raise Invalid_argument if [parallelism < 1]. *)
 
-val explain : t -> string
+val explain : ?parallelism:int -> t -> string
 (** An indented operator tree with schemas and row estimates, plus the
-    implementation choice for each spatial join. *)
+    implementation choice for each spatial join — including whether the
+    z-merge would run sequentially or sharded over [parallelism]
+    domains. *)

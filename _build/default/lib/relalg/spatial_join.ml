@@ -85,3 +85,17 @@ let merge r ~zr s ~zs =
     items;
   ( Relation.make schema (List.rev !out),
     { pairs = !pairs; comparisons = !comparisons; sorted_items = List.length items } )
+
+let merge_parallel ?shard_bits pool r ~zr s ~zs =
+  let schema = out_schema r s in
+  let sr = Relation.schema r and ss = Relation.schema s in
+  let left = List.map (fun tu -> (zval_of sr zr tu, tu)) (Relation.tuples r) in
+  let right = List.map (fun tu -> (zval_of ss zs tu, tu)) (Relation.tuples s) in
+  let pairs, pstats = Sqp_parallel.Par_spatial_join.pairs ?shard_bits pool left right in
+  let tuples = List.map (fun (tr, ts) -> Array.append tr ts) pairs in
+  ( Relation.make schema tuples,
+    {
+      pairs = pstats.Sqp_parallel.Par_spatial_join.pairs;
+      comparisons = pstats.Sqp_parallel.Par_spatial_join.comparisons;
+      sorted_items = pstats.Sqp_parallel.Par_spatial_join.sorted_items;
+    } )

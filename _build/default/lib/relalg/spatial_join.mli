@@ -5,10 +5,13 @@
     containment in either direction — which, for decomposed objects,
     means the objects overlap.
 
-    Two implementations:
+    Three implementations:
     - [merge]: sort both inputs into z order and sweep once, keeping a
       stack of currently "open" (containing) elements per side — the
       z-order analogue of sort-merge join.  O(n log n + output).
+    - [merge_parallel]: the same sweep, z-sharded over a domain pool
+      ({!Sqp_parallel.Par_spatial_join}); output identical to [merge],
+      including tuple order.
     - [nested_loop]: compare all pairs; the correctness oracle. *)
 
 type stats = {
@@ -24,3 +27,15 @@ val merge :
 
 val nested_loop :
   Relation.t -> zr:string -> Relation.t -> zs:string -> Relation.t * stats
+
+val merge_parallel :
+  ?shard_bits:int ->
+  Sqp_parallel.Pool.t ->
+  Relation.t ->
+  zr:string ->
+  Relation.t ->
+  zs:string ->
+  Relation.t * stats
+(** Same result (and tuple order) as {!merge}, computed shard-by-shard on
+    the pool.  [stats.comparisons] reflects the parallel plan's own work,
+    so it differs from [merge]'s count; [pairs] is always equal. *)

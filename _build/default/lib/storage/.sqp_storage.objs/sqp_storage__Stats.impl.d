@@ -1,1 +1,1 @@
-lib/storage/stats.ml: Format
+lib/storage/stats.ml: Format List

@@ -19,7 +19,23 @@ val snapshot : t -> t
 (** An independent copy. *)
 
 val diff : after:t -> before:t -> t
-(** Counter-wise subtraction. *)
+(** Counter-wise subtraction.  Reads both records at call time, so
+    aliased arguments ([diff ~after:t ~before:t]) yield all zeros; to
+    measure an interval against a live counter, take a {!snapshot} as
+    [before] first. *)
+
+val add : t -> t -> t
+(** Counter-wise sum, as a fresh record. *)
+
+val sum : t list -> t
+(** Fold of {!add} over fresh zeros.  This is how per-shard counters from
+    parallel execution are merged back into one exact total: give each
+    shard its own [t], {!snapshot} when it finishes, and [sum] the
+    snapshots. *)
+
+val accumulate : into:t -> t -> unit
+(** Add [t]'s counters into [into] in place ([t] is unchanged).  Safe
+    against aliasing: [accumulate ~into:t t] doubles every counter. *)
 
 val total_accesses : t -> int
 (** [physical_reads + physical_writes]. *)

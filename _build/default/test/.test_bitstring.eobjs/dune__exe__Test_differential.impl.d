@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest List Sqp_btree Sqp_core Sqp_geom Sqp_kdtree Sqp_parallel Sqp_relalg Sqp_workload Sqp_zorder

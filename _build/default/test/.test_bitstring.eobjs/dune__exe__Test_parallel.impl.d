@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Fun List Sqp_geom Sqp_parallel Sqp_storage Sqp_workload Sqp_zorder

@@ -1,1 +1,1 @@
-test/test_zrange.ml: Alcotest List QCheck2 QCheck_alcotest Sqp_zorder
+test/test_zrange.ml: Alcotest List Printf QCheck2 QCheck_alcotest Sqp_zorder

@@ -29,6 +29,45 @@ let test_half_space () =
   let els = D.decompose_box s23 ~lo:[| 0; 0 |] ~hi:[| 3; 7 |] in
   Alcotest.(check (list string)) "left half" [ "0" ] (strings els)
 
+(* Boxes touching the 2^depth border — the element ranges these produce
+   end exactly at the last z value, which is what the z-prefix sharder's
+   final shard must absorb. *)
+let test_border_touching_boxes () =
+  let side = Z.Space.side s23 in
+  let last = side - 1 in
+  let cases =
+    [
+      ("right column", [| last; 0 |], [| last; last |]);
+      ("top row", [| 0; last |], [| last; last |]);
+      ("corner pixel", [| last; last |], [| last; last |]);
+      ("origin pixel", [| 0; 0 |], [| 0; 0 |]);
+      ("all but one row", [| 0; 1 |], [| last; last |]);
+      ("interior crossing all quadrants", [| 1; 1 |], [| last - 1; last - 1 |]);
+    ]
+  in
+  List.iter
+    (fun (name, lo, hi) ->
+      let classify = D.box_classifier s23 ~lo ~hi in
+      let els = D.run s23 classify in
+      check (name ^ ": exact cover") true (D.is_exact_cover s23 classify els);
+      let area =
+        List.fold_left (fun acc e -> acc +. Z.Element.cells s23 e) 0.0 els
+      in
+      let expected = float_of_int ((hi.(0) - lo.(0) + 1) * (hi.(1) - lo.(1) + 1)) in
+      check (name ^ ": area") true (abs_float (area -. expected) < 0.5);
+      (* The elements convert to in-range z intervals — the sharder clips
+         against these, so the last one must not overshoot 2^total - 1. *)
+      let intervals = Z.Zrange.elements_to_intervals s23 els in
+      List.iter
+        (fun (ilo, ihi) ->
+          check (name ^ ": interval in range") true
+            (0 <= ilo && ilo <= ihi && ihi <= (side * side) - 1))
+        intervals;
+      if hi.(0) = last && hi.(1) = last then
+        check (name ^ ": reaches the last z value") true
+          (snd (List.nth intervals (List.length intervals - 1)) = (side * side) - 1))
+    cases
+
 let test_invalid_box () =
   List.iter
     (fun (lo, hi) ->
@@ -170,6 +209,7 @@ let () =
           Alcotest.test_case "whole space" `Quick test_whole_space;
           Alcotest.test_case "single pixel" `Quick test_single_pixel;
           Alcotest.test_case "half space" `Quick test_half_space;
+          Alcotest.test_case "border-touching boxes" `Quick test_border_touching_boxes;
           Alcotest.test_case "invalid box" `Quick test_invalid_box;
           Alcotest.test_case "count = run length" `Quick test_count_matches_run;
           Alcotest.test_case "lazy = eager" `Quick test_seq_matches_run;

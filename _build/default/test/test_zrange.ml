@@ -62,6 +62,58 @@ let test_elements_to_intervals () =
 let test_total_cells () =
   check_int "cells" 7 (R.total_cells [ (1, 5); (10, 11) ])
 
+(* Edge cases the z-prefix sharder leans on: shard boundaries are exactly
+   the level-k element ranges, and clipped query intervals end at the
+   2^total border. *)
+
+let test_cover_full_space () =
+  (* The whole z range is one element: the root. *)
+  match R.cover s23 ~lo:0 ~hi:63 with
+  | [ e ] -> check "root" true (B.is_empty e)
+  | other -> Alcotest.failf "full space: %d elements" (List.length other)
+
+let test_cover_single_cells_at_borders () =
+  (* Degenerate one-pixel intervals, including both ends of the space. *)
+  List.iter
+    (fun z ->
+      match R.cover s23 ~lo:z ~hi:z with
+      | [ e ] ->
+          check_int "pixel-level element" 6 (B.length e);
+          check_int "right value" z (B.to_int e)
+      | other -> Alcotest.failf "cell %d: %d elements" z (List.length other))
+    [ 0; 1; 31; 32; 62; 63 ]
+
+let test_cover_touching_border () =
+  (* Intervals ending at the last cell: the cover must stop exactly at
+     2^total - 1 and still tile. *)
+  List.iter
+    (fun lo ->
+      let els = R.cover s23 ~lo ~hi:63 in
+      let rec walk pos = function
+        | [] -> pos = 64
+        | e :: rest ->
+            let elo, ehi = R.of_element s23 e in
+            elo = pos && walk (ehi + 1) rest
+      in
+      check (Printf.sprintf "[%d, 63] tiles to the border" lo) true (walk lo els))
+    [ 0; 1; 31; 32; 33; 62; 63 ]
+
+let test_shard_boundaries_are_element_ranges () =
+  (* Cutting [0, 2^total - 1] at the 2^k aligned boundaries gives exactly
+     the level-k elements, in z order — the sharder's partition. *)
+  let total = 6 in
+  for k = 0 to total do
+    let width = 1 lsl (total - k) in
+    List.init (1 lsl k) (fun i ->
+        match R.to_element s23 ~lo:(i * width) ~hi:(((i + 1) * width) - 1) with
+        | Some e -> check_int (Printf.sprintf "level %d shard %d" k i) k (B.length e)
+        | None -> Alcotest.failf "level %d shard %d is not an element" k i)
+    |> ignore
+  done;
+  (* Misaligned or non-power-of-two cuts are rejected. *)
+  check "misaligned" true (R.to_element s23 ~lo:1 ~hi:2 = None);
+  check "spanning a boundary" true (R.to_element s23 ~lo:31 ~hi:32 = None)
+
 (* Properties *)
 
 let s6 = Z.Space.make ~dims:2 ~depth:6
@@ -132,6 +184,13 @@ let () =
           Alcotest.test_case "cover_count exhaustive" `Quick test_cover_count;
           Alcotest.test_case "elements_to_intervals" `Quick test_elements_to_intervals;
           Alcotest.test_case "total_cells" `Quick test_total_cells;
+          Alcotest.test_case "cover full space" `Quick test_cover_full_space;
+          Alcotest.test_case "single cells at borders" `Quick
+            test_cover_single_cells_at_borders;
+          Alcotest.test_case "intervals touching the border" `Quick
+            test_cover_touching_border;
+          Alcotest.test_case "shard boundaries are element ranges" `Quick
+            test_shard_boundaries_are_element_ranges;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

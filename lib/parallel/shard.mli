@@ -1,0 +1,53 @@
+(** Z-prefix sharding of the search space.
+
+    Z order's total order over pixels makes every merge of Section 3.3–4
+    order-partitionable: cut the z range [0, 2^total - 1] at element
+    boundaries and each piece can be merged independently.  The natural
+    cuts are the 2^k elements of level [k] — each shard is the z interval
+    of one k-bit prefix, so shards are aligned, z-contiguous, disjoint and
+    exhaustive by construction.
+
+    An element of level >= k lies entirely inside the single shard named
+    by its first k bits.  An element of level < k {e spans} shards: its z
+    interval is the union of every shard whose prefix it is a prefix of.
+    That containment test ({!covers}) is how the parallel drivers handle
+    boundary-spanning elements. *)
+
+type t = {
+  index : int;                    (** 0 .. 2^bits - 1, in z order *)
+  prefix : Sqp_zorder.Element.t;  (** the k-bit element naming the shard *)
+  zlo : Sqp_zorder.Bitstring.t;   (** prefix padded with 0s to full depth *)
+  zhi : Sqp_zorder.Bitstring.t;   (** prefix padded with 1s to full depth *)
+  lo : int;                       (** the same interval as integers *)
+  hi : int;
+}
+
+val max_bits : int
+(** Upper bound on the shard depth (12: 4096 shards is already far past
+    any useful fan-out). *)
+
+val make : Sqp_zorder.Space.t -> bits:int -> t array
+(** [make space ~bits:k]: the 2^k shards of the space, in z order.
+    @raise Invalid_argument if [k < 0], [k > max_bits], [k] exceeds the
+    space's total bits, or the space is deeper than {!Sqp_zorder.Zrange}
+    supports. *)
+
+val shard_of_z : bits:int -> Sqp_zorder.Bitstring.t -> int
+(** Index of the unique shard containing a z value of level >= [bits]
+    (its first [bits] bits, read as an integer).
+    @raise Invalid_argument if the z value is shorter than [bits]. *)
+
+val spans : bits:int -> Sqp_zorder.Bitstring.t -> bool
+(** Whether an element of this z value spans several shards, i.e. its
+    level is < [bits]. *)
+
+val covers : t -> Sqp_zorder.Bitstring.t -> bool
+(** [covers shard z]: the element [z] contains the whole shard — true
+    exactly when [z] is a prefix of the shard's prefix.  (A spanning
+    element either covers a shard entirely or is disjoint from it.) *)
+
+val default_bits : Sqp_zorder.Space.t -> domains:int -> int
+(** A reasonable shard depth for a pool of [domains] streams: the
+    smallest [k] with [2^k >= 4 * domains] (so the slowest shard cannot
+    dominate), clamped to the space and to {!max_bits}; 0 when
+    [domains = 1]. *)

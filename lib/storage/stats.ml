@@ -45,6 +45,26 @@ let diff ~after ~before =
     pool_misses = after.pool_misses - before.pool_misses;
   }
 
+let add a b =
+  {
+    physical_reads = a.physical_reads + b.physical_reads;
+    physical_writes = a.physical_writes + b.physical_writes;
+    allocations = a.allocations + b.allocations;
+    frees = a.frees + b.frees;
+    pool_hits = a.pool_hits + b.pool_hits;
+    pool_misses = a.pool_misses + b.pool_misses;
+  }
+
+let sum ts = List.fold_left add (create ()) ts
+
+let accumulate ~into t =
+  into.physical_reads <- into.physical_reads + t.physical_reads;
+  into.physical_writes <- into.physical_writes + t.physical_writes;
+  into.allocations <- into.allocations + t.allocations;
+  into.frees <- into.frees + t.frees;
+  into.pool_hits <- into.pool_hits + t.pool_hits;
+  into.pool_misses <- into.pool_misses + t.pool_misses
+
 let total_accesses t = t.physical_reads + t.physical_writes
 
 let hit_ratio t =

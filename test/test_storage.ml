@@ -24,6 +24,48 @@ let test_stats () =
 let test_stats_zero_ratio () =
   Alcotest.(check (float 0.001)) "no traffic" 0.0 (S.Stats.hit_ratio (S.Stats.create ()))
 
+let fill a b c d e f =
+  let s = S.Stats.create () in
+  s.S.Stats.physical_reads <- a;
+  s.S.Stats.physical_writes <- b;
+  s.S.Stats.allocations <- c;
+  s.S.Stats.frees <- d;
+  s.S.Stats.pool_hits <- e;
+  s.S.Stats.pool_misses <- f;
+  s
+
+let test_stats_diff_aliasing () =
+  (* diff reads both records at call time: aliased arguments are a
+     degenerate interval and must yield all zeros, not garbage. *)
+  let s = fill 5 4 3 2 1 9 in
+  let d = S.Stats.diff ~after:s ~before:s in
+  check "aliased diff is zero" true (d = S.Stats.create ());
+  (* The supported interval idiom: snapshot first, then mutate. *)
+  let before = S.Stats.snapshot s in
+  s.S.Stats.physical_reads <- 15;
+  s.S.Stats.pool_misses <- 10;
+  let d = S.Stats.diff ~after:s ~before in
+  check_int "interval reads" 10 d.S.Stats.physical_reads;
+  check_int "interval misses" 1 d.S.Stats.pool_misses;
+  check_int "untouched fields zero" 0 d.S.Stats.physical_writes
+
+let test_stats_add_sum () =
+  let a = fill 1 2 3 4 5 6 and b = fill 10 20 30 40 50 60 in
+  let c = S.Stats.add a b in
+  check "add is field-wise" true (c = fill 11 22 33 44 55 66);
+  check "add leaves inputs alone" true (a = fill 1 2 3 4 5 6);
+  check "sum of none is zero" true (S.Stats.sum [] = S.Stats.create ());
+  check "sum folds add" true (S.Stats.sum [ a; b; c ] = fill 22 44 66 88 110 132)
+
+let test_stats_accumulate_aliasing () =
+  let a = fill 1 2 3 4 5 6 and b = fill 10 20 30 40 50 60 in
+  S.Stats.accumulate ~into:a b;
+  check "accumulate adds in place" true (a = fill 11 22 33 44 55 66);
+  check "source unchanged" true (b = fill 10 20 30 40 50 60);
+  (* The aliased call must double, not loop or zero. *)
+  S.Stats.accumulate ~into:b b;
+  check "self-accumulate doubles" true (b = fill 20 40 60 80 100 120)
+
 (* {1 Pager} *)
 
 let test_pager_basic () =
@@ -165,6 +207,30 @@ let test_pool_discard () =
   S.Buffer_pool.flush pool;
   check "survives" true (S.Pager.mem p id2)
 
+let test_pool_counters_survive_drop_discard () =
+  (* The counters live in the pager's stats, not in pool frames: dropping
+     or discarding frames must not lose or rewind any accounting. *)
+  let p = S.Pager.create () in
+  let id1 = S.Pager.alloc p "a" and id2 = S.Pager.alloc p "b" in
+  let pool = S.Buffer_pool.create ~capacity:2 p in
+  ignore (S.Buffer_pool.get pool id1);
+  ignore (S.Buffer_pool.get pool id1);
+  ignore (S.Buffer_pool.get pool id2);
+  let before = S.Stats.snapshot (S.Pager.stats p) in
+  check_int "misses before" 2 before.S.Stats.pool_misses;
+  check_int "hits before" 1 before.S.Stats.pool_hits;
+  S.Buffer_pool.discard pool id2;
+  S.Buffer_pool.drop pool;
+  check "drop/discard change no counters" true
+    (S.Stats.diff ~after:(S.Pager.stats p) ~before = S.Stats.create ());
+  (* After a drop every frame is cold again: the next get is a miss and
+     keeps counting on top of the old totals. *)
+  ignore (S.Buffer_pool.get pool id1);
+  let after = S.Pager.stats p in
+  check_int "miss counted after drop" 3 after.S.Stats.pool_misses;
+  check_int "hits preserved across drop" 1 after.S.Stats.pool_hits;
+  check_int "physical reads preserved and counted" 3 after.S.Stats.physical_reads
+
 let test_pool_capacity_invalid () =
   let p = S.Pager.create () in
   match S.Buffer_pool.create ~capacity:0 p with
@@ -201,6 +267,10 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_stats;
           Alcotest.test_case "zero ratio" `Quick test_stats_zero_ratio;
+          Alcotest.test_case "diff under aliasing" `Quick test_stats_diff_aliasing;
+          Alcotest.test_case "add and sum" `Quick test_stats_add_sum;
+          Alcotest.test_case "accumulate under aliasing" `Quick
+            test_stats_accumulate_aliasing;
         ] );
       ( "pager",
         [
@@ -218,6 +288,8 @@ let () =
           Alcotest.test_case "write-back on eviction" `Quick test_pool_writeback;
           Alcotest.test_case "flush" `Quick test_pool_flush;
           Alcotest.test_case "discard" `Quick test_pool_discard;
+          Alcotest.test_case "counters survive drop/discard" `Quick
+            test_pool_counters_survive_drop_discard;
           Alcotest.test_case "bad capacity" `Quick test_pool_capacity_invalid;
         ] );
       ( "properties",
