@@ -14,15 +14,15 @@ module Zindex = Sqp_btree.Zindex
 open Bechamel
 open Toolkit
 
-let space = Z.Space.make ~dims:2 ~depth:10
+(* All fixtures come from the shared seeded workload, so the CLI's
+   [query] subcommand and the tests measure the same bytes. *)
+let wk = W.Seeded.standard ()
 
-let side = Z.Space.side space
+let space = wk.W.Seeded.space
 
-let points =
-  let rng = W.Rng.create ~seed:77 in
-  W.Datagen.uniform rng ~side ~n:5000 ~dims:2
+let points = wk.W.Seeded.points
 
-let tagged = Array.mapi (fun i p -> (p, i)) points
+let tagged = W.Seeded.tagged_points wk
 
 let index = Zindex.of_points ~leaf_capacity:20 space tagged
 
@@ -30,9 +30,9 @@ let kd = Sqp_kdtree.Paged_kdtree.build ~page_capacity:20 tagged
 
 let prep = Sqp_core.Range_search.prepare space tagged
 
-let query = Sqp_geom.Box.of_ranges [ (100, 355); (200, 455) ]
+let query = wk.W.Seeded.query
 
-let query_lo = [| 100; 200 |] and query_hi = [| 355; 455 |]
+let query_lo = Sqp_geom.Box.lo query and query_hi = Sqp_geom.Box.hi query
 
 let bench_zorder =
   Test.make_grouped ~name:"zorder"
@@ -73,29 +73,7 @@ let bench_range =
         (Staged.stage (fun () -> Sqp_core.Range_search.search_skip prep query));
     ]
 
-let join_inputs n =
-  let rng = W.Rng.create ~seed:13 in
-  let objs tag =
-    List.init n (fun i ->
-        let w = 1 + W.Rng.int rng (side / 8)
-        and h = 1 + W.Rng.int rng (side / 8) in
-        let x = W.Rng.int rng (side - w) and y = W.Rng.int rng (side - h) in
-        ( tag + i,
-          Sqp_geom.Shape.Box
-            (Sqp_geom.Box.make ~lo:[| x; y |] ~hi:[| x + w - 1; y + h - 1 |]) ))
-  in
-  let opts = { Z.Decompose.max_level = Some 12; max_elements = None } in
-  let tag_of objects =
-    List.concat_map
-      (fun (id, s) ->
-        List.map
-          (fun e -> (e, id))
-          (Sqp_geom.Shape.decompose ~options:opts space s))
-      objects
-  in
-  (tag_of (objs 0), tag_of (objs 1000))
-
-let join_l, join_r = join_inputs 48
+let join_l, join_r = W.Seeded.join_elements wk
 
 let bench_join =
   Test.make_grouped ~name:"spatial-join(48x48 boxes)"
@@ -195,12 +173,7 @@ let pprep = Par_rs.prepare space tagged
 
 (* The speedup workload: a batch of seeded random boxes over the
    5000-point dataset, answered one task per query. *)
-let par_boxes =
-  let rng = W.Rng.create ~seed:99 in
-  Array.init 400 (fun _ ->
-      let w = 1 + W.Rng.int rng (side / 4) and h = 1 + W.Rng.int rng (side / 4) in
-      let x = W.Rng.int rng (side - w) and y = W.Rng.int rng (side - h) in
-      Sqp_geom.Box.of_ranges [ (x, x + w - 1); (y, y + h - 1) ])
+let par_boxes = wk.W.Seeded.query_boxes
 
 let bench_parallel pool =
   Test.make_grouped ~name:"parallel"
@@ -264,6 +237,67 @@ let speedup_table () =
   close_out oc;
   print_endline "  -> BENCH_parallel.json"
 
+(* {1 Observability snapshot}
+
+   Run the seeded stored-relation spatial join under a collecting tracer,
+   sequentially and sharded over 2 domains, and dump what was measured:
+   BENCH_obs.json (per-run page totals + the ambient metrics registry)
+   and BENCH_trace.json (a Chrome trace_event file — load it at
+   chrome://tracing or ui.perfetto.dev for the flame chart). *)
+
+module Obs = Sqp_obs
+module R = Sqp_relalg
+
+let obs_report () =
+  let tracer = Obs.Trace.create ~capacity:4096 Obs.Trace.Collect in
+  Obs.Trace.set_global tracer;
+  Obs.Metrics.reset (Obs.Metrics.global ());
+  let plan () =
+    R.Query.stored_overlap_plan ~options:wk.W.Seeded.decompose_options space
+      wk.W.Seeded.left_objects wk.W.Seeded.right_objects
+  in
+  let seq = R.Plan.run_analyze (plan ()) in
+  let par = R.Plan.run_analyze ~parallelism:2 (plan ()) in
+  print_newline ();
+  print_endline
+    "EXPLAIN ANALYZE: stored 48x48 spatial join, sequential then 2 domains";
+  print_endline
+    "=====================================================================";
+  print_string (R.Plan.render_analysis seq);
+  print_newline ();
+  print_string (R.Plan.render_analysis par);
+  Obs.Trace.write_chrome "BENCH_trace.json" (Obs.Trace.spans tracer);
+  let pages (s : Sqp_storage.Stats.t) =
+    Printf.sprintf
+      "{ \"reads\": %d, \"writes\": %d, \"hits\": %d, \"misses\": %d }"
+      s.Sqp_storage.Stats.physical_reads s.Sqp_storage.Stats.physical_writes
+      s.Sqp_storage.Stats.pool_hits s.Sqp_storage.Stats.pool_misses
+  in
+  let run_json (a : R.Plan.analysis) =
+    Printf.sprintf
+      "{ \"rows\": %d, \"wall_seconds\": %.6f, \"pages\": %s }"
+      (R.Relation.cardinality a.R.Plan.result)
+      a.R.Plan.wall_seconds
+      (pages a.R.Plan.total_pages)
+  in
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"stored 48x48 spatial join\",\n\
+    \  \"sequential\": %s,\n\
+    \  \"parallel2\": %s,\n\
+    \  \"spans_collected\": %d,\n\
+    \  \"spans_dropped\": %d,\n\
+    \  \"metrics\": %s\n\
+     }\n"
+    (run_json seq) (run_json par)
+    (List.length (Obs.Trace.spans tracer))
+    (Obs.Trace.dropped tracer)
+    (Obs.Metrics.to_json (Obs.Metrics.snapshot (Obs.Metrics.global ())));
+  close_out oc;
+  print_endline "  -> BENCH_obs.json, BENCH_trace.json";
+  Obs.Trace.set_global Obs.Trace.null
+
 (* Fast correctness smoke for CI: the parallel drivers must agree with
    the sequential paths on a slice of the bench workload. *)
 let quick_smoke () =
@@ -321,8 +355,10 @@ let run_bechamel pool =
 
 let () =
   if Array.exists (String.equal "--quick") Sys.argv then quick_smoke ()
+  else if Array.exists (String.equal "--obs") Sys.argv then obs_report ()
   else begin
     Sqp_core.Reports.run_all ();
     Pool.with_pool ~domains:2 run_bechamel;
-    speedup_table ()
+    speedup_table ();
+    obs_report ()
   end

@@ -117,6 +117,83 @@ let object_join_cmd =
 let all_cmd = simple "all" "Every figure and table, in paper order."
     Sqp_core.Reports.run_all
 
+(* The observability showcase: run the seeded stored-relation spatial
+   join through the plan layer, optionally under EXPLAIN ANALYZE and/or
+   a collecting tracer exported as a Chrome trace. *)
+let query_cmd =
+  let module W = Sqp_workload in
+  let module R = Sqp_relalg in
+  let module Obs = Sqp_obs in
+  let analyze_arg =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:
+            "EXPLAIN ANALYZE: execute under measurement and print the \
+             operator tree annotated with actual rows, wall time and page \
+             accesses per node, then the ambient metrics registry.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record spans while running and write them to $(docv) as a \
+             Chrome trace_event file (open at chrome://tracing or \
+             ui.perfetto.dev).")
+  in
+  let parallelism_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "p"; "parallelism" ] ~docv:"N"
+          ~doc:
+            "Execution streams: with 2 or more, the spatial join runs \
+             z-sharded over a domain pool and the analysis includes a \
+             per-shard work table.")
+  in
+  let run analyze trace parallelism =
+    let wk = W.Seeded.standard () in
+    let tracer =
+      match trace with
+      | None -> None
+      | Some path ->
+          let t = Obs.Trace.create ~capacity:8192 Obs.Trace.Collect in
+          Obs.Trace.set_global t;
+          Some (t, path)
+    in
+    let plan =
+      R.Plan.optimize
+        (R.Query.stored_overlap_plan ~options:wk.W.Seeded.decompose_options
+           wk.W.Seeded.space wk.W.Seeded.left_objects wk.W.Seeded.right_objects)
+    in
+    if analyze then begin
+      print_string (R.Plan.explain_analyze ~parallelism plan);
+      print_newline ();
+      print_endline "Ambient metrics:";
+      print_string
+        (Sqp_obs.Metrics.to_text
+           (Sqp_obs.Metrics.snapshot (Sqp_obs.Metrics.global ())))
+    end
+    else begin
+      print_string (R.Plan.explain ~parallelism plan);
+      print_newline ();
+      Format.printf "%a@." R.Relation.pp (R.Plan.run ~parallelism plan)
+    end;
+    match tracer with
+    | None -> ()
+    | Some (t, path) ->
+        Obs.Trace.write_chrome path (Obs.Trace.spans t);
+        Obs.Trace.set_global Obs.Trace.null;
+        Printf.printf "wrote %d spans to %s\n" (List.length (Obs.Trace.spans t)) path
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "The Section 4 overlap query over paged (stored) relations, with \
+          optional EXPLAIN ANALYZE and Chrome-trace output.")
+    Term.(const run $ analyze_arg $ trace_arg $ parallelism_arg)
+
 let () =
   let info =
     Cmd.info "sqp" ~version:"1.0.0"
@@ -131,5 +208,6 @@ let () =
             figures_cmd; figure6_cmd; experiment_cmd; compare_cmd;
             strategies_cmd; policies_cmd; partial_match_cmd; euv_cmd;
             coarsen_cmd; proximity_cmd; join_cmd; overlay_cmd; ccl_cmd;
-            interference_cmd; fill_cmd; three_d_cmd; curves_cmd; object_join_cmd; all_cmd;
+            interference_cmd; fill_cmd; three_d_cmd; curves_cmd; object_join_cmd;
+            all_cmd; query_cmd;
           ]))

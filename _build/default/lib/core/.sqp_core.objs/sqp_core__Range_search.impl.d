@@ -1,1 +1,1 @@
-lib/core/range_search.ml: Array Format List Printf Sqp_geom Sqp_zorder
+lib/core/range_search.ml: Array Format List Printf Sqp_geom Sqp_obs Sqp_zorder

@@ -1,1 +1,1 @@
-lib/core/zmerge.ml: List Sqp_zorder
+lib/core/zmerge.ml: List Sqp_obs Sqp_zorder

@@ -47,7 +47,39 @@ let box_ranges prep box =
 let clip prep box =
   Sqp_geom.Box.clip box ~side:(Z.Space.side prep.space)
 
-let search_plain prep box =
+(* Observability: one span per search carrying the merge's work counters
+   (probes = comparisons, skips = random accesses), plus running totals in
+   the ambient metrics registry.  A single branch when tracing is off. *)
+let observed name search prep box =
+  if not (Sqp_obs.Trace.global_enabled ()) then search prep box
+  else begin
+    let tracer = Sqp_obs.Trace.global () in
+    Sqp_obs.Trace.span_begin tracer name;
+    let ((results, c) as r) = search prep box in
+    Sqp_obs.Trace.span_end
+      ~attrs:(fun () ->
+        Sqp_obs.Trace.
+          [
+            ("rows", Int (List.length results));
+            ("comparisons", Int c.comparisons);
+            ("point_steps", Int c.point_steps);
+            ("element_steps", Int c.element_steps);
+            ("point_jumps", Int c.point_jumps);
+            ("element_jumps", Int c.element_jumps);
+          ])
+      tracer;
+    let m = Sqp_obs.Metrics.global () in
+    let bump suffix n =
+      Sqp_obs.Metrics.add (Sqp_obs.Metrics.counter m (name ^ "." ^ suffix)) n
+    in
+    bump "queries" 1;
+    bump "rows" (List.length results);
+    bump "comparisons" c.comparisons;
+    bump "skips" (c.point_jumps + c.element_jumps);
+    r
+  end
+
+let search_plain_impl prep box =
   match clip prep box with
   | None ->
       ([], { point_steps = 0; element_steps = 0; point_jumps = 0; element_jumps = 0; comparisons = 0 })
@@ -86,6 +118,8 @@ let search_plain prep box =
           comparisons = !comparisons;
         } )
 
+let search_plain prep box = observed "range_search.plain" search_plain_impl prep box
+
 (* First index in [zs] with zs.(i) >= z (binary search = random access). *)
 let lower_bound_z zs z comparisons =
   let lo = ref 0 and hi = ref (Array.length zs) in
@@ -106,7 +140,7 @@ let first_live_range ranges z comparisons =
   done;
   !lo
 
-let search_skip prep box =
+let search_skip_impl prep box =
   match clip prep box with
   | None ->
       ([], { point_steps = 0; element_steps = 0; point_jumps = 0; element_jumps = 0; comparisons = 0 })
@@ -153,6 +187,8 @@ let search_skip prep box =
           element_jumps = !element_jumps;
           comparisons = !comparisons;
         } )
+
+let search_skip prep box = observed "range_search.skip" search_skip_impl prep box
 
 type trace_step = {
   description : string;

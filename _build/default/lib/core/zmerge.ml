@@ -4,7 +4,36 @@ type stats = { pairs : int; items : int; comparisons : int }
 
 type ('a, 'b) item = Left of 'a | Right of 'b
 
-let pairs left right =
+(* Observability: one span per merge with its work counters, plus running
+   totals in the ambient metrics registry.  One branch when tracing is
+   off, so the hot sequential path is unchanged. *)
+let observed name merge left right =
+  if not (Sqp_obs.Trace.global_enabled ()) then merge left right
+  else begin
+    let tracer = Sqp_obs.Trace.global () in
+    Sqp_obs.Trace.span_begin tracer name;
+    let ((_, s) as r) = merge left right in
+    Sqp_obs.Trace.span_end
+      ~attrs:(fun () ->
+        Sqp_obs.Trace.
+          [
+            ("pairs", Int s.pairs);
+            ("items", Int s.items);
+            ("comparisons", Int s.comparisons);
+          ])
+      tracer;
+    let m = Sqp_obs.Metrics.global () in
+    let bump suffix n =
+      Sqp_obs.Metrics.add (Sqp_obs.Metrics.counter m (name ^ "." ^ suffix)) n
+    in
+    bump "merges" 1;
+    bump "pairs" s.pairs;
+    bump "items" s.items;
+    bump "comparisons" s.comparisons;
+    r
+  end
+
+let pairs_impl left right =
   let comparisons = ref 0 in
   let items =
     List.map (fun (z, v) -> (z, Left v)) left
@@ -51,7 +80,9 @@ let pairs left right =
     items;
   (List.rev !out, { pairs = !count; items = List.length items; comparisons = !comparisons })
 
-let pairs_naive left right =
+let pairs left right = observed "zmerge.pairs" pairs_impl left right
+
+let pairs_naive_impl left right =
   let comparisons = ref 0 in
   let out = ref [] and count = ref 0 in
   List.iter
@@ -71,3 +102,5 @@ let pairs_naive left right =
       items = List.length left + List.length right;
       comparisons = !comparisons;
     } )
+
+let pairs_naive left right = observed "zmerge.pairs_naive" pairs_naive_impl left right

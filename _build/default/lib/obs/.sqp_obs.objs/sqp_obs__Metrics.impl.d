@@ -1,0 +1,1 @@
+lib/obs/metrics.ml: Array Atomic Buffer Fun Hashtbl List Mutex Printf String

@@ -1,0 +1,1 @@
+lib/obs/metrics.mli:

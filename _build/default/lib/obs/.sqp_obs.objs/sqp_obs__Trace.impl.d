@@ -1,0 +1,1 @@
+lib/obs/trace.ml: Array Buffer Char Domain Float Fun Hashtbl List Mutex Printf String Unix

@@ -1,0 +1,205 @@
+type value = Int of int | Float of float | Str of string
+
+type attrs = (string * value) list
+
+type span = {
+  name : string;
+  depth : int;
+  start : float;
+  duration : float;
+  tid : int;
+  attrs : attrs;
+}
+
+type sink = Null | Collect | Emit of (span -> unit)
+
+type frame = { f_name : string; f_depth : int; f_start : float }
+
+type t = {
+  sink : sink;
+  cap : int;
+  clock : (unit -> float) ref;
+  mutex : Mutex.t;
+  ring : span option array;      (* circular; next write at [head] *)
+  mutable head : int;
+  mutable stored : int;
+  mutable lost : int;
+  stacks : (int, frame list ref) Hashtbl.t;  (* domain id -> open spans *)
+}
+
+let create ?(capacity = 4096) sink =
+  if capacity < 1 then invalid_arg "Trace.create: capacity < 1";
+  {
+    sink;
+    cap = capacity;
+    clock = ref Unix.gettimeofday;
+    mutex = Mutex.create ();
+    ring = Array.make capacity None;
+    head = 0;
+    stored = 0;
+    lost = 0;
+    stacks = Hashtbl.create 8;
+  }
+
+let null = create ~capacity:1 Null
+
+let enabled t = t.sink <> Null
+
+let capacity t = t.cap
+
+let set_clock t clock = t.clock := clock
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let stack_of t did =
+  match Hashtbl.find_opt t.stacks did with
+  | Some s -> s
+  | None ->
+      let s = ref [] in
+      Hashtbl.replace t.stacks did s;
+      s
+
+let record t span =
+  match t.sink with
+  | Null -> ()
+  | Emit f -> f span
+  | Collect ->
+      if t.stored = t.cap then t.lost <- t.lost + 1 else t.stored <- t.stored + 1;
+      t.ring.(t.head) <- Some span;
+      t.head <- (t.head + 1) mod t.cap
+
+let span_begin t name =
+  if enabled t then begin
+    let now = !(t.clock) () in
+    let did = (Domain.self () :> int) in
+    locked t (fun () ->
+        let stack = stack_of t did in
+        let depth = List.length !stack in
+        stack := { f_name = name; f_depth = depth; f_start = now } :: !stack)
+  end
+
+let span_end ?attrs t =
+  if enabled t then begin
+    let now = !(t.clock) () in
+    let did = (Domain.self () :> int) in
+    let attrs = match attrs with None -> [] | Some f -> f () in
+    locked t (fun () ->
+        let stack = stack_of t did in
+        match !stack with
+        | [] -> () (* unbalanced end: ignore *)
+        | fr :: rest ->
+            stack := rest;
+            record t
+              {
+                name = fr.f_name;
+                depth = fr.f_depth;
+                start = fr.f_start;
+                duration = Float.max 0.0 (now -. fr.f_start);
+                tid = did;
+                attrs;
+              })
+  end
+
+let with_span ?attrs t name f =
+  if not (enabled t) then f ()
+  else begin
+    span_begin t name;
+    match f () with
+    | v ->
+        span_end ?attrs t;
+        v
+    | exception e ->
+        span_end ?attrs t;
+        raise e
+  end
+
+let open_depth t =
+  if not (enabled t) then 0
+  else
+    let did = (Domain.self () :> int) in
+    locked t (fun () ->
+        match Hashtbl.find_opt t.stacks did with
+        | None -> 0
+        | Some s -> List.length !s)
+
+let spans t =
+  locked t (fun () ->
+      let out = ref [] in
+      (* Oldest slot is [head] when full, 0 otherwise. *)
+      let first = if t.stored = t.cap then t.head else 0 in
+      for k = 0 to t.stored - 1 do
+        match t.ring.((first + k) mod t.cap) with
+        | Some s -> out := s :: !out
+        | None -> ()
+      done;
+      List.rev !out)
+
+let dropped t = locked t (fun () -> t.lost)
+
+let clear t =
+  locked t (fun () ->
+      Array.fill t.ring 0 t.cap None;
+      t.head <- 0;
+      t.stored <- 0;
+      t.lost <- 0)
+
+(* {1 Ambient tracer} *)
+
+let the_global = ref null
+
+let set_global t = the_global := t
+
+let global () = !the_global
+
+let global_enabled () = enabled !the_global
+
+(* {1 Chrome trace export} *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_json = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.6f" f
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let to_chrome_json spans =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{ \"traceEvents\": [\n";
+  List.iteri
+    (fun i sp ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      let args =
+        String.concat ", "
+          (("\"depth\": " ^ string_of_int sp.depth)
+          :: List.map
+               (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) (value_json v))
+               sp.attrs)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  { \"name\": \"%s\", \"cat\": \"sqp\", \"ph\": \"X\", \"ts\": %.3f, \
+            \"dur\": %.3f, \"pid\": 0, \"tid\": %d, \"args\": { %s } }"
+           (json_escape sp.name) (sp.start *. 1e6) (sp.duration *. 1e6) sp.tid args))
+    spans;
+  Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\" }\n";
+  Buffer.contents buf
+
+let write_chrome path spans =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json spans))

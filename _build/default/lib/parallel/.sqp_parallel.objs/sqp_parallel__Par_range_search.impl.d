@@ -1,1 +1,1 @@
-lib/parallel/par_range_search.ml: Array List Pool Shard Sqp_geom Sqp_zorder
+lib/parallel/par_range_search.ml: Array List Pool Shard Sqp_geom Sqp_obs Sqp_zorder

@@ -1,1 +1,1 @@
-lib/parallel/par_spatial_join.ml: Array List Pool Shard Sqp_zorder
+lib/parallel/par_spatial_join.ml: Array List Pool Shard Sqp_obs Sqp_zorder

@@ -147,9 +147,11 @@ let clip_ranges ranges (shard : Shard.t) =
 
 let clip prep box = Sqp_geom.Box.clip box ~side:(Z.Space.side prep.space)
 
-let search ?shard_bits pool prep box =
+type shard_counters = { shard : int; shard_rows : int; shard_counters : counters }
+
+let search_detailed ?shard_bits pool prep box =
   match clip prep box with
-  | None -> ([], no_counters)
+  | None -> ([], no_counters, [])
   | Some box ->
       let bits =
         match shard_bits with
@@ -175,15 +177,73 @@ let search ?shard_bits pool prep box =
                else
                  Some
                    (fun () ->
-                     merge_slice prep.zs prep.pts ~i0:bounds.(sh.index)
-                       ~i1:bounds.(sh.index + 1) clipped))
+                     let run () =
+                       merge_slice prep.zs prep.pts ~i0:bounds.(sh.index)
+                         ~i1:bounds.(sh.index + 1) clipped
+                     in
+                     if not (Sqp_obs.Trace.global_enabled ()) then
+                       (sh.index, run ())
+                     else begin
+                       let tracer = Sqp_obs.Trace.global () in
+                       Sqp_obs.Trace.span_begin tracer "par_range_search.shard";
+                       let ((rows, c) as r) = run () in
+                       Sqp_obs.Trace.span_end
+                         ~attrs:(fun () ->
+                           Sqp_obs.Trace.
+                             [
+                               ("shard", Int sh.index);
+                               ("rows", Int (List.length rows));
+                               ("comparisons", Int c.comparisons);
+                             ])
+                         tracer;
+                       (sh.index, r)
+                     end))
       in
       let per_shard = Pool.run pool tasks in
-      let results = List.concat_map fst per_shard in
+      let results = List.concat_map (fun (_, (rows, _)) -> rows) per_shard in
       let counters =
-        List.fold_left (fun acc (_, c) -> add_counters acc c) no_counters per_shard
+        List.fold_left
+          (fun acc (_, (_, c)) -> add_counters acc c)
+          no_counters per_shard
       in
-      (results, counters)
+      let reports =
+        List.map
+          (fun (i, (rows, c)) ->
+            { shard = i; shard_rows = List.length rows; shard_counters = c })
+          per_shard
+      in
+      (results, counters, reports)
+
+let search ?shard_bits pool prep box =
+  let run () =
+    let results, counters, _ = search_detailed ?shard_bits pool prep box in
+    (results, counters)
+  in
+  if not (Sqp_obs.Trace.global_enabled ()) then run ()
+  else begin
+    let tracer = Sqp_obs.Trace.global () in
+    Sqp_obs.Trace.span_begin tracer "par_range_search";
+    let ((rows, c) as r) = run () in
+    Sqp_obs.Trace.span_end
+      ~attrs:(fun () ->
+        Sqp_obs.Trace.
+          [
+            ("rows", Int (List.length rows));
+            ("comparisons", Int c.comparisons);
+            ("shards_searched", Int c.shards_searched);
+          ])
+      tracer;
+    let m = Sqp_obs.Metrics.global () in
+    let bump suffix n =
+      Sqp_obs.Metrics.add (Sqp_obs.Metrics.counter m ("par_range_search." ^ suffix)) n
+    in
+    bump "queries" 1;
+    bump "rows" (List.length rows);
+    bump "comparisons" c.comparisons;
+    bump "skips" (c.point_jumps + c.element_jumps);
+    bump "shards_searched" c.shards_searched;
+    r
+  end
 
 let search_one prep box =
   match clip prep box with

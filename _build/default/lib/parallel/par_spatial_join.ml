@@ -78,7 +78,9 @@ let default_bits ~domains =
     min Shard.max_bits (ceil_log2 0 (4 * domains))
   end
 
-let pairs ?shard_bits pool left right =
+type shard_report = { shard : int; items : int; pairs : int; comparisons : int }
+
+let pairs_detailed ?shard_bits pool left right =
   let bits =
     match shard_bits with
     | Some b ->
@@ -115,17 +117,36 @@ let pairs ?shard_bits pool left right =
            else
              Some
                (fun () ->
-                 let prefix = B.of_int i ~width:bits in
-                 let comparisons = ref 0 in
-                 let items =
-                   sort_items comparisons
-                     (List.map (fun (z, a) -> (z, L a)) buckets_l.(i)
-                     @ List.map (fun (z, b) -> (z, R b)) buckets_r.(i))
+                 let run () =
+                   let prefix = B.of_int i ~width:bits in
+                   let comparisons = ref 0 in
+                   let items =
+                     sort_items comparisons
+                       (List.map (fun (z, a) -> (z, L a)) buckets_l.(i)
+                       @ List.map (fun (z, b) -> (z, R b)) buckets_r.(i))
+                   in
+                   let seed_l = seeds_for prefix sorted_spanners_l in
+                   let seed_r = seeds_for prefix sorted_spanners_r in
+                   let out, pairs, sweep_cmp = sweep ~seed_l ~seed_r items in
+                   (i, out, pairs, !comparisons + sweep_cmp, List.length items)
                  in
-                 let seed_l = seeds_for prefix sorted_spanners_l in
-                 let seed_r = seeds_for prefix sorted_spanners_r in
-                 let out, pairs, sweep_cmp = sweep ~seed_l ~seed_r items in
-                 (out, pairs, !comparisons + sweep_cmp, List.length items)))
+                 if not (Sqp_obs.Trace.global_enabled ()) then run ()
+                 else begin
+                   let tracer = Sqp_obs.Trace.global () in
+                   Sqp_obs.Trace.span_begin tracer "par_join.shard";
+                   let ((_, _, pairs, cmp, items) as r) = run () in
+                   Sqp_obs.Trace.span_end
+                     ~attrs:(fun () ->
+                       Sqp_obs.Trace.
+                         [
+                           ("shard", Int i);
+                           ("pairs", Int pairs);
+                           ("comparisons", Int cmp);
+                           ("items", Int items);
+                         ])
+                     tracer;
+                   r
+                 end))
   in
   let per_shard = Pool.run pool tasks in
   (* Re-interleave on the emission key.  Keys collide only within one
@@ -134,7 +155,7 @@ let pairs ?shard_bits pool left right =
      sequential emission order. *)
   let merge_comparisons = ref 0 in
   let tagged =
-    span_out @ List.concat_map (fun (out, _, _, _) -> out) per_shard
+    span_out @ List.concat_map (fun (_, out, _, _, _) -> out) per_shard
   in
   let ordered =
     List.stable_sort
@@ -144,16 +165,38 @@ let pairs ?shard_bits pool left right =
       tagged
   in
   let pairs_total =
-    List.fold_left (fun acc (_, p, _, _) -> acc + p) span_pairs per_shard
+    List.fold_left (fun acc (_, _, p, _, _) -> acc + p) span_pairs per_shard
   in
   let comparisons_total =
     List.fold_left
-      (fun acc (_, _, c, _) -> acc + c)
+      (fun acc (_, _, _, c, _) -> acc + c)
       (!span_comparisons + span_sweep_cmp + !merge_comparisons)
       per_shard
   in
   let sorted_items_total =
-    List.fold_left (fun acc (_, _, _, n) -> acc + n) (List.length span_items) per_shard
+    List.fold_left
+      (fun acc (_, _, _, _, n) -> acc + n)
+      (List.length span_items) per_shard
+  in
+  let reports =
+    (* The spanner/spanner pass reports as pseudo-shard -1 when it did
+       any work; real shards follow in z order. *)
+    let span_report =
+      if span_items = [] then []
+      else
+        [
+          {
+            shard = -1;
+            items = List.length span_items;
+            pairs = span_pairs;
+            comparisons = !span_comparisons + span_sweep_cmp;
+          };
+        ]
+    in
+    span_report
+    @ List.map
+        (fun (i, _, p, c, n) -> { shard = i; items = n; pairs = p; comparisons = c })
+        per_shard
   in
   ( List.map snd ordered,
     {
@@ -162,4 +205,38 @@ let pairs ?shard_bits pool left right =
       sorted_items = sorted_items_total;
       shards_swept = List.length per_shard;
       spanners = List.length spanners_l + List.length spanners_r;
-    } )
+    },
+    reports )
+
+let pairs ?shard_bits pool left right =
+  let run () =
+    let out, stats, _ = pairs_detailed ?shard_bits pool left right in
+    (out, stats)
+  in
+  if not (Sqp_obs.Trace.global_enabled ()) then run ()
+  else begin
+    let tracer = Sqp_obs.Trace.global () in
+    Sqp_obs.Trace.span_begin tracer "par_join.pairs";
+    let ((_, s) as r) = run () in
+    Sqp_obs.Trace.span_end
+      ~attrs:(fun () ->
+        Sqp_obs.Trace.
+          [
+            ("pairs", Int s.pairs);
+            ("comparisons", Int s.comparisons);
+            ("sorted_items", Int s.sorted_items);
+            ("shards_swept", Int s.shards_swept);
+            ("spanners", Int s.spanners);
+          ])
+      tracer;
+    let m = Sqp_obs.Metrics.global () in
+    let bump suffix n =
+      Sqp_obs.Metrics.add (Sqp_obs.Metrics.counter m ("par_join." ^ suffix)) n
+    in
+    bump "joins" 1;
+    bump "pairs" s.pairs;
+    bump "comparisons" s.comparisons;
+    bump "shards_swept" s.shards_swept;
+    bump "spanners" s.spanners;
+    r
+  end

@@ -43,3 +43,22 @@ val pairs :
     a single sequential sweep.
     @raise Invalid_argument if [shard_bits] is outside
     [0, ]{!Shard.max_bits}. *)
+
+type shard_report = {
+  shard : int;        (** shard index in z order; [-1] = spanner pass *)
+  items : int;        (** items sorted and swept by this shard *)
+  pairs : int;        (** pairs this shard emitted *)
+  comparisons : int;  (** sort + prefix comparisons in this shard *)
+}
+(** One sweep's share of the work — the per-shard view EXPLAIN ANALYZE
+    tabulates.  Summing [items]/[pairs]/[comparisons] over all reports
+    gives {!stats}' totals minus the final re-interleave comparisons. *)
+
+val pairs_detailed :
+  ?shard_bits:int ->
+  Pool.t ->
+  (Sqp_zorder.Bitstring.t * 'a) list ->
+  (Sqp_zorder.Bitstring.t * 'b) list ->
+  ('a * 'b) list * stats * shard_report list
+(** {!pairs}, additionally returning one {!shard_report} per sweep that
+    ran (spanner pass first, then swept shards in z order). *)

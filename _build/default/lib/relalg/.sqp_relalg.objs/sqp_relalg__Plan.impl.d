@@ -1,1 +1,1 @@
-lib/relalg/plan.ml: Buffer Float Format List Ops Printf Relation Schema Spatial_join Sqp_parallel String Value
+lib/relalg/plan.ml: Buffer Float Format List Ops Printf Relation Schema Spatial_join Sqp_obs Sqp_parallel Sqp_storage Stored String Unix Value

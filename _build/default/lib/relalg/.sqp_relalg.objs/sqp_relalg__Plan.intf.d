@@ -1,1 +1,1 @@
-lib/relalg/plan.mli: Relation Schema Value
+lib/relalg/plan.mli: Relation Schema Sqp_storage Stored Value

@@ -1,1 +1,1 @@
-lib/relalg/query.ml: Array List Ops Printf Relation Schema Spatial_join Sqp_geom Sqp_zorder Value
+lib/relalg/query.ml: Array List Ops Plan Printf Relation Schema Spatial_join Sqp_geom Sqp_zorder Stored Value

@@ -1,1 +1,1 @@
-lib/relalg/query.mli: Relation Sqp_geom Sqp_zorder
+lib/relalg/query.mli: Plan Relation Sqp_geom Sqp_zorder

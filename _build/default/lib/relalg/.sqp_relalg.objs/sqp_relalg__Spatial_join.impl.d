@@ -1,1 +1,1 @@
-lib/relalg/spatial_join.ml: Array List Relation Schema Sqp_parallel Sqp_zorder Value
+lib/relalg/spatial_join.ml: Array List Relation Schema Sqp_obs Sqp_parallel Sqp_zorder Value

@@ -1,0 +1,1 @@
+lib/relalg/stored.ml: Array List Relation Schema Sqp_storage

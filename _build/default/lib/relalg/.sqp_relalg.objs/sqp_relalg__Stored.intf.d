@@ -1,0 +1,1 @@
+lib/relalg/stored.mli: Relation Schema Sqp_storage

@@ -28,6 +28,7 @@ let attr_between attr lo hi =
 
 type t =
   | Scan of Relation.t
+  | Scan_stored of Stored.t
   | Select of pred * t
   | Project of string list * t
   | Project_all of string list * t
@@ -40,6 +41,7 @@ type t =
 
 let rec schema = function
   | Scan r -> Relation.schema r
+  | Scan_stored st -> Stored.schema st
   | Select (_, p) -> schema p
   | Project (names, p) | Project_all (names, p) -> Schema.project (schema p) names
   | Rename (renames, p) -> Schema.rename (schema p) renames
@@ -55,6 +57,7 @@ let rec schema = function
 
 let rec estimated_rows = function
   | Scan r -> float_of_int (Relation.cardinality r)
+  | Scan_stored st -> float_of_int (Stored.cardinality st)
   | Select (_, p) -> estimated_rows p /. 3.0
   | Project (_, p) -> estimated_rows p *. 0.9
   | Project_all (_, p) | Rename (_, p) | Sort (_, p) -> estimated_rows p
@@ -101,13 +104,13 @@ let rec push_select p plan =
   | Spatial_join ({ right; _ } as j) when pred_applies_to (schema right) p ->
       Spatial_join { j with right = push_select p right }
   | Union (a, b) -> Union (push_select p a, push_select p b)
-  | Scan _ | Select _ | Project _ | Project_all _
+  | Scan _ | Scan_stored _ | Select _ | Project _ | Project_all _
   | Product _ | Natural_join _ | Spatial_join _ ->
       Select (p, plan)
 
 let rec optimize plan =
   match plan with
-  | Scan _ -> plan
+  | Scan _ | Scan_stored _ -> plan
   | Select (p, inner) -> push_select p (optimize inner)
   | Project (names, inner) -> Project (names, optimize inner)
   | Project_all (names, inner) -> Project_all (names, optimize inner)
@@ -133,6 +136,7 @@ let rec run_with pool plan =
   let run = run_with pool in
   match plan with
   | Scan r -> r
+  | Scan_stored st -> Stored.scan st
   | Select (p, inner) ->
       let r = run inner in
       let s = Relation.schema r in
@@ -186,6 +190,11 @@ let explain ?(parallelism = 1) plan =
           (match Relation.name r with "" -> "<anon>" | n -> n)
           (Format.asprintf "%a" Schema.pp (Relation.schema r))
           rows
+    | Scan_stored st ->
+        line depth "scan stored %s %s (%d pages, ~%.0f rows)"
+          (match Stored.name st with "" -> "<anon>" | n -> n)
+          (Format.asprintf "%a" Schema.pp (Stored.schema st))
+          (Stored.pages st) rows
     | Select (p, _) -> line depth "select [%s] (~%.0f rows)" p.description rows
     | Project (names, _) -> line depth "project distinct {%s} (~%.0f rows)" (String.concat ", " names) rows
     | Project_all (names, _) -> line depth "project {%s} (~%.0f rows)" (String.concat ", " names) rows
@@ -206,7 +215,7 @@ let explain ?(parallelism = 1) plan =
     | Product _ -> line depth "product (~%.0f rows)" rows
     | Union _ -> line depth "union (~%.0f rows)" rows);
     match plan with
-    | Scan _ -> ()
+    | Scan _ | Scan_stored _ -> ()
     | Select (_, i) | Project (_, i) | Project_all (_, i) | Rename (_, i) | Sort (_, i) ->
         go (depth + 1) i
     | Natural_join (a, b) | Product (a, b) | Union (a, b) ->
@@ -218,3 +227,263 @@ let explain ?(parallelism = 1) plan =
   in
   go 0 plan;
   Buffer.contents buf
+
+(* {2 EXPLAIN ANALYZE} *)
+
+module Stats = Sqp_storage.Stats
+
+type shard_row = {
+  shard : int;
+  shard_items : int;
+  shard_pairs : int;
+  shard_comparisons : int;
+}
+
+type node_report = {
+  op : string;
+  rows : int;
+  elapsed : float;
+  pages : Stats.t;
+  node_attrs : (string * int) list;
+  shard_table : shard_row list;
+  children : node_report list;
+}
+
+type analysis = {
+  result : Relation.t;
+  report : node_report;
+  total_pages : Stats.t;
+  wall_seconds : float;
+  parallelism : int;
+}
+
+(* The live Stats counters reachable from the plan's stored scans,
+   deduplicated physically (two Scan_stored of the same relation share
+   one disk, hence one counter). *)
+let rec stats_sources acc = function
+  | Scan_stored st ->
+      let s = Stored.stats st in
+      if List.memq s acc then acc else s :: acc
+  | Scan _ -> acc
+  | Select (_, i) | Project (_, i) | Project_all (_, i) | Rename (_, i) | Sort (_, i) ->
+      stats_sources acc i
+  | Natural_join (a, b) | Product (a, b) | Union (a, b) ->
+      stats_sources (stats_sources acc a) b
+  | Spatial_join { left; right; _ } -> stats_sources (stats_sources acc left) right
+
+let delta sources befores =
+  Stats.sum
+    (List.map2
+       (fun live before -> Stats.diff ~after:(Stats.snapshot live) ~before)
+       sources befores)
+
+let sum_pages report =
+  let rec go acc r = List.fold_left go (Stats.add acc r.pages) r.children in
+  go (Stats.create ()) report
+
+let join_attrs (s : Spatial_join.stats) =
+  [
+    ("pairs", s.Spatial_join.pairs);
+    ("comparisons", s.Spatial_join.comparisons);
+    ("sorted_items", s.Spatial_join.sorted_items);
+    ("max_stack", s.Spatial_join.max_stack);
+  ]
+
+let row_of_shard_report (r : Sqp_parallel.Par_spatial_join.shard_report) =
+  {
+    shard = r.Sqp_parallel.Par_spatial_join.shard;
+    shard_items = r.Sqp_parallel.Par_spatial_join.items;
+    shard_pairs = r.Sqp_parallel.Par_spatial_join.pairs;
+    shard_comparisons = r.Sqp_parallel.Par_spatial_join.comparisons;
+  }
+
+let run_analyze ?(parallelism = 1) plan =
+  if parallelism < 1 then invalid_arg "Plan.run_analyze: parallelism must be >= 1";
+  let sources = stats_sources [] plan in
+  let tracer = Sqp_obs.Trace.global () in
+  let now = Unix.gettimeofday in
+  let exec pool =
+    (* Children run (and are charged) before their parent's own work, so
+       each node's [pages]/[elapsed] are exclusive: tree sums equal the
+       run's totals exactly. *)
+    let node op children f : Relation.t * node_report =
+      let befores = List.map Stats.snapshot sources in
+      Sqp_obs.Trace.span_begin tracer ("plan." ^ op);
+      let t0 = now () in
+      let rel, node_attrs, shard_table = f () in
+      let elapsed = now () -. t0 in
+      Sqp_obs.Trace.span_end
+        ~attrs:(fun () ->
+          ("rows", Sqp_obs.Trace.Int (Relation.cardinality rel))
+          :: List.map (fun (k, v) -> (k, Sqp_obs.Trace.Int v)) node_attrs)
+        tracer;
+      let pages = delta sources befores in
+      ( rel,
+        {
+          op;
+          rows = Relation.cardinality rel;
+          elapsed;
+          pages;
+          node_attrs;
+          shard_table;
+          children;
+        } )
+    in
+    let simple op children f = node op children (fun () -> (f (), [], [])) in
+    let rec go plan =
+      match plan with
+      | Scan r ->
+          simple
+            (Printf.sprintf "scan %s"
+               (match Relation.name r with "" -> "<anon>" | n -> n))
+            []
+            (fun () -> r)
+      | Scan_stored st ->
+          node
+            (Printf.sprintf "scan stored %s"
+               (match Stored.name st with "" -> "<anon>" | n -> n))
+            []
+            (fun () -> (Stored.scan st, [ ("data_pages", Stored.pages st) ], []))
+      | Select (p, inner) ->
+          let rel, child = go inner in
+          let s = Relation.schema rel in
+          simple
+            (Printf.sprintf "select [%s]" p.description)
+            [ child ]
+            (fun () -> Ops.select (fun tu -> p.test tu s) rel)
+      | Project (names, inner) ->
+          let rel, child = go inner in
+          simple
+            (Printf.sprintf "project distinct {%s}" (String.concat ", " names))
+            [ child ]
+            (fun () -> Ops.project names rel)
+      | Project_all (names, inner) ->
+          let rel, child = go inner in
+          simple
+            (Printf.sprintf "project {%s}" (String.concat ", " names))
+            [ child ]
+            (fun () -> Ops.project_all names rel)
+      | Rename (renames, inner) ->
+          let rel, child = go inner in
+          simple
+            (Printf.sprintf "rename {%s}"
+               (String.concat ", " (List.map (fun (o, n) -> o ^ " -> " ^ n) renames)))
+            [ child ]
+            (fun () -> Ops.rename renames rel)
+      | Sort (keys, inner) ->
+          let rel, child = go inner in
+          simple
+            (Printf.sprintf "sort by {%s}" (String.concat ", " keys))
+            [ child ]
+            (fun () -> Ops.sort_by keys rel)
+      | Natural_join (a, b) ->
+          let ra, ca = go a in
+          let rb, cb = go b in
+          simple "natural join" [ ca; cb ] (fun () -> Ops.natural_join ra rb)
+      | Product (a, b) ->
+          let ra, ca = go a in
+          let rb, cb = go b in
+          simple "product" [ ca; cb ] (fun () -> Ops.product ra rb)
+      | Union (a, b) ->
+          let ra, ca = go a in
+          let rb, cb = go b in
+          simple "union" [ ca; cb ] (fun () -> Ops.union ra rb)
+      | Spatial_join { zl; zr; left; right } ->
+          let rl, cl = go left in
+          let rr, cr = go right in
+          let merge_chosen =
+            use_merge
+              (float_of_int (Relation.cardinality rl))
+              (float_of_int (Relation.cardinality rr))
+          in
+          let impl, f =
+            if merge_chosen then
+              match pool with
+              | Some pool ->
+                  ( Printf.sprintf "parallel z-merge (%d domains)"
+                      (Sqp_parallel.Pool.domains pool),
+                    fun () ->
+                      let joined, s, reports =
+                        Spatial_join.merge_parallel_detailed pool rl ~zr:zl rr ~zs:zr
+                      in
+                      (joined, join_attrs s, List.map row_of_shard_report reports) )
+              | None ->
+                  ( "z-merge",
+                    fun () ->
+                      let joined, s = Spatial_join.merge rl ~zr:zl rr ~zs:zr in
+                      (joined, join_attrs s, []) )
+            else
+              ( "nested loop",
+                fun () ->
+                  let joined, s = Spatial_join.nested_loop rl ~zr:zl rr ~zs:zr in
+                  (joined, join_attrs s, []) )
+          in
+          node
+            (Printf.sprintf "spatial join %s <> %s via %s" zl zr impl)
+            [ cl; cr ] f
+    in
+    go plan
+  in
+  let befores = List.map Stats.snapshot sources in
+  Sqp_obs.Trace.span_begin tracer "plan.run_analyze";
+  let t0 = now () in
+  let result, report =
+    if parallelism = 1 then exec None
+    else
+      Sqp_parallel.Pool.with_pool ~domains:parallelism (fun pool ->
+          exec (Some pool))
+  in
+  let wall_seconds = now () -. t0 in
+  Sqp_obs.Trace.span_end
+    ~attrs:(fun () -> [ ("rows", Sqp_obs.Trace.Int (Relation.cardinality result)) ])
+    tracer;
+  let total_pages = delta sources befores in
+  { result; report; total_pages; wall_seconds; parallelism }
+
+let render_analysis a =
+  let buf = Buffer.create 1024 in
+  let line depth fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf (String.make (2 * depth) ' ');
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let pages_str (p : Stats.t) =
+    if
+      p.Stats.physical_reads = 0 && p.Stats.physical_writes = 0
+      && p.Stats.pool_hits = 0 && p.Stats.pool_misses = 0
+    then ""
+    else
+      Printf.sprintf ", pages: %dr/%dw (pool %dh/%dm)" p.Stats.physical_reads
+        p.Stats.physical_writes p.Stats.pool_hits p.Stats.pool_misses
+  in
+  line 0 "EXPLAIN ANALYZE (parallelism=%d, wall %.3f ms, total pages: %dr/%dw, pool %dh/%dm)"
+    a.parallelism
+    (a.wall_seconds *. 1e3)
+    a.total_pages.Stats.physical_reads a.total_pages.Stats.physical_writes
+    a.total_pages.Stats.pool_hits a.total_pages.Stats.pool_misses;
+  let rec go depth r =
+    let attrs =
+      String.concat ""
+        (List.map (fun (k, v) -> Printf.sprintf ", %s=%d" k v) r.node_attrs)
+    in
+    line depth "%s (rows=%d, %.3f ms%s%s)" r.op r.rows (r.elapsed *. 1e3) attrs
+      (pages_str r.pages);
+    if r.shard_table <> [] then begin
+      line (depth + 1) "per-shard: %-6s %8s %8s %12s" "shard" "items" "pairs"
+        "comparisons";
+      List.iter
+        (fun row ->
+          line (depth + 1) "           %-6s %8d %8d %12d"
+            (if row.shard < 0 then "span" else string_of_int row.shard)
+            row.shard_items row.shard_pairs row.shard_comparisons)
+        r.shard_table
+    end;
+    List.iter (go (depth + 1)) r.children
+  in
+  go 0 a.report;
+  Buffer.contents buf
+
+let explain_analyze ?parallelism plan = render_analysis (run_analyze ?parallelism plan)

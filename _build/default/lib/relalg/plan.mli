@@ -15,6 +15,9 @@ type pred = {
 }
 
 val pred : string -> string list -> (Relation.tuple -> Schema.t -> bool) -> pred
+(** [pred description attrs test] builds an arbitrary predicate.
+    [attrs] must list every attribute [test] reads — the optimizer uses
+    it to decide how far below joins the selection may be pushed. *)
 
 val attr_equals : string -> Value.t -> pred
 (** [attr = value]. *)
@@ -24,6 +27,9 @@ val attr_between : string -> Value.t -> Value.t -> pred
 
 type t =
   | Scan of Relation.t
+  | Scan_stored of Stored.t
+      (** scan a paged relation through its buffer pool, paying (and
+          recording) page accesses — see {!Stored} *)
   | Select of pred * t
   | Project of string list * t       (** duplicate-eliminating *)
   | Project_all of string list * t   (** bag projection *)
@@ -60,3 +66,65 @@ val explain : ?parallelism:int -> t -> string
     implementation choice for each spatial join — including whether the
     z-merge would run sequentially or sharded over [parallelism]
     domains. *)
+
+(** {2 EXPLAIN ANALYZE}
+
+    {!run_analyze} executes a plan while measuring it: every operator is
+    wrapped in a {!Sqp_obs.Trace} span and reports its actual output
+    rows, exclusive wall time, and exclusive page accesses (charged by
+    snapshotting the live {!Stored.stats} counters of every stored
+    relation in the plan before and after the operator's own work —
+    children are charged separately, so the per-node numbers sum exactly
+    to the run's totals). *)
+
+type shard_row = {
+  shard : int;       (** shard index, or [-1] for the spanner pass *)
+  shard_items : int;       (** items the shard swept *)
+  shard_pairs : int;       (** pairs it emitted *)
+  shard_comparisons : int; (** element comparisons it performed *)
+}
+(** One row of the per-shard breakdown a sharded spatial join reports. *)
+
+type node_report = {
+  op : string;               (** operator label, as in {!explain} *)
+  rows : int;                (** actual output cardinality *)
+  elapsed : float;           (** exclusive wall seconds (children excluded) *)
+  pages : Sqp_storage.Stats.t;  (** exclusive page accesses *)
+  node_attrs : (string * int) list;
+      (** operator-specific counters (e.g. a spatial join's
+          [comparisons]) *)
+  shard_table : shard_row list;
+      (** per-shard work, non-empty only for parallel spatial joins *)
+  children : node_report list;
+}
+(** Measured execution of one plan operator and its subtree. *)
+
+type analysis = {
+  result : Relation.t;       (** the query result *)
+  report : node_report;      (** the measured operator tree *)
+  total_pages : Sqp_storage.Stats.t;
+      (** whole-run page accesses; equals {!sum_pages}[ report] *)
+  wall_seconds : float;      (** whole-run wall time *)
+  parallelism : int;         (** execution streams used *)
+}
+(** Everything {!run_analyze} measured, plus the result itself. *)
+
+val run_analyze : ?parallelism:int -> t -> analysis
+(** Execute [plan] under measurement.  Produces the same result as
+    {!run} with the same [parallelism] (default 1; with 2 or more, a
+    domain pool is created and z-merge spatial joins run sharded,
+    additionally filling in their [shard_table]).
+    @raise Invalid_argument if [parallelism < 1]. *)
+
+val sum_pages : node_report -> Sqp_storage.Stats.t
+(** Sum of [pages] over the whole report tree.  Always equal, counter
+    for counter, to the analysis's [total_pages] — the accounting
+    invariant the test suite checks. *)
+
+val render_analysis : analysis -> string
+(** The annotated operator tree as text: one line per operator with
+    actual rows, milliseconds, operator counters and page accesses,
+    followed by the per-shard table under any parallel spatial join. *)
+
+val explain_analyze : ?parallelism:int -> t -> string
+(** [render_analysis (run_analyze ?parallelism plan)]. *)

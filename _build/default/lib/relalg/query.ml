@@ -46,6 +46,24 @@ let range_query space points box =
   let joined, _ = Spatial_join.merge p ~zr:"z" b ~zs:"zb" in
   Ops.project (List.init k coord_attr) joined
 
+let stored_overlap_plan ?options ?tuples_per_page ?pool_capacity space
+    r_objects s_objects =
+  let stored name renames objects =
+    Stored.store ?tuples_per_page ?pool_capacity
+      (Ops.rename renames (decompose_relation ?options ~name space objects))
+  in
+  let r = stored "R" [ ("id", "rid"); ("z", "zr") ] r_objects in
+  let s = stored "S" [ ("id", "sid"); ("z", "zs") ] s_objects in
+  Plan.Project
+    ( [ "rid"; "sid" ],
+      Plan.Spatial_join
+        {
+          zl = "zr";
+          zr = "zs";
+          left = Plan.Scan_stored r;
+          right = Plan.Scan_stored s;
+        } )
+
 let overlapping_pairs ?options space r_objects s_objects =
   let r = decompose_relation ?options ~name:"R" space r_objects in
   let s =

@@ -1,6 +1,11 @@
 module B = Sqp_zorder.Bitstring
 
-type stats = { pairs : int; comparisons : int; sorted_items : int }
+type stats = {
+  pairs : int;
+  comparisons : int;
+  sorted_items : int;
+  max_stack : int;
+}
 
 let out_schema r s =
   Schema.concat (Relation.schema r) (Relation.schema s)
@@ -10,7 +15,39 @@ let zval_of schema attr tu =
   | Value.Zval z -> z
   | _ -> invalid_arg "Spatial_join: z attribute does not hold an element"
 
-let nested_loop r ~zr s ~zs =
+(* Observability: one span per join with its work counters, plus running
+   totals in the ambient metrics registry.  One branch when tracing is
+   off. *)
+let observed name join =
+  if not (Sqp_obs.Trace.global_enabled ()) then join ()
+  else begin
+    let tracer = Sqp_obs.Trace.global () in
+    Sqp_obs.Trace.span_begin tracer name;
+    let ((_, s) as r) = join () in
+    Sqp_obs.Trace.span_end
+      ~attrs:(fun () ->
+        Sqp_obs.Trace.
+          [
+            ("pairs", Int s.pairs);
+            ("comparisons", Int s.comparisons);
+            ("sorted_items", Int s.sorted_items);
+            ("max_stack", Int s.max_stack);
+          ])
+      tracer;
+    let m = Sqp_obs.Metrics.global () in
+    let bump suffix n =
+      Sqp_obs.Metrics.add (Sqp_obs.Metrics.counter m (name ^ "." ^ suffix)) n
+    in
+    bump "joins" 1;
+    bump "pairs" s.pairs;
+    bump "comparisons" s.comparisons;
+    Sqp_obs.Metrics.record_max
+      (Sqp_obs.Metrics.gauge m (name ^ ".max_stack"))
+      s.max_stack;
+    r
+  end
+
+let nested_loop_impl r ~zr s ~zs =
   let schema = out_schema r s in
   let sr = Relation.schema r and ss = Relation.schema s in
   let comparisons = ref 0 in
@@ -29,11 +66,18 @@ let nested_loop r ~zr s ~zs =
       (Relation.tuples r)
   in
   ( Relation.make schema tuples,
-    { pairs = List.length tuples; comparisons = !comparisons; sorted_items = 0 } )
+    {
+      pairs = List.length tuples;
+      comparisons = !comparisons;
+      sorted_items = 0;
+      max_stack = 0;
+    } )
+
+let nested_loop r ~zr s ~zs = observed "spatial_join.nested_loop" (fun () -> nested_loop_impl r ~zr s ~zs)
 
 type side = R | S
 
-let merge r ~zr s ~zs =
+let merge_impl r ~zr s ~zs =
   let schema = out_schema r s in
   let sr = Relation.schema r and ss = Relation.schema s in
   let comparisons = ref 0 in
@@ -52,6 +96,11 @@ let merge r ~zr s ~zs =
      while the sweep position is within its z range, i.e. while it is a
      prefix of the current item's z value. *)
   let stack_r = ref [] and stack_s = ref [] in
+  let max_stack = ref 0 in
+  let note_depth () =
+    let d = List.length !stack_r + List.length !stack_s in
+    if d > !max_stack then max_stack := d
+  in
   let pop_closed z stack =
     let rec go = function
       | (ze, _) :: rest when
@@ -81,21 +130,38 @@ let merge r ~zr s ~zs =
               incr pairs;
               out := Array.append tr tu :: !out)
             !stack_r;
-          stack_s := (z, tu) :: !stack_s))
+          stack_s := (z, tu) :: !stack_s);
+      note_depth ())
     items;
   ( Relation.make schema (List.rev !out),
-    { pairs = !pairs; comparisons = !comparisons; sorted_items = List.length items } )
+    {
+      pairs = !pairs;
+      comparisons = !comparisons;
+      sorted_items = List.length items;
+      max_stack = !max_stack;
+    } )
 
-let merge_parallel ?shard_bits pool r ~zr s ~zs =
+let merge r ~zr s ~zs = observed "spatial_join.merge" (fun () -> merge_impl r ~zr s ~zs)
+
+let merge_parallel_detailed ?shard_bits pool r ~zr s ~zs =
   let schema = out_schema r s in
   let sr = Relation.schema r and ss = Relation.schema s in
   let left = List.map (fun tu -> (zval_of sr zr tu, tu)) (Relation.tuples r) in
   let right = List.map (fun tu -> (zval_of ss zs tu, tu)) (Relation.tuples s) in
-  let pairs, pstats = Sqp_parallel.Par_spatial_join.pairs ?shard_bits pool left right in
+  let pairs, pstats, reports =
+    Sqp_parallel.Par_spatial_join.pairs_detailed ?shard_bits pool left right
+  in
   let tuples = List.map (fun (tr, ts) -> Array.append tr ts) pairs in
   ( Relation.make schema tuples,
     {
       pairs = pstats.Sqp_parallel.Par_spatial_join.pairs;
       comparisons = pstats.Sqp_parallel.Par_spatial_join.comparisons;
       sorted_items = pstats.Sqp_parallel.Par_spatial_join.sorted_items;
-    } )
+      max_stack = 0 (* not tracked by the sharded sweeps *);
+    },
+    reports )
+
+let merge_parallel ?shard_bits pool r ~zr s ~zs =
+  observed "spatial_join.merge_parallel" (fun () ->
+      let joined, stats, _ = merge_parallel_detailed ?shard_bits pool r ~zr s ~zs in
+      (joined, stats))

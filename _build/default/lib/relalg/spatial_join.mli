@@ -18,6 +18,9 @@ type stats = {
   pairs : int;         (** tuples emitted *)
   comparisons : int;   (** element comparisons performed *)
   sorted_items : int;  (** total items sorted (merge only) *)
+  max_stack : int;
+      (** deepest combined open-element stack the sweep reached ([merge]
+          only; 0 for [nested_loop] and the sharded plan) *)
 }
 
 val merge :
@@ -27,6 +30,9 @@ val merge :
 
 val nested_loop :
   Relation.t -> zr:string -> Relation.t -> zs:string -> Relation.t * stats
+(** Compare all pairs directly — O(|R| * |S|), the correctness oracle
+    and the planner's choice for small inputs.  Same preconditions as
+    {!merge}. *)
 
 val merge_parallel :
   ?shard_bits:int ->
@@ -39,3 +45,15 @@ val merge_parallel :
 (** Same result (and tuple order) as {!merge}, computed shard-by-shard on
     the pool.  [stats.comparisons] reflects the parallel plan's own work,
     so it differs from [merge]'s count; [pairs] is always equal. *)
+
+val merge_parallel_detailed :
+  ?shard_bits:int ->
+  Sqp_parallel.Pool.t ->
+  Relation.t ->
+  zr:string ->
+  Relation.t ->
+  zs:string ->
+  Relation.t * stats * Sqp_parallel.Par_spatial_join.shard_report list
+(** {!merge_parallel}, additionally returning the per-shard work
+    breakdown ({!Sqp_parallel.Par_spatial_join.shard_report}) that
+    EXPLAIN ANALYZE renders as its shard table. *)

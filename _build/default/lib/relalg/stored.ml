@@ -1,0 +1,58 @@
+module Pager = Sqp_storage.Pager
+module Buffer_pool = Sqp_storage.Buffer_pool
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  pager : Relation.tuple array Pager.t;
+  page_ids : Pager.page_id array;
+  pool : Relation.tuple array Buffer_pool.t;
+  cardinality : int;
+  tuples_per_page : int;
+}
+
+let store ?name ?(tuples_per_page = 32) ?(pool_capacity = 8) ?policy r =
+  if tuples_per_page < 1 then invalid_arg "Stored.store: tuples_per_page < 1";
+  let name = match name with Some n -> n | None -> Relation.name r in
+  let pager = Pager.create () in
+  let tuples = Array.of_list (Relation.tuples r) in
+  let n = Array.length tuples in
+  let npages = (n + tuples_per_page - 1) / tuples_per_page in
+  let page_ids =
+    Array.init npages (fun p ->
+        let base = p * tuples_per_page in
+        let len = min tuples_per_page (n - base) in
+        Pager.alloc pager (Array.sub tuples base len))
+  in
+  {
+    name;
+    schema = Relation.schema r;
+    pager;
+    page_ids;
+    pool = Buffer_pool.create ?policy ~capacity:pool_capacity pager;
+    cardinality = n;
+    tuples_per_page;
+  }
+
+let name t = t.name
+
+let schema t = t.schema
+
+let cardinality t = t.cardinality
+
+let pages t = Array.length t.page_ids
+
+let tuples_per_page t = t.tuples_per_page
+
+let stats t = Pager.stats t.pager
+
+let scan t =
+  (* Forward page order (a real sequential scan), accumulating reversed. *)
+  let out = ref [] in
+  for p = 0 to Array.length t.page_ids - 1 do
+    let page = Buffer_pool.get t.pool t.page_ids.(p) in
+    for k = 0 to Array.length page - 1 do
+      out := page.(k) :: !out
+    done
+  done;
+  Relation.make ~name:t.name t.schema (List.rev !out)

@@ -1,1 +1,1 @@
-lib/storage/buffer_pool.ml: Hashtbl List Pager
+lib/storage/buffer_pool.ml: Hashtbl List Pager Sqp_obs

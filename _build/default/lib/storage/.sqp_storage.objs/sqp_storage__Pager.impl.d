@@ -1,1 +1,1 @@
-lib/storage/pager.ml: Hashtbl Printf Stats
+lib/storage/pager.ml: Hashtbl Printf Sqp_obs Stats

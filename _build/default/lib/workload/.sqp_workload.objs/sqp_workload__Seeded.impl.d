@@ -1,0 +1,1 @@
+lib/workload/seeded.ml: Array Datagen List Rng Sqp_geom Sqp_zorder

@@ -1,0 +1,1 @@
+lib/workload/seeded.mli: Sqp_geom Sqp_zorder

@@ -1,1 +1,1 @@
-lib/zorder/decompose.ml: Array Bitstring Element List Seq Space
+lib/zorder/decompose.ml: Array Bitstring Element List Seq Space Sqp_obs

@@ -12,7 +12,7 @@ let effective_max_level space options =
   | None -> pixels
   | Some l -> min l pixels
 
-let run ?(options = default_options) space classify =
+let run_impl ~options space classify =
   let max_level = effective_max_level space options in
   let emitted = ref 0 in
   let over_budget () =
@@ -37,6 +37,25 @@ let run ?(options = default_options) space classify =
           go hi (go lo acc)
   in
   List.rev (go Element.root [])
+
+let run ?(options = default_options) space classify =
+  if not (Sqp_obs.Trace.global_enabled ()) then run_impl ~options space classify
+  else begin
+    let tracer = Sqp_obs.Trace.global () in
+    Sqp_obs.Trace.span_begin tracer "decompose";
+    let elements = run_impl ~options space classify in
+    let n = List.length elements in
+    Sqp_obs.Trace.span_end
+      ~attrs:(fun () -> [ ("elements", Sqp_obs.Trace.Int n) ])
+      tracer;
+    let m = Sqp_obs.Metrics.global () in
+    Sqp_obs.Metrics.incr (Sqp_obs.Metrics.counter m "decompose.objects");
+    Sqp_obs.Metrics.add (Sqp_obs.Metrics.counter m "decompose.elements") n;
+    Sqp_obs.Metrics.observe
+      (Sqp_obs.Metrics.histogram m "decompose.elements_per_object")
+      n;
+    elements
+  end
 
 let count ?(options = default_options) space classify =
   let max_level = effective_max_level space options in

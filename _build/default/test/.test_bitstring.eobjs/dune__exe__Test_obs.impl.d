@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Domain Gc List Printf Sqp_obs Sqp_relalg Sqp_storage Sqp_workload String

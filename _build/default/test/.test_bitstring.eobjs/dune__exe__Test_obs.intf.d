@@ -1,0 +1,1 @@
+test/test_obs.mli:

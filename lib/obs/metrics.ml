@@ -1,0 +1,203 @@
+type counter = int Atomic.t
+
+type gauge = int Atomic.t
+
+let hist_buckets = 63
+(* Bucket [i] holds observations whose bit length is [i]: 0 -> bucket 0,
+   [2^(i-1), 2^i - 1] -> bucket i.  63 buckets cover every non-negative
+   OCaml int. *)
+
+type histogram = { counts : int Atomic.t array; total : int Atomic.t; sum : int Atomic.t }
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { mutex : Mutex.t; table : (string, metric) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 32 }
+
+let the_global = create ()
+
+let global () = the_global
+
+let find_or_add t name make =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some m -> m
+      | None ->
+          let m = make () in
+          Hashtbl.replace t.table name m;
+          m)
+
+let counter t name =
+  match find_or_add t name (fun () -> Counter (Atomic.make 0)) with
+  | Counter c -> c
+  | _ -> invalid_arg (Printf.sprintf "Metrics.counter: %S is not a counter" name)
+
+let incr c = ignore (Atomic.fetch_and_add c 1)
+
+let add c n = ignore (Atomic.fetch_and_add c n)
+
+let counter_value = Atomic.get
+
+let gauge t name =
+  match find_or_add t name (fun () -> Gauge (Atomic.make 0)) with
+  | Gauge g -> g
+  | _ -> invalid_arg (Printf.sprintf "Metrics.gauge: %S is not a gauge" name)
+
+let set_gauge g n = Atomic.set g n
+
+let rec record_max g n =
+  let cur = Atomic.get g in
+  if n > cur && not (Atomic.compare_and_set g cur n) then record_max g n
+
+let gauge_value = Atomic.get
+
+let histogram t name =
+  let make () =
+    Histogram
+      {
+        counts = Array.init hist_buckets (fun _ -> Atomic.make 0);
+        total = Atomic.make 0;
+        sum = Atomic.make 0;
+      }
+  in
+  match find_or_add t name make with
+  | Histogram h -> h
+  | _ -> invalid_arg (Printf.sprintf "Metrics.histogram: %S is not a histogram" name)
+
+let bucket_of v =
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+  bits 0 v
+
+let bucket_upper i = if i = 0 then 0 else (1 lsl i) - 1
+
+let observe h v =
+  let v = max 0 v in
+  ignore (Atomic.fetch_and_add h.counts.(bucket_of v) 1);
+  ignore (Atomic.fetch_and_add h.total 1);
+  ignore (Atomic.fetch_and_add h.sum v)
+
+type reading =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of { count : int; sum : int; buckets : (int * int) list }
+
+type snapshot = (string * reading) list
+
+let read = function
+  | Counter c -> Counter_v (Atomic.get c)
+  | Gauge g -> Gauge_v (Atomic.get g)
+  | Histogram h ->
+      let buckets = ref [] in
+      for i = hist_buckets - 1 downto 0 do
+        let n = Atomic.get h.counts.(i) in
+        if n > 0 then buckets := (bucket_upper i, n) :: !buckets
+      done;
+      Histogram_v { count = Atomic.get h.total; sum = Atomic.get h.sum; buckets = !buckets }
+
+let snapshot t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, read m) :: acc) t.table []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let merge_buckets a b =
+  (* Both ascending in upper bound; pointwise sum. *)
+  let rec go a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | (ua, na) :: ra, (ub, nb) :: rb ->
+        if ua = ub then (ua, na + nb) :: go ra rb
+        else if ua < ub then (ua, na) :: go ra b
+        else (ub, nb) :: go a rb
+  in
+  go a b
+
+let merge_reading name a b =
+  match (a, b) with
+  | Counter_v x, Counter_v y -> Counter_v (x + y)
+  | Gauge_v x, Gauge_v y -> Gauge_v (max x y)
+  | Histogram_v x, Histogram_v y ->
+      Histogram_v
+        {
+          count = x.count + y.count;
+          sum = x.sum + y.sum;
+          buckets = merge_buckets x.buckets y.buckets;
+        }
+  | _ -> invalid_arg (Printf.sprintf "Metrics.merge: %S has mismatched kinds" name)
+
+let merge a b =
+  (* Both name-sorted; merge like a sorted union. *)
+  let rec go a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | (na, ra) :: resta, (nb, rb) :: restb ->
+        let c = String.compare na nb in
+        if c = 0 then (na, merge_reading na ra rb) :: go resta restb
+        else if c < 0 then (na, ra) :: go resta b
+        else (nb, rb) :: go a restb
+  in
+  go a b
+
+let merge_all snaps = List.fold_left merge [] snaps
+
+let reset t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Atomic.set c 0
+          | Gauge g -> Atomic.set g 0
+          | Histogram h ->
+              Array.iter (fun a -> Atomic.set a 0) h.counts;
+              Atomic.set h.total 0;
+              Atomic.set h.sum 0)
+        t.table)
+
+let to_text snap =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, r) ->
+      match r with
+      | Counter_v v -> Buffer.add_string buf (Printf.sprintf "%-44s %d\n" name v)
+      | Gauge_v v -> Buffer.add_string buf (Printf.sprintf "%-44s %d (gauge)\n" name v)
+      | Histogram_v { count; sum; buckets } ->
+          let mean = if count = 0 then 0.0 else float_of_int sum /. float_of_int count in
+          Buffer.add_string buf
+            (Printf.sprintf "%-44s count=%d sum=%d mean=%.1f\n" name count sum mean);
+          List.iter
+            (fun (ub, n) ->
+              Buffer.add_string buf (Printf.sprintf "%44s   <= %-10d %d\n" "" ub n))
+            buckets)
+    snap;
+  Buffer.contents buf
+
+let to_json snap =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\n";
+  List.iteri
+    (fun i (name, r) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      let body =
+        match r with
+        | Counter_v v -> Printf.sprintf "{ \"type\": \"counter\", \"value\": %d }" v
+        | Gauge_v v -> Printf.sprintf "{ \"type\": \"gauge\", \"value\": %d }" v
+        | Histogram_v { count; sum; buckets } ->
+            Printf.sprintf
+              "{ \"type\": \"histogram\", \"count\": %d, \"sum\": %d, \"buckets\": [%s] }"
+              count sum
+              (String.concat ", "
+                 (List.map (fun (ub, n) -> Printf.sprintf "[%d, %d]" ub n) buckets))
+      in
+      Buffer.add_string buf (Printf.sprintf "  \"%s\": %s" name body))
+    snap;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

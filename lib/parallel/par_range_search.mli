@@ -10,6 +10,8 @@
     suite in [test/test_differential.ml] enforces this. *)
 
 type 'a prepared
+(** A z-sorted, shareable snapshot of the point set: built once, then
+    searched concurrently by any number of shards and queries. *)
 
 val prepare :
   Sqp_zorder.Space.t -> (Sqp_geom.Point.t * 'a) array -> 'a prepared
@@ -17,8 +19,10 @@ val prepare :
     step as [Sqp_core.Range_search.prepare]. *)
 
 val prepared_length : 'a prepared -> int
+(** Number of points in the snapshot. *)
 
 val space : 'a prepared -> Sqp_zorder.Space.t
+(** The space the points were prepared in. *)
 
 type counters = {
   point_steps : int;
@@ -40,6 +44,23 @@ val search :
 (** All points inside the (inclusive, clipped) box, in z order.
     [shard_bits] defaults to {!Shard.default_bits} for the pool's size;
     [~shard_bits:0] is a single-shard (sequential) merge. *)
+
+type shard_counters = {
+  shard : int;              (** shard index, in z order *)
+  shard_rows : int;         (** points this shard reported *)
+  shard_counters : counters;  (** this shard's own work *)
+}
+(** One shard merge's share of the work — the per-shard view EXPLAIN
+    ANALYZE tabulates. *)
+
+val search_detailed :
+  ?shard_bits:int ->
+  Pool.t ->
+  'a prepared ->
+  Sqp_geom.Box.t ->
+  (Sqp_geom.Point.t * 'a) list * counters * shard_counters list
+(** {!search}, additionally returning one {!shard_counters} per shard
+    merge that ran, in z (= output) order. *)
 
 val search_batch :
   Pool.t ->

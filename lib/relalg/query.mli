@@ -32,6 +32,20 @@ val range_query :
     [Result := (P\[zp <> zb\]B)\[coords\]] — returns the relation of
     coordinates of points inside the box (attributes ["x0"; "x1"; ...]). *)
 
+val stored_overlap_plan :
+  ?options:Sqp_zorder.Decompose.options ->
+  ?tuples_per_page:int ->
+  ?pool_capacity:int ->
+  Sqp_zorder.Space.t ->
+  (int * Sqp_geom.Shape.t) list ->
+  (int * Sqp_geom.Shape.t) list ->
+  Plan.t
+(** {!overlapping_pairs} as an unexecuted {!Plan.t} whose inputs are
+    materialized onto paged {!Stored} relations first, so running it
+    costs page accesses — the query {!Plan.run_analyze} and the CLI's
+    [query] subcommand measure.  [tuples_per_page]/[pool_capacity] are
+    passed to {!Stored.store}. *)
+
 val overlapping_pairs :
   ?options:Sqp_zorder.Decompose.options ->
   Sqp_zorder.Space.t ->

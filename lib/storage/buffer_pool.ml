@@ -1,5 +1,10 @@
 type policy = Lru | Fifo | Clock
 
+(* Observability hook (see Pager): one branch when observability is off. *)
+let obs_incr name =
+  if Sqp_obs.Trace.global_enabled () then
+    Sqp_obs.Metrics.incr (Sqp_obs.Metrics.counter (Sqp_obs.Metrics.global ()) name)
+
 type 'a frame = {
   mutable value : 'a;
   mutable dirty : bool;
@@ -73,7 +78,8 @@ let evict t =
   let id, frame = evict_victim t in
   write_back t id frame;
   Hashtbl.remove t.frames id;
-  t.hand <- List.filter (fun x -> x <> id) t.hand
+  t.hand <- List.filter (fun x -> x <> id) t.hand;
+  obs_incr "bufferpool.evictions"
 
 let touch t frame =
   t.tick <- t.tick + 1;
@@ -96,10 +102,12 @@ let get t id =
   match Hashtbl.find_opt t.frames id with
   | Some frame ->
       (stats t).pool_hits <- (stats t).pool_hits + 1;
+      obs_incr "bufferpool.hits";
       touch t frame;
       frame.value
   | None ->
       (stats t).pool_misses <- (stats t).pool_misses + 1;
+      obs_incr "bufferpool.misses";
       let value = Pager.read t.pager id in
       let frame = install t id value false in
       frame.value
@@ -108,11 +116,13 @@ let update t id value =
   match Hashtbl.find_opt t.frames id with
   | Some frame ->
       (stats t).pool_hits <- (stats t).pool_hits + 1;
+      obs_incr "bufferpool.hits";
       touch t frame;
       frame.value <- value;
       frame.dirty <- true
   | None ->
       (stats t).pool_misses <- (stats t).pool_misses + 1;
+      obs_incr "bufferpool.misses";
       if not (Pager.mem t.pager id) then
         invalid_arg "Buffer_pool.update: unallocated page";
       ignore (install t id value true)

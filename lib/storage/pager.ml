@@ -1,5 +1,12 @@
 type page_id = int
 
+(* Observability hook: mirror the per-pager [Stats] events into the
+   ambient metrics registry so cross-pager totals show up in one place.
+   One branch when observability is off. *)
+let obs_incr name =
+  if Sqp_obs.Trace.global_enabled () then
+    Sqp_obs.Metrics.incr (Sqp_obs.Metrics.counter (Sqp_obs.Metrics.global ()) name)
+
 type 'a t = {
   pages : (page_id, 'a) Hashtbl.t;
   stats : Stats.t;
@@ -16,6 +23,8 @@ let alloc t v =
   Hashtbl.replace t.pages id v;
   t.stats.allocations <- t.stats.allocations + 1;
   t.stats.physical_writes <- t.stats.physical_writes + 1;
+  obs_incr "pager.allocations";
+  obs_incr "pager.physical_writes";
   id
 
 let read t id =
@@ -23,19 +32,22 @@ let read t id =
   | None -> invalid_arg (Printf.sprintf "Pager.read: unallocated page %d" id)
   | Some v ->
       t.stats.physical_reads <- t.stats.physical_reads + 1;
+      obs_incr "pager.physical_reads";
       v
 
 let write t id v =
   if not (Hashtbl.mem t.pages id) then
     invalid_arg (Printf.sprintf "Pager.write: unallocated page %d" id);
   Hashtbl.replace t.pages id v;
-  t.stats.physical_writes <- t.stats.physical_writes + 1
+  t.stats.physical_writes <- t.stats.physical_writes + 1;
+  obs_incr "pager.physical_writes"
 
 let free t id =
   if not (Hashtbl.mem t.pages id) then
     invalid_arg (Printf.sprintf "Pager.free: unallocated page %d" id);
   Hashtbl.remove t.pages id;
-  t.stats.frees <- t.stats.frees + 1
+  t.stats.frees <- t.stats.frees + 1;
+  obs_incr "pager.frees"
 
 let page_count t = Hashtbl.length t.pages
 

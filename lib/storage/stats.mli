@@ -12,8 +12,10 @@ type t = {
 }
 
 val create : unit -> t
+(** All counters zero. *)
 
 val reset : t -> unit
+(** Zero every counter in place. *)
 
 val snapshot : t -> t
 (** An independent copy. *)
@@ -44,3 +46,4 @@ val hit_ratio : t -> float
 (** [hits / (hits + misses)]; 0 if no pool traffic. *)
 
 val pp : Format.formatter -> t -> unit
+(** One-line rendering of all six counters. *)
