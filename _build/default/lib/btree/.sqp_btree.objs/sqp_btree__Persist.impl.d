@@ -1,1 +1,1 @@
-lib/btree/persist.ml: Array Buffer Bytes Int32 Int64 List Option Sqp_storage Sqp_zorder String Zindex
+lib/btree/persist.ml: Array Buffer Bytes Fun Int32 Int64 List Option Printf Sqp_storage Sqp_zorder String Sys Zindex

@@ -1,1 +1,1 @@
-lib/btree/persist.mli: Zindex
+lib/btree/persist.mli: Sqp_storage Zindex

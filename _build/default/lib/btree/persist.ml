@@ -1,5 +1,7 @@
 module Z = Sqp_zorder
 module FP = Sqp_storage.File_pager
+module Storage_error = Sqp_storage.Storage_error
+module Faulty_io = Sqp_storage.Faulty_io
 
 (* Metadata page payload: "SQPX" | dims:u8 | depth:u8 | leaf_capacity:u16 |
    entry_count:i64.
@@ -17,9 +19,9 @@ let encode_meta ~dims ~depth ~leaf_capacity ~count =
   Bytes.set_int64_be buf 8 (Int64.of_int count);
   buf
 
-let decode_meta buf =
+let decode_meta ~path buf =
   if Bytes.length buf < 16 || Bytes.sub_string buf 0 4 <> meta_magic then
-    failwith "Persist.load: bad metadata page";
+    Storage_error.corrupt ~path "bad index metadata page";
   ( Bytes.get_uint8 buf 4,
     Bytes.get_uint8 buf 5,
     Bytes.get_uint16_be buf 6,
@@ -34,71 +36,96 @@ let encode_entry dims point payload =
   Bytes.blit_string payload 0 buf ((4 * dims) + 2) plen;
   buf
 
-let decode_entry dims buf off =
+let decode_entry ~path dims buf off =
+  if off + (4 * dims) + 2 > Bytes.length buf then
+    Storage_error.corrupt ~path "truncated index entry";
   let point = Array.init dims (fun i -> Int32.to_int (Bytes.get_int32_be buf (off + (4 * i)))) in
   let plen = Bytes.get_uint16_be buf (off + (4 * dims)) in
+  if off + (4 * dims) + 2 + plen > Bytes.length buf then
+    Storage_error.corrupt ~path "index entry payload runs past the page";
   let payload = Bytes.sub_string buf (off + (4 * dims) + 2) plen in
   (point, payload, off + (4 * dims) + 2 + plen)
 
-let save ~path ?(page_bytes = 4096) ~encode index =
+let save ?(io = Faulty_io.none) ~path ?(page_bytes = 4096) ~encode index =
   let space = Zindex.space index in
   let dims = Z.Space.dims space and depth = Z.Space.depth space in
-  let store = FP.create ~path ~page_bytes in
-  let capacity = page_bytes - 4 in
-  (* Entries in z order straight off the leaf chain. *)
-  let entries =
-    Zindex.Tree.to_list (Zindex.tree index)
-    |> List.map (fun (_, (p, v)) -> encode_entry dims p (encode v))
+  (* Build the new store beside the old one, then atomically rename over
+     it: a crash at any point leaves either the old or the new index. *)
+  let tmp = path ^ ".tmp" in
+  let store = FP.create ~io ~page_bytes tmp in
+  let data_pages =
+    try
+      let capacity = FP.payload_capacity store in
+      (* Entries in z order straight off the leaf chain. *)
+      let entries =
+        Zindex.Tree.to_list (Zindex.tree index)
+        |> List.map (fun (_, (p, v)) -> encode_entry dims p (encode v))
+      in
+      (* One atomic batch: meta page plus every data page. *)
+      FP.begin_batch store;
+      ignore
+        (FP.alloc store
+           (encode_meta ~dims ~depth
+              ~leaf_capacity:(Zindex.leaf_capacity index)
+              ~count:(List.length entries)));
+      let data_pages = ref 0 in
+      let buf = Buffer.create capacity in
+      let flush_page () =
+        if Buffer.length buf > 0 then begin
+          ignore (FP.alloc store (Buffer.to_bytes buf));
+          incr data_pages;
+          Buffer.clear buf
+        end
+      in
+      List.iter
+        (fun e ->
+          if Bytes.length e > capacity then
+            invalid_arg "Persist.save: entry larger than a page";
+          if Buffer.length buf + Bytes.length e > capacity then flush_page ();
+          Buffer.add_bytes buf e)
+        entries;
+      flush_page ();
+      FP.commit_batch store;
+      FP.close store;
+      !data_pages
+    with e ->
+      FP.close store;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      (try Sys.remove (Sqp_storage.Journal.journal_path tmp) with Sys_error _ -> ());
+      raise e
   in
-  ignore
-    (FP.alloc store
-       (encode_meta ~dims ~depth
-          ~leaf_capacity:(Zindex.leaf_capacity index)
-          ~count:(List.length entries)));
-  let data_pages = ref 0 in
-  let buf = Buffer.create capacity in
-  let flush_page () =
-    if Buffer.length buf > 0 then begin
-      ignore (FP.alloc store (Buffer.to_bytes buf));
-      incr data_pages;
-      Buffer.clear buf
-    end
-  in
-  List.iter
-    (fun e ->
-      if Bytes.length e > capacity then
-        invalid_arg "Persist.save: entry larger than a page";
-      if Buffer.length buf + Bytes.length e > capacity then flush_page ();
-      Buffer.add_bytes buf e)
-    entries;
-  flush_page ();
-  FP.close store;
-  !data_pages
+  Faulty_io.rename io ~src:tmp ~dst:path;
+  data_pages
 
-let load ~path ~decode () =
-  let store = FP.open_existing ~path in
-  let meta = ref None in
-  let entries = ref [] in
-  FP.iter store (fun slot payload ->
-      if !meta = None then begin
-        (* Slot order is id order; the metadata page was written first. *)
-        ignore slot;
-        meta := Some (decode_meta payload)
-      end
-      else begin
-        let dims, _, _, _ = Option.get !meta in
-        let off = ref 0 in
-        while !off < Bytes.length payload do
-          let point, p, next = decode_entry dims payload !off in
-          entries := (point, decode p) :: !entries;
-          off := next
-        done
-      end);
-  FP.close store;
-  match !meta with
-  | None -> failwith "Persist.load: empty store"
-  | Some (dims, depth, leaf_capacity, count) ->
-      let entries = Array.of_list (List.rev !entries) in
-      if Array.length entries <> count then failwith "Persist.load: entry count mismatch";
-      let space = Z.Space.make ~dims ~depth in
-      Zindex.of_points ~leaf_capacity space entries
+let load ?(io = Faulty_io.none) ?(lenient = false) ~path ~decode () =
+  let store = FP.open_existing ~io path in
+  Fun.protect
+    ~finally:(fun () -> FP.close store)
+    (fun () ->
+      let meta = ref None in
+      let entries = ref [] in
+      FP.iter store (fun slot payload ->
+          if !meta = None then begin
+            (* Slot order is id order; the metadata page was written first. *)
+            ignore slot;
+            meta := Some (decode_meta ~path payload)
+          end
+          else begin
+            let dims, _, _, _ = Option.get !meta in
+            let off = ref 0 in
+            while !off < Bytes.length payload do
+              let point, p, next = decode_entry ~path dims payload !off in
+              entries := (point, decode p) :: !entries;
+              off := next
+            done
+          end);
+      match !meta with
+      | None -> Storage_error.corrupt ~path "empty store: no index metadata page"
+      | Some (dims, depth, leaf_capacity, count) ->
+          let entries = Array.of_list (List.rev !entries) in
+          if Array.length entries <> count && not lenient then
+            Storage_error.corrupt ~path
+              (Printf.sprintf "entry count mismatch: metadata says %d, found %d" count
+                 (Array.length entries));
+          let space = Z.Space.make ~dims ~depth in
+          Zindex.of_points ~leaf_capacity space entries)

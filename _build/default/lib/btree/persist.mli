@@ -4,23 +4,37 @@
     set with payloads, packed onto fixed-size pages in z order, plus a
     metadata page (space shape, leaf capacity).  Loading rebuilds the
     prefix B+-tree by bulk load, so a reloaded index answers queries
-    identically to the original. *)
+    identically to the original.
+
+    Durability: {!save} writes the whole index as one journaled batch
+    into [path ^ ".tmp"], then atomically renames it over [path] — a
+    crash at any point leaves the previous index (or none) intact, never
+    a half-written one.  {!load} runs the store's normal crash recovery
+    on open. *)
 
 val save :
+  ?io:Sqp_storage.Faulty_io.injector ->
   path:string ->
   ?page_bytes:int ->
   encode:('a -> string) ->
   'a Zindex.t ->
   int
 (** Write the index contents; returns the number of data pages written.
-    [page_bytes] defaults to 4096.
+    [page_bytes] defaults to 4096.  [io] (for fault-injection tests)
+    defaults to passthrough.
     @raise Invalid_argument if an encoded payload is larger than a page
     can hold. *)
 
 val load :
+  ?io:Sqp_storage.Faulty_io.injector ->
+  ?lenient:bool ->
   path:string ->
   decode:(string -> 'a) ->
   unit ->
   'a Zindex.t
-(** Rebuild an index from a file written by {!save}.
-    @raise Failure on format errors. *)
+(** Rebuild an index from a file written by {!save}.  With
+    [~lenient:true] (used after {!Sqp_storage.Fsck.salvage}) a mismatch
+    between the metadata entry count and the entries actually present is
+    tolerated: whatever survived is loaded.
+    @raise Sqp_storage.Storage_error.Corrupt on format or checksum
+    errors. *)

@@ -1,1 +1,1 @@
-lib/relalg/stored.ml: Array List Relation Schema Sqp_storage
+lib/relalg/stored.ml: Array Buffer Bytes Fun Int32 Int64 List Printf Relation Schema Sqp_storage Sqp_zorder String Sys Value

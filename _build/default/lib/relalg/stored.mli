@@ -53,3 +53,36 @@ val scan : t -> Relation.t
 (** Read every page (in order, through the buffer pool) and rebuild the
     relation.  Each scan costs [pages t] buffer-pool lookups; hits and
     misses depend on pool capacity and what ran before. *)
+
+(** {1 Durable snapshots}
+
+    The in-memory pager above simulates access costs; these two dump and
+    restore a stored relation through the journaled, checksummed
+    {!Sqp_storage.File_pager}, one store page per in-memory page group,
+    with the same atomic-replace protocol as the index's [Persist.save]
+    (journaled batch into [path ^ ".tmp"], then rename). *)
+
+val save_to :
+  ?io:Sqp_storage.Faulty_io.injector ->
+  path:string ->
+  ?page_bytes:int ->
+  t ->
+  unit
+(** Write the relation (schema, name, page grouping and all tuples) to a
+    store file at [path], atomically.  [page_bytes] defaults to 4096.
+    @raise Invalid_argument if a page group encodes to more than a store
+    page holds — raise [page_bytes] or re-[store] with fewer
+    [tuples_per_page]. *)
+
+val load_from :
+  ?io:Sqp_storage.Faulty_io.injector ->
+  ?pool_capacity:int ->
+  ?policy:Sqp_storage.Buffer_pool.policy ->
+  path:string ->
+  unit ->
+  t
+(** Rebuild a stored relation from a file written by {!save_to}; the
+    original name, schema, tuple order and [tuples_per_page] are
+    restored ([pool_capacity]/[policy] configure the fresh buffer pool).
+    @raise Sqp_storage.Storage_error.Corrupt on format or checksum
+    errors. *)

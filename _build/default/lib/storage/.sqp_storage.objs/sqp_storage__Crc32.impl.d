@@ -1,0 +1,1 @@
+lib/storage/crc32.ml: Array Bytes Char Lazy String

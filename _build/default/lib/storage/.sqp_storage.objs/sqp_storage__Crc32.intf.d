@@ -1,0 +1,1 @@
+lib/storage/crc32.mli:

@@ -1,0 +1,1 @@
+lib/storage/faulty_io.ml: Bytes Char Float Int64 List Printf Sqp_obs Storage_error Unix

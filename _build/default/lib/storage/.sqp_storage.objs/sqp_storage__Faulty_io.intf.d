@@ -1,0 +1,1 @@
+lib/storage/faulty_io.mli: Unix

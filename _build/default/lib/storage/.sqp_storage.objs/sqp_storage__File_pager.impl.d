@@ -1,1 +1,1 @@
-lib/storage/file_pager.ml: Bytes Hashtbl Int32 Int64 Printf Stats Unix
+lib/storage/file_pager.ml: Bytes Crc32 Faulty_io Hashtbl Int Int32 Int64 Journal List Printf Sqp_obs Stats Storage_error Unix

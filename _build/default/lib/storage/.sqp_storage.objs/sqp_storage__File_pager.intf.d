@@ -1,1 +1,1 @@
-lib/storage/file_pager.mli: Pager Stats
+lib/storage/file_pager.mli: Faulty_io Pager Stats

@@ -1,0 +1,1 @@
+lib/storage/fsck.ml: Buffer Bytes Faulty_io File_pager Fun Hashtbl Journal List Printf Storage_error Unix

@@ -1,0 +1,1 @@
+lib/storage/fsck.mli: Faulty_io Journal

@@ -1,0 +1,1 @@
+lib/storage/journal.ml: Bytes Crc32 Faulty_io Fun Int32 Int64 List Printf Sqp_obs Sys Unix

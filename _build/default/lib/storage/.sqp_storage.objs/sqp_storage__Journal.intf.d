@@ -1,0 +1,1 @@
+lib/storage/journal.mli: Faulty_io

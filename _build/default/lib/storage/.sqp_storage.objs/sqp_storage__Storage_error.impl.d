@@ -1,0 +1,1 @@
+lib/storage/storage_error.ml: Printf Unix

@@ -1,0 +1,26 @@
+(** CRC-32 (IEEE 802.3, the zlib polynomial) over byte ranges.
+
+    The storage layer stamps every page and journal record with a
+    checksum so that torn writes, truncation and bit rot are {e detected}
+    at read time instead of silently decoding as garbage.  Values are
+    returned as non-negative OCaml [int]s holding the unsigned 32-bit
+    checksum. *)
+
+type state
+(** A running checksum (fold bytes in with {!update}). *)
+
+val init : state
+(** The empty-message state. *)
+
+val update : state -> bytes -> pos:int -> len:int -> state
+(** Fold [len] bytes of [buf] starting at [pos] into the state.
+    @raise Invalid_argument if the range is out of bounds. *)
+
+val finish : state -> int
+(** The checksum of everything folded in so far, in [0, 2^32). *)
+
+val bytes_crc : bytes -> pos:int -> len:int -> int
+(** One-shot [finish (update init buf ~pos ~len)]. *)
+
+val string_crc : string -> int
+(** One-shot checksum of a whole string. *)

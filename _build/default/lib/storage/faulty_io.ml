@@ -1,0 +1,241 @@
+exception Crashed
+
+(* Mirror retry events into the ambient metrics registry; one branch
+   when observability is off (same pattern as Pager). *)
+let obs_incr name =
+  if Sqp_obs.Trace.global_enabled () then
+    Sqp_obs.Metrics.incr (Sqp_obs.Metrics.counter (Sqp_obs.Metrics.global ()) name)
+
+(* SplitMix64: a tiny deterministic PRNG so fault plans are a pure
+   function of their seed, with no dependency on [Random]'s state. *)
+type seeded_state = {
+  mutable s : int64;
+  p_eintr : float;
+  p_short : float;
+  p_eio : float;
+  p_flip : float;
+}
+
+let next_i64 r =
+  r.s <- Int64.add r.s 0x9E3779B97F4A7C15L;
+  let z = r.s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let unit_float r =
+  Int64.to_float (Int64.shift_right_logical (next_i64 r) 11) /. 9007199254740992.0
+
+let rand_int r n = Int64.to_int (Int64.rem (Int64.shift_right_logical (next_i64 r) 1) (Int64.of_int n))
+
+let chance r p = p > 0.0 && unit_float r < p
+
+type injector =
+  | Passthrough
+  | Counting of { mutable ops : int }
+  | Crash of { op : int; torn : int option; mutable ops : int; mutable dead : bool }
+  | Seeded of seeded_state
+  | Enospc of { mutable budget : int }
+
+let none = Passthrough
+
+let counting () = Counting { ops = 0 }
+
+let crash_at ?torn op =
+  if op < 0 then invalid_arg "Faulty_io.crash_at: negative operation index";
+  Crash { op; torn; ops = 0; dead = false }
+
+let seeded ?(p_eintr = 0.0) ?(p_short = 0.0) ?(p_eio = 0.0) ?(p_flip = 0.0) ~seed () =
+  Seeded { s = Int64.of_int seed; p_eintr; p_short; p_eio; p_flip }
+
+let enospc_after budget = Enospc { budget }
+
+let op_count = function
+  | Counting c -> c.ops
+  | Crash c -> c.ops
+  | Passthrough | Seeded _ | Enospc _ -> 0
+
+let check_alive = function
+  | Crash c when c.dead -> raise Crashed
+  | _ -> ()
+
+(* One logical mutating operation: the crash plan's unit of time.
+   [tear] persists a prefix of the in-flight write before the kill. *)
+let gate injector ~tear =
+  match injector with
+  | Counting c -> c.ops <- c.ops + 1
+  | Crash c ->
+      if c.dead then raise Crashed;
+      let k = c.ops in
+      c.ops <- k + 1;
+      if k = c.op then begin
+        c.dead <- true;
+        (match c.torn with Some n -> tear n | None -> ());
+        raise Crashed
+      end
+  | Passthrough | Seeded _ | Enospc _ -> ()
+
+type t = {
+  fd : Unix.file_descr;
+  fpath : string;
+  injector : injector;
+  mutable closed : bool;
+}
+
+let openfile injector path flags perm =
+  check_alive injector;
+  (* Opening with O_TRUNC destroys existing contents, so it is a
+     mutating operation the crash plan can kill before. *)
+  if List.mem Unix.O_TRUNC flags then gate injector ~tear:(fun _ -> ());
+  { fd = Unix.openfile path flags perm; fpath = path; injector; closed = false }
+
+let path t = t.fpath
+
+let injector_of t = t.injector
+
+let check_open t =
+  if t.closed then invalid_arg "Faulty_io: handle is closed";
+  check_alive t.injector
+
+let file_size t =
+  check_open t;
+  (Unix.fstat t.fd).Unix.st_size
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Raw syscalls, perturbed by the plan. *)
+
+let raw_read t buf pos len =
+  check_alive t.injector;
+  match t.injector with
+  | Seeded r ->
+      if chance r r.p_eintr then raise (Unix.Unix_error (Unix.EINTR, "read", t.fpath));
+      if chance r r.p_eio then raise (Unix.Unix_error (Unix.EIO, "read", t.fpath));
+      let len = if len > 1 && chance r r.p_short then 1 + rand_int r (len - 1) else len in
+      let n = Unix.read t.fd buf pos len in
+      if n > 0 && chance r r.p_flip then begin
+        let bit = rand_int r (n * 8) in
+        let byte = pos + (bit / 8) in
+        Bytes.set buf byte (Char.chr (Char.code (Bytes.get buf byte) lxor (1 lsl (bit mod 8))))
+      end;
+      n
+  | _ -> Unix.read t.fd buf pos len
+
+let raw_write t buf pos len =
+  check_alive t.injector;
+  match t.injector with
+  | Seeded r ->
+      if chance r r.p_eintr then raise (Unix.Unix_error (Unix.EINTR, "write", t.fpath));
+      if chance r r.p_eio then raise (Unix.Unix_error (Unix.EIO, "write", t.fpath));
+      let len = if len > 1 && chance r r.p_short then 1 + rand_int r (len - 1) else len in
+      Unix.write t.fd buf pos len
+  | Enospc e ->
+      if e.budget < len then raise (Unix.Unix_error (Unix.ENOSPC, "write", t.fpath));
+      let n = Unix.write t.fd buf pos len in
+      e.budget <- e.budget - n;
+      n
+  | _ -> Unix.write t.fd buf pos len
+
+let raw_fsync t =
+  check_alive t.injector;
+  match t.injector with
+  | Seeded r ->
+      if chance r r.p_eintr then raise (Unix.Unix_error (Unix.EINTR, "fsync", t.fpath));
+      if chance r r.p_eio then raise (Unix.Unix_error (Unix.EIO, "fsync", t.fpath));
+      Unix.fsync t.fd
+  | _ -> Unix.fsync t.fd
+
+(* Retry policy: EINTR retries immediately and does not count as an
+   attempt; transient EIO backs off exponentially up to [max_attempts];
+   anything else (ENOSPC, EBADF, ...) is fatal at once. *)
+
+let max_attempts = 6
+
+let backoff attempt = Float.min 0.01 (0.0005 *. Float.pow 2.0 (float_of_int attempt))
+
+let seek t offset = ignore (Unix.lseek t.fd offset Unix.SEEK_SET)
+
+let read_fully t ~offset ~len =
+  check_open t;
+  seek t offset;
+  let buf = Bytes.create len in
+  let rec go off attempt =
+    if off < len then
+      match raw_read t buf off (len - off) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          obs_incr "file_pager.io.eintr_retries";
+          go off attempt
+      | exception Unix.Unix_error (Unix.EIO, _, _) when attempt + 1 < max_attempts ->
+          obs_incr "file_pager.io.transient_retries";
+          Unix.sleepf (backoff attempt);
+          go off (attempt + 1)
+      | exception Unix.Unix_error (e, _, _) ->
+          Storage_error.io_error ~path:t.fpath ~op:"read" ~attempts:(attempt + 1) e
+      | 0 ->
+          Storage_error.corrupt ~path:t.fpath
+            (Printf.sprintf "unexpected end of file at offset %d (wanted %d more bytes)"
+               (offset + off) (len - off))
+      | n -> go (off + n) attempt
+  in
+  go 0 0;
+  buf
+
+let write_fully t ~offset buf =
+  check_open t;
+  let len = Bytes.length buf in
+  gate t.injector ~tear:(fun n ->
+      let n = min (max n 0) len in
+      seek t offset;
+      let rec go off =
+        if off < n then go (off + Unix.write t.fd buf off (n - off))
+      in
+      go 0);
+  seek t offset;
+  let rec go off attempt =
+    if off < len then
+      match raw_write t buf off (len - off) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          obs_incr "file_pager.io.eintr_retries";
+          go off attempt
+      | exception Unix.Unix_error (Unix.EIO, _, _) when attempt + 1 < max_attempts ->
+          obs_incr "file_pager.io.transient_retries";
+          Unix.sleepf (backoff attempt);
+          go off (attempt + 1)
+      | exception Unix.Unix_error (e, _, _) ->
+          Storage_error.io_error ~path:t.fpath ~op:"write" ~attempts:(attempt + 1) e
+      | 0 -> Storage_error.io_error ~path:t.fpath ~op:"write" ~attempts:(attempt + 1) Unix.EIO
+      | n -> go (off + n) attempt
+  in
+  go 0 0
+
+let fsync t =
+  check_open t;
+  gate t.injector ~tear:(fun _ -> ());
+  let rec go attempt =
+    match raw_fsync t with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        obs_incr "file_pager.io.eintr_retries";
+        go attempt
+    | exception Unix.Unix_error (Unix.EIO, _, _) when attempt + 1 < max_attempts ->
+        obs_incr "file_pager.io.transient_retries";
+        Unix.sleepf (backoff attempt);
+        go (attempt + 1)
+    | exception Unix.Unix_error (e, _, _) ->
+        Storage_error.io_error ~path:t.fpath ~op:"fsync" ~attempts:(attempt + 1) e
+    | () -> ()
+  in
+  go 0
+
+let unlink injector path =
+  check_alive injector;
+  gate injector ~tear:(fun _ -> ());
+  Unix.unlink path
+
+let rename injector ~src ~dst =
+  check_alive injector;
+  gate injector ~tear:(fun _ -> ());
+  Unix.rename src dst

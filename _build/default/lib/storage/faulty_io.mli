@@ -1,0 +1,106 @@
+(** Syscall shim with deterministic fault injection.
+
+    Every byte the persistent storage layer moves goes through this
+    module, so a single {e injector} can perturb the whole I/O surface
+    of a store (data file and journal alike) without touching the pager
+    logic: short reads and writes, [EINTR], transient [EIO], [ENOSPC],
+    bit rot on read, and torn-write-then-crash fail-stop kills.  Plans
+    are deterministic — the seeded plan is a pure function of its seed,
+    and the crash plan counts {e logical} mutating operations (each
+    [write_fully], [fsync], [unlink], [rename] and truncating open is
+    one operation
+    regardless of how many syscalls the retry loop makes) — so any
+    failing schedule can be replayed exactly from the seed or operation
+    index printed in the failure message.
+
+    {!read_fully} and {!write_fully} are the recovery side of the
+    contract: they loop over partial transfers, retry [EINTR]
+    immediately and transient [EIO] with bounded exponential backoff
+    (counted in the ambient {!Sqp_obs.Metrics} registry when tracing is
+    on), and raise {!Storage_error.Io_error} when retries are exhausted
+    or the error is not retryable.
+
+    Honesty note on the crash model: a simulated kill stops the world at
+    an operation boundary (optionally tearing the in-flight write), but
+    writes completed {e before} the kill are never dropped — the shim
+    does not model reordering or loss of unsynced page-cache data.
+    [fsync] still matters: it is a counted crash point, so the torture
+    test exercises kills on both sides of every barrier. *)
+
+exception Crashed
+(** The simulated process kill.  The file is left exactly as written so
+    far; the handle behaves as dead (every further operation re-raises). *)
+
+(** {1 Injectors (fault plans)} *)
+
+type injector
+
+val none : injector
+(** Plain passthrough to [Unix]. *)
+
+val counting : unit -> injector
+(** Passthrough that counts logical mutating operations — run a workload
+    under it once to learn the crash points, then enumerate them with
+    {!crash_at}. *)
+
+val crash_at : ?torn:int -> int -> injector
+(** [crash_at ~torn k]: fail-stop before completing the [k]-th (0-based)
+    logical mutating operation.  If the operation is a write and [torn]
+    is given, its first [torn] bytes are persisted first — a torn page.
+    Operations after the kill raise {!Crashed}. *)
+
+val seeded :
+  ?p_eintr:float ->
+  ?p_short:float ->
+  ?p_eio:float ->
+  ?p_flip:float ->
+  seed:int ->
+  unit ->
+  injector
+(** A deterministic random plan: each syscall independently suffers
+    [EINTR] (probability [p_eintr]), transient [EIO] ([p_eio]) or a
+    short transfer ([p_short]); each successful read has one bit flipped
+    with probability [p_flip] (bit rot — detected later by checksums,
+    not by the shim).  All probabilities default to 0. *)
+
+val enospc_after : int -> injector
+(** Writes succeed until [n] bytes have been written, then raise
+    [ENOSPC] (which the retry loop treats as fatal). *)
+
+val op_count : injector -> int
+(** Logical mutating operations seen so far (0 for plans that do not
+    count). *)
+
+(** {1 File handles} *)
+
+type t
+
+val openfile : injector -> string -> Unix.open_flag list -> int -> t
+(** An open with [O_TRUNC] destroys existing contents, so it counts as a
+    logical mutating operation (a crash point) like the writes do. *)
+
+val path : t -> string
+
+val injector_of : t -> injector
+
+val file_size : t -> int
+
+val read_fully : t -> offset:int -> len:int -> bytes
+(** Read exactly [len] bytes at [offset], retrying as described above.
+    @raise Storage_error.Corrupt on end of file before [len] bytes.
+    @raise Storage_error.Io_error when retries are exhausted. *)
+
+val write_fully : t -> offset:int -> bytes -> unit
+(** Write the whole buffer at [offset], looping on partial writes.
+    @raise Storage_error.Io_error when retries are exhausted. *)
+
+val fsync : t -> unit
+
+val close : t -> unit
+(** Idempotent. *)
+
+(** {1 Path operations} *)
+
+val unlink : injector -> string -> unit
+
+val rename : injector -> src:string -> dst:string -> unit

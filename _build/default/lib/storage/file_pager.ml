@@ -1,14 +1,51 @@
-(* Layout: slot 0 is the header, data pages are slots 1..slot_count-1 at
+(* Format v2 ("SQP2") — checksummed, journaled.
+
+   Layout: slot 0 is the header, data pages are slots 1..slot_count-1 at
    byte offset slot * page_bytes.
 
-   Header: magic "SQP1" | page_bytes:i64 | slot_count:i64 | free_head:i64
-   (-1 = none) | live_count:i64.
+   Header page: magic "SQP2" | page_bytes:i64 | slot_count:i64 |
+   free_head:i64 (-1 = none) | live_count:i64 | crc32:i32 over the
+   preceding 36 bytes.
 
-   Live page: payload_len:i32 (< 0xFFFFFFFF) | payload bytes.
-   Free page: 0xFFFFFFFF:i32 | next_free_slot:i64 (-1 = end of list). *)
+   Live page: payload_len:i32 (< 0xFFFFFFFF) | crc32:i32 | payload;
+   the checksum covers the length field and the payload bytes.
+
+   Free page: 0xFFFFFFFF:i32 | crc32:i32 | next_free_slot:i64 (-1 = end
+   of list); the checksum covers the marker and the next pointer.
+
+   All mutations are journaled: a batch (explicit, or implicit around a
+   single alloc/write/free) buffers full page images in memory, then
+   commit writes header + dirty pages to the side journal (fsync), applies
+   them in place (fsync), and unlinks the journal — so a crash at any
+   byte boundary leaves either the pre-batch or the post-batch state,
+   and [open_existing] replays or discards whatever journal it finds. *)
+
+let magic = "SQP2"
+
+let free_marker = 0xFFFFFFFF
+
+let header_size = 4 + (8 * 4) + 4
+
+let page_header_bytes = 8
+
+let min_page_bytes = 48
+
+let obs_incr name =
+  if Sqp_obs.Trace.global_enabled () then
+    Sqp_obs.Metrics.incr (Sqp_obs.Metrics.counter (Sqp_obs.Metrics.global ()) name)
+
+type batch = {
+  images : (int, bytes) Hashtbl.t; (* slot -> full page image, pending *)
+  saved_slot_count : int;
+  saved_free_head : int;
+  saved_live : int;
+  saved_live_set : (int, unit) Hashtbl.t;
+}
 
 type t = {
-  fd : Unix.file_descr;
+  io : Faulty_io.t;
+  injector : Faulty_io.injector;
+  path : string;
   page_bytes : int;
   stats : Stats.t;
   mutable slot_count : int; (* including the header slot *)
@@ -16,100 +53,12 @@ type t = {
   mutable live : int;
   live_set : (int, unit) Hashtbl.t;
   mutable closed : bool;
+  mutable batch : batch option;
 }
-
-let magic = "SQP1"
-
-let free_marker = 0xFFFFFFFF
-
-let header_bytes = 4 + (8 * 4)
 
 let check_open t = if t.closed then invalid_arg "File_pager: store is closed"
 
-let pwrite t ~offset buf =
-  ignore (Unix.lseek t.fd offset Unix.SEEK_SET);
-  let n = Unix.write t.fd buf 0 (Bytes.length buf) in
-  if n <> Bytes.length buf then failwith "File_pager: short write"
-
-let pread t ~offset len =
-  ignore (Unix.lseek t.fd offset Unix.SEEK_SET);
-  let buf = Bytes.create len in
-  let rec go off =
-    if off < len then begin
-      let n = Unix.read t.fd buf off (len - off) in
-      if n = 0 then failwith "File_pager: short read";
-      go (off + n)
-    end
-  in
-  go 0;
-  buf
-
-let write_header t =
-  let buf = Bytes.make t.page_bytes '\000' in
-  Bytes.blit_string magic 0 buf 0 4;
-  Bytes.set_int64_be buf 4 (Int64.of_int t.page_bytes);
-  Bytes.set_int64_be buf 12 (Int64.of_int t.slot_count);
-  Bytes.set_int64_be buf 20 (Int64.of_int t.free_head);
-  Bytes.set_int64_be buf 28 (Int64.of_int t.live);
-  pwrite t ~offset:0 buf
-
-let create ~path ~page_bytes =
-  if page_bytes < 16 then invalid_arg "File_pager.create: page_bytes < 16";
-  if page_bytes < header_bytes then invalid_arg "File_pager.create: page too small for header";
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  let t =
-    {
-      fd;
-      page_bytes;
-      stats = Stats.create ();
-      slot_count = 1;
-      free_head = -1;
-      live = 0;
-      live_set = Hashtbl.create 64;
-      closed = false;
-    }
-  in
-  write_header t;
-  t
-
-let open_existing ~path =
-  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
-  let head = Bytes.create header_bytes in
-  let rec fill off =
-    if off < header_bytes then begin
-      let n = Unix.read fd head off (header_bytes - off) in
-      if n = 0 then failwith "File_pager.open_existing: truncated header";
-      fill (off + n)
-    end
-  in
-  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
-  fill 0;
-  if Bytes.sub_string head 0 4 <> magic then
-    failwith "File_pager.open_existing: bad magic";
-  let geti off = Int64.to_int (Bytes.get_int64_be head off) in
-  let t =
-    {
-      fd;
-      page_bytes = geti 4;
-      stats = Stats.create ();
-      slot_count = geti 12;
-      free_head = geti 20;
-      live = geti 28;
-      live_set = Hashtbl.create 64;
-      closed = false;
-    }
-  in
-  if t.page_bytes < header_bytes || t.slot_count < 1 then
-    failwith "File_pager.open_existing: corrupt header";
-  (* Rebuild the live-slot set from the page markers. *)
-  for slot = 1 to t.slot_count - 1 do
-    let first4 = pread t ~offset:(slot * t.page_bytes) 4 in
-    let marker = Int32.to_int (Bytes.get_int32_be first4 0) land 0xFFFFFFFF in
-    if marker <> free_marker then Hashtbl.replace t.live_set slot ()
-  done;
-  if Hashtbl.length t.live_set <> t.live then
-    failwith "File_pager.open_existing: live count mismatch";
-  t
+let path t = t.path
 
 let page_bytes t = t.page_bytes
 
@@ -117,86 +66,387 @@ let page_count t = t.live
 
 let stats t = t.stats
 
-let payload_capacity t = t.page_bytes - 4
+let payload_capacity t = t.page_bytes - page_header_bytes
 
-let encode_page t payload =
-  if Bytes.length payload > payload_capacity t then
+(* {2 Page codecs} *)
+
+let classify_page ~page_bytes img =
+  let marker = Int32.to_int (Bytes.get_int32_be img 0) land 0xFFFFFFFF in
+  let stored = Int32.to_int (Bytes.get_int32_be img 4) land 0xFFFFFFFF in
+  if marker = free_marker then begin
+    let computed =
+      Crc32.(finish (update (update init img ~pos:0 ~len:4) img ~pos:8 ~len:8))
+    in
+    if stored <> computed then
+      `Bad
+        (Printf.sprintf "free-page checksum mismatch (stored %08x, computed %08x)" stored
+           computed)
+    else `Free (Int64.to_int (Bytes.get_int64_be img 8))
+  end
+  else if marker > page_bytes - page_header_bytes then
+    `Bad
+      (Printf.sprintf "implausible payload length %d (capacity %d)" marker
+         (page_bytes - page_header_bytes))
+  else begin
+    let computed =
+      Crc32.(finish (update (update init img ~pos:0 ~len:4) img ~pos:8 ~len:marker))
+    in
+    if stored <> computed then
+      `Bad
+        (Printf.sprintf "page checksum mismatch (stored %08x, computed %08x)" stored
+           computed)
+    else `Live marker
+  end
+
+let encode_live t payload =
+  let len = Bytes.length payload in
+  if len > payload_capacity t then
     invalid_arg "File_pager: payload exceeds page capacity";
   let buf = Bytes.make t.page_bytes '\000' in
-  Bytes.set_int32_be buf 0 (Int32.of_int (Bytes.length payload));
-  Bytes.blit payload 0 buf 4 (Bytes.length payload);
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit payload 0 buf page_header_bytes len;
+  let crc = Crc32.(finish (update (update init buf ~pos:0 ~len:4) buf ~pos:8 ~len)) in
+  Bytes.set_int32_be buf 4 (Int32.of_int crc);
   buf
 
-let alloc t payload =
+let encode_free t next =
+  let buf = Bytes.make t.page_bytes '\000' in
+  Bytes.set_int32_be buf 0 (Int32.of_int free_marker);
+  Bytes.set_int64_be buf 8 (Int64.of_int next);
+  let crc = Crc32.(finish (update (update init buf ~pos:0 ~len:4) buf ~pos:8 ~len:8)) in
+  Bytes.set_int32_be buf 4 (Int32.of_int crc);
+  buf
+
+let header_image t =
+  let buf = Bytes.make t.page_bytes '\000' in
+  Bytes.blit_string magic 0 buf 0 4;
+  Bytes.set_int64_be buf 4 (Int64.of_int t.page_bytes);
+  Bytes.set_int64_be buf 12 (Int64.of_int t.slot_count);
+  Bytes.set_int64_be buf 20 (Int64.of_int t.free_head);
+  Bytes.set_int64_be buf 28 (Int64.of_int t.live);
+  Bytes.set_int32_be buf 36 (Int32.of_int (Crc32.bytes_crc buf ~pos:0 ~len:36));
+  buf
+
+let decode_header ~path head =
+  if Bytes.length head < header_size then
+    Storage_error.corrupt ~path "file too short for a store header";
+  let m = Bytes.sub_string head 0 4 in
+  if m <> magic then
+    if m = "SQP1" then
+      Storage_error.corrupt ~path
+        "format version 1 store (no checksums); re-save it with the current tools"
+    else Storage_error.corrupt ~path "bad magic";
+  let stored = Int32.to_int (Bytes.get_int32_be head 36) land 0xFFFFFFFF in
+  let computed = Crc32.bytes_crc head ~pos:0 ~len:36 in
+  if stored <> computed then
+    Storage_error.corrupt ~path
+      (Printf.sprintf "header checksum mismatch (stored %08x, computed %08x)" stored
+         computed);
+  let geti off = Int64.to_int (Bytes.get_int64_be head off) in
+  let page_bytes = geti 4
+  and slot_count = geti 12
+  and free_head = geti 20
+  and live = geti 28 in
+  if page_bytes < min_page_bytes then
+    Storage_error.corrupt ~path (Printf.sprintf "implausible page size %d" page_bytes);
+  if slot_count < 1 then
+    Storage_error.corrupt ~path (Printf.sprintf "implausible slot count %d" slot_count);
+  if free_head < -1 || free_head = 0 || free_head >= slot_count then
+    Storage_error.corrupt ~path (Printf.sprintf "free head %d out of range" free_head);
+  if live < 0 || live > slot_count - 1 then
+    Storage_error.corrupt ~path
+      (Printf.sprintf "live count %d out of range for %d slots" live slot_count);
+  (page_bytes, slot_count, free_head, live)
+
+(* The current image of a slot: pending batch image if dirty, else disk. *)
+let page_image t slot =
+  match t.batch with
+  | Some b when Hashtbl.mem b.images slot -> Hashtbl.find b.images slot
+  | _ -> Faulty_io.read_fully t.io ~offset:(slot * t.page_bytes) ~len:t.page_bytes
+
+let decode_live t slot img =
+  match classify_page ~page_bytes:t.page_bytes img with
+  | `Live len -> Bytes.sub img page_header_bytes len
+  | `Free _ ->
+      Storage_error.corrupt ~path:t.path ~slot "page is marked free but recorded live"
+  | `Bad why ->
+      obs_incr "file_pager.read.crc_failures";
+      Storage_error.corrupt ~path:t.path ~slot why
+
+let free_next t slot img =
+  match classify_page ~page_bytes:t.page_bytes img with
+  | `Free next ->
+      if next < -1 || next = 0 || next >= t.slot_count then
+        Storage_error.corrupt ~path:t.path ~slot
+          (Printf.sprintf "free-list next pointer %d out of range" next);
+      next
+  | `Live _ ->
+      Storage_error.corrupt ~path:t.path ~slot "free-list head is a live page"
+  | `Bad why ->
+      obs_incr "file_pager.read.crc_failures";
+      Storage_error.corrupt ~path:t.path ~slot why
+
+(* {2 Batches (atomic commit)} *)
+
+let begin_batch t =
   check_open t;
-  let buf = encode_page t payload in
-  let slot =
-    if t.free_head >= 0 then begin
-      let slot = t.free_head in
-      let page = pread t ~offset:(slot * t.page_bytes) 12 in
-      t.free_head <- Int64.to_int (Bytes.get_int64_be page 4);
-      slot
-    end
-    else begin
-      let slot = t.slot_count in
-      t.slot_count <- slot + 1;
-      slot
-    end
-  in
-  pwrite t ~offset:(slot * t.page_bytes) buf;
-  Hashtbl.replace t.live_set slot ();
-  t.live <- t.live + 1;
-  t.stats.allocations <- t.stats.allocations + 1;
-  t.stats.physical_writes <- t.stats.physical_writes + 1;
-  slot
+  if t.batch <> None then invalid_arg "File_pager.begin_batch: batch already open";
+  t.batch <-
+    Some
+      {
+        images = Hashtbl.create 16;
+        saved_slot_count = t.slot_count;
+        saved_free_head = t.free_head;
+        saved_live = t.live;
+        saved_live_set = Hashtbl.copy t.live_set;
+      }
+
+let in_batch t = t.batch <> None
+
+let abort_batch t =
+  check_open t;
+  match t.batch with
+  | None -> invalid_arg "File_pager.abort_batch: no open batch"
+  | Some b ->
+      t.slot_count <- b.saved_slot_count;
+      t.free_head <- b.saved_free_head;
+      t.live <- b.saved_live;
+      Hashtbl.reset t.live_set;
+      Hashtbl.iter (fun k () -> Hashtbl.replace t.live_set k ()) b.saved_live_set;
+      t.batch <- None
+
+let commit_batch t =
+  check_open t;
+  match t.batch with
+  | None -> invalid_arg "File_pager.commit_batch: no open batch"
+  | Some b ->
+      if Hashtbl.length b.images = 0 then t.batch <- None
+      else begin
+        match
+          let records =
+            (0, header_image t)
+            :: (Hashtbl.fold (fun slot img acc -> (slot, img) :: acc) b.images []
+               |> List.sort (fun (a, _) (b, _) -> Int.compare a b))
+          in
+          Journal.write ~injector:t.injector ~store_path:t.path
+            ~page_bytes:t.page_bytes records;
+          List.iter
+            (fun (slot, img) ->
+              Faulty_io.write_fully t.io ~offset:(slot * t.page_bytes) img)
+            records;
+          Faulty_io.fsync t.io;
+          Journal.clear ~injector:t.injector ~store_path:t.path;
+          obs_incr "journal.commits"
+        with
+        | () -> t.batch <- None
+        | exception e ->
+            (* Mid-commit the on-disk state is ambiguous (the journal
+               decides); poison the handle so the caller must reopen —
+               which runs recovery — before touching the store again. *)
+            t.batch <- None;
+            t.closed <- true;
+            Faulty_io.close t.io;
+            raise e
+      end
+
+(* Run [f] inside the caller's batch, or as an implicit batch of one. *)
+let autocommit t f =
+  match t.batch with
+  | Some _ -> f ()
+  | None -> (
+      begin_batch t;
+      match f () with
+      | v ->
+          commit_batch t;
+          v
+      | exception e ->
+          abort_batch t;
+          raise e)
+
+let batch_put t slot img =
+  match t.batch with
+  | Some b -> Hashtbl.replace b.images slot img
+  | None -> assert false (* mutations always run under [autocommit] *)
+
+(* {2 Lifecycle} *)
+
+let create ?(io = Faulty_io.none) ~page_bytes path =
+  if page_bytes < min_page_bytes then
+    invalid_arg
+      (Printf.sprintf "File_pager.create: page_bytes must be at least %d" min_page_bytes);
+  let h = Faulty_io.openfile io path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  match
+    (* A stale journal from a previous store at this path must not
+       outlive the truncation, or the next open would replay it. *)
+    Journal.clear ~injector:io ~store_path:path;
+    let t =
+      {
+        io = h;
+        injector = io;
+        path;
+        page_bytes;
+        stats = Stats.create ();
+        slot_count = 1;
+        free_head = -1;
+        live = 0;
+        live_set = Hashtbl.create 64;
+        closed = false;
+        batch = None;
+      }
+    in
+    Faulty_io.write_fully h ~offset:0 (header_image t);
+    Faulty_io.fsync h;
+    t
+  with
+  | t -> t
+  | exception e ->
+      Faulty_io.close h;
+      raise e
+
+let open_existing ?(io = Faulty_io.none) path =
+  (match Journal.recover ~injector:io ~store_path:path with
+  | `Absent | `Replayed _ | `Discarded _ -> ());
+  let h = Faulty_io.openfile io path [ Unix.O_RDWR ] 0o644 in
+  match
+    let size = Faulty_io.file_size h in
+    if size < header_size then
+      Storage_error.corrupt ~path
+        (Printf.sprintf "file too short for a store header (%d bytes)" size);
+    let page_bytes, slot_count, free_head, live =
+      decode_header ~path (Faulty_io.read_fully h ~offset:0 ~len:header_size)
+    in
+    if size < slot_count * page_bytes then
+      Storage_error.corrupt ~path
+        (Printf.sprintf "file truncated: %d bytes, but the header describes %d slots of %d bytes"
+           size slot_count page_bytes);
+    let t =
+      {
+        io = h;
+        injector = io;
+        path;
+        page_bytes;
+        stats = Stats.create ();
+        slot_count;
+        free_head;
+        live;
+        live_set = Hashtbl.create 64;
+        closed = false;
+        batch = None;
+      }
+    in
+    (* Rebuild the live set, verifying every page's checksum. *)
+    let free_tbl = Hashtbl.create 16 in
+    for slot = 1 to slot_count - 1 do
+      let img = Faulty_io.read_fully h ~offset:(slot * page_bytes) ~len:page_bytes in
+      match classify_page ~page_bytes img with
+      | `Live _ -> Hashtbl.replace t.live_set slot ()
+      | `Free next -> Hashtbl.replace free_tbl slot next
+      | `Bad why ->
+          obs_incr "file_pager.read.crc_failures";
+          Storage_error.corrupt ~path ~slot why
+    done;
+    (* Walk the free list: every marked-free page reachable exactly once. *)
+    let visited = Hashtbl.create 16 in
+    let rec walk cur n =
+      if cur = -1 then n
+      else if cur < 1 || cur >= slot_count then
+        Storage_error.corrupt ~path ~slot:cur "free-list pointer out of range"
+      else if Hashtbl.mem visited cur then
+        Storage_error.corrupt ~path ~slot:cur "free-list cycle"
+      else
+        match Hashtbl.find_opt free_tbl cur with
+        | None ->
+            Storage_error.corrupt ~path ~slot:cur
+              "free list reaches a page not marked free"
+        | Some next ->
+            Hashtbl.replace visited cur ();
+            walk next (n + 1)
+    in
+    let reachable = walk free_head 0 in
+    if reachable <> Hashtbl.length free_tbl then
+      Storage_error.corrupt ~path
+        (Printf.sprintf "free-list mismatch: %d pages marked free, %d reachable"
+           (Hashtbl.length free_tbl) reachable);
+    if Hashtbl.length t.live_set <> live then
+      Storage_error.corrupt ~path
+        (Printf.sprintf "live count mismatch: header says %d, found %d" live
+           (Hashtbl.length t.live_set));
+    t
+  with
+  | t -> t
+  | exception e ->
+      Faulty_io.close h;
+      raise e
+
+(* {2 Page operations} *)
 
 let check_live t slot =
   if not (Hashtbl.mem t.live_set slot) then
     invalid_arg (Printf.sprintf "File_pager: page %d is not live" slot)
 
+let alloc t payload =
+  check_open t;
+  autocommit t (fun () ->
+      let img = encode_live t payload in
+      let slot =
+        if t.free_head >= 0 then begin
+          let slot = t.free_head in
+          t.free_head <- free_next t slot (page_image t slot);
+          slot
+        end
+        else begin
+          let slot = t.slot_count in
+          t.slot_count <- slot + 1;
+          slot
+        end
+      in
+      batch_put t slot img;
+      Hashtbl.replace t.live_set slot ();
+      t.live <- t.live + 1;
+      t.stats.allocations <- t.stats.allocations + 1;
+      t.stats.physical_writes <- t.stats.physical_writes + 1;
+      slot)
+
 let read t slot =
   check_open t;
   check_live t slot;
-  let buf = pread t ~offset:(slot * t.page_bytes) t.page_bytes in
-  let len = Int32.to_int (Bytes.get_int32_be buf 0) in
+  let payload = decode_live t slot (page_image t slot) in
   t.stats.physical_reads <- t.stats.physical_reads + 1;
-  Bytes.sub buf 4 len
+  payload
 
 let write t slot payload =
   check_open t;
   check_live t slot;
-  pwrite t ~offset:(slot * t.page_bytes) (encode_page t payload);
-  t.stats.physical_writes <- t.stats.physical_writes + 1
+  autocommit t (fun () ->
+      batch_put t slot (encode_live t payload);
+      t.stats.physical_writes <- t.stats.physical_writes + 1)
 
 let free t slot =
   check_open t;
   check_live t slot;
-  let buf = Bytes.make t.page_bytes '\000' in
-  Bytes.set_int32_be buf 0 (Int32.of_int free_marker);
-  Bytes.set_int64_be buf 4 (Int64.of_int t.free_head);
-  pwrite t ~offset:(slot * t.page_bytes) buf;
-  t.free_head <- slot;
-  Hashtbl.remove t.live_set slot;
-  t.live <- t.live - 1;
-  t.stats.frees <- t.stats.frees + 1
+  autocommit t (fun () ->
+      batch_put t slot (encode_free t t.free_head);
+      t.free_head <- slot;
+      Hashtbl.remove t.live_set slot;
+      t.live <- t.live - 1;
+      t.stats.frees <- t.stats.frees + 1)
 
 let iter t f =
   check_open t;
   for slot = 1 to t.slot_count - 1 do
-    if Hashtbl.mem t.live_set slot then begin
-      let buf = pread t ~offset:(slot * t.page_bytes) t.page_bytes in
-      let len = Int32.to_int (Bytes.get_int32_be buf 0) in
-      f slot (Bytes.sub buf 4 len)
-    end
+    if Hashtbl.mem t.live_set slot then f slot (decode_live t slot (page_image t slot))
   done
 
 let flush t =
   check_open t;
-  write_header t
+  Faulty_io.fsync t.io
 
 let close t =
   if not t.closed then begin
-    write_header t;
-    Unix.close t.fd;
-    t.closed <- true
+    (match t.batch with Some _ -> commit_batch t | None -> ());
+    (* commit_batch may have poisoned (and closed) the handle already *)
+    if not t.closed then begin
+      t.closed <- true;
+      Faulty_io.close t.io
+    end
   end

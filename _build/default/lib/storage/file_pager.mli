@@ -1,38 +1,93 @@
-(** File-backed page store: fixed-size pages in a single file.
+(** File-backed page store: fixed-size pages in a single file —
+    checksummed, journaled, crash-safe.
 
-    Section 4's integration claim is that z-order processing needs nothing
-    beyond "widely available" file organizations; this module is that
-    plain organization — numbered fixed-size pages with a free list — used
-    by the persistence helpers to dump and reload indexes.  Page contents
-    are raw bytes; callers bring their own encoding.
+    Section 4's integration claim is that z-order processing needs
+    nothing beyond "widely available" file organizations; this module is
+    that plain organization — numbered fixed-size pages with a free list
+    — {e with} the recovery machinery a conventional DBMS file layer
+    actually has.  Every page carries a CRC-32 (the payload header is
+    [len:i32 | crc:i32]) verified on every read and on the open-time
+    scan, and every mutation is an atomic commit: a batch of dirty pages
+    plus the new header is first written to a side journal
+    ([store.journal]) and fsynced, then applied in place, then the
+    journal is unlinked.  A crash at {e any} byte boundary therefore
+    leaves either the pre-batch or the post-batch state; {!open_existing}
+    replays a complete journal and discards a torn one.  Damage that the
+    journal cannot explain (bit rot, truncation, broken free list)
+    raises the typed {!Storage_error.Corrupt} instead of [Failure] —
+    see {!Fsck} for diagnosis and best-effort salvage.
 
-    Not crash-safe (the header is rewritten on {!flush}/{!close}); it
-    models the layout, not recovery. *)
+    All I/O goes through {!Faulty_io}, so an injector passed at
+    {!create}/{!open_existing} can subject the store to short
+    reads/writes, [EINTR], transient [EIO] (transparently retried with
+    bounded exponential backoff), [ENOSPC], torn-write-then-crash kills
+    and bit flips — the crash-torture suite drives exactly this.
+
+    Page contents are raw bytes; callers bring their own encoding. *)
 
 type t
 
-val create : path:string -> page_bytes:int -> t
-(** Create or truncate the file.
-    @raise Invalid_argument if [page_bytes < 16]. *)
+val create : ?io:Faulty_io.injector -> page_bytes:int -> string -> t
+(** Create or truncate the file (and clear any stale journal for it).
+    Destructive and {e not} crash-atomic with respect to a previous
+    store at [path]: to atomically replace a store, create at a
+    temporary path and [rename] over, as [Persist.save] does.
+    @raise Invalid_argument if [page_bytes < ]{!min_page_bytes}. *)
 
-val open_existing : path:string -> t
-(** Re-open a store written by {!create}.
-    @raise Failure on a bad magic number or corrupt header. *)
+val open_existing : ?io:Faulty_io.injector -> string -> t
+(** Re-open a store written by {!create}.  Runs crash recovery first
+    (replay or discard of the side journal), then verifies the header
+    checksum, the bounds of every field, every page checksum, the free
+    list (cycles, dangling pointers, orphans) and the live count.
+    @raise Storage_error.Corrupt if any of that fails.
+    @raise Storage_error.Io_error if the file cannot be read. *)
+
+val path : t -> string
 
 val page_bytes : t -> int
 
 val page_count : t -> int
 (** Allocated (live) pages. *)
 
+val payload_capacity : t -> int
+(** Usable bytes per page: [page_bytes - 8] (length + checksum header). *)
+
 val stats : t -> Stats.t
+
+(** {1 Atomic batches}
+
+    Mutations between {!begin_batch} and {!commit_batch} are buffered in
+    memory (reads see them — read-your-writes) and become durable
+    together, or not at all.  An alloc/write/free outside a batch is an
+    implicit batch of one.  If {!commit_batch} raises (simulated crash,
+    exhausted I/O retries) the handle is poisoned — further operations
+    raise — because only reopening (and hence recovery) can tell which
+    side of the commit the disk landed on. *)
+
+val begin_batch : t -> unit
+(** @raise Invalid_argument if a batch is already open. *)
+
+val commit_batch : t -> unit
+(** Journal, apply and fsync the batch.  An empty batch is a no-op.
+    @raise Invalid_argument if no batch is open. *)
+
+val abort_batch : t -> unit
+(** Drop the buffered batch and roll the in-memory state back; the disk
+    was never touched.
+    @raise Invalid_argument if no batch is open. *)
+
+val in_batch : t -> bool
+
+(** {1 Page operations} *)
 
 val alloc : t -> bytes -> Pager.page_id
 (** Write a new page (reusing a freed slot if any).
-    @raise Invalid_argument if the payload exceeds the page payload
-    capacity ([page_bytes - 4]). *)
+    @raise Invalid_argument if the payload exceeds {!payload_capacity}. *)
 
 val read : t -> Pager.page_id -> bytes
-(** @raise Invalid_argument on a non-live page. *)
+(** Checksum-verified read.
+    @raise Invalid_argument on a non-live page.
+    @raise Storage_error.Corrupt on a checksum or length mismatch. *)
 
 val write : t -> Pager.page_id -> bytes -> unit
 
@@ -42,7 +97,35 @@ val iter : t -> (Pager.page_id -> bytes -> unit) -> unit
 (** All live pages, in id order; does not touch the counters. *)
 
 val flush : t -> unit
-(** Persist the header. *)
+(** [fsync] the store file.  Unlike format v1 there is no deferred
+    header state: every committed batch already persisted the header. *)
 
 val close : t -> unit
-(** Flush and close the file descriptor; the handle becomes unusable. *)
+(** Commit any open batch and close the descriptor; idempotent. *)
+
+(** {1 Format constants and codecs}
+
+    Exposed for {!Fsck}, which parses stores without opening them. *)
+
+val magic : string
+(** ["SQP2"]. *)
+
+val free_marker : int
+
+val header_size : int
+(** Bytes of the header page actually used. *)
+
+val page_header_bytes : int
+
+val min_page_bytes : int
+
+val decode_header : path:string -> bytes -> int * int * int * int
+(** Validate a header page image; [(page_bytes, slot_count, free_head,
+    live)].
+    @raise Storage_error.Corrupt on any inconsistency. *)
+
+val classify_page :
+  page_bytes:int -> bytes -> [ `Live of int | `Free of int | `Bad of string ]
+(** Non-raising page triage: a checksum-valid live page (payload
+    length), a checksum-valid free page (next pointer), or a diagnosis
+    of the damage. *)

@@ -1,0 +1,47 @@
+(** Offline store checking and best-effort salvage ("sqp fsck").
+
+    {!scan} walks a store file read-only — it never recovers the
+    journal, never rewrites a byte — and reports per-page
+    checksum/free-list/header diagnostics, so a damaged store can be
+    examined before deciding what to do.  {!salvage} then rebuilds a
+    fresh store from every page whose checksum still verifies: a
+    degraded open instead of a hard failure, for when the journal cannot
+    help (bit rot, partial truncation). *)
+
+type page_problem = { slot : int; what : string }
+
+type report = {
+  path : string;
+  file_size : int;
+  journal : Journal.status;  (** side journal found next to the store *)
+  header_problem : string option;  (** [None] = header parses and checksums *)
+  page_bytes : int;  (** 0 when the header is unusable *)
+  slot_count : int;  (** per the header, 0 when unusable *)
+  header_live : int;  (** live count the header claims *)
+  live_found : int;  (** checksum-valid live pages seen *)
+  free_found : int;  (** checksum-valid free pages seen *)
+  bad_pages : page_problem list;  (** in slot order *)
+  free_list_problems : string list;
+  trailing_bytes : int;  (** file bytes beyond the last header slot *)
+}
+
+val scan : ?io:Faulty_io.injector -> string -> report
+(** Diagnose the store at [path].  Only raises {!Storage_error.Io_error}
+    (when the file cannot be read at all) — corruption is reported, not
+    raised. *)
+
+val clean : report -> bool
+(** No problems of any kind (a valid journal still pending replay counts
+    as a problem to surface: the store is behind it). *)
+
+val to_text : report -> string
+(** Human-readable multi-line rendering. *)
+
+val salvage : ?io:Faulty_io.injector -> src:string -> dest:string -> unit -> int * int
+(** Rebuild a fresh store at [dest] from every checksum-valid live page
+    of [src], preserving slot order (so e.g. a [Persist] metadata page
+    stays first); [(salvaged, lost)] page counts.  Pending {e valid}
+    journals are NOT applied — salvage preserves what is in the store
+    file itself; run a normal open first if you want recovery.
+    @raise Storage_error.Corrupt if the header is too damaged to
+    determine the page size. *)

@@ -1,0 +1,132 @@
+let journal_magic = "SQPJ"
+
+let commit_magic = "JCMT"
+
+let version = 2
+
+let journal_path path = path ^ ".journal"
+
+let obs_incr name =
+  if Sqp_obs.Trace.global_enabled () then
+    Sqp_obs.Metrics.incr (Sqp_obs.Metrics.counter (Sqp_obs.Metrics.global ()) name)
+
+let header_len = 4 + 4 + 8 + 8
+
+let trailer_len = 4 + 4
+
+let write ~injector ~store_path ~page_bytes records =
+  List.iter
+    (fun (slot, img) ->
+      if slot < 0 then invalid_arg "Journal.write: negative slot";
+      if Bytes.length img <> page_bytes then
+        invalid_arg "Journal.write: image length <> page_bytes")
+    records;
+  let count = List.length records in
+  let total = header_len + (count * (8 + page_bytes)) + trailer_len in
+  let buf = Bytes.create total in
+  Bytes.blit_string journal_magic 0 buf 0 4;
+  Bytes.set_int32_be buf 4 (Int32.of_int version);
+  Bytes.set_int64_be buf 8 (Int64.of_int page_bytes);
+  Bytes.set_int64_be buf 16 (Int64.of_int count);
+  let off = ref header_len in
+  List.iter
+    (fun (slot, img) ->
+      Bytes.set_int64_be buf !off (Int64.of_int slot);
+      Bytes.blit img 0 buf (!off + 8) page_bytes;
+      off := !off + 8 + page_bytes)
+    records;
+  Bytes.blit_string commit_magic 0 buf !off 4;
+  let crc = Crc32.bytes_crc buf ~pos:0 ~len:(!off + 4) in
+  Bytes.set_int32_be buf (!off + 4) (Int32.of_int crc);
+  let h =
+    Faulty_io.openfile injector (journal_path store_path)
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Faulty_io.close h)
+    (fun () ->
+      Faulty_io.write_fully h ~offset:0 buf;
+      Faulty_io.fsync h)
+
+let clear ~injector ~store_path =
+  let jpath = journal_path store_path in
+  if Sys.file_exists jpath then Faulty_io.unlink injector jpath
+
+type status = Absent | Valid of int | Invalid of string
+
+(* Parse and checksum a whole journal image; journals are one batch of
+   pages, so reading them into memory is fine. *)
+let parse buf =
+  let size = Bytes.length buf in
+  if size < header_len + trailer_len then Error "file shorter than a journal header"
+  else if Bytes.sub_string buf 0 4 <> journal_magic then Error "bad journal magic"
+  else if Int32.to_int (Bytes.get_int32_be buf 4) <> version then
+    Error
+      (Printf.sprintf "unsupported journal version %d"
+         (Int32.to_int (Bytes.get_int32_be buf 4)))
+  else begin
+    let page_bytes = Int64.to_int (Bytes.get_int64_be buf 8) in
+    let count = Int64.to_int (Bytes.get_int64_be buf 16) in
+    if page_bytes <= 0 || page_bytes > size then Error "implausible page size"
+    else if count < 0 || count > size then Error "implausible record count"
+    else if size <> header_len + (count * (8 + page_bytes)) + trailer_len then
+      Error
+        (Printf.sprintf "length mismatch: %d bytes for %d records of %d-byte pages" size
+           count page_bytes)
+    else if Bytes.sub_string buf (size - trailer_len) 4 <> commit_magic then
+      Error "commit marker missing"
+    else begin
+      let stored = Int32.to_int (Bytes.get_int32_be buf (size - 4)) land 0xFFFFFFFF in
+      let computed = Crc32.bytes_crc buf ~pos:0 ~len:(size - 4) in
+      if stored <> computed then
+        Error (Printf.sprintf "checksum mismatch (stored %08x, computed %08x)" stored computed)
+      else begin
+        let records = ref [] in
+        for i = count - 1 downto 0 do
+          let off = header_len + (i * (8 + page_bytes)) in
+          let slot = Int64.to_int (Bytes.get_int64_be buf off) in
+          records := (slot, Bytes.sub buf (off + 8) page_bytes) :: !records
+        done;
+        Ok (page_bytes, !records)
+      end
+    end
+  end
+
+let read_all ~injector jpath =
+  let h = Faulty_io.openfile injector jpath [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Faulty_io.close h)
+    (fun () -> Faulty_io.read_fully h ~offset:0 ~len:(Faulty_io.file_size h))
+
+let inspect ~injector ~store_path =
+  let jpath = journal_path store_path in
+  if not (Sys.file_exists jpath) then Absent
+  else
+    match parse (read_all ~injector jpath) with
+    | Ok (_, records) -> Valid (List.length records)
+    | Error why -> Invalid why
+
+let recover ~injector ~store_path =
+  let jpath = journal_path store_path in
+  if not (Sys.file_exists jpath) then `Absent
+  else
+    match parse (read_all ~injector jpath) with
+    | Error why ->
+        Faulty_io.unlink injector jpath;
+        obs_incr "journal.discards";
+        `Discarded why
+    | Ok (page_bytes, records) ->
+        let store =
+          Faulty_io.openfile injector store_path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+        in
+        Fun.protect
+          ~finally:(fun () -> Faulty_io.close store)
+          (fun () ->
+            List.iter
+              (fun (slot, img) ->
+                Faulty_io.write_fully store ~offset:(slot * page_bytes) img)
+              records;
+            Faulty_io.fsync store);
+        Faulty_io.unlink injector jpath;
+        obs_incr "journal.replays";
+        `Replayed (List.length records)

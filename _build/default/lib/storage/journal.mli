@@ -1,0 +1,47 @@
+(** The atomic-commit journal (write-ahead log) of a page store.
+
+    One journal file per store, at [store ^ ".journal"], holding the
+    full page images of one batch (the new header is record slot 0).
+    The commit protocol is: build the whole journal in memory, write it
+    in one logical operation, [fsync] it, apply the images in place,
+    [fsync] the store, then unlink the journal.  The trailing commit
+    marker carries a CRC-32 over every preceding byte, so a journal torn
+    at {e any} byte boundary fails validation and is discarded on
+    recovery — the store then still holds the pre-batch state — while a
+    journal that validates is replayed idempotently (a crash during
+    replay just replays again on the next open).
+
+    Byte layout (all integers big-endian):
+    {v
+    "SQPJ" | version:i32 | page_bytes:i64 | count:i64
+    count x ( slot:i64 | image:page_bytes )
+    "JCMT" | crc32:i32 over all preceding bytes
+    v} *)
+
+val journal_path : string -> string
+(** The journal file of the store at [path]. *)
+
+val write :
+  injector:Faulty_io.injector -> store_path:string -> page_bytes:int ->
+  (int * bytes) list -> unit
+(** Persist one batch ([slot, full page image] pairs) to the journal and
+    [fsync] it.  Every image must be exactly [page_bytes] long.
+    Overwrites any previous journal. *)
+
+val clear : injector:Faulty_io.injector -> store_path:string -> unit
+(** Unlink the journal (a no-op if absent). *)
+
+type status =
+  | Absent
+  | Valid of int  (** records in a complete, checksummed journal *)
+  | Invalid of string  (** why validation failed *)
+
+val inspect : injector:Faulty_io.injector -> store_path:string -> status
+(** Read-only validation (used by fsck); never modifies anything. *)
+
+val recover :
+  injector:Faulty_io.injector -> store_path:string ->
+  [ `Absent | `Replayed of int | `Discarded of string ]
+(** Crash recovery, run before reading the store's header: a valid
+    journal is replayed into the store file (then fsynced and unlinked);
+    an invalid one is unlinked untouched.  Idempotent. *)

@@ -1,0 +1,23 @@
+exception Corrupt of { path : string; slot : int option; what : string }
+
+exception
+  Io_error of { path : string; op : string; error : Unix.error; attempts : int }
+
+let corrupt ~path ?slot what = raise (Corrupt { path; slot; what })
+
+let io_error ~path ~op ~attempts error = raise (Io_error { path; op; error; attempts })
+
+let to_string = function
+  | Corrupt { path; slot; what } ->
+      let where =
+        match slot with
+        | Some s -> Printf.sprintf "%s (page %d)" path s
+        | None -> path
+      in
+      Some (Printf.sprintf "corrupt store %s: %s" where what)
+  | Io_error { path; op; error; attempts } ->
+      Some
+        (Printf.sprintf "I/O error on %s: %s failed with %s after %d attempt%s" path op
+           (Unix.error_message error) attempts
+           (if attempts = 1 then "" else "s"))
+  | _ -> None

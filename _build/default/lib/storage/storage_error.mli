@@ -1,0 +1,28 @@
+(** Typed failures of the persistent storage layer.
+
+    Corruption (checksum mismatches, implausible lengths, broken free
+    lists, truncated files) and unrecoverable I/O errors raise these
+    exceptions instead of assorted [Failure]/[Invalid_argument], so
+    callers can distinguish "the store is damaged — run fsck/salvage"
+    from "the program is being misused". *)
+
+exception Corrupt of { path : string; slot : int option; what : string }
+(** The on-disk bytes are not a valid store: bad magic, checksum
+    mismatch, payload length beyond the page capacity, file shorter
+    than the header says, free-list cycle, live-count mismatch, ...
+    [slot] names the offending page when the damage is localized. *)
+
+exception
+  Io_error of { path : string; op : string; error : Unix.error; attempts : int }
+(** A syscall failed and retrying did not help (or the error is not
+    retryable, e.g. [ENOSPC]).  [attempts] counts the tries made. *)
+
+val corrupt : path:string -> ?slot:int -> string -> 'a
+(** Raise {!Corrupt}. *)
+
+val io_error : path:string -> op:string -> attempts:int -> Unix.error -> 'a
+(** Raise {!Io_error}. *)
+
+val to_string : exn -> string option
+(** A human-readable rendering of the two exceptions above; [None] for
+    anything else. *)

@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Array Bytes Filename Fun List Printf Sqp_btree Sqp_geom Sqp_obs Sqp_storage Sqp_workload Sqp_zorder String Sys

@@ -1,0 +1,1 @@
+test/test_crash.mli:

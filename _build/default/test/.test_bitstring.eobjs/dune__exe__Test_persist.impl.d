@@ -1,1 +1,1 @@
-test/test_persist.ml: Alcotest Array Bytes Filename Fun List Printf Sqp_btree Sqp_geom Sqp_storage Sqp_workload Sqp_zorder Sys
+test/test_persist.ml: Alcotest Array Bytes Filename Fun Int32 Int64 List Printf Sqp_btree Sqp_geom Sqp_storage Sqp_workload Sqp_zorder String Sys Unix

@@ -1,1 +1,1 @@
-test/test_relalg.ml: Alcotest Array List Sqp_geom Sqp_relalg Sqp_workload Sqp_zorder
+test/test_relalg.ml: Alcotest Array Filename Fun List Printf Sqp_geom Sqp_relalg Sqp_workload Sqp_zorder Sys

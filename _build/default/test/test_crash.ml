@@ -1,0 +1,271 @@
+(* Crash-consistency torture for the journaled page store.
+
+   The discipline: run a workload once under a counting injector to
+   learn how many logical mutating operations it performs, then replay
+   it with a fail-stop kill before every single one of them (and again
+   with the in-flight write torn), reopen cleanly, and require the store
+   to hold exactly the pre-batch or the post-batch state — never a
+   mixture.  The same is done at the index level, where "state" means
+   the answers to a fixed battery of range queries, checked against
+   in-memory oracles.  All schedules are deterministic: every failure
+   message echoes the kill point / torn size / seed that reproduces it. *)
+
+module FP = Sqp_storage.File_pager
+module Faulty_io = Sqp_storage.Faulty_io
+module Storage_error = Sqp_storage.Storage_error
+module Journal = Sqp_storage.Journal
+module Zindex = Sqp_btree.Zindex
+module Persist = Sqp_btree.Persist
+module Z = Sqp_zorder
+module W = Sqp_workload
+module Obs = Sqp_obs
+
+let check = Alcotest.(check bool)
+
+let seeds =
+  match Sys.getenv_opt "SQP_CRASH_SEEDS" with
+  | None | Some "" -> [ 1; 7; 42 ]
+  | Some s -> (
+      match String.split_on_char ',' s |> List.filter_map int_of_string_opt with
+      | [] -> [ 1; 7; 42 ]
+      | l -> l)
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("sqp_crash_" ^ name)
+
+let remove p = if Sys.file_exists p then Sys.remove p
+
+let with_store name f =
+  let path = tmp name in
+  let aux path = [ path; path ^ ".tmp"; Journal.journal_path path;
+                   Journal.journal_path (path ^ ".tmp") ] in
+  let clean () = List.iter remove (aux path) in
+  clean ();
+  Fun.protect ~finally:clean (fun () -> f path)
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let n = in_channel_length ic in
+  let buf = really_input_string ic n in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc buf;
+  close_out oc
+
+(* {1 Page-store level} *)
+
+(* Fixed initial state: pages "p1".."p4" in slots 1-4. *)
+let fp_setup path =
+  List.iter remove [ path; Journal.journal_path path ];
+  let s = FP.create ~page_bytes:64 path in
+  for i = 1 to 4 do
+    ignore (FP.alloc s (Bytes.of_string (Printf.sprintf "p%d" i)))
+  done;
+  FP.close s
+
+(* The mutation under test: one explicit batch mixing update, free and
+   two allocations (one into the freed slot, one extending the file). *)
+let fp_mutate io path =
+  let s = FP.open_existing ~io path in
+  FP.begin_batch s;
+  FP.write s 1 (Bytes.of_string "updated-1");
+  FP.free s 2;
+  ignore (FP.alloc s (Bytes.of_string "reused"));
+  ignore (FP.alloc s (Bytes.of_string "extended"));
+  FP.commit_batch s;
+  FP.close s
+
+(* Canonical content of a store: live (slot, payload) pairs in order,
+   read through a clean reopen (which runs recovery first). *)
+let fp_dump path =
+  let s = FP.open_existing path in
+  let out = ref [] in
+  FP.iter s (fun slot payload -> out := (slot, Bytes.to_string payload) :: !out);
+  FP.close s;
+  List.rev !out
+
+let fp_torture () =
+  with_store "fp" (fun path ->
+      fp_setup path;
+      let pre = fp_dump path in
+      let counter = Faulty_io.counting () in
+      fp_mutate counter path;
+      let total = Faulty_io.op_count counter in
+      check "workload has crash points" true (total > 0);
+      let post = fp_dump path in
+      check "workload mutated the store" true (pre <> post);
+      List.iter
+        (fun torn ->
+          for k = 0 to total - 1 do
+            let where =
+              Printf.sprintf "kill at op %d/%d (torn=%s)" k total
+                (match torn with None -> "no" | Some n -> string_of_int n)
+            in
+            fp_setup path;
+            (match fp_mutate (Faulty_io.crash_at ?torn k) path with
+            | () -> Alcotest.failf "%s: expected the workload to die" where
+            | exception Faulty_io.Crashed -> ());
+            let got = fp_dump path in
+            if got <> pre && got <> post then
+              Alcotest.failf "%s: reopened store is a mixed state" where;
+            (* The reopened store must stay fully usable. *)
+            let s = FP.open_existing path in
+            ignore (FP.alloc s (Bytes.of_string "after"));
+            FP.close s
+          done)
+        [ None; Some 1; Some 37 ])
+
+(* {1 Index level, against in-memory oracles} *)
+
+let build_index ~seed n =
+  let space = Z.Space.make ~dims:2 ~depth:8 in
+  let rng = W.Rng.create ~seed in
+  let points = W.Datagen.uniform rng ~side:256 ~n ~dims:2 in
+  Zindex.of_points space (Array.mapi (fun i p -> (p, (i * 7919) + seed)) points)
+
+(* A fixed battery of range queries; an index's "answer" is the full
+   result vector, so two stores agree only if every query agrees. *)
+let battery index =
+  let rng = W.Rng.create ~seed:9 in
+  List.init 15 (fun _ ->
+      let x1 = W.Rng.int rng 256 and x2 = W.Rng.int rng 256 in
+      let y1 = W.Rng.int rng 256 and y2 = W.Rng.int rng 256 in
+      let box =
+        Sqp_geom.Box.make ~lo:[| min x1 x2; min y1 y2 |]
+          ~hi:[| max x1 x2; max y1 y2 |]
+      in
+      fst (Zindex.range_search index box))
+
+let load_battery path =
+  battery (Persist.load ~path ~decode:int_of_string ())
+
+let save ?io path index =
+  ignore (Persist.save ?io ~path ~page_bytes:256 ~encode:string_of_int index)
+
+let persist_torture () =
+  with_store "persist" (fun path ->
+      let v1 = build_index ~seed:123 300 in
+      let v2 = build_index ~seed:77 350 in
+      let bat1 = battery v1 and bat2 = battery v2 in
+      check "oracles differ" true (bat1 <> bat2);
+      (* Golden copy of the v1 store, restored before every schedule. *)
+      let golden = path ^ ".golden" in
+      Fun.protect
+        ~finally:(fun () -> remove golden)
+        (fun () ->
+          save path v1;
+          Alcotest.(check bool) "clean load matches oracle v1" true
+            (load_battery path = bat1);
+          copy_file path golden;
+          let counter = Faulty_io.counting () in
+          save ~io:counter path v2;
+          let total = Faulty_io.op_count counter in
+          check "save has crash points" true (total > 0);
+          check "clean save lands on v2" true (load_battery path = bat2);
+          List.iter
+            (fun torn ->
+              for k = 0 to total - 1 do
+                let where =
+                  Printf.sprintf "kill at op %d/%d (torn=%s)" k total
+                    (match torn with None -> "no" | Some n -> string_of_int n)
+                in
+                List.iter remove
+                  [ path; path ^ ".tmp"; Journal.journal_path path;
+                    Journal.journal_path (path ^ ".tmp") ];
+                copy_file golden path;
+                (match save ~io:(Faulty_io.crash_at ?torn k) path v2 with
+                | () -> Alcotest.failf "%s: expected the save to die" where
+                | exception Faulty_io.Crashed -> ());
+                let got = load_battery path in
+                if got <> bat1 && got <> bat2 then
+                  Alcotest.failf
+                    "%s: recovered index answers match neither version" where
+              done)
+            [ None; Some 1; Some 29 ]))
+
+let double_crash () =
+  with_store "double" (fun path ->
+      let v1 = build_index ~seed:123 300 in
+      let v2 = build_index ~seed:77 350 in
+      let bat1 = battery v1 and bat2 = battery v2 in
+      let golden = path ^ ".golden" in
+      Fun.protect
+        ~finally:(fun () -> remove golden)
+        (fun () ->
+          save path v1;
+          copy_file path golden;
+          let counter = Faulty_io.counting () in
+          save ~io:counter path v2;
+          let total = Faulty_io.op_count counter in
+          (* Crash the save at k1, then crash recovery itself at k2, then
+             recover cleanly: still all-or-nothing. *)
+          for k1 = 0 to total - 1 do
+            for k2 = 0 to 2 do
+              List.iter remove
+                [ path; path ^ ".tmp"; Journal.journal_path path;
+                  Journal.journal_path (path ^ ".tmp") ];
+              copy_file golden path;
+              (match save ~io:(Faulty_io.crash_at ~torn:3 k1) path v2 with
+              | () -> Alcotest.failf "kill at %d: expected the save to die" k1
+              | exception Faulty_io.Crashed -> ());
+              (match
+                 Persist.load ~io:(Faulty_io.crash_at k2) ~path
+                   ~decode:int_of_string ()
+               with
+              | _ -> () (* recovery had fewer than k2 mutating ops *)
+              | exception Faulty_io.Crashed -> ());
+              let got = load_battery path in
+              if got <> bat1 && got <> bat2 then
+                Alcotest.failf
+                  "kills at op %d then recovery op %d: mixed state" k1 k2
+            done
+          done))
+
+(* {1 Seeded fault plans: flaky syscalls must be invisible} *)
+
+let seeded_run seed () =
+  with_store (Printf.sprintf "seeded_%d" seed) (fun path ->
+      (* Enable tracing so the retry counters are recorded. *)
+      let tracer = Obs.Trace.create ~capacity:16 Obs.Trace.Collect in
+      Obs.Trace.set_global tracer;
+      Obs.Metrics.reset (Obs.Metrics.global ());
+      Fun.protect
+        ~finally:(fun () -> Obs.Trace.set_global Obs.Trace.null)
+        (fun () ->
+          let v = build_index ~seed:123 300 in
+          let bat = battery v in
+          let io =
+            Faulty_io.seeded ~p_eintr:0.05 ~p_short:0.15 ~p_eio:0.01 ~seed ()
+          in
+          save ~io path v;
+          let got =
+            battery (Persist.load ~io ~path ~decode:int_of_string ())
+          in
+          if got <> bat then
+            Alcotest.failf "seed %d: faulty run answers differently" seed;
+          let value name =
+            Obs.Metrics.counter_value (Obs.Metrics.counter (Obs.Metrics.global ()) name)
+          in
+          let retries =
+            value "file_pager.io.eintr_retries" + value "file_pager.io.transient_retries"
+          in
+          if retries = 0 then
+            Alcotest.failf "seed %d: fault plan injected no retries" seed))
+
+let () =
+  Alcotest.run "crash"
+    [
+      ( "page store",
+        [ Alcotest.test_case "kill at every op" `Quick fp_torture ] );
+      ( "index save",
+        [
+          Alcotest.test_case "kill at every op" `Quick persist_torture;
+          Alcotest.test_case "double crash" `Quick double_crash;
+        ] );
+      ( "seeded faults",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "transparent retries (seed %d)" seed)
+              `Quick (seeded_run seed))
+          seeds );
+    ]

@@ -1,4 +1,9 @@
 module FP = Sqp_storage.File_pager
+module Crc32 = Sqp_storage.Crc32
+module Storage_error = Sqp_storage.Storage_error
+module Faulty_io = Sqp_storage.Faulty_io
+module Journal = Sqp_storage.Journal
+module Fsck = Sqp_storage.Fsck
 module Zindex = Sqp_btree.Zindex
 module Persist = Sqp_btree.Persist
 module Z = Sqp_zorder
@@ -11,15 +16,52 @@ let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("sqp_test_" ^ na
 
 let with_file name f =
   let path = tmp name in
-  if Sys.file_exists path then Sys.remove path;
-  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
-    (fun () -> f path)
+  let aux = [ path; path ^ ".tmp"; Journal.journal_path path ] in
+  let clean () = List.iter (fun p -> if Sys.file_exists p then Sys.remove p) aux in
+  clean ();
+  Fun.protect ~finally:clean (fun () -> f path)
+
+(* Byte surgery on closed store files, for the corruption tests. *)
+let patch path off bytes =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd bytes 0 (Bytes.length bytes));
+  Unix.close fd
+
+let read_at path off len =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let buf = Bytes.create len in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let n = Unix.read fd buf 0 len in
+  Unix.close fd;
+  Bytes.sub buf 0 n
+
+(* A checksum-valid free page image pointing at [next]. *)
+let free_page_img ~page_bytes next =
+  let buf = Bytes.make page_bytes '\000' in
+  Bytes.set_int32_be buf 0 (Int32.of_int 0xFFFFFFFF);
+  Bytes.set_int64_be buf 8 (Int64.of_int next);
+  let crc = Crc32.(finish (update (update init buf ~pos:0 ~len:4) buf ~pos:8 ~len:8)) in
+  Bytes.set_int32_be buf 4 (Int32.of_int crc);
+  buf
+
+(* Rewrite one header field (by byte offset) and re-checksum the header. *)
+let patch_header path off v =
+  let head = read_at path 0 FP.header_size in
+  Bytes.set_int64_be head off (Int64.of_int v);
+  Bytes.set_int32_be head 36 (Int32.of_int (Crc32.bytes_crc head ~pos:0 ~len:36));
+  patch path 0 head
+
+let expect_corrupt name f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Storage_error.Corrupt")
+  | exception Storage_error.Corrupt _ -> ()
 
 (* {1 File pager} *)
 
 let test_fp_roundtrip () =
   with_file "roundtrip" (fun path ->
-      let s = FP.create ~path ~page_bytes:128 in
+      let s = FP.create ~page_bytes:128 path in
       let a = FP.alloc s (Bytes.of_string "hello") in
       let b = FP.alloc s (Bytes.of_string "world!") in
       Alcotest.(check string) "a" "hello" (Bytes.to_string (FP.read s a));
@@ -31,11 +73,11 @@ let test_fp_roundtrip () =
 
 let test_fp_reopen () =
   with_file "reopen" (fun path ->
-      let s = FP.create ~path ~page_bytes:64 in
+      let s = FP.create ~page_bytes:64 path in
       let ids = List.init 5 (fun i -> FP.alloc s (Bytes.of_string (string_of_int i))) in
       FP.free s (List.nth ids 2);
       FP.close s;
-      let s2 = FP.open_existing ~path in
+      let s2 = FP.open_existing path in
       check_int "live after reopen" 4 (FP.page_count s2);
       List.iteri
         (fun i id ->
@@ -50,7 +92,7 @@ let test_fp_reopen () =
 
 let test_fp_free_reuse () =
   with_file "reuse" (fun path ->
-      let s = FP.create ~path ~page_bytes:64 in
+      let s = FP.create ~page_bytes:64 path in
       let a = FP.alloc s (Bytes.of_string "a") in
       let _b = FP.alloc s (Bytes.of_string "b") in
       FP.free s a;
@@ -60,18 +102,19 @@ let test_fp_free_reuse () =
 
 let test_fp_overflow () =
   with_file "overflow" (fun path ->
-      let s = FP.create ~path ~page_bytes:64 in
-      (match FP.alloc s (Bytes.make 61 'x') with
+      let s = FP.create ~page_bytes:64 path in
+      let cap = FP.payload_capacity s in
+      (match FP.alloc s (Bytes.make (cap + 1) 'x') with
       | _ -> Alcotest.fail "expected overflow"
       | exception Invalid_argument _ -> ());
       (* Exactly at capacity is fine. *)
-      let id = FP.alloc s (Bytes.make 60 'x') in
-      check_int "full page" 60 (Bytes.length (FP.read s id));
+      let id = FP.alloc s (Bytes.make cap 'x') in
+      check_int "full page" cap (Bytes.length (FP.read s id));
       FP.close s)
 
 let test_fp_iter_order () =
   with_file "iter" (fun path ->
-      let s = FP.create ~path ~page_bytes:64 in
+      let s = FP.create ~page_bytes:64 path in
       let _ = FP.alloc s (Bytes.of_string "1") in
       let b = FP.alloc s (Bytes.of_string "2") in
       let _ = FP.alloc s (Bytes.of_string "3") in
@@ -84,19 +127,195 @@ let test_fp_iter_order () =
 let test_fp_bad_magic () =
   with_file "magic" (fun path ->
       let oc = open_out path in
-      output_string oc "this is not a page store";
+      output_string oc (String.make 64 'j');
       close_out oc;
-      match FP.open_existing ~path with
-      | _ -> Alcotest.fail "expected Failure"
-      | exception Failure _ -> ())
+      expect_corrupt "bad magic" (fun () -> FP.open_existing path))
 
 let test_fp_closed () =
   with_file "closed" (fun path ->
-      let s = FP.create ~path ~page_bytes:64 in
+      let s = FP.create ~page_bytes:64 path in
       FP.close s;
       match FP.alloc s (Bytes.of_string "x") with
       | _ -> Alcotest.fail "expected Invalid_argument"
       | exception Invalid_argument _ -> ())
+
+(* {1 Corruption and open_existing edge cases} *)
+
+(* A closed 64-byte-page store with three live pages "0" "1" "2". *)
+let small_store path =
+  let s = FP.create ~page_bytes:64 path in
+  let ids = List.init 3 (fun i -> FP.alloc s (Bytes.of_string (string_of_int i))) in
+  FP.close s;
+  ids
+
+let test_fp_short_file () =
+  with_file "short" (fun path ->
+      let oc = open_out path in
+      output_string oc "SQP2";
+      close_out oc;
+      expect_corrupt "short file" (fun () -> FP.open_existing path))
+
+let test_fp_truncated () =
+  with_file "truncated" (fun path ->
+      ignore (small_store path);
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+      Unix.ftruncate fd ((4 * 64) - 10);
+      Unix.close fd;
+      expect_corrupt "truncated" (fun () -> FP.open_existing path))
+
+let test_fp_page_bitrot () =
+  with_file "bitrot" (fun path ->
+      let ids = small_store path in
+      (* Flip a payload byte of the middle page: open-time scan fails. *)
+      patch path ((List.nth ids 1 * 64) + FP.page_header_bytes) (Bytes.of_string "X");
+      expect_corrupt "bitrot" (fun () -> FP.open_existing path))
+
+let test_fp_read_detects_corruption () =
+  with_file "readcrc" (fun path ->
+      let ids = small_store path in
+      let s = FP.open_existing path in
+      (* Corrupt behind the open handle's back; reads go to disk. *)
+      patch path ((List.nth ids 0 * 64) + FP.page_header_bytes) (Bytes.of_string "X");
+      expect_corrupt "read" (fun () -> FP.read s (List.nth ids 0));
+      FP.close s)
+
+let test_fp_free_list_cycle () =
+  with_file "cycle" (fun path ->
+      let s = FP.create ~page_bytes:64 path in
+      let ids = List.init 3 (fun i -> FP.alloc s (Bytes.of_string (string_of_int i))) in
+      FP.free s (List.nth ids 0);
+      FP.free s (List.nth ids 1);
+      FP.close s;
+      (* Free list is b -> a -> end; point a back at b to close a cycle. *)
+      let a = List.nth ids 0 and b = List.nth ids 1 in
+      patch path (a * 64) (free_page_img ~page_bytes:64 b);
+      expect_corrupt "cycle" (fun () -> FP.open_existing path))
+
+let test_fp_free_list_dangling () =
+  with_file "dangling" (fun path ->
+      let s = FP.create ~page_bytes:64 path in
+      let ids = List.init 3 (fun i -> FP.alloc s (Bytes.of_string (string_of_int i))) in
+      FP.free s (List.nth ids 1);
+      FP.close s;
+      (* Point the freed page's next at a live page. *)
+      patch path (List.nth ids 1 * 64)
+        (free_page_img ~page_bytes:64 (List.nth ids 2));
+      expect_corrupt "dangling" (fun () -> FP.open_existing path))
+
+let test_fp_header_live_mismatch () =
+  with_file "livemism" (fun path ->
+      ignore (small_store path);
+      (* Header claims 2 live pages; the scan finds 3. *)
+      patch_header path 28 2;
+      expect_corrupt "live mismatch" (fun () -> FP.open_existing path))
+
+let test_fp_header_slot_mismatch () =
+  with_file "slotmism" (fun path ->
+      ignore (small_store path);
+      (* Header claims more slots than the file holds. *)
+      patch_header path 12 40;
+      expect_corrupt "slot mismatch" (fun () -> FP.open_existing path))
+
+let test_fp_garbage_journal_discarded () =
+  with_file "gjournal" (fun path ->
+      ignore (small_store path);
+      let oc = open_out (Journal.journal_path path) in
+      output_string oc "torn nonsense, not a journal";
+      close_out oc;
+      (* A torn journal is discarded and the store opens as it was. *)
+      let s = FP.open_existing path in
+      check_int "live" 3 (FP.page_count s);
+      FP.close s;
+      check "journal removed" false (Sys.file_exists (Journal.journal_path path)))
+
+(* {1 Batches} *)
+
+let test_fp_batch_abort () =
+  with_file "abort" (fun path ->
+      let s = FP.create ~page_bytes:64 path in
+      let a = FP.alloc s (Bytes.of_string "keep") in
+      FP.begin_batch s;
+      let b = FP.alloc s (Bytes.of_string "drop") in
+      FP.write s a (Bytes.of_string "KEEP?");
+      Alcotest.(check string) "read-your-writes" "KEEP?" (Bytes.to_string (FP.read s a));
+      FP.abort_batch s;
+      Alcotest.(check string) "rolled back" "keep" (Bytes.to_string (FP.read s a));
+      check_int "alloc rolled back" 1 (FP.page_count s);
+      (match FP.read s b with
+      | _ -> Alcotest.fail "aborted alloc readable"
+      | exception Invalid_argument _ -> ());
+      (* The slot is reusable after the abort. *)
+      let c = FP.alloc s (Bytes.of_string "again") in
+      check_int "slot reused after abort" b c;
+      FP.close s)
+
+let test_fp_batch_commit_once () =
+  with_file "batch" (fun path ->
+      let s = FP.create ~page_bytes:64 path in
+      FP.begin_batch s;
+      let ids = List.init 10 (fun i -> FP.alloc s (Bytes.of_string (string_of_int i))) in
+      FP.commit_batch s;
+      FP.close s;
+      let s2 = FP.open_existing path in
+      List.iteri
+        (fun i id ->
+          Alcotest.(check string) "batched page" (string_of_int i)
+            (Bytes.to_string (FP.read s2 id)))
+        ids;
+      FP.close s2)
+
+let test_fp_enospc () =
+  with_file "enospc" (fun path ->
+      let s = FP.create ~page_bytes:64 path in
+      let a = FP.alloc s (Bytes.of_string "first") in
+      FP.close s;
+      (* Reopen with a nearly-exhausted disk: the next commit must fail
+         with a typed error and leave the old state recoverable. *)
+      let io = Faulty_io.enospc_after 16 in
+      let s = FP.open_existing ~io path in
+      (match FP.alloc s (Bytes.of_string "second") with
+      | _ -> Alcotest.fail "expected Io_error"
+      | exception Storage_error.Io_error { error = Unix.ENOSPC; _ } -> ());
+      (* The handle is poisoned; a fresh open recovers the old state. *)
+      let s2 = FP.open_existing path in
+      check_int "old state intact" 1 (FP.page_count s2);
+      Alcotest.(check string) "first page intact" "first"
+        (Bytes.to_string (FP.read s2 a));
+      FP.close s2)
+
+(* {1 Fsck} *)
+
+let test_fsck_clean_and_corrupt () =
+  with_file "fsck" (fun path ->
+      let ids = small_store path in
+      let r = Fsck.scan path in
+      check "clean store" true (Fsck.clean r);
+      patch path ((List.nth ids 1 * 64) + FP.page_header_bytes) (Bytes.of_string "X");
+      let r = Fsck.scan path in
+      check "corruption found" false (Fsck.clean r);
+      check_int "one bad page" 1 (List.length r.Fsck.bad_pages);
+      check_int "bad slot" (List.nth ids 1) (List.hd r.Fsck.bad_pages).Fsck.slot;
+      check "report mentions slot" true
+        (String.length (Fsck.to_text r) > 0))
+
+let test_fsck_salvage () =
+  with_file "salvage" (fun path ->
+      let dest = path ^ ".rescued" in
+      if Sys.file_exists dest then Sys.remove dest;
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists dest then Sys.remove dest)
+        (fun () ->
+          let ids = small_store path in
+          patch path ((List.nth ids 1 * 64) + FP.page_header_bytes) (Bytes.of_string "X");
+          let salvaged, lost = Fsck.salvage ~src:path ~dest () in
+          check_int "salvaged" 2 salvaged;
+          check_int "lost" 1 lost;
+          (* Every uncorrupted page survives, in order. *)
+          let s = FP.open_existing dest in
+          let seen = ref [] in
+          FP.iter s (fun _ p -> seen := Bytes.to_string p :: !seen);
+          Alcotest.(check (list string)) "survivors" [ "0"; "2" ] (List.rev !seen);
+          FP.close s))
 
 (* {1 Index persistence} *)
 
@@ -157,6 +376,40 @@ let test_save_empty_index () =
       let loaded = Persist.load ~path ~decode:int_of_string () in
       check_int "empty" 0 (Zindex.length loaded))
 
+let test_save_replaces_atomically () =
+  with_file "replace" (fun path ->
+      ignore (Persist.save ~path ~encode:string_of_int (build_index 100));
+      (* Saving again over the same path replaces, never corrupts. *)
+      ignore (Persist.save ~path ~encode:string_of_int (build_index 200));
+      let loaded = Persist.load ~path ~decode:int_of_string () in
+      check_int "second save wins" 200 (Zindex.length loaded);
+      check "no tmp left behind" false (Sys.file_exists (path ^ ".tmp")))
+
+let test_salvage_then_lenient_load () =
+  with_file "lenient" (fun path ->
+      let dest = path ^ ".rescued" in
+      if Sys.file_exists dest then Sys.remove dest;
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists dest then Sys.remove dest)
+        (fun () ->
+          let index = build_index 400 in
+          ignore (Persist.save ~path ~page_bytes:256 ~encode:string_of_int index);
+          (* Rot one data page, then salvage what survives. *)
+          let s = FP.open_existing path in
+          let slots = ref [] in
+          FP.iter s (fun slot _ -> slots := slot :: !slots);
+          FP.close s;
+          let victim = List.hd !slots (* highest slot: a data page *) in
+          patch path ((victim * 256) + FP.page_header_bytes) (Bytes.of_string "\xde\xad");
+          expect_corrupt "strict load fails" (fun () ->
+              Persist.load ~path ~decode:int_of_string ());
+          let salvaged, lost = Fsck.salvage ~src:path ~dest () in
+          check "salvaged most pages" true (salvaged >= 1);
+          check_int "one page lost" 1 lost;
+          let loaded = Persist.load ~lenient:true ~path:dest ~decode:int_of_string () in
+          check "most entries recovered" true
+            (Zindex.length loaded > 0 && Zindex.length loaded < 400)))
+
 let () =
   Alcotest.run "persist"
     [
@@ -170,10 +423,37 @@ let () =
           Alcotest.test_case "bad magic" `Quick test_fp_bad_magic;
           Alcotest.test_case "closed handle" `Quick test_fp_closed;
         ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "short file" `Quick test_fp_short_file;
+          Alcotest.test_case "truncated file" `Quick test_fp_truncated;
+          Alcotest.test_case "page bit rot" `Quick test_fp_page_bitrot;
+          Alcotest.test_case "read detects corruption" `Quick
+            test_fp_read_detects_corruption;
+          Alcotest.test_case "free-list cycle" `Quick test_fp_free_list_cycle;
+          Alcotest.test_case "free-list dangling" `Quick test_fp_free_list_dangling;
+          Alcotest.test_case "header live mismatch" `Quick test_fp_header_live_mismatch;
+          Alcotest.test_case "header slot mismatch" `Quick test_fp_header_slot_mismatch;
+          Alcotest.test_case "garbage journal discarded" `Quick
+            test_fp_garbage_journal_discarded;
+        ] );
+      ( "batches",
+        [
+          Alcotest.test_case "abort rolls back" `Quick test_fp_batch_abort;
+          Alcotest.test_case "commit is atomic" `Quick test_fp_batch_commit_once;
+          Alcotest.test_case "enospc" `Quick test_fp_enospc;
+        ] );
+      ( "fsck",
+        [
+          Alcotest.test_case "scan" `Quick test_fsck_clean_and_corrupt;
+          Alcotest.test_case "salvage" `Quick test_fsck_salvage;
+        ] );
       ( "index persistence",
         [
           Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip;
           Alcotest.test_case "3d + string payloads" `Quick test_save_load_3d_and_strings;
           Alcotest.test_case "empty index" `Quick test_save_empty_index;
+          Alcotest.test_case "atomic replace" `Quick test_save_replaces_atomically;
+          Alcotest.test_case "salvage + lenient load" `Quick test_salvage_then_lenient_load;
         ] );
     ]

@@ -1,0 +1,33 @@
+(* Table-driven CRC-32 with the reflected IEEE polynomial 0xEDB88320 —
+   the same function as zlib's crc32(), so stored checksums can be
+   cross-checked with external tools.  All arithmetic is on OCaml ints
+   (63-bit), masking to 32 bits where needed. *)
+
+type state = int
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let init = 0xFFFFFFFF
+
+let update state buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Crc32.update: range out of bounds";
+  let table = Lazy.force table in
+  let c = ref state in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get buf i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c
+
+let finish state = state lxor 0xFFFFFFFF
+
+let bytes_crc buf ~pos ~len = finish (update init buf ~pos ~len)
+
+let string_crc s = bytes_crc (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

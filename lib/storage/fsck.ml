@@ -1,0 +1,181 @@
+type page_problem = { slot : int; what : string }
+
+type report = {
+  path : string;
+  file_size : int;
+  journal : Journal.status;
+  header_problem : string option;
+  page_bytes : int;
+  slot_count : int;
+  header_live : int;
+  live_found : int;
+  free_found : int;
+  bad_pages : page_problem list;
+  free_list_problems : string list;
+  trailing_bytes : int;
+}
+
+(* Read a page image, tolerating truncation: a slot that extends past end
+   of file reports as short rather than raising. *)
+let read_page h ~file_size ~page_bytes slot =
+  let offset = slot * page_bytes in
+  if offset + page_bytes <= file_size then
+    Ok (Faulty_io.read_fully h ~offset ~len:page_bytes)
+  else Error (Printf.sprintf "page extends past end of file (offset %d)" offset)
+
+let scan ?(io = Faulty_io.none) path =
+  let h = Faulty_io.openfile io path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Faulty_io.close h)
+    (fun () ->
+      let file_size = Faulty_io.file_size h in
+      let journal = Journal.inspect ~injector:io ~store_path:path in
+      let empty =
+        {
+          path;
+          file_size;
+          journal;
+          header_problem = None;
+          page_bytes = 0;
+          slot_count = 0;
+          header_live = 0;
+          live_found = 0;
+          free_found = 0;
+          bad_pages = [];
+          free_list_problems = [];
+          trailing_bytes = 0;
+        }
+      in
+      if file_size < File_pager.header_size then
+        { empty with
+          header_problem =
+            Some (Printf.sprintf "file too short for a store header (%d bytes)" file_size)
+        }
+      else
+        let head = Faulty_io.read_fully h ~offset:0 ~len:File_pager.header_size in
+        match File_pager.decode_header ~path head with
+        | exception Storage_error.Corrupt { what; _ } ->
+            { empty with header_problem = Some what }
+        | page_bytes, slot_count, free_head, header_live ->
+            let live_found = ref 0 and free_found = ref 0 in
+            let bad = ref [] in
+            (* slot -> next pointer of every checksum-valid free page *)
+            let free_tbl = Hashtbl.create 16 in
+            for slot = 1 to slot_count - 1 do
+              match read_page h ~file_size ~page_bytes slot with
+              | Error what -> bad := { slot; what } :: !bad
+              | Ok img -> (
+                  match File_pager.classify_page ~page_bytes img with
+                  | `Live _ -> incr live_found
+                  | `Free next ->
+                      incr free_found;
+                      Hashtbl.replace free_tbl slot next
+                  | `Bad what -> bad := { slot; what } :: !bad)
+            done;
+            (* Walk the free list without raising, collecting problems. *)
+            let fl = ref [] in
+            let note p = fl := p :: !fl in
+            let visited = Hashtbl.create 16 in
+            let rec walk cur =
+              if cur <> -1 then
+                if cur < 1 || cur >= slot_count then
+                  note (Printf.sprintf "free-list pointer %d out of range" cur)
+                else if Hashtbl.mem visited cur then
+                  note (Printf.sprintf "free-list cycle through slot %d" cur)
+                else begin
+                  Hashtbl.replace visited cur ();
+                  match Hashtbl.find_opt free_tbl cur with
+                  | Some next -> walk next
+                  | None ->
+                      note
+                        (Printf.sprintf
+                           "free list reaches slot %d, which is not a valid free page" cur)
+                end
+            in
+            walk free_head;
+            let reachable = Hashtbl.length visited in
+            if !fl = [] && reachable <> !free_found then
+              note
+                (Printf.sprintf "%d pages marked free but %d reachable from the free list"
+                   !free_found reachable);
+            (* With bad pages present we cannot know how many were live. *)
+            if !bad = [] && !live_found <> header_live then
+              note
+                (Printf.sprintf "header live count %d, but %d live pages found" header_live
+                   !live_found);
+            {
+              empty with
+              page_bytes;
+              slot_count;
+              header_live;
+              live_found = !live_found;
+              free_found = !free_found;
+              bad_pages = List.rev !bad;
+              free_list_problems = List.rev !fl;
+              trailing_bytes = max 0 (file_size - (slot_count * page_bytes));
+            })
+
+let clean r =
+  r.header_problem = None
+  && r.bad_pages = []
+  && r.free_list_problems = []
+  && r.journal = Journal.Absent
+  && r.trailing_bytes = 0
+  && r.live_found = r.header_live
+
+let to_text r =
+  let b = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "fsck %s\n" r.path;
+  pf "  file size: %d bytes\n" r.file_size;
+  (match r.journal with
+  | Journal.Absent -> pf "  journal: absent\n"
+  | Journal.Valid n ->
+      pf "  journal: VALID with %d record(s) — store is behind a committed batch;\n" n;
+      pf "           a normal open will replay it\n"
+  | Journal.Invalid why -> pf "  journal: torn (%s) — a normal open will discard it\n" why);
+  (match r.header_problem with
+  | Some what -> pf "  header: BAD — %s\n" what
+  | None ->
+      pf "  header: ok (page_bytes=%d, slots=%d, live=%d)\n" r.page_bytes r.slot_count
+        r.header_live;
+      pf "  pages: %d live, %d free, %d bad\n" r.live_found r.free_found
+        (List.length r.bad_pages);
+      List.iter (fun { slot; what } -> pf "    slot %d: %s\n" slot what) r.bad_pages;
+      List.iter (fun p -> pf "  free list: %s\n" p) r.free_list_problems;
+      if r.trailing_bytes > 0 then
+        pf "  trailing: %d byte(s) past the last slot\n" r.trailing_bytes);
+  if clean r then pf "  clean\n" else pf "  PROBLEMS FOUND\n";
+  Buffer.contents b
+
+let salvage ?(io = Faulty_io.none) ~src ~dest () =
+  let r = scan ~io src in
+  if r.page_bytes < File_pager.min_page_bytes then
+    Storage_error.corrupt ~path:src
+      (match r.header_problem with
+      | Some what -> "cannot salvage: " ^ what
+      | None -> "cannot salvage: header unusable");
+  let h = Faulty_io.openfile io src [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Faulty_io.close h)
+    (fun () ->
+      let out = File_pager.create ~io ~page_bytes:r.page_bytes dest in
+      Fun.protect
+        ~finally:(fun () -> File_pager.close out)
+        (fun () ->
+          let salvaged = ref 0 and lost = ref 0 in
+          File_pager.begin_batch out;
+          for slot = 1 to r.slot_count - 1 do
+            match read_page h ~file_size:r.file_size ~page_bytes:r.page_bytes slot with
+            | Error _ -> incr lost
+            | Ok img -> (
+                match File_pager.classify_page ~page_bytes:r.page_bytes img with
+                | `Live len ->
+                    ignore
+                      (File_pager.alloc out (Bytes.sub img File_pager.page_header_bytes len));
+                    incr salvaged
+                | `Free _ -> ()
+                | `Bad _ -> incr lost)
+          done;
+          File_pager.commit_batch out;
+          (!salvaged, !lost)))

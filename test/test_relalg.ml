@@ -322,6 +322,44 @@ let test_overlapping_pairs () =
   check_int "rid" 1 (R.Value.to_int t.(0));
   check_int "sid" 7 (R.Value.to_int t.(1))
 
+(* {1 Stored relations on disk} *)
+
+let test_stored_durable_roundtrip () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ()) "sqp_test_stored.rel"
+  in
+  let clean () =
+    List.iter
+      (fun p -> if Sys.file_exists p then Sys.remove p)
+      [ path; path ^ ".tmp" ]
+  in
+  clean ();
+  Fun.protect ~finally:clean (fun () ->
+      let schema =
+        R.Schema.make
+          [ ("id", R.Value.TInt); ("label", R.Value.TStr); ("score", R.Value.TFloat);
+            ("flag", R.Value.TBool); ("z", R.Value.TZval) ]
+      in
+      let tuples =
+        List.init 100 (fun i ->
+            [| R.Value.Int i;
+               (if i mod 7 = 0 then R.Value.Null else R.Value.Str (Printf.sprintf "row %d" i));
+               R.Value.Float (float_of_int i /. 3.0);
+               R.Value.Bool (i mod 2 = 0);
+               R.Value.Zval (B.of_string (if i mod 3 = 0 then "0110" else "10")) |])
+      in
+      let rel = R.Relation.make ~name:"durable" schema tuples in
+      let stored = R.Stored.store ~tuples_per_page:9 rel in
+      R.Stored.save_to ~path stored;
+      let back = R.Stored.load_from ~path () in
+      Alcotest.(check string) "name" "durable" (R.Stored.name back);
+      check "schema" true (R.Schema.equal schema (R.Stored.schema back));
+      check_int "cardinality" 100 (R.Stored.cardinality back);
+      check_int "tuples_per_page" 9 (R.Stored.tuples_per_page back);
+      check_int "pages" (R.Stored.pages stored) (R.Stored.pages back);
+      check "tuples identical in order" true
+        (R.Relation.tuples (R.Stored.scan back) = R.Relation.tuples rel))
+
 let () =
   Alcotest.run "relalg"
     [
@@ -358,6 +396,11 @@ let () =
           Alcotest.test_case "equal elements once" `Quick test_spatial_join_equal_elements;
           Alcotest.test_case "merge = nested loop" `Quick test_spatial_join_matches_nested_loop;
           Alcotest.test_case "merge cheaper" `Quick test_spatial_join_merge_cheaper;
+        ] );
+      ( "durable snapshots",
+        [
+          Alcotest.test_case "save_to/load_from roundtrip" `Quick
+            test_stored_durable_roundtrip;
         ] );
       ( "scenarios",
         [
