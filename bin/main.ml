@@ -259,6 +259,341 @@ let fsck_cmd =
           found; $(b,--salvage) rebuilds what survives.")
     Term.(const run $ path_arg $ salvage_arg $ make_demo_arg)
 
+(* {1 Network serving}
+
+   [serve] exposes the seeded catalog over the wire protocol; [shell]
+   is the interactive/scripted client; [bench-net] a closed-loop
+   loopback load generator.  Together they are the "database server
+   interface" deployment mode of the serving tier (lib/server). *)
+
+module Srv = Sqp_server
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind or connect to.")
+
+let port_arg ~default =
+  Arg.(
+    value & opt int default
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (serve: 0 picks one).")
+
+let serve_cmd =
+  let parallelism_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "p"; "parallelism" ] ~docv:"N"
+          ~doc:"Domains of the shared execution pool.")
+  in
+  let in_flight_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-in-flight" ] ~docv:"N"
+          ~doc:"Concurrent query executions before requests queue.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Queued requests beyond that before load is shed.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline when the client sends none.")
+  in
+  let points_arg =
+    Arg.(
+      value & opt int 5000
+      & info [ "points" ] ~docv:"N" ~doc:"Points in the seeded catalog.")
+  in
+  let objects_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "objects" ] ~docv:"N"
+          ~doc:"Objects per spatial-join side in the seeded catalog.")
+  in
+  let run host port parallelism max_in_flight max_queue default_deadline_ms
+      n_points n_objects =
+    let catalog =
+      Srv.Catalog.of_seeded
+        (Sqp_workload.Seeded.standard ~n_points ~n_objects ())
+    in
+    let config =
+      {
+        Srv.Server.default_config with
+        host;
+        port;
+        parallelism;
+        max_in_flight;
+        max_queue;
+        default_deadline_ms;
+      }
+    in
+    let server = Srv.Server.start ~config catalog in
+    Printf.printf
+      "sqp serve: listening on %s:%d (parallelism %d, %d in flight, queue %d)\n"
+      host (Srv.Server.port server) parallelism max_in_flight max_queue;
+    Printf.printf "catalog: %s\n%!"
+      (String.concat ", " (Srv.Catalog.names catalog));
+    let stop_requested = ref false in
+    let on_signal _ = stop_requested := true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    while not !stop_requested do
+      Thread.delay 0.05
+    done;
+    print_endline "sqp serve: draining...";
+    Srv.Server.stop server;
+    print_endline "sqp serve: drained; final metrics:";
+    print_string
+      (Sqp_obs.Metrics.to_text
+         (Sqp_obs.Metrics.snapshot (Sqp_obs.Metrics.global ())));
+    print_endline "sqp serve: bye."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the seeded catalog over the binary wire protocol until \
+          SIGTERM/SIGINT, then drain gracefully (in-flight queries finish, \
+          new ones are refused) and exit 0.")
+    Term.(
+      const run $ host_arg $ port_arg ~default:7477 $ parallelism_arg
+      $ in_flight_arg $ queue_arg $ deadline_arg $ points_arg $ objects_arg)
+
+(* The canonical join plan, as a client would send it over the wire. *)
+let join_wire_plan =
+  Sqp_relalg.Wire.(
+    Project
+      ( [ "rid"; "sid" ],
+        Spatial_join { zl = "zr"; zr = "zs"; left = Scan "R"; right = Scan "S" } ))
+
+let shell_cmd =
+  let module R = Sqp_relalg in
+  let commands_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "c"; "command" ] ~docv:"CMD"
+          ~doc:
+            "Run $(docv) and exit (repeatable, in order) instead of reading \
+             commands interactively.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Deadline shipped with each query.")
+  in
+  let help_text =
+    "commands:\n\
+    \  range X1 Y1 X2 Y2   points inside the box (inclusive corners)\n\
+    \  join                candidate overlapping (rid, sid) pairs of R and S\n\
+    \  explain join        the join's optimized plan, without executing\n\
+    \  analyze join        EXPLAIN ANALYZE of the join (executes remotely)\n\
+    \  health              server liveness, catalog and load\n\
+    \  help                this text\n\
+    \  quit                leave"
+  in
+  let run host port commands deadline_ms =
+    let failed = ref false in
+    let print_rows rel =
+      Format.printf "%a(%d tuples)@." R.Relation.pp rel (R.Relation.cardinality rel)
+    in
+    let report = function
+      | Ok () -> ()
+      | Error (code, message) ->
+          failed := true;
+          Printf.printf "error (%s): %s\n"
+            (Srv.Protocol.error_code_name code)
+            message
+    in
+    let exec client line =
+      match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+      | [] -> true
+      | [ "quit" ] | [ "exit" ] -> false
+      | [ "help" ] ->
+          print_endline help_text;
+          true
+      | [ "health" ] ->
+          report
+            (Result.map
+               (fun (h : Srv.Protocol.health) ->
+                 Printf.printf
+                   "%s: %s\n  in flight %d, queued %d, served %d\n"
+                   (if h.Srv.Protocol.healthy then "healthy" else "UNHEALTHY")
+                   h.Srv.Protocol.detail h.Srv.Protocol.in_flight
+                   h.Srv.Protocol.queued h.Srv.Protocol.served;
+                 if not h.Srv.Protocol.healthy then failed := true)
+               (Srv.Client.health client));
+          true
+      | [ "join" ] ->
+          report (Result.map print_rows (Srv.Client.query ?deadline_ms client join_wire_plan));
+          true
+      | [ "explain"; "join" ] ->
+          report
+            (Result.map print_string (Srv.Client.explain ?deadline_ms client join_wire_plan));
+          true
+      | [ "analyze"; "join" ] ->
+          report
+            (Result.map
+               (fun (rendered, rows) ->
+                 print_string rendered;
+                 print_rows rows)
+               (Srv.Client.analyze ?deadline_ms client join_wire_plan));
+          true
+      | [ "range"; x1; y1; x2; y2 ] -> (
+          match
+            (int_of_string_opt x1, int_of_string_opt y1, int_of_string_opt x2,
+             int_of_string_opt y2)
+          with
+          | Some x1, Some y1, Some x2, Some y2 ->
+              report
+                (Result.map print_rows
+                   (Srv.Client.range_search ?deadline_ms client
+                      ~lo:[| min x1 x2; min y1 y2 |]
+                      ~hi:[| max x1 x2; max y1 y2 |]));
+              true
+          | _ ->
+              failed := true;
+              print_endline "range wants four integers; try: range 100 100 300 300";
+              true)
+      | cmd :: _ ->
+          failed := true;
+          Printf.printf "unknown command %S (try: help)\n" cmd;
+          true
+    in
+    Srv.Client.with_connect ~host ~port (fun client ->
+        if commands <> [] then List.iter (fun c -> ignore (exec client c)) commands
+        else begin
+          Printf.printf "connected to %s:%d; 'help' lists commands\n%!" host port;
+          let rec repl () =
+            print_string "sqp> ";
+            flush stdout;
+            match input_line stdin with
+            | line -> if exec client line then repl ()
+            | exception End_of_file -> ()
+          in
+          repl ()
+        end);
+    if !failed then Stdlib.exit 1
+  in
+  Cmd.v
+    (Cmd.info "shell"
+       ~doc:
+         "Interactive (or $(b,-c)-scripted) client for a running $(b,sqp \
+          serve); exits 1 if any command draws an error.")
+    Term.(const run $ host_arg $ port_arg ~default:7477 $ commands_arg $ deadline_arg)
+
+let bench_net_cmd =
+  let clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client (closed loop).")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"CI smoke mode: 2 clients x 15 requests.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt string "BENCH_server.json"
+      & info [ "json" ] ~docv:"FILE" ~doc:"Where to write the latency summary.")
+  in
+  let run host port clients requests quick json_path =
+    let clients = if quick then 2 else clients in
+    let requests = if quick then 15 else requests in
+    (* port 0: self-host an ephemeral server so the bench is one command. *)
+    let own_server =
+      if port = 0 then
+        Some
+          (Srv.Server.start
+             ~config:{ Srv.Server.default_config with host }
+             (Srv.Catalog.of_seeded (Sqp_workload.Seeded.standard ())))
+      else None
+    in
+    let port =
+      match own_server with Some s -> Srv.Server.port s | None -> port
+    in
+    let wk = Sqp_workload.Seeded.standard () in
+    let boxes = wk.Sqp_workload.Seeded.query_boxes in
+    let latencies_of_client c =
+      Srv.Client.with_connect ~host ~port (fun client ->
+          Array.init requests (fun i ->
+              let t0 = Unix.gettimeofday () in
+              let reply =
+                if i mod 10 = 9 then
+                  Result.map (fun _ -> ())
+                    (Srv.Client.query client join_wire_plan)
+                else
+                  let box = boxes.(((c * 131) + i) mod Array.length boxes) in
+                  Result.map
+                    (fun _ -> ())
+                    (Srv.Client.range_search client
+                       ~lo:(Sqp_geom.Box.lo box) ~hi:(Sqp_geom.Box.hi box))
+              in
+              (match reply with
+              | Ok () -> ()
+              | Error (code, m) ->
+                  Printf.eprintf "bench-net: request failed (%s): %s\n"
+                    (Srv.Protocol.error_code_name code)
+                    m;
+                  Stdlib.exit 1);
+              Unix.gettimeofday () -. t0))
+    in
+    let t0 = Unix.gettimeofday () in
+    let results = Array.make clients [||] in
+    let threads =
+      List.init clients (fun c ->
+          Thread.create (fun () -> results.(c) <- latencies_of_client c) ())
+    in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    (match own_server with Some s -> Srv.Server.stop s | None -> ());
+    let latencies = Array.concat (Array.to_list results) in
+    Array.sort compare latencies;
+    let total = Array.length latencies in
+    let pct p = latencies.(min (total - 1) (p * total / 100)) *. 1e3 in
+    let throughput = float_of_int total /. wall in
+    Printf.printf
+      "bench-net: %d clients x %d requests in %.2fs (%.0f req/s)\n\
+       latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n"
+      clients requests wall throughput (pct 50) (pct 90) (pct 99)
+      (latencies.(total - 1) *. 1e3);
+    let oc = open_out json_path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"server_closed_loop\",\n\
+      \  \"clients\": %d,\n\
+      \  \"requests_per_client\": %d,\n\
+      \  \"total_requests\": %d,\n\
+      \  \"wall_seconds\": %.4f,\n\
+      \  \"throughput_rps\": %.1f,\n\
+      \  \"latency_ms\": { \"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, \"max\": %.3f }\n\
+       }\n"
+      clients requests total wall throughput (pct 50) (pct 90) (pct 99)
+      (latencies.(total - 1) *. 1e3);
+    close_out oc;
+    Printf.printf "wrote %s\n" json_path
+  in
+  Cmd.v
+    (Cmd.info "bench-net"
+       ~doc:
+         "Closed-loop loopback benchmark against $(b,sqp serve) (or a \
+          self-hosted ephemeral server with --port 0); writes \
+          BENCH_server.json.")
+    Term.(
+      const run $ host_arg $ port_arg ~default:0 $ clients_arg $ requests_arg
+      $ quick_arg $ json_arg)
+
 let () =
   let info =
     Cmd.info "sqp" ~version:"1.0.0"
@@ -274,5 +609,5 @@ let () =
             strategies_cmd; policies_cmd; partial_match_cmd; euv_cmd;
             coarsen_cmd; proximity_cmd; join_cmd; overlay_cmd; ccl_cmd;
             interference_cmd; fill_cmd; three_d_cmd; curves_cmd; object_join_cmd;
-            all_cmd; query_cmd; fsck_cmd;
+            all_cmd; query_cmd; fsck_cmd; serve_cmd; shell_cmd; bench_net_cmd;
           ]))

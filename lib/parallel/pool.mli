@@ -30,7 +30,13 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
     in the caller after the whole batch has drained.
 
     Batches are not reentrant: do not call [map] from inside a task of
-    the same pool. *)
+    the same pool.  Concurrent batches from {e different} threads or
+    domains are safe, however: each batch tracks its own completion
+    under the pool mutex, callers opportunistically execute whatever
+    task is at the head of the shared queue (work from another batch
+    included), and nobody blocks on a batch that is not their own.  The
+    network server relies on this to run many sessions over one
+    long-lived pool. *)
 
 val run : t -> (unit -> 'a) list -> 'a list
 (** [run t thunks]: {!map} over a list of thunks. *)

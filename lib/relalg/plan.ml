@@ -170,6 +170,13 @@ let run ?(parallelism = 1) plan =
     Sqp_parallel.Pool.with_pool ~domains:parallelism (fun pool ->
         run_with (Some pool) plan)
 
+(* The server executes many queries over one long-lived pool instead of
+   paying a pool spawn per query; a 1-domain pool degenerates to the
+   sequential path so results stay bit-identical either way. *)
+let run_in_pool pool plan =
+  if Sqp_parallel.Pool.domains pool = 1 then run_with None plan
+  else run_with (Some pool) plan
+
 (* {2 Explain} *)
 
 let explain ?(parallelism = 1) plan =
@@ -297,8 +304,13 @@ let row_of_shard_report (r : Sqp_parallel.Par_spatial_join.shard_report) =
     shard_comparisons = r.Sqp_parallel.Par_spatial_join.comparisons;
   }
 
-let run_analyze ?(parallelism = 1) plan =
+let analyze_impl ?(parallelism = 1) ?pool plan =
   if parallelism < 1 then invalid_arg "Plan.run_analyze: parallelism must be >= 1";
+  let parallelism =
+    match pool with
+    | Some p -> Sqp_parallel.Pool.domains p
+    | None -> parallelism
+  in
   let sources = stats_sources [] plan in
   let tracer = Sqp_obs.Trace.global () in
   let now = Unix.gettimeofday in
@@ -428,10 +440,13 @@ let run_analyze ?(parallelism = 1) plan =
   Sqp_obs.Trace.span_begin tracer "plan.run_analyze";
   let t0 = now () in
   let result, report =
-    if parallelism = 1 then exec None
-    else
-      Sqp_parallel.Pool.with_pool ~domains:parallelism (fun pool ->
-          exec (Some pool))
+    match pool with
+    | Some p -> exec (if Sqp_parallel.Pool.domains p = 1 then None else Some p)
+    | None ->
+        if parallelism = 1 then exec None
+        else
+          Sqp_parallel.Pool.with_pool ~domains:parallelism (fun pool ->
+              exec (Some pool))
   in
   let wall_seconds = now () -. t0 in
   Sqp_obs.Trace.span_end
@@ -439,6 +454,9 @@ let run_analyze ?(parallelism = 1) plan =
     tracer;
   let total_pages = delta sources befores in
   { result; report; total_pages; wall_seconds; parallelism }
+
+let run_analyze ?parallelism plan = analyze_impl ?parallelism plan
+let run_analyze_in_pool pool plan = analyze_impl ~pool plan
 
 let render_analysis a =
   let buf = Buffer.create 1024 in

@@ -61,6 +61,13 @@ val run : ?parallelism:int -> t -> Relation.t
     results identical to the sequential plan.
     @raise Invalid_argument if [parallelism < 1]. *)
 
+val run_in_pool : Sqp_parallel.Pool.t -> t -> Relation.t
+(** Like {!run}, but executing on a caller-provided (long-lived) domain
+    pool instead of spawning one per run — the mode the network server
+    uses, where many concurrent sessions share one pool.  A 1-domain
+    pool takes the plain sequential path; results are identical to
+    {!run} at any parallelism. *)
+
 val explain : ?parallelism:int -> t -> string
 (** An indented operator tree with schemas and row estimates, plus the
     implementation choice for each spatial join — including whether the
@@ -115,6 +122,10 @@ val run_analyze : ?parallelism:int -> t -> analysis
     domain pool is created and z-merge spatial joins run sharded,
     additionally filling in their [shard_table]).
     @raise Invalid_argument if [parallelism < 1]. *)
+
+val run_analyze_in_pool : Sqp_parallel.Pool.t -> t -> analysis
+(** {!run_analyze} on a caller-provided pool (see {!run_in_pool}); the
+    analysis's [parallelism] field reports the pool's domain count. *)
 
 val sum_pages : node_report -> Sqp_storage.Stats.t
 (** Sum of [pages] over the whole report tree.  Always equal, counter

@@ -9,6 +9,11 @@ type t = {
   pool : Relation.tuple array Buffer_pool.t;
   cardinality : int;
   tuples_per_page : int;
+  latch : Mutex.t;
+      (* Serializes access to the buffer pool (whose frame table and
+         replacement state are unsynchronized) so concurrent server
+         sessions may scan the same stored relation — the relational
+         analogue of a page latch. *)
 }
 
 let store ?name ?(tuples_per_page = 32) ?(pool_capacity = 8) ?policy r =
@@ -32,6 +37,7 @@ let store ?name ?(tuples_per_page = 32) ?(pool_capacity = 8) ?policy r =
     pool = Buffer_pool.create ?policy ~capacity:pool_capacity pager;
     cardinality = n;
     tuples_per_page;
+    latch = Mutex.create ();
   }
 
 let name t = t.name
@@ -249,12 +255,17 @@ let load_from ?io ?pool_capacity ?policy ~path () =
             (Relation.make ~name schema tuples))
 
 let scan t =
-  (* Forward page order (a real sequential scan), accumulating reversed. *)
-  let out = ref [] in
-  for p = 0 to Array.length t.page_ids - 1 do
-    let page = Buffer_pool.get t.pool t.page_ids.(p) in
-    for k = 0 to Array.length page - 1 do
-      out := page.(k) :: !out
-    done
-  done;
-  Relation.make ~name:t.name t.schema (List.rev !out)
+  Mutex.lock t.latch;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.latch)
+    (fun () ->
+      (* Forward page order (a real sequential scan), accumulating
+         reversed. *)
+      let out = ref [] in
+      for p = 0 to Array.length t.page_ids - 1 do
+        let page = Buffer_pool.get t.pool t.page_ids.(p) in
+        for k = 0 to Array.length page - 1 do
+          out := page.(k) :: !out
+        done
+      done;
+      Relation.make ~name:t.name t.schema (List.rev !out))

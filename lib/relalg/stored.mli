@@ -52,7 +52,10 @@ val stats : t -> Sqp_storage.Stats.t
 val scan : t -> Relation.t
 (** Read every page (in order, through the buffer pool) and rebuild the
     relation.  Each scan costs [pages t] buffer-pool lookups; hits and
-    misses depend on pool capacity and what ran before. *)
+    misses depend on pool capacity and what ran before.  Scans of the
+    same relation from concurrent threads are serialized on an internal
+    latch (the buffer pool's replacement state is unsynchronized), so
+    server sessions may share one catalog safely. *)
 
 (** {1 Durable snapshots}
 

@@ -1,0 +1,398 @@
+(* Binary codecs for values, schemas, relations and closure-free plans.
+   Everything here must be total on hostile input: decoders bounds-check
+   through the cursor and raise only [Corrupt]. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+type cursor = { buf : string; mutable pos : int }
+
+let cursor buf = { buf; pos = 0 }
+
+let cursor_at buf pos =
+  if pos < 0 || pos > String.length buf then invalid_arg "Wire.cursor_at";
+  { buf; pos }
+
+let remaining c = String.length c.buf - c.pos
+let at_end c = remaining c = 0
+
+let need c n what = if remaining c < n then corrupt "truncated %s" what
+
+(* {1 Scalars} *)
+
+let write_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let read_u8 c =
+  need c 1 "u8";
+  let v = Char.code c.buf.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let write_u32 b v =
+  if v < 0 || v > 0xffff_ffff then invalid_arg "Wire.write_u32";
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let read_u32 c =
+  need c 4 "u32";
+  let byte i = Char.code c.buf.[c.pos + i] in
+  let v = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+  c.pos <- c.pos + 4;
+  v
+
+let write_i64 b v =
+  let v = Int64.of_int v in
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL)))
+  done
+
+let read_i64 c =
+  need c 8 "i64";
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c.buf.[c.pos + i]))
+  done;
+  c.pos <- c.pos + 8;
+  Int64.to_int !v
+
+let write_string b s =
+  write_u32 b (String.length s);
+  Buffer.add_string b s
+
+let read_string c =
+  let n = read_u32 c in
+  need c n "string body";
+  let s = String.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+(* {1 Bitstrings}
+
+   Bit length, then the bits packed MSB-first — the same layout
+   [Sqp_zorder.Bitstring] uses internally, rebuilt bit by bit through its
+   public interface. *)
+
+let write_bitstring b bits =
+  let module B = Sqp_zorder.Bitstring in
+  let n = B.length bits in
+  write_u32 b n;
+  let byte = ref 0 in
+  for i = 0 to n - 1 do
+    if B.get bits i then byte := !byte lor (0x80 lsr (i mod 8));
+    if i mod 8 = 7 then begin
+      Buffer.add_char b (Char.chr !byte);
+      byte := 0
+    end
+  done;
+  if n mod 8 <> 0 then Buffer.add_char b (Char.chr !byte)
+
+let read_bitstring c =
+  let module B = Sqp_zorder.Bitstring in
+  let n = read_u32 c in
+  let nbytes = (n + 7) / 8 in
+  need c nbytes "bitstring body";
+  let base = c.pos in
+  let bits =
+    B.init n (fun i ->
+        Char.code c.buf.[base + (i / 8)] land (0x80 lsr (i mod 8)) <> 0)
+  in
+  c.pos <- c.pos + nbytes;
+  bits
+
+(* {1 Values} *)
+
+let write_value b (v : Value.t) =
+  match v with
+  | Value.Null -> write_u8 b 0
+  | Value.Int i ->
+      write_u8 b 1;
+      write_i64 b i
+  | Value.Float f ->
+      write_u8 b 2;
+      let bits = Int64.bits_of_float f in
+      for i = 7 downto 0 do
+        Buffer.add_char b
+          (Char.chr
+             (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xffL)))
+      done
+  | Value.Str s ->
+      write_u8 b 3;
+      write_string b s
+  | Value.Bool bo ->
+      write_u8 b 4;
+      write_u8 b (if bo then 1 else 0)
+  | Value.Zval z ->
+      write_u8 b 5;
+      write_bitstring b z
+
+let read_value c : Value.t =
+  match read_u8 c with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (read_i64 c)
+  | 2 ->
+      need c 8 "float";
+      let bits = ref 0L in
+      for i = 0 to 7 do
+        bits :=
+          Int64.logor (Int64.shift_left !bits 8)
+            (Int64.of_int (Char.code c.buf.[c.pos + i]))
+      done;
+      c.pos <- c.pos + 8;
+      Value.Float (Int64.float_of_bits !bits)
+  | 3 -> Value.Str (read_string c)
+  | 4 -> (
+      match read_u8 c with
+      | 0 -> Value.Bool false
+      | 1 -> Value.Bool true
+      | n -> corrupt "bool byte %d" n)
+  | 5 -> Value.Zval (read_bitstring c)
+  | t -> corrupt "unknown value tag %d" t
+
+(* {1 Schemas and relations} *)
+
+let ty_code : Value.ty -> int = function
+  | Value.TInt -> 0
+  | Value.TFloat -> 1
+  | Value.TStr -> 2
+  | Value.TBool -> 3
+  | Value.TZval -> 4
+
+let ty_of_code = function
+  | 0 -> Value.TInt
+  | 1 -> Value.TFloat
+  | 2 -> Value.TStr
+  | 3 -> Value.TBool
+  | 4 -> Value.TZval
+  | n -> corrupt "unknown type code %d" n
+
+let write_schema b s =
+  let attrs = Schema.attrs s in
+  write_u32 b (List.length attrs);
+  List.iter
+    (fun (name, ty) ->
+      write_string b name;
+      write_u8 b (ty_code ty))
+    attrs
+
+let read_schema c =
+  let n = read_u32 c in
+  if n > 10_000 then corrupt "schema arity %d" n;
+  let attrs =
+    List.init n (fun _ ->
+        let name = read_string c in
+        let ty = ty_of_code (read_u8 c) in
+        (name, ty))
+  in
+  match Schema.make attrs with
+  | s -> s
+  | exception Invalid_argument m -> corrupt "bad schema: %s" m
+
+let write_relation b r =
+  write_string b (Relation.name r);
+  write_schema b (Relation.schema r);
+  write_u32 b (Relation.cardinality r);
+  Relation.iter r (fun tu -> Array.iter (write_value b) tu)
+
+let read_relation c =
+  let name = read_string c in
+  let schema = read_schema c in
+  let count = read_u32 c in
+  let arity = Schema.arity schema in
+  (* Each value costs at least one tag byte, so a frame of [remaining]
+     bytes cannot hold more than that many values — reject inflated
+     counts before allocating. *)
+  if count * (max arity 1) > remaining c then corrupt "relation count %d" count;
+  let tuples =
+    List.init count (fun _ -> Array.init arity (fun _ -> read_value c))
+  in
+  let check_tuple tu =
+    List.iteri
+      (fun i (attr, ty) ->
+        match Value.type_of tu.(i) with
+        | None -> ()
+        | Some got ->
+            if got <> ty then
+              corrupt "attribute %s: value is %s, schema says %s" attr
+                (Value.ty_to_string got) (Value.ty_to_string ty))
+      (Schema.attrs schema)
+  in
+  List.iter check_tuple tuples;
+  match Relation.make ~name schema tuples with
+  | r -> r
+  | exception Invalid_argument m -> corrupt "bad relation: %s" m
+
+(* {1 Plans} *)
+
+type plan =
+  | Scan of string
+  | Select_equals of string * Value.t * plan
+  | Select_between of string * Value.t * Value.t * plan
+  | Project of string list * plan
+  | Project_all of string list * plan
+  | Rename of (string * string) list * plan
+  | Sort of string list * plan
+  | Natural_join of plan * plan
+  | Spatial_join of { zl : string; zr : string; left : plan; right : plan }
+  | Product of plan * plan
+  | Union of plan * plan
+
+let max_plan_depth = 64
+
+exception Unknown_relation of string
+
+let to_plan ~resolve plan =
+  let rec go = function
+    | Scan name -> (
+        match resolve name with
+        | Some p -> p
+        | None -> raise (Unknown_relation name))
+    | Select_equals (attr, v, p) -> Plan.Select (Plan.attr_equals attr v, go p)
+    | Select_between (attr, lo, hi, p) ->
+        Plan.Select (Plan.attr_between attr lo hi, go p)
+    | Project (names, p) -> Plan.Project (names, go p)
+    | Project_all (names, p) -> Plan.Project_all (names, go p)
+    | Rename (renames, p) -> Plan.Rename (renames, go p)
+    | Sort (keys, p) -> Plan.Sort (keys, go p)
+    | Natural_join (a, b) -> Plan.Natural_join (go a, go b)
+    | Spatial_join { zl; zr; left; right } ->
+        Plan.Spatial_join { zl; zr; left = go left; right = go right }
+    | Product (a, b) -> Plan.Product (go a, go b)
+    | Union (a, b) -> Plan.Union (go a, go b)
+  in
+  go plan
+
+let write_string_list b l =
+  write_u32 b (List.length l);
+  List.iter (write_string b) l
+
+let read_string_list c =
+  let n = read_u32 c in
+  if n > remaining c then corrupt "string list length %d" n;
+  List.init n (fun _ -> read_string c)
+
+let rec write_plan b = function
+  | Scan name ->
+      write_u8 b 1;
+      write_string b name
+  | Select_equals (attr, v, p) ->
+      write_u8 b 2;
+      write_string b attr;
+      write_value b v;
+      write_plan b p
+  | Select_between (attr, lo, hi, p) ->
+      write_u8 b 3;
+      write_string b attr;
+      write_value b lo;
+      write_value b hi;
+      write_plan b p
+  | Project (names, p) ->
+      write_u8 b 4;
+      write_string_list b names;
+      write_plan b p
+  | Project_all (names, p) ->
+      write_u8 b 5;
+      write_string_list b names;
+      write_plan b p
+  | Rename (renames, p) ->
+      write_u8 b 6;
+      write_u32 b (List.length renames);
+      List.iter
+        (fun (o, n) ->
+          write_string b o;
+          write_string b n)
+        renames;
+      write_plan b p
+  | Sort (keys, p) ->
+      write_u8 b 7;
+      write_string_list b keys;
+      write_plan b p
+  | Natural_join (a, b') ->
+      write_u8 b 8;
+      write_plan b a;
+      write_plan b b'
+  | Spatial_join { zl; zr; left; right } ->
+      write_u8 b 9;
+      write_string b zl;
+      write_string b zr;
+      write_plan b left;
+      write_plan b right
+  | Product (a, b') ->
+      write_u8 b 10;
+      write_plan b a;
+      write_plan b b'
+  | Union (a, b') ->
+      write_u8 b 11;
+      write_plan b a;
+      write_plan b b'
+
+let read_plan c =
+  let rec go depth =
+    if depth > max_plan_depth then corrupt "plan deeper than %d" max_plan_depth;
+    match read_u8 c with
+    | 1 -> Scan (read_string c)
+    | 2 ->
+        let attr = read_string c in
+        let v = read_value c in
+        Select_equals (attr, v, go (depth + 1))
+    | 3 ->
+        let attr = read_string c in
+        let lo = read_value c in
+        let hi = read_value c in
+        Select_between (attr, lo, hi, go (depth + 1))
+    | 4 ->
+        let names = read_string_list c in
+        Project (names, go (depth + 1))
+    | 5 ->
+        let names = read_string_list c in
+        Project_all (names, go (depth + 1))
+    | 6 ->
+        let n = read_u32 c in
+        if n > remaining c then corrupt "rename list length %d" n;
+        let renames =
+          List.init n (fun _ ->
+              let o = read_string c in
+              let n = read_string c in
+              (o, n))
+        in
+        Rename (renames, go (depth + 1))
+    | 7 ->
+        let keys = read_string_list c in
+        Sort (keys, go (depth + 1))
+    | 8 ->
+        let a = go (depth + 1) in
+        let b = go (depth + 1) in
+        Natural_join (a, b)
+    | 9 ->
+        let zl = read_string c in
+        let zr = read_string c in
+        let left = go (depth + 1) in
+        let right = go (depth + 1) in
+        Spatial_join { zl; zr; left; right }
+    | 10 ->
+        let a = go (depth + 1) in
+        let b = go (depth + 1) in
+        Product (a, b)
+    | 11 ->
+        let a = go (depth + 1) in
+        let b = go (depth + 1) in
+        Union (a, b)
+    | t -> corrupt "unknown plan tag %d" t
+  in
+  go 0
+
+(* {1 Convenience} *)
+
+let encode writer v =
+  let b = Buffer.create 256 in
+  writer b v;
+  Buffer.contents b
+
+let decode reader s =
+  let c = cursor s in
+  match reader c with
+  | v -> if at_end c then Ok v else Error "trailing bytes"
+  | exception Corrupt m -> Error m

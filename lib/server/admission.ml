@@ -1,0 +1,146 @@
+module Metrics = Sqp_obs.Metrics
+
+type t = {
+  max_in_flight : int;
+  max_queue : int;
+  m : Mutex.t;
+  mutable in_flight : int;
+  mutable queue_depth : int;
+  mutable is_draining : bool;
+  g_in_flight : Metrics.gauge;
+  g_queue : Metrics.gauge;
+  c_shed : Metrics.counter;
+  c_timeouts : Metrics.counter;
+  h_queue_wait : Metrics.histogram;
+}
+
+let create ?metrics ~max_in_flight ~max_queue () =
+  if max_in_flight < 1 then invalid_arg "Admission.create: max_in_flight < 1";
+  if max_queue < 0 then invalid_arg "Admission.create: max_queue < 0";
+  let reg = match metrics with Some m -> m | None -> Metrics.global () in
+  {
+    max_in_flight;
+    max_queue;
+    m = Mutex.create ();
+    in_flight = 0;
+    queue_depth = 0;
+    is_draining = false;
+    g_in_flight = Metrics.gauge reg "server.in_flight";
+    g_queue = Metrics.gauge reg "server.queue_depth";
+    c_shed = Metrics.counter reg "server.shed";
+    c_timeouts = Metrics.counter reg "server.timeouts";
+    h_queue_wait = Metrics.histogram reg "server.queue_wait_us";
+  }
+
+type outcome = Admitted | Shed | Timed_out | Draining
+
+(* The queue-wait loop polls at 1ms rather than using Condition
+   variables: OCaml's [Condition] has no timed wait, and deadlines must
+   fire even when no slot is ever released.  At server time scales the
+   extra millisecond of wake-up latency is noise. *)
+let poll_interval = 0.001
+
+let admit t =
+  t.in_flight <- t.in_flight + 1;
+  Metrics.set_gauge t.g_in_flight t.in_flight
+
+let acquire ?deadline t =
+  let enqueued_at = Unix.gettimeofday () in
+  Mutex.lock t.m;
+  if t.is_draining then begin
+    Mutex.unlock t.m;
+    Draining
+  end
+  else if t.in_flight < t.max_in_flight then begin
+    admit t;
+    Mutex.unlock t.m;
+    Admitted
+  end
+  else if t.queue_depth >= t.max_queue then begin
+    Mutex.unlock t.m;
+    Metrics.incr t.c_shed;
+    Shed
+  end
+  else begin
+    t.queue_depth <- t.queue_depth + 1;
+    Metrics.set_gauge t.g_queue t.queue_depth;
+    let leave outcome =
+      t.queue_depth <- t.queue_depth - 1;
+      Metrics.set_gauge t.g_queue t.queue_depth;
+      Mutex.unlock t.m;
+      Metrics.observe t.h_queue_wait
+        (int_of_float ((Unix.gettimeofday () -. enqueued_at) *. 1e6));
+      (match outcome with Timed_out -> Metrics.incr t.c_timeouts | _ -> ());
+      outcome
+    in
+    let rec wait () =
+      if t.is_draining then leave Draining
+      else if
+        match deadline with
+        | Some d -> Unix.gettimeofday () >= d
+        | None -> false
+      then leave Timed_out
+      else if t.in_flight < t.max_in_flight then begin
+        admit t;
+        leave Admitted
+      end
+      else begin
+        Mutex.unlock t.m;
+        Thread.delay poll_interval;
+        Mutex.lock t.m;
+        wait ()
+      end
+    in
+    wait ()
+  end
+
+let release t =
+  Mutex.lock t.m;
+  if t.in_flight <= 0 then begin
+    Mutex.unlock t.m;
+    invalid_arg "Admission.release without acquire"
+  end;
+  t.in_flight <- t.in_flight - 1;
+  Metrics.set_gauge t.g_in_flight t.in_flight;
+  Mutex.unlock t.m
+
+let with_slot ?deadline t f =
+  match acquire ?deadline t with
+  | Admitted ->
+      Fun.protect ~finally:(fun () -> release t) (fun () -> Ok (f ()))
+  | (Shed | Timed_out | Draining) as o -> Error o
+
+let begin_drain t =
+  Mutex.lock t.m;
+  t.is_draining <- true;
+  Mutex.unlock t.m
+
+let draining t =
+  Mutex.lock t.m;
+  let d = t.is_draining in
+  Mutex.unlock t.m;
+  d
+
+let await_drain t =
+  let rec wait () =
+    Mutex.lock t.m;
+    let busy = t.in_flight > 0 || t.queue_depth > 0 in
+    Mutex.unlock t.m;
+    if busy then begin
+      Thread.delay poll_interval;
+      wait ()
+    end
+  in
+  wait ()
+
+let in_flight t =
+  Mutex.lock t.m;
+  let n = t.in_flight in
+  Mutex.unlock t.m;
+  n
+
+let queued t =
+  Mutex.lock t.m;
+  let n = t.queue_depth in
+  Mutex.unlock t.m;
+  n

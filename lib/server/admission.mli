@@ -1,0 +1,56 @@
+(** Admission control: a bounded in-flight limit with a bounded wait
+    queue, per-request deadlines, load shedding and graceful drain.
+
+    The server admits at most [max_in_flight] queries into execution.
+    When every slot is busy, up to [max_queue] callers wait; beyond
+    that, {!acquire} returns {!Shed} immediately — the caller answers
+    [Overloaded] and the connection survives (load shedding, not
+    collapse).  A queued caller whose deadline passes leaves the queue
+    with {!Timed_out}, freeing its queue slot.  After {!begin_drain},
+    new callers get {!Draining} while already-admitted work finishes;
+    {!await_drain} blocks until the last slot is released.
+
+    All transitions are recorded in an {!Sqp_obs.Metrics} registry:
+    [server.in_flight] and [server.queue_depth] gauges,
+    [server.queue_wait_us] histogram, [server.shed] / [server.timeouts]
+    counters — the backpressure half of the serving dashboards. *)
+
+type t
+
+val create :
+  ?metrics:Sqp_obs.Metrics.t -> max_in_flight:int -> max_queue:int -> unit -> t
+(** [metrics] defaults to {!Sqp_obs.Metrics.global}.
+    @raise Invalid_argument if [max_in_flight < 1] or [max_queue < 0]. *)
+
+type outcome =
+  | Admitted  (** a slot is held; the caller must {!release} it *)
+  | Shed  (** queue full — answer [Overloaded] *)
+  | Timed_out  (** deadline expired while queued *)
+  | Draining  (** {!begin_drain} was called — answer [Shutting_down] *)
+
+val acquire : ?deadline:float -> t -> outcome
+(** Take an execution slot, waiting in the queue if necessary.
+    [deadline] is an absolute {!Unix.gettimeofday} instant.  Only
+    {!Admitted} transfers ownership of a slot. *)
+
+val release : t -> unit
+(** Return a slot taken by a successful {!acquire}.  Must be called
+    exactly once per {!Admitted}. *)
+
+val with_slot :
+  ?deadline:float -> t -> (unit -> 'a) -> ('a, outcome) result
+(** [with_slot t f]: acquire, run [f], always release; [Error] carries
+    the non-admission outcome. *)
+
+val begin_drain : t -> unit
+(** Stop admitting (idempotent).  Queued callers leave with
+    {!Draining}; in-flight callers are unaffected. *)
+
+val draining : t -> bool
+
+val await_drain : t -> unit
+(** Block until no query is in flight or queued.  Call after
+    {!begin_drain} (otherwise new admissions may keep it waiting). *)
+
+val in_flight : t -> int
+val queued : t -> int

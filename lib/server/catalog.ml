@@ -1,0 +1,96 @@
+module Z = Sqp_zorder
+module R = Sqp_relalg
+
+type t = {
+  space : Z.Space.t;
+  points_rel : R.Relation.t;  (* "P": id, z, x0..xk — range-search side *)
+  relations : (string * R.Plan.t) list;
+}
+
+let make ~space ~points ~relations =
+  let points_rel = R.Query.points_relation space points in
+  let relations =
+    if List.mem_assoc "P" relations then relations
+    else relations @ [ ("P", R.Plan.Scan points_rel) ]
+  in
+  { space; points_rel; relations }
+
+let of_seeded ?tuples_per_page ?pool_capacity (wk : Sqp_workload.Seeded.t) =
+  let module W = Sqp_workload.Seeded in
+  let space = wk.W.space in
+  let points =
+    Array.to_list (Array.mapi (fun i p -> (i, p)) wk.W.points)
+  in
+  let stored name renames objects =
+    R.Stored.store ?tuples_per_page ?pool_capacity
+      (R.Ops.rename renames
+         (R.Query.decompose_relation ~name ~options:wk.W.decompose_options space
+            objects))
+  in
+  let r = stored "R" [ ("id", "rid"); ("z", "zr") ] wk.W.left_objects in
+  let s = stored "S" [ ("id", "sid"); ("z", "zs") ] wk.W.right_objects in
+  make ~space ~points
+    ~relations:
+      [ ("R", R.Plan.Scan_stored r); ("S", R.Plan.Scan_stored s) ]
+
+let space t = t.space
+
+let names t = List.sort compare (List.map fst t.relations)
+
+let resolve t name = List.assoc_opt name t.relations
+
+let range_plan t ~lo ~hi =
+  let dims = Z.Space.dims t.space and side = Z.Space.side t.space in
+  if Array.length lo <> dims || Array.length hi <> dims then
+    invalid_arg
+      (Printf.sprintf "range bounds must have %d coordinates, got %d/%d" dims
+         (Array.length lo) (Array.length hi));
+  Array.iteri
+    (fun i c ->
+      if c < 0 || c >= side || hi.(i) < 0 || hi.(i) >= side then
+        invalid_arg
+          (Printf.sprintf "range bounds outside the %dx%d grid" side side))
+    lo;
+  let box = Sqp_geom.Box.make ~lo ~hi (* raises on inverted bounds *) in
+  let b =
+    R.Ops.rename [ ("z", "zb") ] (R.Query.box_relation t.space box)
+  in
+  let coords = List.init dims (fun i -> Printf.sprintf "x%d" i) in
+  R.Plan.Project
+    ( coords,
+      R.Plan.Spatial_join
+        {
+          zl = "z";
+          zr = "zb";
+          left = R.Plan.Scan t.points_rel;
+          right = R.Plan.Scan b;
+        } )
+
+let overlap_plan t =
+  match (resolve t "R", resolve t "S") with
+  | Some r, Some s ->
+      R.Plan.Project
+        ( [ "rid"; "sid" ],
+          R.Plan.Spatial_join { zl = "zr"; zr = "zs"; left = r; right = s } )
+  | _ -> invalid_arg "Catalog.overlap_plan: catalog lacks R or S"
+
+let health_detail t =
+  let buf = Buffer.create 128 in
+  let healthy = ref true in
+  Printf.bprintf buf "space: %dd, side %d; relations:" (Z.Space.dims t.space)
+    (Z.Space.side t.space);
+  List.iter
+    (fun name ->
+      match resolve t name with
+      | None -> ()
+      | Some plan -> (
+          match R.Plan.schema plan with
+          | schema ->
+              Printf.bprintf buf " %s(%s)~%.0f" name
+                (String.concat "," (R.Schema.names schema))
+                (R.Plan.estimated_rows plan)
+          | exception _ ->
+              healthy := false;
+              Printf.bprintf buf " %s(BROKEN SCHEMA)" name))
+    (names t);
+  (!healthy, Buffer.contents buf)

@@ -1,0 +1,51 @@
+(** What a server instance serves: a space, a point set for range
+    queries, and named relations that wire plans may [Scan].
+
+    The catalog is built once at startup and is immutable thereafter;
+    concurrent sessions share it (stored relations latch their buffer
+    pools internally — see {!Sqp_relalg.Stored.scan}). *)
+
+type t
+
+val make :
+  space:Sqp_zorder.Space.t ->
+  points:(int * Sqp_geom.Point.t) list ->
+  relations:(string * Sqp_relalg.Plan.t) list ->
+  t
+(** [points] backs [Range_search] requests; [relations] resolves the
+    [Scan name] leaves of wire plans.  The points are also published as
+    relation ["P"] (id, z, coordinates) unless [relations] already
+    binds that name. *)
+
+val of_seeded :
+  ?tuples_per_page:int -> ?pool_capacity:int -> Sqp_workload.Seeded.t -> t
+(** The canonical serving catalog, built from the shared seeded
+    workload: ["P"] — the point relation; ["R"] / ["S"] — the two
+    spatial-join sides, decomposed and materialized onto paged stored
+    relations with attributes [(rid, zr)] / [(sid, zs)], exactly as
+    {!Sqp_relalg.Query.stored_overlap_plan} lays them out. *)
+
+val space : t -> Sqp_zorder.Space.t
+
+val names : t -> string list
+(** Bound relation names, sorted. *)
+
+val resolve : t -> string -> Sqp_relalg.Plan.t option
+
+val range_plan : t -> lo:int array -> hi:int array -> Sqp_relalg.Plan.t
+(** The Section 4 range-query script as a plan: decompose the box,
+    spatial-join it with the point relation on z, project the
+    coordinates.
+    @raise Invalid_argument if the bounds have the wrong dimensionality,
+    lie outside the grid, or are inverted. *)
+
+val overlap_plan : t -> Sqp_relalg.Plan.t
+(** The canonical join over ["R"] and ["S"]: candidate overlapping
+    object-id pairs [(rid, sid)] — the same plan {!of_seeded} clients
+    send as [Project ["rid"; "sid"] (Spatial_join ...)].
+    @raise Invalid_argument if the catalog lacks ["R"] or ["S"]. *)
+
+val health_detail : t -> bool * string
+(** A cheap self-check: every named relation's plan must produce a
+    schema (catches catalog misconfiguration); reports names and
+    cardinality estimates.  [(healthy, human-readable summary)]. *)

@@ -1,0 +1,74 @@
+module P = Protocol
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+exception Disconnected of string
+
+let disconnected fmt = Printf.ksprintf (fun s -> raise (Disconnected s)) fmt
+
+let connect ?(host = "127.0.0.1") ~port () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_connect ?host ~port f =
+  let t = connect ?host ~port () in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let call ?deadline_ms t request =
+  if t.closed then disconnected "connection already closed";
+  (try P.write_frame t.fd (P.encode_request { P.deadline_ms; request })
+   with Unix.Unix_error (e, _, _) ->
+     disconnected "write failed: %s" (Unix.error_message e));
+  match P.read_frame t.fd with
+  | Error e -> disconnected "%s" (P.read_error_to_string e)
+  | exception Unix.Unix_error (e, _, _) ->
+      disconnected "read failed: %s" (Unix.error_message e)
+  | Ok payload -> (
+      match P.decode_response payload with
+      | Ok resp -> resp
+      | Error m -> disconnected "undecodable response: %s" m)
+
+type 'a reply = ('a, Protocol.error_code * string) result
+
+let reply_of expected = function
+  | P.Error { code; message } -> Error (code, message)
+  | resp -> (
+      match expected resp with
+      | Some v -> Ok v
+      | None -> disconnected "response kind does not match the request")
+
+let range_search ?deadline_ms t ~lo ~hi =
+  reply_of
+    (function P.Rows r -> Some r | _ -> None)
+    (call ?deadline_ms t (P.Range_search { lo; hi }))
+
+let query ?deadline_ms t plan =
+  reply_of
+    (function P.Rows r -> Some r | _ -> None)
+    (call ?deadline_ms t (P.Query plan))
+
+let explain ?deadline_ms t plan =
+  reply_of
+    (function P.Text s -> Some s | _ -> None)
+    (call ?deadline_ms t (P.Explain plan))
+
+let analyze ?deadline_ms t plan =
+  reply_of
+    (function P.Analyzed { rendered; rows } -> Some (rendered, rows) | _ -> None)
+    (call ?deadline_ms t (P.Analyze plan))
+
+let health t =
+  reply_of
+    (function P.Health_report h -> Some h | _ -> None)
+    (call t P.Health)

@@ -1,0 +1,53 @@
+(** A blocking client for the {!Protocol} wire format — the library
+    under [sqp shell] and [sqp bench-net], and the far end the
+    end-to-end tests drive.
+
+    One connection carries one request at a time (the protocol has no
+    frame multiplexing); for concurrency, open one client per thread.
+    Transport failures raise {!Disconnected}; {e protocol}-level
+    failures are ordinary values — the typed [Error] responses the
+    server answers with ([Overloaded], [Timed_out], ...). *)
+
+type t
+
+exception Disconnected of string
+(** The TCP stream died or the peer sent an undecodable frame. *)
+
+val connect : ?host:string -> port:int -> unit -> t
+(** [host] defaults to ["127.0.0.1"].
+    @raise Unix.Unix_error if the connection is refused. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val with_connect : ?host:string -> port:int -> (t -> 'a) -> 'a
+(** Connect, run, always close. *)
+
+val call : ?deadline_ms:int -> t -> Protocol.request -> Protocol.response
+(** Send one request, wait for its response.  [deadline_ms] is shipped
+    in the frame and enforced by the server.
+    @raise Disconnected on transport failure. *)
+
+(** {1 Typed conveniences}
+
+    Each returns [Error (code, message)] when the server answered with
+    a typed error, and raises {!Disconnected} if the response kind does
+    not match the request (a protocol violation). *)
+
+type 'a reply = ('a, Protocol.error_code * string) result
+
+val range_search :
+  ?deadline_ms:int -> t -> lo:int array -> hi:int array ->
+  Sqp_relalg.Relation.t reply
+
+val query :
+  ?deadline_ms:int -> t -> Sqp_relalg.Wire.plan -> Sqp_relalg.Relation.t reply
+
+val explain : ?deadline_ms:int -> t -> Sqp_relalg.Wire.plan -> string reply
+
+val analyze :
+  ?deadline_ms:int -> t -> Sqp_relalg.Wire.plan ->
+  (string * Sqp_relalg.Relation.t) reply
+(** [(rendered EXPLAIN ANALYZE tree, result rows)]. *)
+
+val health : t -> Protocol.health reply

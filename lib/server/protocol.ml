@@ -1,0 +1,259 @@
+module Wire = Sqp_relalg.Wire
+
+let version = 1
+let default_max_frame_bytes = 8 * 1024 * 1024
+
+(* {1 Messages} *)
+
+type request =
+  | Range_search of { lo : int array; hi : int array }
+  | Query of Sqp_relalg.Wire.plan
+  | Explain of Sqp_relalg.Wire.plan
+  | Analyze of Sqp_relalg.Wire.plan
+  | Health
+
+type request_frame = { deadline_ms : int option; request : request }
+
+type error_code =
+  | Bad_request
+  | Unsupported_version
+  | Unknown_relation
+  | Overloaded
+  | Timed_out
+  | Shutting_down
+  | Server_error
+
+type health = {
+  healthy : bool;
+  detail : string;
+  in_flight : int;
+  queued : int;
+  served : int;
+}
+
+type response =
+  | Rows of Sqp_relalg.Relation.t
+  | Text of string
+  | Analyzed of { rendered : string; rows : Sqp_relalg.Relation.t }
+  | Health_report of health
+  | Error of { code : error_code; message : string }
+
+let error_code_name = function
+  | Bad_request -> "bad_request"
+  | Unsupported_version -> "unsupported_version"
+  | Unknown_relation -> "unknown_relation"
+  | Overloaded -> "overloaded"
+  | Timed_out -> "timed_out"
+  | Shutting_down -> "shutting_down"
+  | Server_error -> "server_error"
+
+let error_code_byte = function
+  | Bad_request -> 0
+  | Unsupported_version -> 1
+  | Unknown_relation -> 2
+  | Overloaded -> 3
+  | Timed_out -> 4
+  | Shutting_down -> 5
+  | Server_error -> 6
+
+let error_code_of_byte = function
+  | 0 -> Bad_request
+  | 1 -> Unsupported_version
+  | 2 -> Unknown_relation
+  | 3 -> Overloaded
+  | 4 -> Timed_out
+  | 5 -> Shutting_down
+  | 6 -> Server_error
+  | n -> raise (Wire.Corrupt (Printf.sprintf "unknown error code %d" n))
+
+(* {1 Payload codecs}
+
+   Payload = version:u8 | tag:u8 | body.  Request body opens with the
+   deadline (u32 milliseconds, 0 = none). *)
+
+let write_int_array b a =
+  Wire.write_u32 b (Array.length a);
+  Array.iter (Wire.write_i64 b) a
+
+let read_int_array c =
+  let n = Wire.read_u32 c in
+  if n > 64 then raise (Wire.Corrupt (Printf.sprintf "dimension count %d" n));
+  Array.init n (fun _ -> Wire.read_i64 c)
+
+let encode_request { deadline_ms; request } =
+  let b = Buffer.create 64 in
+  Wire.write_u8 b version;
+  Wire.write_u8 b
+    (match request with
+    | Range_search _ -> 1
+    | Query _ -> 2
+    | Explain _ -> 3
+    | Analyze _ -> 4
+    | Health -> 5);
+  Wire.write_u32 b (match deadline_ms with None -> 0 | Some ms -> max 1 ms);
+  (match request with
+  | Range_search { lo; hi } ->
+      write_int_array b lo;
+      write_int_array b hi
+  | Query plan | Explain plan | Analyze plan -> Wire.write_plan b plan
+  | Health -> ());
+  Buffer.contents b
+
+let decode_request payload =
+  if String.length payload < 2 then
+    Stdlib.Error (Bad_request, "payload shorter than 2 bytes")
+  else
+    let c = Wire.cursor payload in
+    let ver = Wire.read_u8 c in
+    if ver <> version then
+      Stdlib.Error
+        ( Unsupported_version,
+          Printf.sprintf "protocol version %d; this server speaks %d" ver version )
+    else
+      let tag = Wire.read_u8 c in
+      match
+        let deadline_ms =
+          match Wire.read_u32 c with 0 -> None | ms -> Some ms
+        in
+        let request =
+          match tag with
+          | 1 ->
+              let lo = read_int_array c in
+              let hi = read_int_array c in
+              if Array.length lo <> Array.length hi then
+                raise (Wire.Corrupt "lo/hi dimensionality mismatch");
+              Range_search { lo; hi }
+          | 2 -> Query (Wire.read_plan c)
+          | 3 -> Explain (Wire.read_plan c)
+          | 4 -> Analyze (Wire.read_plan c)
+          | 5 -> Health
+          | t -> raise (Wire.Corrupt (Printf.sprintf "unknown request tag %d" t))
+        in
+        if not (Wire.at_end c) then raise (Wire.Corrupt "trailing bytes");
+        { deadline_ms; request }
+      with
+      | frame -> Stdlib.Ok frame
+      | exception Wire.Corrupt m -> Stdlib.Error (Bad_request, m)
+
+let encode_response resp =
+  let b = Buffer.create 256 in
+  Wire.write_u8 b version;
+  (match resp with
+  | Rows r ->
+      Wire.write_u8 b 1;
+      Wire.write_relation b r
+  | Text s ->
+      Wire.write_u8 b 2;
+      Wire.write_string b s
+  | Analyzed { rendered; rows } ->
+      Wire.write_u8 b 3;
+      Wire.write_string b rendered;
+      Wire.write_relation b rows
+  | Health_report h ->
+      Wire.write_u8 b 4;
+      Wire.write_u8 b (if h.healthy then 1 else 0);
+      Wire.write_string b h.detail;
+      Wire.write_i64 b h.in_flight;
+      Wire.write_i64 b h.queued;
+      Wire.write_i64 b h.served
+  | Error { code; message } ->
+      Wire.write_u8 b 5;
+      Wire.write_u8 b (error_code_byte code);
+      Wire.write_string b message);
+  Buffer.contents b
+
+let decode_response payload =
+  if String.length payload < 2 then Stdlib.Error "payload shorter than 2 bytes"
+  else
+    let c = Wire.cursor payload in
+    match
+      let ver = Wire.read_u8 c in
+      if ver <> version then
+        raise (Wire.Corrupt (Printf.sprintf "unsupported response version %d" ver));
+      let resp =
+        match Wire.read_u8 c with
+        | 1 -> Rows (Wire.read_relation c)
+        | 2 -> Text (Wire.read_string c)
+        | 3 ->
+            let rendered = Wire.read_string c in
+            let rows = Wire.read_relation c in
+            Analyzed { rendered; rows }
+        | 4 ->
+            let healthy = Wire.read_u8 c <> 0 in
+            let detail = Wire.read_string c in
+            let in_flight = Wire.read_i64 c in
+            let queued = Wire.read_i64 c in
+            let served = Wire.read_i64 c in
+            Health_report { healthy; detail; in_flight; queued; served }
+        | 5 ->
+            let code = error_code_of_byte (Wire.read_u8 c) in
+            let message = Wire.read_string c in
+            Error { code; message }
+        | t -> raise (Wire.Corrupt (Printf.sprintf "unknown response tag %d" t))
+      in
+      if not (Wire.at_end c) then raise (Wire.Corrupt "trailing bytes");
+      resp
+    with
+    | resp -> Stdlib.Ok resp
+    | exception Wire.Corrupt m -> Stdlib.Error m
+
+(* {1 Frame I/O} *)
+
+type read_error = Eof | Truncated | Oversized of int
+
+let read_error_to_string = function
+  | Eof -> "clean end of stream"
+  | Truncated -> "stream ended mid-frame"
+  | Oversized n -> Printf.sprintf "advertised payload of %d bytes out of range" n
+
+let rec retry_intr f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
+
+(* Read exactly [n] bytes: [Ok bytes], or [Error read] if the stream
+   ended after [read] bytes. *)
+let really_read fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Stdlib.Ok (Bytes.unsafe_to_string buf)
+    else
+      match retry_intr (fun () -> Unix.read fd buf off (n - off)) with
+      | 0 -> Stdlib.Error off
+      | k -> go (off + k)
+  in
+  go 0
+
+let read_frame ?(max_bytes = default_max_frame_bytes) fd =
+  match really_read fd 4 with
+  | Stdlib.Error 0 -> Stdlib.Error Eof
+  | Stdlib.Error _ -> Stdlib.Error Truncated
+  | Stdlib.Ok prefix ->
+      let byte i = Char.code prefix.[i] in
+      let len = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+      if len < 2 || len > max_bytes then Stdlib.Error (Oversized len)
+      else (
+        match really_read fd len with
+        | Stdlib.Error _ -> Stdlib.Error Truncated
+        | Stdlib.Ok payload -> Stdlib.Ok payload)
+
+let really_write fd s =
+  let buf = Bytes.unsafe_of_string s in
+  let n = Bytes.length buf in
+  let rec go off =
+    if off < n then
+      let k = retry_intr (fun () -> Unix.write fd buf off (n - off)) in
+      go (off + k)
+  in
+  go 0
+
+let write_frame fd payload =
+  let n = String.length payload in
+  if n < 2 || n > 0xffff_ffff then
+    invalid_arg "Protocol.write_frame: payload length out of range";
+  let prefix = Bytes.create 4 in
+  Bytes.set prefix 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set prefix 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set prefix 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set prefix 3 (Char.chr (n land 0xff));
+  (* One writev-style call would be nicer; two writes keep it simple and
+     the kernel coalesces them (TCP_NODELAY is not set). *)
+  really_write fd (Bytes.unsafe_to_string prefix);
+  really_write fd payload

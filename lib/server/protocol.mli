@@ -1,0 +1,117 @@
+(** The wire protocol: versioned, length-prefixed binary frames.
+
+    Frame layout on the socket (all integers big-endian):
+
+    {v
+    +-------------+-----------+-------+-------------------+
+    | length: u32 | ver: u8   | tag:u8| body (length - 2) |
+    +-------------+-----------+-------+-------------------+
+    v}
+
+    [length] counts the payload (version byte, tag byte and body) and
+    must be between 2 and the reader's [max_bytes]; anything else is a
+    framing error and ends the session.  Within a well-framed payload,
+    decoding errors are {e recoverable}: the bytes were fully consumed,
+    so the server answers a typed {!constructor-Error} response and the
+    session continues.
+
+    Version {!version} (= 1) is the only version either side speaks; a
+    request frame with a different version byte draws an
+    [Unsupported_version] error response (the error frame itself is
+    encoded at version 1, lowest-common-denominator style).
+
+    Requests carry a deadline in milliseconds (0 = none).  Responses
+    mirror requests; every request can also draw [Error].  Codecs are
+    total on hostile bytes: [decode_*] return [Result], never raise. *)
+
+val version : int
+(** Protocol version, currently 1. *)
+
+val default_max_frame_bytes : int
+(** Reader-side payload cap, 8 MiB. *)
+
+(** {1 Messages} *)
+
+type request =
+  | Range_search of { lo : int array; hi : int array }
+      (** Range query over the server's point set: coordinates of the
+          points inside the box \[lo, hi\] (inclusive, one bound per
+          dimension). *)
+  | Query of Sqp_relalg.Wire.plan
+      (** Execute a closure-free plan against the server catalog. *)
+  | Explain of Sqp_relalg.Wire.plan  (** Optimize + EXPLAIN, no execution. *)
+  | Analyze of Sqp_relalg.Wire.plan
+      (** EXPLAIN ANALYZE: execute under measurement, return both the
+          annotated operator tree and the result rows. *)
+  | Health  (** Liveness + catalog check; bypasses admission control. *)
+
+type request_frame = { deadline_ms : int option; request : request }
+(** What a request payload decodes to.  [deadline_ms] bounds queue wait
+    plus execution; expiry draws [Error Timed_out]. *)
+
+type error_code =
+  | Bad_request  (** undecodable payload or malformed plan *)
+  | Unsupported_version  (** version byte <> {!version} *)
+  | Unknown_relation  (** plan names a relation the catalog lacks *)
+  | Overloaded  (** admission queue full: load was shed *)
+  | Timed_out  (** the request's deadline expired *)
+  | Shutting_down  (** server is draining; retry elsewhere *)
+  | Server_error  (** execution raised; message has details *)
+
+type health = {
+  healthy : bool;
+  detail : string;  (** human-readable catalog/self-check summary *)
+  in_flight : int;  (** queries executing right now *)
+  queued : int;  (** queries waiting for an execution slot *)
+  served : int;  (** requests answered since startup *)
+}
+
+type response =
+  | Rows of Sqp_relalg.Relation.t  (** result of [Range_search]/[Query] *)
+  | Text of string  (** result of [Explain] *)
+  | Analyzed of { rendered : string; rows : Sqp_relalg.Relation.t }
+      (** result of [Analyze] *)
+  | Health_report of health
+  | Error of { code : error_code; message : string }
+
+val error_code_name : error_code -> string
+(** Stable lower-snake name, e.g. ["overloaded"]. *)
+
+(** {1 Payload codecs}
+
+    These encode/decode the frame {e payload} (version byte, tag byte,
+    body) — the length prefix belongs to the frame I/O below. *)
+
+val encode_request : request_frame -> string
+
+val decode_request : string -> (request_frame, error_code * string) result
+(** [Error (Unsupported_version, _)] when the version byte differs,
+    [Error (Bad_request, _)] on anything else malformed. *)
+
+val encode_response : response -> string
+
+val decode_response : string -> (response, string) result
+
+(** {1 Frame I/O}
+
+    Blocking reads/writes of whole frames on a file descriptor.  [EINTR]
+    is retried; short reads are completed or reported. *)
+
+type read_error =
+  | Eof  (** clean end of stream before any byte of a frame *)
+  | Truncated  (** the stream ended mid-frame *)
+  | Oversized of int  (** advertised payload length out of \[2, max\] *)
+
+val read_error_to_string : read_error -> string
+
+val read_frame :
+  ?max_bytes:int -> Unix.file_descr -> (string, read_error) result
+(** Read one length-prefixed payload.  After [Oversized] the stream
+    position is unusable (the payload was not consumed); close the
+    connection. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write the length prefix and payload.
+    @raise Invalid_argument if the payload exceeds [u32] or is shorter
+    than 2 bytes.
+    @raise Unix.Unix_error as write(2) does, e.g. [EPIPE]. *)

@@ -1,0 +1,336 @@
+module P = Protocol
+module R = Sqp_relalg
+module Metrics = Sqp_obs.Metrics
+
+type config = {
+  host : string;
+  port : int;
+  parallelism : int;
+  max_in_flight : int;
+  max_queue : int;
+  max_frame_bytes : int;
+  default_deadline_ms : int option;
+  on_execute : unit -> unit;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    parallelism = 2;
+    max_in_flight = 8;
+    max_queue = 32;
+    max_frame_bytes = P.default_max_frame_bytes;
+    default_deadline_ms = None;
+    on_execute = ignore;
+  }
+
+type t = {
+  config : config;
+  cat : Catalog.t;
+  pool : Sqp_parallel.Pool.t;
+  adm : Admission.t;
+  lfd : Unix.file_descr;
+  bound_port : int;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  mutable acceptor : Thread.t option;
+  mutable sessions : (Unix.file_descr * Thread.t option ref) list;
+      (* The thread slot is filled right after spawn; [stop] joins the
+         acceptor first, so by the time it walks this list every slot of
+         a registered session is filled. *)
+  m : Mutex.t;
+  (* instruments *)
+  c_requests : Metrics.counter;
+  c_ok : Metrics.counter;
+  c_err : Metrics.counter;
+  c_bad_frames : Metrics.counter;
+  c_timeouts : Metrics.counter;
+  h_latency : Metrics.histogram;
+  c_sessions : Metrics.counter;
+  g_active_sessions : Metrics.gauge;
+}
+
+let port t = t.bound_port
+let catalog t = t.cat
+
+let now = Unix.gettimeofday
+
+let expired = function None -> false | Some d -> now () >= d
+
+(* {1 Execution}
+
+   Plan failures must come back as typed errors, not dead sessions:
+   unresolvable names map to [Unknown_relation], malformed plans
+   (missing attributes, clashing schemas) to [Bad_request], anything
+   else to [Server_error]. *)
+
+let guard f =
+  try f () with
+  | Sqp_relalg.Wire.Unknown_relation name ->
+      P.Error
+        {
+          code = P.Unknown_relation;
+          message = Printf.sprintf "no relation %S in the catalog" name;
+        }
+  | Invalid_argument m -> P.Error { code = P.Bad_request; message = m }
+  | Not_found ->
+      P.Error
+        { code = P.Bad_request; message = "plan references an unknown attribute" }
+  | e -> P.Error { code = P.Server_error; message = Printexc.to_string e }
+
+let instantiate t wplan =
+  R.Plan.optimize
+    (R.Wire.to_plan ~resolve:(Catalog.resolve t.cat) wplan)
+
+let execute t request =
+  match request with
+  | P.Range_search { lo; hi } ->
+      guard (fun () ->
+          let plan = R.Plan.optimize (Catalog.range_plan t.cat ~lo ~hi) in
+          P.Rows (R.Plan.run_in_pool t.pool plan))
+  | P.Query wplan ->
+      guard (fun () -> P.Rows (R.Plan.run_in_pool t.pool (instantiate t wplan)))
+  | P.Explain wplan ->
+      guard (fun () ->
+          P.Text
+            (R.Plan.explain
+               ~parallelism:(Sqp_parallel.Pool.domains t.pool)
+               (instantiate t wplan)))
+  | P.Analyze wplan ->
+      guard (fun () ->
+          let a = R.Plan.run_analyze_in_pool t.pool (instantiate t wplan) in
+          P.Analyzed
+            { rendered = R.Plan.render_analysis a; rows = a.R.Plan.result })
+  | P.Health -> assert false (* handled before admission *)
+
+let health t =
+  let healthy, detail = Catalog.health_detail t.cat in
+  P.Health_report
+    {
+      P.healthy = healthy && not t.stopping;
+      detail = (if t.stopping then detail ^ "; draining" else detail);
+      in_flight = Admission.in_flight t.adm;
+      queued = Admission.queued t.adm;
+      served =
+        Metrics.counter_value t.c_ok + Metrics.counter_value t.c_err;
+    }
+
+let handle t payload =
+  let arrival = now () in
+  Metrics.incr t.c_requests;
+  let respond resp =
+    Metrics.observe t.h_latency (int_of_float ((now () -. arrival) *. 1e6));
+    (match resp with
+    | P.Error _ -> Metrics.incr t.c_err
+    | _ -> Metrics.incr t.c_ok);
+    resp
+  in
+  match P.decode_request payload with
+  | Error (code, message) -> respond (P.Error { code; message })
+  | Ok { P.deadline_ms; request = P.Health } ->
+      ignore deadline_ms;
+      respond (health t)
+  | Ok { P.deadline_ms; request } -> (
+      let deadline =
+        match
+          (match deadline_ms with Some _ -> deadline_ms | None -> t.config.default_deadline_ms)
+        with
+        | Some ms -> Some (arrival +. (float_of_int ms /. 1000.))
+        | None -> None
+      in
+      match Admission.acquire ?deadline t.adm with
+      | Admission.Shed ->
+          respond
+            (P.Error
+               {
+                 code = P.Overloaded;
+                 message =
+                   Printf.sprintf "load shed: %d in flight, queue of %d full"
+                     t.config.max_in_flight t.config.max_queue;
+               })
+      | Admission.Timed_out ->
+          respond
+            (P.Error
+               { code = P.Timed_out; message = "deadline expired in queue" })
+      | Admission.Draining ->
+          respond
+            (P.Error { code = P.Shutting_down; message = "server is draining" })
+      | Admission.Admitted ->
+          Fun.protect
+            ~finally:(fun () -> Admission.release t.adm)
+            (fun () ->
+              t.config.on_execute ();
+              if expired deadline then begin
+                Metrics.incr t.c_timeouts;
+                respond
+                  (P.Error
+                     {
+                       code = P.Timed_out;
+                       message = "deadline expired before execution";
+                     })
+              end
+              else
+                let resp = execute t request in
+                if expired deadline then begin
+                  Metrics.incr t.c_timeouts;
+                  respond
+                    (P.Error
+                       {
+                         code = P.Timed_out;
+                         message = "deadline expired during execution";
+                       })
+                end
+                else respond resp))
+
+(* {1 Sessions} *)
+
+let unregister t fd =
+  Mutex.lock t.m;
+  t.sessions <- List.filter (fun (fd', _) -> fd' != fd) t.sessions;
+  Metrics.set_gauge t.g_active_sessions (List.length t.sessions);
+  Mutex.unlock t.m
+
+let session t fd =
+  let rec loop () =
+    match P.read_frame ~max_bytes:t.config.max_frame_bytes fd with
+    | Error P.Eof -> ()
+    | Error P.Truncated -> Metrics.incr t.c_bad_frames
+    | Error (P.Oversized n) ->
+        (* The payload was not consumed, so the stream cannot be
+           resynchronized: answer once (best effort) and hang up. *)
+        Metrics.incr t.c_bad_frames;
+        (try
+           P.write_frame fd
+             (P.encode_response
+                (P.Error
+                   {
+                     code = P.Bad_request;
+                     message = P.read_error_to_string (P.Oversized n);
+                   }))
+         with _ -> ())
+    | Ok payload -> (
+        let resp = handle t payload in
+        match P.write_frame fd (P.encode_response resp) with
+        | () -> loop ()
+        | exception _ -> () (* client went away mid-response *))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Unregister first: once off the list, [stop] cannot touch this
+         fd, so closing (and the OS reusing the number) is safe. *)
+      unregister t fd;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+(* {1 Accepting} *)
+
+let rec accept_loop t =
+  match Unix.accept ~cloexec:true t.lfd with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop t
+  | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EAGAIN), _, _) ->
+      accept_loop t
+  | exception Unix.Unix_error _ ->
+      () (* listen socket closed or broken: stop accepting *)
+  | fd, _ ->
+      if t.stopping then begin
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        () (* the wake-up connection from [stop] *)
+      end
+      else begin
+        Metrics.incr t.c_sessions;
+        (* Register before spawning so [stop] can never miss a session
+           it has to join. *)
+        let slot = ref None in
+        Mutex.lock t.m;
+        t.sessions <- (fd, slot) :: t.sessions;
+        Metrics.set_gauge t.g_active_sessions (List.length t.sessions);
+        Mutex.unlock t.m;
+        slot := Some (Thread.create (fun () -> session t fd) ());
+        accept_loop t
+      end
+
+let start ?(config = default_config) ?metrics cat =
+  if config.parallelism < 1 then invalid_arg "Server.start: parallelism < 1";
+  (* A dead client must surface as EPIPE on write, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let reg = match metrics with Some m -> m | None -> Metrics.global () in
+  let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+     Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen lfd 64
+   with e ->
+     (try Unix.close lfd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let t =
+    {
+      config;
+      cat;
+      pool = Sqp_parallel.Pool.create ~domains:config.parallelism;
+      adm =
+        Admission.create ~metrics:reg ~max_in_flight:config.max_in_flight
+          ~max_queue:config.max_queue ();
+      lfd;
+      bound_port;
+      stopping = false;
+      stopped = false;
+      acceptor = None;
+      sessions = [];
+      m = Mutex.create ();
+      c_requests = Metrics.counter reg "server.requests";
+      c_ok = Metrics.counter reg "server.responses.ok";
+      c_err = Metrics.counter reg "server.responses.error";
+      c_bad_frames = Metrics.counter reg "server.bad_frames";
+      c_timeouts = Metrics.counter reg "server.timeouts";
+      h_latency = Metrics.histogram reg "server.latency_us";
+      c_sessions = Metrics.counter reg "server.sessions";
+      g_active_sessions = Metrics.gauge reg "server.active_sessions";
+    }
+  in
+  t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let stop t =
+  Mutex.lock t.m;
+  let already = t.stopped || t.stopping in
+  if not already then t.stopping <- true;
+  Mutex.unlock t.m;
+  if not already then begin
+    (* Wake the acceptor with a throwaway connection; it sees [stopping]
+       and exits. *)
+    (try
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_of_string t.config.host, t.bound_port))
+        with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+    (* Drain: new queries are refused, in-flight ones finish and answer. *)
+    Admission.begin_drain t.adm;
+    Admission.await_drain t.adm;
+    (* Unblock sessions idling in [read_frame]; SHUT_RD only, so a
+       response still in flight is not torn.  Shutting down under the
+       lock pins each listed fd open (sessions unregister before they
+       close), so a recycled descriptor can never be hit. *)
+    Mutex.lock t.m;
+    let sessions = t.sessions in
+    List.iter
+      (fun (fd, _) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      sessions;
+    Mutex.unlock t.m;
+    List.iter
+      (fun (_, slot) -> match !slot with Some th -> Thread.join th | None -> ())
+      sessions;
+    Sqp_parallel.Pool.shutdown t.pool;
+    t.stopped <- true
+  end

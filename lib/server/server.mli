@@ -1,0 +1,62 @@
+(** The concurrent TCP query server.
+
+    One acceptor thread turns connections into {e sessions} (one thread
+    each, blocking frame I/O); every request then passes {!Admission}
+    before executing on a {e shared, long-lived} {!Sqp_parallel.Pool} —
+    sessions supply concurrency, the pool supplies parallelism within a
+    query (sharded z-merge joins), and the admission layer bounds how
+    much of either a burst can claim.
+
+    Session lifecycle: [accept] → read frame → decode → (admission) →
+    execute → respond → read next frame … until clean EOF, a framing
+    error, or server drain.  A payload that decodes to garbage draws a
+    typed [Bad_request] {e response} and the session continues; a frame
+    whose advertised length is unusable ends the session (the stream
+    cannot be resynchronized).  No client input can raise past the
+    session loop — the fuzz suite in [test/test_protocol.ml] and the
+    malformed-frame cases in [test/test_server.ml] hold it to that.
+
+    {!stop} drains gracefully: stop accepting, reject new queries with
+    [Shutting_down], let in-flight queries finish and answer, then
+    close sessions and join every thread.  [sqp serve] wires SIGTERM /
+    SIGINT to exactly this, so Ctrl-C and orchestrated shutdowns are
+    loss-free. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  parallelism : int;  (** domains of the shared execution pool *)
+  max_in_flight : int;  (** concurrent query executions *)
+  max_queue : int;  (** waiters beyond that before shedding *)
+  max_frame_bytes : int;  (** per-frame payload cap *)
+  default_deadline_ms : int option;
+      (** applied when a request carries no deadline *)
+  on_execute : unit -> unit;
+      (** test/fault-injection hook, run while holding an admission slot
+          just before plan execution; default [ignore] *)
+}
+
+val default_config : config
+(** [127.0.0.1:0], parallelism 2, 8 in flight, queue 32, 8 MiB frames,
+    no default deadline. *)
+
+type t
+
+val start : ?config:config -> ?metrics:Sqp_obs.Metrics.t -> Catalog.t -> t
+(** Bind, listen, spawn the acceptor, spawn the execution pool.
+    [metrics] (default {!Sqp_obs.Metrics.global}) receives the serving
+    instruments: [server.requests], [server.responses.{ok,error}]
+    counters, [server.in_flight] / [server.queue_depth] /
+    [server.active_sessions] gauges, [server.latency_us] /
+    [server.queue_wait_us] histograms, [server.shed] /
+    [server.timeouts] / [server.bad_frames] counters.
+    @raise Unix.Unix_error if the address cannot be bound. *)
+
+val port : t -> int
+(** The actual listening port (useful with [port = 0]). *)
+
+val catalog : t -> Catalog.t
+
+val stop : t -> unit
+(** Graceful drain, as described above.  Idempotent; blocks until every
+    session and the pool have been joined. *)

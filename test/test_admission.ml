@@ -1,0 +1,177 @@
+(* Admission-control unit tests: shedding at queue overflow, deadline
+   expiry freeing the queue slot, queued callers admitted on release,
+   drain semantics, and the metrics the layer records. *)
+
+module A = Sqp_server.Admission
+module M = Sqp_obs.Metrics
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let outcome_name = function
+  | A.Admitted -> "admitted"
+  | A.Shed -> "shed"
+  | A.Timed_out -> "timed_out"
+  | A.Draining -> "draining"
+
+let check_outcome what expected got =
+  Alcotest.(check string) what (outcome_name expected) (outcome_name got)
+
+(* Spin until [cond] holds (bounded; these tests use real threads). *)
+let eventually ?(timeout = 5.0) cond =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if cond () then true
+    else if Unix.gettimeofday () -. t0 > timeout then false
+    else (
+      Thread.delay 0.002;
+      go ())
+  in
+  go ()
+
+let counter_of m name = M.counter_value (M.counter m name)
+
+let test_basic_slot_cycle () =
+  let m = M.create () in
+  let t = A.create ~metrics:m ~max_in_flight:2 ~max_queue:4 () in
+  check_outcome "first" A.Admitted (A.acquire t);
+  check_outcome "second" A.Admitted (A.acquire t);
+  checki "in flight" 2 (A.in_flight t);
+  A.release t;
+  A.release t;
+  checki "released" 0 (A.in_flight t);
+  checki "gauge tracks" 0 (M.gauge_value (M.gauge m "server.in_flight"))
+
+let test_shed_when_queue_full () =
+  let m = M.create () in
+  let t = A.create ~metrics:m ~max_in_flight:1 ~max_queue:0 () in
+  check_outcome "holder" A.Admitted (A.acquire t);
+  (* queue capacity 0: a busy slot means immediate shedding *)
+  check_outcome "shed" A.Shed (A.acquire t);
+  check_outcome "shed again" A.Shed (A.acquire t);
+  checki "shed counter" 2 (counter_of m "server.shed");
+  A.release t;
+  check_outcome "after release" A.Admitted (A.acquire t);
+  A.release t
+
+let test_queued_caller_admitted_on_release () =
+  let t = A.create ~max_in_flight:1 ~max_queue:2 () in
+  check_outcome "holder" A.Admitted (A.acquire t);
+  let outcome = ref None in
+  let th = Thread.create (fun () -> outcome := Some (A.acquire t)) () in
+  checkb "waiter queued" true (eventually (fun () -> A.queued t = 1));
+  (* a third caller overflows the queue only at capacity; here it queues *)
+  A.release t;
+  Thread.join th;
+  (match !outcome with
+  | Some o -> check_outcome "waiter" A.Admitted o
+  | None -> Alcotest.fail "waiter never returned");
+  checki "slot transferred" 1 (A.in_flight t);
+  checki "queue empty" 0 (A.queued t);
+  A.release t
+
+let test_deadline_expiry_frees_queue_slot () =
+  let m = M.create () in
+  let t = A.create ~metrics:m ~max_in_flight:1 ~max_queue:3 () in
+  check_outcome "holder" A.Admitted (A.acquire t);
+  let deadline = Unix.gettimeofday () +. 0.05 in
+  let outcome = A.acquire ~deadline t in
+  check_outcome "expired in queue" A.Timed_out outcome;
+  checki "queue slot freed" 0 (A.queued t);
+  checki "timeout counter" 1 (counter_of m "server.timeouts");
+  (* queue-wait histogram saw the wait *)
+  (match List.assoc_opt "server.queue_wait_us" (M.snapshot m) with
+  | Some (M.Histogram_v { count; _ }) -> checki "queue wait observed" 1 count
+  | _ -> Alcotest.fail "queue wait histogram missing");
+  A.release t;
+  check_outcome "slot still usable" A.Admitted (A.acquire t);
+  A.release t
+
+let test_drain () =
+  let t = A.create ~max_in_flight:2 ~max_queue:2 () in
+  check_outcome "holder" A.Admitted (A.acquire t);
+  checkb "not draining yet" false (A.draining t);
+  A.begin_drain t;
+  A.begin_drain t (* idempotent *);
+  checkb "draining" true (A.draining t);
+  check_outcome "rejected during drain" A.Draining (A.acquire t);
+  let drained = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        A.await_drain t;
+        drained := true)
+      ()
+  in
+  Thread.delay 0.03;
+  checkb "await blocks while in flight" false !drained;
+  A.release t;
+  Thread.join th;
+  checkb "await returns after last release" true !drained;
+  checki "empty" 0 (A.in_flight t)
+
+let test_queued_caller_sees_drain () =
+  let t = A.create ~max_in_flight:1 ~max_queue:2 () in
+  check_outcome "holder" A.Admitted (A.acquire t);
+  let outcome = ref None in
+  let th = Thread.create (fun () -> outcome := Some (A.acquire t)) () in
+  Alcotest.(check bool) "queued" true (eventually (fun () -> A.queued t = 1));
+  A.begin_drain t;
+  Thread.join th;
+  (match !outcome with
+  | Some o -> check_outcome "queued caller" A.Draining o
+  | None -> Alcotest.fail "queued caller never returned");
+  A.release t;
+  A.await_drain t
+
+let test_with_slot () =
+  let t = A.create ~max_in_flight:1 ~max_queue:0 () in
+  (match A.with_slot t (fun () -> 41 + 1) with
+  | Ok n -> checki "ran" 42 n
+  | Error o -> Alcotest.failf "unexpected %s" (outcome_name o));
+  checki "released after run" 0 (A.in_flight t);
+  (* exceptions still release the slot *)
+  (try ignore (A.with_slot t (fun () -> failwith "boom")) with Failure _ -> ());
+  checki "released after raise" 0 (A.in_flight t);
+  check_outcome "holder" A.Admitted (A.acquire t);
+  (match A.with_slot t (fun () -> ()) with
+  | Error A.Shed -> ()
+  | _ -> Alcotest.fail "expected Shed");
+  A.release t
+
+let test_create_validation () =
+  (try
+     ignore (A.create ~max_in_flight:0 ~max_queue:1 ());
+     Alcotest.fail "max_in_flight 0 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (A.create ~max_in_flight:1 ~max_queue:(-1) ());
+    Alcotest.fail "negative queue accepted"
+  with Invalid_argument _ -> ()
+
+let test_release_without_acquire () =
+  let t = A.create ~max_in_flight:1 ~max_queue:0 () in
+  try
+    A.release t;
+    Alcotest.fail "release without acquire accepted"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "admission"
+    [
+      ( "admission",
+        [
+          Alcotest.test_case "slot cycle" `Quick test_basic_slot_cycle;
+          Alcotest.test_case "shed on overflow" `Quick test_shed_when_queue_full;
+          Alcotest.test_case "queued then admitted" `Quick
+            test_queued_caller_admitted_on_release;
+          Alcotest.test_case "deadline expiry" `Quick
+            test_deadline_expiry_frees_queue_slot;
+          Alcotest.test_case "drain" `Quick test_drain;
+          Alcotest.test_case "drain rejects queued" `Quick
+            test_queued_caller_sees_drain;
+          Alcotest.test_case "with_slot" `Quick test_with_slot;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "release guard" `Quick test_release_without_acquire;
+        ] );
+    ]

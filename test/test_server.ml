@@ -1,0 +1,355 @@
+(* End-to-end server acceptance tests.
+
+   The heart is remote execution fidelity: concurrent loopback clients
+   issuing a seeded query battery must receive results identical to
+   running the same plans in-process with [Plan.run] — and afterwards
+   the serving metrics must reconcile (in-flight gauge back to 0,
+   latency histogram count equal to the number of requests).  Around
+   that: deterministic overload (Overloaded, no crash), deadline
+   timeouts, typed catalog errors, malformed frames at the socket, and
+   graceful drain completing an in-flight query. *)
+
+module P = Sqp_server.Protocol
+module Client = Sqp_server.Client
+module Server = Sqp_server.Server
+module Catalog = Sqp_server.Catalog
+module Wire = Sqp_relalg.Wire
+module Plan = Sqp_relalg.Plan
+module Relation = Sqp_relalg.Relation
+module M = Sqp_obs.Metrics
+module Box = Sqp_geom.Box
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* One modest seeded fixture for the whole file (server startup also
+   materializes R and S onto stored pages). *)
+let wk = Sqp_workload.Seeded.standard ~n_points:400 ~n_objects:12 ~n_query_boxes:24 ()
+let catalog = Catalog.of_seeded wk
+
+let join_plan =
+  Wire.(
+    Project
+      ( [ "rid"; "sid" ],
+        Spatial_join { zl = "zr"; zr = "zs"; left = Scan "R"; right = Scan "S" } ))
+
+let with_server ?(config = Server.default_config) f =
+  let metrics = M.create () in
+  let server = Server.start ~config ~metrics catalog in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () -> f server metrics)
+
+let reply_ok what = function
+  | Ok v -> v
+  | Error (code, m) ->
+      Alcotest.failf "%s: server error (%s): %s" what (P.error_code_name code) m
+
+let expect_error what code = function
+  | Ok _ -> Alcotest.failf "%s: expected %s" what (P.error_code_name code)
+  | Error (c, _) ->
+      Alcotest.(check string) what (P.error_code_name code) (P.error_code_name c)
+
+let eventually ?(timeout = 5.0) cond =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if cond () then true
+    else if Unix.gettimeofday () -. t0 > timeout then false
+    else (
+      Thread.delay 0.002;
+      go ())
+  in
+  go ()
+
+(* {1 Remote execution fidelity under concurrency} *)
+
+let test_concurrent_differential () =
+  with_server (fun server metrics ->
+      let port = Server.port server in
+      let boxes = Array.sub wk.Sqp_workload.Seeded.query_boxes 0 6 in
+      (* the in-process oracle: the same plans, run directly *)
+      let expected_ranges =
+        Array.map
+          (fun box ->
+            Plan.run (Catalog.range_plan catalog ~lo:(Box.lo box) ~hi:(Box.hi box)))
+          boxes
+      in
+      let expected_join = Plan.run (Catalog.overlap_plan catalog) in
+      let n_clients = 4 in
+      let failures = Atomic.make 0 in
+      let sent = Atomic.make 0 in
+      let client_thread _c =
+        Client.with_connect ~port (fun client ->
+            Array.iteri
+              (fun i box ->
+                Atomic.incr sent;
+                let got =
+                  reply_ok "range"
+                    (Client.range_search client ~lo:(Box.lo box) ~hi:(Box.hi box))
+                in
+                if not (Relation.equal_contents expected_ranges.(i) got) then
+                  Atomic.incr failures)
+              boxes;
+            Atomic.incr sent;
+            let got = reply_ok "join" (Client.query client join_plan) in
+            if not (Relation.equal_contents expected_join got) then
+              Atomic.incr failures)
+      in
+      let threads = List.init n_clients (fun c -> Thread.create client_thread c) in
+      List.iter Thread.join threads;
+      checki "every remote result matched Plan.run" 0 (Atomic.get failures);
+      (* one health probe on a fresh connection *)
+      Atomic.incr sent;
+      let h =
+        Client.with_connect ~port (fun c -> reply_ok "health" (Client.health c))
+      in
+      checkb "healthy" true h.P.healthy;
+      checki "health sees drained queues" 0 h.P.in_flight;
+      (* metrics reconcile with what we sent *)
+      let total = Atomic.get sent in
+      checki "requests counter" total
+        (M.counter_value (M.counter metrics "server.requests"));
+      checki "all answered ok" total
+        (M.counter_value (M.counter metrics "server.responses.ok"));
+      checki "in-flight gauge back to 0" 0
+        (M.gauge_value (M.gauge metrics "server.in_flight"));
+      match List.assoc_opt "server.latency_us" (M.snapshot metrics) with
+      | Some (M.Histogram_v { count; _ }) ->
+          checki "latency histogram count = requests" total count
+      | _ -> Alcotest.fail "latency histogram missing")
+
+(* {1 Typed errors for bad plans} *)
+
+let test_catalog_errors () =
+  with_server (fun server _ ->
+      Client.with_connect ~port:(Server.port server) (fun client ->
+          expect_error "unknown relation" P.Unknown_relation
+            (Client.query client (Wire.Scan "NOPE"));
+          expect_error "unknown attribute" P.Bad_request
+            (Client.query client (Wire.Project ([ "nope" ], Wire.Scan "R")));
+          expect_error "inverted range" P.Bad_request
+            (Client.range_search client ~lo:[| 50; 50 |] ~hi:[| 10; 10 |]);
+          expect_error "wrong dimensionality" P.Bad_request
+            (Client.range_search client ~lo:[| 1 |] ~hi:[| 2 |]);
+          (* the session survived all of it *)
+          let rows = reply_ok "after errors" (Client.query client join_plan) in
+          checkb "still serving" true (Relation.cardinality rows >= 0)))
+
+let test_explain_and_analyze () =
+  with_server (fun server _ ->
+      Client.with_connect ~port:(Server.port server) (fun client ->
+          let text = reply_ok "explain" (Client.explain client join_plan) in
+          let contains hay needle =
+            let n = String.length needle and h = String.length hay in
+            let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+            go 0
+          in
+          checkb "explain mentions the join" true (contains text "spatial join");
+          let rendered, rows = reply_ok "analyze" (Client.analyze client join_plan) in
+          checkb "analyze rendered" true (String.length rendered > 0);
+          let expected = Plan.run (Catalog.overlap_plan catalog) in
+          checkb "analyze rows match" true (Relation.equal_contents expected rows)))
+
+(* {1 Deterministic overload: Overloaded, not collapse} *)
+
+let test_overload_sheds () =
+  let gate = Atomic.make true in
+  let started = Atomic.make false in
+  let config =
+    {
+      Server.default_config with
+      max_in_flight = 1;
+      max_queue = 0;
+      on_execute =
+        (fun () ->
+          Atomic.set started true;
+          while Atomic.get gate do
+            Thread.delay 0.002
+          done);
+    }
+  in
+  with_server ~config (fun server metrics ->
+      let port = Server.port server in
+      let slow_result = ref None in
+      let slow =
+        Thread.create
+          (fun () ->
+            Client.with_connect ~port (fun c ->
+                slow_result := Some (Client.query c join_plan)))
+          ()
+      in
+      checkb "slow query entered execution" true
+        (eventually (fun () -> Atomic.get started));
+      (* the only slot is held and the queue has no room: shed *)
+      Client.with_connect ~port (fun c ->
+          expect_error "overloaded" P.Overloaded
+            (Client.range_search c ~lo:[| 0; 0 |] ~hi:[| 10; 10 |]));
+      (* health still answers during the overload (it bypasses admission) *)
+      Client.with_connect ~port (fun c -> ignore (reply_ok "health" (Client.health c)));
+      Atomic.set gate false;
+      Thread.join slow;
+      (match !slow_result with
+      | Some (Ok _) -> ()
+      | Some (Error (c, m)) ->
+          Alcotest.failf "slow query failed (%s): %s" (P.error_code_name c) m
+      | None -> Alcotest.fail "slow query never answered");
+      checkb "shed counted" true
+        (M.counter_value (M.counter metrics "server.shed") >= 1);
+      checki "nothing left in flight" 0
+        (M.gauge_value (M.gauge metrics "server.in_flight")))
+
+let test_deadline_timeout () =
+  let config =
+    { Server.default_config with on_execute = (fun () -> Thread.delay 0.08) }
+  in
+  with_server ~config (fun server metrics ->
+      Client.with_connect ~port:(Server.port server) (fun c ->
+          expect_error "timed out" P.Timed_out
+            (Client.query ~deadline_ms:1 c join_plan);
+          (* without a deadline the same query succeeds on the same session *)
+          ignore (reply_ok "no deadline" (Client.query c join_plan)));
+      checkb "timeout counted" true
+        (M.counter_value (M.counter metrics "server.timeouts") >= 1))
+
+(* {1 Malformed frames at the socket} *)
+
+let raw_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let test_malformed_frames_on_the_wire () =
+  with_server (fun server metrics ->
+      let port = Server.port server in
+      let fd = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* well-framed garbage: typed Bad_request, session survives *)
+          P.write_frame fd "\x01\xde\xad\xbe\xef";
+          (match P.read_frame fd with
+          | Ok payload -> (
+              match P.decode_response payload with
+              | Ok (P.Error { code = P.Bad_request; _ }) -> ()
+              | Ok _ -> Alcotest.fail "garbage did not draw Bad_request"
+              | Error m -> Alcotest.failf "undecodable response: %s" m)
+          | Error e -> Alcotest.failf "no response to garbage: %s" (P.read_error_to_string e));
+          (* a frame claiming a future protocol version: typed response too *)
+          P.write_frame fd "\x09\x05\x00\x00\x00\x00";
+          (match P.read_frame fd with
+          | Ok payload -> (
+              match P.decode_response payload with
+              | Ok (P.Error { code = P.Unsupported_version; _ }) -> ()
+              | _ -> Alcotest.fail "future version not answered typedly")
+          | Error e -> Alcotest.failf "no response to version probe: %s" (P.read_error_to_string e));
+          (* same connection still executes real queries *)
+          P.write_frame fd (P.encode_request { P.deadline_ms = None; request = P.Health });
+          (match P.read_frame fd with
+          | Ok payload -> (
+              match P.decode_response payload with
+              | Ok (P.Health_report _) -> ()
+              | _ -> Alcotest.fail "health after garbage failed")
+          | Error e -> Alcotest.failf "no health response: %s" (P.read_error_to_string e));
+          (* an unusable length prefix ends the session — optionally after
+             one parting typed error frame *)
+          ignore (Unix.write fd (Bytes.of_string "\xff\xff\xff\xff") 0 4);
+          (match P.read_frame fd with
+          | Error P.Eof | Error P.Truncated -> ()
+          | Error (P.Oversized _) -> Alcotest.fail "unexpected oversized readback"
+          | Ok payload -> (
+              (* the parting shot must be a typed error, then EOF *)
+              (match P.decode_response payload with
+              | Ok (P.Error _) -> ()
+              | _ -> Alcotest.fail "non-error frame after oversized prefix");
+              match P.read_frame fd with
+              | Error (P.Eof | P.Truncated) -> ()
+              | _ -> Alcotest.fail "session survived an oversized prefix")));
+      checkb "bad frames counted" true
+        (M.counter_value (M.counter metrics "server.bad_frames") >= 1);
+      (* the server as a whole is unaffected: fresh connections serve *)
+      Client.with_connect ~port (fun c -> ignore (reply_ok "health" (Client.health c))))
+
+(* {1 Graceful drain} *)
+
+let test_stop_drains_in_flight () =
+  let gate = Atomic.make true in
+  let started = Atomic.make false in
+  let config =
+    {
+      Server.default_config with
+      on_execute =
+        (fun () ->
+          Atomic.set started true;
+          while Atomic.get gate do
+            Thread.delay 0.002
+          done);
+    }
+  in
+  let metrics = M.create () in
+  let server = Server.start ~config ~metrics catalog in
+  let port = Server.port server in
+  let slow_result = ref None in
+  let slow =
+    Thread.create
+      (fun () ->
+        Client.with_connect ~port (fun c ->
+            slow_result := Some (Client.query c join_plan)))
+      ()
+  in
+  checkb "query in flight" true (eventually (fun () -> Atomic.get started));
+  let stopped = Atomic.make false in
+  let stopper =
+    Thread.create
+      (fun () ->
+        Server.stop server;
+        Atomic.set stopped true)
+      ()
+  in
+  Thread.delay 0.05;
+  checkb "stop waits for the in-flight query" false (Atomic.get stopped);
+  Atomic.set gate false;
+  Thread.join stopper;
+  Thread.join slow;
+  (match !slow_result with
+  | Some (Ok rows) ->
+      checkb "drained query got its rows" true
+        (Relation.equal_contents rows (Plan.run (Catalog.overlap_plan catalog)))
+  | Some (Error (c, m)) ->
+      Alcotest.failf "drained query failed (%s): %s" (P.error_code_name c) m
+  | None -> Alcotest.fail "drained query never answered");
+  checki "in-flight gauge at 0 after stop" 0
+    (M.gauge_value (M.gauge metrics "server.in_flight"));
+  (* the listener is gone *)
+  match Client.connect ~port () with
+  | exception Unix.Unix_error _ -> ()
+  | c ->
+      (* some stacks accept briefly; the session must at least be dead *)
+      (match Client.health c with
+      | exception Client.Disconnected _ -> ()
+      | Ok _ -> Alcotest.fail "server still serving after stop"
+      | Error _ -> ());
+      Client.close c
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "fidelity",
+        [
+          Alcotest.test_case "concurrent differential" `Quick
+            test_concurrent_differential;
+          Alcotest.test_case "explain and analyze" `Quick test_explain_and_analyze;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "catalog errors" `Quick test_catalog_errors;
+          Alcotest.test_case "malformed frames" `Quick
+            test_malformed_frames_on_the_wire;
+        ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "overload sheds" `Quick test_overload_sheds;
+          Alcotest.test_case "deadline timeout" `Quick test_deadline_timeout;
+        ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "stop drains" `Quick test_stop_drains_in_flight ] );
+    ]
