@@ -319,6 +319,112 @@ let quick_smoke () =
     exit 1
   end
 
+(* {1 Packed kernel microbenches}
+
+   Packed (Zpacked/Zkernel) vs reference (Bitstring/list) on the query
+   hot paths: z compare (via sorting), the Zmerge containment sweep, both
+   range-search merges, and the relational spatial join.  Hand-rolled
+   best-of-N wall clock — the two sides run identical workloads, so the
+   ratio is the point.  Writes BENCH_kernels.json. *)
+let kernels_table ~quick () =
+  let reps = if quick then 3 else 7 in
+  let n_boxes = if quick then 40 else Array.length par_boxes in
+  (* Best-of-[reps], but at least [min_span] seconds of repetitions:
+     sub-millisecond rows need far more than [reps] samples before the
+     minimum settles on this (noisy) class of machine. *)
+  let min_span = if quick then 0.05 else 0.5 in
+  let time_best f =
+    ignore (f ()) (* warm-up (also warms the decompose cache) *);
+    let best = ref infinity in
+    let spent = ref 0.0 and runs = ref 0 in
+    while !runs < reps || !spent < min_span do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      best := Float.min !best dt;
+      spent := !spent +. dt;
+      incr runs
+    done;
+    !best
+  in
+  let zs_bits = Array.map (fun (p, _) -> Z.Interleave.shuffle space p) tagged in
+  let zs_packed =
+    match Z.Zpacked.pack_array zs_bits with
+    | Some p -> p
+    | None -> failwith "bench: seeded z values must pack"
+  in
+  let boxes = Array.sub par_boxes 0 n_boxes in
+  let schema_of name z =
+    R.Schema.make [ (name, R.Value.TInt); (z, R.Value.TZval) ]
+  in
+  let rel_of name z items =
+    R.Relation.make ~name (schema_of name z)
+      (List.map (fun (e, id) -> [| R.Value.Int id; R.Value.Zval e |]) items)
+  in
+  let join_rel_r = rel_of "rid" "zr" join_l
+  and join_rel_s = rel_of "sid" "zs" join_r in
+  let rows =
+    List.map
+      (fun (name, reference, packed) ->
+        let reference_seconds = time_best reference in
+        let packed_seconds = time_best packed in
+        (name, reference_seconds, packed_seconds))
+      [
+        ( "compare(sort 5000 z values)",
+          (fun () -> Array.sort Z.Bitstring.compare (Array.copy zs_bits)),
+          fun () -> Array.sort Z.Zpacked.compare (Array.copy zs_packed) );
+        ( "merge(zmerge 48x48 join)",
+          (fun () -> ignore (Sqp_core.Zmerge.pairs_reference join_l join_r)),
+          fun () -> ignore (Sqp_core.Zmerge.pairs join_l join_r) );
+        ( Printf.sprintf "range-search-plain(%d boxes)" n_boxes,
+          (fun () ->
+            Array.iter
+              (fun b -> ignore (Sqp_core.Range_search.search_plain_reference prep b))
+              boxes),
+          fun () ->
+            Array.iter
+              (fun b -> ignore (Sqp_core.Range_search.search_plain prep b))
+              boxes );
+        ( Printf.sprintf "range-search-skip(%d boxes)" n_boxes,
+          (fun () ->
+            Array.iter
+              (fun b -> ignore (Sqp_core.Range_search.search_skip_reference prep b))
+              boxes),
+          fun () ->
+            Array.iter
+              (fun b -> ignore (Sqp_core.Range_search.search_skip prep b))
+              boxes );
+        ( "join(spatial-join merge)",
+          (fun () ->
+            ignore (R.Spatial_join.merge_reference join_rel_r ~zr:"zr" join_rel_s ~zs:"zs")),
+          fun () ->
+            ignore (R.Spatial_join.merge join_rel_r ~zr:"zr" join_rel_s ~zs:"zs") );
+      ]
+  in
+  print_newline ();
+  Printf.printf "Packed z-value kernels vs bitstring reference (best of %d%s)\n"
+    reps
+    (if Z.Decompose.cache_enabled () then "" else ", decompose cache off");
+  print_endline "=====================================================================";
+  Printf.printf "  %-34s %12s %12s %9s\n" "kernel" "reference" "packed" "speedup";
+  List.iter
+    (fun (name, rs, ps) ->
+      Printf.printf "  %-34s %9.3f ms %9.3f ms %8.2fx\n" name (rs *. 1e3)
+        (ps *. 1e3) (rs /. ps))
+    rows;
+  let oc = open_out "BENCH_kernels.json" in
+  Printf.fprintf oc "{\n  \"benchmark\": \"kernels\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (name, rs, ps) ->
+            Printf.sprintf
+              "    { \"name\": %S, \"reference_seconds\": %.6f, \
+               \"packed_seconds\": %.6f, \"speedup\": %.2f }"
+              name rs ps (rs /. ps))
+          rows));
+  close_out oc;
+  print_endline "  -> BENCH_kernels.json"
+
 let run_bechamel pool =
   let tests =
     Test.make_grouped ~name:"sqp"
@@ -416,12 +522,16 @@ let serving_table () =
   print_endline "  -> BENCH_serving.json"
 
 let () =
-  if Array.exists (String.equal "--quick") Sys.argv then quick_smoke ()
-  else if Array.exists (String.equal "--obs") Sys.argv then obs_report ()
+  let has flag = Array.exists (String.equal flag) Sys.argv in
+  if has "--no-decompose-cache" then Z.Decompose.set_cache_enabled false;
+  if has "--kernels" then kernels_table ~quick:(has "--quick") ()
+  else if has "--quick" then quick_smoke ()
+  else if has "--obs" then obs_report ()
   else begin
     Sqp_core.Reports.run_all ();
     Pool.with_pool ~domains:2 run_bechamel;
     speedup_table ();
+    kernels_table ~quick:false ();
     serving_table ();
     obs_report ()
   end

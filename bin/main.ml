@@ -316,8 +316,17 @@ let serve_cmd =
       & info [ "objects" ] ~docv:"N"
           ~doc:"Objects per spatial-join side in the seeded catalog.")
   in
+  let no_decompose_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-decompose-cache" ]
+          ~doc:
+            "Disable the LRU memo cache of box decompositions (escape hatch; \
+             every query then re-decomposes its box).")
+  in
   let run host port parallelism max_in_flight max_queue default_deadline_ms
-      n_points n_objects =
+      n_points n_objects no_decompose_cache =
+    if no_decompose_cache then Sqp_zorder.Decompose.set_cache_enabled false;
     let catalog =
       Srv.Catalog.of_seeded
         (Sqp_workload.Seeded.standard ~n_points ~n_objects ())
@@ -362,7 +371,8 @@ let serve_cmd =
           new ones are refused) and exit 0.")
     Term.(
       const run $ host_arg $ port_arg ~default:7477 $ parallelism_arg
-      $ in_flight_arg $ queue_arg $ deadline_arg $ points_arg $ objects_arg)
+      $ in_flight_arg $ queue_arg $ deadline_arg $ points_arg $ objects_arg
+      $ no_decompose_cache_arg)
 
 (* The canonical join plan, as a client would send it over the wire. *)
 let join_wire_plan =

@@ -6,6 +6,12 @@ type 'a prepared = {
   space : space;
   zs : Z.Bitstring.t array;            (* sorted *)
   pts : (Sqp_geom.Point.t * 'a) array; (* aligned with zs *)
+  pz : Z.Zpacked.t array option;
+      (* zs packed into words, when the space fits Zpacked.max_bits;
+         None sends every search down the bitstring reference path *)
+  keys : int array option;
+      (* single-word keys for pz, when the whole space fits one 63-bit
+         word: the kernels then merge over flat int arrays *)
 }
 
 let prepare space points =
@@ -13,10 +19,14 @@ let prepare space points =
     Array.map (fun (p, v) -> (Z.Interleave.shuffle space p, (p, v))) points
   in
   Array.sort (fun (a, _) (b, _) -> Z.Bitstring.compare a b) tagged;
+  let zs = Array.map fst tagged in
+  let pz = if Z.Zpacked.fits_space space then Z.Zpacked.pack_array zs else None in
   {
     space;
-    zs = Array.map fst tagged;
+    zs;
     pts = Array.map snd tagged;
+    pz;
+    keys = Option.bind pz Z.Zkernel.uniform_word_keys;
   }
 
 let prepared_length p = Array.length p.zs
@@ -43,6 +53,50 @@ let box_ranges prep box =
            zhi = Z.Bitstring.pad_to e total true;
          })
        els)
+
+(* The same scan ranges, built directly in packed form: elements of a
+   fitting space always pack, and padding is O(1) word arithmetic. *)
+let packed_ranges prep box =
+  let total = Z.Space.total_bits prep.space in
+  let lo = Sqp_geom.Box.lo box and hi = Sqp_geom.Box.hi box in
+  let els = Z.Decompose.decompose_box prep.space ~lo ~hi in
+  Array.of_list
+    (List.map
+       (fun e ->
+         let p =
+           match Z.Zpacked.of_bitstring e with
+           | Some p -> p
+           | None -> assert false (* fits_space checked at prepare *)
+         in
+         {
+           Z.Zkernel.rlo = Z.Zpacked.pad_to p total false;
+           rhi = Z.Zpacked.pad_to p total true;
+         })
+       els)
+
+(* And as bare word keys for narrow spaces: two flat int arrays, no
+   intermediate packed pairs — per-query range construction is a large
+   share of a cache-warm search, so it is kept allocation-lean. *)
+let key_ranges prep box =
+  let total = Z.Space.total_bits prep.space in
+  let lo = Sqp_geom.Box.lo box and hi = Sqp_geom.Box.hi box in
+  let els = Z.Decompose.decompose_box prep.space ~lo ~hi in
+  let n = List.length els in
+  let klo = Array.make n 0 and khi = Array.make n 0 in
+  let j = ref 0 in
+  List.iter
+    (fun e ->
+      let p =
+        match Z.Zpacked.of_bitstring e with
+        | Some p -> p
+        | None -> assert false (* narrow spaces a fortiori fit *)
+      in
+      let lo_k, hi_k = Z.Zkernel.element_keys ~total p in
+      klo.(!j) <- lo_k;
+      khi.(!j) <- hi_k;
+      incr j)
+    els;
+  { Z.Zkernel.klo; khi }
 
 let clip prep box =
   Sqp_geom.Box.clip box ~side:(Z.Space.side prep.space)
@@ -79,7 +133,19 @@ let observed name search prep box =
     r
   end
 
-let search_plain_impl prep box =
+let no_counters =
+  { point_steps = 0; element_steps = 0; point_jumps = 0; element_jumps = 0; comparisons = 0 }
+
+let counters_of_kernel (c : Z.Zkernel.range_counters) =
+  {
+    point_steps = c.Z.Zkernel.point_steps;
+    element_steps = c.element_steps;
+    point_jumps = c.point_jumps;
+    element_jumps = c.element_jumps;
+    comparisons = c.comparisons;
+  }
+
+let search_plain_reference_impl prep box =
   match clip prep box with
   | None ->
       ([], { point_steps = 0; element_steps = 0; point_jumps = 0; element_jumps = 0; comparisons = 0 })
@@ -118,11 +184,31 @@ let search_plain_impl prep box =
           comparisons = !comparisons;
         } )
 
+let search_plain_reference prep box =
+  observed "range_search.plain_reference" search_plain_reference_impl prep box
+
+let search_plain_impl prep box =
+  match prep.pz with
+  | None -> search_plain_reference_impl prep box
+  | Some pz -> (
+      match clip prep box with
+      | None -> ([], no_counters)
+      | Some box ->
+          let acc = ref [] in
+          let emit i = acc := prep.pts.(i) :: !acc in
+          let c =
+            match prep.keys with
+            | Some ks -> Z.Zkernel.range_plain_keys ks (key_ranges prep box) emit
+            | None -> Z.Zkernel.range_plain pz (packed_ranges prep box) emit
+          in
+          (List.rev !acc, counters_of_kernel c))
+
 let search_plain prep box = observed "range_search.plain" search_plain_impl prep box
 
-(* First index in [zs] with zs.(i) >= z (binary search = random access). *)
-let lower_bound_z zs z comparisons =
-  let lo = ref 0 and hi = ref (Array.length zs) in
+(* First index in [zs[lo, hi)] with zs.(i) >= z (binary search = random
+   access). *)
+let lower_bound_z ?(lo = 0) ?hi zs z comparisons =
+  let lo = ref lo and hi = ref (match hi with Some h -> h | None -> Array.length zs) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
     incr comparisons;
@@ -140,7 +226,7 @@ let first_live_range ranges z comparisons =
   done;
   !lo
 
-let search_skip_impl prep box =
+let search_skip_reference_impl prep box =
   match clip prep box with
   | None ->
       ([], { point_steps = 0; element_steps = 0; point_jumps = 0; element_jumps = 0; comparisons = 0 })
@@ -161,8 +247,10 @@ let search_skip_impl prep box =
         let z = prep.zs.(!i) and r = ranges.(!j) in
         incr comparisons;
         if Z.Bitstring.compare z r.zlo < 0 then begin
-          (* Point is before the current element: jump P forward. *)
-          i := lower_bound_z prep.zs r.zlo comparisons;
+          (* Point is before the current element: jump P forward.  The
+             target cannot be behind the cursor (zs is sorted), so the
+             binary search is bounded below by it. *)
+          i := lower_bound_z ~lo:!i prep.zs r.zlo comparisons;
           incr point_jumps
         end
         else begin
@@ -187,6 +275,25 @@ let search_skip_impl prep box =
           element_jumps = !element_jumps;
           comparisons = !comparisons;
         } )
+
+let search_skip_reference prep box =
+  observed "range_search.skip_reference" search_skip_reference_impl prep box
+
+let search_skip_impl prep box =
+  match prep.pz with
+  | None -> search_skip_reference_impl prep box
+  | Some pz -> (
+      match clip prep box with
+      | None -> ([], no_counters)
+      | Some box ->
+          let acc = ref [] in
+          let emit i = acc := prep.pts.(i) :: !acc in
+          let c =
+            match prep.keys with
+            | Some ks -> Z.Zkernel.range_skip_keys ks (key_ranges prep box) emit
+            | None -> Z.Zkernel.range_skip pz (packed_ranges prep box) emit
+          in
+          (List.rev !acc, counters_of_kernel c))
 
 let search_skip prep box = observed "range_search.skip" search_skip_impl prep box
 

@@ -31,13 +31,27 @@ type counters = {
 
 val search_plain :
   'a prepared -> Sqp_geom.Box.t -> (Sqp_geom.Point.t * 'a) list * counters
-(** The unoptimized merge: walk both sequences entry by entry. *)
+(** The unoptimized merge: walk both sequences entry by entry.  Runs on
+    the packed word kernel ({!Sqp_zorder.Zkernel.range_plain}) whenever
+    the space fits [Zpacked.max_bits] bits; results {e and counters} are
+    identical to {!search_plain_reference} either way. *)
 
 val search_skip :
   'a prepared -> Sqp_geom.Box.t -> (Sqp_geom.Point.t * 'a) list * counters
 (** The optimized merge: when the current point z value leaves the
     current element, binary-search the other sequence ("parts of the
-    space that could not possibly contribute are skipped"). *)
+    space that could not possibly contribute are skipped").  Packed
+    kernel + bitstring fallback, like {!search_plain}. *)
+
+val search_plain_reference :
+  'a prepared -> Sqp_geom.Box.t -> (Sqp_geom.Point.t * 'a) list * counters
+(** The byte-wise bitstring implementation of {!search_plain} — works
+    for any space, serves as the differential oracle and benchmark
+    baseline. *)
+
+val search_skip_reference :
+  'a prepared -> Sqp_geom.Box.t -> (Sqp_geom.Point.t * 'a) list * counters
+(** Bitstring implementation of {!search_skip}; same oracle role. *)
 
 type trace_step = {
   description : string;

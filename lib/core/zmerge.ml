@@ -33,18 +33,29 @@ let observed name merge left right =
     r
   end
 
-let pairs_impl left right =
+(* Reference (oracle) path: list-based bitstring sweep.  Each side is
+   stable-sorted separately and the two sorted lists are merged tagged in
+   a single pass — equal z values take the left side first, which is
+   exactly the order a stable sort of left-then-right would produce. *)
+let pairs_reference_impl left right =
   let comparisons = ref 0 in
-  let items =
-    List.map (fun (z, v) -> (z, Left v)) left
-    @ List.map (fun (z, v) -> (z, Right v)) right
+  let cmp (za, _) (zb, _) =
+    incr comparisons;
+    B.compare za zb
   in
+  let sl = List.sort cmp left and sr = List.sort cmp right in
   let items =
-    List.sort
-      (fun (za, _) (zb, _) ->
-        incr comparisons;
-        B.compare za zb)
-      items
+    let rec go l r acc =
+      match (l, r) with
+      | [], [] -> List.rev acc
+      | (z, a) :: tl, [] -> go tl [] ((z, Left a) :: acc)
+      | [], (z, b) :: tr -> go [] tr ((z, Right b) :: acc)
+      | ((zl, a) :: tl as l'), ((zr, b) :: tr as r') ->
+          incr comparisons;
+          if B.compare zl zr <= 0 then go tl r' ((zl, Left a) :: acc)
+          else go l' tr ((zr, Right b) :: acc)
+    in
+    go sl sr []
   in
   let stack_l = ref [] and stack_r = ref [] in
   let pop_closed z stack =
@@ -79,6 +90,30 @@ let pairs_impl left right =
           stack_r := (z, b) :: !stack_r)
     items;
   (List.rev !out, { pairs = !count; items = List.length items; comparisons = !comparisons })
+
+let pairs_reference left right =
+  observed "zmerge.pairs_reference" pairs_reference_impl left right
+
+(* Fast path: pack both sides into word-encoded z values and run the
+   flat-array kernel sweep; output (content and order) is bit-identical
+   to the reference.  Any z value longer than Zpacked.max_bits sends the
+   whole call to the reference path. *)
+let pairs_impl left right =
+  let zl = Array.of_list (List.map fst left)
+  and zr = Array.of_list (List.map fst right) in
+  match (Sqp_zorder.Zpacked.pack_array zl, Sqp_zorder.Zpacked.pack_array zr) with
+  | Some pl, Some pr ->
+      let comparisons = ref 0 in
+      let l = Zseq.of_packed ~comparisons pl (Array.of_list (List.map snd left))
+      and r = Zseq.of_packed ~comparisons pr (Array.of_list (List.map snd right)) in
+      let out, st = Zseq.pairs ~comparisons l r in
+      ( out,
+        {
+          pairs = st.Sqp_zorder.Zkernel.pairs;
+          items = Zseq.length l + Zseq.length r;
+          comparisons = !comparisons;
+        } )
+  | _ -> pairs_reference_impl left right
 
 let pairs left right = observed "zmerge.pairs" pairs_impl left right
 

@@ -11,7 +11,18 @@ val pairs :
   (Sqp_zorder.Element.t * 'a) list ->
   (Sqp_zorder.Element.t * 'b) list ->
   ('a * 'b) list * stats
-(** Stack-based single sweep, O(n log n + output). *)
+(** Stack-based single sweep, O(n log n + output).  Runs on the packed
+    flat-array kernel ({!Sqp_zorder.Zkernel} over {!Zseq}) whenever every
+    z value fits [Zpacked.max_bits] bits, falling back to
+    {!pairs_reference} otherwise; both paths produce the same pairs in
+    the same order. *)
+
+val pairs_reference :
+  (Sqp_zorder.Element.t * 'a) list ->
+  (Sqp_zorder.Element.t * 'b) list ->
+  ('a * 'b) list * stats
+(** The list-based bitstring sweep (works for any z length) — the
+    differential oracle for {!pairs} and the benchmark baseline. *)
 
 val pairs_naive :
   (Sqp_zorder.Element.t * 'a) list ->

@@ -5,6 +5,12 @@ type 'a prepared = {
   space : Z.Space.t;
   zs : B.t array;            (* sorted *)
   pts : (Sqp_geom.Point.t * 'a) array; (* aligned with zs *)
+  pz : Z.Zpacked.t array option;
+      (* zs packed into words when the space fits Zpacked.max_bits;
+         None keeps every shard merge on the bitstring reference path *)
+  keys : int array option;
+      (* single-word keys for pz when the whole space fits one 63-bit
+         word: shard merges then run over flat int arrays *)
 }
 
 let prepare space points =
@@ -12,7 +18,15 @@ let prepare space points =
     Array.map (fun (p, v) -> (Z.Interleave.shuffle space p, (p, v))) points
   in
   Array.sort (fun (a, _) (b, _) -> B.compare a b) tagged;
-  { space; zs = Array.map fst tagged; pts = Array.map snd tagged }
+  let zs = Array.map fst tagged in
+  let pz = if Z.Zpacked.fits_space space then Z.Zpacked.pack_array zs else None in
+  {
+    space;
+    zs;
+    pts = Array.map snd tagged;
+    pz;
+    keys = Option.bind pz Z.Zkernel.uniform_word_keys;
+  }
 
 let prepared_length p = Array.length p.zs
 
@@ -79,8 +93,12 @@ let first_live_range ranges z comparisons =
   !lo
 
 (* The skip-merge of Range_search.search_skip, restricted to the point
-   slice [i0, i1) and the given (clipped) ranges. *)
-let merge_slice zs pts ~i0 ~i1 ranges =
+   slice [i0, i1) and the given (clipped) ranges.  [merge_slice] proper
+   dispatches to the packed word kernel when the prepared snapshot
+   carries packed z values; [merge_slice_reference] is the bitstring
+   path.  Both produce identical rows and counters
+   (Zkernel.range_skip mirrors this loop step for step). *)
+let merge_slice_reference zs pts ~i0 ~i1 ranges =
   let nb = Array.length ranges in
   let point_steps = ref 0 and element_steps = ref 0 in
   let point_jumps = ref 0 and element_jumps = ref 0 in
@@ -120,6 +138,49 @@ let merge_slice zs pts ~i0 ~i1 ranges =
       comparisons = !comparisons;
       shards_searched = 1;
     } )
+
+let pack_exn b =
+  match Z.Zpacked.of_bitstring b with
+  | Some p -> p
+  | None -> assert false (* only called when the space fits *)
+
+let merge_slice ?pz ?keys zs pts ~i0 ~i1 ranges =
+  match pz with
+  | None -> merge_slice_reference zs pts ~i0 ~i1 ranges
+  | Some pz ->
+      let acc = ref [] in
+      let emit i = acc := pts.(i) :: !acc in
+      let c =
+        match keys with
+        | Some ks ->
+            (* Shard-clipped bounds stay full length, so their word keys
+               compare exactly like the padded packed pairs would. *)
+            let kranges =
+              {
+                Z.Zkernel.klo =
+                  Array.map (fun r -> Z.Zkernel.word_key (pack_exn r.rlo)) ranges;
+                khi =
+                  Array.map (fun r -> Z.Zkernel.word_key (pack_exn r.rhi)) ranges;
+              }
+            in
+            Z.Zkernel.range_skip_keys ~i0 ~i1 ks kranges emit
+        | None ->
+            let pranges =
+              Array.map
+                (fun r -> { Z.Zkernel.rlo = pack_exn r.rlo; rhi = pack_exn r.rhi })
+                ranges
+            in
+            Z.Zkernel.range_skip ~i0 ~i1 pz pranges emit
+      in
+      ( List.rev !acc,
+        {
+          point_steps = c.Z.Zkernel.point_steps;
+          element_steps = c.element_steps;
+          point_jumps = c.point_jumps;
+          element_jumps = c.element_jumps;
+          comparisons = c.comparisons;
+          shards_searched = 1;
+        } )
 
 let bmin a b = if B.compare a b <= 0 then a else b
 let bmax a b = if B.compare a b >= 0 then a else b
@@ -178,8 +239,8 @@ let search_detailed ?shard_bits pool prep box =
                  Some
                    (fun () ->
                      let run () =
-                       merge_slice prep.zs prep.pts ~i0:bounds.(sh.index)
-                         ~i1:bounds.(sh.index + 1) clipped
+                       merge_slice ?pz:prep.pz ?keys:prep.keys prep.zs prep.pts
+                         ~i0:bounds.(sh.index) ~i1:bounds.(sh.index + 1) clipped
                      in
                      if not (Sqp_obs.Trace.global_enabled ()) then
                        (sh.index, run ())
@@ -250,6 +311,7 @@ let search_one prep box =
   | None -> ([], no_counters)
   | Some box ->
       let ranges = box_ranges prep.space box in
-      merge_slice prep.zs prep.pts ~i0:0 ~i1:(Array.length prep.zs) ranges
+      merge_slice ?pz:prep.pz ?keys:prep.keys prep.zs prep.pts ~i0:0
+        ~i1:(Array.length prep.zs) ranges
 
 let search_batch pool prep boxes = Pool.map pool (search_one prep) boxes

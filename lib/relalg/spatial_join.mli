@@ -25,8 +25,18 @@ type stats = {
 
 val merge :
   Relation.t -> zr:string -> Relation.t -> zs:string -> Relation.t * stats
-(** @raise Invalid_argument if attribute names of the two relations
+(** Runs on the packed word kernel ({!Sqp_zorder.Zkernel.sweep_pairs})
+    whenever every z value fits [Zpacked.max_bits] bits, falling back to
+    {!merge_reference} otherwise; both produce the same tuples in the
+    same order.
+    @raise Invalid_argument if attribute names of the two relations
     clash (rename first) or the z attributes hold non-[Zval] values. *)
+
+val merge_reference :
+  Relation.t -> zr:string -> Relation.t -> zs:string -> Relation.t * stats
+(** The list-based bitstring sweep (any z length) — the differential
+    oracle for {!merge} and the benchmark baseline.  Same preconditions
+    as {!merge}. *)
 
 val nested_loop :
   Relation.t -> zr:string -> Relation.t -> zs:string -> Relation.t * stats

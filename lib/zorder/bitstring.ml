@@ -59,6 +59,10 @@ let to_string t = String.init t.len (fun i -> if get t i then '1' else '0')
 
 let to_bools t = List.init t.len (get t)
 
+let byte t k =
+  if k < 0 || k >= bytes_needed t.len then invalid_arg "Bitstring.byte";
+  Char.code (Bytes.get t.data k)
+
 let to_int t =
   if t.len > 62 then invalid_arg "Bitstring.to_int: too long";
   let rec go acc i = if i = t.len then acc else go ((acc lsl 1) lor (if unsafe_get t.data i then 1 else 0)) (i + 1) in

@@ -49,6 +49,12 @@ val to_int : t -> int
 (** Interpret the bits as a big-endian integer.
     @raise Invalid_argument if [length t > 62]. *)
 
+val byte : t -> int -> int
+(** [byte t k] is the raw [k]-th storage byte (bits [8k .. 8k+7],
+    MSB-first); bits at positions [>= length t] read as zero.  Exists so
+    {!Zpacked.of_bitstring} can pack bytewise instead of bit by bit.
+    @raise Invalid_argument if [k] is outside [\[0, (length t + 7) / 8)]. *)
+
 (** {1 Combination} *)
 
 val append_bit : t -> bool -> t

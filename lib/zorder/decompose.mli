@@ -52,7 +52,31 @@ val box_classifier : Space.t -> lo:int array -> hi:int array -> classifier
     or out of the grid). *)
 
 val decompose_box : ?options:options -> Space.t -> lo:int array -> hi:int array -> Element.t list
-(** [run] with {!box_classifier}; the decomposition of Figure 2. *)
+(** [run] with {!box_classifier}; the decomposition of Figure 2.
+
+    Results are memoized in a bounded process-wide LRU keyed on the full
+    input (space, bounds, options) — server sessions and benchmarks
+    replay the same boxes, and the decomposition is pure.  The cache is
+    thread-safe and on by default; see {!set_cache_enabled} /
+    [--no-decompose-cache] on [sqp serve] and [bench]. *)
+
+(** {1 Decomposition cache} *)
+
+type cache_stats = { hits : int; misses : int; evictions : int }
+
+val set_cache_enabled : bool -> unit
+(** Turn the {!decompose_box} memo cache on or off (default: on).  Off
+    means every call decomposes from scratch. *)
+
+val cache_enabled : unit -> bool
+
+val reset_cache : ?capacity:int -> unit -> unit
+(** Drop all cached decompositions and zero {!cache_stats}; [capacity]
+    (default 512) bounds the number of retained boxes. *)
+
+val cache_stats : unit -> cache_stats
+(** Hit/miss/eviction totals since the last {!reset_cache}.  The same
+    totals are mirrored to the [decompose.cache.*] metrics counters. *)
 
 val count : ?options:options -> Space.t -> classifier -> int
 (** Number of elements [run] would produce, without materializing them. *)

@@ -1,0 +1,76 @@
+(* Hash table over an intrusive doubly-linked recency list: [first] is
+   the most recently used entry, [last] the eviction candidate. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable first : ('k, 'v) node option;
+  mutable last : ('k, 'v) node option;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be positive";
+  { cap = capacity; table = Hashtbl.create (min capacity 64); first = None; last = None }
+
+let capacity t = t.cap
+
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.first <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.last <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.first;
+  node.prev <- None;
+  (match t.first with Some f -> f.prev <- Some node | None -> t.last <- Some node);
+  t.first <- Some node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      push_front t node;
+      Some node.value
+
+let add t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+      node.value <- v;
+      unlink t node;
+      push_front t node;
+      false
+  | None ->
+      let evicted =
+        if Hashtbl.length t.table >= t.cap then (
+          match t.last with
+          | Some victim ->
+              unlink t victim;
+              Hashtbl.remove t.table victim.key;
+              true
+          | None -> false)
+        else false
+      in
+      let node = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.table k node;
+      push_front t node;
+      evicted
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.first <- None;
+  t.last <- None

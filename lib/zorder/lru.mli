@@ -1,0 +1,24 @@
+(** A small bounded LRU map (hash table + recency list).
+
+    Used to memoize query-box decompositions ({!Decompose}); generic so
+    tests can exercise it directly.  Not thread-safe — callers serialize
+    access (the decompose cache holds a mutex around every operation). *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit refreshes the entry's recency. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> bool
+(** Insert or overwrite (either way the entry becomes most recent).
+    Returns [true] iff a least-recently-used entry was evicted to make
+    room. *)
+
+val clear : ('k, 'v) t -> unit

@@ -150,6 +150,100 @@ let test_classifier_classes () =
   check "outside" true (classify (B.of_string "1") = D.Outside);
   check "crosses" true (classify B.empty = D.Crosses)
 
+(* Decomposition cache *)
+
+let test_cache_hit_miss () =
+  D.reset_cache ();
+  D.set_cache_enabled true;
+  let lo = [| 1; 0 |] and hi = [| 3; 4 |] in
+  let first = D.decompose_box s23 ~lo ~hi in
+  let stats = D.cache_stats () in
+  check_int "one miss" 1 stats.D.misses;
+  check_int "no hit yet" 0 stats.D.hits;
+  let second = D.decompose_box s23 ~lo ~hi in
+  let stats = D.cache_stats () in
+  check_int "still one miss" 1 stats.D.misses;
+  check_int "one hit" 1 stats.D.hits;
+  check "hit returns the same elements" true (List.equal B.equal first second);
+  (* mutating the caller's arrays must not poison the cache key *)
+  lo.(0) <- 0;
+  let moved = D.decompose_box s23 ~lo:[| 1; 0 |] ~hi in
+  check "copied key unaffected by mutation" true (List.equal B.equal first moved);
+  check_int "mutation-safe key still hits" 2 (D.cache_stats ()).D.hits
+
+let test_cache_distinguishes_inputs () =
+  D.reset_cache ();
+  let a = D.decompose_box s23 ~lo:[| 1; 0 |] ~hi:[| 3; 4 |] in
+  let b = D.decompose_box s23 ~lo:[| 1; 0 |] ~hi:[| 3; 5 |] in
+  check "different boxes differ" false (List.equal B.equal a b);
+  (* same box, different options -> different entry, not a stale hit *)
+  let options = { D.max_level = Some 2; max_elements = None } in
+  let coarse = D.decompose_box ~options s23 ~lo:[| 1; 0 |] ~hi:[| 3; 4 |] in
+  check "options are part of the key" false (List.equal B.equal a coarse);
+  (* different space, same bounds *)
+  let s24 = Z.Space.make ~dims:2 ~depth:4 in
+  let deeper = D.decompose_box s24 ~lo:[| 1; 0 |] ~hi:[| 3; 4 |] in
+  check "space is part of the key" false (List.equal B.equal a deeper);
+  check_int "four distinct misses" 4 (D.cache_stats ()).D.misses
+
+let test_cache_eviction () =
+  D.reset_cache ~capacity:2 ();
+  let box i = D.decompose_box s23 ~lo:[| 0; 0 |] ~hi:[| i; i |] |> ignore in
+  box 1;
+  box 2;
+  box 3;
+  (* capacity 2: box 1 evicted *)
+  check_int "one eviction" 1 (D.cache_stats ()).D.evictions;
+  box 1;
+  let stats = D.cache_stats () in
+  check_int "re-decomposed after eviction" 4 stats.D.misses;
+  check_int "no hits in this sequence" 0 stats.D.hits;
+  D.reset_cache ()
+
+let test_cache_disabled () =
+  D.reset_cache ();
+  D.set_cache_enabled false;
+  check "reports disabled" false (D.cache_enabled ());
+  let lo = [| 1; 0 |] and hi = [| 3; 4 |] in
+  let a = D.decompose_box s23 ~lo ~hi in
+  let b = D.decompose_box s23 ~lo ~hi in
+  check "still correct" true (List.equal B.equal a b);
+  let stats = D.cache_stats () in
+  check_int "no misses recorded" 0 stats.D.misses;
+  check_int "no hits recorded" 0 stats.D.hits;
+  D.set_cache_enabled true;
+  check "re-enabled" true (D.cache_enabled ())
+
+let test_cache_invalid_box_still_raises () =
+  D.reset_cache ();
+  (match D.decompose_box s23 ~lo:[| 3; 3 |] ~hi:[| 2; 3 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ());
+  check_int "invalid input never cached" 0 (D.cache_stats ()).D.misses
+
+(* The LRU itself, driven directly. *)
+let test_lru_unit () =
+  let lru = Z.Lru.create ~capacity:2 in
+  check_int "capacity" 2 (Z.Lru.capacity lru);
+  check "evict on empty-miss" false (Z.Lru.add lru "a" 1);
+  check "no evict under capacity" false (Z.Lru.add lru "b" 2);
+  check "find a" true (Z.Lru.find lru "a" = Some 1);
+  (* "a" is now most recent, so inserting "c" evicts "b" *)
+  check "evict at capacity" true (Z.Lru.add lru "c" 3);
+  check "b evicted" true (Z.Lru.find lru "b" = None);
+  check "a survives" true (Z.Lru.find lru "a" = Some 1);
+  check "c present" true (Z.Lru.find lru "c" = Some 3);
+  check_int "length" 2 (Z.Lru.length lru);
+  (* overwrite refreshes, does not evict *)
+  check "overwrite" false (Z.Lru.add lru "a" 10);
+  check "overwritten" true (Z.Lru.find lru "a" = Some 10);
+  Z.Lru.clear lru;
+  check_int "cleared" 0 (Z.Lru.length lru);
+  check "cleared find" true (Z.Lru.find lru "a" = None);
+  match Z.Lru.create ~capacity:0 with
+  | _ -> Alcotest.fail "capacity 0 should raise"
+  | exception Invalid_argument _ -> ()
+
 (* Properties *)
 
 let gen_box side =
@@ -218,6 +312,17 @@ let () =
           Alcotest.test_case "max_elements budget" `Quick test_max_elements_budget;
           Alcotest.test_case "is_exact_cover" `Quick test_is_exact_cover;
           Alcotest.test_case "classifier classes" `Quick test_classifier_classes;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss accounting" `Quick test_cache_hit_miss;
+          Alcotest.test_case "key covers box, options, space" `Quick
+            test_cache_distinguishes_inputs;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "escape hatch" `Quick test_cache_disabled;
+          Alcotest.test_case "invalid boxes still raise" `Quick
+            test_cache_invalid_box_still_raises;
+          Alcotest.test_case "lru unit" `Quick test_lru_unit;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -1,0 +1,216 @@
+(* Differential fuzz: Zpacked must agree with Bitstring — the reference
+   representation — on every observation, wherever both apply (lengths up
+   to Zpacked.max_bits), and refuse (None) beyond. *)
+
+module Z = Sqp_zorder
+module B = Z.Bitstring
+module P = Z.Zpacked
+module Rng = Sqp_workload.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let pack_exn b =
+  match P.of_bitstring b with
+  | Some p -> p
+  | None -> Alcotest.failf "of_bitstring refused %d bits" (B.length b)
+
+let random_bits rng len = B.init len (fun _ -> Rng.bool rng)
+
+(* Pairs biased toward the interesting cases: exact prefixes, one-bit
+   perturbations near the end, shared long prefixes — plus independent
+   strings. *)
+let random_pair rng =
+  let a = random_bits rng (Rng.int rng (P.max_bits + 1)) in
+  let b =
+    match Rng.int rng 4 with
+    | 0 ->
+        (* extension of a *)
+        let extra = Rng.int rng (P.max_bits + 1 - B.length a) in
+        B.concat a (random_bits rng extra)
+    | 1 when not (B.is_empty a) ->
+        (* flip one bit *)
+        let i = Rng.int rng (B.length a) in
+        B.set a i (not (B.get a i))
+    | 2 when not (B.is_empty a) ->
+        (* a prefix of a *)
+        B.take a (Rng.int rng (B.length a + 1))
+    | _ -> random_bits rng (Rng.int rng (P.max_bits + 1))
+  in
+  (a, b)
+
+let sign x = Stdlib.compare x 0
+
+let test_agree_with_bitstring () =
+  let rng = Rng.create ~seed:4242 in
+  for _ = 1 to 3000 do
+    let a, b = random_pair rng in
+    let pa = pack_exn a and pb = pack_exn b in
+    check_int "compare" (sign (B.compare a b)) (sign (P.compare pa pb));
+    check "equal" (B.equal a b) (P.equal pa pb);
+    check "is_prefix a b" (B.is_prefix a b) (P.is_prefix pa pb);
+    check "is_prefix b a" (B.is_prefix b a) (P.is_prefix pb pa);
+    check "contains" (P.is_prefix pa pb) (P.contains pa pb);
+    check_int "common_prefix_len" (B.common_prefix_len a b)
+      (P.common_prefix_len pa pb)
+  done
+
+let test_observation_roundtrip () =
+  let rng = Rng.create ~seed:77001 in
+  for _ = 1 to 500 do
+    let a = random_bits rng (Rng.int rng (P.max_bits + 1)) in
+    let pa = pack_exn a in
+    check_int "length" (B.length a) (P.length pa);
+    for i = 0 to B.length a - 1 do
+      check "get" (B.get a i) (P.get pa i)
+    done;
+    check "to_bitstring roundtrip" true (B.equal (P.to_bitstring pa) a)
+  done
+
+let test_pad_to () =
+  let rng = Rng.create ~seed:31337 in
+  for _ = 1 to 500 do
+    let a = random_bits rng (Rng.int rng (P.max_bits + 1)) in
+    let pa = pack_exn a in
+    let n = Rng.int_in rng (B.length a) P.max_bits in
+    List.iter
+      (fun bit ->
+        check "pad_to agrees" true
+          (B.equal (P.to_bitstring (P.pad_to pa n bit)) (B.pad_to a n bit)))
+      [ false; true ]
+  done;
+  (match P.pad_to (pack_exn (B.of_string "01")) 1 false with
+  | _ -> Alcotest.fail "pad_to shorter should raise"
+  | exception Invalid_argument _ -> ());
+  match P.pad_to P.empty (P.max_bits + 1) true with
+  | _ -> Alcotest.fail "pad_to beyond max_bits should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_fallback_boundary () =
+  let rng = Rng.create ~seed:555 in
+  (* exactly max_bits packs... *)
+  let at = random_bits rng P.max_bits in
+  check "126 bits pack" true (P.of_bitstring at <> None);
+  check "126-bit roundtrip" true
+    (B.equal (P.to_bitstring (pack_exn at)) at);
+  (* ...one more does not *)
+  let over = random_bits rng (P.max_bits + 1) in
+  check "127 bits refused" true (P.of_bitstring over = None);
+  (* pack_array is all-or-nothing *)
+  check "pack_array ok" true (P.pack_array [| at; B.empty |] <> None);
+  check "pack_array refuses the whole batch" true
+    (P.pack_array [| at; over; B.empty |] = None)
+
+let test_word_boundary_cases () =
+  (* Hand-picked strings straddling the w0/w1 boundary at bit 63. *)
+  let zeros n = B.init n (fun _ -> false) in
+  let ones n = B.init n (fun _ -> true) in
+  let cases =
+    [
+      zeros 62; zeros 63; zeros 64; ones 62; ones 63; ones 64;
+      B.concat (zeros 63) (ones 1);
+      B.concat (ones 63) (zeros 1);
+      B.concat (zeros 62) (ones 64);
+      ones 126; zeros 126; B.empty;
+    ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let pa = pack_exn a and pb = pack_exn b in
+          check_int "compare" (sign (B.compare a b)) (sign (P.compare pa pb));
+          check "is_prefix" (B.is_prefix a b) (P.is_prefix pa pb);
+          check_int "common_prefix_len" (B.common_prefix_len a b)
+            (P.common_prefix_len pa pb))
+        cases)
+    cases
+
+let test_shuffle_unshuffle () =
+  let rng = Rng.create ~seed:90210 in
+  let spaces =
+    [
+      Z.Space.make ~dims:2 ~depth:10;
+      Z.Space.make ~dims:2 ~depth:31;
+      Z.Space.make ~dims:3 ~depth:42; (* exactly 126 bits *)
+      Z.Space.make ~dims:1 ~depth:61;
+      Z.Space.make ~dims:7 ~depth:18; (* 126 bits, odd arity *)
+    ]
+  in
+  List.iter
+    (fun space ->
+      check "fits" true (P.fits_space space);
+      for _ = 1 to 100 do
+        let coords =
+          Array.init (Z.Space.dims space) (fun _ ->
+              Rng.int rng (Z.Space.side space))
+        in
+        let p = P.shuffle space coords in
+        let b = Z.Interleave.shuffle space coords in
+        check "shuffle agrees" true (B.equal (P.to_bitstring p) b);
+        let up = P.unshuffle space p and ub = Z.Interleave.unshuffle space b in
+        check "unshuffle agrees" true (up = ub);
+        check "coords roundtrip" true (Array.map fst up = coords)
+      done)
+    spaces;
+  (* partial (element) z values unshuffle identically too *)
+  let space = Z.Space.make ~dims:2 ~depth:10 in
+  for _ = 1 to 200 do
+    let z = random_bits rng (Rng.int rng (Z.Space.total_bits space + 1)) in
+    check "partial unshuffle" true
+      (P.unshuffle space (pack_exn z) = Z.Interleave.unshuffle space z)
+  done
+
+let test_fits_space () =
+  check "2x10 fits" true (P.fits_space (Z.Space.make ~dims:2 ~depth:10));
+  check "3x42 fits (126)" true (P.fits_space (Z.Space.make ~dims:3 ~depth:42));
+  check "127 bits does not" false (P.fits_space (Z.Space.make ~dims:127 ~depth:1));
+  check "2x64 does not" false (P.fits_space (Z.Space.make ~dims:2 ~depth:64));
+  match P.shuffle (Z.Space.make ~dims:2 ~depth:64) [| 0; 0 |] with
+  | _ -> Alcotest.fail "shuffle on an oversized space should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_order_is_total () =
+  (* Sorting packed and reference representations of the same set must
+     produce the same sequence. *)
+  let rng = Rng.create ~seed:60902 in
+  let bits = Array.init 500 (fun _ -> random_bits rng (Rng.int rng 127)) in
+  let packed = Array.map pack_exn bits in
+  let b = Array.copy bits and p = Array.copy packed in
+  Array.sort B.compare b;
+  Array.sort P.compare p;
+  Array.iteri
+    (fun i pb -> check "same sort order" true (B.equal (P.to_bitstring pb) b.(i)))
+    p
+
+let test_hash_consistent () =
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 200 do
+    let a = random_bits rng (Rng.int rng 127) in
+    check_int "hash stable across conversions" (P.hash (pack_exn a))
+      (P.hash (pack_exn (P.to_bitstring (pack_exn a))))
+  done
+
+let () =
+  Alcotest.run "zpacked"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "agrees with Bitstring" `Quick test_agree_with_bitstring;
+          Alcotest.test_case "get/length/to_bitstring" `Quick test_observation_roundtrip;
+          Alcotest.test_case "pad_to" `Quick test_pad_to;
+          Alcotest.test_case "sorting agreement" `Quick test_order_is_total;
+        ] );
+      ( "boundaries",
+        [
+          Alcotest.test_case ">126-bit fallback" `Quick test_fallback_boundary;
+          Alcotest.test_case "word straddling" `Quick test_word_boundary_cases;
+          Alcotest.test_case "fits_space" `Quick test_fits_space;
+        ] );
+      ( "interleaving",
+        [
+          Alcotest.test_case "shuffle/unshuffle" `Quick test_shuffle_unshuffle;
+        ] );
+      ( "misc",
+        [ Alcotest.test_case "hash" `Quick test_hash_consistent ] );
+    ]
