@@ -347,7 +347,11 @@ let serve_cmd =
       "sqp serve: listening on %s:%d (parallelism %d, %d in flight, queue %d)\n"
       host (Srv.Server.port server) parallelism max_in_flight max_queue;
     Printf.printf "catalog: %s\n%!"
-      (String.concat ", " (Srv.Catalog.names catalog));
+      (String.concat ", "
+         (Srv.Catalog.names catalog
+         @ List.map
+             (fun n -> n ^ " (live)")
+             (Srv.Catalog.live_names catalog)));
     let stop_requested = ref false in
     let on_signal _ = stop_requested := true in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
@@ -404,6 +408,10 @@ let shell_cmd =
     \  explain join        the join's optimized plan, without executing\n\
     \  analyze join        EXPLAIN ANALYZE of the join (executes remotely)\n\
     \  health              server liveness, catalog and load\n\
+    \  insert X Y ID       add point (X, Y) with payload ID to live table L\n\
+    \  delete X Y          remove the first live entry at exactly (X, Y)\n\
+    \  lrange X1 Y1 X2 Y2  snapshot range query over live table L\n\
+    \  create-index        online rebuild of L's packed index (concurrent-safe)\n\
     \  help                this text\n\
     \  quit                leave"
   in
@@ -453,6 +461,56 @@ let shell_cmd =
                  print_string rendered;
                  print_rows rows)
                (Srv.Client.analyze ?deadline_ms client join_wire_plan));
+          true
+      | [ "insert"; x; y; id ] -> (
+          match (int_of_string_opt x, int_of_string_opt y, int_of_string_opt id) with
+          | Some x, Some y, Some id ->
+              report
+                (Result.map
+                   (fun (applied, seq) ->
+                     Printf.printf "ack: applied %d, seq %d\n" applied seq)
+                   (Srv.Client.insert ?deadline_ms client ~table:"L"
+                      [ ([| x; y |], id) ]));
+              true
+          | _ ->
+              failed := true;
+              print_endline "insert wants three integers; try: insert 10 20 7";
+              true)
+      | [ "delete"; x; y ] -> (
+          match (int_of_string_opt x, int_of_string_opt y) with
+          | Some x, Some y ->
+              report
+                (Result.map
+                   (fun (applied, seq) ->
+                     Printf.printf "ack: applied %d, seq %d\n" applied seq)
+                   (Srv.Client.delete ?deadline_ms client ~table:"L" [ [| x; y |] ]));
+              true
+          | _ ->
+              failed := true;
+              print_endline "delete wants two integers; try: delete 10 20";
+              true)
+      | [ "lrange"; x1; y1; x2; y2 ] -> (
+          match
+            (int_of_string_opt x1, int_of_string_opt y1, int_of_string_opt x2,
+             int_of_string_opt y2)
+          with
+          | Some x1, Some y1, Some x2, Some y2 ->
+              report
+                (Result.map print_rows
+                   (Srv.Client.live_range ?deadline_ms client ~table:"L"
+                      ~lo:[| min x1 x2; min y1 y2 |]
+                      ~hi:[| max x1 x2; max y1 y2 |]));
+              true
+          | _ ->
+              failed := true;
+              print_endline "lrange wants four integers; try: lrange 0 0 100 100";
+              true)
+      | [ "create-index" ] ->
+          report
+            (Result.map
+               (fun (applied, seq) ->
+                 Printf.printf "index rebuilt: %d entries at seq %d\n" applied seq)
+               (Srv.Client.create_index ?deadline_ms client ~table:"L"));
           true
       | [ "range"; x1; y1; x2; y2 ] -> (
           match
@@ -604,6 +662,173 @@ let bench_net_cmd =
       const run $ host_arg $ port_arg ~default:0 $ clients_arg $ requests_arg
       $ quick_arg $ json_arg)
 
+(* Mixed ingest benchmark: writer threads stream insert/delete batches
+   into the live table while reader threads run snapshot range queries
+   against it — sustained write throughput plus read-latency percentiles
+   under write pressure, the serving-tier counterpart of the
+   differential torture suite. *)
+let bench_ingest_cmd =
+  let module Rng = Sqp_workload.Rng in
+  let writers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "writers" ] ~docv:"N" ~doc:"Concurrent writer connections.")
+  in
+  let readers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "readers" ] ~docv:"N"
+          ~doc:"Concurrent reader connections issuing live range queries.")
+  in
+  let seconds_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "seconds" ] ~docv:"S" ~doc:"Wall-clock duration of the run.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "batch" ] ~docv:"N" ~doc:"Points per insert frame.")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"CI smoke mode: 1 second, batches of 16.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt string "BENCH_ingest.json"
+      & info [ "json" ] ~docv:"FILE" ~doc:"Where to write the summary.")
+  in
+  let run host port writers readers seconds batch quick json_path =
+    let seconds = if quick then 1.0 else seconds in
+    let batch = if quick then 16 else batch in
+    let own_server =
+      if port = 0 then
+        Some
+          (Srv.Server.start
+             ~config:{ Srv.Server.default_config with host }
+             (Srv.Catalog.of_seeded (Sqp_workload.Seeded.standard ())))
+      else None
+    in
+    let port =
+      match own_server with Some s -> Srv.Server.port s | None -> port
+    in
+    let wk = Sqp_workload.Seeded.standard () in
+    let side = Sqp_zorder.Space.side wk.Sqp_workload.Seeded.space in
+    let die code m =
+      Printf.eprintf "bench-ingest: request failed (%s): %s\n"
+        (Srv.Protocol.error_code_name code) m;
+      Stdlib.exit 1
+    in
+    let t0 = Unix.gettimeofday () in
+    let deadline = t0 +. seconds in
+    let ops_applied = Atomic.make 0 in
+    let frames_sent = Atomic.make 0 in
+    let writer w =
+      Srv.Client.with_connect ~host ~port (fun client ->
+          let rng = Rng.create ~seed:(1_000 + w) in
+          (* a ring of recently inserted points so deletes mostly hit *)
+          let recent = Array.make 256 [| 0; 0 |] in
+          let inserted = ref 0 in
+          let next_id = ref (w * 10_000_000) in
+          while Unix.gettimeofday () < deadline do
+            let reply =
+              if !inserted >= batch && Rng.int rng 4 = 0 then
+                Srv.Client.delete client ~table:"L"
+                  (List.init (max 1 (batch / 2)) (fun _ ->
+                       recent.(Rng.int rng (min !inserted 256))))
+              else
+                Srv.Client.insert client ~table:"L"
+                  (List.init batch (fun _ ->
+                       let p = [| Rng.int rng side; Rng.int rng side |] in
+                       recent.(!inserted mod 256) <- p;
+                       incr inserted;
+                       incr next_id;
+                       (p, !next_id)))
+            in
+            match reply with
+            | Ok (applied, _seq) ->
+                ignore (Atomic.fetch_and_add ops_applied applied);
+                Atomic.incr frames_sent
+            | Error (code, m) -> die code m
+          done)
+    in
+    let read_latencies = Array.make (max 1 readers) [] in
+    let reader r =
+      Srv.Client.with_connect ~host ~port (fun client ->
+          let rng = Rng.create ~seed:(2_000 + r) in
+          let ext = max 1 (side / 8) in
+          let acc = ref [] in
+          while Unix.gettimeofday () < deadline do
+            let x = Rng.int rng (side - ext) and y = Rng.int rng (side - ext) in
+            let q0 = Unix.gettimeofday () in
+            (match
+               Srv.Client.live_range client ~table:"L" ~lo:[| x; y |]
+                 ~hi:[| x + ext - 1; y + ext - 1 |]
+             with
+            | Ok _ -> acc := (Unix.gettimeofday () -. q0) :: !acc
+            | Error (code, m) -> die code m);
+            read_latencies.(r) <- !acc
+          done)
+    in
+    let threads =
+      List.init writers (fun w -> Thread.create writer w)
+      @ List.init readers (fun r -> Thread.create reader r)
+    in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    (match own_server with Some s -> Srv.Server.stop s | None -> ());
+    let ops = Atomic.get ops_applied in
+    let throughput = float_of_int ops /. wall in
+    let latencies =
+      Array.of_list (List.concat (Array.to_list read_latencies))
+    in
+    Array.sort compare latencies;
+    let reads = Array.length latencies in
+    let pct p =
+      if reads = 0 then 0.0
+      else latencies.(min (reads - 1) (p * reads / 100)) *. 1e3
+    in
+    let lat_max = if reads = 0 then 0.0 else latencies.(reads - 1) *. 1e3 in
+    Printf.printf
+      "bench-ingest: %d writers, %d readers for %.2fs\n\
+       writes: %d ops applied in %d frames (%.0f ops/s sustained)\n\
+       reads:  %d live range queries; latency ms: p50 %.2f  p90 %.2f  p99 %.2f  \
+       max %.2f\n"
+      writers readers wall ops (Atomic.get frames_sent) throughput reads (pct 50)
+      (pct 90) (pct 99) lat_max;
+    let oc = open_out json_path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"live_ingest_mixed\",\n\
+      \  \"writers\": %d,\n\
+      \  \"readers\": %d,\n\
+      \  \"batch\": %d,\n\
+      \  \"wall_seconds\": %.4f,\n\
+      \  \"write_ops_applied\": %d,\n\
+      \  \"write_frames\": %d,\n\
+      \  \"write_ops_per_s\": %.1f,\n\
+      \  \"read_requests\": %d,\n\
+      \  \"read_latency_ms\": { \"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, \
+       \"max\": %.3f }\n\
+       }\n"
+      writers readers batch wall ops (Atomic.get frames_sent) throughput reads
+      (pct 50) (pct 90) (pct 99) lat_max;
+    close_out oc;
+    Printf.printf "wrote %s\n" json_path
+  in
+  Cmd.v
+    (Cmd.info "bench-ingest"
+       ~doc:
+         "Mixed-workload ingest benchmark against the live table of $(b,sqp \
+          serve) (or a self-hosted ephemeral server with --port 0): sustained \
+          write throughput under concurrent snapshot reads; writes \
+          BENCH_ingest.json.")
+    Term.(
+      const run $ host_arg $ port_arg ~default:0 $ writers_arg $ readers_arg
+      $ seconds_arg $ batch_arg $ quick_arg $ json_arg)
+
 let () =
   let info =
     Cmd.info "sqp" ~version:"1.0.0"
@@ -620,4 +845,5 @@ let () =
             coarsen_cmd; proximity_cmd; join_cmd; overlay_cmd; ccl_cmd;
             interference_cmd; fill_cmd; three_d_cmd; curves_cmd; object_join_cmd;
             all_cmd; query_cmd; fsck_cmd; serve_cmd; shell_cmd; bench_net_cmd;
+            bench_ingest_cmd;
           ]))

@@ -1,0 +1,611 @@
+module Z = Sqp_zorder
+module FP = Sqp_storage.File_pager
+module Storage_error = Sqp_storage.Storage_error
+module Metrics = Sqp_obs.Metrics
+module Cow = Cowtree.Make (Cowtree.Bitstring_key)
+
+type 'a op =
+  | Insert of Sqp_geom.Point.t * 'a
+  | Delete of Sqp_geom.Point.t
+
+(* A published version: the frozen tree plus the sequence number of the
+   last batch folded into it.  Readers load this with one [Atomic.get]. *)
+type 'a version = { tree : (Sqp_geom.Point.t * 'a) Cow.t; vseq : int }
+
+type 'a feed = { buf : (int * 'a op list) Queue.t; mutable live : bool }
+
+type 'a t = {
+  space : Z.Space.t;
+  encode : 'a -> string;
+  decode : string -> 'a;
+  lc : int;
+  ic : int;
+  version : 'a version Atomic.t;
+  writer : Mutex.t;
+  store : FP.t option;
+  mutable feeds : 'a feed list;
+  m_batches : Metrics.counter;
+  m_inserts : Metrics.counter;
+  m_deletes : Metrics.counter;
+  m_chunks : Metrics.counter;
+  m_checkpoints : Metrics.counter;
+  m_entries : Metrics.gauge;
+}
+
+type 'a snapshot = { s_space : Z.Space.t; s_tree : (Sqp_geom.Point.t * 'a) Cow.t; s_seq : int }
+
+type scan_stats = { entries_scanned : int; elements : int; results : int }
+
+(* {1 Record codecs}
+
+   One page store per table; each record (page payload) starts with a
+   tag byte: 'M' metadata, 'B' a base-image chunk, 'L' a logged batch
+   part.  A batch too big for one page is split over parts allocated in
+   the same atomic store batch, so it is still all-or-nothing. *)
+
+let magic = "SQPL1"
+
+let buf_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let buf_u16 b v =
+  buf_u8 b (v lsr 8);
+  buf_u8 b v
+
+let buf_u32 b v =
+  buf_u16 b (v lsr 16);
+  buf_u16 b v
+
+let buf_i64 b v =
+  buf_u32 b (v lsr 32);
+  buf_u32 b v
+
+let buf_str b s =
+  if String.length s > 0xffff then invalid_arg "Live: payload exceeds 65535 bytes";
+  buf_u16 b (String.length s);
+  Buffer.add_string b s
+
+type reader = { data : string; mutable pos : int; r_path : string }
+
+let fail r what = Storage_error.corrupt ~path:r.r_path what
+
+let need r n = if r.pos + n > String.length r.data then fail r "truncated live record"
+
+let rd_u8 r =
+  need r 1;
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let rd_u16 r =
+  let hi = rd_u8 r in
+  (hi lsl 8) lor rd_u8 r
+
+let rd_u32 r =
+  let hi = rd_u16 r in
+  (hi lsl 16) lor rd_u16 r
+
+let rd_i64 r =
+  let hi = rd_u32 r in
+  (hi lsl 32) lor rd_u32 r
+
+let rd_str r =
+  let n = rd_u16 r in
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let encode_point space b p =
+  if Array.length p <> Z.Space.dims space then invalid_arg "Live: point arity mismatch";
+  Array.iter
+    (fun c ->
+      if not (Z.Space.valid_coord space c) then invalid_arg "Live: coordinate out of space";
+      buf_u32 b c)
+    p
+
+let decode_point space r = Array.init (Z.Space.dims space) (fun _ -> rd_u32 r)
+
+let encode_op t op =
+  let b = Buffer.create 32 in
+  (match op with
+  | Insert (p, v) ->
+      buf_u8 b 0;
+      encode_point t.space b p;
+      buf_str b (t.encode v)
+  | Delete p ->
+      buf_u8 b 1;
+      encode_point t.space b p);
+  Buffer.contents b
+
+let decode_op ~space ~decode r =
+  match rd_u8 r with
+  | 0 ->
+      let p = decode_point space r in
+      let v = decode (rd_str r) in
+      Insert (p, v)
+  | 1 -> Delete (decode_point space r)
+  | n -> fail r (Printf.sprintf "unknown live op tag %d" n)
+
+let encode_entry t (p, v) =
+  let b = Buffer.create 32 in
+  encode_point t.space b p;
+  buf_str b (t.encode v);
+  Buffer.contents b
+
+(* Greedy packing of encoded items into parts of at most [cap] bytes
+   (beyond the fixed per-part header). *)
+let pack ~cap ~header items =
+  let parts = ref [] and cur = ref [] and cur_bytes = ref header in
+  List.iter
+    (fun item ->
+      let n = String.length item in
+      if header + n > cap then invalid_arg "Live: record exceeds page capacity";
+      if !cur_bytes + n > cap then begin
+        parts := List.rev !cur :: !parts;
+        cur := [];
+        cur_bytes := header
+      end;
+      cur := item :: !cur;
+      cur_bytes := !cur_bytes + n)
+    items;
+  if !cur <> [] then parts := List.rev !cur :: !parts;
+  List.rev !parts
+
+let meta_record space ~base_seq =
+  let b = Buffer.create 16 in
+  buf_u8 b (Char.code 'M');
+  Buffer.add_string b magic;
+  buf_u8 b (Z.Space.dims space);
+  buf_u8 b (Z.Space.depth space);
+  buf_i64 b base_seq;
+  Buffer.to_bytes b
+
+let log_header_bytes = 1 + 8 + 2 + 2 (* 'L' seq part count *)
+
+let base_header_bytes = 1 + 4 + 2 (* 'B' part count *)
+
+(* Allocate the base-image chunks for [entries] (already in z order)
+   inside the currently open store batch. *)
+let alloc_base t store entries =
+  let encoded = List.map (encode_entry t) entries in
+  let cap = FP.payload_capacity store in
+  List.iteri
+    (fun part items ->
+      let b = Buffer.create cap in
+      buf_u8 b (Char.code 'B');
+      buf_u32 b part;
+      buf_u16 b (List.length items);
+      List.iter (Buffer.add_string b) items;
+      ignore (FP.alloc store (Buffer.to_bytes b)))
+    (pack ~cap ~header:base_header_bytes encoded)
+
+let alloc_log t store ~seq ops =
+  let encoded = List.map (encode_op t) ops in
+  let cap = FP.payload_capacity store in
+  List.iteri
+    (fun part items ->
+      let b = Buffer.create cap in
+      buf_u8 b (Char.code 'L');
+      buf_i64 b seq;
+      buf_u16 b part;
+      buf_u16 b (List.length items);
+      List.iter (Buffer.add_string b) items;
+      ignore (FP.alloc store (Buffer.to_bytes b)))
+    (pack ~cap ~header:log_header_bytes encoded)
+
+(* {1 Construction} *)
+
+let zval space p = Z.Interleave.shuffle space p
+
+let make_t ?(leaf_capacity = 20) ?(internal_capacity = 20) ~encode ~decode ~store space
+    tree vseq =
+  let reg = Metrics.global () in
+  let t =
+    {
+      space;
+      encode;
+      decode;
+      lc = leaf_capacity;
+      ic = internal_capacity;
+      version = Atomic.make { tree; vseq };
+      writer = Mutex.create ();
+      store;
+      feeds = [];
+      m_batches = Metrics.counter reg "ingest.batches";
+      m_inserts = Metrics.counter reg "ingest.inserts";
+      m_deletes = Metrics.counter reg "ingest.deletes";
+      m_chunks = Metrics.counter reg "ingest.backfill_chunks";
+      m_checkpoints = Metrics.counter reg "ingest.checkpoints";
+      m_entries = Metrics.gauge reg "ingest.entries";
+    }
+  in
+  Metrics.set_gauge t.m_entries (Cow.length tree);
+  t
+
+let create ?(leaf_capacity = 20) ?(internal_capacity = 20) ~encode ~decode space =
+  make_t ~leaf_capacity ~internal_capacity ~encode ~decode ~store:None space
+    (Cow.empty ~leaf_capacity ~internal_capacity ())
+    0
+
+let create_durable ?io ?(page_bytes = 1024) ?(leaf_capacity = 20)
+    ?(internal_capacity = 20) ~encode ~decode ~path space =
+  let store = FP.create ?io ~page_bytes path in
+  ignore (FP.alloc store (meta_record space ~base_seq:0));
+  make_t ~leaf_capacity ~internal_capacity ~encode ~decode ~store:(Some store) space
+    (Cow.empty ~leaf_capacity ~internal_capacity ())
+    0
+
+let open_durable ?io ?(leaf_capacity = 20) ?(internal_capacity = 20) ~encode ~decode
+    ~path () =
+  let store = FP.open_existing ?io path in
+  let meta = ref None in
+  let bases = ref [] (* (part, reader at first entry, count) *) in
+  let logs = ref [] (* (seq, part, reader at first op, count) *) in
+  FP.iter store (fun _slot payload ->
+      let r = { data = Bytes.to_string payload; pos = 0; r_path = path } in
+      match Char.chr (rd_u8 r) with
+      | 'M' ->
+          need r (String.length magic);
+          let m = String.sub r.data r.pos (String.length magic) in
+          r.pos <- r.pos + String.length magic;
+          if m <> magic then fail r "bad live-table magic";
+          let dims = rd_u8 r in
+          let depth = rd_u8 r in
+          let base_seq = rd_i64 r in
+          if !meta <> None then fail r "duplicate live-table metadata";
+          meta := Some (Z.Space.make ~dims ~depth, base_seq)
+      | 'B' ->
+          let part = rd_u32 r in
+          let count = rd_u16 r in
+          bases := (part, r, count) :: !bases
+      | 'L' ->
+          let seq = rd_i64 r in
+          let part = rd_u16 r in
+          let count = rd_u16 r in
+          logs := (seq, part, r, count) :: !logs
+      | c -> fail r (Printf.sprintf "unknown live record tag %C" c)
+      | exception Invalid_argument _ -> fail r "unknown live record tag");
+  let space, base_seq =
+    match !meta with
+    | Some m -> m
+    | None -> Storage_error.corrupt ~path "live table has no metadata record"
+  in
+  let t =
+    make_t ~leaf_capacity ~internal_capacity ~encode ~decode ~store:(Some store) space
+      (Cow.empty ~leaf_capacity ~internal_capacity ())
+      0
+  in
+  let entries = ref [] in
+  List.iter
+    (fun (_, r, count) ->
+      for _ = 1 to count do
+        let p = decode_point space r in
+        let v = decode (rd_str r) in
+        entries := (zval space p, (p, v)) :: !entries
+      done)
+    (List.sort (fun (a, _, _) (b, _, _) -> compare a b) !bases);
+  let entries = Array.of_list (List.rev !entries) in
+  let tree =
+    try Cow.of_sorted_array ~leaf_capacity ~internal_capacity entries
+    with Invalid_argument _ ->
+      Storage_error.corrupt ~path "live base image out of z order"
+  in
+  let tree = ref tree and last_seq = ref base_seq in
+  List.iter
+    (fun (seq, _, r, count) ->
+      if seq > base_seq then begin
+        for _ = 1 to count do
+          match decode_op ~space ~decode r with
+          | Insert (p, v) -> tree := Cow.insert !tree (zval space p) (p, v)
+          | Delete p -> (
+              match Cow.remove !tree (zval space p) with
+              | Some tr -> tree := tr
+              | None -> ())
+        done;
+        if seq > !last_seq then last_seq := seq
+      end)
+    (List.sort
+       (fun (s1, p1, _, _) (s2, p2, _, _) -> compare (s1, p1) (s2, p2))
+       !logs);
+  Atomic.set t.version { tree = !tree; vseq = !last_seq };
+  Metrics.set_gauge t.m_entries (Cow.length !tree);
+  t
+
+let close t = match t.store with None -> () | Some s -> FP.close s
+
+let space t = t.space
+
+let length t = (Atomic.get t.version).tree |> Cow.length
+
+let seq t = (Atomic.get t.version).vseq
+
+(* {1 Mutation} *)
+
+let apply_op_mem space tree op =
+  match op with
+  | Insert (p, v) -> (Cow.insert tree (zval space p) (p, v), true)
+  | Delete p -> (
+      match Cow.remove tree (zval space p) with
+      | Some tr -> (tr, true)
+      | None -> (tree, false))
+
+let validate_op t op =
+  let check p =
+    if Array.length p <> Z.Space.dims t.space then
+      invalid_arg "Live.apply: point arity mismatch";
+    Array.iter
+      (fun c ->
+        if not (Z.Space.valid_coord t.space c) then
+          invalid_arg "Live.apply: coordinate out of space")
+      p
+  in
+  match op with Insert (p, _) -> check p | Delete p -> check p
+
+let apply t ops =
+  match ops with
+  | [] -> ((Atomic.get t.version).vseq, 0)
+  | _ ->
+      List.iter (validate_op t) ops;
+      Mutex.protect t.writer (fun () ->
+          let cur = Atomic.get t.version in
+          let seq = cur.vseq + 1 in
+          (* Durability first: if the store batch dies, memory is
+             untouched and a reopen sees the pre-batch state. *)
+          (match t.store with
+          | None -> ()
+          | Some store ->
+              FP.begin_batch store;
+              alloc_log t store ~seq ops;
+              FP.commit_batch store);
+          let tree, applied =
+            List.fold_left
+              (fun (tr, n) op ->
+                let tr, did = apply_op_mem t.space tr op in
+                (match op with
+                | Insert _ -> Metrics.incr t.m_inserts
+                | Delete _ -> if did then Metrics.incr t.m_deletes);
+                (tr, if did then n + 1 else n))
+              (cur.tree, 0) ops
+          in
+          Atomic.set t.version { tree; vseq = seq };
+          Metrics.incr t.m_batches;
+          Metrics.set_gauge t.m_entries (Cow.length tree);
+          List.iter (fun f -> if f.live then Queue.push (seq, ops) f.buf) t.feeds;
+          (seq, applied))
+
+let insert t p v = fst (apply t [ Insert (p, v) ])
+
+let delete t p = snd (apply t [ Delete p ]) = 1
+
+(* {1 Snapshots} *)
+
+let snapshot t =
+  let v = Atomic.get t.version in
+  { s_space = t.space; s_tree = v.tree; s_seq = v.vseq }
+
+let snapshot_seq s = s.s_seq
+
+let snapshot_length s = Cow.length s.s_tree
+
+let snapshot_entries s =
+  let acc = ref [] in
+  Cow.iter s.s_tree (fun _ e -> acc := e :: !acc);
+  List.rev !acc
+
+let find s p = Option.map snd (Cow.find s.s_tree (zval s.s_space p))
+
+(* Section 3.3's merge over the frozen tree: identical in shape to
+   [Zindex.merge_with_elements] with the eager decomposition, minus the
+   page bookkeeping (COW nodes are not pages). *)
+let range_search s box =
+  if Sqp_geom.Box.dims box <> Z.Space.dims s.s_space then
+    invalid_arg "Live.range_search: dimension mismatch";
+  let none = { entries_scanned = 0; elements = 0; results = 0 } in
+  match Sqp_geom.Box.clip box ~side:(Z.Space.side s.s_space) with
+  | None -> ([], none)
+  | Some box ->
+      let lo = Sqp_geom.Box.lo box and hi = Sqp_geom.Box.hi box in
+      let els = Array.of_list (Z.Decompose.decompose_box s.s_space ~lo ~hi) in
+      let total = Z.Space.total_bits s.s_space in
+      let zlos = Array.map (fun e -> Z.Bitstring.pad_to e total false) els in
+      let zhis = Array.map (fun e -> Z.Bitstring.pad_to e total true) els in
+      let scanned = ref 0 and acc = ref [] in
+      (* First element whose zhi >= z. *)
+      let reseek z =
+        let lo = ref 0 and hi = ref (Array.length els) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if Z.Bitstring.compare zhis.(mid) z < 0 then lo := mid + 1 else hi := mid
+        done;
+        !lo
+      in
+      let contains p = Sqp_geom.Box.contains_point box p in
+      if Array.length els > 0 then begin
+        let c = ref (Cow.seek s.s_tree zlos.(0)) in
+        let rec loop ei =
+          if ei < Array.length els then
+            match Cow.cursor_peek !c with
+            | None -> ()
+            | Some (z, (p, v)) ->
+                incr scanned;
+                if Z.Bitstring.compare zhis.(ei) z < 0 then
+                  (* Random access into B: skip dead elements wholesale. *)
+                  loop (reseek z)
+                else if Z.Bitstring.compare z zlos.(ei) < 0 then begin
+                  (* Random access into P: jump the cursor forward. *)
+                  c := Cow.seek s.s_tree zlos.(ei);
+                  loop ei
+                end
+                else begin
+                  if contains p then acc := (p, v) :: !acc;
+                  Cow.cursor_next !c;
+                  loop ei
+                end
+        in
+        loop 0
+      end;
+      ( List.rev !acc,
+        {
+          entries_scanned = !scanned;
+          elements = Array.length els;
+          results = List.length !acc;
+        } )
+
+let equi_join sa sb =
+  if Z.Space.dims sa.s_space <> Z.Space.dims sb.s_space
+     || Z.Space.depth sa.s_space <> Z.Space.depth sb.s_space
+  then invalid_arg "Live.equi_join: spaces differ";
+  let ca = Cow.seek_first sa.s_tree and cb = Cow.seek_first sb.s_tree in
+  let acc = ref [] in
+  (* Collect the full run of entries at key [z] from a cursor. *)
+  let run c z =
+    let out = ref [] in
+    let rec go () =
+      match Cow.cursor_peek c with
+      | Some (z', e) when Z.Bitstring.compare z' z = 0 ->
+          out := e :: !out;
+          Cow.cursor_next c;
+          go ()
+      | _ -> ()
+    in
+    go ();
+    List.rev !out
+  in
+  let rec loop () =
+    match (Cow.cursor_peek ca, Cow.cursor_peek cb) with
+    | None, _ | _, None -> ()
+    | Some (za, _), Some (zb, _) ->
+        let cmp = Z.Bitstring.compare za zb in
+        if cmp < 0 then begin
+          Cow.cursor_next ca;
+          loop ()
+        end
+        else if cmp > 0 then begin
+          Cow.cursor_next cb;
+          loop ()
+        end
+        else begin
+          let ra = run ca za and rb = run cb za in
+          List.iter (fun a -> List.iter (fun b -> acc := (a, b) :: !acc) rb) ra;
+          loop ()
+        end
+  in
+  loop ();
+  List.rev !acc
+
+(* {1 Online rebuild and checkpoint} *)
+
+(* Rewrite the durable store to a fresh base image at [v], truncating
+   the log — one atomic store batch, so a crash leaves either the old
+   store (base + log) or the new one, complete. *)
+let checkpoint_locked t (v : 'a version) =
+  match t.store with
+  | None -> ()
+  | Some store ->
+      let old = ref [] in
+      FP.iter store (fun slot _ -> old := slot :: !old);
+      let entries = ref [] in
+      Cow.iter v.tree (fun _ e -> entries := e :: !entries);
+      FP.begin_batch store;
+      List.iter (FP.free store) !old;
+      ignore (FP.alloc store (meta_record t.space ~base_seq:v.vseq));
+      alloc_base t store (List.rev !entries);
+      FP.commit_batch store;
+      Metrics.incr t.m_checkpoints
+
+let checkpoint t =
+  Mutex.protect t.writer (fun () -> checkpoint_locked t (Atomic.get t.version))
+
+let rebuild_online ?(chunk_size = 256) ?on_chunk t =
+  if chunk_size < 1 then invalid_arg "Live.rebuild_online: chunk_size < 1";
+  (* Subscribe and snapshot atomically, so every batch is in exactly one
+     of {snapshot, feed}. *)
+  let feed = { buf = Queue.create (); live = true } in
+  let v0 =
+    Mutex.protect t.writer (fun () ->
+        t.feeds <- feed :: t.feeds;
+        Atomic.get t.version)
+  in
+  (* Backfill: walk the frozen snapshot in z order, one chunk at a time.
+     Writers keep committing concurrently; their batches queue up in the
+     feed. *)
+  let acc = ref [] in
+  let c = Cow.seek_first v0.tree in
+  let chunk = ref 0 in
+  let rec scan n =
+    match Cow.cursor_peek c with
+    | None -> ()
+    | Some (z, e) ->
+        acc := (z, e) :: !acc;
+        Cow.cursor_next c;
+        if n + 1 >= chunk_size then begin
+          Metrics.incr t.m_chunks;
+          (match on_chunk with Some f -> f !chunk | None -> ());
+          incr chunk;
+          scan 0
+        end
+        else scan (n + 1)
+  in
+  scan 0;
+  let building =
+    ref
+      (Cow.of_sorted_array ~leaf_capacity:t.lc ~internal_capacity:t.ic
+         (Array.of_list (List.rev !acc)))
+  in
+  let apply_feed batches =
+    List.iter
+      (fun (_seq, ops) ->
+        List.iter
+          (fun op -> building := fst (apply_op_mem t.space !building op))
+          ops)
+      batches
+  in
+  (* Catch-up: drain the feed without the lock until it runs dry, then
+     take the lock for the final drain and the swap. *)
+  let drain () =
+    Mutex.protect t.writer (fun () ->
+        let out = ref [] in
+        Queue.iter (fun b -> out := b :: !out) feed.buf;
+        Queue.clear feed.buf;
+        List.rev !out)
+  in
+  let rec catch_up () =
+    match drain () with
+    | [] -> ()
+    | batches ->
+        apply_feed batches;
+        catch_up ()
+  in
+  catch_up ();
+  let final_seq =
+    Mutex.protect t.writer (fun () ->
+        (* Holding the writer lock: no new batch can land, so what is
+           left in the feed is the complete delta. *)
+        let out = ref [] in
+        Queue.iter (fun b -> out := b :: !out) feed.buf;
+        apply_feed (List.rev !out);
+        feed.live <- false;
+        t.feeds <- List.filter (fun f -> f != feed) t.feeds;
+        let cur = Atomic.get t.version in
+        (* Swap in the freshly packed tree (same contents, tight pages)
+           and checkpoint the store at this state. *)
+        let packed_entries = ref [] in
+        Cow.iter !building (fun z e -> packed_entries := (z, e) :: !packed_entries);
+        let packed =
+          Cow.of_sorted_array ~leaf_capacity:t.lc ~internal_capacity:t.ic
+            (Array.of_list (List.rev !packed_entries))
+        in
+        let v = { tree = packed; vseq = cur.vseq } in
+        checkpoint_locked t v;
+        Atomic.set t.version v;
+        cur.vseq)
+  in
+  let points = ref [] in
+  Cow.iter !building (fun _ e -> points := e :: !points);
+  let index = Zindex.of_points t.space (Array.of_list (List.rev !points)) in
+  (index, final_seq)
+
+let save_index ?io ?(page_bytes = 1024) ~path t =
+  let index, at_seq = rebuild_online t in
+  ignore (Persist.save ?io ~path ~page_bytes ~encode:t.encode index);
+  at_seq

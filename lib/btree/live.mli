@@ -1,0 +1,169 @@
+(** Live ingest: a concurrently mutable zkd B+-tree with snapshot reads,
+    durable write-ahead batches, and online index rebuild.
+
+    The paper presents the zkd B+-tree as a dynamic structure; this
+    module is the reproduction's mutable face of it.  Entries are keyed
+    by their full-resolution z value in a copy-on-write tree
+    ({!Cowtree}), and the current tree root is published through an
+    [Atomic.t]:
+
+    - {b writers} are serialized by a mutex and apply whole batches —
+      journal first (one {!File_pager} atomic batch, PR 3 machinery),
+      then memory, then publish.  A crash at any byte leaves the store
+      at exactly the pre-batch or post-batch state.
+    - {b readers} take a {!snapshot} with one atomic load and then see a
+      perfectly frozen index: long range scans and spatial joins never
+      block writers and never observe a half-applied batch.
+    - {b online rebuild} backfills a fresh, tightly packed index from a
+      snapshot in z-range chunks while mutations keep flowing, catches
+      up by draining a mutation feed, and swaps the result in atomically
+      (also checkpointing the durable store, truncating the log).
+
+    Mutation counters land in the global {!Sqp_obs.Metrics} registry
+    under [ingest.*]. *)
+
+module Cow : module type of Cowtree.Make (Cowtree.Bitstring_key)
+
+type 'a op =
+  | Insert of Sqp_geom.Point.t * 'a
+  | Delete of Sqp_geom.Point.t
+      (** Remove the first entry at exactly this point; a no-op if the
+          point is absent (reported via the applied count). *)
+
+type 'a t
+
+(** {1 Construction} *)
+
+val create :
+  ?leaf_capacity:int ->
+  ?internal_capacity:int ->
+  encode:('a -> string) ->
+  decode:(string -> 'a) ->
+  Sqp_zorder.Space.t ->
+  'a t
+(** Purely in-memory table (no durability).  [encode]/[decode] are still
+    required so the table can be checkpointed or saved later. *)
+
+val create_durable :
+  ?io:Sqp_storage.Faulty_io.injector ->
+  ?page_bytes:int ->
+  ?leaf_capacity:int ->
+  ?internal_capacity:int ->
+  encode:('a -> string) ->
+  decode:(string -> 'a) ->
+  path:string ->
+  Sqp_zorder.Space.t ->
+  'a t
+(** Fresh durable table backed by a journaled page store at [path]
+    (truncates any previous store there).  Every {!apply} is one atomic
+    page-store batch. *)
+
+val open_durable :
+  ?io:Sqp_storage.Faulty_io.injector ->
+  ?leaf_capacity:int ->
+  ?internal_capacity:int ->
+  encode:('a -> string) ->
+  decode:(string -> 'a) ->
+  path:string ->
+  unit ->
+  'a t
+(** Reopen a durable table: runs page-store crash recovery, then
+    replays the base image and the logged batches in sequence order.
+    The space (dims, depth) is recovered from the store's metadata.
+    @raise Sqp_storage.Storage_error.Corrupt on unexplainable damage. *)
+
+val close : 'a t -> unit
+(** Close the backing store, if any; idempotent. *)
+
+val space : 'a t -> Sqp_zorder.Space.t
+
+val length : 'a t -> int
+
+val seq : 'a t -> int
+(** Sequence number of the last applied batch (0 when none). *)
+
+(** {1 Mutation} *)
+
+val apply : 'a t -> 'a op list -> int * int
+(** Apply one batch atomically; [(seq, applied)] where [applied] counts
+    the ops that took effect (inserts always; deletes only when the
+    point was present).  An empty batch does not consume a sequence
+    number.  Writers are serialized; readers are never blocked.
+    @raise Invalid_argument on a point outside the table's space. *)
+
+val insert : 'a t -> Sqp_geom.Point.t -> 'a -> int
+(** Single-op batch; returns the batch's sequence number. *)
+
+val delete : 'a t -> Sqp_geom.Point.t -> bool
+(** Single-op batch; [true] if an entry was removed. *)
+
+(** {1 Snapshot reads} *)
+
+type 'a snapshot
+(** A frozen view: one atomic load, valid forever, shared freely across
+    threads and domains. *)
+
+type scan_stats = {
+  entries_scanned : int;  (** entries examined during the merge *)
+  elements : int;         (** query-box elements generated *)
+  results : int;
+}
+(** Deterministic per-query counters (the sequential path of the
+    differential suite asserts these bit-for-bit). *)
+
+val snapshot : 'a t -> 'a snapshot
+
+val snapshot_seq : 'a snapshot -> int
+
+val snapshot_length : 'a snapshot -> int
+
+val snapshot_entries : 'a snapshot -> (Sqp_geom.Point.t * 'a) list
+(** All entries in z order. *)
+
+val find : 'a snapshot -> Sqp_geom.Point.t -> 'a option
+(** First entry at exactly this point. *)
+
+val range_search :
+  'a snapshot -> Sqp_geom.Box.t -> (Sqp_geom.Point.t * 'a) list * scan_stats
+(** Section 3.3's merge (eager decomposition) over the frozen tree:
+    all entries in the inclusive box, in z order. *)
+
+val equi_join :
+  'a snapshot -> 'b snapshot ->
+  ((Sqp_geom.Point.t * 'a) * (Sqp_geom.Point.t * 'b)) list
+(** Co-location join: all pairs at equal z values (equal points), by
+    merging the two frozen trees; pairs in z order, runs crossed in
+    insertion order.
+    @raise Invalid_argument if the spaces differ. *)
+
+(** {1 Online index build} *)
+
+val rebuild_online :
+  ?chunk_size:int ->
+  ?on_chunk:(int -> unit) ->
+  'a t ->
+  'a Zindex.t * int
+(** Build a packed index over the live table without blocking writers:
+    snapshot-scan in z-range chunks of [chunk_size] (default 256)
+    entries — [on_chunk] runs between chunks, which is where the torture
+    suite injects concurrent writes — then drain the mutation feed until
+    caught up, take the writer lock for the final drain, and atomically
+    swap the live tree for the freshly packed one (checkpointing the
+    durable store in the same step).  Returns the finished {!Zindex}
+    and the sequence number of the state it reflects. *)
+
+val save_index :
+  ?io:Sqp_storage.Faulty_io.injector ->
+  ?page_bytes:int ->
+  path:string ->
+  'a t ->
+  int
+(** {!rebuild_online} then {!Persist.save} the result atomically
+    (tmp + rename): after a crash the file at [path] is either the
+    complete new index or whatever was there before — never a torso.
+    Returns the sequence number the saved index reflects. *)
+
+val checkpoint : 'a t -> unit
+(** Durable tables only (no-op otherwise): rewrite the base image at the
+    current state and truncate the batch log, as one atomic page-store
+    batch. *)

@@ -70,6 +70,33 @@ let read_string c =
   c.pos <- c.pos + n;
   s
 
+let write_int_array b a =
+  write_u32 b (Array.length a);
+  Array.iter (write_i64 b) a
+
+let read_int_array c =
+  let n = read_u32 c in
+  if n > 64 then corrupt "dimension count %d" n;
+  Array.init n (fun _ -> read_i64 c)
+
+let write_point_list b points =
+  write_u32 b (List.length points);
+  List.iter
+    (fun (p, payload) ->
+      write_int_array b p;
+      write_i64 b payload)
+    points
+
+let read_point_list c =
+  let n = read_u32 c in
+  let out = ref [] in
+  for _ = 1 to n do
+    let p = read_int_array c in
+    let payload = read_i64 c in
+    out := (p, payload) :: !out
+  done;
+  List.rev !out
+
 (* {1 Bitstrings}
 
    Bit length, then the bits packed MSB-first — the same layout

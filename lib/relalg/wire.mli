@@ -62,6 +62,21 @@ val write_string : Buffer.t -> string -> unit
 
 val read_string : cursor -> string
 
+val write_int_array : Buffer.t -> int array -> unit
+(** [u32] count, then each element as [i64] — the codec for point
+    coordinates and other small integer vectors (range bounds, the
+    insert/delete mutation frames). *)
+
+val read_int_array : cursor -> int array
+(** @raise Corrupt if the advertised count exceeds 64 (a coordinate
+    vector, not bulk data). *)
+
+val write_point_list : Buffer.t -> (int array * int) list -> unit
+(** [u32] count, then each (coordinates, payload) pair — the body of an
+    insert frame. *)
+
+val read_point_list : cursor -> (int array * int) list
+
 (** {1 Relational codecs} *)
 
 val write_value : Buffer.t -> Value.t -> unit

@@ -1,19 +1,21 @@
 module Z = Sqp_zorder
 module R = Sqp_relalg
+module Live = Sqp_btree.Live
 
 type t = {
   space : Z.Space.t;
   points_rel : R.Relation.t;  (* "P": id, z, x0..xk — range-search side *)
   relations : (string * R.Plan.t) list;
+  lives : (string * int Live.t) list;  (* mutable tables, payload = id *)
 }
 
-let make ~space ~points ~relations =
+let make ?(lives = []) ~space ~points ~relations () =
   let points_rel = R.Query.points_relation space points in
   let relations =
     if List.mem_assoc "P" relations then relations
     else relations @ [ ("P", R.Plan.Scan points_rel) ]
   in
-  { space; points_rel; relations }
+  { space; points_rel; relations; lives }
 
 let of_seeded ?tuples_per_page ?pool_capacity (wk : Sqp_workload.Seeded.t) =
   let module W = Sqp_workload.Seeded in
@@ -29,15 +31,25 @@ let of_seeded ?tuples_per_page ?pool_capacity (wk : Sqp_workload.Seeded.t) =
   in
   let r = stored "R" [ ("id", "rid"); ("z", "zr") ] wk.W.left_objects in
   let s = stored "S" [ ("id", "sid"); ("z", "zs") ] wk.W.right_objects in
-  make ~space ~points
-    ~relations:
-      [ ("R", R.Plan.Scan_stored r); ("S", R.Plan.Scan_stored s) ]
+  (* "L": the live ingest table, pre-seeded with the same points as "P"
+     (payload = id) so mutation traffic has something to land on. *)
+  let live =
+    Live.create ~encode:string_of_int ~decode:int_of_string space
+  in
+  ignore (Live.apply live (List.map (fun (id, p) -> Live.Insert (p, id)) points));
+  make ~lives:[ ("L", live) ] ~space ~points
+    ~relations:[ ("R", R.Plan.Scan_stored r); ("S", R.Plan.Scan_stored s) ]
+    ()
 
 let space t = t.space
 
 let names t = List.sort compare (List.map fst t.relations)
 
 let resolve t name = List.assoc_opt name t.relations
+
+let live_names t = List.sort compare (List.map fst t.lives)
+
+let live t name = List.assoc_opt name t.lives
 
 let range_plan t ~lo ~hi =
   let dims = Z.Space.dims t.space and side = Z.Space.side t.space in
@@ -93,4 +105,11 @@ let health_detail t =
               healthy := false;
               Printf.bprintf buf " %s(BROKEN SCHEMA)" name))
     (names t);
+  List.iter
+    (fun name ->
+      match live t name with
+      | None -> ()
+      | Some lv ->
+          Printf.bprintf buf " %s(live)=%d@%d" name (Live.length lv) (Live.seq lv))
+    (live_names t);
   (!healthy, Buffer.contents buf)

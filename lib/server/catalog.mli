@@ -1,21 +1,29 @@
 (** What a server instance serves: a space, a point set for range
-    queries, and named relations that wire plans may [Scan].
+    queries, named relations that wire plans may [Scan], and live
+    tables that absorb insert/delete traffic.
 
-    The catalog is built once at startup and is immutable thereafter;
-    concurrent sessions share it (stored relations latch their buffer
-    pools internally — see {!Sqp_relalg.Stored.scan}). *)
+    The catalog's shape is built once at startup: the binding of names
+    is immutable and concurrent sessions share it (stored relations
+    latch their buffer pools internally — see
+    {!Sqp_relalg.Stored.scan}).  Live tables are the mutable exception:
+    their {e contents} change under serving traffic, with writer
+    serialization and snapshot reads handled inside
+    {!Sqp_btree.Live}. *)
 
 type t
 
 val make :
+  ?lives:(string * int Sqp_btree.Live.t) list ->
   space:Sqp_zorder.Space.t ->
   points:(int * Sqp_geom.Point.t) list ->
   relations:(string * Sqp_relalg.Plan.t) list ->
+  unit ->
   t
 (** [points] backs [Range_search] requests; [relations] resolves the
     [Scan name] leaves of wire plans.  The points are also published as
     relation ["P"] (id, z, coordinates) unless [relations] already
-    binds that name. *)
+    binds that name.  [lives] binds mutable tables for the
+    insert/delete/create-index frames (payloads are row ids). *)
 
 val of_seeded :
   ?tuples_per_page:int -> ?pool_capacity:int -> Sqp_workload.Seeded.t -> t
@@ -23,7 +31,9 @@ val of_seeded :
     workload: ["P"] — the point relation; ["R"] / ["S"] — the two
     spatial-join sides, decomposed and materialized onto paged stored
     relations with attributes [(rid, zr)] / [(sid, zs)], exactly as
-    {!Sqp_relalg.Query.stored_overlap_plan} lays them out. *)
+    {!Sqp_relalg.Query.stored_overlap_plan} lays them out; and ["L"] —
+    a live ingest table pre-seeded with the same points as ["P"]
+    (payload = id). *)
 
 val space : t -> Sqp_zorder.Space.t
 
@@ -31,6 +41,11 @@ val names : t -> string list
 (** Bound relation names, sorted. *)
 
 val resolve : t -> string -> Sqp_relalg.Plan.t option
+
+val live_names : t -> string list
+(** Bound live-table names, sorted. *)
+
+val live : t -> string -> int Sqp_btree.Live.t option
 
 val range_plan : t -> lo:int array -> hi:int array -> Sqp_relalg.Plan.t
 (** The Section 4 range-query script as a plan: decompose the box,

@@ -68,6 +68,26 @@ let analyze ?deadline_ms t plan =
     (function P.Analyzed { rendered; rows } -> Some (rendered, rows) | _ -> None)
     (call ?deadline_ms t (P.Analyze plan))
 
+let insert ?deadline_ms t ~table points =
+  reply_of
+    (function P.Ack { applied; seq } -> Some (applied, seq) | _ -> None)
+    (call ?deadline_ms t (P.Insert { table; points }))
+
+let delete ?deadline_ms t ~table points =
+  reply_of
+    (function P.Ack { applied; seq } -> Some (applied, seq) | _ -> None)
+    (call ?deadline_ms t (P.Delete { table; points }))
+
+let create_index ?deadline_ms t ~table =
+  reply_of
+    (function P.Ack { applied; seq } -> Some (applied, seq) | _ -> None)
+    (call ?deadline_ms t (P.Create_index { table }))
+
+let live_range ?deadline_ms t ~table ~lo ~hi =
+  reply_of
+    (function P.Rows r -> Some r | _ -> None)
+    (call ?deadline_ms t (P.Live_range { table; lo; hi }))
+
 let health t =
   reply_of
     (function P.Health_report h -> Some h | _ -> None)

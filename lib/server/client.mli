@@ -50,4 +50,23 @@ val analyze :
   (string * Sqp_relalg.Relation.t) reply
 (** [(rendered EXPLAIN ANALYZE tree, result rows)]. *)
 
+val insert :
+  ?deadline_ms:int -> t -> table:string -> (int array * int) list ->
+  (int * int) reply
+(** Append [(point, id)] entries to a live table; [(applied, seq)]. *)
+
+val delete :
+  ?deadline_ms:int -> t -> table:string -> int array list -> (int * int) reply
+(** Remove the first entry at each exact point; [applied] counts the
+    points actually present. *)
+
+val create_index : ?deadline_ms:int -> t -> table:string -> (int * int) reply
+(** Online index rebuild; [(entry count of the finished index, seq)]. *)
+
+val live_range :
+  ?deadline_ms:int -> t -> table:string -> lo:int array -> hi:int array ->
+  Sqp_relalg.Relation.t reply
+(** Snapshot range query over a live table: rows [(id, x0..xk)] in z
+    order. *)
+
 val health : t -> Protocol.health reply

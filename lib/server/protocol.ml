@@ -11,6 +11,10 @@ type request =
   | Explain of Sqp_relalg.Wire.plan
   | Analyze of Sqp_relalg.Wire.plan
   | Health
+  | Insert of { table : string; points : (int array * int) list }
+  | Delete of { table : string; points : int array list }
+  | Create_index of { table : string }
+  | Live_range of { table : string; lo : int array; hi : int array }
 
 type request_frame = { deadline_ms : int option; request : request }
 
@@ -37,6 +41,7 @@ type response =
   | Analyzed of { rendered : string; rows : Sqp_relalg.Relation.t }
   | Health_report of health
   | Error of { code : error_code; message : string }
+  | Ack of { applied : int; seq : int }
 
 let error_code_name = function
   | Bad_request -> "bad_request"
@@ -71,14 +76,9 @@ let error_code_of_byte = function
    Payload = version:u8 | tag:u8 | body.  Request body opens with the
    deadline (u32 milliseconds, 0 = none). *)
 
-let write_int_array b a =
-  Wire.write_u32 b (Array.length a);
-  Array.iter (Wire.write_i64 b) a
+let write_int_array = Wire.write_int_array
 
-let read_int_array c =
-  let n = Wire.read_u32 c in
-  if n > 64 then raise (Wire.Corrupt (Printf.sprintf "dimension count %d" n));
-  Array.init n (fun _ -> Wire.read_i64 c)
+let read_int_array = Wire.read_int_array
 
 let encode_request { deadline_ms; request } =
   let b = Buffer.create 64 in
@@ -89,14 +89,30 @@ let encode_request { deadline_ms; request } =
     | Query _ -> 2
     | Explain _ -> 3
     | Analyze _ -> 4
-    | Health -> 5);
+    | Health -> 5
+    | Insert _ -> 6
+    | Delete _ -> 7
+    | Create_index _ -> 8
+    | Live_range _ -> 9);
   Wire.write_u32 b (match deadline_ms with None -> 0 | Some ms -> max 1 ms);
   (match request with
   | Range_search { lo; hi } ->
       write_int_array b lo;
       write_int_array b hi
   | Query plan | Explain plan | Analyze plan -> Wire.write_plan b plan
-  | Health -> ());
+  | Health -> ()
+  | Insert { table; points } ->
+      Wire.write_string b table;
+      Wire.write_point_list b points
+  | Delete { table; points } ->
+      Wire.write_string b table;
+      Wire.write_u32 b (List.length points);
+      List.iter (write_int_array b) points
+  | Create_index { table } -> Wire.write_string b table
+  | Live_range { table; lo; hi } ->
+      Wire.write_string b table;
+      write_int_array b lo;
+      write_int_array b hi);
   Buffer.contents b
 
 let decode_request payload =
@@ -127,6 +143,26 @@ let decode_request payload =
           | 3 -> Explain (Wire.read_plan c)
           | 4 -> Analyze (Wire.read_plan c)
           | 5 -> Health
+          | 6 ->
+              let table = Wire.read_string c in
+              let points = Wire.read_point_list c in
+              Insert { table; points }
+          | 7 ->
+              let table = Wire.read_string c in
+              let n = Wire.read_u32 c in
+              let points = ref [] in
+              for _ = 1 to n do
+                points := read_int_array c :: !points
+              done;
+              Delete { table; points = List.rev !points }
+          | 8 -> Create_index { table = Wire.read_string c }
+          | 9 ->
+              let table = Wire.read_string c in
+              let lo = read_int_array c in
+              let hi = read_int_array c in
+              if Array.length lo <> Array.length hi then
+                raise (Wire.Corrupt "lo/hi dimensionality mismatch");
+              Live_range { table; lo; hi }
           | t -> raise (Wire.Corrupt (Printf.sprintf "unknown request tag %d" t))
         in
         if not (Wire.at_end c) then raise (Wire.Corrupt "trailing bytes");
@@ -159,7 +195,11 @@ let encode_response resp =
   | Error { code; message } ->
       Wire.write_u8 b 5;
       Wire.write_u8 b (error_code_byte code);
-      Wire.write_string b message);
+      Wire.write_string b message
+  | Ack { applied; seq } ->
+      Wire.write_u8 b 6;
+      Wire.write_i64 b applied;
+      Wire.write_i64 b seq);
   Buffer.contents b
 
 let decode_response payload =
@@ -189,6 +229,10 @@ let decode_response payload =
             let code = error_code_of_byte (Wire.read_u8 c) in
             let message = Wire.read_string c in
             Error { code; message }
+        | 6 ->
+            let applied = Wire.read_i64 c in
+            let seq = Wire.read_i64 c in
+            Ack { applied; seq }
         | t -> raise (Wire.Corrupt (Printf.sprintf "unknown response tag %d" t))
       in
       if not (Wire.at_end c) then raise (Wire.Corrupt "trailing bytes");

@@ -44,6 +44,20 @@ type request =
       (** EXPLAIN ANALYZE: execute under measurement, return both the
           annotated operator tree and the result rows. *)
   | Health  (** Liveness + catalog check; bypasses admission control. *)
+  | Insert of { table : string; points : (int array * int) list }
+      (** Append (point, payload) entries to a live table; drawn through
+          the same admission control as queries.  Answered by [Ack]. *)
+  | Delete of { table : string; points : int array list }
+      (** Remove the first entry at each exact point from a live table;
+          [Ack.applied] counts the points actually present. *)
+  | Create_index of { table : string }
+      (** Online index rebuild: backfill + catch-up + atomic swap, while
+          concurrent mutations keep flowing.  [Ack.applied] is the entry
+          count of the finished index. *)
+  | Live_range of { table : string; lo : int array; hi : int array }
+      (** Snapshot range query over a live table: rows [(id, x0..xk)]
+          for the entries inside the (inclusive) box, in z order, read
+          from one frozen snapshot — never a half-applied batch. *)
 
 type request_frame = { deadline_ms : int option; request : request }
 (** What a request payload decodes to.  [deadline_ms] bounds queue wait
@@ -73,6 +87,10 @@ type response =
       (** result of [Analyze] *)
   | Health_report of health
   | Error of { code : error_code; message : string }
+  | Ack of { applied : int; seq : int }
+      (** Result of a mutation: [applied] ops took effect, [seq] is the
+          table's batch sequence number after the mutation (reads after
+          this sequence see the batch). *)
 
 val error_code_name : error_code -> string
 (** Stable lower-snake name, e.g. ["overloaded"]. *)

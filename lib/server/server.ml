@@ -83,6 +83,29 @@ let instantiate t wplan =
   R.Plan.optimize
     (R.Wire.to_plan ~resolve:(Catalog.resolve t.cat) wplan)
 
+module Live = Sqp_btree.Live
+
+let live_table t name =
+  match Catalog.live t.cat name with
+  | Some lv -> lv
+  | None -> raise (R.Wire.Unknown_relation name)
+
+(* Rows (id, x0..xk) for live-table reads, in z order. *)
+let live_rows space entries =
+  let k = Sqp_zorder.Space.dims space in
+  let schema =
+    R.Schema.make
+      (("id", R.Value.TInt)
+      :: List.init k (fun i -> (Printf.sprintf "x%d" i, R.Value.TInt)))
+  in
+  let tuples =
+    List.map
+      (fun (p, id) ->
+        Array.of_list (R.Value.Int id :: List.init k (fun i -> R.Value.Int p.(i))))
+      entries
+  in
+  R.Relation.make ~name:"live" schema tuples
+
 let execute t request =
   match request with
   | P.Range_search { lo; hi } ->
@@ -102,6 +125,36 @@ let execute t request =
           let a = R.Plan.run_analyze_in_pool t.pool (instantiate t wplan) in
           P.Analyzed
             { rendered = R.Plan.render_analysis a; rows = a.R.Plan.result })
+  | P.Insert { table; points } ->
+      guard (fun () ->
+          let lv = live_table t table in
+          let seq, applied =
+            Live.apply lv (List.map (fun (p, id) -> Live.Insert (p, id)) points)
+          in
+          P.Ack { applied; seq })
+  | P.Delete { table; points } ->
+      guard (fun () ->
+          let lv = live_table t table in
+          let seq, applied =
+            Live.apply lv (List.map (fun p -> Live.Delete p) points)
+          in
+          P.Ack { applied; seq })
+  | P.Create_index { table } ->
+      guard (fun () ->
+          let lv = live_table t table in
+          let idx, seq = Live.rebuild_online lv in
+          P.Ack { applied = Sqp_btree.Zindex.length idx; seq })
+  | P.Live_range { table; lo; hi } ->
+      guard (fun () ->
+          let lv = live_table t table in
+          let space = Live.space lv in
+          let dims = Sqp_zorder.Space.dims space in
+          if Array.length lo <> dims || Array.length hi <> dims then
+            invalid_arg
+              (Printf.sprintf "live range bounds must have %d coordinates" dims);
+          let box = Sqp_geom.Box.make ~lo ~hi in
+          let rows, _stats = Live.range_search (Live.snapshot lv) box in
+          P.Rows (live_rows space rows))
   | P.Health -> assert false (* handled before admission *)
 
 let health t =

@@ -17,7 +17,6 @@ module Journal = Sqp_storage.Journal
 module Zindex = Sqp_btree.Zindex
 module Persist = Sqp_btree.Persist
 module Z = Sqp_zorder
-module W = Sqp_workload
 module Obs = Sqp_obs
 
 let check = Alcotest.(check bool)
@@ -118,22 +117,17 @@ let fp_torture () =
 
 let build_index ~seed n =
   let space = Z.Space.make ~dims:2 ~depth:8 in
-  let rng = W.Rng.create ~seed in
-  let points = W.Datagen.uniform rng ~side:256 ~n ~dims:2 in
-  Zindex.of_points space (Array.mapi (fun i p -> (p, (i * 7919) + seed)) points)
+  let points = Workload_gen.uniform_points ~seed ~side:256 ~n ~dims:2 in
+  Zindex.of_points space
+    (Array.mapi (fun i p -> (p, Workload_gen.payload ~seed i)) points)
 
-(* A fixed battery of range queries; an index's "answer" is the full
-   result vector, so two stores agree only if every query agrees. *)
+(* A fixed battery of range queries (the shared generator's battery); an
+   index's "answer" is the full result vector, so two stores agree only
+   if every query agrees. *)
 let battery index =
-  let rng = W.Rng.create ~seed:9 in
-  List.init 15 (fun _ ->
-      let x1 = W.Rng.int rng 256 and x2 = W.Rng.int rng 256 in
-      let y1 = W.Rng.int rng 256 and y2 = W.Rng.int rng 256 in
-      let box =
-        Sqp_geom.Box.make ~lo:[| min x1 x2; min y1 y2 |]
-          ~hi:[| max x1 x2; max y1 y2 |]
-      in
-      fst (Zindex.range_search index box))
+  List.map
+    (fun box -> fst (Zindex.range_search index box))
+    (Workload_gen.battery_boxes ~side:256 ~dims:2 ())
 
 let load_battery path =
   battery (Persist.load ~path ~decode:int_of_string ())

@@ -1,0 +1,640 @@
+(* Differential torture suite for the live-ingest path.
+
+   Every seeded mixed schedule from [Workload_gen] is replayed against
+   the live table and an in-memory oracle side by side: each read must
+   return identical rows, stashed snapshots must stay frozen while
+   mutations continue, the sequential path must produce bit-identical
+   scan statistics across replays, and the whole battery runs again on a
+   durable store with fail-stop crashes injected at every I/O of chosen
+   batches (seeds via SQP_INGEST_SEEDS, mirroring SQP_CRASH_SEEDS).
+   Online index build is verified bit-identical against a from-scratch
+   build, including crash-mid-backfill, and a multi-domain run checks
+   that snapshots never observe a half-applied batch. *)
+
+module L = Sqp_btree.Live
+module Zindex = Sqp_btree.Zindex
+module Persist = Sqp_btree.Persist
+module Faulty_io = Sqp_storage.Faulty_io
+module Journal = Sqp_storage.Journal
+module Z = Sqp_zorder
+module WG = Workload_gen
+module Pool = Sqp_parallel.Pool
+
+let check = Alcotest.(check bool)
+
+let seeds =
+  match Sys.getenv_opt "SQP_INGEST_SEEDS" with
+  | None | Some "" -> [ 1; 7; 42 ]
+  | Some s -> (
+      match String.split_on_char ',' s |> List.filter_map int_of_string_opt with
+      | [] -> [ 1; 7; 42 ]
+      | l -> l)
+
+let space = Z.Space.make ~dims:2 ~depth:8
+
+let encode = string_of_int
+
+let decode = int_of_string
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("sqp_ingest_" ^ name)
+
+let remove p = if Sys.file_exists p then Sys.remove p
+
+let with_store name f =
+  let path = tmp name in
+  let aux =
+    [ path; path ^ ".tmp"; Journal.journal_path path;
+      Journal.journal_path (path ^ ".tmp") ]
+  in
+  let clean () = List.iter remove aux in
+  clean ();
+  Fun.protect ~finally:clean (fun () -> f path)
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let n = in_channel_length ic in
+  let buf = really_input_string ic n in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc buf;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let entries_of t = L.snapshot_entries (L.snapshot t)
+
+let pp_entries es =
+  String.concat ";"
+    (List.map
+       (fun (p, v) ->
+         Printf.sprintf "(%s):%d"
+           (String.concat "," (Array.to_list (Array.map string_of_int p)))
+           v)
+       es)
+
+let check_rows what expected got =
+  if expected <> got then
+    Alcotest.failf "%s: oracle [%s] vs live [%s]" what (pp_entries expected)
+      (pp_entries got)
+
+(* {1 Cowtree vs a sorted-list oracle} *)
+
+module IK = struct
+  type t = int
+
+  let compare = compare
+end
+
+module C = Sqp_btree.Cowtree.Make (IK)
+
+let cowtree_differential () =
+  let rng = Sqp_workload.Rng.create ~seed:5 in
+  (* Oracle: sorted assoc list; insert after equals, remove first equal. *)
+  let insert_o l k v =
+    let rec go = function
+      | (k', v') :: rest when k' <= k -> (k', v') :: go rest
+      | rest -> (k, v) :: rest
+    in
+    go l
+  in
+  let remove_o l k =
+    let rec go = function
+      | [] -> None
+      | (k', _) :: rest when k' = k -> Some rest
+      | e :: rest -> Option.map (fun r -> e :: r) (go rest)
+    in
+    go l
+  in
+  let t = ref (C.empty ~leaf_capacity:4 ~internal_capacity:4 ()) in
+  let o = ref [] in
+  let snaps = ref [] in
+  for i = 0 to 999 do
+    let k = Sqp_workload.Rng.int rng 50 in
+    if Sqp_workload.Rng.int rng 3 = 0 then begin
+      match (C.remove !t k, remove_o !o k) with
+      | None, None -> ()
+      | Some t', Some o' ->
+          t := t';
+          o := o'
+      | _ -> Alcotest.failf "step %d: remove presence disagrees (key %d)" i k
+    end
+    else begin
+      t := C.insert !t k i;
+      o := insert_o !o k i
+    end;
+    (match C.check_invariants !t with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "step %d: invariant broken: %s" i e);
+    if C.to_list !t <> !o then Alcotest.failf "step %d: contents diverge" i;
+    if C.length !t <> List.length !o then Alcotest.failf "step %d: length diverges" i;
+    if i mod 100 = 0 then snaps := (!t, !o) :: !snaps
+  done;
+  (* Old roots are frozen: every stashed snapshot still answers. *)
+  List.iter
+    (fun (t, o) ->
+      check "snapshot frozen" true (C.to_list t = o);
+      List.iter
+        (fun k ->
+          let expect = List.filter_map (fun (k', v) -> if k' = k then Some v else None) o in
+          check "find_all on snapshot" true (C.find_all t k = expect))
+        [ 0; 7; 23; 49 ])
+    !snaps;
+  (* Bulk build must agree with the incremental tree at every size,
+     including exact multiples of the fanout. *)
+  List.iter
+    (fun n ->
+      let entries = Array.init n (fun i -> (i / 3, i)) in
+      let b = C.of_sorted_array ~leaf_capacity:4 ~internal_capacity:4 entries in
+      (match C.check_invariants b with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "bulk %d: invariant broken: %s" n e);
+      check
+        (Printf.sprintf "bulk build of %d entries" n)
+        true
+        (C.to_list b = Array.to_list entries))
+    [ 0; 1; 4; 5; 16; 17; 64; 100; 256; 257 ]
+
+(* {1 Differential replay of mixed schedules} *)
+
+let replay_op t o op =
+  match op with
+  | WG.Insert (p, v) ->
+      ignore (L.insert t p v);
+      WG.Oracle.insert o p v
+  | WG.Delete p ->
+      let live = L.delete t p and oracle = WG.Oracle.delete o p in
+      if live <> oracle then Alcotest.failf "delete presence disagrees"
+  | WG.Range box ->
+      check_rows "range" (WG.Oracle.range o box) (fst (L.range_search (L.snapshot t) box))
+  | WG.Scan -> check_rows "scan" (WG.Oracle.scan o) (entries_of t)
+
+let differential seed () =
+  let t = L.create ~encode ~decode space in
+  let o = WG.Oracle.create space in
+  let sched = WG.generate ~seed ~n:400 () in
+  let stashes = ref [] in
+  List.iteri
+    (fun i op ->
+      replay_op t o op;
+      if i mod 50 = 0 then
+        stashes := (i, L.snapshot t, WG.Oracle.copy o) :: !stashes)
+    sched;
+  check "oracle and live agree on size" true
+    (WG.Oracle.length o = L.length t);
+  (* Snapshot isolation: mutations since the stash must be invisible. *)
+  let box = WG.random_box (Sqp_workload.Rng.create ~seed:(seed + 1)) ~side:256 ~dims:2 in
+  List.iter
+    (fun (i, snap, oc) ->
+      check_rows
+        (Printf.sprintf "stashed snapshot at op %d" i)
+        (WG.Oracle.scan oc) (L.snapshot_entries snap);
+      check_rows
+        (Printf.sprintf "stashed range at op %d" i)
+        (WG.Oracle.range oc box)
+        (fst (L.range_search snap box)))
+    !stashes
+
+(* The sequential path must be deterministic down to its counters: two
+   replays of one schedule yield bit-identical [scan_stats]. *)
+let stats_deterministic seed () =
+  let run () =
+    let t = L.create ~encode ~decode space in
+    let stats = ref [] in
+    List.iter
+      (fun op ->
+        match op with
+        | WG.Insert (p, v) -> ignore (L.insert t p v)
+        | WG.Delete p -> ignore (L.delete t p)
+        | WG.Range box ->
+            stats := snd (L.range_search (L.snapshot t) box) :: !stats
+        | WG.Scan -> ())
+      (WG.generate ~seed ~n:300 ());
+    List.rev !stats
+  in
+  let a = run () and b = run () in
+  check "two replays produce identical scan stats" true (a = b)
+
+(* {1 Durable replay, clean and crash-injected} *)
+
+let mutating_batches ?(batch = 4) sched =
+  let muts = List.filter WG.mutates sched in
+  let rec chunk = function
+    | [] -> []
+    | l ->
+        let rec take n = function
+          | x :: rest when n > 0 ->
+              let a, b = take (n - 1) rest in
+              (x :: a, b)
+          | rest -> ([], rest)
+        in
+        let a, b = take batch l in
+        a :: chunk b
+  in
+  chunk muts
+
+let to_live_ops ops =
+  List.map
+    (function
+      | WG.Insert (p, v) -> L.Insert (p, v)
+      | WG.Delete p -> L.Delete p
+      | WG.Range _ | WG.Scan -> assert false)
+    ops
+
+let oracle_apply o ops =
+  List.iter
+    (function
+      | WG.Insert (p, v) -> WG.Oracle.insert o p v
+      | WG.Delete p -> ignore (WG.Oracle.delete o p)
+      | WG.Range _ | WG.Scan -> assert false)
+    ops
+
+let durable_roundtrip seed () =
+  with_store (Printf.sprintf "dur_%d" seed) (fun path ->
+      let t = L.create_durable ~encode ~decode ~path space in
+      let o = WG.Oracle.create space in
+      let sched = WG.generate ~seed ~n:300 () in
+      List.iter (fun op -> replay_op t o op) sched;
+      let expect = WG.Oracle.scan o in
+      check_rows "before close" expect (entries_of t);
+      L.close t;
+      let t = L.open_durable ~encode ~decode ~path () in
+      check "space recovered" true (L.space t = space);
+      check_rows "after reopen (log replay)" expect (entries_of t);
+      (* Checkpoint truncates the log; contents must not move. *)
+      L.checkpoint t;
+      check_rows "after checkpoint" expect (entries_of t);
+      L.close t;
+      let t = L.open_durable ~encode ~decode ~path () in
+      check_rows "after reopen from base image" expect (entries_of t);
+      L.close t)
+
+(* Kill the store at every I/O of a batch: the reopened table must hold
+   exactly the pre-batch or the post-batch rows — never a mixture. *)
+let crash_torture seed () =
+  with_store (Printf.sprintf "crash_%d" seed) (fun path ->
+      let golden = path ^ ".golden" in
+      Fun.protect ~finally:(fun () -> remove golden) @@ fun () ->
+      let sched = WG.generate ~seed ~n:120 () in
+      let batches = mutating_batches sched in
+      L.close (L.create_durable ~encode ~decode ~path space);
+      let o = WG.Oracle.create space in
+      List.iteri
+        (fun j ops ->
+          (* Torture roughly every fourth batch; apply the rest plainly. *)
+          if j mod 4 = 3 then begin
+            let pre = WG.Oracle.scan o in
+            let post =
+              let oc = WG.Oracle.copy o in
+              oracle_apply oc ops;
+              WG.Oracle.scan oc
+            in
+            copy_file path golden;
+            (* Learn how many I/O ops (open + batch) the step costs. *)
+            let counter = Faulty_io.counting () in
+            let tc = L.open_durable ~io:counter ~encode ~decode ~path () in
+            ignore (L.apply tc (to_live_ops ops));
+            L.close tc;
+            let total = Faulty_io.op_count counter in
+            check "step has crash points" true (total > 0);
+            for k = 0 to total - 1 do
+              let where = Printf.sprintf "batch %d, kill at op %d/%d" j k total in
+              List.iter remove
+                [ path; Journal.journal_path path ];
+              copy_file golden path;
+              (match
+                 let tk = L.open_durable ~io:(Faulty_io.crash_at k) ~encode ~decode ~path () in
+                 ignore (L.apply tk (to_live_ops ops));
+                 L.close tk
+               with
+              | () -> Alcotest.failf "%s: expected the step to die" where
+              | exception Faulty_io.Crashed -> ());
+              let tr = L.open_durable ~encode ~decode ~path () in
+              let got = entries_of tr in
+              L.close tr;
+              if got <> pre && got <> post then
+                Alcotest.failf "%s: reopened table is a mixed state" where
+            done;
+            (* Restore the pre-batch store and land the batch for real. *)
+            List.iter remove [ path; Journal.journal_path path ];
+            copy_file golden path
+          end;
+          let t2 = L.open_durable ~encode ~decode ~path () in
+          ignore (L.apply t2 (to_live_ops ops));
+          oracle_apply o ops;
+          check_rows (Printf.sprintf "after batch %d" j) (WG.Oracle.scan o)
+            (entries_of t2);
+          L.close t2)
+        batches)
+
+(* Flaky syscalls (EINTR, short I/O, transient EIO) must be invisible. *)
+let seeded_faults seed () =
+  with_store (Printf.sprintf "flaky_%d" seed) (fun path ->
+      let io = Faulty_io.seeded ~p_eintr:0.05 ~p_short:0.15 ~p_eio:0.01 ~seed () in
+      let t = L.create_durable ~io ~encode ~decode ~path space in
+      let o = WG.Oracle.create space in
+      List.iter (fun op -> replay_op t o op) (WG.generate ~seed ~n:200 ());
+      L.close t;
+      let t = L.open_durable ~io ~encode ~decode ~path () in
+      check_rows "flaky run equals oracle" (WG.Oracle.scan o) (entries_of t);
+      L.close t)
+
+(* {1 Online index build} *)
+
+(* Distinct points with point-derived payloads, so index files can be
+   compared byte-for-byte without duplicate-order ambiguity. *)
+let distinct_points ~seed n =
+  let rng = Sqp_workload.Rng.create ~seed in
+  let seen = Hashtbl.create (2 * n) in
+  let out = ref [] and have = ref 0 in
+  while !have < n do
+    let p = [| Sqp_workload.Rng.int rng 256; Sqp_workload.Rng.int rng 256 |] in
+    if not (Hashtbl.mem seen p) then begin
+      Hashtbl.replace seen p ();
+      out := p :: !out;
+      incr have
+    end
+  done;
+  !out
+
+let point_payload p = (p.(0) * 31) + p.(1)
+
+let online_build seed () =
+  with_store (Printf.sprintf "online_%d" seed) (fun path ->
+      let t = L.create ~encode ~decode space in
+      let base, extra =
+        match distinct_points ~seed 360 with
+        | l ->
+            let rec split n = function
+              | x :: rest when n > 0 ->
+                  let a, b = split (n - 1) rest in
+                  (x :: a, b)
+              | rest -> ([], rest)
+            in
+            split 300 l
+      in
+      List.iter (fun p -> ignore (L.insert t p (point_payload p))) base;
+      (* Feed writes at every chunk boundary: fresh inserts plus deletes
+         of base points, so catch-up must handle both. *)
+      let pending = ref extra and victims = ref base in
+      let boundaries = ref 0 in
+      let on_chunk _ =
+        incr boundaries;
+        (match !pending with
+        | p :: rest ->
+            pending := rest;
+            ignore (L.insert t p (point_payload p))
+        | [] -> ());
+        match !victims with
+        | v :: rest ->
+            victims := rest;
+            ignore (L.delete t v)
+        | [] -> ()
+      in
+      let index, at_seq = L.rebuild_online ~chunk_size:32 ~on_chunk t in
+      check "writes raced the backfill" true (!boundaries > 0);
+      check "build reflects the final batch" true (at_seq = L.seq t);
+      (* The online-built index must be bit-identical to a from-scratch
+         build over the final state. *)
+      let final = entries_of t in
+      let scratch = Zindex.of_points space (Array.of_list final) in
+      let pa = path ^ ".online" and pb = path ^ ".scratch" in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter remove
+            [ pa; pb; pa ^ ".tmp"; pb ^ ".tmp"; Journal.journal_path pa;
+              Journal.journal_path pb; Journal.journal_path (pa ^ ".tmp");
+              Journal.journal_path (pb ^ ".tmp") ])
+        (fun () ->
+          ignore (Persist.save ~path:pa ~page_bytes:256 ~encode index);
+          ignore (Persist.save ~path:pb ~page_bytes:256 ~encode scratch);
+          check "online build is bit-identical to from-scratch" true
+            (read_file pa = read_file pb));
+      (* The swap also compacted the live tree: contents unchanged. *)
+      check_rows "swap preserved contents" final (entries_of t))
+
+let online_build_crash seed () =
+  with_store (Printf.sprintf "onlinecrash_%d" seed) (fun path ->
+      let idx = path ^ ".idx" in
+      let idx_aux =
+        [ idx; idx ^ ".tmp"; Journal.journal_path idx;
+          Journal.journal_path (idx ^ ".tmp") ]
+      in
+      Fun.protect ~finally:(fun () -> List.iter remove idx_aux) @@ fun () ->
+      let points = distinct_points ~seed 200 in
+      let fill t = List.iter (fun p -> ignore (L.insert t p (point_payload p))) points in
+      (* Learn the I/O cost of a full create + rebuild + save run. *)
+      let counter = Faulty_io.counting () in
+      let t = L.create_durable ~io:counter ~encode ~decode ~path space in
+      fill t;
+      ignore (L.save_index ~io:counter ~path:idx t);
+      L.close t;
+      let expect =
+        let t = L.open_durable ~encode ~decode ~path () in
+        let e = entries_of t in
+        L.close t;
+        e
+      in
+      let good = read_file idx in
+      let total = Faulty_io.op_count counter in
+      check "run has crash points" true (total > 0);
+      (* Kill at a spread of points; the store must reopen to the full
+         contents and the index file must be complete or absent. *)
+      let step = max 1 (total / 40) in
+      let k = ref 0 in
+      while !k < total do
+        let where = Printf.sprintf "kill at op %d/%d" !k total in
+        List.iter remove (path :: Journal.journal_path path :: idx_aux);
+        let io = Faulty_io.crash_at !k in
+        (match
+           let t = L.create_durable ~io ~encode ~decode ~path space in
+           fill t;
+           ignore (L.save_index ~io ~path:idx t);
+           L.close t
+         with
+        | () -> Alcotest.failf "%s: expected the run to die" where
+        | exception Faulty_io.Crashed -> ());
+        (* The journaled store replays to a prefix of the batches: it
+           must open cleanly (or not exist yet), never as a mixed
+           state. *)
+        (if Sys.file_exists path then
+           match L.open_durable ~encode ~decode ~path () with
+           | t -> L.close t
+           | exception Sqp_storage.Storage_error.Corrupt _ ->
+               Alcotest.failf "%s: store corrupt after crash" where);
+        (* The index is all-or-nothing: absent, or byte-identical to the
+           crash-free build. *)
+        if Sys.file_exists idx then begin
+          if read_file idx <> good then
+            Alcotest.failf "%s: index file is a torso" where
+        end;
+        k := !k + step
+      done;
+      (* One clean run to confirm the harness itself converges. *)
+      List.iter remove (path :: Journal.journal_path path :: idx_aux);
+      let t = L.create_durable ~encode ~decode ~path space in
+      fill t;
+      ignore (L.save_index ~path:idx t);
+      check "clean index matches" true (read_file idx = good);
+      check_rows "clean store matches" expect (entries_of t);
+      L.close t)
+
+(* {1 Concurrency: snapshots never see a torn batch} *)
+
+let concurrency () =
+  let t = L.create ~encode ~decode space in
+  let nwriters = 3 and batches_per_writer = 25 and batch_size = 5 in
+  let writer w () =
+    let rng = Sqp_workload.Rng.create ~seed:(1000 + w) in
+    let out = ref [] in
+    for b = 0 to batches_per_writer - 1 do
+      let ops =
+        List.init batch_size (fun j ->
+            let p =
+              [| Sqp_workload.Rng.int rng 256; Sqp_workload.Rng.int rng 256 |]
+            in
+            L.Insert (p, (w * 1_000_000) + (b * 1_000) + j))
+      in
+      let seq, applied = L.apply t ops in
+      if applied <> batch_size then failwith "insert batch not fully applied";
+      out := (seq, ops) :: !out
+    done;
+    !out
+  in
+  let reader () =
+    for _ = 1 to 400 do
+      let snap = L.snapshot t in
+      let tally = Hashtbl.create 64 in
+      List.iter
+        (fun (_, v) ->
+          let batch = v / 1_000 in
+          Hashtbl.replace tally batch (1 + Option.value ~default:0 (Hashtbl.find_opt tally batch)))
+        (L.snapshot_entries snap);
+      Hashtbl.iter
+        (fun batch n ->
+          if n <> batch_size then
+            failwith
+              (Printf.sprintf
+                 "snapshot at seq %d sees %d/%d rows of batch %d: torn batch"
+                 (L.snapshot_seq snap) n batch_size batch))
+        tally
+    done;
+    []
+  in
+  let results =
+    Pool.with_pool ~domains:(nwriters + 2) (fun pool ->
+        Pool.run pool
+          (List.init nwriters (fun w -> writer w) @ [ reader; reader ]))
+  in
+  let committed = List.concat results in
+  check "every batch got a distinct sequence number" true
+    (let seqs = List.map fst committed in
+     List.length (List.sort_uniq compare seqs) = List.length seqs);
+  (* Final state must equal a serialized replay in commit order. *)
+  let replay = L.create ~encode ~decode space in
+  List.iter
+    (fun (_, ops) -> ignore (L.apply replay ops))
+    (List.sort (fun (a, _) (b, _) -> compare a b) committed);
+  check_rows "final state equals serialized replay" (entries_of replay) (entries_of t)
+
+(* {1 Join differentials} *)
+
+let join_differential seed () =
+  let ta = L.create ~encode ~decode space and tb = L.create ~encode ~decode space in
+  let oa = WG.Oracle.create space and ob = WG.Oracle.create space in
+  List.iter
+    (fun op ->
+      match op with
+      | WG.Insert (p, v) ->
+          ignore (L.insert ta p v);
+          WG.Oracle.insert oa p v
+      | WG.Delete p ->
+          ignore (L.delete ta p);
+          ignore (WG.Oracle.delete oa p)
+      | _ -> ())
+    (WG.generate ~seed ~n:150 ());
+  List.iter
+    (fun op ->
+      match op with
+      | WG.Insert (p, v) ->
+          ignore (L.insert tb p v);
+          WG.Oracle.insert ob p v
+      | WG.Delete p ->
+          ignore (L.delete tb p);
+          ignore (WG.Oracle.delete ob p)
+      | _ -> ())
+    (WG.generate ~seed:(seed + 100) ~n:150 ());
+  let sa = L.snapshot ta and sb = L.snapshot tb in
+  (* Oracle join: nested loops over z-sorted sides, point equality. *)
+  let expect =
+    List.concat_map
+      (fun (p, va) ->
+        List.filter_map
+          (fun (q, vb) ->
+            if Sqp_geom.Point.equal p q then Some ((p, va), (q, vb)) else None)
+          (WG.Oracle.scan ob))
+      (WG.Oracle.scan oa)
+  in
+  let got = L.equi_join sa sb in
+  check "join sizes agree" true (List.length expect = List.length got);
+  check "join pairs agree" true
+    (List.sort compare expect = List.sort compare got)
+
+let () =
+  Alcotest.run "ingest"
+    [
+      ( "cowtree",
+        [ Alcotest.test_case "differential vs sorted list" `Quick cowtree_differential ] );
+      ( "differential",
+        List.concat_map
+          (fun seed ->
+            [
+              Alcotest.test_case
+                (Printf.sprintf "mixed schedule (seed %d)" seed)
+                `Quick (differential seed);
+              Alcotest.test_case
+                (Printf.sprintf "deterministic stats (seed %d)" seed)
+                `Quick (stats_deterministic seed);
+            ])
+          seeds );
+      ( "durable",
+        List.concat_map
+          (fun seed ->
+            [
+              Alcotest.test_case
+                (Printf.sprintf "roundtrip (seed %d)" seed)
+                `Quick (durable_roundtrip seed);
+              Alcotest.test_case
+                (Printf.sprintf "kill at every op (seed %d)" seed)
+                `Quick (crash_torture seed);
+              Alcotest.test_case
+                (Printf.sprintf "transparent flaky I/O (seed %d)" seed)
+                `Quick (seeded_faults seed);
+            ])
+          seeds );
+      ( "online build",
+        List.concat_map
+          (fun seed ->
+            [
+              Alcotest.test_case
+                (Printf.sprintf "bit-identical under writes (seed %d)" seed)
+                `Quick (online_build seed);
+              Alcotest.test_case
+                (Printf.sprintf "crash mid-backfill (seed %d)" seed)
+                `Quick (online_build_crash seed);
+            ])
+          seeds );
+      ( "concurrency",
+        [ Alcotest.test_case "no torn snapshots across domains" `Quick concurrency ] );
+      ( "join",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "equi-join differential (seed %d)" seed)
+              `Quick (join_differential seed))
+          seeds );
+    ]

@@ -133,6 +133,16 @@ let test_request_roundtrip () =
       (None, P.Explain (Wire.Scan "R"));
       (Some 1, P.Analyze (Wire.Scan "S"));
       (None, P.Health);
+      ( Some 100,
+        P.Insert
+          {
+            table = "L";
+            points = [ ([| 1; 2 |], 7); ([| 3; 4 |], -1); ([| 0; 0 |], max_int) ];
+          } );
+      (None, P.Insert { table = ""; points = [] });
+      (None, P.Delete { table = "L"; points = [ [| 9; 9 |]; [| 1; 2; 3 |] ] });
+      (Some 5, P.Create_index { table = "L" });
+      (None, P.Live_range { table = "L"; lo = [| 0; 0 |]; hi = [| 255; 255 |] });
     ]
   in
   List.iter
@@ -160,6 +170,8 @@ let test_response_roundtrip () =
       P.Health_report
         { healthy = true; detail = "ok"; in_flight = 2; queued = 1; served = 99 };
       P.Error { code = P.Overloaded; message = "queue full" };
+      P.Ack { applied = 0; seq = 0 };
+      P.Ack { applied = 42; seq = 1_000_000 };
     ]
   in
   List.iter
@@ -208,7 +220,34 @@ let test_malformed_requests () =
   Wire.write_u8 b 1;
   Wire.write_u32 b 0;
   Wire.write_u32 b 1_000_000;
-  expect_code P.Bad_request (Buffer.contents b) "dimension bomb"
+  expect_code P.Bad_request (Buffer.contents b) "dimension bomb";
+  (* insert truncated mid-point-list *)
+  let full =
+    P.encode_request
+      {
+        P.deadline_ms = None;
+        request = P.Insert { table = "L"; points = [ ([| 1; 2 |], 3) ] };
+      }
+  in
+  expect_code P.Bad_request (String.sub full 0 (String.length full - 3))
+    "truncated insert";
+  (* delete advertising more points than the payload carries *)
+  let b = Buffer.create 32 in
+  Wire.write_u8 b P.version;
+  Wire.write_u8 b 7;
+  Wire.write_u32 b 0;
+  Wire.write_string b "L";
+  Wire.write_u32 b 50_000;
+  expect_code P.Bad_request (Buffer.contents b) "delete count bomb";
+  (* live range with mismatched bound dimensionality *)
+  let b = Buffer.create 32 in
+  Wire.write_u8 b P.version;
+  Wire.write_u8 b 9;
+  Wire.write_u32 b 0;
+  Wire.write_string b "L";
+  Wire.write_int_array b [| 1; 2 |];
+  Wire.write_int_array b [| 3; 4; 5 |];
+  expect_code P.Bad_request (Buffer.contents b) "live range lo/hi mismatch"
 
 let test_malformed_responses () =
   List.iter
@@ -259,6 +298,17 @@ let test_fuzz_corrupted_frames () =
       P.encode_request { P.deadline_ms = Some 5; request = P.Query deep_plan };
       P.encode_request
         { P.deadline_ms = None; request = P.Range_search { lo = [| 1; 2 |]; hi = [| 3; 4 |] } };
+      P.encode_request
+        {
+          P.deadline_ms = Some 9;
+          request = P.Insert { table = "L"; points = [ ([| 5; 6 |], 1); ([| 7; 8 |], 2) ] };
+        };
+      P.encode_request
+        {
+          P.deadline_ms = None;
+          request = P.Live_range { table = "L"; lo = [| 0; 0 |]; hi = [| 9; 9 |] };
+        };
+      P.encode_response (P.Ack { applied = 3; seq = 17 });
       P.encode_response
         (P.Rows
            (Relation.make

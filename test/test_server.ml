@@ -150,6 +150,72 @@ let test_explain_and_analyze () =
           let expected = Plan.run (Catalog.overlap_plan catalog) in
           checkb "analyze rows match" true (Relation.equal_contents expected rows)))
 
+(* {1 Live ingest over the wire}
+
+   Mutation frames against the "L" live table, checked for fidelity
+   against the in-process table the server serves from: acks carry the
+   table's own sequence numbers, snapshot reads match a direct
+   [Live.range_search], and applied counts reflect actual presence. *)
+
+module Live = Sqp_btree.Live
+
+let test_live_ingest () =
+  with_server (fun server _ ->
+      Client.with_connect ~port:(Server.port server) (fun c ->
+          let lv = Option.get (Catalog.live catalog "L") in
+          expect_error "unknown live table" P.Unknown_relation
+            (Client.insert c ~table:"NOPE" [ ([| 1; 2 |], 1) ]);
+          expect_error "point outside the space" P.Bad_request
+            (Client.insert c ~table:"L" [ ([| 1_000_000; 0 |], 1) ]);
+          let len0 = Live.length lv in
+          let pts =
+            [ ([| 3; 4 |], 100_000); ([| 3; 4 |], 100_001); ([| 250; 7 |], 100_002) ]
+          in
+          let applied, seq = reply_ok "insert" (Client.insert c ~table:"L" pts) in
+          checki "insert applied all" 3 applied;
+          checki "ack seq is the table's" (Live.seq lv) seq;
+          checki "table grew" (len0 + 3) (Live.length lv);
+          (* snapshot read over the wire = direct snapshot read *)
+          let lo = [| 0; 0 |] and hi = [| 63; 63 |] in
+          let expected, _ =
+            Live.range_search (Live.snapshot lv) (Box.make ~lo ~hi)
+          in
+          let rows = reply_ok "live range" (Client.live_range c ~table:"L" ~lo ~hi) in
+          checki "live range cardinality" (List.length expected)
+            (Relation.cardinality rows);
+          expect_error "inverted live range" P.Bad_request
+            (Client.live_range c ~table:"L" ~lo:[| 9; 9 |] ~hi:[| 1; 1 |]);
+          (* applied counts actual presence: one delete per entry at the
+             point, plus one that finds nothing *)
+          let count_at p =
+            List.length
+              (List.filter
+                 (fun (q, _) -> q = p)
+                 (Live.snapshot_entries (Live.snapshot lv)))
+          in
+          let n = count_at [| 250; 7 |] in
+          checkb "the inserted point is present" true (n >= 1);
+          let applied, _ =
+            reply_ok "delete"
+              (Client.delete c ~table:"L"
+                 (List.init (n + 1) (fun _ -> [| 250; 7 |])))
+          in
+          checki "delete applied counts presence" n applied;
+          checki "point fully removed" 0 (count_at [| 250; 7 |]);
+          (* online rebuild through the wire, then reads still serve *)
+          let applied, seq = reply_ok "create index" (Client.create_index c ~table:"L") in
+          checki "index covers the table" (Live.length lv) applied;
+          checki "rebuild seq is the table's" (Live.seq lv) seq;
+          let expected, _ =
+            Live.range_search (Live.snapshot lv) (Box.make ~lo ~hi)
+          in
+          let rows =
+            reply_ok "live range after rebuild"
+              (Client.live_range c ~table:"L" ~lo ~hi)
+          in
+          checki "post-rebuild live range" (List.length expected)
+            (Relation.cardinality rows)))
+
 (* {1 Deterministic overload: Overloaded, not collapse} *)
 
 let test_overload_sheds () =
@@ -338,6 +404,7 @@ let () =
           Alcotest.test_case "concurrent differential" `Quick
             test_concurrent_differential;
           Alcotest.test_case "explain and analyze" `Quick test_explain_and_analyze;
+          Alcotest.test_case "live ingest" `Quick test_live_ingest;
         ] );
       ( "errors",
         [

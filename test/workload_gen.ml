@@ -1,0 +1,142 @@
+(* Seeded mixed-operation workload generator, shared by the
+   crash-torture and live-ingest suites.
+
+   Every schedule is a concrete, fully deterministic list of operations
+   — points, payloads and query boxes are materialized at generation
+   time — so the same schedule can be replayed against the live table,
+   an in-memory oracle, a crash-injected store and a concurrent run, and
+   any failure reproduces from the seed alone. *)
+
+module W = Sqp_workload
+module Z = Sqp_zorder
+
+type op =
+  | Insert of Sqp_geom.Point.t * int
+  | Delete of Sqp_geom.Point.t  (* may target an absent point *)
+  | Range of Sqp_geom.Box.t
+  | Scan  (* full snapshot scan *)
+
+type ratios = {
+  p_insert : int;
+  p_delete : int;
+  p_range : int;
+  p_scan : int;
+}
+(* Relative weights; they need not sum to anything in particular. *)
+
+let default_ratios = { p_insert = 5; p_delete = 2; p_range = 3; p_scan = 1 }
+
+let mutates = function Insert _ | Delete _ -> true | Range _ | Scan -> false
+
+(* The payload scheme of test_crash's index workloads: distinct,
+   seed-dependent, cheap to recompute. *)
+let payload ~seed i = (i * 7919) + seed
+
+let uniform_points ~seed ~side ~n ~dims =
+  W.Datagen.uniform (W.Rng.create ~seed) ~side ~n ~dims
+
+(* The fixed query battery of the crash suite: [count] random boxes from
+   independent corner pairs. *)
+let battery_boxes ?(seed = 9) ?(count = 15) ~side ~dims () =
+  let rng = W.Rng.create ~seed in
+  List.init count (fun _ ->
+      let c1 = Array.init dims (fun _ -> W.Rng.int rng side) in
+      let c2 = Array.init dims (fun _ -> W.Rng.int rng side) in
+      Sqp_geom.Box.make
+        ~lo:(Array.init dims (fun i -> min c1.(i) c2.(i)))
+        ~hi:(Array.init dims (fun i -> max c1.(i) c2.(i))))
+
+let random_box rng ~side ~dims =
+  let c1 = Array.init dims (fun _ -> W.Rng.int rng side) in
+  let c2 = Array.init dims (fun _ -> W.Rng.int rng side) in
+  Sqp_geom.Box.make
+    ~lo:(Array.init dims (fun i -> min c1.(i) c2.(i)))
+    ~hi:(Array.init dims (fun i -> max c1.(i) c2.(i)))
+
+let generate ?(ratios = default_ratios) ?(side = 256) ?(dims = 2) ~seed ~n () =
+  let rng = W.Rng.create ~seed in
+  let total = ratios.p_insert + ratios.p_delete + ratios.p_range + ratios.p_scan in
+  if total <= 0 then invalid_arg "Workload_gen.generate: zero ratios";
+  (* Points inserted so far and not yet targeted by a delete, so deletes
+     usually hit (3 in 4) but sometimes chase an absent point. *)
+  let alive = ref [||] and alive_n = ref 0 in
+  let push p =
+    if !alive_n = Array.length !alive then begin
+      let bigger = Array.make (max 16 (2 * !alive_n)) [||] in
+      Array.blit !alive 0 bigger 0 !alive_n;
+      alive := bigger
+    end;
+    !alive.(!alive_n) <- p;
+    incr alive_n
+  in
+  let take i =
+    let p = !alive.(i) in
+    decr alive_n;
+    !alive.(i) <- !alive.(!alive_n);
+    p
+  in
+  let fresh_point () = Array.init dims (fun _ -> W.Rng.int rng side) in
+  List.init n (fun i ->
+      let pick = W.Rng.int rng total in
+      if pick < ratios.p_insert || !alive_n = 0 then begin
+        let p = fresh_point () in
+        push p;
+        Insert (p, payload ~seed i)
+      end
+      else if pick < ratios.p_insert + ratios.p_delete then begin
+        if W.Rng.int rng 4 = 0 then Delete (fresh_point ())
+        else Delete (take (W.Rng.int rng !alive_n))
+      end
+      else if pick < ratios.p_insert + ratios.p_delete + ratios.p_range then
+        Range (random_box rng ~side ~dims)
+      else Scan)
+
+(* {1 In-memory oracle}
+
+   Entries in arrival order; a query sorts matching entries stably by z
+   value, which reproduces the live table's order exactly (equal-z runs
+   stay in insertion order).  A delete removes the earliest arrival at
+   exactly that point — the same entry the live tree's
+   first-equal-removal takes, since earlier arrivals sit earlier in the
+   equal-z run. *)
+
+module Oracle = struct
+  type t = {
+    space : Z.Space.t;
+    mutable entries : (Sqp_geom.Point.t * int) list;  (* arrival order *)
+  }
+
+  let create space = { space; entries = [] }
+
+  let copy o = { o with entries = o.entries }
+
+  let insert o p v = o.entries <- o.entries @ [ (p, v) ]
+
+  let delete o p =
+    let rec go = function
+      | [] -> None
+      | (q, _) :: rest when Sqp_geom.Point.equal p q -> Some rest
+      | e :: rest -> Option.map (fun r -> e :: r) (go rest)
+    in
+    match go o.entries with
+    | None -> false
+    | Some entries ->
+        o.entries <- entries;
+        true
+
+  let in_z_order o entries =
+    List.stable_sort
+      (fun (p, _) (q, _) ->
+        Z.Bitstring.compare
+          (Z.Interleave.shuffle o.space p)
+          (Z.Interleave.shuffle o.space q))
+      entries
+
+  let scan o = in_z_order o o.entries
+
+  let range o box =
+    in_z_order o
+      (List.filter (fun (p, _) -> Sqp_geom.Box.contains_point box p) o.entries)
+
+  let length o = List.length o.entries
+end
