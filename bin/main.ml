@@ -2,6 +2,7 @@
    regenerates one of the paper's figures or experiment tables. *)
 
 open Cmdliner
+module Srv = Sqp_server
 
 let dataset_conv =
   let parse = function
@@ -152,7 +153,19 @@ let query_cmd =
              z-sharded over a domain pool and the analysis includes a \
              per-shard work table.")
   in
-  let run analyze trace parallelism =
+  let costs_arg =
+    Arg.(
+      value & flag
+      & info [ "costs" ]
+          ~doc:
+            "Cost-based mode: run the ANALYZE statistics pass first, print \
+             the statistics-free EXPLAIN (before), then the cost-based \
+             EXPLAIN with the predicted cost column (after) and the join \
+             decisions.  With $(b,--analyze), the measured tree gains the \
+             predicted-vs-actual table.")
+  in
+  let run analyze costs trace parallelism =
+    let module O = Sqp_optimizer in
     let wk = W.Seeded.standard () in
     let tracer =
       match trace with
@@ -167,8 +180,52 @@ let query_cmd =
         (R.Query.stored_overlap_plan ~options:wk.W.Seeded.decompose_options
            wk.W.Seeded.space wk.W.Seeded.left_objects wk.W.Seeded.right_objects)
     in
+    let stats_plan =
+      (* [None]: statistics-free, exactly the old behavior.  [Some]: the
+         ANALYZE pass over the same catalog the server would build, then
+         the cost-based rewrite of the same plan. *)
+      if not costs then None
+      else begin
+        let cat = Srv.Catalog.of_seeded wk in
+        let st = Srv.Catalog.analyze cat in
+        print_endline "EXPLAIN before (size heuristic, no statistics):";
+        print_string (R.Plan.explain ~parallelism plan);
+        print_newline ();
+        let chosen, decisions = O.Optimizer.choose_plan st plan in
+        print_endline "EXPLAIN after (cost-based, statistics from ANALYZE):";
+        print_string (O.Optimizer.explain ~parallelism st chosen);
+        List.iter
+          (fun (d : O.Optimizer.join_decision) ->
+            Printf.printf
+              "join %s <> %s: merge %.0f vs nested %.0f work units -> %s%s%s\n"
+              d.O.Optimizer.zl d.O.Optimizer.zr d.O.Optimizer.cost_merge
+              d.O.Optimizer.cost_nested
+              (match d.O.Optimizer.chosen with
+              | R.Plan.Merge -> "merge"
+              | R.Plan.Nested_loop -> "nested loop")
+              (if d.O.Optimizer.commuted then " (inputs commuted)" else "")
+              (if
+                 d.O.Optimizer.heuristic_would_merge
+                 = (d.O.Optimizer.chosen = R.Plan.Merge)
+                 && not d.O.Optimizer.commuted
+               then ""
+               else " [overrides heuristic]"))
+          decisions;
+        print_newline ();
+        Some (st, chosen)
+      end
+    in
+    let plan = match stats_plan with Some (_, p) -> p | None -> plan in
     if analyze then begin
-      print_string (R.Plan.explain_analyze ~parallelism plan);
+      (match stats_plan with
+      | None -> print_string (R.Plan.explain_analyze ~parallelism plan)
+      | Some (st, _) ->
+          let a = R.Plan.run_analyze ~parallelism plan in
+          print_string (R.Plan.render_analysis a);
+          print_newline ();
+          print_string
+            (O.Optimizer.render_comparison
+               (O.Optimizer.compare_analysis st plan a.R.Plan.report)));
       print_newline ();
       print_endline "Ambient metrics:";
       print_string
@@ -176,8 +233,11 @@ let query_cmd =
            (Sqp_obs.Metrics.snapshot (Sqp_obs.Metrics.global ())))
     end
     else begin
-      print_string (R.Plan.explain ~parallelism plan);
-      print_newline ();
+      (match stats_plan with
+      | None ->
+          print_string (R.Plan.explain ~parallelism plan);
+          print_newline ()
+      | Some _ -> () (* both EXPLAINs already printed above *));
       Format.printf "%a@." R.Relation.pp (R.Plan.run ~parallelism plan)
     end;
     match tracer with
@@ -191,8 +251,9 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:
          "The Section 4 overlap query over paged (stored) relations, with \
-          optional EXPLAIN ANALYZE and Chrome-trace output.")
-    Term.(const run $ analyze_arg $ trace_arg $ parallelism_arg)
+          optional cost-based optimization ($(b,--costs)), EXPLAIN ANALYZE \
+          and Chrome-trace output.")
+    Term.(const run $ analyze_arg $ costs_arg $ trace_arg $ parallelism_arg)
 
 (* Offline store checking and salvage over the crash-safe page store. *)
 let fsck_cmd =
@@ -265,8 +326,6 @@ let fsck_cmd =
    is the interactive/scripted client; [bench-net] a closed-loop
    loopback load generator.  Together they are the "database server
    interface" deployment mode of the serving tier (lib/server). *)
-
-module Srv = Sqp_server
 
 let host_arg =
   Arg.(
@@ -407,6 +466,9 @@ let shell_cmd =
     \  join                candidate overlapping (rid, sid) pairs of R and S\n\
     \  explain join        the join's optimized plan, without executing\n\
     \  analyze join        EXPLAIN ANALYZE of the join (executes remotely)\n\
+    \  analyze             rebuild server statistics (the ANALYZE pass);\n\
+    \                      afterwards plans are cost-based and EXPLAIN\n\
+    \                      gains a predicted-cost column\n\
     \  health              server liveness, catalog and load\n\
     \  insert X Y ID       add point (X, Y) with payload ID to live table L\n\
     \  delete X Y          remove the first live entry at exactly (X, Y)\n\
@@ -461,6 +523,10 @@ let shell_cmd =
                  print_string rendered;
                  print_rows rows)
                (Srv.Client.analyze ?deadline_ms client join_wire_plan));
+          true
+      | [ "analyze" ] ->
+          report
+            (Result.map print_string (Srv.Client.refresh_stats ?deadline_ms client));
           true
       | [ "insert"; x; y; id ] -> (
           match (int_of_string_opt x, int_of_string_opt y, int_of_string_opt id) with
@@ -829,6 +895,199 @@ let bench_ingest_cmd =
       const run $ host_arg $ port_arg ~default:0 $ writers_arg $ readers_arg
       $ seconds_arg $ batch_arg $ quick_arg $ json_arg)
 
+(* Optimizer benchmark: for each seeded workload, time the plan the
+   cost-based optimizer chooses against every forced alternative (and
+   against the statistics-free size heuristic), and write the table to
+   BENCH_optimizer.json.  The invariants the JSON records — chosen never
+   slower than the worst alternative, and strictly better than the
+   heuristic somewhere — are what docs/COST_MODEL.md's calibration
+   section points at. *)
+let bench_optimizer_cmd =
+  let module R = Sqp_relalg in
+  let module W = Sqp_workload in
+  let module O = Sqp_optimizer in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"CI smoke mode: 3 timing repetitions instead of 9.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt string "BENCH_optimizer.json"
+      & info [ "json" ] ~docv:"FILE" ~doc:"Where to write the results.")
+  in
+  let rec force impl plan =
+    match plan with
+    | R.Plan.Spatial_join { zl; zr; left; right; impl = _ } ->
+        R.Plan.Spatial_join
+          { zl; zr; left = force impl left; right = force impl right; impl = Some impl }
+    | R.Plan.Select (p, t) -> R.Plan.Select (p, force impl t)
+    | R.Plan.Project (ns, t) -> R.Plan.Project (ns, force impl t)
+    | R.Plan.Project_all (ns, t) -> R.Plan.Project_all (ns, force impl t)
+    | R.Plan.Rename (rs, t) -> R.Plan.Rename (rs, force impl t)
+    | R.Plan.Sort (ns, t) -> R.Plan.Sort (ns, force impl t)
+    | R.Plan.Natural_join (a, b) -> R.Plan.Natural_join (force impl a, force impl b)
+    | R.Plan.Product (a, b) -> R.Plan.Product (force impl a, force impl b)
+    | R.Plan.Union (a, b) -> R.Plan.Union (force impl a, force impl b)
+    | (R.Plan.Scan _ | R.Plan.Scan_stored _) as leaf -> leaf
+  in
+  let run quick json_path =
+    let reps = if quick then 3 else 9 in
+    let median_ms f =
+      ignore (f ()) (* warm caches (buffer pools, decompose memo) *);
+      let samples =
+        List.init reps (fun _ ->
+            let t0 = Unix.gettimeofday () in
+            ignore (f ());
+            (Unix.gettimeofday () -. t0) *. 1e3)
+      in
+      List.nth (List.sort compare samples) (reps / 2)
+    in
+    let impl_name = function
+      | R.Plan.Merge -> "merge"
+      | R.Plan.Nested_loop -> "nested_loop"
+    in
+    (* One join workload: the chosen plan vs both forced implementations
+       vs the statistics-free heuristic, all over the same catalog. *)
+    let join_workload name (wk : W.Seeded.t) =
+      let cat = Srv.Catalog.of_seeded wk in
+      let st = Srv.Catalog.analyze cat in
+      let plan = R.Plan.optimize (Srv.Catalog.overlap_plan cat) in
+      let chosen_plan, decisions = O.Optimizer.choose_plan st plan in
+      let d = List.hd decisions in
+      let alts =
+        [
+          ("forced merge", force R.Plan.Merge plan);
+          ("forced nested_loop", force R.Plan.Nested_loop plan);
+          ("heuristic", plan);
+        ]
+      in
+      let timed =
+        List.map (fun (label, p) -> (label, median_ms (fun () -> R.Plan.run p))) alts
+      in
+      let chosen_ms = median_ms (fun () -> R.Plan.run chosen_plan) in
+      let heuristic_ms = List.assoc "heuristic" timed in
+      let worst_ms = List.fold_left (fun a (_, ms) -> max a ms) 0.0 timed in
+      Printf.printf
+        "%s: %.0fx%.0f rows; chosen %s%s %.3f ms | %s | heuristic would %s\n"
+        name d.O.Optimizer.left_rows d.O.Optimizer.right_rows
+        (impl_name d.O.Optimizer.chosen)
+        (if d.O.Optimizer.commuted then " (commuted)" else "")
+        chosen_ms
+        (String.concat " | "
+           (List.map (fun (l, ms) -> Printf.sprintf "%s %.3f ms" l ms) timed))
+        (if d.O.Optimizer.heuristic_would_merge then "merge" else "nested_loop");
+      Printf.sprintf
+        "    { \"workload\": %S,\n\
+        \      \"left_rows\": %.0f, \"right_rows\": %.0f,\n\
+        \      \"chosen\": { \"impl\": %S, \"commuted\": %b, \"ms\": %.4f },\n\
+        \      \"alternatives\": [ %s ],\n\
+        \      \"heuristic_impl\": %S,\n\
+        \      \"chosen_not_slower_than_worst\": %b,\n\
+        \      \"beats_heuristic\": %b }"
+        name d.O.Optimizer.left_rows d.O.Optimizer.right_rows
+        (impl_name d.O.Optimizer.chosen)
+        d.O.Optimizer.commuted chosen_ms
+        (String.concat ", "
+           (List.map
+              (fun (l, ms) -> Printf.sprintf "{ \"label\": %S, \"ms\": %.4f }" l ms)
+              timed))
+        (if d.O.Optimizer.heuristic_would_merge then "merge" else "nested_loop")
+        (chosen_ms <= worst_ms *. 1.05)
+        (chosen_ms < heuristic_ms)
+    in
+    (* Range workload: per query box, the chosen access path (direct
+       plain/skip merge at exact decomposition, or the coarsened plan)
+       vs every forced method, summed over the batch. *)
+    let range_workload (wk : W.Seeded.t) =
+      let cat = Srv.Catalog.of_seeded wk in
+      let st = Srv.Catalog.analyze cat in
+      ignore st;
+      let prep = Srv.Catalog.prepared_points cat in
+      let boxes =
+        wk.W.Seeded.query
+        :: Array.to_list (Array.sub wk.W.Seeded.query_boxes 0 5)
+      in
+      let sum f =
+        median_ms (fun () -> List.iter (fun b -> ignore (f b)) boxes)
+      in
+      let plain_ms = sum (fun b -> Sqp_core.Range_search.search_plain prep b) in
+      let skip_ms = sum (fun b -> Sqp_core.Range_search.search_skip prep b) in
+      let plan_ms =
+        sum (fun b ->
+            R.Plan.run
+              (R.Plan.optimize
+                 (Srv.Catalog.range_plan cat ~lo:(Sqp_geom.Box.lo b)
+                    ~hi:(Sqp_geom.Box.hi b))))
+      in
+      let chosen_one b =
+        let lo = Sqp_geom.Box.lo b and hi = Sqp_geom.Box.hi b in
+        match Srv.Catalog.range_access cat ~lo ~hi with
+        | Srv.Catalog.Direct best -> (
+            match best.O.Cost.method_ with
+            | O.Cost.Plain -> ignore (Sqp_core.Range_search.search_plain prep b)
+            | O.Cost.Skip -> ignore (Sqp_core.Range_search.search_skip prep b))
+        | Srv.Catalog.Planned ->
+            ignore
+              (R.Plan.run
+                 (R.Plan.optimize (Srv.Catalog.range_plan cat ~lo ~hi)))
+      in
+      let chosen_ms = median_ms (fun () -> List.iter chosen_one boxes) in
+      let worst_ms = max plain_ms (max skip_ms plan_ms) in
+      Printf.printf
+        "range batch (%d boxes): chosen %.3f ms | plain %.3f ms | skip %.3f ms \
+         | plan %.3f ms\n"
+        (List.length boxes) chosen_ms plain_ms skip_ms plan_ms;
+      Printf.sprintf
+        "    { \"workload\": \"range_batch\",\n\
+        \      \"boxes\": %d,\n\
+        \      \"chosen\": { \"impl\": \"per-box cost decision\", \"ms\": %.4f },\n\
+        \      \"alternatives\": [ { \"label\": \"plain/exact\", \"ms\": %.4f },\n\
+        \                         { \"label\": \"skip/exact\", \"ms\": %.4f },\n\
+        \                         { \"label\": \"plan path\", \"ms\": %.4f } ],\n\
+        \      \"chosen_not_slower_than_worst\": %b }"
+        (List.length boxes) chosen_ms plain_ms skip_ms plan_ms
+        (chosen_ms <= worst_ms *. 1.05)
+    in
+    let big = W.Seeded.standard () in
+    (* A join whose element product sits {e under} the 20k size-heuristic
+       threshold while both sides are big enough that the merge wins:
+       the workload where statistics beat the heuristic. *)
+    let small =
+      let fits k =
+        let wk = W.Seeded.standard ~n_objects:k () in
+        let l, r = W.Seeded.join_elements wk in
+        let p = List.length l * List.length r in
+        if p <= 20_000 && p >= 4_000 then Some wk else None
+      in
+      List.find_map fits [ 24; 20; 16; 12; 10; 8; 6; 4 ]
+    in
+    let rows =
+      join_workload "overlap_join" big
+      :: (match small with
+         | Some wk -> [ join_workload "small_join" wk ]
+         | None -> [])
+      @ [ range_workload big ]
+    in
+    let oc = open_out json_path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"optimizer_chosen_vs_forced\",\n\
+      \  \"repetitions\": %d,\n\
+      \  \"workloads\": [\n%s\n  ]\n}\n"
+      reps
+      (String.concat ",\n" rows);
+    close_out oc;
+    Printf.printf "wrote %s\n" json_path
+  in
+  Cmd.v
+    (Cmd.info "bench-optimizer"
+       ~doc:
+         "Cost-based optimizer benchmark: the chosen plan vs every forced \
+          alternative (join implementations, range access paths) on the \
+          seeded workloads; writes BENCH_optimizer.json.")
+    Term.(const run $ quick_arg $ json_arg)
+
 let () =
   let info =
     Cmd.info "sqp" ~version:"1.0.0"
@@ -845,5 +1104,5 @@ let () =
             coarsen_cmd; proximity_cmd; join_cmd; overlay_cmd; ccl_cmd;
             interference_cmd; fill_cmd; three_d_cmd; curves_cmd; object_join_cmd;
             all_cmd; query_cmd; fsck_cmd; serve_cmd; shell_cmd; bench_net_cmd;
-            bench_ingest_cmd;
+            bench_ingest_cmd; bench_optimizer_cmd;
           ]))

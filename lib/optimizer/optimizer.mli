@@ -1,0 +1,93 @@
+(** The cost-based optimizer: estimate, choose, explain, validate.
+
+    Given catalog statistics ({!Stats.analyze}) and a logical plan,
+    this module (1) estimates per-operator rows, page accesses, and
+    work units with the {!Cost} formulas, (2) rewrites the plan to the
+    cheapest equivalent — forcing each spatial join's implementation
+    and, when profitable, commuting its inputs — (3) renders the
+    predictions as the EXPLAIN cost column, and (4) reconciles them
+    against EXPLAIN ANALYZE actuals.  Rewrites preserve the result as
+    a multiset of rows (the differential tests pin this); forced
+    choices are marked [(forced)] by {!Sqp_relalg.Plan.explain}.
+
+    The formulas and their error factors are documented in
+    docs/COST_MODEL.md; the EXPLAIN output grammar in docs/EXPLAIN.md. *)
+
+type estimate = {
+  est_rows : float;   (** predicted output rows of the operator *)
+  est_pages : float;  (** predicted page accesses, subtree-inclusive *)
+  est_cost : float;   (** predicted work units, subtree-inclusive *)
+}
+
+val estimate : ?params:Cost.params -> Stats.t -> Sqp_relalg.Plan.t -> estimate
+(** Root estimate; histogram-based where the statistics cover the
+    plan's leaves and z columns, textbook fallbacks elsewhere. *)
+
+type join_decision = {
+  zl : string;
+  zr : string;
+  left_rows : float;
+  right_rows : float;
+  predicted_pairs : float;
+  cost_merge : float;
+  cost_nested : float;
+  chosen : Sqp_relalg.Plan.join_impl;
+  commuted : bool;
+      (** inputs were swapped (a compensating projection restores the
+          column order, so output rows are unchanged as a multiset) *)
+  heuristic_would_merge : bool;
+      (** what the default size heuristic would have picked *)
+}
+
+val choose_plan :
+  ?params:Cost.params ->
+  Stats.t ->
+  Sqp_relalg.Plan.t ->
+  Sqp_relalg.Plan.t * join_decision list
+(** Push-down-optimize, then force every spatial join to its cheaper
+    implementation (decisions reported outside-in).  The returned plan
+    returns exactly the same rows (as a multiset) as the input plan. *)
+
+val choose_parallelism :
+  ?params:Cost.params -> Stats.t -> max_domains:int -> Sqp_relalg.Plan.t -> int
+(** 1, or [max_domains] when sharding the plan's merge joins across
+    the pool is predicted to beat their sequential cost including the
+    sharding overhead. *)
+
+val cost_column :
+  ?params:Cost.params -> Stats.t -> Sqp_relalg.Plan.t -> Sqp_relalg.Plan.t -> string
+(** [cost_column stats root node] is the EXPLAIN cost annotation for
+    [node] as an operator of [root] (the root fixes nothing today but
+    keeps the signature stable for context-dependent costs):
+    ["\[cost=... rows=... pages=...\]"] — pass partially applied as
+    {!Sqp_relalg.Plan.explain}'s [annotate]. *)
+
+val explain :
+  ?parallelism:int -> ?params:Cost.params -> Stats.t -> Sqp_relalg.Plan.t -> string
+(** {!Sqp_relalg.Plan.explain} with the cost column appended to every
+    operator line. *)
+
+(** {1 Predicted vs. actual} *)
+
+type comparison_row = {
+  op : string;            (** operator label, as reported by ANALYZE *)
+  predicted_rows : float;
+  actual_rows : int;
+  predicted_pages : float;   (** subtree-inclusive, like [est_pages] *)
+  actual_pages : int;        (** subtree-inclusive page accesses *)
+}
+
+val compare_analysis :
+  ?params:Cost.params ->
+  Stats.t ->
+  Sqp_relalg.Plan.t ->
+  Sqp_relalg.Plan.node_report ->
+  comparison_row list
+(** Walk the plan and its measured report in lockstep (they have the
+    same shape) and pair every operator's predictions with its actuals,
+    pre-order.  Actual pages count buffer-pool hits plus misses. *)
+
+val render_comparison : comparison_row list -> string
+(** The predicted-vs-actual table EXPLAIN ANALYZE appends when
+    statistics are available: one row per operator with the rows and
+    pages ratios. *)

@@ -1,0 +1,114 @@
+module R = Sqp_relalg
+module M = Sqp_obs.Metrics
+
+type relation_stats = {
+  rel_name : string;
+  rows : int;
+  pages : int;
+  tuples_per_page : int;
+  z_columns : (string * Histogram.t) list;
+}
+
+type t = {
+  space : Sqp_zorder.Space.t;
+  prefix_bits : int;
+  relations : (string * relation_stats) list;
+  live_rows : (string * int) list;
+}
+
+(* The paged leaves of a plan, for page/tuples-per-page accounting.
+   A plan whose output is exactly one stored scan (possibly under
+   projections) reports that relation's page shape; anything else is
+   treated as memory-resident (its pages are charged to its own leaves
+   when *that* relation is also analyzed). *)
+let rec paged_leaf = function
+  | R.Plan.Scan_stored st -> Some st
+  | R.Plan.Project (_, p) | R.Plan.Project_all (_, p) | R.Plan.Rename (_, p) ->
+      paged_leaf p
+  | _ -> None
+
+let analyze_one ~prefix_bits ~space (name, plan) =
+  let rel = R.Plan.run plan in
+  let schema = R.Relation.schema rel in
+  let z_names =
+    List.filter_map
+      (fun (n, ty) -> if ty = R.Value.TZval then Some n else None)
+      (R.Schema.attrs schema)
+  in
+  let z_columns =
+    List.map
+      (fun col ->
+        let idx = R.Schema.index schema col in
+        let zs =
+          List.to_seq (R.Relation.tuples rel)
+          |> Seq.map (fun tu -> R.Value.to_zval tu.(idx))
+        in
+        (col, Histogram.build ~prefix_bits ~space zs))
+      z_names
+  in
+  let pages, tuples_per_page =
+    match paged_leaf plan with
+    | Some st -> (R.Stored.pages st, R.Stored.tuples_per_page st)
+    | None -> (0, 0)
+  in
+  {
+    rel_name = name;
+    rows = R.Relation.cardinality rel;
+    pages;
+    tuples_per_page;
+    z_columns;
+  }
+
+let analyze ?prefix_bits ?(lives = []) ~space named_plans =
+  let prefix_bits =
+    match prefix_bits with
+    | None -> min 8 (Sqp_zorder.Space.total_bits space)
+    | Some b ->
+        if b < 0 then invalid_arg "Stats.analyze: prefix_bits < 0";
+        min b (Sqp_zorder.Space.total_bits space)
+  in
+  let m = M.global () in
+  let relations =
+    List.map
+      (fun (name, plan) ->
+        let rs = analyze_one ~prefix_bits ~space (name, plan) in
+        M.add (M.counter m "optimizer.analyze.relations") 1;
+        M.add (M.counter m "optimizer.analyze.rows") rs.rows;
+        M.add
+          (M.counter m "optimizer.analyze.histograms")
+          (List.length rs.z_columns);
+        (name, rs))
+      named_plans
+  in
+  { space; prefix_bits; relations; live_rows = lives }
+
+let find t name = List.assoc_opt name t.relations
+
+let find_z t col =
+  List.find_map
+    (fun (_, rs) ->
+      match List.assoc_opt col rs.z_columns with
+      | Some h -> Some (rs, h)
+      | None -> None)
+    t.relations
+
+let summary t =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "statistics: %d relations, histogram prefix %d bits\n"
+    (List.length t.relations) t.prefix_bits;
+  List.iter
+    (fun (name, rs) ->
+      Printf.bprintf buf "  %-4s %7d rows%s\n" name rs.rows
+        (if rs.pages > 0 then
+           Printf.sprintf ", %d pages (%d tuples/page)" rs.pages
+             rs.tuples_per_page
+         else ", memory-resident");
+      List.iter
+        (fun (col, h) ->
+          Printf.bprintf buf "       %s: %s\n" col (Histogram.render h))
+        rs.z_columns)
+    t.relations;
+  List.iter
+    (fun (name, n) -> Printf.bprintf buf "  live %-4s %7d rows\n" name n)
+    t.live_rows;
+  Buffer.contents buf

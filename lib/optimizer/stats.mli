@@ -1,0 +1,48 @@
+(** Catalog statistics: the ANALYZE pass.
+
+    [analyze] executes each named plan once, counts its rows, and builds
+    a z-prefix {!Histogram} for every z-valued column.  The result is a
+    point-in-time snapshot the optimizer costs against; the server
+    stores it in the catalog and refreshes it on the [analyze] wire
+    frame (see {!Sqp_server.Protocol}).  Collection totals are mirrored
+    to the ambient {!Sqp_obs.Metrics} registry under [optimizer.analyze.*]. *)
+
+type relation_stats = {
+  rel_name : string;
+  rows : int;
+  pages : int;             (** data pages when paged, 0 when memory-resident *)
+  tuples_per_page : int;   (** 0 when memory-resident *)
+  z_columns : (string * Histogram.t) list;
+      (** one histogram per z-valued column, in schema order *)
+}
+
+type t = {
+  space : Sqp_zorder.Space.t;
+  prefix_bits : int;       (** histogram resolution used throughout *)
+  relations : (string * relation_stats) list;  (** in analysis order *)
+  live_rows : (string * int) list;
+      (** row counts of live tables at analysis time *)
+}
+
+val analyze :
+  ?prefix_bits:int ->
+  ?lives:(string * int) list ->
+  space:Sqp_zorder.Space.t ->
+  (string * Sqp_relalg.Plan.t) list ->
+  t
+(** Run every plan and collect statistics.  [prefix_bits] defaults as in
+    {!Histogram.build}.  Cost: one full execution of each plan — ANALYZE
+    is explicit, never implicit. *)
+
+val find : t -> string -> relation_stats option
+(** Stats for a relation by catalog name. *)
+
+val find_z : t -> string -> (relation_stats * Histogram.t) option
+(** Stats owning a z column of the given {e column} name (e.g. ["zr"]
+    finds relation ["R"]) — how join costing locates the histograms for
+    a [Spatial_join]'s two sides without resolving plan leaves. *)
+
+val summary : t -> string
+(** Multi-line human-readable report (one line per relation plus each
+    histogram's {!Histogram.render} sketch) — the [analyze] shell
+    command's response body. *)

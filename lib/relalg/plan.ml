@@ -26,6 +26,8 @@ let attr_between attr lo hi =
         Value.compare lo v <= 0 && Value.compare v hi <= 0);
   }
 
+type join_impl = Merge | Nested_loop
+
 type t =
   | Scan of Relation.t
   | Scan_stored of Stored.t
@@ -35,9 +37,20 @@ type t =
   | Rename of (string * string) list * t
   | Sort of string list * t
   | Natural_join of t * t
-  | Spatial_join of { zl : string; zr : string; left : t; right : t }
+  | Spatial_join of {
+      zl : string;
+      zr : string;
+      left : t;
+      right : t;
+      impl : join_impl option;
+          (* [None]: pick by the size heuristic at execution time;
+             [Some _]: forced by the cost-based optimizer. *)
+    }
   | Product of t * t
   | Union of t * t
+
+let spatial_join ?impl ~zl ~zr left right =
+  Spatial_join { zl; zr; left; right; impl }
 
 let rec schema = function
   | Scan r -> Relation.schema r
@@ -132,6 +145,13 @@ let spatial_join_threshold = 20_000.0
 
 let use_merge left_rows right_rows = left_rows *. right_rows > spatial_join_threshold
 
+let resolve_impl impl left_rows right_rows =
+  match impl with
+  | Some i -> i
+  | None -> if use_merge left_rows right_rows then Merge else Nested_loop
+
+let default_join_impl ~left_rows ~right_rows = resolve_impl None left_rows right_rows
+
 let rec run_with pool plan =
   let run = run_with pool in
   match plan with
@@ -146,18 +166,19 @@ let rec run_with pool plan =
   | Rename (renames, inner) -> Ops.rename renames (run inner)
   | Sort (keys, inner) -> Ops.sort_by keys (run inner)
   | Natural_join (a, b) -> Ops.natural_join (run a) (run b)
-  | Spatial_join { zl; zr; left; right } ->
+  | Spatial_join { zl; zr; left; right; impl } ->
       let l = run left and r = run right in
       let joined, _ =
-        if
-          use_merge
+        match
+          resolve_impl impl
             (float_of_int (Relation.cardinality l))
             (float_of_int (Relation.cardinality r))
-        then
-          match pool with
-          | Some pool -> Spatial_join.merge_parallel pool l ~zr:zl r ~zs:zr
-          | None -> Spatial_join.merge l ~zr:zl r ~zs:zr
-        else Spatial_join.nested_loop l ~zr:zl r ~zs:zr
+        with
+        | Merge -> (
+            match pool with
+            | Some pool -> Spatial_join.merge_parallel pool l ~zr:zl r ~zs:zr
+            | None -> Spatial_join.merge l ~zr:zl r ~zs:zr)
+        | Nested_loop -> Spatial_join.nested_loop l ~zr:zl r ~zs:zr
       in
       joined
   | Product (a, b) -> Ops.product (run a) (run b)
@@ -179,18 +200,26 @@ let run_in_pool pool plan =
 
 (* {2 Explain} *)
 
-let explain ?(parallelism = 1) plan =
+let explain ?(parallelism = 1) ?annotate plan =
   let buf = Buffer.create 256 in
-  let line depth fmt =
-    Printf.ksprintf
-      (fun s ->
-        Buffer.add_string buf (String.make (2 * depth) ' ');
-        Buffer.add_string buf s;
-        Buffer.add_char buf '\n')
-      fmt
-  in
   let rec go depth plan =
     let rows = estimated_rows plan in
+    let line depth fmt =
+      (* Append the caller's per-node annotation (e.g. the optimizer's
+         predicted-cost column) to whatever the node prints. *)
+      Printf.ksprintf
+        (fun s ->
+          let suffix =
+            match annotate with
+            | None -> ""
+            | Some f -> ( match f plan with "" -> "" | a -> "  " ^ a)
+          in
+          Buffer.add_string buf (String.make (2 * depth) ' ');
+          Buffer.add_string buf s;
+          Buffer.add_string buf suffix;
+          Buffer.add_char buf '\n')
+        fmt
+    in
     (match plan with
     | Scan r ->
         line depth "scan %s %s (~%.0f rows)"
@@ -210,15 +239,18 @@ let explain ?(parallelism = 1) plan =
           (String.concat ", " (List.map (fun (o, n) -> o ^ " -> " ^ n) renames))
     | Sort (keys, _) -> line depth "sort by {%s}" (String.concat ", " keys)
     | Natural_join (_, _) -> line depth "natural join (~%.0f rows)" rows
-    | Spatial_join { zl; zr; left; right } ->
+    | Spatial_join { zl; zr; left; right; impl } ->
+        let forced = match impl with Some _ -> " (forced)" | None -> "" in
         let impl =
-          if use_merge (estimated_rows left) (estimated_rows right) then
-            if parallelism > 1 then
-              Printf.sprintf "parallel z-merge (%d domains)" parallelism
-            else "z-merge"
-          else "nested loop"
+          match resolve_impl impl (estimated_rows left) (estimated_rows right) with
+          | Merge ->
+              if parallelism > 1 then
+                Printf.sprintf "parallel z-merge (%d domains)" parallelism
+              else "z-merge"
+          | Nested_loop -> "nested loop"
         in
-        line depth "spatial join %s <> %s via %s (~%.0f rows)" zl zr impl rows
+        line depth "spatial join %s <> %s via %s%s (~%.0f rows)" zl zr impl forced
+          rows
     | Product _ -> line depth "product (~%.0f rows)" rows
     | Union _ -> line depth "union (~%.0f rows)" rows);
     match plan with
@@ -400,35 +432,38 @@ let analyze_impl ?(parallelism = 1) ?pool plan =
           let ra, ca = go a in
           let rb, cb = go b in
           simple "union" [ ca; cb ] (fun () -> Ops.union ra rb)
-      | Spatial_join { zl; zr; left; right } ->
+      | Spatial_join { zl; zr; left; right; impl } ->
           let rl, cl = go left in
           let rr, cr = go right in
-          let merge_chosen =
-            use_merge
+          let chosen =
+            resolve_impl impl
               (float_of_int (Relation.cardinality rl))
               (float_of_int (Relation.cardinality rr))
           in
           let impl, f =
-            if merge_chosen then
-              match pool with
-              | Some pool ->
-                  ( Printf.sprintf "parallel z-merge (%d domains)"
-                      (Sqp_parallel.Pool.domains pool),
-                    fun () ->
-                      let joined, s, reports =
-                        Spatial_join.merge_parallel_detailed pool rl ~zr:zl rr ~zs:zr
-                      in
-                      (joined, join_attrs s, List.map row_of_shard_report reports) )
-              | None ->
-                  ( "z-merge",
-                    fun () ->
-                      let joined, s = Spatial_join.merge rl ~zr:zl rr ~zs:zr in
-                      (joined, join_attrs s, []) )
-            else
-              ( "nested loop",
-                fun () ->
-                  let joined, s = Spatial_join.nested_loop rl ~zr:zl rr ~zs:zr in
-                  (joined, join_attrs s, []) )
+            match chosen with
+            | Merge -> (
+                match pool with
+                | Some pool ->
+                    ( Printf.sprintf "parallel z-merge (%d domains)"
+                        (Sqp_parallel.Pool.domains pool),
+                      fun () ->
+                        let joined, s, reports =
+                          Spatial_join.merge_parallel_detailed pool rl ~zr:zl rr
+                            ~zs:zr
+                        in
+                        (joined, join_attrs s, List.map row_of_shard_report reports)
+                    )
+                | None ->
+                    ( "z-merge",
+                      fun () ->
+                        let joined, s = Spatial_join.merge rl ~zr:zl rr ~zs:zr in
+                        (joined, join_attrs s, []) ))
+            | Nested_loop ->
+                ( "nested loop",
+                  fun () ->
+                    let joined, s = Spatial_join.nested_loop rl ~zr:zl rr ~zs:zr in
+                    (joined, join_attrs s, []) )
           in
           node
             (Printf.sprintf "spatial join %s <> %s via %s" zl zr impl)

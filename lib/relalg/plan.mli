@@ -25,6 +25,12 @@ val attr_equals : string -> Value.t -> pred
 val attr_between : string -> Value.t -> Value.t -> pred
 (** Inclusive range on one attribute. *)
 
+type join_impl =
+  | Merge        (** sort both sides by z value and stack-merge *)
+  | Nested_loop  (** compare every left element to every right element *)
+(** A forced spatial-join implementation choice, produced by the
+    cost-based optimizer ({!Sqp_optimizer.Optimizer}). *)
+
 type t =
   | Scan of Relation.t
   | Scan_stored of Stored.t
@@ -36,9 +42,32 @@ type t =
   | Rename of (string * string) list * t
   | Sort of string list * t
   | Natural_join of t * t
-  | Spatial_join of { zl : string; zr : string; left : t; right : t }
+  | Spatial_join of {
+      zl : string;
+      zr : string;
+      left : t;
+      right : t;
+      impl : join_impl option;
+          (** [None] (the default everywhere outside the optimizer):
+              choose z-merge vs nested loop at execution time from the
+              actual input cardinalities, exactly as before this field
+              existed.  [Some _]: the optimizer's costed choice; the
+              executor obeys it unconditionally. *)
+    }
   | Product of t * t
   | Union of t * t
+
+val spatial_join : ?impl:join_impl -> zl:string -> zr:string -> t -> t -> t
+(** [spatial_join ~zl ~zr left right] is
+    [Spatial_join { zl; zr; left; right; impl }] with [impl] defaulting
+    to [None]. *)
+
+val default_join_impl : left_rows:float -> right_rows:float -> join_impl
+(** The size heuristic an un-forced ([impl = None]) spatial join applies
+    at execution time: z-merge when the estimated comparison count
+    [left_rows * right_rows] exceeds a fixed threshold, nested loop
+    otherwise.  Exposed so the cost-based optimizer can report what the
+    default would have done. *)
 
 val schema : t -> Schema.t
 (** Output schema; raises [Invalid_argument]/[Not_found] on malformed
@@ -68,11 +97,14 @@ val run_in_pool : Sqp_parallel.Pool.t -> t -> Relation.t
     pool takes the plain sequential path; results are identical to
     {!run} at any parallelism. *)
 
-val explain : ?parallelism:int -> t -> string
+val explain : ?parallelism:int -> ?annotate:(t -> string) -> t -> string
 (** An indented operator tree with schemas and row estimates, plus the
     implementation choice for each spatial join — including whether the
     z-merge would run sequentially or sharded over [parallelism]
-    domains. *)
+    domains.  A spatial join whose [impl] was forced by the optimizer is
+    marked [(forced)].  [annotate], when given, is called on every node
+    and its non-empty result is appended to that node's line — the
+    optimizer uses it to add the predicted-cost column. *)
 
 (** {2 EXPLAIN ANALYZE}
 

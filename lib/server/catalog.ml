@@ -1,5 +1,6 @@
 module Z = Sqp_zorder
 module R = Sqp_relalg
+module O = Sqp_optimizer
 module Live = Sqp_btree.Live
 
 type t = {
@@ -7,6 +8,12 @@ type t = {
   points_rel : R.Relation.t;  (* "P": id, z, x0..xk — range-search side *)
   relations : (string * R.Plan.t) list;
   lives : (string * int Live.t) list;  (* mutable tables, payload = id *)
+  prepared : int Sqp_core.Range_search.prepared Lazy.t;
+      (* the z-sorted point sequence backing the direct range path *)
+  m : Mutex.t;  (* guards the two mutable fields below *)
+  mutable stats : O.Stats.t option;
+  mutable packed : (string * (int Sqp_btree.Zindex.t * int)) list;
+      (* per live table: last packed index and the Live.seq it reflects *)
 }
 
 let make ?(lives = []) ~space ~points ~relations () =
@@ -15,7 +22,21 @@ let make ?(lives = []) ~space ~points ~relations () =
     if List.mem_assoc "P" relations then relations
     else relations @ [ ("P", R.Plan.Scan points_rel) ]
   in
-  { space; points_rel; relations; lives }
+  let prepared =
+    lazy
+      (Sqp_core.Range_search.prepare space
+         (Array.of_list (List.map (fun (id, p) -> (p, id)) points)))
+  in
+  {
+    space;
+    points_rel;
+    relations;
+    lives;
+    prepared;
+    m = Mutex.create ();
+    stats = None;
+    packed = [];
+  }
 
 let of_seeded ?tuples_per_page ?pool_capacity (wk : Sqp_workload.Seeded.t) =
   let module W = Sqp_workload.Seeded in
@@ -51,7 +72,49 @@ let live_names t = List.sort compare (List.map fst t.lives)
 
 let live t name = List.assoc_opt name t.lives
 
-let range_plan t ~lo ~hi =
+let prepared_points t = Lazy.force t.prepared
+
+(* {1 Statistics and caches} *)
+
+let stats t =
+  Mutex.lock t.m;
+  let s = t.stats in
+  Mutex.unlock t.m;
+  s
+
+let analyze t =
+  let lives = List.map (fun (name, lv) -> (name, Live.length lv)) t.lives in
+  let st = O.Stats.analyze ~lives ~space:t.space t.relations in
+  Mutex.lock t.m;
+  t.stats <- Some st;
+  Mutex.unlock t.m;
+  st
+
+let note_packed t name idx seq =
+  Mutex.lock t.m;
+  t.packed <- (name, (idx, seq)) :: List.remove_assoc name t.packed;
+  Mutex.unlock t.m
+
+let packed_index t name =
+  Mutex.lock t.m;
+  let p = List.assoc_opt name t.packed in
+  Mutex.unlock t.m;
+  p
+
+let point_histogram t =
+  match stats t with
+  | None -> None
+  | Some st -> (
+      match O.Stats.find st "P" with
+      | Some rs -> (
+          match List.assoc_opt "z" rs.O.Stats.z_columns with
+          | Some h -> Some (st, h)
+          | None -> None)
+      | None -> None)
+
+(* {1 Plans} *)
+
+let validate_bounds t ~lo ~hi =
   let dims = Z.Space.dims t.space and side = Z.Space.side t.space in
   if Array.length lo <> dims || Array.length hi <> dims then
     invalid_arg
@@ -63,27 +126,112 @@ let range_plan t ~lo ~hi =
         invalid_arg
           (Printf.sprintf "range bounds outside the %dx%d grid" side side))
     lo;
-  let box = Sqp_geom.Box.make ~lo ~hi (* raises on inverted bounds *) in
-  let b =
-    R.Ops.rename [ ("z", "zb") ] (R.Query.box_relation t.space box)
-  in
-  let coords = List.init dims (fun i -> Printf.sprintf "x%d" i) in
-  R.Plan.Project
-    ( coords,
+  Sqp_geom.Box.make ~lo ~hi (* raises on inverted bounds *)
+
+let coords t = List.init (Z.Space.dims t.space) (fun i -> Printf.sprintf "x%d" i)
+
+let refine_pred t ~lo ~hi =
+  let cs = coords t in
+  R.Plan.pred
+    (Printf.sprintf "refine box [%s]"
+       (String.concat "; "
+          (List.mapi (fun i c -> Printf.sprintf "%d<=%s<=%d" lo.(i) c hi.(i)) cs)))
+    cs
+    (fun tu schema ->
+      let ok = ref true in
+      List.iteri
+        (fun i c ->
+          let v = R.Value.to_int (R.Relation.get tu schema c) in
+          if v < lo.(i) || v > hi.(i) then ok := false)
+        cs;
+      !ok)
+
+(* The cover of the box at the given decompose budget, as the join's
+   right-hand relation (attribute "zb"). *)
+let cover_relation t ?max_level ~lo ~hi () =
+  let options = { Z.Decompose.default_options with Z.Decompose.max_level } in
+  let elements = Z.Decompose.decompose_box ~options t.space ~lo ~hi in
+  R.Relation.make ~name:"B"
+    (R.Schema.make [ ("zb", R.Value.TZval) ])
+    (List.map (fun e -> [| R.Value.Zval e |]) elements)
+
+let range_decision t ~lo ~hi =
+  match point_histogram t with
+  | None -> None
+  | Some (_, hist) ->
+      let alts =
+        O.Cost.range_alternatives ~space:t.space ~hist
+          ~points:(R.Relation.cardinality t.points_rel)
+          ~lo ~hi ()
+      in
+      Some alts
+
+(* The cheapest decompose budget under the {e plan executor's} cost
+   function (method-independent: the plan's join does not skip). *)
+let best_plan_budget t alts =
+  let points = R.Relation.cardinality t.points_rel in
+  let seen = Hashtbl.create 8 in
+  List.fold_left
+    (fun best (a : O.Cost.range_alternative) ->
+      if Hashtbl.mem seen a.O.Cost.max_level then best
+      else begin
+        Hashtbl.add seen a.O.Cost.max_level ();
+        let c = O.Cost.plan_path_cost ~points a in
+        match best with
+        | Some (_, bc) when bc <= c -> best
+        | _ -> Some (a, c)
+      end)
+    None alts
+
+type range_access =
+  | Direct of O.Cost.range_alternative
+  | Planned
+
+let range_access t ~lo ~hi =
+  match range_decision t ~lo ~hi with
+  | None -> Planned
+  | Some alts -> (
+      (* [alts] is sorted by ascending direct-kernel cost, so the first
+         exact entry is the cheapest exact method. *)
+      let exact =
+        List.find_opt (fun a -> a.O.Cost.max_level = None) alts
+      in
+      match (exact, best_plan_budget t alts) with
+      | Some e, Some (_, plan_cost) when e.O.Cost.cost <= plan_cost -> Direct e
+      | Some e, None -> Direct e
+      | _ -> Planned)
+
+let range_plan t ~lo ~hi =
+  ignore (validate_bounds t ~lo ~hi);
+  let mk ?max_level ~refine () =
+    let b = cover_relation t ?max_level ~lo ~hi () in
+    let join =
       R.Plan.Spatial_join
         {
           zl = "z";
           zr = "zb";
           left = R.Plan.Scan t.points_rel;
           right = R.Plan.Scan b;
-        } )
+          impl = None;
+        }
+    in
+    let body = if refine then R.Plan.Select (refine_pred t ~lo ~hi, join) else join in
+    R.Plan.Project (coords t, body)
+  in
+  match range_decision t ~lo ~hi with
+  | None -> mk ~refine:false ()  (* no statistics: pixel-exact, as ever *)
+  | Some alts -> (
+      match best_plan_budget t alts with
+      | None -> mk ~refine:false ()
+      | Some (best, _) ->
+          mk ?max_level:best.O.Cost.max_level ~refine:best.O.Cost.needs_refine ())
 
 let overlap_plan t =
   match (resolve t "R", resolve t "S") with
   | Some r, Some s ->
       R.Plan.Project
         ( [ "rid"; "sid" ],
-          R.Plan.Spatial_join { zl = "zr"; zr = "zs"; left = r; right = s } )
+          R.Plan.Spatial_join { zl = "zr"; zr = "zs"; left = r; right = s; impl = None } )
   | _ -> invalid_arg "Catalog.overlap_plan: catalog lacks R or S"
 
 let health_detail t =
@@ -112,4 +260,9 @@ let health_detail t =
       | Some lv ->
           Printf.bprintf buf " %s(live)=%d@%d" name (Live.length lv) (Live.seq lv))
     (live_names t);
+  (match stats t with
+  | None -> Printf.bprintf buf "; stats: none (run analyze)"
+  | Some st ->
+      Printf.bprintf buf "; stats: %d relations analyzed"
+        (List.length st.O.Stats.relations));
   (!healthy, Buffer.contents buf)

@@ -47,10 +47,72 @@ val live_names : t -> string list
 
 val live : t -> string -> int Sqp_btree.Live.t option
 
+val prepared_points : t -> int Sqp_core.Range_search.prepared
+(** The z-sorted point sequence backing the direct range-search path
+    (payload = row id).  Built lazily on first use, then shared. *)
+
+(** {1 Statistics and caches}
+
+    The catalog's only mutable metadata: optimizer statistics written
+    by {!analyze} and the packed-index cache written by online index
+    builds.  Both are mutex-guarded and safe to touch from concurrent
+    sessions. *)
+
+val analyze : t -> Sqp_optimizer.Stats.t
+(** Run the ANALYZE pass: execute every named relation's plan once,
+    build per-relation row counts and z-prefix histograms
+    ({!Sqp_optimizer.Stats.analyze}), record live-table row counts,
+    store the result as the catalog's current statistics and return
+    it.  Until this has run, {!stats} is [None] and every serving path
+    falls back to the statistics-free behavior. *)
+
+val stats : t -> Sqp_optimizer.Stats.t option
+(** The statistics from the most recent {!analyze}, if any. *)
+
+val note_packed : t -> string -> int Sqp_btree.Zindex.t -> int -> unit
+(** [note_packed t table idx seq] caches a freshly built packed index
+    for live table [table], valid as of batch sequence [seq]. *)
+
+val packed_index : t -> string -> (int Sqp_btree.Zindex.t * int) option
+(** The cached packed index for a live table and the {!Sqp_btree.Live.seq}
+    it reflects.  The caller decides whether it is fresh enough. *)
+
+(** {1 Plans} *)
+
+val validate_bounds : t -> lo:int array -> hi:int array -> Sqp_geom.Box.t
+(** Check a range request's bounds against the catalog's space and build
+    the box.
+    @raise Invalid_argument if the bounds have the wrong dimensionality,
+    lie outside the grid, or are inverted. *)
+
+val range_decision :
+  t -> lo:int array -> hi:int array -> Sqp_optimizer.Cost.range_alternative list option
+(** The costed range-search alternatives for this box under the current
+    statistics (ascending direct-kernel cost), or [None] before the
+    first {!analyze}. *)
+
+type range_access =
+  | Direct of Sqp_optimizer.Cost.range_alternative
+      (** run the Section 3.3 merge (plain or skip, per the
+          alternative) directly on {!prepared_points} — exact cover *)
+  | Planned
+      (** run {!range_plan} through the plan executor (also the
+          statistics-free fallback) *)
+
+val range_access : t -> lo:int array -> hi:int array -> range_access
+(** The access-path decision for one range query: the cheapest exact
+    alternative on the direct kernel vs the cheapest decompose budget
+    under {!Sqp_optimizer.Cost.plan_path_cost} — the two executors have
+    different constants, which is exactly what the latter models. *)
+
 val range_plan : t -> lo:int array -> hi:int array -> Sqp_relalg.Plan.t
 (** The Section 4 range-query script as a plan: decompose the box,
     spatial-join it with the point relation on z, project the
-    coordinates.
+    coordinates.  With statistics present, the decompose budget is the
+    cheapest of {!range_decision}'s alternatives; a coarsened cover gets
+    an exact refine [Select] between the join and the projection, so the
+    result rows are identical at every budget.  Without statistics the
+    cover is pixel-exact and needs no refine.
     @raise Invalid_argument if the bounds have the wrong dimensionality,
     lie outside the grid, or are inverted. *)
 

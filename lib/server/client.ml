@@ -83,6 +83,11 @@ let create_index ?deadline_ms t ~table =
     (function P.Ack { applied; seq } -> Some (applied, seq) | _ -> None)
     (call ?deadline_ms t (P.Create_index { table }))
 
+let refresh_stats ?deadline_ms t =
+  reply_of
+    (function P.Text s -> Some s | _ -> None)
+    (call ?deadline_ms t P.Refresh_stats)
+
 let live_range ?deadline_ms t ~table ~lo ~hi =
   reply_of
     (function P.Rows r -> Some r | _ -> None)

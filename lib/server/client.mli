@@ -63,6 +63,11 @@ val delete :
 val create_index : ?deadline_ms:int -> t -> table:string -> (int * int) reply
 (** Online index rebuild; [(entry count of the finished index, seq)]. *)
 
+val refresh_stats : ?deadline_ms:int -> t -> string reply
+(** Run the server-side ANALYZE pass: rebuild the catalog statistics
+    the cost-based optimizer reads, and return their summary.  Until a
+    client has called this once, the server plans without statistics. *)
+
 val live_range :
   ?deadline_ms:int -> t -> table:string -> lo:int array -> hi:int array ->
   Sqp_relalg.Relation.t reply

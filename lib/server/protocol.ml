@@ -15,6 +15,7 @@ type request =
   | Delete of { table : string; points : int array list }
   | Create_index of { table : string }
   | Live_range of { table : string; lo : int array; hi : int array }
+  | Refresh_stats
 
 type request_frame = { deadline_ms : int option; request : request }
 
@@ -93,7 +94,8 @@ let encode_request { deadline_ms; request } =
     | Insert _ -> 6
     | Delete _ -> 7
     | Create_index _ -> 8
-    | Live_range _ -> 9);
+    | Live_range _ -> 9
+    | Refresh_stats -> 10);
   Wire.write_u32 b (match deadline_ms with None -> 0 | Some ms -> max 1 ms);
   (match request with
   | Range_search { lo; hi } ->
@@ -112,7 +114,8 @@ let encode_request { deadline_ms; request } =
   | Live_range { table; lo; hi } ->
       Wire.write_string b table;
       write_int_array b lo;
-      write_int_array b hi);
+      write_int_array b hi
+  | Refresh_stats -> ());
   Buffer.contents b
 
 let decode_request payload =
@@ -163,6 +166,7 @@ let decode_request payload =
               if Array.length lo <> Array.length hi then
                 raise (Wire.Corrupt "lo/hi dimensionality mismatch");
               Live_range { table; lo; hi }
+          | 10 -> Refresh_stats
           | t -> raise (Wire.Corrupt (Printf.sprintf "unknown request tag %d" t))
         in
         if not (Wire.at_end c) then raise (Wire.Corrupt "trailing bytes");

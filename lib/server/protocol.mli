@@ -58,6 +58,13 @@ type request =
       (** Snapshot range query over a live table: rows [(id, x0..xk)]
           for the entries inside the (inclusive) box, in z order, read
           from one frozen snapshot — never a half-applied batch. *)
+  | Refresh_stats
+      (** Run the ANALYZE pass over the catalog: rebuild row counts and
+          z-prefix histograms for every relation and store them as the
+          statistics the cost-based optimizer uses for all subsequent
+          [Range_search]/[Query]/[Explain]/[Analyze] requests.  Answered
+          by [Text] with the statistics summary.  Admission-controlled
+          like a query (it executes every catalog plan once). *)
 
 type request_frame = { deadline_ms : int option; request : request }
 (** What a request payload decodes to.  [deadline_ms] bounds queue wait

@@ -79,9 +79,18 @@ let guard f =
         { code = P.Bad_request; message = "plan references an unknown attribute" }
   | e -> P.Error { code = P.Server_error; message = Printexc.to_string e }
 
+module O = Sqp_optimizer
+
+(* Wire plan -> runnable plan: resolve names, push-down-optimize, and —
+   once statistics exist — let the cost-based optimizer force join
+   implementations and orders. *)
 let instantiate t wplan =
-  R.Plan.optimize
-    (R.Wire.to_plan ~resolve:(Catalog.resolve t.cat) wplan)
+  let plan =
+    R.Plan.optimize (R.Wire.to_plan ~resolve:(Catalog.resolve t.cat) wplan)
+  in
+  match Catalog.stats t.cat with
+  | None -> plan
+  | Some st -> fst (O.Optimizer.choose_plan st plan)
 
 module Live = Sqp_btree.Live
 
@@ -106,25 +115,70 @@ let live_rows space entries =
   in
   R.Relation.make ~name:"live" schema tuples
 
+(* The coordinate-row relation a range search answers with — the same
+   schema as the plan path's [Project [x0..xk]]. *)
+let coord_rows space entries =
+  let k = Sqp_zorder.Space.dims space in
+  let schema =
+    R.Schema.make (List.init k (fun i -> (Printf.sprintf "x%d" i, R.Value.TInt)))
+  in
+  let tuples =
+    List.map
+      (fun (p, _payload) -> Array.init k (fun i -> R.Value.Int p.(i)))
+      entries
+  in
+  R.Relation.make ~name:"range" schema tuples
+
+let range_search t ~lo ~hi =
+  match Catalog.range_access t.cat ~lo ~hi with
+  | Catalog.Direct best ->
+      (* Exact cover on the direct kernel: run the Section 3.3 merge on
+         the prepared point sequence — no plan, no refine, identical
+         rows. *)
+      let box = Sqp_geom.Box.make ~lo ~hi in
+      let prep = Catalog.prepared_points t.cat in
+      let search =
+        match best.O.Cost.method_ with
+        | O.Cost.Plain -> Sqp_core.Range_search.search_plain
+        | O.Cost.Skip -> Sqp_core.Range_search.search_skip
+      in
+      let entries, _counters = search prep box in
+      coord_rows (Catalog.space t.cat) entries
+  | Catalog.Planned ->
+      let plan = R.Plan.optimize (Catalog.range_plan t.cat ~lo ~hi) in
+      R.Plan.run_in_pool t.pool plan
+
 let execute t request =
   match request with
   | P.Range_search { lo; hi } ->
       guard (fun () ->
-          let plan = R.Plan.optimize (Catalog.range_plan t.cat ~lo ~hi) in
-          P.Rows (R.Plan.run_in_pool t.pool plan))
+          ignore (Catalog.validate_bounds t.cat ~lo ~hi);
+          P.Rows (range_search t ~lo ~hi))
   | P.Query wplan ->
       guard (fun () -> P.Rows (R.Plan.run_in_pool t.pool (instantiate t wplan)))
   | P.Explain wplan ->
       guard (fun () ->
+          let plan = instantiate t wplan in
+          let parallelism = Sqp_parallel.Pool.domains t.pool in
           P.Text
-            (R.Plan.explain
-               ~parallelism:(Sqp_parallel.Pool.domains t.pool)
-               (instantiate t wplan)))
+            (match Catalog.stats t.cat with
+            | None -> R.Plan.explain ~parallelism plan
+            | Some st -> O.Optimizer.explain ~parallelism st plan))
   | P.Analyze wplan ->
       guard (fun () ->
-          let a = R.Plan.run_analyze_in_pool t.pool (instantiate t wplan) in
-          P.Analyzed
-            { rendered = R.Plan.render_analysis a; rows = a.R.Plan.result })
+          let plan = instantiate t wplan in
+          let a = R.Plan.run_analyze_in_pool t.pool plan in
+          let rendered =
+            match Catalog.stats t.cat with
+            | None -> R.Plan.render_analysis a
+            | Some st ->
+                R.Plan.render_analysis a ^ "\n"
+                ^ O.Optimizer.render_comparison
+                    (O.Optimizer.compare_analysis st plan a.R.Plan.report)
+          in
+          P.Analyzed { rendered; rows = a.R.Plan.result })
+  | P.Refresh_stats ->
+      guard (fun () -> P.Text (O.Stats.summary (Catalog.analyze t.cat)))
   | P.Insert { table; points } ->
       guard (fun () ->
           let lv = live_table t table in
@@ -143,6 +197,9 @@ let execute t request =
       guard (fun () ->
           let lv = live_table t table in
           let idx, seq = Live.rebuild_online lv in
+          (* Cache it: packed reads dominate snapshot merges whenever the
+             table has not moved past [seq] (see docs/COST_MODEL.md). *)
+          Catalog.note_packed t.cat table idx seq;
           P.Ack { applied = Sqp_btree.Zindex.length idx; seq })
   | P.Live_range { table; lo; hi } ->
       guard (fun () ->
@@ -153,7 +210,17 @@ let execute t request =
             invalid_arg
               (Printf.sprintf "live range bounds must have %d coordinates" dims);
           let box = Sqp_geom.Box.make ~lo ~hi in
-          let rows, _stats = Live.range_search (Live.snapshot lv) box in
+          let rows =
+            (* Access-path choice: a packed index that is still current
+               (same batch sequence) strictly dominates the live
+               snapshot merge — paged leaves, no decomposition of the
+               tree in memory.  Any mutation since the build invalidates
+               it, and we fall back to the snapshot. *)
+            match Catalog.packed_index t.cat table with
+            | Some (idx, seq) when seq = Live.seq lv ->
+                fst (Sqp_btree.Zindex.range_search idx box)
+            | _ -> fst (Live.range_search (Live.snapshot lv) box)
+          in
           P.Rows (live_rows space rows))
   | P.Health -> assert false (* handled before admission *)
 

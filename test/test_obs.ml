@@ -240,6 +240,7 @@ let analyze_fixture () =
             zr = "zs";
             left = R.Plan.Scan_stored r;
             right = R.Plan.Scan_stored s;
+            impl = None;
           } ) )
 
 let rec join_node (n : R.Plan.node_report) =

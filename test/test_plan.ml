@@ -22,7 +22,7 @@ let b_rel = R.Ops.rename [ ("z", "zb") ] (R.Query.box_relation space box)
 let range_plan =
   P.Project
     ( [ "x0"; "x1" ],
-      P.Spatial_join { zl = "z"; zr = "zb"; left = P.Scan p_rel; right = P.Scan b_rel } )
+      P.Spatial_join { zl = "z"; zr = "zb"; left = P.Scan p_rel; right = P.Scan b_rel; impl = None } )
 
 let test_schema () =
   Alcotest.(check (list string)) "projected schema" [ "x0"; "x1" ]
@@ -32,7 +32,7 @@ let test_schema () =
     (R.Schema.names
        (P.schema
           (P.Spatial_join
-             { zl = "z"; zr = "zb"; left = P.Scan p_rel; right = P.Scan b_rel })))
+             { zl = "z"; zr = "zb"; left = P.Scan p_rel; right = P.Scan b_rel; impl = None })))
 
 let test_run_range_query () =
   let result = P.run range_plan in
@@ -58,7 +58,7 @@ let test_optimize_preserves_semantics () =
       P.Select
         ( P.attr_between "x0" (R.Value.Int 0) (R.Value.Int 15),
           P.Spatial_join
-            { zl = "z"; zr = "zb"; left = P.Scan p_rel; right = P.Scan b_rel } );
+            { zl = "z"; zr = "zb"; left = P.Scan p_rel; right = P.Scan b_rel; impl = None } );
       P.Sort ([ "x0" ], P.Sort ([ "x1" ], P.Scan p_rel));
       P.Select
         ( P.attr_equals "id" (R.Value.Int 3),
@@ -79,7 +79,7 @@ let test_pushdown_happens () =
     P.Select
       ( P.attr_equals "id" (R.Value.Int 1),
         P.Spatial_join
-          { zl = "z"; zr = "zb"; left = P.Scan p_rel; right = P.Scan b_rel } )
+          { zl = "z"; zr = "zb"; left = P.Scan p_rel; right = P.Scan b_rel; impl = None } )
   in
   match P.optimize plan with
   | P.Spatial_join { left = P.Select _; _ } -> ()
@@ -121,7 +121,7 @@ let test_join_impl_choice () =
     go 0
   in
   let small_join =
-    P.Spatial_join { zl = "z"; zr = "zb"; left = P.Scan p_rel; right = P.Scan b_rel }
+    P.Spatial_join { zl = "z"; zr = "zb"; left = P.Scan p_rel; right = P.Scan b_rel; impl = None }
   in
   check "small input -> nested loop" true
     (contains (P.explain small_join) "nested loop");
@@ -133,7 +133,7 @@ let test_join_impl_choice () =
   in
   let big_join =
     P.Spatial_join
-      { zl = "zz"; zr = "zb"; left = P.Scan big; right = P.Scan (R.Ops.rename [] b_rel) }
+      { zl = "zz"; zr = "zb"; left = P.Scan big; right = P.Scan (R.Ops.rename [] b_rel); impl = None }
   in
   check "big input -> z-merge" true (contains (P.explain big_join) "z-merge")
 

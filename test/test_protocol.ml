@@ -143,6 +143,8 @@ let test_request_roundtrip () =
       (None, P.Delete { table = "L"; points = [ [| 9; 9 |]; [| 1; 2; 3 |] ] });
       (Some 5, P.Create_index { table = "L" });
       (None, P.Live_range { table = "L"; lo = [| 0; 0 |]; hi = [| 255; 255 |] });
+      (None, P.Refresh_stats);
+      (Some 3000, P.Refresh_stats);
     ]
   in
   List.iter

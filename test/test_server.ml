@@ -396,6 +396,90 @@ let test_stop_drains_in_flight () =
       | Error _ -> ());
       Client.close c
 
+(* {1 Statistics flow: ANALYZE over the wire, cost-based serving}
+
+   Runs LAST: [Client.refresh_stats] mutates the shared module-level
+   catalog's statistics, and serving paths behave differently once
+   statistics exist (direct range kernels, forced join
+   implementations, cached packed indexes).  Every earlier test's
+   oracle assumes the statistics-free behavior. *)
+
+let test_statistics_flow () =
+  with_server (fun server _ ->
+      Client.with_connect ~port:(Server.port server) (fun client ->
+          let contains hay needle =
+            let n = String.length needle and h = String.length hay in
+            let rec go i =
+              i + n <= h && (String.sub hay i n = needle || go (i + 1))
+            in
+            go 0
+          in
+          (* statistics-free baselines *)
+          let box = wk.Sqp_workload.Seeded.query in
+          let lo = Box.lo box and hi = Box.hi box in
+          let range_before =
+            reply_ok "range before" (Client.range_search client ~lo ~hi)
+          in
+          let join_before = reply_ok "join before" (Client.query client join_plan) in
+          let explain_before =
+            reply_ok "explain before" (Client.explain client join_plan)
+          in
+          checkb "no cost column before analyze" false
+            (contains explain_before "[cost=");
+          (* the analyze frame *)
+          let summary = reply_ok "refresh stats" (Client.refresh_stats client) in
+          checkb "summary names the point relation" true (contains summary "P");
+          checkb "summary names the join sides" true
+            (contains summary "R" && contains summary "S");
+          (* cost-based serving returns the same rows *)
+          let range_after =
+            reply_ok "range after" (Client.range_search client ~lo ~hi)
+          in
+          checkb "range rows unchanged by statistics" true
+            (Relation.equal_contents range_before range_after);
+          let join_after = reply_ok "join after" (Client.query client join_plan) in
+          checkb "join rows unchanged by statistics" true
+            (Relation.equal_contents join_before join_after);
+          (* ...and EXPLAIN / EXPLAIN ANALYZE now carry predictions *)
+          let explain_after =
+            reply_ok "explain after" (Client.explain client join_plan)
+          in
+          checkb "cost column after analyze" true (contains explain_after "[cost=");
+          let rendered, rows =
+            reply_ok "analyze after" (Client.analyze client join_plan)
+          in
+          checkb "analyze rows still match" true
+            (Relation.equal_contents join_before rows);
+          checkb "predicted-vs-actual table appended" true
+            (contains rendered "predicted");
+          (* the packed-index cache serves live ranges until the table moves *)
+          let llo = [| 0; 0 |] and lhi = [| 400; 400 |] in
+          let live_before =
+            reply_ok "live range" (Client.live_range client ~table:"L" ~lo:llo ~hi:lhi)
+          in
+          let _applied, _seq =
+            reply_ok "create index" (Client.create_index client ~table:"L")
+          in
+          let live_cached =
+            reply_ok "live range (cached packed index)"
+              (Client.live_range client ~table:"L" ~lo:llo ~hi:lhi)
+          in
+          checkb "packed index returns the same rows" true
+            (Relation.equal_contents live_before live_cached);
+          (* an insert invalidates the cache: the new point must appear *)
+          let applied, _seq =
+            reply_ok "insert after index"
+              (Client.insert client ~table:"L" [ ([| 3; 3 |], 999_001) ])
+          in
+          checki "insert applied" 1 applied;
+          let live_fresh =
+            reply_ok "live range after insert"
+              (Client.live_range client ~table:"L" ~lo:llo ~hi:lhi)
+          in
+          checki "stale cache bypassed: new row visible"
+            (Relation.cardinality live_cached + 1)
+            (Relation.cardinality live_fresh)))
+
 let () =
   Alcotest.run "server"
     [
@@ -419,4 +503,7 @@ let () =
         ] );
       ( "lifecycle",
         [ Alcotest.test_case "stop drains" `Quick test_stop_drains_in_flight ] );
+      (* keep last: mutates the shared catalog's statistics *)
+      ( "statistics",
+        [ Alcotest.test_case "analyze flow" `Quick test_statistics_flow ] );
     ]
