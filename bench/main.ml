@@ -490,10 +490,9 @@ let serving_table () =
                             ~lo:(Sqp_geom.Box.lo box) ~hi:(Sqp_geom.Box.hi box)
                         with
                         | Ok _ -> ()
-                        | Error (code, m) ->
-                            Printf.eprintf "serving bench: %s: %s\n"
-                              (Sqp_server.Protocol.error_code_name code)
-                              m;
+                        | Error e ->
+                            Printf.eprintf "serving bench: %s\n"
+                              (Sqp_server.Client.error_to_string e);
                             exit 1
                       done))
                 ())

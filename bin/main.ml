@@ -383,8 +383,24 @@ let serve_cmd =
             "Disable the LRU memo cache of box decompositions (escape hatch; \
              every query then re-decomposes its box).")
   in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "idle-timeout-s" ] ~docv:"S"
+          ~doc:
+            "Close sessions that start no frame for $(docv) seconds (0 = \
+             never; reaps leaked connections).")
+  in
+  let frame_timeout_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "frame-timeout-s" ] ~docv:"S"
+          ~doc:
+            "Bound reading one frame's payload and writing one response (0 = \
+             unbounded) — the slow-loris guard.")
+  in
   let run host port parallelism max_in_flight max_queue default_deadline_ms
-      n_points n_objects no_decompose_cache =
+      n_points n_objects no_decompose_cache idle_timeout_s frame_timeout_s =
     if no_decompose_cache then Sqp_zorder.Decompose.set_cache_enabled false;
     let catalog =
       Srv.Catalog.of_seeded
@@ -399,6 +415,9 @@ let serve_cmd =
         max_in_flight;
         max_queue;
         default_deadline_ms;
+        idle_timeout_s = (if idle_timeout_s > 0. then Some idle_timeout_s else None);
+        frame_timeout_s =
+          (if frame_timeout_s > 0. then Some frame_timeout_s else None);
       }
     in
     let server = Srv.Server.start ~config catalog in
@@ -435,7 +454,7 @@ let serve_cmd =
     Term.(
       const run $ host_arg $ port_arg ~default:7477 $ parallelism_arg
       $ in_flight_arg $ queue_arg $ deadline_arg $ points_arg $ objects_arg
-      $ no_decompose_cache_arg)
+      $ no_decompose_cache_arg $ idle_timeout_arg $ frame_timeout_arg)
 
 (* The canonical join plan, as a client would send it over the wire. *)
 let join_wire_plan =
@@ -474,6 +493,8 @@ let shell_cmd =
     \  delete X Y          remove the first live entry at exactly (X, Y)\n\
     \  lrange X1 Y1 X2 Y2  snapshot range query over live table L\n\
     \  create-index        online rebuild of L's packed index (concurrent-safe)\n\
+    \  recover             ask a degraded (read-only) server to reopen its\n\
+    \                      stores and resume mutations\n\
     \  help                this text\n\
     \  quit                leave"
   in
@@ -482,13 +503,13 @@ let shell_cmd =
     let print_rows rel =
       Format.printf "%a(%d tuples)@." R.Relation.pp rel (R.Relation.cardinality rel)
     in
+    (* Any failure — remote or transport — is one diagnostic line; the
+       session stays alive so the user can retry or `recover`. *)
     let report = function
       | Ok () -> ()
-      | Error (code, message) ->
+      | Error e ->
           failed := true;
-          Printf.printf "error (%s): %s\n"
-            (Srv.Protocol.error_code_name code)
-            message
+          Printf.printf "error: %s\n" (Srv.Client.error_to_string e)
     in
     let exec client line =
       match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
@@ -502,10 +523,13 @@ let shell_cmd =
             (Result.map
                (fun (h : Srv.Protocol.health) ->
                  Printf.printf
-                   "%s: %s\n  in flight %d, queued %d, served %d\n"
+                   "%s: %s\n  mode %s; in flight %d, queued %d, served %d\n"
                    (if h.Srv.Protocol.healthy then "healthy" else "UNHEALTHY")
-                   h.Srv.Protocol.detail h.Srv.Protocol.in_flight
-                   h.Srv.Protocol.queued h.Srv.Protocol.served;
+                   h.Srv.Protocol.detail
+                   (if h.Srv.Protocol.mode = "" then "unknown"
+                    else h.Srv.Protocol.mode)
+                   h.Srv.Protocol.in_flight h.Srv.Protocol.queued
+                   h.Srv.Protocol.served;
                  if not h.Srv.Protocol.healthy then failed := true)
                (Srv.Client.health client));
           true
@@ -578,6 +602,9 @@ let shell_cmd =
                  Printf.printf "index rebuilt: %d entries at seq %d\n" applied seq)
                (Srv.Client.create_index ?deadline_ms client ~table:"L"));
           true
+      | [ "recover" ] ->
+          report (Result.map print_endline (Srv.Client.recover client));
+          true
       | [ "range"; x1; y1; x2; y2 ] -> (
           match
             (int_of_string_opt x1, int_of_string_opt y1, int_of_string_opt x2,
@@ -637,14 +664,45 @@ let bench_net_cmd =
       value & flag
       & info [ "quick" ] ~doc:"CI smoke mode: 2 clients x 15 requests.")
   in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "faults" ] ~docv:"RATE"
+          ~doc:
+            "Inject faults into every client socket at $(docv) (0..1): \
+             connection resets and EPIPEs at $(docv), EINTRs and delays at \
+             $(docv), short reads/writes at 0.2.  The workload gains insert \
+             frames, clients retry with idempotency keys, and the summary \
+             reports goodput, retries per request and reconnects (written to \
+             BENCH_chaos.json by default).")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the fault plan (deterministic per seed).")
+  in
   let json_arg =
     Arg.(
-      value & opt string "BENCH_server.json"
-      & info [ "json" ] ~docv:"FILE" ~doc:"Where to write the latency summary.")
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the summary (default BENCH_server.json, or \
+             BENCH_chaos.json under --faults).")
   in
-  let run host port clients requests quick json_path =
+  let run host port clients requests quick faults fault_seed json_path =
     let clients = if quick then 2 else clients in
     let requests = if quick then 15 else requests in
+    let json_path =
+      match json_path with
+      | Some p -> p
+      | None -> (
+          match faults with
+          | Some _ -> "BENCH_chaos.json"
+          | None -> "BENCH_server.json")
+    in
     (* port 0: self-host an ephemeral server so the bench is one command. *)
     let own_server =
       if port = 0 then
@@ -657,31 +715,76 @@ let bench_net_cmd =
     let port =
       match own_server with Some s -> Srv.Server.port s | None -> port
     in
+    (* Exactly-once differential (self-hosted only): under faults the
+       acked insert frames must equal the live table's batch-sequence
+       advance — a double-applied retry would break the equation. *)
+    let live_seq () =
+      match own_server with
+      | Some s -> (
+          match Srv.Catalog.live (Srv.Server.catalog s) "L" with
+          | Some lv -> Some (Sqp_btree.Live.seq lv)
+          | None -> None)
+      | None -> None
+    in
+    let seq_before = live_seq () in
+    let wrap =
+      match faults with
+      | None -> None
+      | Some rate ->
+          let rate = if rate < 0. then 0. else if rate > 1. then 1. else rate in
+          Some
+            (Srv.Faulty_net.wrap
+               (Srv.Faulty_net.seeded ~p_eintr:rate ~p_short:0.2 ~p_delay:rate
+                  ~delay_s:0.0005 ~p_reset:rate ~seed:fault_seed ()))
+    in
     let wk = Sqp_workload.Seeded.standard () in
     let boxes = wk.Sqp_workload.Seeded.query_boxes in
+    let side = Sqp_zorder.Space.side wk.Sqp_workload.Seeded.space in
+    let acked_inserts = Atomic.make 0 in
+    let retries_total = Atomic.make 0 in
+    let reconnects_total = Atomic.make 0 in
+    (* Under faults a torn first attempt is routine: give the retry loop
+       room.  Without faults keep the old fail-fast behavior. *)
+    let max_attempts = match faults with Some _ -> 100 | None -> 4 in
     let latencies_of_client c =
-      Srv.Client.with_connect ~host ~port (fun client ->
-          Array.init requests (fun i ->
-              let t0 = Unix.gettimeofday () in
-              let reply =
-                if i mod 10 = 9 then
-                  Result.map (fun _ -> ())
-                    (Srv.Client.query client join_wire_plan)
-                else
-                  let box = boxes.(((c * 131) + i) mod Array.length boxes) in
-                  Result.map
-                    (fun _ -> ())
-                    (Srv.Client.range_search client
-                       ~lo:(Sqp_geom.Box.lo box) ~hi:(Sqp_geom.Box.hi box))
-              in
-              (match reply with
-              | Ok () -> ()
-              | Error (code, m) ->
-                  Printf.eprintf "bench-net: request failed (%s): %s\n"
-                    (Srv.Protocol.error_code_name code)
-                    m;
-                  Stdlib.exit 1);
-              Unix.gettimeofday () -. t0))
+      Srv.Client.with_connect ~host ~port ?wrap ~max_attempts
+        ~client_id:((fault_seed * 1000) + c) (fun client ->
+          let lat =
+            Array.init requests (fun i ->
+                let t0 = Unix.gettimeofday () in
+                let reply =
+                  if faults <> None && i mod 5 = 2 then
+                    Result.map
+                      (fun (applied, _seq) ->
+                        ignore (Atomic.fetch_and_add acked_inserts 1);
+                        ignore applied)
+                      (Srv.Client.insert client ~table:"L"
+                         (List.init 4 (fun j ->
+                              let n = (c * 1_000_000) + (i * 100) + j in
+                              ( [| n * 7919 mod side; n * 104729 mod side |],
+                                900_000_000 + n ))))
+                  else if i mod 10 = 9 then
+                    Result.map (fun _ -> ())
+                      (Srv.Client.query client join_wire_plan)
+                  else
+                    let box = boxes.(((c * 131) + i) mod Array.length boxes) in
+                    Result.map
+                      (fun _ -> ())
+                      (Srv.Client.range_search client ~lo:(Sqp_geom.Box.lo box)
+                         ~hi:(Sqp_geom.Box.hi box))
+                in
+                (match reply with
+                | Ok () -> ()
+                | Error e ->
+                    Printf.eprintf "bench-net: request failed: %s\n"
+                      (Srv.Client.error_to_string e);
+                    Stdlib.exit 1);
+                Unix.gettimeofday () -. t0)
+          in
+          ignore (Atomic.fetch_and_add retries_total (Srv.Client.retries client));
+          ignore
+            (Atomic.fetch_and_add reconnects_total (Srv.Client.reconnects client));
+          lat)
     in
     let t0 = Unix.gettimeofday () in
     let results = Array.make clients [||] in
@@ -691,30 +794,82 @@ let bench_net_cmd =
     in
     List.iter Thread.join threads;
     let wall = Unix.gettimeofday () -. t0 in
+    let seq_after = live_seq () in
+    (match (faults, seq_before, seq_after) with
+    | Some _, Some before, Some after ->
+        let acked = Atomic.get acked_inserts in
+        if after - before <> acked then begin
+          Printf.eprintf
+            "bench-net: exactly-once violated: %d insert frames acked but the \
+             live table advanced %d batches\n"
+            acked (after - before);
+          Stdlib.exit 1
+        end
+    | _ -> ());
     (match own_server with Some s -> Srv.Server.stop s | None -> ());
     let latencies = Array.concat (Array.to_list results) in
     Array.sort compare latencies;
     let total = Array.length latencies in
     let pct p = latencies.(min (total - 1) (p * total / 100)) *. 1e3 in
     let throughput = float_of_int total /. wall in
-    Printf.printf
-      "bench-net: %d clients x %d requests in %.2fs (%.0f req/s)\n\
-       latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n"
-      clients requests wall throughput (pct 50) (pct 90) (pct 99)
-      (latencies.(total - 1) *. 1e3);
+    let retries = Atomic.get retries_total in
+    let reconnects = Atomic.get reconnects_total in
+    let retries_per_request = float_of_int retries /. float_of_int (max 1 total) in
+    (match faults with
+    | None ->
+        Printf.printf
+          "bench-net: %d clients x %d requests in %.2fs (%.0f req/s)\n\
+           latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n"
+          clients requests wall throughput (pct 50) (pct 90) (pct 99)
+          (latencies.(total - 1) *. 1e3)
+    | Some rate ->
+        Printf.printf
+          "bench-net --faults %.3g (seed %d): %d clients x %d requests in %.2fs\n\
+           goodput %.0f req/s; %d retries (%.2f/request), %d reconnects; %d \
+           insert frames exactly-once\n\
+           latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n"
+          rate fault_seed clients requests wall throughput retries
+          retries_per_request reconnects (Atomic.get acked_inserts) (pct 50)
+          (pct 90) (pct 99)
+          (latencies.(total - 1) *. 1e3));
     let oc = open_out json_path in
-    Printf.fprintf oc
-      "{\n\
-      \  \"benchmark\": \"server_closed_loop\",\n\
-      \  \"clients\": %d,\n\
-      \  \"requests_per_client\": %d,\n\
-      \  \"total_requests\": %d,\n\
-      \  \"wall_seconds\": %.4f,\n\
-      \  \"throughput_rps\": %.1f,\n\
-      \  \"latency_ms\": { \"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, \"max\": %.3f }\n\
-       }\n"
-      clients requests total wall throughput (pct 50) (pct 90) (pct 99)
-      (latencies.(total - 1) *. 1e3);
+    (match faults with
+    | None ->
+        Printf.fprintf oc
+          "{\n\
+          \  \"benchmark\": \"server_closed_loop\",\n\
+          \  \"clients\": %d,\n\
+          \  \"requests_per_client\": %d,\n\
+          \  \"total_requests\": %d,\n\
+          \  \"wall_seconds\": %.4f,\n\
+          \  \"throughput_rps\": %.1f,\n\
+          \  \"latency_ms\": { \"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, \
+           \"max\": %.3f }\n\
+           }\n"
+          clients requests total wall throughput (pct 50) (pct 90) (pct 99)
+          (latencies.(total - 1) *. 1e3)
+    | Some rate ->
+        Printf.fprintf oc
+          "{\n\
+          \  \"benchmark\": \"server_chaos_closed_loop\",\n\
+          \  \"fault_rate\": %.4f,\n\
+          \  \"fault_seed\": %d,\n\
+          \  \"clients\": %d,\n\
+          \  \"requests_per_client\": %d,\n\
+          \  \"total_requests\": %d,\n\
+          \  \"wall_seconds\": %.4f,\n\
+          \  \"goodput_rps\": %.1f,\n\
+          \  \"retries\": %d,\n\
+          \  \"retries_per_request\": %.3f,\n\
+          \  \"reconnects\": %d,\n\
+          \  \"insert_frames_acked\": %d,\n\
+          \  \"latency_ms\": { \"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, \
+           \"max\": %.3f }\n\
+           }\n"
+          rate fault_seed clients requests total wall throughput retries
+          retries_per_request reconnects (Atomic.get acked_inserts) (pct 50)
+          (pct 90) (pct 99)
+          (latencies.(total - 1) *. 1e3));
     close_out oc;
     Printf.printf "wrote %s\n" json_path
   in
@@ -723,10 +878,12 @@ let bench_net_cmd =
        ~doc:
          "Closed-loop loopback benchmark against $(b,sqp serve) (or a \
           self-hosted ephemeral server with --port 0); writes \
-          BENCH_server.json.")
+          BENCH_server.json — or, with $(b,--faults), a chaos run with \
+          client-side fault injection, exactly-once retries and \
+          BENCH_chaos.json.")
     Term.(
       const run $ host_arg $ port_arg ~default:0 $ clients_arg $ requests_arg
-      $ quick_arg $ json_arg)
+      $ quick_arg $ faults_arg $ fault_seed_arg $ json_arg)
 
 (* Mixed ingest benchmark: writer threads stream insert/delete batches
    into the live table while reader threads run snapshot range queries
@@ -782,9 +939,9 @@ let bench_ingest_cmd =
     in
     let wk = Sqp_workload.Seeded.standard () in
     let side = Sqp_zorder.Space.side wk.Sqp_workload.Seeded.space in
-    let die code m =
-      Printf.eprintf "bench-ingest: request failed (%s): %s\n"
-        (Srv.Protocol.error_code_name code) m;
+    let die e =
+      Printf.eprintf "bench-ingest: request failed: %s\n"
+        (Srv.Client.error_to_string e);
       Stdlib.exit 1
     in
     let t0 = Unix.gettimeofday () in
@@ -817,7 +974,7 @@ let bench_ingest_cmd =
             | Ok (applied, _seq) ->
                 ignore (Atomic.fetch_and_add ops_applied applied);
                 Atomic.incr frames_sent
-            | Error (code, m) -> die code m
+            | Error e -> die e
           done)
     in
     let read_latencies = Array.make (max 1 readers) [] in
@@ -834,7 +991,7 @@ let bench_ingest_cmd =
                  ~hi:[| x + ext - 1; y + ext - 1 |]
              with
             | Ok _ -> acc := (Unix.gettimeofday () -. q0) :: !acc
-            | Error (code, m) -> die code m);
+            | Error e -> die e);
             read_latencies.(r) <- !acc
           done)
     in

@@ -22,7 +22,7 @@ type 'a t = {
   ic : int;
   version : 'a version Atomic.t;
   writer : Mutex.t;
-  store : FP.t option;
+  mutable store : FP.t option;
   mutable feeds : 'a feed list;
   m_batches : Metrics.counter;
   m_inserts : Metrics.counter;
@@ -235,9 +235,10 @@ let create_durable ?io ?(page_bytes = 1024) ?(leaf_capacity = 20)
     (Cow.empty ~leaf_capacity ~internal_capacity ())
     0
 
-let open_durable ?io ?(leaf_capacity = 20) ?(internal_capacity = 20) ~encode ~decode
-    ~path () =
-  let store = FP.open_existing ?io path in
+(* Rebuild the logical state (space, tree, last seq) from an open store:
+   the base-image chunks in part order, then every logged batch past the
+   base in sequence order. *)
+let load_store ~decode ~leaf_capacity ~internal_capacity ~path store =
   let meta = ref None in
   let bases = ref [] (* (part, reader at first entry, count) *) in
   let logs = ref [] (* (seq, part, reader at first op, count) *) in
@@ -269,11 +270,6 @@ let open_durable ?io ?(leaf_capacity = 20) ?(internal_capacity = 20) ~encode ~de
     match !meta with
     | Some m -> m
     | None -> Storage_error.corrupt ~path "live table has no metadata record"
-  in
-  let t =
-    make_t ~leaf_capacity ~internal_capacity ~encode ~decode ~store:(Some store) space
-      (Cow.empty ~leaf_capacity ~internal_capacity ())
-      0
   in
   let entries = ref [] in
   List.iter
@@ -307,11 +303,20 @@ let open_durable ?io ?(leaf_capacity = 20) ?(internal_capacity = 20) ~encode ~de
     (List.sort
        (fun (s1, p1, _, _) (s2, p2, _, _) -> compare (s1, p1) (s2, p2))
        !logs);
-  Atomic.set t.version { tree = !tree; vseq = !last_seq };
-  Metrics.set_gauge t.m_entries (Cow.length !tree);
-  t
+  (space, !tree, !last_seq)
+
+let open_durable ?io ?(leaf_capacity = 20) ?(internal_capacity = 20) ~encode ~decode
+    ~path () =
+  let store = FP.open_existing ?io path in
+  let space, tree, last_seq =
+    load_store ~decode ~leaf_capacity ~internal_capacity ~path store
+  in
+  make_t ~leaf_capacity ~internal_capacity ~encode ~decode ~store:(Some store) space
+    tree last_seq
 
 let close t = match t.store with None -> () | Some s -> FP.close s
+
+let durable_ok t = match t.store with None -> true | Some s -> not (FP.is_closed s)
 
 let space t = t.space
 
@@ -353,10 +358,16 @@ let apply t ops =
              untouched and a reopen sees the pre-batch state. *)
           (match t.store with
           | None -> ()
-          | Some store ->
+          | Some store -> (
               FP.begin_batch store;
-              alloc_log t store ~seq ops;
-              FP.commit_batch store);
+              match alloc_log t store ~seq ops with
+              | () -> FP.commit_batch store
+              | exception e ->
+                  (* An encode failure leaves the batch open — roll it
+                     back so the next apply can begin one.  (A failed
+                     commit already poisoned and closed the handle.) *)
+                  if FP.in_batch store then (try FP.abort_batch store with _ -> ());
+                  raise e));
           let tree, applied =
             List.fold_left
               (fun (tr, n) op ->
@@ -507,14 +518,57 @@ let checkpoint_locked t (v : 'a version) =
       let entries = ref [] in
       Cow.iter v.tree (fun _ e -> entries := e :: !entries);
       FP.begin_batch store;
-      List.iter (FP.free store) !old;
-      ignore (FP.alloc store (meta_record t.space ~base_seq:v.vseq));
-      alloc_base t store (List.rev !entries);
-      FP.commit_batch store;
+      (match
+         List.iter (FP.free store) !old;
+         ignore (FP.alloc store (meta_record t.space ~base_seq:v.vseq));
+         alloc_base t store (List.rev !entries)
+       with
+      | () -> FP.commit_batch store
+      | exception e ->
+          if FP.in_batch store then (try FP.abort_batch store with _ -> ());
+          raise e);
       Metrics.incr t.m_checkpoints
 
 let checkpoint t =
   Mutex.protect t.writer (fun () -> checkpoint_locked t (Atomic.get t.version))
+
+(* A failed commit poisons and closes the page-store handle (the journal
+   alone knows which side of the commit the disk landed on), so recovery
+   is a reopen: run journal recovery, then rebuild the in-memory tree
+   from whatever state the disk settled at.  Memory is only ever mutated
+   after a successful commit, so the reload can only agree with, or
+   supersede (journal replay), what readers were already seeing. *)
+let recover t =
+  Mutex.protect t.writer (fun () ->
+      match t.store with
+      | None -> ()
+      | Some store when not (FP.is_closed store) -> ()
+      | Some store ->
+          let path = FP.path store in
+          let io = FP.injector store in
+          let store' = FP.open_existing ~io path in
+          let space, tree, last_seq =
+            load_store ~decode:t.decode ~leaf_capacity:t.lc ~internal_capacity:t.ic
+              ~path store'
+          in
+          if
+            Z.Space.dims space <> Z.Space.dims t.space
+            || Z.Space.depth space <> Z.Space.depth t.space
+          then begin
+            FP.close store';
+            Storage_error.corrupt ~path "recovered live table has a different space"
+          end;
+          t.store <- Some store';
+          Atomic.set t.version { tree; vseq = last_seq };
+          Metrics.set_gauge t.m_entries (Cow.length tree);
+          (* Journal recovery only reads (or truncates), so it cannot
+             tell whether the disk that poisoned the store is writable
+             again.  Probe with a checkpoint — one atomic batch — so a
+             still-full disk surfaces as Io_error here, not on the next
+             acked mutation.  On failure the batch is aborted (or the
+             handle re-poisoned) and the error propagates: the table
+             stays unrecovered. *)
+          checkpoint_locked t { tree; vseq = last_seq })
 
 let rebuild_online ?(chunk_size = 256) ?on_chunk t =
   if chunk_size < 1 then invalid_arg "Live.rebuild_online: chunk_size < 1";

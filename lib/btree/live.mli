@@ -75,6 +75,25 @@ val open_durable :
 val close : 'a t -> unit
 (** Close the backing store, if any; idempotent. *)
 
+val durable_ok : 'a t -> bool
+(** [false] when the backing store's handle has been poisoned by a
+    failed commit (e.g. [ENOSPC] mid-batch) — mutations will fail until
+    {!recover} reopens it.  Always [true] for in-memory tables. *)
+
+val recover : 'a t -> unit
+(** Reopen a poisoned backing store in place: run page-store crash
+    recovery (replay or discard of the journal), rebuild the in-memory
+    tree from the recovered state, checkpoint it (both a fresh base
+    image and a {e writability probe} — journal recovery alone never
+    writes, so it cannot tell whether the disk is still full), and
+    resume serving mutations.  A no-op when the store is healthy or the
+    table is in-memory.  Memory is only mutated after a successful
+    commit, so the reload lands on the acknowledged state (or the
+    journaled batch, if replay completed it).
+    @raise Sqp_storage.Storage_error.Corrupt on unexplainable damage.
+    @raise Sqp_storage.Storage_error.Io_error if the disk is still sick
+    (e.g. still out of space). *)
+
 val space : 'a t -> Sqp_zorder.Space.t
 
 val length : 'a t -> int

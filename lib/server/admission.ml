@@ -144,3 +144,9 @@ let queued t =
   let n = t.queue_depth in
   Mutex.unlock t.m;
   n
+
+let stats t =
+  Mutex.lock t.m;
+  let s = (t.in_flight, t.queue_depth, t.is_draining) in
+  Mutex.unlock t.m;
+  s

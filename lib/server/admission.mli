@@ -54,3 +54,7 @@ val await_drain : t -> unit
 
 val in_flight : t -> int
 val queued : t -> int
+
+val stats : t -> int * int * bool
+(** [(in_flight, queued, draining)] read under one lock — a consistent
+    triple for health reports. *)

@@ -3,6 +3,28 @@ module R = Sqp_relalg
 module O = Sqp_optimizer
 module Live = Sqp_btree.Live
 
+(* {1 Idempotency dedup window}
+
+   Per client: the encoded response bytes of recently answered keyed
+   requests, so a retry of (client_id, request_seq) replays the original
+   answer byte for byte instead of re-executing.  Bounded two ways:
+   [dedup_window] seqs per client (older keys age out as the client's
+   counter advances) and [dedup_max_clients] clients (LRU evicted). *)
+
+let dedup_window = 128
+
+let dedup_max_clients = 256
+
+type dedup_slot = Pending | Done of string
+
+type dedup_client = {
+  slots : (int, dedup_slot) Hashtbl.t;
+  mutable max_seq : int;
+  mutable last_used : int;  (* LRU tick *)
+}
+
+type dedup_outcome = Fresh | Replay of string | In_flight | Too_old
+
 type t = {
   space : Z.Space.t;
   points_rel : R.Relation.t;  (* "P": id, z, x0..xk — range-search side *)
@@ -10,10 +32,12 @@ type t = {
   lives : (string * int Live.t) list;  (* mutable tables, payload = id *)
   prepared : int Sqp_core.Range_search.prepared Lazy.t;
       (* the z-sorted point sequence backing the direct range path *)
-  m : Mutex.t;  (* guards the two mutable fields below *)
+  m : Mutex.t;  (* guards the mutable fields below *)
   mutable stats : O.Stats.t option;
   mutable packed : (string * (int Sqp_btree.Zindex.t * int)) list;
       (* per live table: last packed index and the Live.seq it reflects *)
+  dedup : (int, dedup_client) Hashtbl.t;
+  mutable dedup_tick : int;
 }
 
 let make ?(lives = []) ~space ~points ~relations () =
@@ -36,6 +60,8 @@ let make ?(lives = []) ~space ~points ~relations () =
     m = Mutex.create ();
     stats = None;
     packed = [];
+    dedup = Hashtbl.create 16;
+    dedup_tick = 0;
   }
 
 let of_seeded ?tuples_per_page ?pool_capacity (wk : Sqp_workload.Seeded.t) =
@@ -100,6 +126,92 @@ let packed_index t name =
   let p = List.assoc_opt name t.packed in
   Mutex.unlock t.m;
   p
+
+(* {1 Dedup window} *)
+
+let dedup_begin t ~client_id ~seq =
+  Mutex.lock t.m;
+  t.dedup_tick <- t.dedup_tick + 1;
+  let entry =
+    match Hashtbl.find_opt t.dedup client_id with
+    | Some e -> e
+    | None ->
+        if Hashtbl.length t.dedup >= dedup_max_clients then begin
+          (* LRU eviction: linear scan is fine at 256 clients. *)
+          let victim =
+            Hashtbl.fold
+              (fun id e acc ->
+                match acc with
+                | Some (_, lu) when lu <= e.last_used -> acc
+                | _ -> Some (id, e.last_used))
+              t.dedup None
+          in
+          match victim with
+          | Some (id, _) -> Hashtbl.remove t.dedup id
+          | None -> ()
+        end;
+        let e = { slots = Hashtbl.create 16; max_seq = 0; last_used = 0 } in
+        Hashtbl.add t.dedup client_id e;
+        e
+  in
+  entry.last_used <- t.dedup_tick;
+  let outcome =
+    if entry.max_seq - seq >= dedup_window then Too_old
+    else
+      match Hashtbl.find_opt entry.slots seq with
+      | Some Pending -> In_flight
+      | Some (Done payload) -> Replay payload
+      | None ->
+          Hashtbl.replace entry.slots seq Pending;
+          if seq > entry.max_seq then begin
+            entry.max_seq <- seq;
+            let floor = entry.max_seq - dedup_window in
+            let old =
+              Hashtbl.fold
+                (fun s _ acc -> if s <= floor then s :: acc else acc)
+                entry.slots []
+            in
+            List.iter (Hashtbl.remove entry.slots) old
+          end;
+          Fresh
+  in
+  Mutex.unlock t.m;
+  outcome
+
+let dedup_commit t ~client_id ~seq payload =
+  Mutex.lock t.m;
+  (match Hashtbl.find_opt t.dedup client_id with
+  | Some entry -> Hashtbl.replace entry.slots seq (Done payload)
+  | None -> ());
+  Mutex.unlock t.m
+
+let dedup_abort t ~client_id ~seq =
+  Mutex.lock t.m;
+  (match Hashtbl.find_opt t.dedup client_id with
+  | Some entry -> (
+      match Hashtbl.find_opt entry.slots seq with
+      | Some Pending -> Hashtbl.remove entry.slots seq
+      | Some (Done _) | None -> ())
+  | None -> ());
+  Mutex.unlock t.m
+
+let dedup_clients t =
+  Mutex.lock t.m;
+  let n = Hashtbl.length t.dedup in
+  Mutex.unlock t.m;
+  n
+
+(* {1 Degraded-mode recovery} *)
+
+let lives_ok t = List.for_all (fun (_, lv) -> Live.durable_ok lv) t.lives
+
+let recover_lives t =
+  List.filter_map
+    (fun (name, lv) ->
+      match Live.recover lv with
+      | () -> None
+      | exception e -> Some (name, e))
+    t.lives
 
 let point_histogram t =
   match stats t with
@@ -258,7 +370,11 @@ let health_detail t =
       match live t name with
       | None -> ()
       | Some lv ->
-          Printf.bprintf buf " %s(live)=%d@%d" name (Live.length lv) (Live.seq lv))
+          let poisoned = not (Live.durable_ok lv) in
+          if poisoned then healthy := false;
+          Printf.bprintf buf " %s(live%s)=%d@%d" name
+            (if poisoned then ",store POISONED" else "")
+            (Live.length lv) (Live.seq lv))
     (live_names t);
   (match stats t with
   | None -> Printf.bprintf buf "; stats: none (run analyze)"

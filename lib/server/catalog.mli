@@ -51,6 +51,48 @@ val prepared_points : t -> int Sqp_core.Range_search.prepared
 (** The z-sorted point sequence backing the direct range-search path
     (payload = row id).  Built lazily on first use, then shared. *)
 
+(** {1 Idempotency dedup window}
+
+    The exactly-once half of the retry contract.  Every keyed request
+    (protocol v2 idempotency key [(client_id, request_seq)]) passes
+    through {!dedup_begin} before execution; the window remembers the
+    {e encoded response bytes} of completed requests so a replay is
+    answered byte-for-byte without re-executing — a retried [Insert]
+    cannot double-apply.  Bounded per client (128 seqs — older keys age
+    out as the client's counter advances) and across clients (256, LRU
+    evicted).  All operations are mutex-guarded and O(1) amortized. *)
+
+type dedup_outcome =
+  | Fresh  (** first sighting: execute, then {!dedup_commit} or {!dedup_abort} *)
+  | Replay of string  (** already answered: the original encoded response *)
+  | In_flight  (** same key currently executing (concurrent duplicate) *)
+  | Too_old  (** below the window — answer [Bad_request] *)
+
+val dedup_begin : t -> client_id:int -> seq:int -> dedup_outcome
+(** Claim a key.  [Fresh] obliges the caller to eventually
+    {!dedup_commit} (cacheable outcome) or {!dedup_abort} (admission
+    failure — the client may retry and succeed later). *)
+
+val dedup_commit : t -> client_id:int -> seq:int -> string -> unit
+(** Record the encoded response for a [Fresh] key. *)
+
+val dedup_abort : t -> client_id:int -> seq:int -> unit
+(** Release a [Fresh] key without an answer (the request was shed,
+    timed out pre-execution, or rejected in degraded mode). *)
+
+val dedup_clients : t -> int
+(** Clients currently tracked by the window. *)
+
+(** {1 Degraded-mode recovery} *)
+
+val lives_ok : t -> bool
+(** [false] if any live table's backing store is poisoned (failed
+    commit, e.g. [ENOSPC]) — the catalog-level cue for degraded mode. *)
+
+val recover_lives : t -> (string * exn) list
+(** Try {!Sqp_btree.Live.recover} on every live table; the tables that
+    {e still} fail, with their errors (empty list = fully recovered). *)
+
 (** {1 Statistics and caches}
 
     The catalog's only mutable metadata: optimizer statistics written

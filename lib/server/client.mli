@@ -1,40 +1,98 @@
-(** A blocking client for the {!Protocol} wire format — the library
-    under [sqp shell] and [sqp bench-net], and the far end the
-    end-to-end tests drive.
+(** A blocking, self-healing client for the {!Protocol} wire format —
+    the library under [sqp shell] and [sqp bench-net], and the far end
+    the end-to-end and chaos tests drive.
 
     One connection carries one request at a time (the protocol has no
     frame multiplexing); for concurrency, open one client per thread.
-    Transport failures raise {!Disconnected}; {e protocol}-level
-    failures are ordinary values — the typed [Error] responses the
-    server answers with ([Overloaded], [Timed_out], ...). *)
+
+    {b Retries and exactly-once.}  A torn connection (reset, EOF
+    mid-frame, EPIPE) does not fail the call: the client reconnects and
+    retries under jittered exponential backoff — until the caller's
+    [deadline_ms] budget runs out when one was given, else up to
+    [max_attempts] attempts.  Every retry of a mutation ([insert],
+    [delete], [create_index]) carries the {e same} idempotency key
+    [(client_id, request_seq)], so the server's dedup window applies the
+    batch at most once and answers the replay with the original [Ack] —
+    a retried insert that actually landed the first time is {e not}
+    applied twice.  [Overloaded] / [Shutting_down] answers are also
+    retried, but only while a deadline budget remains (without one they
+    surface immediately).
+
+    Failures are ordinary values, never exceptions: {!Remote} carries
+    the server's typed error, {!Transport} what the socket did and how
+    many attempts were spent.  Only {!connect} itself still raises
+    ([Unix.Unix_error]) — an unreachable server at startup is a
+    configuration error, not a retryable condition. *)
 
 type t
 
-exception Disconnected of string
-(** The TCP stream died or the peer sent an undecodable frame. *)
+type error =
+  | Remote of { code : Protocol.error_code; message : string }
+      (** the server answered with a typed [Error] response *)
+  | Transport of { attempts : int; message : string }
+      (** the transport failed and retries were exhausted; [attempts]
+          counts tries of this one logical call *)
 
-val connect : ?host:string -> port:int -> unit -> t
-(** [host] defaults to ["127.0.0.1"].
-    @raise Unix.Unix_error if the connection is refused. *)
+val error_to_string : error -> string
+(** One human-readable line, e.g.
+    ["transport failure after 4 attempts: read failed: ECONNRESET"]. *)
+
+type 'a reply = ('a, error) result
+
+val connect :
+  ?host:string ->
+  ?client_id:int ->
+  ?max_attempts:int ->
+  ?wrap:(Unix.file_descr -> Protocol.io) ->
+  port:int ->
+  unit ->
+  t
+(** [host] defaults to ["127.0.0.1"].  [client_id] (default: a fresh
+    collision-unlikely random id) names this client in idempotency keys
+    — pin it to make chaos runs deterministic.  [max_attempts] (default
+    4, min 1) bounds transport retries for calls {e without} a deadline.
+    [wrap] interposes on every socket this client opens (reconnects
+    included), e.g. {!Faulty_net.wrap} for fault injection.
+    @raise Unix.Unix_error if the connection is refused.
+    @raise Invalid_argument if [max_attempts < 1]. *)
 
 val close : t -> unit
 (** Idempotent. *)
 
-val with_connect : ?host:string -> port:int -> (t -> 'a) -> 'a
+val with_connect :
+  ?host:string ->
+  ?client_id:int ->
+  ?max_attempts:int ->
+  ?wrap:(Unix.file_descr -> Protocol.io) ->
+  port:int ->
+  (t -> 'a) ->
+  'a
 (** Connect, run, always close. *)
 
-val call : ?deadline_ms:int -> t -> Protocol.request -> Protocol.response
-(** Send one request, wait for its response.  [deadline_ms] is shipped
-    in the frame and enforced by the server.
-    @raise Disconnected on transport failure. *)
+val client_id : t -> int
+(** The id this client stamps into idempotency keys. *)
+
+val retries : t -> int
+(** Attempts beyond the first across all calls so far (transport retries
+    plus [Overloaded]/[Shutting_down] waits). *)
+
+val reconnects : t -> int
+(** Connections re-dialed after the initial one. *)
+
+val call : ?deadline_ms:int -> t -> Protocol.request -> Protocol.response reply
+(** Send one request and wait for its response, retrying as described
+    above.  [deadline_ms] is the total budget for the logical call; each
+    attempt ships the {e remaining} budget so the server never spends
+    time the caller no longer has.  Mutation requests are automatically
+    assigned their idempotency key.  The response is never
+    [Protocol.Error] — typed errors come back as [Error (Remote _)]. *)
 
 (** {1 Typed conveniences}
 
-    Each returns [Error (code, message)] when the server answered with
-    a typed error, and raises {!Disconnected} if the response kind does
-    not match the request (a protocol violation). *)
-
-type 'a reply = ('a, Protocol.error_code * string) result
+    Each returns [Error (Remote _)] when the server answered with a
+    typed error, [Error (Transport _)] when the transport gave out (or
+    the response kind does not match the request — a protocol
+    violation). *)
 
 val range_search :
   ?deadline_ms:int -> t -> lo:int array -> hi:int array ->
@@ -53,12 +111,13 @@ val analyze :
 val insert :
   ?deadline_ms:int -> t -> table:string -> (int array * int) list ->
   (int * int) reply
-(** Append [(point, id)] entries to a live table; [(applied, seq)]. *)
+(** Append [(point, id)] entries to a live table; [(applied, seq)].
+    Exactly-once under retries. *)
 
 val delete :
   ?deadline_ms:int -> t -> table:string -> int array list -> (int * int) reply
 (** Remove the first entry at each exact point; [applied] counts the
-    points actually present. *)
+    points actually present.  Exactly-once under retries. *)
 
 val create_index : ?deadline_ms:int -> t -> table:string -> (int * int) reply
 (** Online index rebuild; [(entry count of the finished index, seq)]. *)
@@ -75,3 +134,10 @@ val live_range :
     order. *)
 
 val health : t -> Protocol.health reply
+(** Liveness, load and {e mode} (["serving"] / ["draining"] /
+    ["degraded: <reason>"]). *)
+
+val recover : t -> string reply
+(** Ask a degraded server to reopen its poisoned stores and resume
+    mutations; [Error (Remote { code = Degraded; _ })] if they are
+    still sick. *)

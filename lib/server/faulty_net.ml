@@ -1,0 +1,126 @@
+(* Deterministic fault injection for socket I/O — Faulty_io's sibling
+   for the wire.  A plan wraps a connected descriptor's Protocol.io so
+   every frame read/write can suffer EINTR, short transfers, injected
+   latency, or a mid-frame connection reset, reproducibly from a seed. *)
+
+(* SplitMix64, same construction as Faulty_io: plans are a pure function
+   of their seed with no dependency on [Random]'s global state. *)
+type rng = { mutable s : int64 }
+
+let next_i64 r =
+  r.s <- Int64.add r.s 0x9E3779B97F4A7C15L;
+  let z = r.s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let unit_float r =
+  Int64.to_float (Int64.shift_right_logical (next_i64 r) 11) /. 9007199254740992.0
+
+let rand_int r n =
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_i64 r) 1) (Int64.of_int n))
+
+let chance r p = p > 0.0 && unit_float r < p
+
+type seeded_spec = {
+  p_eintr : float;
+  p_short : float;
+  p_delay : float;
+  delay_s : float;
+  p_reset : float;
+  seed : int;
+}
+
+type plan =
+  | Passthrough
+  | Seeded of { spec : seeded_spec; mutable conns : int }
+  | Kill_after of { ops : int; mutable conns : int }
+
+let none = Passthrough
+
+let seeded ?(p_eintr = 0.0) ?(p_short = 0.0) ?(p_delay = 0.0) ?(delay_s = 0.001)
+    ?(p_reset = 0.0) ~seed () =
+  Seeded { spec = { p_eintr; p_short; p_delay; delay_s; p_reset; seed }; conns = 0 }
+
+let kill_after ops =
+  if ops < 0 then invalid_arg "Faulty_net.kill_after: negative operation index";
+  Kill_after { ops; conns = 0 }
+
+(* Per-connection state: each [wrap] gets its own logical-op clock and
+   its own deterministic stream (seed mixed with the connection index),
+   so a client that reconnects after a kill faces the same plan afresh —
+   and a schedule is replayable from (seed, connection index, op). *)
+type conn = {
+  fd : Unix.file_descr;
+  rng : rng;
+  kill_at : int;  (* kill the connection at this logical op; -1 = never *)
+  spec : seeded_spec option;
+  mutable ops : int;
+  mutable killed : bool;
+}
+
+let reset conn ~op =
+  conn.killed <- true;
+  (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  let error = if op = "read" then Unix.ECONNRESET else Unix.EPIPE in
+  raise (Unix.Unix_error (error, op, "faulty_net"))
+
+(* One logical op = one io.read or io.write call. *)
+let gate conn ~op =
+  if conn.killed then reset conn ~op;
+  let k = conn.ops in
+  conn.ops <- k + 1;
+  if conn.kill_at >= 0 && k >= conn.kill_at then reset conn ~op;
+  match conn.spec with
+  | None -> None
+  | Some spec ->
+      if chance conn.rng spec.p_reset then reset conn ~op;
+      if chance conn.rng spec.p_eintr then
+        raise (Unix.Unix_error (Unix.EINTR, op, "faulty_net"));
+      if chance conn.rng spec.p_delay then Thread.delay spec.delay_s;
+      Some spec
+
+let shorten conn spec len =
+  if len > 1 && chance conn.rng spec.p_short then 1 + rand_int conn.rng (len - 1)
+  else len
+
+let wrap plan fd =
+  let base = Protocol.io_of_fd fd in
+  match plan with
+  | Passthrough -> base
+  | Seeded _ | Kill_after _ ->
+      let kill_at, spec, conn_seed =
+        match plan with
+        | Passthrough -> assert false
+        | Seeded s ->
+            s.conns <- s.conns + 1;
+            (-1, Some s.spec, (s.spec.seed * 0x9e3779b1) + s.conns)
+        | Kill_after k ->
+            k.conns <- k.conns + 1;
+            (k.ops, None, 0)
+      in
+      let conn =
+        { fd; rng = { s = Int64.of_int conn_seed }; kill_at; spec; ops = 0; killed = false }
+      in
+      {
+        Protocol.read =
+          (fun buf pos len ->
+            let len =
+              match gate conn ~op:"read" with
+              | None -> len
+              | Some spec -> shorten conn spec len
+            in
+            base.Protocol.read buf pos len);
+        write =
+          (fun buf pos len ->
+            let len =
+              match gate conn ~op:"write" with
+              | None -> len
+              | Some spec -> shorten conn spec len
+            in
+            base.Protocol.write buf pos len);
+        wait_read =
+          (fun timeout -> if conn.killed then true else base.Protocol.wait_read timeout);
+        wait_write =
+          (fun timeout -> if conn.killed then true else base.Protocol.wait_write timeout);
+      }

@@ -1,6 +1,6 @@
 module Wire = Sqp_relalg.Wire
 
-let version = 1
+let version = 2
 let default_max_frame_bytes = 8 * 1024 * 1024
 
 (* {1 Messages} *)
@@ -16,8 +16,15 @@ type request =
   | Create_index of { table : string }
   | Live_range of { table : string; lo : int array; hi : int array }
   | Refresh_stats
+  | Recover
 
-type request_frame = { deadline_ms : int option; request : request }
+type idem = { client_id : int; request_seq : int }
+
+type request_frame = {
+  deadline_ms : int option;
+  idem : idem option;
+  request : request;
+}
 
 type error_code =
   | Bad_request
@@ -27,6 +34,7 @@ type error_code =
   | Timed_out
   | Shutting_down
   | Server_error
+  | Degraded
 
 type health = {
   healthy : bool;
@@ -34,6 +42,7 @@ type health = {
   in_flight : int;
   queued : int;
   served : int;
+  mode : string;
 }
 
 type response =
@@ -52,6 +61,7 @@ let error_code_name = function
   | Timed_out -> "timed_out"
   | Shutting_down -> "shutting_down"
   | Server_error -> "server_error"
+  | Degraded -> "degraded"
 
 let error_code_byte = function
   | Bad_request -> 0
@@ -61,6 +71,7 @@ let error_code_byte = function
   | Timed_out -> 4
   | Shutting_down -> 5
   | Server_error -> 6
+  | Degraded -> 7
 
 let error_code_of_byte = function
   | 0 -> Bad_request
@@ -70,33 +81,57 @@ let error_code_of_byte = function
   | 4 -> Timed_out
   | 5 -> Shutting_down
   | 6 -> Server_error
+  | 7 -> Degraded
   | n -> raise (Wire.Corrupt (Printf.sprintf "unknown error code %d" n))
 
 (* {1 Payload codecs}
 
-   Payload = version:u8 | tag:u8 | body.  Request body opens with the
-   deadline (u32 milliseconds, 0 = none). *)
+   Request payload (v2) =
+     version:u8 | tag:u8 | deadline:u32 | idem:u8 [client:i64 seq:i64] | body
+   A version-1 payload is the same minus the idempotency block; decoders
+   accept both, encoders emit version 2. *)
 
 let write_int_array = Wire.write_int_array
 
 let read_int_array = Wire.read_int_array
 
-let encode_request { deadline_ms; request } =
+let request_tag = function
+  | Range_search _ -> 1
+  | Query _ -> 2
+  | Explain _ -> 3
+  | Analyze _ -> 4
+  | Health -> 5
+  | Insert _ -> 6
+  | Delete _ -> 7
+  | Create_index _ -> 8
+  | Live_range _ -> 9
+  | Refresh_stats -> 10
+  | Recover -> 11
+
+(* Tags allowed to carry an idempotency key: the live-table frames.  The
+   client only keys the true mutations (6-8), but a keyed 9 is harmless
+   (replaying a read is idempotent by definition). *)
+let idem_tag tag = tag >= 6 && tag <= 9
+
+let payload_version payload =
+  if String.length payload = 0 then 0 else Char.code payload.[0]
+
+let encode_request { deadline_ms; idem; request } =
   let b = Buffer.create 64 in
+  let tag = request_tag request in
+  (match idem with
+  | Some _ when not (idem_tag tag) ->
+      invalid_arg "Protocol.encode_request: idempotency key on a non-mutation frame"
+  | _ -> ());
   Wire.write_u8 b version;
-  Wire.write_u8 b
-    (match request with
-    | Range_search _ -> 1
-    | Query _ -> 2
-    | Explain _ -> 3
-    | Analyze _ -> 4
-    | Health -> 5
-    | Insert _ -> 6
-    | Delete _ -> 7
-    | Create_index _ -> 8
-    | Live_range _ -> 9
-    | Refresh_stats -> 10);
+  Wire.write_u8 b tag;
   Wire.write_u32 b (match deadline_ms with None -> 0 | Some ms -> max 1 ms);
+  (match idem with
+  | None -> Wire.write_u8 b 0
+  | Some { client_id; request_seq } ->
+      Wire.write_u8 b 1;
+      Wire.write_i64 b client_id;
+      Wire.write_i64 b request_seq);
   (match request with
   | Range_search { lo; hi } ->
       write_int_array b lo;
@@ -115,7 +150,8 @@ let encode_request { deadline_ms; request } =
       Wire.write_string b table;
       write_int_array b lo;
       write_int_array b hi
-  | Refresh_stats -> ());
+  | Refresh_stats -> ()
+  | Recover -> ());
   Buffer.contents b
 
 let decode_request payload =
@@ -124,15 +160,34 @@ let decode_request payload =
   else
     let c = Wire.cursor payload in
     let ver = Wire.read_u8 c in
-    if ver <> version then
+    if ver <> 1 && ver <> version then
       Stdlib.Error
         ( Unsupported_version,
-          Printf.sprintf "protocol version %d; this server speaks %d" ver version )
+          Printf.sprintf "protocol version %d; this server speaks %d (and 1)" ver
+            version )
     else
       let tag = Wire.read_u8 c in
       match
         let deadline_ms =
           match Wire.read_u32 c with 0 -> None | ms -> Some ms
+        in
+        let idem =
+          if ver < 2 then None
+          else
+            match Wire.read_u8 c with
+            | 0 -> None
+            | 1 ->
+                if not (idem_tag tag) then
+                  raise
+                    (Wire.Corrupt
+                       (Printf.sprintf
+                          "idempotency key on request tag %d (only 6-9 may carry one)"
+                          tag));
+                let client_id = Wire.read_i64 c in
+                let request_seq = Wire.read_i64 c in
+                Some { client_id; request_seq }
+            | n ->
+                raise (Wire.Corrupt (Printf.sprintf "bad idempotency flag %d" n))
         in
         let request =
           match tag with
@@ -167,17 +222,20 @@ let decode_request payload =
                 raise (Wire.Corrupt "lo/hi dimensionality mismatch");
               Live_range { table; lo; hi }
           | 10 -> Refresh_stats
+          | 11 -> Recover
           | t -> raise (Wire.Corrupt (Printf.sprintf "unknown request tag %d" t))
         in
         if not (Wire.at_end c) then raise (Wire.Corrupt "trailing bytes");
-        { deadline_ms; request }
+        { deadline_ms; idem; request }
       with
       | frame -> Stdlib.Ok frame
       | exception Wire.Corrupt m -> Stdlib.Error (Bad_request, m)
 
-let encode_response resp =
+let encode_response ?version:(ver = version) resp =
+  if ver <> 1 && ver <> version then
+    invalid_arg (Printf.sprintf "Protocol.encode_response: unknown version %d" ver);
   let b = Buffer.create 256 in
-  Wire.write_u8 b version;
+  Wire.write_u8 b ver;
   (match resp with
   | Rows r ->
       Wire.write_u8 b 1;
@@ -195,8 +253,15 @@ let encode_response resp =
       Wire.write_string b h.detail;
       Wire.write_i64 b h.in_flight;
       Wire.write_i64 b h.queued;
-      Wire.write_i64 b h.served
+      Wire.write_i64 b h.served;
+      if ver >= 2 then Wire.write_string b h.mode
   | Error { code; message } ->
+      (* A v1 peer has no byte for [Degraded]; downgrade it to the
+         lowest common denominator with the mode in the message. *)
+      let code, message =
+        if ver < 2 && code = Degraded then (Server_error, "degraded: " ^ message)
+        else (code, message)
+      in
       Wire.write_u8 b 5;
       Wire.write_u8 b (error_code_byte code);
       Wire.write_string b message
@@ -212,7 +277,7 @@ let decode_response payload =
     let c = Wire.cursor payload in
     match
       let ver = Wire.read_u8 c in
-      if ver <> version then
+      if ver <> 1 && ver <> version then
         raise (Wire.Corrupt (Printf.sprintf "unsupported response version %d" ver));
       let resp =
         match Wire.read_u8 c with
@@ -228,7 +293,8 @@ let decode_response payload =
             let in_flight = Wire.read_i64 c in
             let queued = Wire.read_i64 c in
             let served = Wire.read_i64 c in
-            Health_report { healthy; detail; in_flight; queued; served }
+            let mode = if ver >= 2 then Wire.read_string c else "" in
+            Health_report { healthy; detail; in_flight; queued; served; mode }
         | 5 ->
             let code = error_code_of_byte (Wire.read_u8 c) in
             let message = Wire.read_string c in
@@ -247,52 +313,104 @@ let decode_response payload =
 
 (* {1 Frame I/O} *)
 
-type read_error = Eof | Truncated | Oversized of int
+type read_error =
+  | Eof
+  | Truncated
+  | Oversized of int
+  | Stalled of { mid_frame : bool }
 
 let read_error_to_string = function
   | Eof -> "clean end of stream"
   | Truncated -> "stream ended mid-frame"
   | Oversized n -> Printf.sprintf "advertised payload of %d bytes out of range" n
+  | Stalled { mid_frame = true } -> "peer stalled mid-frame"
+  | Stalled { mid_frame = false } -> "idle timeout waiting for a frame"
 
 let rec retry_intr f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
 
-(* Read exactly [n] bytes: [Ok bytes], or [Error read] if the stream
-   ended after [read] bytes. *)
-let really_read fd n =
+type io = {
+  read : bytes -> int -> int -> int;
+  write : bytes -> int -> int -> int;
+  wait_read : float -> bool;
+  wait_write : float -> bool;
+}
+
+let io_of_fd fd =
+  {
+    read = (fun buf pos len -> Unix.read fd buf pos len);
+    (* [single_write], not [write]: [Unix.write] loops until the whole
+       buffer is gone, which would let one large frame sail past the
+       select-based write deadline. *)
+    write = (fun buf pos len -> Unix.single_write fd buf pos len);
+    wait_read =
+      (fun timeout ->
+        match retry_intr (fun () -> Unix.select [ fd ] [] [] timeout) with
+        | r, _, _ -> r <> []);
+    wait_write =
+      (fun timeout ->
+        match retry_intr (fun () -> Unix.select [] [ fd ] [] timeout) with
+        | _, w, _ -> w <> []);
+  }
+
+let now () = Unix.gettimeofday ()
+
+(* Read exactly [n] bytes through [io] before [deadline] (absolute;
+   [None] = no limit): the bytes, or how far we got when the stream
+   ended or the peer stalled.  [EINTR] retries; a ready-then-blocking
+   descriptor is tolerated (we only [read] after [wait_read]). *)
+let really_read_io io ?deadline n =
   let buf = Bytes.create n in
   let rec go off =
-    if off = n then Stdlib.Ok (Bytes.unsafe_to_string buf)
+    if off = n then `Ok (Bytes.unsafe_to_string buf)
     else
-      match retry_intr (fun () -> Unix.read fd buf off (n - off)) with
-      | 0 -> Stdlib.Error off
-      | k -> go (off + k)
+      let budget = match deadline with None -> -1.0 | Some d -> d -. now () in
+      if (match deadline with Some _ -> budget <= 0.0 | None -> false) then
+        `Stalled off
+      else if not (io.wait_read budget) then `Stalled off
+      else
+        match io.read buf off (n - off) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | 0 -> `Eof off
+        | k -> go (off + k)
   in
   go 0
 
-let read_frame ?(max_bytes = default_max_frame_bytes) fd =
-  match really_read fd 4 with
-  | Stdlib.Error 0 -> Stdlib.Error Eof
-  | Stdlib.Error _ -> Stdlib.Error Truncated
-  | Stdlib.Ok prefix ->
+let deadline_in = Option.map (fun s -> now () +. s)
+
+let read_frame_io ?(max_bytes = default_max_frame_bytes) ?idle_timeout
+    ?frame_timeout io =
+  match really_read_io io ?deadline:(deadline_in idle_timeout) 4 with
+  | `Eof 0 -> Stdlib.Error Eof
+  | `Eof _ -> Stdlib.Error Truncated
+  | `Stalled consumed -> Stdlib.Error (Stalled { mid_frame = consumed > 0 })
+  | `Ok prefix ->
       let byte i = Char.code prefix.[i] in
       let len = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
       if len < 2 || len > max_bytes then Stdlib.Error (Oversized len)
       else (
-        match really_read fd len with
-        | Stdlib.Error _ -> Stdlib.Error Truncated
-        | Stdlib.Ok payload -> Stdlib.Ok payload)
+        match really_read_io io ?deadline:(deadline_in frame_timeout) len with
+        | `Eof _ -> Stdlib.Error Truncated
+        | `Stalled _ -> Stdlib.Error (Stalled { mid_frame = true })
+        | `Ok payload -> Stdlib.Ok payload)
 
-let really_write fd s =
+let really_write_io io ?deadline s =
   let buf = Bytes.unsafe_of_string s in
   let n = Bytes.length buf in
   let rec go off =
-    if off < n then
-      let k = retry_intr (fun () -> Unix.write fd buf off (n - off)) in
-      go (off + k)
+    if off < n then begin
+      let budget = match deadline with None -> -1.0 | Some d -> d -. now () in
+      if
+        (match deadline with Some _ -> budget <= 0.0 | None -> false)
+        || not (io.wait_write budget)
+      then raise (Unix.Unix_error (Unix.ETIMEDOUT, "write_frame", ""));
+      match io.write buf off (n - off) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | k -> go (off + k)
+    end
   in
   go 0
 
-let write_frame fd payload =
+let write_frame_io ?timeout io payload =
   let n = String.length payload in
   if n < 2 || n > 0xffff_ffff then
     invalid_arg "Protocol.write_frame: payload length out of range";
@@ -301,7 +419,14 @@ let write_frame fd payload =
   Bytes.set prefix 1 (Char.chr ((n lsr 16) land 0xff));
   Bytes.set prefix 2 (Char.chr ((n lsr 8) land 0xff));
   Bytes.set prefix 3 (Char.chr (n land 0xff));
+  (* One deadline covers prefix + payload: a frame is written whole or
+     the connection is torn down by the caller. *)
+  let deadline = deadline_in timeout in
   (* One writev-style call would be nicer; two writes keep it simple and
      the kernel coalesces them (TCP_NODELAY is not set). *)
-  really_write fd (Bytes.unsafe_to_string prefix);
-  really_write fd payload
+  really_write_io io ?deadline (Bytes.unsafe_to_string prefix);
+  really_write_io io ?deadline payload
+
+let read_frame ?max_bytes fd = read_frame_io ?max_bytes (io_of_fd fd)
+
+let write_frame fd payload = write_frame_io (io_of_fd fd) payload

@@ -15,17 +15,26 @@
     so the server answers a typed {!constructor-Error} response and the
     session continues.
 
-    Version {!version} (= 1) is the only version either side speaks; a
-    request frame with a different version byte draws an
-    [Unsupported_version] error response (the error frame itself is
-    encoded at version 1, lowest-common-denominator style).
+    Version {!version} (= 2) adds the resilience header: after the
+    deadline, a request carries an optional {e idempotency key}
+    [(client_id, request_seq)] (flag byte 0/1, then two [i64]s),
+    permitted on the live-table tags 6-9.  The server's per-client dedup
+    window uses the key to answer a {e replayed} mutation with the
+    original [Ack] bytes instead of applying the batch again — the
+    foundation of the client's retry loop.  Decoders accept version 1
+    frames (same layout, no idempotency block) so old clients keep
+    working; responses are encoded at the requester's version.  A
+    request with any other version byte draws [Unsupported_version]
+    (the error frame itself encoded at version 2).
 
-    Requests carry a deadline in milliseconds (0 = none).  Responses
-    mirror requests; every request can also draw [Error].  Codecs are
-    total on hostile bytes: [decode_*] return [Result], never raise. *)
+    Requests carry a deadline in milliseconds (0 = none) — the
+    {e remaining} budget as seen by the client at send time, so the
+    server spends only what the caller still has.  Responses mirror
+    requests; every request can also draw [Error].  Codecs are total on
+    hostile bytes: [decode_*] return [Result], never raise. *)
 
 val version : int
-(** Protocol version, currently 1. *)
+(** Protocol version, currently 2.  Decoders also accept 1. *)
 
 val default_max_frame_bytes : int
 (** Reader-side payload cap, 8 MiB. *)
@@ -65,19 +74,44 @@ type request =
           [Range_search]/[Query]/[Explain]/[Analyze] requests.  Answered
           by [Text] with the statistics summary.  Admission-controlled
           like a query (it executes every catalog plan once). *)
+  | Recover
+      (** Admin frame: attempt to leave degraded mode — reopen any
+          poisoned live-table store (journal recovery) and, on success,
+          resume accepting mutations.  Bypasses admission control like
+          [Health].  Answered by [Text], or [Error Degraded] if the
+          stores are still sick. *)
 
-type request_frame = { deadline_ms : int option; request : request }
-(** What a request payload decodes to.  [deadline_ms] bounds queue wait
-    plus execution; expiry draws [Error Timed_out]. *)
+type idem = { client_id : int; request_seq : int }
+(** An idempotency key: [client_id] names a client instance (random,
+    collision-unlikely), [request_seq] its per-client monotone request
+    counter.  A client retries a mutation with the {e same} key until it
+    has an answer; the server's dedup window makes the pair
+    apply-at-most-once. *)
+
+type request_frame = {
+  deadline_ms : int option;
+      (** Remaining deadline budget in milliseconds; bounds queue wait
+          plus execution, expiry draws [Error Timed_out]. *)
+  idem : idem option;
+      (** Idempotency key; only on tags 6-9 (mutations and live reads),
+          [Bad_request] elsewhere. *)
+  request : request;
+}
+(** What a request payload decodes to. *)
 
 type error_code =
   | Bad_request  (** undecodable payload or malformed plan *)
-  | Unsupported_version  (** version byte <> {!version} *)
+  | Unsupported_version  (** version byte neither 1 nor {!version} *)
   | Unknown_relation  (** plan names a relation the catalog lacks *)
   | Overloaded  (** admission queue full: load was shed *)
   | Timed_out  (** the request's deadline expired *)
   | Shutting_down  (** server is draining; retry elsewhere *)
   | Server_error  (** execution raised; message has details *)
+  | Degraded
+      (** read-only degraded mode (disk full or runtime corruption):
+          mutations are rejected, reads keep serving.  Not sent to v1
+          peers — they see [Server_error] with a ["degraded: "] message
+          prefix. *)
 
 type health = {
   healthy : bool;
@@ -85,6 +119,9 @@ type health = {
   in_flight : int;  (** queries executing right now *)
   queued : int;  (** queries waiting for an execution slot *)
   served : int;  (** requests answered since startup *)
+  mode : string;
+      (** ["serving"], ["draining"] or ["degraded: <reason>"]; [""] when
+          the report came from a v1 server that predates modes. *)
 }
 
 type response =
@@ -97,7 +134,9 @@ type response =
   | Ack of { applied : int; seq : int }
       (** Result of a mutation: [applied] ops took effect, [seq] is the
           table's batch sequence number after the mutation (reads after
-          this sequence see the batch). *)
+          this sequence see the batch).  A replayed mutation (same
+          idempotency key) returns the {e original} [Ack], byte for
+          byte. *)
 
 val error_code_name : error_code -> string
 (** Stable lower-snake name, e.g. ["overloaded"]. *)
@@ -108,35 +147,83 @@ val error_code_name : error_code -> string
     body) — the length prefix belongs to the frame I/O below. *)
 
 val encode_request : request_frame -> string
+(** Always encodes at version {!version}.
+    @raise Invalid_argument if [idem] is set on a tag outside 6-9. *)
 
 val decode_request : string -> (request_frame, error_code * string) result
-(** [Error (Unsupported_version, _)] when the version byte differs,
+(** Accepts version 1 and {!version} payloads.
+    [Error (Unsupported_version, _)] on any other version byte,
     [Error (Bad_request, _)] on anything else malformed. *)
 
-val encode_response : response -> string
+val encode_response : ?version:int -> response -> string
+(** [version] defaults to {!version}; pass [1] to answer a v1 peer
+    (health loses [mode]; [Degraded] downgrades to [Server_error]).
+    @raise Invalid_argument on a version that is neither 1 nor 2. *)
 
 val decode_response : string -> (response, string) result
+(** Accepts version 1 and {!version} payloads. *)
+
+val payload_version : string -> int
+(** First byte of a payload (0 when empty): the peer's protocol version,
+    so a server can encode its reply at the requester's version without
+    decoding the frame twice. *)
 
 (** {1 Frame I/O}
 
-    Blocking reads/writes of whole frames on a file descriptor.  [EINTR]
-    is retried; short reads are completed or reported. *)
+    Blocking reads/writes of whole frames.  [EINTR] is retried; short
+    reads are completed or reported.  All I/O goes through an {!io}
+    record, so tests can thread a fault-injecting shim
+    ({!Faulty_net}) under every frame without touching this module. *)
+
+type io = {
+  read : bytes -> int -> int -> int;  (** [read buf pos len], as read(2) *)
+  write : bytes -> int -> int -> int;  (** as write(2) *)
+  wait_read : float -> bool;
+      (** Wait up to the given seconds (negative = forever) for
+          readability; [false] on timeout. *)
+  wait_write : float -> bool;  (** likewise for writability *)
+}
+(** A socket's I/O surface — the seam where fault injection and
+    timeouts plug in. *)
+
+val io_of_fd : Unix.file_descr -> io
+(** The honest implementation: read/write/select on the descriptor. *)
 
 type read_error =
   | Eof  (** clean end of stream before any byte of a frame *)
   | Truncated  (** the stream ended mid-frame *)
   | Oversized of int  (** advertised payload length out of \[2, max\] *)
+  | Stalled of { mid_frame : bool }
+      (** a timeout expired: [mid_frame] distinguishes a peer that went
+          quiet inside a frame (slow-loris, network partition) from one
+          that simply sent nothing (idle session) *)
 
 val read_error_to_string : read_error -> string
 
-val read_frame :
-  ?max_bytes:int -> Unix.file_descr -> (string, read_error) result
-(** Read one length-prefixed payload.  After [Oversized] the stream
-    position is unusable (the payload was not consumed); close the
-    connection. *)
+val read_frame_io :
+  ?max_bytes:int ->
+  ?idle_timeout:float ->
+  ?frame_timeout:float ->
+  io ->
+  (string, read_error) result
+(** Read one length-prefixed payload.  [idle_timeout] bounds the wait
+    for the frame to {e start} (through the 4-byte prefix);
+    [frame_timeout] separately bounds reading the payload once the
+    length is known — so a peer dribbling one byte per minute cannot pin
+    the reader.  After [Oversized] or [Stalled] the stream position is
+    unusable; close the connection. *)
 
-val write_frame : Unix.file_descr -> string -> unit
-(** Write the length prefix and payload.
+val write_frame_io : ?timeout:float -> io -> string -> unit
+(** Write the length prefix and payload; [timeout] bounds the whole
+    frame.
     @raise Invalid_argument if the payload exceeds [u32] or is shorter
     than 2 bytes.
-    @raise Unix.Unix_error as write(2) does, e.g. [EPIPE]. *)
+    @raise Unix.Unix_error as write(2) does (e.g. [EPIPE]), or
+    [ETIMEDOUT] if the timeout expires. *)
+
+val read_frame :
+  ?max_bytes:int -> Unix.file_descr -> (string, read_error) result
+(** [read_frame_io] over {!io_of_fd}, no timeouts. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** [write_frame_io] over {!io_of_fd}, no timeout. *)

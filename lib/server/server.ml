@@ -1,6 +1,7 @@
 module P = Protocol
 module R = Sqp_relalg
 module Metrics = Sqp_obs.Metrics
+module Storage_error = Sqp_storage.Storage_error
 
 type config = {
   host : string;
@@ -10,6 +11,9 @@ type config = {
   max_queue : int;
   max_frame_bytes : int;
   default_deadline_ms : int option;
+  idle_timeout_s : float option;
+  frame_timeout_s : float option;
+  session_io : (Unix.file_descr -> P.io) option;
   on_execute : unit -> unit;
 }
 
@@ -22,6 +26,9 @@ let default_config =
     max_queue = 32;
     max_frame_bytes = P.default_max_frame_bytes;
     default_deadline_ms = None;
+    idle_timeout_s = None;
+    frame_timeout_s = None;
+    session_io = None;
     on_execute = ignore;
   }
 
@@ -34,6 +41,7 @@ type t = {
   bound_port : int;
   mutable stopping : bool;
   mutable stopped : bool;
+  mutable degraded : string option;  (* read-only mode, with its reason *)
   mutable acceptor : Thread.t option;
   mutable sessions : (Unix.file_descr * Thread.t option ref) list;
       (* The thread slot is filled right after spawn; [stop] joins the
@@ -49,6 +57,10 @@ type t = {
   h_latency : Metrics.histogram;
   c_sessions : Metrics.counter;
   g_active_sessions : Metrics.gauge;
+  c_aborted_sessions : Metrics.counter;
+  c_idle_closed : Metrics.counter;
+  c_dedup_hits : Metrics.counter;
+  g_degraded : Metrics.gauge;
 }
 
 let port t = t.bound_port
@@ -58,14 +70,47 @@ let now = Unix.gettimeofday
 
 let expired = function None -> false | Some d -> now () >= d
 
+(* {1 Degraded mode}
+
+   ENOSPC (or runtime corruption) on a mutation flips the server
+   read-only: reads keep answering from memory, mutations draw the
+   typed [Degraded] error, health reports the mode.  The [Recover]
+   admin frame (or a restart) reopens the poisoned stores and flips
+   back. *)
+
+let degraded_reason t =
+  Mutex.lock t.m;
+  let d = t.degraded in
+  Mutex.unlock t.m;
+  d
+
+let enter_degraded t reason =
+  Mutex.lock t.m;
+  if t.degraded = None then t.degraded <- Some reason;
+  Mutex.unlock t.m;
+  Metrics.set_gauge t.g_degraded 1
+
+let leave_degraded t =
+  Mutex.lock t.m;
+  t.degraded <- None;
+  Mutex.unlock t.m;
+  Metrics.set_gauge t.g_degraded 0
+
+let storage_failure_message e =
+  match Storage_error.to_string e with
+  | Some s -> s
+  | None -> Printexc.to_string e
+
 (* {1 Execution}
 
    Plan failures must come back as typed errors, not dead sessions:
    unresolvable names map to [Unknown_relation], malformed plans
-   (missing attributes, clashing schemas) to [Bad_request], anything
-   else to [Server_error]. *)
+   (missing attributes, clashing schemas) to [Bad_request], storage
+   failures that make the store unwritable (disk full, corruption) flip
+   degraded mode and map to [Degraded], anything else to
+   [Server_error]. *)
 
-let guard f =
+let guard t f =
   try f () with
   | Sqp_relalg.Wire.Unknown_relation name ->
       P.Error
@@ -73,6 +118,14 @@ let guard f =
           code = P.Unknown_relation;
           message = Printf.sprintf "no relation %S in the catalog" name;
         }
+  | Storage_error.Io_error _ as e when Storage_error.is_disk_full e ->
+      let message = storage_failure_message e in
+      enter_degraded t ("disk full: " ^ message);
+      P.Error { code = P.Degraded; message = "entering read-only mode: " ^ message }
+  | Storage_error.Corrupt _ as e ->
+      let message = storage_failure_message e in
+      enter_degraded t ("corruption detected: " ^ message);
+      P.Error { code = P.Degraded; message = "entering read-only mode: " ^ message }
   | Invalid_argument m -> P.Error { code = P.Bad_request; message = m }
   | Not_found ->
       P.Error
@@ -151,13 +204,13 @@ let range_search t ~lo ~hi =
 let execute t request =
   match request with
   | P.Range_search { lo; hi } ->
-      guard (fun () ->
+      guard t (fun () ->
           ignore (Catalog.validate_bounds t.cat ~lo ~hi);
           P.Rows (range_search t ~lo ~hi))
   | P.Query wplan ->
-      guard (fun () -> P.Rows (R.Plan.run_in_pool t.pool (instantiate t wplan)))
+      guard t (fun () -> P.Rows (R.Plan.run_in_pool t.pool (instantiate t wplan)))
   | P.Explain wplan ->
-      guard (fun () ->
+      guard t (fun () ->
           let plan = instantiate t wplan in
           let parallelism = Sqp_parallel.Pool.domains t.pool in
           P.Text
@@ -165,7 +218,7 @@ let execute t request =
             | None -> R.Plan.explain ~parallelism plan
             | Some st -> O.Optimizer.explain ~parallelism st plan))
   | P.Analyze wplan ->
-      guard (fun () ->
+      guard t (fun () ->
           let plan = instantiate t wplan in
           let a = R.Plan.run_analyze_in_pool t.pool plan in
           let rendered =
@@ -178,23 +231,23 @@ let execute t request =
           in
           P.Analyzed { rendered; rows = a.R.Plan.result })
   | P.Refresh_stats ->
-      guard (fun () -> P.Text (O.Stats.summary (Catalog.analyze t.cat)))
+      guard t (fun () -> P.Text (O.Stats.summary (Catalog.analyze t.cat)))
   | P.Insert { table; points } ->
-      guard (fun () ->
+      guard t (fun () ->
           let lv = live_table t table in
           let seq, applied =
             Live.apply lv (List.map (fun (p, id) -> Live.Insert (p, id)) points)
           in
           P.Ack { applied; seq })
   | P.Delete { table; points } ->
-      guard (fun () ->
+      guard t (fun () ->
           let lv = live_table t table in
           let seq, applied =
             Live.apply lv (List.map (fun p -> Live.Delete p) points)
           in
           P.Ack { applied; seq })
   | P.Create_index { table } ->
-      guard (fun () ->
+      guard t (fun () ->
           let lv = live_table t table in
           let idx, seq = Live.rebuild_online lv in
           (* Cache it: packed reads dominate snapshot merges whenever the
@@ -202,7 +255,7 @@ let execute t request =
           Catalog.note_packed t.cat table idx seq;
           P.Ack { applied = Sqp_btree.Zindex.length idx; seq })
   | P.Live_range { table; lo; hi } ->
-      guard (fun () ->
+      guard t (fun () ->
           let lv = live_table t table in
           let space = Live.space lv in
           let dims = Sqp_zorder.Space.dims space in
@@ -222,86 +275,226 @@ let execute t request =
             | _ -> fst (Live.range_search (Live.snapshot lv) box)
           in
           P.Rows (live_rows space rows))
-  | P.Health -> assert false (* handled before admission *)
+  | P.Health | P.Recover -> assert false (* handled before admission *)
+
+let is_mutation = function
+  | P.Insert _ | P.Delete _ | P.Create_index _ -> true
+  | P.Range_search _ | P.Query _ | P.Explain _ | P.Analyze _ | P.Health
+  | P.Live_range _ | P.Refresh_stats | P.Recover ->
+      false
+
+let mode t =
+  match degraded_reason t with
+  | Some reason -> "degraded: " ^ reason
+  | None -> if t.stopping then "draining" else "serving"
 
 let health t =
   let healthy, detail = Catalog.health_detail t.cat in
+  let in_flight, queued, _draining = Admission.stats t.adm in
+  let degraded = degraded_reason t <> None in
   P.Health_report
     {
-      P.healthy = healthy && not t.stopping;
+      P.healthy = healthy && (not t.stopping) && not degraded;
       detail = (if t.stopping then detail ^ "; draining" else detail);
-      in_flight = Admission.in_flight t.adm;
-      queued = Admission.queued t.adm;
-      served =
-        Metrics.counter_value t.c_ok + Metrics.counter_value t.c_err;
+      in_flight;
+      queued;
+      served = Metrics.counter_value t.c_ok + Metrics.counter_value t.c_err;
+      mode = mode t;
     }
 
+(* The [Recover] admin frame: reopen any poisoned live-table store
+   (journal recovery decides which side of the failed commit the disk
+   landed on) and, if every store comes back, leave degraded mode.  A
+   no-op success on a healthy server. *)
+let recover t =
+  match Catalog.recover_lives t.cat with
+  | [] ->
+      leave_degraded t;
+      P.Text "recovered: all live stores healthy; accepting mutations"
+  | failures ->
+      let message =
+        String.concat "; "
+          (List.map
+             (fun (name, e) -> name ^ ": " ^ storage_failure_message e)
+             failures)
+      in
+      P.Error { code = P.Degraded; message = "recovery failed: " ^ message }
+
+(* One request payload in, one encoded response payload out.
+
+   Keyed requests (protocol v2 idempotency keys) pass through the
+   catalog's dedup window: a replay returns the original encoded bytes
+   without re-executing; a fresh key claims a slot that is committed
+   with the encoded response after execution — {e before} the
+   post-execution deadline check, so a mutation that applied but
+   overshot its deadline still leaves its [Ack] behind for the retry.
+   Admission-level failures (shed / queue timeout / draining / degraded
+   rejection) release the slot instead: the client may retry and
+   succeed later. *)
 let handle t payload =
   let arrival = now () in
   Metrics.incr t.c_requests;
-  let respond resp =
+  (* Encode the reply at the requester's version (a v1 peer cannot
+     decode v2 bytes). *)
+  let ver = if P.payload_version payload = 1 then 1 else P.version in
+  let record resp =
     Metrics.observe t.h_latency (int_of_float ((now () -. arrival) *. 1e6));
-    (match resp with
+    match resp with
     | P.Error _ -> Metrics.incr t.c_err
-    | _ -> Metrics.incr t.c_ok);
-    resp
+    | _ -> Metrics.incr t.c_ok
+  in
+  let finish resp =
+    record resp;
+    P.encode_response ~version:ver resp
   in
   match P.decode_request payload with
-  | Error (code, message) -> respond (P.Error { code; message })
-  | Ok { P.deadline_ms; request = P.Health } ->
-      ignore deadline_ms;
-      respond (health t)
-  | Ok { P.deadline_ms; request } -> (
+  | Error (code, message) -> finish (P.Error { code; message })
+  | Ok { P.request = P.Health; _ } -> finish (health t)
+  | Ok { P.request = P.Recover; _ } -> finish (recover t)
+  | Ok { P.deadline_ms; idem; request } -> (
       let deadline =
         match
-          (match deadline_ms with Some _ -> deadline_ms | None -> t.config.default_deadline_ms)
+          match deadline_ms with
+          | Some _ -> deadline_ms
+          | None -> t.config.default_deadline_ms
         with
         | Some ms -> Some (arrival +. (float_of_int ms /. 1000.))
         | None -> None
       in
-      match Admission.acquire ?deadline t.adm with
-      | Admission.Shed ->
-          respond
+      let idem_key =
+        match idem with
+        | Some { P.client_id; request_seq } -> Some (client_id, request_seq)
+        | None -> None
+      in
+      let abort_idem () =
+        match idem_key with
+        | Some (client_id, seq) -> Catalog.dedup_abort t.cat ~client_id ~seq
+        | None -> ()
+      in
+      let commit_idem bytes =
+        match idem_key with
+        | Some (client_id, seq) -> Catalog.dedup_commit t.cat ~client_id ~seq bytes
+        | None -> ()
+      in
+      (* Claim the key.  A concurrent duplicate (same key in flight on
+         another session) waits for the original to settle. *)
+      let rec claim () =
+        match idem_key with
+        | None -> `Execute
+        | Some (client_id, seq) -> (
+            match Catalog.dedup_begin t.cat ~client_id ~seq with
+            | Catalog.Fresh -> `Execute
+            | Catalog.Replay bytes -> `Replay bytes
+            | Catalog.Too_old -> `Too_old
+            | Catalog.In_flight ->
+                if expired deadline then `Expired
+                else begin
+                  Thread.delay 0.001;
+                  claim ()
+                end)
+      in
+      match claim () with
+      | `Replay bytes ->
+          (* Only settled non-error answers are committed to the window,
+             so a replay always counts as an ok response. *)
+          Metrics.incr t.c_dedup_hits;
+          Metrics.observe t.h_latency (int_of_float ((now () -. arrival) *. 1e6));
+          Metrics.incr t.c_ok;
+          bytes
+      | `Too_old ->
+          finish
             (P.Error
                {
-                 code = P.Overloaded;
-                 message =
-                   Printf.sprintf "load shed: %d in flight, queue of %d full"
-                     t.config.max_in_flight t.config.max_queue;
+                 code = P.Bad_request;
+                 message = "idempotency key below the dedup window";
                })
-      | Admission.Timed_out ->
-          respond
+      | `Expired ->
+          Metrics.incr t.c_timeouts;
+          finish
             (P.Error
-               { code = P.Timed_out; message = "deadline expired in queue" })
-      | Admission.Draining ->
-          respond
-            (P.Error { code = P.Shutting_down; message = "server is draining" })
-      | Admission.Admitted ->
-          Fun.protect
-            ~finally:(fun () -> Admission.release t.adm)
-            (fun () ->
-              t.config.on_execute ();
-              if expired deadline then begin
-                Metrics.incr t.c_timeouts;
-                respond
-                  (P.Error
-                     {
-                       code = P.Timed_out;
-                       message = "deadline expired before execution";
-                     })
-              end
-              else
-                let resp = execute t request in
-                if expired deadline then begin
-                  Metrics.incr t.c_timeouts;
-                  respond
+               {
+                 code = P.Timed_out;
+                 message = "deadline expired awaiting a duplicate in flight";
+               })
+      | `Execute -> (
+          match degraded_reason t with
+          | Some reason when is_mutation request ->
+              abort_idem ();
+              finish
+                (P.Error
+                   {
+                     code = P.Degraded;
+                     message = "server is read-only (degraded: " ^ reason ^ ")";
+                   })
+          | _ -> (
+              match Admission.acquire ?deadline t.adm with
+              | Admission.Shed ->
+                  abort_idem ();
+                  finish
                     (P.Error
                        {
-                         code = P.Timed_out;
-                         message = "deadline expired during execution";
+                         code = P.Overloaded;
+                         message =
+                           Printf.sprintf
+                             "load shed: %d in flight, queue of %d full"
+                             t.config.max_in_flight t.config.max_queue;
                        })
-                end
-                else respond resp))
+              | Admission.Timed_out ->
+                  abort_idem ();
+                  finish
+                    (P.Error
+                       { code = P.Timed_out; message = "deadline expired in queue" })
+              | Admission.Draining ->
+                  abort_idem ();
+                  finish
+                    (P.Error
+                       { code = P.Shutting_down; message = "server is draining" })
+              | Admission.Admitted -> (
+                  Fun.protect
+                    ~finally:(fun () -> Admission.release t.adm)
+                    (fun () ->
+                      match
+                        t.config.on_execute ();
+                        if expired deadline then begin
+                          abort_idem ();
+                          Metrics.incr t.c_timeouts;
+                          finish
+                            (P.Error
+                               {
+                                 code = P.Timed_out;
+                                 message = "deadline expired before execution";
+                               })
+                        end
+                        else begin
+                          let resp = execute t request in
+                          let bytes = P.encode_response ~version:ver resp in
+                          (* Only settled, re-sendable answers enter the
+                             window; errors release the key so a retry
+                             can run again (and maybe succeed). *)
+                          (match resp with
+                          | P.Error _ -> abort_idem ()
+                          | _ -> commit_idem bytes);
+                          if expired deadline then begin
+                            Metrics.incr t.c_timeouts;
+                            finish
+                              (P.Error
+                                 {
+                                   code = P.Timed_out;
+                                   message = "deadline expired during execution";
+                                 })
+                          end
+                          else begin
+                            record resp;
+                            bytes
+                          end
+                        end
+                      with
+                      | bytes -> bytes
+                      | exception e ->
+                          (* A hook or internal bug must not leave the
+                             key claimed forever. *)
+                          abort_idem ();
+                          raise e)))))
 
 (* {1 Sessions} *)
 
@@ -312,16 +505,30 @@ let unregister t fd =
   Mutex.unlock t.m
 
 let session t fd =
+  let io =
+    match t.config.session_io with Some wrap -> wrap fd | None -> P.io_of_fd fd
+  in
+  let aborted = ref false in
   let rec loop () =
-    match P.read_frame ~max_bytes:t.config.max_frame_bytes fd with
+    match
+      P.read_frame_io ~max_bytes:t.config.max_frame_bytes
+        ?idle_timeout:t.config.idle_timeout_s
+        ?frame_timeout:t.config.frame_timeout_s io
+    with
     | Error P.Eof -> ()
-    | Error P.Truncated -> Metrics.incr t.c_bad_frames
+    | Error P.Truncated ->
+        Metrics.incr t.c_bad_frames;
+        aborted := true
+    | Error (P.Stalled { mid_frame }) ->
+        (* Idle sessions are reaped quietly; a peer that went silent
+           inside a frame (slow-loris, partition) counts as aborted. *)
+        if mid_frame then aborted := true else Metrics.incr t.c_idle_closed
     | Error (P.Oversized n) ->
         (* The payload was not consumed, so the stream cannot be
            resynchronized: answer once (best effort) and hang up. *)
         Metrics.incr t.c_bad_frames;
         (try
-           P.write_frame fd
+           P.write_frame_io ?timeout:t.config.frame_timeout_s io
              (P.encode_response
                 (P.Error
                    {
@@ -329,14 +536,22 @@ let session t fd =
                      message = P.read_error_to_string (P.Oversized n);
                    }))
          with _ -> ())
+    | exception _ ->
+        (* Connection reset (or injected fault) mid-read. *)
+        aborted := true
     | Ok payload -> (
-        let resp = handle t payload in
-        match P.write_frame fd (P.encode_response resp) with
+        match
+          let bytes = handle t payload in
+          P.write_frame_io ?timeout:t.config.frame_timeout_s io bytes
+        with
         | () -> loop ()
-        | exception _ -> () (* client went away mid-response *))
+        | exception _ ->
+            (* client went away mid-response *)
+            aborted := true)
   in
   Fun.protect
     ~finally:(fun () ->
+      if !aborted then Metrics.incr t.c_aborted_sessions;
       (* Unregister first: once off the list, [stop] cannot touch this
          fd, so closing (and the OS reusing the number) is safe. *)
       unregister t fd;
@@ -400,6 +615,7 @@ let start ?(config = default_config) ?metrics cat =
       bound_port;
       stopping = false;
       stopped = false;
+      degraded = None;
       acceptor = None;
       sessions = [];
       m = Mutex.create ();
@@ -410,7 +626,11 @@ let start ?(config = default_config) ?metrics cat =
       c_timeouts = Metrics.counter reg "server.timeouts";
       h_latency = Metrics.histogram reg "server.latency_us";
       c_sessions = Metrics.counter reg "server.sessions";
-      g_active_sessions = Metrics.gauge reg "server.active_sessions";
+      g_active_sessions = Metrics.gauge reg "server.sessions.active";
+      c_aborted_sessions = Metrics.counter reg "server.sessions.aborted";
+      c_idle_closed = Metrics.counter reg "server.sessions.idle_closed";
+      c_dedup_hits = Metrics.counter reg "server.dedup.hits";
+      g_degraded = Metrics.gauge reg "server.degraded";
     }
   in
   t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());

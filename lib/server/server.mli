@@ -9,12 +9,32 @@
 
     Session lifecycle: [accept] → read frame → decode → (admission) →
     execute → respond → read next frame … until clean EOF, a framing
-    error, or server drain.  A payload that decodes to garbage draws a
-    typed [Bad_request] {e response} and the session continues; a frame
-    whose advertised length is unusable ends the session (the stream
-    cannot be resynchronized).  No client input can raise past the
-    session loop — the fuzz suite in [test/test_protocol.ml] and the
-    malformed-frame cases in [test/test_server.ml] hold it to that.
+    error, a session timeout, or server drain.  A payload that decodes
+    to garbage draws a typed [Bad_request] {e response} and the session
+    continues; a frame whose advertised length is unusable ends the
+    session (the stream cannot be resynchronized).  No client input can
+    raise past the session loop — the fuzz suite in
+    [test/test_protocol.ml], the malformed-frame cases in
+    [test/test_server.ml] and the fault-injected torture in
+    [test/test_chaos.ml] hold it to that.
+
+    {b Exactly-once mutations.}  Requests carrying a protocol v2
+    idempotency key pass through the catalog's dedup window
+    ({!Catalog.dedup_begin}): a replayed mutation — the client resent
+    because the connection died before the answer arrived — returns the
+    {e original} encoded [Ack] byte for byte instead of applying the
+    batch again.  Admission failures (shed, queue timeout, draining,
+    degraded rejection) release the key so a later retry can still
+    succeed; a mutation that applied but overshot its deadline commits
+    its [Ack] to the window {e before} answering [Timed_out], so the
+    retry is answered with the truth.
+
+    {b Degraded mode.}  [ENOSPC] or detected corruption while executing
+    a mutation flips the server read-only: reads keep serving, mutations
+    draw the typed [Degraded] error, health reports
+    [mode = "degraded: <reason>"].  The [Recover] admin frame reopens
+    the poisoned live-table stores (journal recovery) and resumes
+    mutations if every store comes back; a restart does the same.
 
     {!stop} drains gracefully: stop accepting, reject new queries with
     [Shutting_down], let in-flight queries finish and answer, then
@@ -31,6 +51,16 @@ type config = {
   max_frame_bytes : int;  (** per-frame payload cap *)
   default_deadline_ms : int option;
       (** applied when a request carries no deadline *)
+  idle_timeout_s : float option;
+      (** close a session that starts no frame for this long (reaps
+          leaked/forgotten connections); default [None] = wait forever *)
+  frame_timeout_s : float option;
+      (** bound reading one frame's payload and writing one response —
+          the slow-loris guard: a peer dribbling bytes cannot pin a
+          session thread; default [None] *)
+  session_io : (Unix.file_descr -> Protocol.io) option;
+      (** wrap every session's socket I/O, e.g. {!Faulty_net.wrap} for
+          chaos tests; default [None] = {!Protocol.io_of_fd} *)
   on_execute : unit -> unit;
       (** test/fault-injection hook, run while holding an admission slot
           just before plan execution; default [ignore] *)
@@ -38,18 +68,20 @@ type config = {
 
 val default_config : config
 (** [127.0.0.1:0], parallelism 2, 8 in flight, queue 32, 8 MiB frames,
-    no default deadline. *)
+    no default deadline, no session timeouts, honest socket I/O. *)
 
 type t
 
 val start : ?config:config -> ?metrics:Sqp_obs.Metrics.t -> Catalog.t -> t
 (** Bind, listen, spawn the acceptor, spawn the execution pool.
     [metrics] (default {!Sqp_obs.Metrics.global}) receives the serving
-    instruments: [server.requests], [server.responses.{ok,error}]
-    counters, [server.in_flight] / [server.queue_depth] /
-    [server.active_sessions] gauges, [server.latency_us] /
-    [server.queue_wait_us] histograms, [server.shed] /
-    [server.timeouts] / [server.bad_frames] counters.
+    instruments: [server.requests], [server.responses.{ok,error}],
+    [server.sessions], [server.sessions.aborted] (connection reset /
+    stalled mid-frame / write failure), [server.sessions.idle_closed],
+    [server.dedup.hits], [server.shed], [server.timeouts],
+    [server.bad_frames] counters; [server.in_flight],
+    [server.queue_depth], [server.sessions.active], [server.degraded]
+    gauges; [server.latency_us], [server.queue_wait_us] histograms.
     @raise Unix.Unix_error if the address cannot be bound. *)
 
 val port : t -> int

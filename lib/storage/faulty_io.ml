@@ -50,6 +50,11 @@ let seeded ?(p_eintr = 0.0) ?(p_short = 0.0) ?(p_eio = 0.0) ?(p_flip = 0.0) ~see
 
 let enospc_after budget = Enospc { budget }
 
+let refill_enospc injector bytes =
+  match injector with
+  | Enospc e -> e.budget <- e.budget + bytes
+  | Passthrough | Counting _ | Crash _ | Seeded _ -> ()
+
 let op_count = function
   | Counting c -> c.ops
   | Crash c -> c.ops

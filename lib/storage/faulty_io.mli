@@ -67,6 +67,10 @@ val enospc_after : int -> injector
 (** Writes succeed until [n] bytes have been written, then raise
     [ENOSPC] (which the retry loop treats as fatal). *)
 
+val refill_enospc : injector -> int -> unit
+(** Grow an {!enospc_after} plan's remaining byte budget — "space was
+    freed" in a degraded-mode drill.  A no-op on every other plan. *)
+
 val op_count : injector -> int
 (** Logical mutating operations seen so far (0 for plans that do not
     count). *)

@@ -60,6 +60,10 @@ let check_open t = if t.closed then invalid_arg "File_pager: store is closed"
 
 let path t = t.path
 
+let injector t = t.injector
+
+let is_closed t = t.closed
+
 let page_bytes t = t.page_bytes
 
 let page_count t = t.live

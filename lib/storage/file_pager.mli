@@ -44,6 +44,14 @@ val open_existing : ?io:Faulty_io.injector -> string -> t
 
 val path : t -> string
 
+val injector : t -> Faulty_io.injector
+(** The fault plan this store was opened with (so a caller reopening a
+    poisoned handle can keep the same plan). *)
+
+val is_closed : t -> bool
+(** [true] after {!close} or after a failed {!commit_batch} poisoned the
+    handle — the cue that recovery means {!open_existing} at {!path}. *)
+
 val page_bytes : t -> int
 
 val page_count : t -> int

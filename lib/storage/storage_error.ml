@@ -7,6 +7,10 @@ let corrupt ~path ?slot what = raise (Corrupt { path; slot; what })
 
 let io_error ~path ~op ~attempts error = raise (Io_error { path; op; error; attempts })
 
+let is_disk_full = function
+  | Io_error { error = Unix.ENOSPC; _ } -> true
+  | _ -> false
+
 let to_string = function
   | Corrupt { path; slot; what } ->
       let where =

@@ -23,6 +23,10 @@ val corrupt : path:string -> ?slot:int -> string -> 'a
 val io_error : path:string -> op:string -> attempts:int -> Unix.error -> 'a
 (** Raise {!Io_error}. *)
 
+val is_disk_full : exn -> bool
+(** [true] exactly for an {!Io_error} caused by [ENOSPC] — the trigger
+    for a server's read-only degraded mode. *)
+
 val to_string : exn -> string option
 (** A human-readable rendering of the two exceptions above; [None] for
     anything else. *)

@@ -1,0 +1,394 @@
+(* Chaos torture for the serving stack.
+
+   The heart is a differential: concurrent clients drive a mixed
+   mutation/read workload through a real loopback server whose sockets
+   suffer seeded faults — EINTR, short transfers, injected latency, and
+   mid-frame connection resets — while each client transparently
+   reconnects and retries under its idempotency keys.  Every client
+   works a disjoint stripe of the grid, so the final table state is
+   independent of interleaving and must equal the in-memory oracle
+   exactly; every acked single-op batch must have consumed exactly one
+   sequence number (applied exactly once, despite the retries).  All
+   fault schedules are pure functions of their seed: a failing run
+   reproduces from the seed in the message.  Seeds come from
+   SQP_CHAOS_SEEDS (comma-separated) when set.
+
+   Around the differential: a deterministic kill-every-connection plan
+   (progress purely via reconnect + replay), and a degraded-mode drill —
+   ENOSPC mid-batch flips the server read-only, reads keep serving,
+   recovery is refused while the disk is still full and succeeds after
+   space is freed, with every pre-failure ack still present. *)
+
+module P = Sqp_server.Protocol
+module Client = Sqp_server.Client
+module Server = Sqp_server.Server
+module Catalog = Sqp_server.Catalog
+module Faulty_net = Sqp_server.Faulty_net
+module Faulty_io = Sqp_storage.Faulty_io
+module Journal = Sqp_storage.Journal
+module Live = Sqp_btree.Live
+module Space = Sqp_zorder.Space
+module M = Sqp_obs.Metrics
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let seeds =
+  match Sys.getenv_opt "SQP_CHAOS_SEEDS" with
+  | None | Some "" -> [ 1; 7; 42 ]
+  | Some s -> (
+      match String.split_on_char ',' s |> List.filter_map int_of_string_opt with
+      | [] -> [ 1; 7; 42 ]
+      | l -> l)
+
+(* A small dedicated grid: 2 dimensions, 64 positions per axis. *)
+let space = Space.make ~dims:2 ~depth:6
+let side = 64
+
+let fresh_catalog () =
+  let lv = Live.create ~encode:string_of_int ~decode:int_of_string space in
+  (Catalog.make ~lives:[ ("T", lv) ] ~space ~points:[] ~relations:[] (), lv)
+
+let with_chaos_server ?(config = Server.default_config) f =
+  let catalog, lv = fresh_catalog () in
+  let metrics = M.create () in
+  let server = Server.start ~config ~metrics catalog in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () -> f server metrics lv)
+
+let entry_list entries =
+  List.sort compare (List.map (fun (p, id) -> (Array.to_list p, id)) entries)
+
+(* {1 The differential torture} *)
+
+let n_clients = 4
+let ops_per_client = 30
+let stripe = side / n_clients
+
+(* Client [c]'s [j]-th point.  Within one client all points are
+   distinct for [j < 64] (x repeats mod 16, y = 7j mod 64 repeats mod
+   64, so a collision needs j1 = j2 mod 64); across clients the x
+   stripes are disjoint.  Deletes therefore only ever touch the
+   deleting client's own entries and the final state commutes. *)
+let point_of c j = [| (c * stripe) + (j mod stripe); 7 * j mod side |]
+
+let torture_seed seed =
+  let config =
+    {
+      Server.default_config with
+      max_in_flight = 4;
+      max_queue = 256;
+      idle_timeout_s = Some 10.0;
+      frame_timeout_s = Some 10.0;
+    }
+  in
+  with_chaos_server ~config (fun server _metrics lv ->
+      let port = Server.port server in
+      let acked = Atomic.make 0 in
+      let retries = Atomic.make 0 in
+      let first_failure = Atomic.make None in
+      let fail c j what msg =
+        let m =
+          Printf.sprintf "seed %d client %d op %d: %s: %s" seed c j what msg
+        in
+        ignore (Atomic.compare_and_set first_failure None (Some m))
+      in
+      let survivors = Array.make n_clients [] in
+      let client_thread c =
+        let plan =
+          Faulty_net.seeded ~p_eintr:0.05 ~p_short:0.3 ~p_delay:0.05
+            ~delay_s:0.0005 ~p_reset:0.08
+            ~seed:((seed * 97) + c)
+            ()
+        in
+        Client.with_connect ~port
+          ~client_id:((seed * 1000) + c)
+          ~max_attempts:400 ~wrap:(Faulty_net.wrap plan)
+          (fun cl ->
+            let mine = ref [] in
+            for j = 0 to ops_per_client - 1 do
+              if Atomic.get first_failure = None then
+                if j mod 5 = 4 && !mine <> [] then (
+                  (* delete the oldest of our own living points *)
+                  match !mine with
+                  | [] -> ()
+                  | (dp, _) :: rest -> (
+                      match Client.delete cl ~table:"T" [ dp ] with
+                      | Ok (applied, _) ->
+                          Atomic.incr acked;
+                          if applied <> 1 then
+                            fail c j "delete"
+                              (Printf.sprintf "applied %d, expected 1" applied)
+                          else mine := rest
+                      | Error e -> fail c j "delete" (Client.error_to_string e)))
+                else if j mod 5 = 3 then (
+                  (* a snapshot read through the faulty wire must simply
+                     answer; its contents are inherently racy mid-run *)
+                  match
+                    Client.live_range cl ~table:"T" ~lo:[| 0; 0 |]
+                      ~hi:[| side - 1; side - 1 |]
+                  with
+                  | Ok _ -> ()
+                  | Error e -> fail c j "live_range" (Client.error_to_string e))
+                else
+                  let p = point_of c j in
+                  let id = (c * 1_000_000) + j in
+                  match Client.insert cl ~table:"T" [ (p, id) ] with
+                  | Ok (applied, _) ->
+                      Atomic.incr acked;
+                      if applied <> 1 then
+                        fail c j "insert"
+                          (Printf.sprintf "applied %d, expected 1" applied)
+                      else mine := !mine @ [ (p, id) ]
+                  | Error e -> fail c j "insert" (Client.error_to_string e)
+            done;
+            survivors.(c) <- !mine;
+            Atomic.fetch_and_add retries (Client.retries cl) |> ignore)
+      in
+      let threads =
+        List.init n_clients (fun c -> Thread.create client_thread c)
+      in
+      List.iter Thread.join threads;
+      (match Atomic.get first_failure with
+      | Some m -> Alcotest.fail m
+      | None -> ());
+      (* exactly-once: every acked single-op batch consumed exactly one
+         sequence number — a retried mutation never applied twice *)
+      checki
+        (Printf.sprintf "seed %d: table seq = acked mutations" seed)
+        (Atomic.get acked) (Live.seq lv);
+      (* the final state is the oracle's, bit for bit *)
+      let expected =
+        entry_list (List.concat (Array.to_list survivors))
+      in
+      let got = entry_list (Live.snapshot_entries (Live.snapshot lv)) in
+      checkb
+        (Printf.sprintf "seed %d: final state matches the oracle (%d retries)"
+           seed (Atomic.get retries))
+        true
+        (expected = got))
+
+let test_differential () = List.iter torture_seed seeds
+
+(* {1 The workload_gen differential}
+
+   The shared seeded mixed-op generator (the crash/ingest suites'
+   schedules), replayed over the faulty wire by one client against the
+   in-memory oracle, op for op: every acked applied count must match
+   the oracle's, every wire read the oracle's cardinality, and the
+   final table state the oracle's scan — entries, payloads and z order,
+   bit for bit.  A double-applied retry (extra insert, extra delete)
+   cannot survive this comparison. *)
+
+module WG = Workload_gen
+
+let workload_seed seed =
+  with_chaos_server (fun server _metrics lv ->
+      let port = Server.port server in
+      let ops = WG.generate ~side ~dims:2 ~seed ~n:120 () in
+      let oracle = WG.Oracle.create space in
+      let plan =
+        Faulty_net.seeded ~p_eintr:0.05 ~p_short:0.3 ~p_delay:0.03
+          ~delay_s:0.0003 ~p_reset:0.08 ~seed:(seed * 131) ()
+      in
+      Client.with_connect ~port ~client_id:(seed * 31) ~max_attempts:400
+        ~wrap:(Faulty_net.wrap plan)
+        (fun cl ->
+          List.iteri
+            (fun i op ->
+              let ok what = function
+                | Ok v -> v
+                | Error e ->
+                    Alcotest.failf "seed %d op %d: %s: %s" seed i what
+                      (Client.error_to_string e)
+              in
+              match op with
+              | WG.Insert (p, v) ->
+                  let applied, _ = ok "insert" (Client.insert cl ~table:"T" [ (p, v) ]) in
+                  WG.Oracle.insert oracle p v;
+                  if applied <> 1 then
+                    Alcotest.failf "seed %d op %d: insert applied %d" seed i applied
+              | WG.Delete p ->
+                  let applied, _ = ok "delete" (Client.delete cl ~table:"T" [ p ]) in
+                  let expected = if WG.Oracle.delete oracle p then 1 else 0 in
+                  if applied <> expected then
+                    Alcotest.failf "seed %d op %d: delete applied %d, oracle %d"
+                      seed i applied expected
+              | WG.Range box ->
+                  let rows =
+                    ok "range"
+                      (Client.live_range cl ~table:"T" ~lo:(Sqp_geom.Box.lo box)
+                         ~hi:(Sqp_geom.Box.hi box))
+                  in
+                  let expected = List.length (WG.Oracle.range oracle box) in
+                  if Sqp_relalg.Relation.cardinality rows <> expected then
+                    Alcotest.failf "seed %d op %d: range returned %d rows, oracle %d"
+                      seed i
+                      (Sqp_relalg.Relation.cardinality rows)
+                      expected
+              | WG.Scan ->
+                  let rows =
+                    ok "scan"
+                      (Client.live_range cl ~table:"T" ~lo:[| 0; 0 |]
+                         ~hi:[| side - 1; side - 1 |])
+                  in
+                  if
+                    Sqp_relalg.Relation.cardinality rows
+                    <> WG.Oracle.length oracle
+                  then
+                    Alcotest.failf "seed %d op %d: scan returned %d rows, oracle %d"
+                      seed i
+                      (Sqp_relalg.Relation.cardinality rows)
+                      (WG.Oracle.length oracle))
+            ops);
+      (* final state: entries, payloads and z order, bit for bit *)
+      let got = Live.snapshot_entries (Live.snapshot lv) in
+      let expected = WG.Oracle.scan oracle in
+      checkb
+        (Printf.sprintf "seed %d: final live state = workload_gen oracle" seed)
+        true
+        (List.length got = List.length expected
+        && List.for_all2
+             (fun (p, v) (q, w) -> Sqp_geom.Point.equal p q && v = w)
+             got expected))
+
+let test_workload_differential () = List.iter workload_seed seeds
+
+(* {1 Deterministic connection kills}
+
+   Every connection is killed at its 9th socket operation — roughly two
+   requests in — so the run makes progress purely through reconnection
+   and idempotent replay. *)
+
+let test_kill_every_connection () =
+  with_chaos_server (fun server _metrics lv ->
+      let port = Server.port server in
+      let n = 20 in
+      let cl =
+        Client.connect ~port ~client_id:777 ~max_attempts:50
+          ~wrap:(Faulty_net.wrap (Faulty_net.kill_after 9))
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Client.close cl)
+        (fun () ->
+          for j = 0 to n - 1 do
+            match Client.insert cl ~table:"T" [ (point_of 0 j, j) ] with
+            | Ok (1, _) -> ()
+            | Ok (applied, _) ->
+                Alcotest.failf "insert %d applied %d times" j applied
+            | Error e ->
+                Alcotest.failf "insert %d: %s" j (Client.error_to_string e)
+          done;
+          checki "each insert applied exactly once" n (Live.length lv);
+          checki "one sequence number per insert" n (Live.seq lv);
+          checkb "progress required reconnection" true (Client.reconnects cl >= 1)))
+
+(* {1 Degraded mode: ENOSPC, read-only serving, recovery} *)
+
+let test_degraded_recovery () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ()) "sqp_chaos_degraded.store"
+  in
+  let remove p = if Sys.file_exists p then Sys.remove p in
+  let clean () = List.iter remove [ path; Journal.journal_path path ] in
+  clean ();
+  Fun.protect ~finally:clean @@ fun () ->
+  let io = Faulty_io.enospc_after 8192 in
+  let lv =
+    Live.create_durable ~io ~page_bytes:256 ~encode:string_of_int
+      ~decode:int_of_string ~path space
+  in
+  Fun.protect ~finally:(fun () -> Live.close lv) @@ fun () ->
+  let catalog =
+    Catalog.make ~lives:[ ("T", lv) ] ~space ~points:[] ~relations:[] ()
+  in
+  let metrics = M.create () in
+  let server = Server.start ~metrics catalog in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let port = Server.port server in
+  Client.with_connect ~port (fun cl ->
+      let lo = [| 0; 0 |] and hi = [| side - 1; side - 1 |] in
+      (* insert until the disk fills; remember everything that was acked *)
+      let acked = ref [] in
+      let filled = ref false in
+      let i = ref 0 in
+      while (not !filled) && !i < 300 do
+        let p = point_of (!i mod n_clients) (!i mod ops_per_client) in
+        (match Client.insert cl ~table:"T" [ (p, !i) ] with
+        | Ok _ -> acked := (p, !i) :: !acked
+        | Error (Client.Remote { code = P.Degraded; _ }) -> filled := true
+        | Error e ->
+            Alcotest.failf "unexpected error while filling: %s"
+              (Client.error_to_string e));
+        incr i
+      done;
+      checkb "the disk eventually filled" true !filled;
+      checkb "some batches were acked before the failure" true (!acked <> []);
+      (* read-only mode: reads serve, mutations are refused fast *)
+      (match Client.live_range cl ~table:"T" ~lo ~hi with
+      | Ok rows ->
+          checki "reads keep serving the acked state" (List.length !acked)
+            (Sqp_relalg.Relation.cardinality rows)
+      | Error e ->
+          Alcotest.failf "read refused in degraded mode: %s"
+            (Client.error_to_string e));
+      (match Client.insert cl ~table:"T" [ ([| 1; 1 |], 999 ) ] with
+      | Error (Client.Remote { code = P.Degraded; _ }) -> ()
+      | Ok _ -> Alcotest.fail "mutation accepted in degraded mode"
+      | Error e ->
+          Alcotest.failf "expected Degraded, got %s" (Client.error_to_string e));
+      (* health reports the mode and the overall gauge flips *)
+      (match Client.health cl with
+      | Ok h ->
+          checkb "health says degraded" true
+            (String.length h.P.mode >= 8 && String.sub h.P.mode 0 8 = "degraded");
+          checkb "health not healthy while degraded" false h.P.healthy
+      | Error e -> Alcotest.failf "health: %s" (Client.error_to_string e));
+      checki "degraded gauge raised" 1
+        (M.gauge_value (M.gauge metrics "server.degraded"));
+      (* recovery is refused while the disk is still full *)
+      (match Client.recover cl with
+      | Error (Client.Remote { code = P.Degraded; _ }) -> ()
+      | Ok _ -> Alcotest.fail "recovery claimed success on a full disk"
+      | Error e ->
+          Alcotest.failf "expected Degraded from recover, got %s"
+            (Client.error_to_string e));
+      (* free space; now recovery succeeds and mutations flow again *)
+      Faulty_io.refill_enospc io 10_000_000;
+      (match Client.recover cl with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "recover: %s" (Client.error_to_string e));
+      (match Client.health cl with
+      | Ok h -> Alcotest.(check string) "mode back to serving" "serving" h.P.mode
+      | Error e -> Alcotest.failf "health: %s" (Client.error_to_string e));
+      checki "degraded gauge cleared" 0
+        (M.gauge_value (M.gauge metrics "server.degraded"));
+      (match Client.insert cl ~table:"T" [ ([| 2; 2 |], 1000) ] with
+      | Ok (1, _) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "mutation refused after recovery");
+      (* every pre-failure ack survived recovery, plus the new row;
+         the batch that hit ENOSPC was never applied *)
+      let expected = entry_list (([| 2; 2 |], 1000) :: !acked) in
+      let got = entry_list (Live.snapshot_entries (Live.snapshot lv)) in
+      checkb "recovered state = acked state + post-recovery insert" true
+        (expected = got))
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "torture",
+        [
+          Alcotest.test_case "seeded fault differential" `Quick test_differential;
+          Alcotest.test_case "workload_gen differential" `Quick
+            test_workload_differential;
+          Alcotest.test_case "kill every connection" `Quick
+            test_kill_every_connection;
+        ] );
+      ( "degraded",
+        [
+          Alcotest.test_case "enospc, read-only, recovery" `Quick
+            test_degraded_recovery;
+        ] );
+    ]

@@ -126,36 +126,43 @@ let req_ok = function
   | Error (c, m) -> Alcotest.failf "request rejected (%s): %s" (P.error_code_name c) m
 
 let test_request_roundtrip () =
+  let key client_id request_seq = Some { P.client_id; request_seq } in
   let cases =
     [
-      (None, P.Range_search { lo = [| 0; 0 |]; hi = [| 1023; 1023 |] });
-      (Some 250, P.Query deep_plan);
-      (None, P.Explain (Wire.Scan "R"));
-      (Some 1, P.Analyze (Wire.Scan "S"));
-      (None, P.Health);
+      (None, None, P.Range_search { lo = [| 0; 0 |]; hi = [| 1023; 1023 |] });
+      (Some 250, None, P.Query deep_plan);
+      (None, None, P.Explain (Wire.Scan "R"));
+      (Some 1, None, P.Analyze (Wire.Scan "S"));
+      (None, None, P.Health);
       ( Some 100,
+        key 424_242 1,
         P.Insert
           {
             table = "L";
             points = [ ([| 1; 2 |], 7); ([| 3; 4 |], -1); ([| 0; 0 |], max_int) ];
           } );
-      (None, P.Insert { table = ""; points = [] });
-      (None, P.Delete { table = "L"; points = [ [| 9; 9 |]; [| 1; 2; 3 |] ] });
-      (Some 5, P.Create_index { table = "L" });
-      (None, P.Live_range { table = "L"; lo = [| 0; 0 |]; hi = [| 255; 255 |] });
-      (None, P.Refresh_stats);
-      (Some 3000, P.Refresh_stats);
+      (None, None, P.Insert { table = ""; points = [] });
+      ( None,
+        key max_int max_int,
+        P.Delete { table = "L"; points = [ [| 9; 9 |]; [| 1; 2; 3 |] ] } );
+      (Some 5, key 7 0, P.Create_index { table = "L" });
+      ( None,
+        key 1 2,
+        P.Live_range { table = "L"; lo = [| 0; 0 |]; hi = [| 255; 255 |] } );
+      (None, None, P.Refresh_stats);
+      (Some 3000, None, P.Refresh_stats);
+      (None, None, P.Recover);
     ]
   in
   List.iter
-    (fun (deadline_ms, request) ->
-      let bytes = P.encode_request { P.deadline_ms; request } in
+    (fun (deadline_ms, idem, request) ->
+      let bytes = P.encode_request { P.deadline_ms; idem; request } in
       let f = req_ok (P.decode_request bytes) in
-      check
-        Alcotest.(option int)
-        "deadline" deadline_ms f.P.deadline_ms;
+      check Alcotest.(option int) "deadline" deadline_ms f.P.deadline_ms;
+      checkb "idem" true (idem = f.P.idem);
       check Alcotest.string "request bytes" bytes
-        (P.encode_request { P.deadline_ms = f.P.deadline_ms; request = f.P.request }))
+        (P.encode_request
+           { P.deadline_ms = f.P.deadline_ms; idem = f.P.idem; request = f.P.request }))
     cases
 
 let test_response_roundtrip () =
@@ -170,8 +177,16 @@ let test_response_roundtrip () =
       P.Text "project {a}\n  scan R\n";
       P.Analyzed { rendered = "analyze"; rows = rel };
       P.Health_report
-        { healthy = true; detail = "ok"; in_flight = 2; queued = 1; served = 99 };
+        {
+          healthy = true;
+          detail = "ok";
+          in_flight = 2;
+          queued = 1;
+          served = 99;
+          mode = "serving";
+        };
       P.Error { code = P.Overloaded; message = "queue full" };
+      P.Error { code = P.Degraded; message = "disk full" };
       P.Ack { applied = 0; seq = 0 };
       P.Ack { applied = 42; seq = 1_000_000 };
     ]
@@ -203,13 +218,21 @@ let test_malformed_requests () =
   (* health with trailing bytes *)
   expect_code P.Bad_request "\x01\x05\x00\x00\x00\x00XX" "trailing bytes";
   (* range search truncated mid-array *)
-  let full = P.encode_request { P.deadline_ms = None; request = P.Range_search { lo = [| 3; 4 |]; hi = [| 5; 6 |] } } in
+  let full =
+    P.encode_request
+      {
+        P.deadline_ms = None;
+        idem = None;
+        request = P.Range_search { lo = [| 3; 4 |]; hi = [| 5; 6 |] };
+      }
+  in
   expect_code P.Bad_request (String.sub full 0 (String.length full - 5)) "truncated";
   (* dimensionality mismatch *)
   let b = Buffer.create 32 in
   Wire.write_u8 b P.version;
   Wire.write_u8 b 1;
   Wire.write_u32 b 0;
+  Wire.write_u8 b 0;
   Wire.write_u32 b 1;
   Wire.write_i64 b 7;
   Wire.write_u32 b 2;
@@ -221,6 +244,7 @@ let test_malformed_requests () =
   Wire.write_u8 b P.version;
   Wire.write_u8 b 1;
   Wire.write_u32 b 0;
+  Wire.write_u8 b 0;
   Wire.write_u32 b 1_000_000;
   expect_code P.Bad_request (Buffer.contents b) "dimension bomb";
   (* insert truncated mid-point-list *)
@@ -228,6 +252,7 @@ let test_malformed_requests () =
     P.encode_request
       {
         P.deadline_ms = None;
+        idem = None;
         request = P.Insert { table = "L"; points = [ ([| 1; 2 |], 3) ] };
       }
   in
@@ -238,6 +263,7 @@ let test_malformed_requests () =
   Wire.write_u8 b P.version;
   Wire.write_u8 b 7;
   Wire.write_u32 b 0;
+  Wire.write_u8 b 0;
   Wire.write_string b "L";
   Wire.write_u32 b 50_000;
   expect_code P.Bad_request (Buffer.contents b) "delete count bomb";
@@ -246,10 +272,109 @@ let test_malformed_requests () =
   Wire.write_u8 b P.version;
   Wire.write_u8 b 9;
   Wire.write_u32 b 0;
+  Wire.write_u8 b 0;
   Wire.write_string b "L";
   Wire.write_int_array b [| 1; 2 |];
   Wire.write_int_array b [| 3; 4; 5 |];
-  expect_code P.Bad_request (Buffer.contents b) "live range lo/hi mismatch"
+  expect_code P.Bad_request (Buffer.contents b) "live range lo/hi mismatch";
+  (* idempotency key on a non-mutation tag *)
+  let b = Buffer.create 32 in
+  Wire.write_u8 b P.version;
+  Wire.write_u8 b 5;
+  Wire.write_u32 b 0;
+  Wire.write_u8 b 1;
+  Wire.write_i64 b 7;
+  Wire.write_i64 b 1;
+  expect_code P.Bad_request (Buffer.contents b) "idem on health";
+  (* idempotency flag byte that is neither 0 nor 1 *)
+  let b = Buffer.create 32 in
+  Wire.write_u8 b P.version;
+  Wire.write_u8 b 6;
+  Wire.write_u32 b 0;
+  Wire.write_u8 b 9;
+  Wire.write_string b "L";
+  Wire.write_point_list b [];
+  expect_code P.Bad_request (Buffer.contents b) "bad idem flag";
+  (* the encoder refuses to build the same nonsense *)
+  try
+    ignore
+      (P.encode_request
+         {
+           P.deadline_ms = None;
+           idem = Some { P.client_id = 1; request_seq = 1 };
+           request = P.Health;
+         });
+    Alcotest.fail "encode accepted idem on Health"
+  with Invalid_argument _ -> ()
+
+(* Version-1 peers must keep working against a v2 stack: v1 requests
+   (no idempotency block) decode, and responses encoded at version 1
+   stay within the v1 grammar. *)
+let test_v1_compat () =
+  (* a v1 range-search frame, built byte by byte *)
+  let b = Buffer.create 32 in
+  Wire.write_u8 b 1;
+  Wire.write_u8 b 1;
+  Wire.write_u32 b 250;
+  Wire.write_int_array b [| 1; 2 |];
+  Wire.write_int_array b [| 3; 4 |];
+  let f = req_ok (P.decode_request (Buffer.contents b)) in
+  check Alcotest.(option int) "v1 deadline" (Some 250) f.P.deadline_ms;
+  checkb "v1 has no idem" true (f.P.idem = None);
+  checkb "v1 request" true
+    (f.P.request = P.Range_search { lo = [| 1; 2 |]; hi = [| 3; 4 |] });
+  (* a v1 insert — the idem block must NOT be expected *)
+  let b = Buffer.create 32 in
+  Wire.write_u8 b 1;
+  Wire.write_u8 b 6;
+  Wire.write_u32 b 0;
+  Wire.write_string b "L";
+  Wire.write_point_list b [ ([| 5; 6 |], 9) ];
+  let f = req_ok (P.decode_request (Buffer.contents b)) in
+  checkb "v1 insert" true
+    (f.P.request = P.Insert { table = "L"; points = [ ([| 5; 6 |], 9) ] });
+  (* v1-encoded responses roundtrip and stay decodable *)
+  let health =
+    P.Health_report
+      {
+        healthy = true;
+        detail = "ok";
+        in_flight = 0;
+        queued = 0;
+        served = 7;
+        mode = "serving";
+      }
+  in
+  let bytes = P.encode_response ~version:1 health in
+  check Alcotest.int "v1 response version byte" 1 (P.payload_version bytes);
+  (match P.decode_response bytes with
+  | Ok (P.Health_report h) ->
+      check Alcotest.string "v1 health has no mode" "" h.P.mode;
+      check Alcotest.int "v1 health served" 7 h.P.served
+  | Ok _ -> Alcotest.fail "v1 health decoded to a different kind"
+  | Error m -> Alcotest.failf "v1 health rejected: %s" m);
+  (* Degraded downgrades to Server_error for v1 peers *)
+  (match
+     P.decode_response
+       (P.encode_response ~version:1
+          (P.Error { code = P.Degraded; message = "disk full" }))
+   with
+  | Ok (P.Error { code = P.Server_error; message }) ->
+      check Alcotest.string "downgrade message" "degraded: disk full" message
+  | Ok _ -> Alcotest.fail "v1 Degraded decoded to something else"
+  | Error m -> Alcotest.failf "v1 Degraded rejected: %s" m);
+  (* and version 2 keeps the typed code *)
+  (match
+     P.decode_response
+       (P.encode_response (P.Error { code = P.Degraded; message = "disk full" }))
+   with
+  | Ok (P.Error { code = P.Degraded; _ }) -> ()
+  | _ -> Alcotest.fail "v2 Degraded did not roundtrip");
+  (* unknown encode versions are a programming error *)
+  try
+    ignore (P.encode_response ~version:3 health);
+    Alcotest.fail "version 3 accepted"
+  with Invalid_argument _ -> ()
 
 let test_malformed_responses () =
   List.iter
@@ -297,17 +422,24 @@ let test_fuzz_corrupted_frames () =
   let rng = Rng.create ~seed:777 in
   let valid =
     [|
-      P.encode_request { P.deadline_ms = Some 5; request = P.Query deep_plan };
       P.encode_request
-        { P.deadline_ms = None; request = P.Range_search { lo = [| 1; 2 |]; hi = [| 3; 4 |] } };
+        { P.deadline_ms = Some 5; idem = None; request = P.Query deep_plan };
+      P.encode_request
+        {
+          P.deadline_ms = None;
+          idem = None;
+          request = P.Range_search { lo = [| 1; 2 |]; hi = [| 3; 4 |] };
+        };
       P.encode_request
         {
           P.deadline_ms = Some 9;
+          idem = Some { P.client_id = 123_456; request_seq = 42 };
           request = P.Insert { table = "L"; points = [ ([| 5; 6 |], 1); ([| 7; 8 |], 2) ] };
         };
       P.encode_request
         {
           P.deadline_ms = None;
+          idem = None;
           request = P.Live_range { table = "L"; lo = [| 0; 0 |]; hi = [| 9; 9 |] };
         };
       P.encode_response (P.Ack { applied = 3; seq = 17 });
@@ -343,7 +475,9 @@ let with_socketpair f =
 
 let test_frame_roundtrip () =
   with_socketpair (fun a b ->
-      let payload = P.encode_request { P.deadline_ms = None; request = P.Health } in
+      let payload =
+        P.encode_request { P.deadline_ms = None; idem = None; request = P.Health }
+      in
       P.write_frame a payload;
       P.write_frame a payload;
       (match P.read_frame b with
@@ -387,6 +521,38 @@ let test_frame_oversized () =
       | Error (P.Oversized 1) -> ()
       | _ -> Alcotest.fail "expected Oversized 1")
 
+(* The session timeouts: a silent peer trips the idle timeout (not
+   mid-frame), a dribbling peer trips the frame timeout (mid-frame), and
+   a peer that stops reading trips the write timeout. *)
+let test_frame_stalls () =
+  with_socketpair (fun _a b ->
+      (* nothing sent at all: idle, not mid-frame *)
+      match P.read_frame_io ~idle_timeout:0.05 (P.io_of_fd b) with
+      | Error (P.Stalled { mid_frame = false }) -> ()
+      | r ->
+          Alcotest.failf "expected idle stall, got %s"
+            (match r with
+            | Ok _ -> "a frame"
+            | Error e -> P.read_error_to_string e));
+  with_socketpair (fun a b ->
+      (* half a length prefix, then silence: mid-frame *)
+      ignore (Unix.write a (Bytes.of_string "\x00\x00") 0 2);
+      match P.read_frame_io ~idle_timeout:0.05 (P.io_of_fd b) with
+      | Error (P.Stalled { mid_frame = true }) -> ()
+      | _ -> Alcotest.fail "expected mid-frame stall on a torn prefix");
+  with_socketpair (fun a b ->
+      (* full prefix, partial payload, then silence: the slow loris *)
+      ignore (Unix.write a (Bytes.of_string "\x00\x00\x00\x64xy") 0 6);
+      match P.read_frame_io ~frame_timeout:0.05 (P.io_of_fd b) with
+      | Error (P.Stalled { mid_frame = true }) -> ()
+      | _ -> Alcotest.fail "expected mid-frame stall on a dribbled payload");
+  with_socketpair (fun a _b ->
+      (* the peer never reads: a large frame must not block forever *)
+      let payload = String.make 4_000_000 'x' in
+      match P.write_frame_io ~timeout:0.05 (P.io_of_fd a) payload with
+      | () -> Alcotest.fail "oversized write completed against a full buffer"
+      | exception Unix.Unix_error (Unix.ETIMEDOUT, _, _) -> ())
+
 let () =
   Alcotest.run "protocol"
     [
@@ -404,6 +570,7 @@ let () =
           Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
           Alcotest.test_case "malformed requests" `Quick test_malformed_requests;
           Alcotest.test_case "malformed responses" `Quick test_malformed_responses;
+          Alcotest.test_case "v1 compatibility" `Quick test_v1_compat;
         ] );
       ( "fuzz",
         [
@@ -415,5 +582,6 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
           Alcotest.test_case "eof and truncation" `Quick test_frame_eof_and_truncation;
           Alcotest.test_case "oversized" `Quick test_frame_oversized;
+          Alcotest.test_case "stalls and timeouts" `Quick test_frame_stalls;
         ] );
     ]

@@ -42,13 +42,15 @@ let with_server ?(config = Server.default_config) f =
 
 let reply_ok what = function
   | Ok v -> v
-  | Error (code, m) ->
-      Alcotest.failf "%s: server error (%s): %s" what (P.error_code_name code) m
+  | Error e -> Alcotest.failf "%s: %s" what (Client.error_to_string e)
 
 let expect_error what code = function
   | Ok _ -> Alcotest.failf "%s: expected %s" what (P.error_code_name code)
-  | Error (c, _) ->
+  | Error (Client.Remote { code = c; _ }) ->
       Alcotest.(check string) what (P.error_code_name code) (P.error_code_name c)
+  | Error (Client.Transport _ as e) ->
+      Alcotest.failf "%s: expected %s, got %s" what (P.error_code_name code)
+        (Client.error_to_string e)
 
 let eventually ?(timeout = 5.0) cond =
   let t0 = Unix.gettimeofday () in
@@ -256,8 +258,8 @@ let test_overload_sheds () =
       Thread.join slow;
       (match !slow_result with
       | Some (Ok _) -> ()
-      | Some (Error (c, m)) ->
-          Alcotest.failf "slow query failed (%s): %s" (P.error_code_name c) m
+      | Some (Error e) ->
+          Alcotest.failf "slow query failed: %s" (Client.error_to_string e)
       | None -> Alcotest.fail "slow query never answered");
       checkb "shed counted" true
         (M.counter_value (M.counter metrics "server.shed") >= 1);
@@ -309,7 +311,9 @@ let test_malformed_frames_on_the_wire () =
               | _ -> Alcotest.fail "future version not answered typedly")
           | Error e -> Alcotest.failf "no response to version probe: %s" (P.read_error_to_string e));
           (* same connection still executes real queries *)
-          P.write_frame fd (P.encode_request { P.deadline_ms = None; request = P.Health });
+          P.write_frame fd
+            (P.encode_request
+               { P.deadline_ms = None; idem = None; request = P.Health });
           (match P.read_frame fd with
           | Ok payload -> (
               match P.decode_response payload with
@@ -320,8 +324,9 @@ let test_malformed_frames_on_the_wire () =
              one parting typed error frame *)
           ignore (Unix.write fd (Bytes.of_string "\xff\xff\xff\xff") 0 4);
           (match P.read_frame fd with
-          | Error P.Eof | Error P.Truncated -> ()
-          | Error (P.Oversized _) -> Alcotest.fail "unexpected oversized readback"
+          | Error (P.Eof | P.Truncated) -> ()
+          | Error (P.Oversized _ | P.Stalled _) ->
+              Alcotest.fail "unexpected read error after oversized prefix"
           | Ok payload -> (
               (* the parting shot must be a typed error, then EOF *)
               (match P.decode_response payload with
@@ -329,7 +334,8 @@ let test_malformed_frames_on_the_wire () =
               | _ -> Alcotest.fail "non-error frame after oversized prefix");
               match P.read_frame fd with
               | Error (P.Eof | P.Truncated) -> ()
-              | _ -> Alcotest.fail "session survived an oversized prefix")));
+              | Error _ | Ok _ ->
+                  Alcotest.fail "session survived an oversized prefix")));
       checkb "bad frames counted" true
         (M.counter_value (M.counter metrics "server.bad_frames") >= 1);
       (* the server as a whole is unaffected: fresh connections serve *)
@@ -380,8 +386,8 @@ let test_stop_drains_in_flight () =
   | Some (Ok rows) ->
       checkb "drained query got its rows" true
         (Relation.equal_contents rows (Plan.run (Catalog.overlap_plan catalog)))
-  | Some (Error (c, m)) ->
-      Alcotest.failf "drained query failed (%s): %s" (P.error_code_name c) m
+  | Some (Error e) ->
+      Alcotest.failf "drained query failed: %s" (Client.error_to_string e)
   | None -> Alcotest.fail "drained query never answered");
   checki "in-flight gauge at 0 after stop" 0
     (M.gauge_value (M.gauge metrics "server.in_flight"));
@@ -389,12 +395,152 @@ let test_stop_drains_in_flight () =
   match Client.connect ~port () with
   | exception Unix.Unix_error _ -> ()
   | c ->
-      (* some stacks accept briefly; the session must at least be dead *)
+      (* some stacks accept briefly; the session must at least be dead —
+         a typed Transport error once the retries give out *)
       (match Client.health c with
-      | exception Client.Disconnected _ -> ()
       | Ok _ -> Alcotest.fail "server still serving after stop"
       | Error _ -> ());
       Client.close c
+
+(* {1 Exactly-once at the protocol level}
+
+   Raw-socket checks of the dedup window: a duplicated mutation frame —
+   on the same connection or a fresh one, as after a connection kill —
+   is answered with the original [Ack] byte for byte and applied once;
+   a key far below the window draws [Bad_request] rather than a silent
+   re-apply; an expired deadline is refused without touching the table,
+   and the aborted key stays usable for the real retry. *)
+
+let request_raw fd frame =
+  P.write_frame fd frame;
+  match P.read_frame fd with
+  | Ok payload -> payload
+  | Error e -> Alcotest.failf "no response: %s" (P.read_error_to_string e)
+
+let test_idempotent_replay () =
+  with_server (fun server metrics ->
+      let port = Server.port server in
+      let lv = Option.get (Catalog.live catalog "L") in
+      let frame seq points =
+        P.encode_request
+          {
+            P.deadline_ms = None;
+            idem = Some { P.client_id = 987_654; request_seq = seq };
+            request = P.Insert { table = "L"; points };
+          }
+      in
+      let len0 = Live.length lv in
+      let fd = raw_connect port in
+      let first =
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            let first = request_raw fd (frame 1 [ ([| 11; 13 |], 910_001) ]) in
+            (match P.decode_response first with
+            | Ok (P.Ack { applied = 1; _ }) -> ()
+            | _ -> Alcotest.fail "first send not acked");
+            checki "applied once" (len0 + 1) (Live.length lv);
+            (* the same frame again on the same connection *)
+            let again = request_raw fd (frame 1 [ ([| 11; 13 |], 910_001) ]) in
+            Alcotest.(check string) "replay is byte-for-byte" first again;
+            checki "not applied again" (len0 + 1) (Live.length lv);
+            first)
+      in
+      (* the same frame on a fresh connection — the shape of a retry
+         after a connection kill *)
+      let fd2 = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd2)
+        (fun () ->
+          let again = request_raw fd2 (frame 1 [ ([| 11; 13 |], 910_001) ]) in
+          Alcotest.(check string) "replay across connections" first again;
+          checki "still applied once" (len0 + 1) (Live.length lv);
+          checkb "dedup hits counted" true
+            (M.counter_value (M.counter metrics "server.dedup.hits") >= 2);
+          (* advance far past the dedup window, then an ancient key is
+             refused rather than silently re-applied *)
+          (match P.decode_response (request_raw fd2 (frame 500 [])) with
+          | Ok (P.Ack { applied = 0; _ }) -> ()
+          | _ -> Alcotest.fail "window-advancing send not acked");
+          match
+            P.decode_response (request_raw fd2 (frame 2 [ ([| 11; 13 |], 910_002) ]))
+          with
+          | Ok (P.Error { code = P.Bad_request; _ }) -> ()
+          | _ -> Alcotest.fail "ancient key not refused"))
+
+let test_expired_deadline_no_touch () =
+  let config =
+    { Server.default_config with on_execute = (fun () -> Thread.delay 0.05) }
+  in
+  with_server ~config (fun server _ ->
+      let port = Server.port server in
+      let lv = Option.get (Catalog.live catalog "L") in
+      let len0 = Live.length lv in
+      let frame deadline_ms =
+        P.encode_request
+          {
+            P.deadline_ms;
+            idem = Some { P.client_id = 13_579; request_seq = 1 };
+            request = P.Insert { table = "L"; points = [ ([| 21; 22 |], 910_100) ] };
+          }
+      in
+      let fd = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          (* the 1 ms budget is long gone once on_execute has slept *)
+          (match P.decode_response (request_raw fd (frame (Some 1))) with
+          | Ok (P.Error { code = P.Timed_out; _ }) -> ()
+          | _ -> Alcotest.fail "expired deadline not refused");
+          checki "table untouched" len0 (Live.length lv);
+          (* the aborted key is fresh again: the retry without a
+             deadline applies for real, exactly once *)
+          match P.decode_response (request_raw fd (frame None)) with
+          | Ok (P.Ack { applied = 1; _ }) ->
+              checki "retry applied exactly once" (len0 + 1) (Live.length lv)
+          | _ -> Alcotest.fail "retry after expiry not acked"))
+
+(* {1 Session hygiene: aborts are counted, idle sessions are reaped} *)
+
+let test_session_hygiene () =
+  let config =
+    {
+      Server.default_config with
+      idle_timeout_s = Some 0.25;
+      frame_timeout_s = Some 1.0;
+    }
+  in
+  with_server ~config (fun server metrics ->
+      let port = Server.port server in
+      let active () = M.gauge_value (M.gauge metrics "server.sessions.active") in
+      (* a mid-frame disconnect is an aborted session, not a leaked thread *)
+      let fd = raw_connect port in
+      checkb "session registered" true (eventually (fun () -> active () = 1));
+      ignore (Unix.write fd (Bytes.of_string "\x00\x00") 0 2);
+      Unix.close fd;
+      checkb "abort counted" true
+        (eventually (fun () ->
+             M.counter_value (M.counter metrics "server.sessions.aborted") >= 1));
+      checkb "gauge back to 0 after abort" true
+        (eventually (fun () -> active () = 0));
+      (* a silent connection is reaped by the idle timeout: the server
+         closes its end (we read EOF) and counts the reap *)
+      let fd2 = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd2 with Unix.Unix_error _ -> ())
+        (fun () ->
+          checkb "idle session reaped" true
+            (eventually (fun () ->
+                 M.counter_value (M.counter metrics "server.sessions.idle_closed")
+                 >= 1));
+          checkb "gauge back to 0 after reap" true
+            (eventually (fun () -> active () = 0));
+          match Unix.read fd2 (Bytes.create 16) 0 16 with
+          | 0 -> ()
+          | _ -> Alcotest.fail "idle-reaped connection still open"
+          | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ());
+      (* fresh connections serve normally afterwards *)
+      Client.with_connect ~port (fun c -> ignore (reply_ok "health" (Client.health c))))
 
 (* {1 Statistics flow: ANALYZE over the wire, cost-based serving}
 
@@ -503,6 +649,14 @@ let () =
         ] );
       ( "lifecycle",
         [ Alcotest.test_case "stop drains" `Quick test_stop_drains_in_flight ] );
+      ( "exactly-once",
+        [
+          Alcotest.test_case "idempotent replay" `Quick test_idempotent_replay;
+          Alcotest.test_case "expired deadline" `Quick
+            test_expired_deadline_no_touch;
+        ] );
+      ( "sessions",
+        [ Alcotest.test_case "session hygiene" `Quick test_session_hygiene ] );
       (* keep last: mutates the shared catalog's statistics *)
       ( "statistics",
         [ Alcotest.test_case "analyze flow" `Quick test_statistics_flow ] );
