@@ -399,13 +399,58 @@ let serve_cmd =
             "Bound reading one frame's payload and writing one response (0 = \
              unbounded) — the slow-loris guard.")
   in
+  let shard_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shard" ] ~docv:"SPEC"
+          ~doc:
+            "Serve one cluster shard's z-range slice of the seeded catalog: \
+             $(i,I/N) (the I-th of N even ranges, 0-based — what $(b,sqp \
+             route --spawn) uses) or $(i,ZLO:ZHI) (an explicit inclusive z \
+             interval).")
+  in
+  let live_empty_arg =
+    Arg.(
+      value & flag
+      & info [ "live-empty" ]
+          ~doc:
+            "Start the live table empty instead of pre-seeded — how a \
+             rebalance target begins life (rows arrive via the router's \
+             chunked copy).")
+  in
   let run host port parallelism max_in_flight max_queue default_deadline_ms
-      n_points n_objects no_decompose_cache idle_timeout_s frame_timeout_s =
+      n_points n_objects no_decompose_cache idle_timeout_s frame_timeout_s
+      shard_spec live_empty =
     if no_decompose_cache then Sqp_zorder.Decompose.set_cache_enabled false;
-    let catalog =
-      Srv.Catalog.of_seeded
-        (Sqp_workload.Seeded.standard ~n_points ~n_objects ())
+    let wk = Sqp_workload.Seeded.standard ~n_points ~n_objects () in
+    let shard =
+      Option.map
+        (fun spec ->
+          let fail () =
+            Printf.eprintf
+              "sqp serve: bad --shard %S (want I/N or ZLO:ZHI)\n" spec;
+            Stdlib.exit 2
+          in
+          match String.split_on_char '/' spec with
+          | [ i; n ] -> (
+              match (int_of_string_opt i, int_of_string_opt n) with
+              | Some i, Some n when n > 0 && i >= 0 && i < n ->
+                  List.nth
+                    (Srv.Shard_map.even_ranges wk.Sqp_workload.Seeded.space n)
+                    i
+              | _ -> fail ())
+          | [ _ ] -> (
+              match String.split_on_char ':' spec with
+              | [ lo; hi ] -> (
+                  match (int_of_string_opt lo, int_of_string_opt hi) with
+                  | Some lo, Some hi when lo <= hi -> (lo, hi)
+                  | _ -> fail ())
+              | _ -> fail ())
+          | _ -> fail ())
+        shard_spec
     in
+    let catalog = Srv.Catalog.of_seeded ?shard ~live_empty wk in
     let config =
       {
         Srv.Server.default_config with
@@ -421,9 +466,17 @@ let serve_cmd =
       }
     in
     let server = Srv.Server.start ~config catalog in
+    (* Machine-parseable bound-port line, first and flushed: orchestrators
+       (sqp route --spawn, the cluster tests, CI) parse exactly this. *)
+    Printf.printf "SQP_SERVE_PORT=%d\n%!" (Srv.Server.port server);
     Printf.printf
       "sqp serve: listening on %s:%d (parallelism %d, %d in flight, queue %d)\n"
       host (Srv.Server.port server) parallelism max_in_flight max_queue;
+    (match Srv.Catalog.shard_range catalog with
+    | Some (zlo, zhi) ->
+        Printf.printf "shard: z=[%d,%d]%s\n" zlo zhi
+          (if live_empty then ", live table empty" else "")
+    | None -> ());
     Printf.printf "catalog: %s\n%!"
       (String.concat ", "
          (Srv.Catalog.names catalog
@@ -454,7 +507,8 @@ let serve_cmd =
     Term.(
       const run $ host_arg $ port_arg ~default:7477 $ parallelism_arg
       $ in_flight_arg $ queue_arg $ deadline_arg $ points_arg $ objects_arg
-      $ no_decompose_cache_arg $ idle_timeout_arg $ frame_timeout_arg)
+      $ no_decompose_cache_arg $ idle_timeout_arg $ frame_timeout_arg
+      $ shard_arg $ live_empty_arg)
 
 (* The canonical join plan, as a client would send it over the wire. *)
 let join_wire_plan =
@@ -1245,6 +1299,303 @@ let bench_optimizer_cmd =
           seeded workloads; writes BENCH_optimizer.json.")
     Term.(const run $ quick_arg $ json_arg)
 
+(* {1 Cluster: shard spawning, the router daemon, the scaling bench} *)
+
+(* Spawn [sqp serve --port 0 --shard spec] as a child process and parse
+   the machine-parseable SQP_SERVE_PORT= line off its stdout.  A drain
+   thread keeps reading so the child can never block on a full pipe. *)
+type spawned_shard = { pid : int; port : int; drain : Thread.t }
+
+let spawn_shard ?(live_empty = false) ~points ~objects ~spec () =
+  let exe = Sys.executable_name in
+  let args =
+    [ exe; "serve"; "--port"; "0"; "--points"; string_of_int points;
+      "--objects"; string_of_int objects; "--shard"; spec ]
+    @ (if live_empty then [ "--live-empty" ] else [])
+  in
+  let out_r, out_w = Unix.pipe ~cloexec:false () in
+  let pid = Unix.create_process exe (Array.of_list args) Unix.stdin out_w Unix.stderr in
+  Unix.close out_w;
+  let ic = Unix.in_channel_of_descr out_r in
+  let prefix = "SQP_SERVE_PORT=" in
+  let rec find_port () =
+    let line = input_line ic in
+    if String.length line > String.length prefix
+       && String.sub line 0 (String.length prefix) = prefix
+    then
+      int_of_string
+        (String.sub line (String.length prefix)
+           (String.length line - String.length prefix))
+    else find_port ()
+  in
+  match find_port () with
+  | exception _ ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid);
+      failwith (Printf.sprintf "shard %s failed to report a port" spec)
+  | port ->
+      let drain =
+        Thread.create
+          (fun () -> try while true do ignore (input_line ic) done with _ -> ())
+          ()
+      in
+      { pid; port; drain }
+
+let stop_shard s =
+  (try Unix.kill s.pid Sys.sigterm with Unix.Unix_error _ -> ());
+  ignore (try Unix.waitpid [] s.pid with Unix.Unix_error _ -> (s.pid, Unix.WEXITED 0));
+  Thread.join s.drain
+
+let spawn_even_shards ?(live_empty = false) ~points ~objects n =
+  List.init n (fun i ->
+      spawn_shard ~live_empty ~points ~objects
+        ~spec:(Printf.sprintf "%d/%d" i n) ())
+
+let route_cmd =
+  let spawn_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "spawn" ] ~docv:"N"
+          ~doc:
+            "Spawn $(docv) local shard processes ($(b,sqp serve --shard I/N)) \
+             on ephemeral ports and route over them; they are terminated on \
+             shutdown.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "shards" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated host:port list of already-running shards, in \
+             z-range order; shard i must have been started with $(b,--shard \
+             i/N).  Mutually exclusive with $(b,--spawn).")
+  in
+  let points_arg =
+    Arg.(
+      value & opt int 5000
+      & info [ "points" ] ~docv:"N" ~doc:"Points in each spawned shard's seeds.")
+  in
+  let objects_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "objects" ] ~docv:"N"
+          ~doc:"Objects per join side in each spawned shard's seeds.")
+  in
+  let run host port spawn shards points objects =
+    let wk = Sqp_workload.Seeded.standard ~n_points:points ~n_objects:objects () in
+    let space = wk.Sqp_workload.Seeded.space in
+    let spawned, endpoints =
+      match (spawn, shards) with
+      | n, None when n > 0 ->
+          let ss = spawn_even_shards ~points ~objects n in
+          (ss, List.map (fun s -> ("127.0.0.1", s.port)) ss)
+      | 0, Some list ->
+          ( [],
+            List.map
+              (fun hp ->
+                match String.rindex_opt hp ':' with
+                | Some i ->
+                    ( String.sub hp 0 i,
+                      int_of_string
+                        (String.sub hp (i + 1) (String.length hp - i - 1)) )
+                | None ->
+                    Printf.eprintf "sqp route: bad endpoint %S\n" hp;
+                    Stdlib.exit 2)
+              (String.split_on_char ',' list) )
+      | _ ->
+          Printf.eprintf
+            "sqp route: give exactly one of --spawn N or --shards LIST\n";
+          Stdlib.exit 2
+    in
+    let map = Srv.Shard_map.even space endpoints in
+    let config = { Sqp_cluster.Router.default_config with host; port } in
+    let router =
+      try Sqp_cluster.Router.start ~config ~space ~map ()
+      with e ->
+        List.iter stop_shard spawned;
+        raise e
+    in
+    Printf.printf "SQP_ROUTE_PORT=%d\n%!" (Sqp_cluster.Router.port router);
+    Printf.printf "sqp route: listening on %s:%d (epoch %d, %d shards)\n%!" host
+      (Sqp_cluster.Router.port router)
+      map.Srv.Shard_map.epoch (List.length endpoints);
+    List.iteri
+      (fun i (e : Srv.Shard_map.entry) ->
+        Printf.printf "  shard %d: %s:%d z=[%d,%d]\n%!" i e.host e.port e.zlo
+          e.zhi)
+      map.Srv.Shard_map.entries;
+    let stop_requested = ref false in
+    let on_signal _ = stop_requested := true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    while not !stop_requested do
+      Thread.delay 0.05
+    done;
+    print_endline "sqp route: draining...";
+    Sqp_cluster.Router.stop router;
+    List.iter stop_shard spawned;
+    print_endline "sqp route: drained; final metrics:";
+    print_string
+      (Sqp_obs.Metrics.to_text
+         (Sqp_obs.Metrics.snapshot (Sqp_obs.Metrics.global ())));
+    print_endline "sqp route: bye."
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Run the cluster router over N z-range shards (spawned locally or \
+          already running), speaking the same wire protocol as a single \
+          server, until SIGTERM/SIGINT; then drain, stop spawned shards and \
+          exit 0.")
+    Term.(
+      const run $ host_arg $ port_arg ~default:7478 $ spawn_arg $ shards_arg
+      $ points_arg $ objects_arg)
+
+let bench_cluster_cmd =
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"CI smoke mode: fewer points and queries.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt string "BENCH_cluster.json"
+      & info [ "json" ] ~docv:"FILE" ~doc:"Where to write the summary.")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let run quick json_path clients =
+    let points = if quick then 4000 else 20000 in
+    let objects = 48 in
+    let queries = if quick then 60 else 400 in
+    let wk = Sqp_workload.Seeded.standard ~n_points:points () in
+    let space = wk.Sqp_workload.Seeded.space in
+    let boxes = wk.Sqp_workload.Seeded.query_boxes in
+    (* Throughput scaling on one box comes from data partitioning, not
+       extra cores: the statistics-free (Planned) range path costs
+       per-query work proportional to the shard's point count, and the
+       box cover prunes the fan-out to the overlapping shards — so no
+       Refresh_stats here, on purpose. *)
+    let run_one n_shards =
+      let shards = spawn_even_shards ~points ~objects n_shards in
+      Fun.protect ~finally:(fun () -> List.iter stop_shard shards)
+      @@ fun () ->
+      let map =
+        Srv.Shard_map.even space
+          (List.map (fun s -> ("127.0.0.1", s.port)) shards)
+      in
+      let metrics = Sqp_obs.Metrics.create () in
+      let router =
+        Sqp_cluster.Router.start
+          ~config:{ Sqp_cluster.Router.default_config with port = 0 }
+          ~metrics ~space ~map ()
+      in
+      Fun.protect ~finally:(fun () -> Sqp_cluster.Router.stop router)
+      @@ fun () ->
+      let rport = Sqp_cluster.Router.port router in
+      let per_client = queries / clients in
+      let t0 = Unix.gettimeofday () in
+      let threads =
+        List.init clients (fun c ->
+            Thread.create
+              (fun () ->
+                Srv.Client.with_connect ~port:rport (fun client ->
+                    for i = 0 to per_client - 1 do
+                      let box = boxes.(((c * 131) + i) mod Array.length boxes) in
+                      match
+                        Srv.Client.range_search client
+                          ~lo:(Sqp_geom.Box.lo box) ~hi:(Sqp_geom.Box.hi box)
+                      with
+                      | Ok _ -> ()
+                      | Error e ->
+                          Printf.eprintf "bench-cluster: %s\n"
+                            (Srv.Client.error_to_string e);
+                          Stdlib.exit 1
+                    done))
+              ())
+      in
+      List.iter Thread.join threads;
+      let wall = Unix.gettimeofday () -. t0 in
+      let total = per_client * clients in
+      let jt0 = Unix.gettimeofday () in
+      let join_rows =
+        Srv.Client.with_connect ~port:rport (fun client ->
+            match Srv.Client.query client join_wire_plan with
+            | Ok rel -> Sqp_relalg.Relation.cardinality rel
+            | Error e ->
+                Printf.eprintf "bench-cluster: join failed: %s\n"
+                  (Srv.Client.error_to_string e);
+                Stdlib.exit 1)
+      in
+      let join_ms = (Unix.gettimeofday () -. jt0) *. 1e3 in
+      let qps = float_of_int total /. wall in
+      Printf.printf
+        "bench-cluster: %d shard%s: %d range queries in %.2fs (%.1f q/s); \
+         join %d rows in %.1fms\n\
+         %!"
+        n_shards
+        (if n_shards = 1 then "" else "s")
+        total wall qps join_rows join_ms;
+      (n_shards, total, wall, qps, join_rows, join_ms)
+    in
+    let runs = List.map run_one [ 1; 2; 4 ] in
+    let monotonic =
+      match runs with
+      | [ (_, _, _, q1, _, _); (_, _, _, q2, _, _); (_, _, _, q4, _, _) ] ->
+          q1 <= q2 && q2 <= q4
+      | _ -> false
+    in
+    let join_consistent =
+      match runs with
+      | (_, _, _, _, r1, _) :: rest ->
+          List.for_all (fun (_, _, _, _, r, _) -> r = r1) rest
+      | [] -> false
+    in
+    if not join_consistent then begin
+      Printf.eprintf
+        "bench-cluster: join row counts diverge across shard counts\n";
+      Stdlib.exit 1
+    end;
+    if not monotonic then
+      Printf.eprintf
+        "bench-cluster: WARNING: throughput not monotonic across 1/2/4 shards\n";
+    let oc = open_out json_path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"cluster_scaling_closed_loop\",\n\
+      \  \"quick\": %b,\n\
+      \  \"points\": %d,\n\
+      \  \"clients\": %d,\n\
+      \  \"monotonic_1_2_4\": %b,\n\
+      \  \"join_rows_consistent\": %b,\n\
+      \  \"runs\": [\n%s\n  ]\n\
+       }\n"
+      quick points clients monotonic join_consistent
+      (String.concat ",\n"
+         (List.map
+            (fun (n, total, wall, qps, jr, jms) ->
+              Printf.sprintf
+                "    { \"shards\": %d, \"queries\": %d, \"wall_seconds\": \
+                 %.4f, \"throughput_qps\": %.1f, \"join_rows\": %d, \
+                 \"join_ms\": %.2f }"
+                n total wall qps jr jms)
+            runs));
+    close_out oc;
+    Printf.printf "wrote %s\n" json_path
+  in
+  Cmd.v
+    (Cmd.info "bench-cluster"
+       ~doc:
+         "Cluster scaling benchmark: the same closed-loop range-query \
+          workload against a router over 1, 2 and 4 spawned z-range shards; \
+          verifies the spatial join answers identically at every shard count \
+          and writes BENCH_cluster.json (throughput must grow with the shard \
+          count — per-query work shrinks with the shard's slice).")
+    Term.(const run $ quick_arg $ json_arg $ clients_arg)
+
 let () =
   let info =
     Cmd.info "sqp" ~version:"1.0.0"
@@ -1261,5 +1612,5 @@ let () =
             coarsen_cmd; proximity_cmd; join_cmd; overlay_cmd; ccl_cmd;
             interference_cmd; fill_cmd; three_d_cmd; curves_cmd; object_join_cmd;
             all_cmd; query_cmd; fsck_cmd; serve_cmd; shell_cmd; bench_net_cmd;
-            bench_ingest_cmd; bench_optimizer_cmd;
+            bench_ingest_cmd; bench_optimizer_cmd; route_cmd; bench_cluster_cmd;
           ]))

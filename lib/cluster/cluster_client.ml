@@ -1,0 +1,140 @@
+module P = Sqp_server.Protocol
+module SM = Sqp_server.Shard_map
+module Client = Sqp_server.Client
+module Z = Sqp_zorder
+module R = Sqp_relalg
+
+type t = {
+  router : Client.t;
+  connect_timeout : float;
+  mutable smap : SM.t;
+  mutable shards : (string * Client.t) list;  (* keyed "host:port" *)
+  mutable refetches : int;
+  mutable closed : bool;
+}
+
+let fetch_map router =
+  match Client.shard_map_get router with
+  | Ok m -> m
+  | Error e -> failwith ("cluster client: no shard map: " ^ Client.error_to_string e)
+
+let connect ?(host = "127.0.0.1") ?connect_timeout ~router_port () =
+  let router = Client.connect ~host ?connect_timeout ~port:router_port () in
+  let smap = fetch_map router in
+  {
+    router;
+    connect_timeout =
+      (match connect_timeout with Some s -> s | None -> 5.0);
+    smap;
+    shards = [];
+    refetches = 0;
+    closed = false;
+  }
+
+let epoch t = t.smap.SM.epoch
+let refetches t = t.refetches
+
+let shard_client t (e : SM.entry) =
+  let key = Printf.sprintf "%s:%d" e.SM.host e.SM.port in
+  match List.assoc_opt key t.shards with
+  | Some c -> c
+  | None ->
+      let c =
+        Client.connect ~host:e.SM.host ~connect_timeout:t.connect_timeout
+          ~port:e.SM.port ()
+      in
+      t.shards <- (key, c) :: t.shards;
+      c
+
+let drop_shard t (e : SM.entry) =
+  let key = Printf.sprintf "%s:%d" e.SM.host e.SM.port in
+  match List.assoc_opt key t.shards with
+  | None -> ()
+  | Some c ->
+      t.shards <- List.remove_assoc key t.shards;
+      Client.close c
+
+let refetch t =
+  t.refetches <- t.refetches + 1;
+  t.smap <- fetch_map t.router
+
+let routing_options = { Z.Decompose.max_level = Some 8; max_elements = Some 64 }
+
+let merge_rows rels =
+  match rels with
+  | [] -> Error (Client.Transport { attempts = 1; message = "no shard answered" })
+  | r0 :: _ ->
+      Ok
+        (R.Relation.make ~name:(R.Relation.name r0) (R.Relation.schema r0)
+           (List.concat_map R.Relation.tuples rels))
+
+let range_search ?deadline_ms t ~space ~lo ~hi =
+  if t.closed then invalid_arg "Cluster_client.range_search: closed";
+  let payload =
+    P.encode_request
+      { P.deadline_ms; idem = None; request = P.Range_search { lo; hi } }
+  in
+  let intervals =
+    Z.Zrange.elements_to_intervals space
+      (Z.Decompose.decompose_box ~options:routing_options space ~lo ~hi)
+  in
+  let attempt () =
+    let m = t.smap in
+    let targets =
+      List.filter
+        (fun (e : SM.entry) ->
+          Z.Zrange.overlaps_interval intervals ~lo:e.SM.zlo ~hi:e.SM.zhi)
+        m.SM.entries
+    in
+    let rec gather acc = function
+      | [] -> `Rows (List.rev acc)
+      | e :: rest -> (
+          match
+            try
+              Client.forward ?deadline_ms (shard_client t e)
+                ~epoch:m.SM.epoch ~payload
+            with exn ->
+              Error
+                (Client.Transport
+                   { attempts = 1; message = Printexc.to_string exn })
+          with
+          | Ok (P.Rows rel) -> gather (rel :: acc) rest
+          | Ok (P.Error { code = P.Stale_epoch; _ }) -> `Stale
+          | Error (Client.Remote { code = P.Stale_epoch; _ }) -> `Stale
+          | Ok (P.Error { code; message }) ->
+              `Err (Client.Remote { code; message })
+          | Ok _ ->
+              `Err
+                (Client.Transport
+                   { attempts = 1; message = "protocol violation: expected rows" })
+          | Error (Client.Transport _ as err) ->
+              drop_shard t e;
+              `Err err
+          | Error err -> `Err err)
+    in
+    gather [] targets
+  in
+  let rec go tries =
+    match attempt () with
+    | `Rows rels -> merge_rows rels
+    | `Err e -> Error e
+    | `Stale when tries < 3 ->
+        refetch t;
+        go (tries + 1)
+    | `Stale ->
+        Error
+          (Client.Remote
+             {
+               code = P.Stale_epoch;
+               message = "shard map still moving after refetches";
+             })
+  in
+  go 1
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Client.close t.router;
+    List.iter (fun (_, c) -> Client.close c) t.shards;
+    t.shards <- []
+  end

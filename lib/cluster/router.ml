@@ -1,0 +1,1075 @@
+module P = Sqp_server.Protocol
+module SM = Sqp_server.Shard_map
+module Client = Sqp_server.Client
+module Net = Sqp_server.Net
+module Z = Sqp_zorder
+module R = Sqp_relalg
+module W = Sqp_relalg.Wire
+module Metrics = Sqp_obs.Metrics
+
+type config = {
+  host : string;
+  port : int;
+  max_frame_bytes : int;
+  idle_timeout_s : float option;
+  frame_timeout_s : float option;
+  session_io : (Unix.file_descr -> P.io) option;
+  shard_wrap : (Unix.file_descr -> P.io) option;
+  connect_timeout : float;
+  shard_attempts : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    max_frame_bytes = P.default_max_frame_bytes;
+    idle_timeout_s = None;
+    frame_timeout_s = None;
+    session_io = None;
+    shard_wrap = None;
+    connect_timeout = 5.0;
+    shard_attempts = 4;
+  }
+
+(* {1 Shard connection pools}
+
+   One small free-list of clients per endpoint: sessions are threads, so
+   concurrent fan-outs must not share a connection (the protocol has no
+   frame multiplexing).  A client whose transport failed is closed, not
+   returned — the next caller re-dials. *)
+
+type pool = { mutable free : Client.t list; pm : Mutex.t }
+
+(* Rebalance in flight: the state machine of [split].  [watermark] is
+   the highest z already copied to the target (mutations at or below it
+   are dual-written); [chunk] is the element being copied right now
+   (mutations inside it wait); [muts] counts gated mutations still in
+   flight (the copy loop waits for them before snapshotting a chunk);
+   [moved] counts, per coordinate, how many entries the target now holds
+   that the source also still holds — the cleanup list. *)
+type rebal = {
+  move_lo : int;
+  move_hi : int;
+  dst_host : string;
+  dst_port : int;
+  mutable watermark : int;
+  mutable chunk : (int * int) option;
+  mutable muts : int;
+  mutable failed : string option;
+  moved : (int array, int) Hashtbl.t;
+}
+
+type t = {
+  config : config;
+  space : Z.Space.t;
+  mutable rmap : SM.t;
+  mutable rebal : rebal option;
+  m : Mutex.t;
+  cv : Condition.t;
+  pools : (string, pool) Hashtbl.t;
+  pools_m : Mutex.t;
+  mutable net : Net.t option;
+  mutable stopped : bool;
+  c_requests : Metrics.counter;
+  h_fanout : Metrics.histogram;
+  c_skipped : Metrics.counter;
+  c_stale_retries : Metrics.counter;
+  g_epoch : Metrics.gauge;
+  c_reb_chunks : Metrics.counter;
+  c_reb_rows : Metrics.counter;
+  c_reb_dual : Metrics.counter;
+  g_reb_active : Metrics.gauge;
+}
+
+let port t = match t.net with Some n -> Net.port n | None -> 0
+
+let current_map t =
+  Mutex.lock t.m;
+  let m = t.rmap in
+  Mutex.unlock t.m;
+  m
+
+let map = current_map
+
+let set_map t m =
+  Mutex.lock t.m;
+  if m.SM.epoch >= t.rmap.SM.epoch then begin
+    t.rmap <- m;
+    Metrics.set_gauge t.g_epoch m.SM.epoch
+  end;
+  Mutex.unlock t.m
+
+let indexed entries = List.mapi (fun i e -> (i, e)) entries
+
+let endpoint_key host port = Printf.sprintf "%s:%d" host port
+
+let take_client t ~host ~port =
+  let key = endpoint_key host port in
+  Mutex.lock t.pools_m;
+  let p =
+    match Hashtbl.find_opt t.pools key with
+    | Some p -> p
+    | None ->
+        let p = { free = []; pm = Mutex.create () } in
+        Hashtbl.add t.pools key p;
+        p
+  in
+  Mutex.unlock t.pools_m;
+  Mutex.lock p.pm;
+  match p.free with
+  | c :: rest ->
+      p.free <- rest;
+      Mutex.unlock p.pm;
+      (p, c)
+  | [] ->
+      Mutex.unlock p.pm;
+      let c =
+        Client.connect ~host ~connect_timeout:t.config.connect_timeout
+          ~max_attempts:t.config.shard_attempts ?wrap:t.config.shard_wrap ~port
+          ()
+      in
+      (p, c)
+
+let put_client p c =
+  Mutex.lock p.pm;
+  p.free <- c :: p.free;
+  Mutex.unlock p.pm
+
+(* Run [f] on a pooled client for [host:port]; the client goes back to
+   the pool unless the call ended in a transport failure. *)
+let with_endpoint t ~host ~port f =
+  match take_client t ~host ~port with
+  | exception e ->
+      Error
+        (Client.Transport
+           {
+             attempts = 1;
+             message =
+               Printf.sprintf "shard %s:%d unreachable: %s" host port
+                 (match e with
+                 | Unix.Unix_error (err, fn, _) ->
+                     Printf.sprintf "%s: %s" fn (Unix.error_message err)
+                 | e -> Printexc.to_string e);
+           })
+  | p, c -> (
+      let r = try f c with e -> Error (Client.Transport { attempts = 1; message = Printexc.to_string e }) in
+      match r with
+      | Error (Client.Transport _) ->
+          Client.close c;
+          r
+      | _ ->
+          put_client p c;
+          r)
+
+let with_entry t (e : SM.entry) f = with_endpoint t ~host:e.SM.host ~port:e.SM.port f
+
+let shard_label (e : SM.entry) =
+  Printf.sprintf "%s:%d z=[%d,%d]" e.SM.host e.SM.port e.SM.zlo e.SM.zhi
+
+let response_of_reply (e : SM.entry) = function
+  | Ok resp -> resp
+  | Error (Client.Remote { code; message }) -> P.Error { code; message }
+  | Error (Client.Transport { attempts; message }) ->
+      P.Error
+        {
+          code = P.Server_error;
+          message =
+            Printf.sprintf "shard %s unreachable after %d attempt%s: %s"
+              (shard_label e) attempts
+              (if attempts = 1 then "" else "s")
+              message;
+        }
+
+(* {1 Scatter}
+
+   One thread per sub-request (they block on I/O, not CPU); results come
+   back in target-list order, so z-ordered merges need no sort. *)
+
+let scatter jobs =
+  match jobs with
+  | [] -> []
+  | [ j ] -> [ j () ]
+  | _ ->
+      let arr = Array.of_list jobs in
+      let out = Array.make (Array.length arr) None in
+      let threads =
+        Array.mapi
+          (fun i j -> Thread.create (fun () -> out.(i) <- Some (j ())) ())
+          arr
+      in
+      Array.iter Thread.join threads;
+      Array.to_list out
+      |> List.map (function Some r -> r | None -> assert false)
+
+let is_stale = function P.Error { code = P.Stale_epoch; _ } -> true | _ -> false
+
+let first_error results =
+  List.find_map
+    (fun (_, _, r) -> match r with P.Error _ as e -> Some e | _ -> None)
+    results
+
+(* Forward the client's original payload, verbatim, to each target —
+   version byte, deadline and idempotency key travel untouched, so the
+   shard-side dedup windows see the origin client's key and the
+   exactly-once contract holds end to end. *)
+let forward_to t m ?deadline_ms payload targets =
+  scatter
+    (List.map
+       (fun (i, e) () ->
+         ( i,
+           e,
+           response_of_reply e
+             (with_entry t e (fun c ->
+                  Client.forward ?deadline_ms c ~epoch:m.SM.epoch ~payload)) ))
+       targets)
+
+(* {1 Map repair}
+
+   On [Stale_epoch] somebody's epoch moved without us (or a shard missed
+   a push): adopt the highest epoch visible anywhere, then push it back
+   out.  Bounded by the caller's retry budget. *)
+
+let push_map t m =
+  List.map
+    (fun (i, e) ->
+      match with_entry t e (fun c -> Client.shard_map_set c ~map:m ~self:i) with
+      | Ok _ -> Ok ()
+      | Error err -> Error (shard_label e ^ ": " ^ Client.error_to_string err))
+    (indexed m.SM.entries)
+
+let resync t =
+  Metrics.incr t.c_stale_retries;
+  let m0 = current_map t in
+  let best =
+    List.fold_left
+      (fun best (_, e) ->
+        match with_entry t e (fun c -> Client.shard_map_get c) with
+        | Ok m when m.SM.epoch > best.SM.epoch -> m
+        | _ -> best)
+      m0 (indexed m0.SM.entries)
+  in
+  set_map t best;
+  ignore (push_map t best)
+
+let max_route_attempts = 3
+
+(* [f m] routes one request under map [m]; [`Stale] means some shard
+   fenced us off and the maps need repair before re-routing. *)
+let rec with_stale_retry t attempt f =
+  let m = current_map t in
+  match f m with
+  | `Done r -> r
+  | `Stale ->
+      if attempt >= max_route_attempts then
+        P.Error
+          {
+            code = P.Stale_epoch;
+            message = "cluster: shard map still moving after retries; try again";
+          }
+      else begin
+        resync t;
+        with_stale_retry t (attempt + 1) f
+      end
+
+(* {1 Fan-out pruning}
+
+   Decompose the query box once — coarsely; over-approximation only adds
+   a shard that will answer with zero rows — and keep the shards whose
+   owned interval overlaps the cover. *)
+
+let routing_options =
+  { Z.Decompose.max_level = Some 8; max_elements = Some 64 }
+
+let read_targets t m ~lo ~hi =
+  let cover = Z.Decompose.decompose_box ~options:routing_options t.space ~lo ~hi in
+  let intervals = Z.Zrange.elements_to_intervals t.space cover in
+  let targets =
+    List.filter
+      (fun (_, e) ->
+        Z.Zrange.overlaps_interval intervals ~lo:e.SM.zlo ~hi:e.SM.zhi)
+      (indexed m.SM.entries)
+  in
+  let total = List.length m.SM.entries in
+  let n = List.length targets in
+  Metrics.observe t.h_fanout n;
+  Metrics.add t.c_skipped (total - n);
+  if targets = [] then indexed m.SM.entries else targets
+
+(* {1 Merging} *)
+
+let rows_of results =
+  List.map
+    (fun (_, _, r) -> match r with P.Rows rel -> rel | _ -> assert false)
+    results
+
+let schema_check rels =
+  match rels with
+  | [] | [ _ ] -> true
+  | r0 :: rest ->
+      List.for_all
+        (fun r -> R.Schema.equal (R.Relation.schema r0) (R.Relation.schema r))
+        rest
+
+(* Shards own ascending disjoint z ranges and answer range reads in z
+   order, so concatenation in shard order IS the global z order. *)
+let merge_concat results =
+  match first_error results with
+  | Some e -> e
+  | None -> (
+      match rows_of results with
+      | [] -> P.Error { code = P.Server_error; message = "no shard answered" }
+      | r0 :: _ as rels ->
+          if not (schema_check rels) then
+            P.Error
+              { code = P.Server_error; message = "shards answered with divergent schemas" }
+          else
+            P.Rows
+              (R.Relation.make ~name:(R.Relation.name r0)
+                 (R.Relation.schema r0)
+                 (List.concat_map R.Relation.tuples rels)))
+
+let tuple_cmp a b =
+  let n = Array.length a and m = Array.length b in
+  if n <> m then compare n m
+  else
+    let rec go i =
+      if i = n then 0
+      else
+        let c = R.Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+(* Distinct merge for broadcast plans: cross-shard duplicates (an
+   element pair replicated onto several shards) collapse; rows come back
+   in one canonical sorted order, the same at every shard count. *)
+let merge_distinct rels =
+  match rels with
+  | [] -> None
+  | r0 :: _ ->
+      if not (schema_check rels) then None
+      else
+        Some
+          (R.Relation.make ~name:(R.Relation.name r0) (R.Relation.schema r0)
+             (List.sort_uniq tuple_cmp (List.concat_map R.Relation.tuples rels)))
+
+(* {1 Plan admissibility}
+
+   A routed plan must be exact under "evaluate on every shard, distinct
+   the union".  Row-local operators and [Spatial_join] are: boundary
+   replication guarantees both sides of any overlapping element pair
+   meet on at least one shard.  [Product]/[Natural_join] are not (their
+   matching rows may live on different shards), and a root [Sort] would
+   promise an order the distinct merge cannot keep.  The root must be
+   the duplicate-eliminating [Project] so the merge's distinct is a
+   no-op semantically. *)
+
+let rec fragment_safe = function
+  | W.Scan _ -> true
+  | W.Select_equals (_, _, p)
+  | W.Select_between (_, _, _, p)
+  | W.Project (_, p)
+  | W.Project_all (_, p)
+  | W.Rename (_, p)
+  | W.Sort (_, p) ->
+      fragment_safe p
+  | W.Spatial_join { left; right; _ } -> fragment_safe left && fragment_safe right
+  | W.Union (a, b) -> fragment_safe a && fragment_safe b
+  | W.Natural_join _ | W.Product _ -> false
+
+let routable_plan = function
+  | W.Project (_, inner) -> fragment_safe inner
+  | _ -> false
+
+let plan_rejection =
+  P.Error
+    {
+      code = P.Bad_request;
+      message =
+        "cluster: a routed plan needs a duplicate-eliminating Project root \
+         and may not contain Product or Natural_join (cross-shard pairs \
+         would be lost) or a root Sort (shard order cannot be stitched)";
+    }
+
+(* {1 Rebalance gate}
+
+   Every routed mutation passes here.  Points inside the chunk being
+   copied wait (briefly — one chunk is a few thousand cells); points in
+   the already-copied region are dual-written to the target so the copy
+   cannot go stale.  The in-flight count lets the copy loop wait out
+   mutations that passed the gate before the chunk was claimed. *)
+
+let gate_begin t zs =
+  Mutex.lock t.m;
+  let rec wait_clear z =
+    match t.rebal with
+    | Some ({ chunk = Some (clo, chi); _ } as _rb) when z >= clo && z <= chi ->
+        Condition.wait t.cv t.m;
+        wait_clear z
+    | _ -> ()
+  in
+  List.iter wait_clear zs;
+  let dual =
+    match t.rebal with
+    | Some rb ->
+        rb.muts <- rb.muts + 1;
+        Some (rb.move_lo, rb.watermark, rb.dst_host, rb.dst_port)
+    | None -> None
+  in
+  Mutex.unlock t.m;
+  dual
+
+let gate_end t ~record =
+  Mutex.lock t.m;
+  (match t.rebal with
+  | Some rb ->
+      rb.muts <- rb.muts - 1;
+      List.iter
+        (fun (p, delta) ->
+          let n = try Hashtbl.find rb.moved p with Not_found -> 0 in
+          Hashtbl.replace rb.moved p (n + delta))
+        record;
+      Condition.broadcast t.cv
+  | None -> ());
+  Mutex.unlock t.m
+
+let rebal_fail t msg =
+  Mutex.lock t.m;
+  (match t.rebal with
+  | Some rb when rb.failed = None -> rb.failed <- Some msg
+  | _ -> ());
+  Mutex.unlock t.m
+
+(* {1 Mutation routing} *)
+
+let owner_idx m z =
+  let rec go i = function
+    | [] -> None
+    | (e : SM.entry) :: rest ->
+        if z >= e.zlo && z <= e.zhi then Some (i, e) else go (i + 1) rest
+  in
+  go 0 m.SM.entries
+
+let group_by_owner m items z_of =
+  let n = List.length m.SM.entries in
+  let buckets = Array.make n [] in
+  List.iter
+    (fun it ->
+      match owner_idx m (z_of it) with
+      | Some (i, _) -> buckets.(i) <- it :: buckets.(i)
+      | None -> (* map covers the full z range; unreachable *) assert false)
+    items;
+  List.filteri (fun i _ -> buckets.(i) <> [])
+  @@ List.mapi
+       (fun i e -> (i, e, List.rev buckets.(i)))
+       m.SM.entries
+
+let merge_acks results =
+  match first_error results with
+  | Some e -> e
+  | None ->
+      let applied, seq =
+        List.fold_left
+          (fun (a, s) (_, _, r) ->
+            match r with
+            | P.Ack { applied; seq } -> (a + applied, max s seq)
+            | _ -> (a, s))
+          (0, 0) results
+      in
+      P.Ack { applied; seq }
+
+(* Forward per-shard sub-batches under the origin client's own deadline
+   and idempotency key — each shard's dedup window then answers a
+   replayed sub-batch with its original Ack, whoever retried (this
+   router or the origin client). *)
+let forward_subbatches t m (frame : P.request_frame) groups make_req =
+  scatter
+    (List.map
+       (fun (i, e, sub) () ->
+         let payload =
+           P.encode_request
+             {
+               P.deadline_ms = frame.P.deadline_ms;
+               idem = frame.P.idem;
+               request = make_req sub;
+             }
+         in
+         ( i,
+           e,
+           response_of_reply e
+             (with_entry t e (fun c ->
+                  Client.forward ?deadline_ms:frame.P.deadline_ms c
+                    ~epoch:m.SM.epoch ~payload)) ))
+       groups)
+
+let stale_or_acks results =
+  if List.exists (fun (_, _, r) -> is_stale r) results then `Stale
+  else `Done (merge_acks results)
+
+let route_insert t m frame ~table ~(points : (int array * int) list) =
+  let z_of (p, _) = SM.z_of_point t.space p in
+  let zs = List.map z_of points in
+  let dual = gate_begin t zs in
+  let record = ref [] in
+  (match dual with
+  | Some (mlo, wm, dhost, dport) -> (
+      let shadow =
+        List.filter (fun it -> let z = z_of it in z >= mlo && z <= wm) points
+      in
+      if shadow <> [] then begin
+        Metrics.add t.c_reb_dual (List.length shadow);
+        match
+          with_endpoint t ~host:dhost ~port:dport (fun c ->
+              Client.insert c ~table shadow)
+        with
+        | Ok _ -> record := List.map (fun (p, _) -> (Array.copy p, 1)) shadow
+        | Error err ->
+            rebal_fail t ("dual insert failed: " ^ Client.error_to_string err)
+      end)
+  | None -> ());
+  let groups = group_by_owner m points z_of in
+  let results =
+    forward_subbatches t m frame groups (fun sub -> P.Insert { table; points = sub })
+  in
+  gate_end t ~record:!record;
+  stale_or_acks results
+
+let route_delete t m frame ~table ~(points : int array list) =
+  let z_of p = SM.z_of_point t.space p in
+  let zs = List.map z_of points in
+  let dual = gate_begin t zs in
+  let record = ref [] in
+  (match dual with
+  | Some (mlo, wm, dhost, dport) -> (
+      let shadow =
+        List.filter (fun p -> let z = z_of p in z >= mlo && z <= wm) points
+      in
+      if shadow <> [] then begin
+        Metrics.add t.c_reb_dual (List.length shadow);
+        match
+          with_endpoint t ~host:dhost ~port:dport (fun c ->
+              Client.delete c ~table shadow)
+        with
+        | Ok _ -> record := List.map (fun p -> (Array.copy p, -1)) shadow
+        | Error err ->
+            rebal_fail t ("dual delete failed: " ^ Client.error_to_string err)
+      end)
+  | None -> ());
+  let groups = group_by_owner m points z_of in
+  let results =
+    forward_subbatches t m frame groups (fun sub -> P.Delete { table; points = sub })
+  in
+  gate_end t ~record:!record;
+  stale_or_acks results
+
+(* {1 Broadcast plans and admin} *)
+
+let broadcast t m ?deadline_ms payload =
+  forward_to t m ?deadline_ms payload (indexed m.SM.entries)
+
+let stitch_sections m results render =
+  String.concat "\n"
+    (Printf.sprintf "cluster: epoch %d, %d shard%s" m.SM.epoch
+       (List.length m.SM.entries)
+       (if List.length m.SM.entries = 1 then "" else "s")
+    :: List.map
+         (fun (i, e, r) ->
+           Printf.sprintf "-- shard %d (%s) --\n%s" i (shard_label e) (render r))
+         results)
+
+let route_query results =
+  if List.exists (fun (_, _, r) -> is_stale r) results then `Stale
+  else
+    `Done
+      (match first_error results with
+      | Some e -> e
+      | None -> (
+          match merge_distinct (rows_of results) with
+          | Some rel -> P.Rows rel
+          | None ->
+              P.Error
+                {
+                  code = P.Server_error;
+                  message = "shards answered with divergent schemas";
+                }))
+
+let route_analyze m results =
+  if List.exists (fun (_, _, r) -> is_stale r) results then `Stale
+  else
+    `Done
+      (match first_error results with
+      | Some e -> e
+      | None ->
+          let rels =
+            List.map
+              (fun (_, _, r) ->
+                match r with P.Analyzed { rows; _ } -> rows | _ -> assert false)
+              results
+          in
+          (match merge_distinct rels with
+          | None ->
+              P.Error
+                {
+                  code = P.Server_error;
+                  message = "shards answered with divergent schemas";
+                }
+          | Some rows ->
+              let rendered =
+                stitch_sections m results (fun r ->
+                    match r with
+                    | P.Analyzed { rendered; rows } ->
+                        Printf.sprintf "%s(%d rows from this shard)\n" rendered
+                          (R.Relation.cardinality rows)
+                    | _ -> "")
+              in
+              P.Analyzed { rendered; rows }))
+
+let route_explain m results =
+  if List.exists (fun (_, _, r) -> is_stale r) results then `Stale
+  else
+    `Done
+      (match first_error results with
+      | Some e -> e
+      | None ->
+          P.Text
+            (stitch_sections m results (fun r ->
+                 match r with P.Text s -> s | _ -> "")))
+
+let route_texts m results =
+  if List.exists (fun (_, _, r) -> is_stale r) results then `Stale
+  else
+    `Done
+      (match first_error results with
+      | Some e -> e
+      | None ->
+          P.Text
+            (stitch_sections m results (fun r ->
+                 match r with P.Text s -> s | _ -> "")))
+
+let route_health t m =
+  let results =
+    scatter
+      (List.map
+         (fun (i, e) () ->
+           (i, e, with_entry t e (fun c -> Client.health c)))
+         (indexed m.SM.entries))
+  in
+  let bad =
+    List.filter_map
+      (fun (i, e, r) ->
+        match r with
+        | Ok h when h.P.healthy -> None
+        | Ok h -> Some (Printf.sprintf "shard %d (%s): %s" i (shard_label e) h.P.mode)
+        | Error err ->
+            Some
+              (Printf.sprintf "shard %d (%s): %s" i (shard_label e)
+                 (Client.error_to_string err)))
+      results
+  in
+  let sum f =
+    List.fold_left
+      (fun acc (_, _, r) -> match r with Ok h -> acc + f h | Error _ -> acc)
+      0 results
+  in
+  let modes =
+    List.filter_map
+      (fun (_, _, r) ->
+        match r with Ok h -> Some h.P.mode | Error _ -> Some "unreachable")
+      results
+  in
+  let mode =
+    if List.for_all (fun m -> m = "serving") modes then "serving"
+    else String.concat "; " bad
+  in
+  let detail =
+    Printf.sprintf "cluster: epoch %d, %d shards%s" m.SM.epoch
+      (List.length m.SM.entries)
+      (if bad = [] then "" else "; " ^ String.concat "; " bad)
+  in
+  P.Health_report
+    {
+      P.healthy = bad = [];
+      detail;
+      in_flight = sum (fun h -> h.P.in_flight);
+      queued = sum (fun h -> h.P.queued);
+      served = sum (fun h -> h.P.served);
+      mode;
+    }
+
+(* {1 The handle: one payload in, one payload out} *)
+
+let z_intervals_of_box t ~lo ~hi =
+  match Z.Decompose.decompose_box ~options:routing_options t.space ~lo ~hi with
+  | cover -> Ok (Z.Zrange.elements_to_intervals t.space cover)
+  | exception Invalid_argument msg -> Error msg
+
+let route t (frame : P.request_frame) payload =
+  let deadline_ms = frame.P.deadline_ms in
+  match frame.P.request with
+  | P.Range_search { lo; hi } | P.Live_range { lo; hi; _ } -> (
+      match z_intervals_of_box t ~lo ~hi with
+      | Error msg -> P.Error { code = P.Bad_request; message = msg }
+      | Ok _ ->
+          with_stale_retry t 1 (fun m ->
+              let targets = read_targets t m ~lo ~hi in
+              let results = forward_to t m ?deadline_ms payload targets in
+              if List.exists (fun (_, _, r) -> is_stale r) results then `Stale
+              else `Done (merge_concat results)))
+  | P.Query plan ->
+      if not (routable_plan plan) then plan_rejection
+      else
+        with_stale_retry t 1 (fun m ->
+            route_query (broadcast t m ?deadline_ms payload))
+  | P.Analyze plan ->
+      if not (routable_plan plan) then plan_rejection
+      else
+        with_stale_retry t 1 (fun m ->
+            route_analyze m (broadcast t m ?deadline_ms payload))
+  | P.Explain plan ->
+      if not (routable_plan plan) then plan_rejection
+      else
+        with_stale_retry t 1 (fun m ->
+            route_explain m (broadcast t m ?deadline_ms payload))
+  | P.Insert { table; points } -> (
+      match List.map (fun (p, _) -> SM.z_of_point t.space p) points with
+      | exception Invalid_argument msg ->
+          P.Error { code = P.Bad_request; message = msg }
+      | _ ->
+          with_stale_retry t 1 (fun m -> route_insert t m frame ~table ~points))
+  | P.Delete { table; points } -> (
+      match List.map (SM.z_of_point t.space) points with
+      | exception Invalid_argument msg ->
+          P.Error { code = P.Bad_request; message = msg }
+      | _ ->
+          with_stale_retry t 1 (fun m -> route_delete t m frame ~table ~points))
+  | P.Create_index _ ->
+      with_stale_retry t 1 (fun m ->
+          stale_or_acks (broadcast t m ?deadline_ms payload))
+  | P.Refresh_stats | P.Recover ->
+      with_stale_retry t 1 (fun m ->
+          route_texts m (broadcast t m ?deadline_ms payload))
+  | P.Health -> route_health t (current_map t)
+  | P.Shard_map_get -> P.Shard_map (current_map t)
+  | P.Shard_map_set { map = m; self = _ } -> (
+      Mutex.lock t.m;
+      let current = t.rmap in
+      let busy = t.rebal <> None in
+      Mutex.unlock t.m;
+      if busy then
+        P.Error
+          { code = P.Server_error; message = "rebalance in progress; retry later" }
+      else if m.SM.epoch < current.SM.epoch then
+        P.Error
+          {
+            code = P.Stale_epoch;
+            message =
+              Printf.sprintf "router holds epoch %d, refusing epoch %d"
+                current.SM.epoch m.SM.epoch;
+          }
+      else begin
+        set_map t m;
+        ignore (push_map t m);
+        P.Ack { applied = List.length m.SM.entries; seq = m.SM.epoch }
+      end)
+  | P.Forward _ ->
+      P.Error
+        {
+          code = P.Bad_request;
+          message = "the router does not accept forwarded envelopes";
+        }
+
+let handle t payload =
+  Metrics.incr t.c_requests;
+  let version = if P.payload_version payload = 1 then 1 else 2 in
+  let encode resp = P.encode_response ~version resp in
+  match P.decode_request payload with
+  | Error (code, message) -> encode (P.Error { code; message })
+  | Ok frame -> (
+      match route t frame payload with
+      | resp -> encode resp
+      | exception e ->
+          encode
+            (P.Error
+               {
+                 code = P.Server_error;
+                 message = "router: " ^ Printexc.to_string e;
+               }))
+
+(* {1 Rebalancing: split one shard's range} *)
+
+let chunk_cells = 4096.
+
+(* The moving range's canonical element cover, each element split until
+   it is at most [chunk_cells] pixels: every chunk is simultaneously an
+   aligned z interval and an axis-aligned box, so [Live_range] reads it
+   exactly and the watermark advances in z order. *)
+let chunks_of t ~lo ~hi =
+  let rec refine e =
+    if Z.Element.cells t.space e <= chunk_cells then [ e ]
+    else
+      let l, h = Z.Element.children e in
+      refine l @ refine h
+  in
+  List.concat_map refine (Z.Zrange.cover t.space ~lo ~hi)
+
+let copy_chunk t ~src ~dst element =
+  let lo, hi = Z.Element.box t.space element in
+  match
+    with_entry t src (fun c -> Client.live_range c ~table:"L" ~lo ~hi)
+  with
+  | Error err -> Error ("chunk read: " ^ Client.error_to_string err)
+  | Ok rel -> (
+      let schema = R.Relation.schema rel in
+      let k = Z.Space.dims t.space in
+      let entries =
+        List.map
+          (fun tu ->
+            let id = R.Value.to_int (R.Relation.get tu schema "id") in
+            let p =
+              Array.init k (fun i ->
+                  R.Value.to_int
+                    (R.Relation.get tu schema (Printf.sprintf "x%d" i)))
+            in
+            (p, id))
+          (R.Relation.tuples rel)
+      in
+      if entries = [] then Ok []
+      else
+        match
+          with_endpoint t ~host:dst.SM.host ~port:dst.SM.port (fun c ->
+              Client.insert c ~table:"L" entries)
+        with
+        | Ok _ -> Ok (List.map fst entries)
+        | Error err -> Error ("chunk write: " ^ Client.error_to_string err))
+
+let split t ~from_ ~at ~host ~port =
+  (* 1. claim: one rebalance at a time, validated against the live map *)
+  Mutex.lock t.m;
+  let claim =
+    if t.rebal <> None then Error "a rebalance is already in progress"
+    else
+      match List.nth_opt t.rmap.SM.entries from_ with
+      | None -> Error (Printf.sprintf "no shard entry %d" from_)
+      | Some e ->
+          if at <= e.SM.zlo || at > e.SM.zhi then
+            Error
+              (Printf.sprintf "split point %d outside (%d, %d]" at e.SM.zlo
+                 e.SM.zhi)
+          else begin
+            let rb =
+              {
+                move_lo = at;
+                move_hi = e.SM.zhi;
+                dst_host = host;
+                dst_port = port;
+                watermark = at - 1;
+                chunk = None;
+                muts = 0;
+                failed = None;
+                moved = Hashtbl.create 64;
+              }
+            in
+            t.rebal <- Some rb;
+            Metrics.set_gauge t.g_reb_active 1;
+            Ok (e, rb)
+          end
+  in
+  Mutex.unlock t.m;
+  match claim with
+  | Error _ as e -> e
+  | Ok (src, rb) -> (
+      let finish r =
+        Mutex.lock t.m;
+        t.rebal <- None;
+        Metrics.set_gauge t.g_reb_active 0;
+        Condition.broadcast t.cv;
+        Mutex.unlock t.m;
+        r
+      in
+      let dst_entry =
+        { SM.zlo = at; zhi = src.SM.zhi; host; port }
+      in
+      (* 2. target must be alive before we move a single row *)
+      match with_endpoint t ~host ~port (fun c -> Client.health c) with
+      | Error err ->
+          finish (Error ("target unreachable: " ^ Client.error_to_string err))
+      | Ok _ -> (
+          (* 3. chunked copy with catch-up: claim chunk -> wait out gated
+             mutations -> snapshot-read from source -> append to target ->
+             advance watermark (dual-writes take over for this chunk) *)
+          let rec copy = function
+            | [] -> Ok ()
+            | element :: rest -> (
+                let clo, chi = Z.Zrange.of_element t.space element in
+                Mutex.lock t.m;
+                rb.chunk <- Some (clo, chi);
+                while rb.muts > 0 do
+                  Condition.wait t.cv t.m
+                done;
+                Mutex.unlock t.m;
+                let r = copy_chunk t ~src ~dst:dst_entry element in
+                Mutex.lock t.m;
+                (match r with
+                | Ok pts ->
+                    List.iter
+                      (fun p ->
+                        let n = try Hashtbl.find rb.moved p with Not_found -> 0 in
+                        Hashtbl.replace rb.moved p (n + 1))
+                      pts;
+                    rb.watermark <- chi
+                | Error _ -> ());
+                rb.chunk <- None;
+                Condition.broadcast t.cv;
+                Mutex.unlock t.m;
+                match r with
+                | Ok pts ->
+                    Metrics.incr t.c_reb_chunks;
+                    Metrics.add t.c_reb_rows (List.length pts);
+                    copy rest
+                | Error msg -> Error msg)
+          in
+          match copy (chunks_of t ~lo:at ~hi:src.SM.zhi) with
+          | Error msg -> finish (Error msg)
+          | Ok () -> (
+              match rb.failed with
+              | Some msg -> finish (Error msg)
+              | None -> (
+                  (* 4. atomic flip: install epoch+1 router-first, then
+                     push it to every shard.  Requests that raced the
+                     flip at the old epoch are fenced off by the shards
+                     and re-routed by the stale-retry loop. *)
+                  Mutex.lock t.m;
+                  let old = t.rmap in
+                  let entries =
+                    List.concat
+                      (List.mapi
+                         (fun i (e : SM.entry) ->
+                           if i = from_ then
+                             [ { e with SM.zhi = at - 1 }; dst_entry ]
+                           else [ e ])
+                         old.SM.entries)
+                  in
+                  let flipped = SM.make ~epoch:(old.SM.epoch + 1) entries in
+                  t.rmap <- flipped;
+                  Metrics.set_gauge t.g_epoch flipped.SM.epoch;
+                  Mutex.unlock t.m;
+                  let push_errors =
+                    List.filter_map
+                      (function Error m -> Some m | Ok () -> None)
+                      (push_map t flipped)
+                  in
+                  (* 5. cleanup: the source still physically holds every
+                     moved row (its ownership filter already hides them
+                     from reads); delete them so the space comes back *)
+                  let moved =
+                    Mutex.lock t.m;
+                    let l =
+                      Hashtbl.fold
+                        (fun p n acc ->
+                          if n > 0 then List.init n (fun _ -> p) @ acc else acc)
+                        rb.moved []
+                    in
+                    Mutex.unlock t.m;
+                    l
+                  in
+                  let rec cleanup = function
+                    | [] -> ()
+                    | pts ->
+                        let batch, rest =
+                          if List.length pts > 512 then
+                            (List.filteri (fun i _ -> i < 512) pts,
+                             List.filteri (fun i _ -> i >= 512) pts)
+                          else (pts, [])
+                        in
+                        ignore
+                          (with_entry t src (fun c ->
+                               Client.delete c ~table:"L" batch));
+                        cleanup rest
+                  in
+                  cleanup moved;
+                  if push_errors = [] then finish (Ok ())
+                  else
+                    finish
+                      (Error
+                         ("map flipped but some pushes failed (will self-heal \
+                           on stale retries): "
+                        ^ String.concat "; " push_errors))))))
+
+(* {1 Lifecycle} *)
+
+let start ?(config = default_config) ?metrics ~space ~map () =
+  if not (Z.Zrange.usable space) then
+    invalid_arg "Router.start: space exceeds 61 z bits";
+  let reg = match metrics with Some m -> m | None -> Metrics.global () in
+  let t =
+    {
+      config;
+      space;
+      rmap = map;
+      rebal = None;
+      m = Mutex.create ();
+      cv = Condition.create ();
+      pools = Hashtbl.create 8;
+      pools_m = Mutex.create ();
+      net = None;
+      stopped = false;
+      c_requests = Metrics.counter reg "cluster.requests";
+      h_fanout = Metrics.histogram reg "cluster.fanout";
+      c_skipped = Metrics.counter reg "cluster.shards_skipped";
+      c_stale_retries = Metrics.counter reg "cluster.stale_retries";
+      g_epoch = Metrics.gauge reg "cluster.epoch";
+      c_reb_chunks = Metrics.counter reg "cluster.rebalance.chunks";
+      c_reb_rows = Metrics.counter reg "cluster.rebalance.rows_moved";
+      c_reb_dual = Metrics.counter reg "cluster.rebalance.dual_writes";
+      g_reb_active = Metrics.gauge reg "cluster.rebalance.active";
+    }
+  in
+  Metrics.set_gauge t.g_epoch map.SM.epoch;
+  (* Every shard must accept the map before we serve a single request:
+     a shard that cannot be fenced cannot be routed to. *)
+  (match
+     List.filter_map
+       (function Error m -> Some m | Ok () -> None)
+       (push_map t map)
+   with
+  | [] -> ()
+  | errs -> failwith ("Router.start: " ^ String.concat "; " errs));
+  let net_config =
+    {
+      Net.host = config.host;
+      port = config.port;
+      max_frame_bytes = config.max_frame_bytes;
+      idle_timeout_s = config.idle_timeout_s;
+      frame_timeout_s = config.frame_timeout_s;
+      session_io = config.session_io;
+    }
+  in
+  let net =
+    Net.start ~config:net_config ~metrics:reg ~metrics_prefix:"cluster"
+      ~handle:(fun payload -> handle t payload)
+      ()
+  in
+  t.net <- Some net;
+  t
+
+let stop t =
+  Mutex.lock t.m;
+  let already = t.stopped in
+  t.stopped <- true;
+  Mutex.unlock t.m;
+  if not already then begin
+    (match t.net with Some n -> Net.stop n | None -> ());
+    Mutex.lock t.pools_m;
+    let pools = Hashtbl.fold (fun _ p acc -> p :: acc) t.pools [] in
+    Hashtbl.reset t.pools;
+    Mutex.unlock t.pools_m;
+    List.iter
+      (fun p ->
+        Mutex.lock p.pm;
+        let cs = p.free in
+        p.free <- [];
+        Mutex.unlock p.pm;
+        List.iter Client.close cs)
+      pools
+  end

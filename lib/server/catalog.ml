@@ -27,6 +27,8 @@ type dedup_outcome = Fresh | Replay of string | In_flight | Too_old
 
 type t = {
   space : Z.Space.t;
+  shard : (int * int) option;
+      (* owned z interval when this catalog is a cluster shard's slice *)
   points_rel : R.Relation.t;  (* "P": id, z, x0..xk — range-search side *)
   relations : (string * R.Plan.t) list;
   lives : (string * int Live.t) list;  (* mutable tables, payload = id *)
@@ -40,7 +42,7 @@ type t = {
   mutable dedup_tick : int;
 }
 
-let make ?(lives = []) ~space ~points ~relations () =
+let make ?(lives = []) ?shard ~space ~points ~relations () =
   let points_rel = R.Query.points_relation space points in
   let relations =
     if List.mem_assoc "P" relations then relations
@@ -53,6 +55,7 @@ let make ?(lives = []) ~space ~points ~relations () =
   in
   {
     space;
+    shard;
     points_rel;
     relations;
     lives;
@@ -64,31 +67,78 @@ let make ?(lives = []) ~space ~points ~relations () =
     dedup_tick = 0;
   }
 
-let of_seeded ?tuples_per_page ?pool_capacity (wk : Sqp_workload.Seeded.t) =
+let of_seeded ?tuples_per_page ?pool_capacity ?shard ?(live_empty = false)
+    (wk : Sqp_workload.Seeded.t) =
   let module W = Sqp_workload.Seeded in
   let space = wk.W.space in
+  (match shard with
+  | Some (zlo, zhi) ->
+      if not (Z.Zrange.usable space) then
+        invalid_arg "Catalog.of_seeded: shard slicing needs a usable z space";
+      if zlo > zhi || zlo < 0 then invalid_arg "Catalog.of_seeded: bad shard range"
+  | None -> ());
+  (* Points are pixels: each belongs to exactly one shard.  Join-side
+     elements carry a z {e interval}: an element goes to every shard its
+     interval overlaps (boundary-element replication), which is what
+     lets a scatter-gather join find a pair whose containing element
+     spans a shard cut — the containing element is present wherever the
+     contained one lives. *)
+  let point_in_shard p =
+    match shard with
+    | None -> true
+    | Some (zlo, zhi) ->
+        let z = Shard_map.z_of_point space p in
+        zlo <= z && z <= zhi
+  in
+  let element_in_shard e =
+    match shard with
+    | None -> true
+    | Some (zlo, zhi) ->
+        let lo, hi = Z.Zrange.of_element space e in
+        lo <= zhi && hi >= zlo
+  in
   let points =
-    Array.to_list (Array.mapi (fun i p -> (i, p)) wk.W.points)
+    List.filter
+      (fun (_, p) -> point_in_shard p)
+      (Array.to_list (Array.mapi (fun i p -> (i, p)) wk.W.points))
+  in
+  let restrict rel =
+    match shard with
+    | None -> rel
+    | Some _ ->
+        let schema = R.Relation.schema rel in
+        R.Relation.make ~name:(R.Relation.name rel) schema
+          (List.filter
+             (fun tu ->
+               element_in_shard (R.Value.to_zval (R.Relation.get tu schema "z")))
+             (R.Relation.tuples rel))
   in
   let stored name renames objects =
     R.Stored.store ?tuples_per_page ?pool_capacity
       (R.Ops.rename renames
-         (R.Query.decompose_relation ~name ~options:wk.W.decompose_options space
-            objects))
+         (restrict
+            (R.Query.decompose_relation ~name ~options:wk.W.decompose_options
+               space objects)))
   in
   let r = stored "R" [ ("id", "rid"); ("z", "zr") ] wk.W.left_objects in
   let s = stored "S" [ ("id", "sid"); ("z", "zs") ] wk.W.right_objects in
   (* "L": the live ingest table, pre-seeded with the same points as "P"
-     (payload = id) so mutation traffic has something to land on. *)
+     (payload = id) so mutation traffic has something to land on.
+     [live_empty] starts it empty instead — a rebalance target begins
+     with no live entries and receives the moving range as a stream. *)
   let live =
     Live.create ~encode:string_of_int ~decode:int_of_string space
   in
-  ignore (Live.apply live (List.map (fun (id, p) -> Live.Insert (p, id)) points));
-  make ~lives:[ ("L", live) ] ~space ~points
+  if not live_empty then
+    ignore
+      (Live.apply live (List.map (fun (id, p) -> Live.Insert (p, id)) points));
+  make ~lives:[ ("L", live) ] ?shard ~space ~points
     ~relations:[ ("R", R.Plan.Scan_stored r); ("S", R.Plan.Scan_stored s) ]
     ()
 
 let space t = t.space
+
+let shard_range t = t.shard
 
 let names t = List.sort compare (List.map fst t.relations)
 

@@ -14,6 +14,7 @@ type t
 
 val make :
   ?lives:(string * int Sqp_btree.Live.t) list ->
+  ?shard:int * int ->
   space:Sqp_zorder.Space.t ->
   points:(int * Sqp_geom.Point.t) list ->
   relations:(string * Sqp_relalg.Plan.t) list ->
@@ -23,19 +24,39 @@ val make :
     [Scan name] leaves of wire plans.  The points are also published as
     relation ["P"] (id, z, coordinates) unless [relations] already
     binds that name.  [lives] binds mutable tables for the
-    insert/delete/create-index frames (payloads are row ids). *)
+    insert/delete/create-index frames (payloads are row ids).  [shard]
+    records the owned z interval when this catalog is one cluster
+    shard's slice (see {!shard_range}). *)
 
 val of_seeded :
-  ?tuples_per_page:int -> ?pool_capacity:int -> Sqp_workload.Seeded.t -> t
+  ?tuples_per_page:int ->
+  ?pool_capacity:int ->
+  ?shard:int * int ->
+  ?live_empty:bool ->
+  Sqp_workload.Seeded.t ->
+  t
 (** The canonical serving catalog, built from the shared seeded
     workload: ["P"] — the point relation; ["R"] / ["S"] — the two
     spatial-join sides, decomposed and materialized onto paged stored
     relations with attributes [(rid, zr)] / [(sid, zs)], exactly as
     {!Sqp_relalg.Query.stored_overlap_plan} lays them out; and ["L"] —
     a live ingest table pre-seeded with the same points as ["P"]
-    (payload = id). *)
+    (payload = id).
+
+    [shard (zlo, zhi)] builds the z-range-restricted slice a cluster
+    shard serves, {e locally from the same deterministic seeds} — no
+    data shipping at bring-up.  Points (pixels) are kept iff their z
+    value lies in the interval; join-side element rows are kept iff
+    their z {e interval} overlaps it, so an element spanning a shard
+    cut is replicated to every shard it overlaps (the boundary-element
+    replication that keeps scatter-gather joins exact).  [live_empty]
+    starts ["L"] with no entries instead of the seeded points — how a
+    rebalance target begins life. *)
 
 val space : t -> Sqp_zorder.Space.t
+
+val shard_range : t -> (int * int) option
+(** The owned z interval this catalog was sliced to, if any. *)
 
 val names : t -> string list
 (** Bound relation names, sorted. *)

@@ -20,6 +20,7 @@ type t = {
   host : string;
   port : int;
   wrap : (Unix.file_descr -> P.io) option;
+  connect_timeout : float;
   max_attempts : int;
   client_id : int;
   mutable rng : int64;  (* SplitMix64 state for backoff jitter *)
@@ -72,10 +73,34 @@ let fresh_client_id () =
   in
   Int64.to_int z land max_int
 
-let dial ~host ~port =
+let default_connect_timeout = 5.0
+let max_connect_timeout = 120.0
+
+(* Bounded connect: non-blocking [connect] + [select], so a black-holed
+   address (firewall drop, dead host) surfaces as [ETIMEDOUT] after
+   [timeout] seconds instead of hanging for the kernel's SYN-retry
+   minutes. *)
+let dial ~timeout ~host ~port =
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
-     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+     Unix.set_nonblock fd;
+     (try Unix.connect fd addr with
+     | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+         match Unix.select [] [ fd ] [] timeout with
+         | _, [], _ ->
+             raise
+               (Unix.Unix_error
+                  (Unix.ETIMEDOUT, "connect", Printf.sprintf "%s:%d" host port))
+         | _ -> (
+             (* Writable means *decided*, not connected: read the verdict. *)
+             match Unix.getsockopt_error fd with
+             | None -> ()
+             | Some err ->
+                 raise
+                   (Unix.Unix_error
+                      (err, "connect", Printf.sprintf "%s:%d" host port)))));
+     Unix.clear_nonblock fd;
      Unix.setsockopt fd Unix.TCP_NODELAY true
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -84,11 +109,15 @@ let dial ~host ~port =
 
 let io_for wrap fd = match wrap with Some w -> w fd | None -> P.io_of_fd fd
 
-let connect ?(host = "127.0.0.1") ?client_id ?(max_attempts = 4) ?wrap ~port () =
+let connect ?(host = "127.0.0.1") ?client_id
+    ?(connect_timeout = default_connect_timeout) ?(max_attempts = 4) ?wrap
+    ~port () =
   if max_attempts < 1 then invalid_arg "Client.connect: max_attempts < 1";
+  if not (connect_timeout > 0.) || connect_timeout > max_connect_timeout then
+    invalid_arg "Client.connect: connect_timeout must be in (0, 120]";
   (* A server that hung up must surface as EPIPE, not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let fd = dial ~host ~port in
+  let fd = dial ~timeout:connect_timeout ~host ~port in
   let client_id =
     match client_id with Some id -> id | None -> fresh_client_id ()
   in
@@ -96,6 +125,7 @@ let connect ?(host = "127.0.0.1") ?client_id ?(max_attempts = 4) ?wrap ~port () 
     host;
     port;
     wrap;
+    connect_timeout;
     max_attempts;
     client_id;
     rng = Int64.of_int client_id;
@@ -119,15 +149,15 @@ let close t =
     drop_conn t
   end
 
-let with_connect ?host ?client_id ?max_attempts ?wrap ~port f =
-  let t = connect ?host ?client_id ?max_attempts ?wrap ~port () in
+let with_connect ?host ?client_id ?connect_timeout ?max_attempts ?wrap ~port f =
+  let t = connect ?host ?client_id ?connect_timeout ?max_attempts ?wrap ~port () in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
 let ensure_conn t =
   match t.conn with
   | Some c -> c
   | None ->
-      let fd = dial ~host:t.host ~port:t.port in
+      let fd = dial ~timeout:t.connect_timeout ~host:t.host ~port:t.port in
       let c = { fd; io = io_for t.wrap fd } in
       t.conn <- Some c;
       t.reconnects <- t.reconnects + 1;
@@ -284,6 +314,19 @@ let live_range ?deadline_ms t ~table ~lo ~hi =
   expecting "rows"
     (function P.Rows r -> Some r | _ -> None)
     (call ?deadline_ms t (P.Live_range { table; lo; hi }))
+
+let shard_map_get ?deadline_ms t =
+  expecting "shard map"
+    (function P.Shard_map m -> Some m | _ -> None)
+    (call ?deadline_ms t P.Shard_map_get)
+
+let shard_map_set ?deadline_ms t ~map ~self =
+  expecting "ack"
+    (function P.Ack { applied; seq } -> Some (applied, seq) | _ -> None)
+    (call ?deadline_ms t (P.Shard_map_set { map; self }))
+
+let forward ?deadline_ms t ~epoch ~payload =
+  call ?deadline_ms t (P.Forward { epoch; payload })
 
 let health t =
   expecting "health report"

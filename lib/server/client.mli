@@ -42,6 +42,7 @@ type 'a reply = ('a, error) result
 val connect :
   ?host:string ->
   ?client_id:int ->
+  ?connect_timeout:float ->
   ?max_attempts:int ->
   ?wrap:(Unix.file_descr -> Protocol.io) ->
   port:int ->
@@ -49,12 +50,19 @@ val connect :
   t
 (** [host] defaults to ["127.0.0.1"].  [client_id] (default: a fresh
     collision-unlikely random id) names this client in idempotency keys
-    — pin it to make chaos runs deterministic.  [max_attempts] (default
-    4, min 1) bounds transport retries for calls {e without} a deadline.
-    [wrap] interposes on every socket this client opens (reconnects
-    included), e.g. {!Faulty_net.wrap} for fault injection.
-    @raise Unix.Unix_error if the connection is refused.
-    @raise Invalid_argument if [max_attempts < 1]. *)
+    — pin it to make chaos runs deterministic.  [connect_timeout]
+    (default 5 s, bounded to (0, 120]) caps {e every} dial this client
+    performs — the initial one and each reconnect — via a non-blocking
+    connect, so a black-holed endpoint fails with [ETIMEDOUT] instead of
+    hanging for the kernel's SYN-retry minutes; on the reconnect path
+    the timeout surfaces as a typed {!Transport} error like any other
+    dial failure.  [max_attempts] (default 4, min 1) bounds transport
+    retries for calls {e without} a deadline.  [wrap] interposes on
+    every socket this client opens (reconnects included), e.g.
+    {!Faulty_net.wrap} for fault injection.
+    @raise Unix.Unix_error if the connection is refused or times out.
+    @raise Invalid_argument if [max_attempts < 1] or [connect_timeout]
+    is out of range. *)
 
 val close : t -> unit
 (** Idempotent. *)
@@ -62,6 +70,7 @@ val close : t -> unit
 val with_connect :
   ?host:string ->
   ?client_id:int ->
+  ?connect_timeout:float ->
   ?max_attempts:int ->
   ?wrap:(Unix.file_descr -> Protocol.io) ->
   port:int ->
@@ -132,6 +141,27 @@ val live_range :
   Sqp_relalg.Relation.t reply
 (** Snapshot range query over a live table: rows [(id, x0..xk)] in z
     order. *)
+
+val shard_map_get : ?deadline_ms:int -> t -> Shard_map.t reply
+(** Fetch the node's current shard map ([Error (Remote
+    { code = Unknown_relation; _ })] if none is installed) — how a
+    cluster client bootstraps and how it refreshes after
+    [Stale_epoch]. *)
+
+val shard_map_set :
+  ?deadline_ms:int -> t -> map:Shard_map.t -> self:int -> (int * int) reply
+(** Install a shard map on a node; [self] is the node's own entry index
+    (or [-1] for map-only holders such as the router's seed).  Answers
+    [(entries, epoch)]; a map older than the node's current epoch is
+    refused with [Remote { code = Stale_epoch; _ }]. *)
+
+val forward :
+  ?deadline_ms:int -> t -> epoch:int -> payload:string -> Protocol.response reply
+(** Router-to-shard envelope: deliver an already-encoded request
+    [payload] fenced at [epoch].  The response is whatever the inner
+    request produced; an epoch mismatch comes back as
+    [Remote { code = Stale_epoch; _ }] {e before} the payload is even
+    decoded. *)
 
 val health : t -> Protocol.health reply
 (** Liveness, load and {e mode} (["serving"] / ["draining"] /

@@ -1,0 +1,212 @@
+module P = Protocol
+module Metrics = Sqp_obs.Metrics
+
+type config = {
+  host : string;
+  port : int;
+  max_frame_bytes : int;
+  idle_timeout_s : float option;
+  frame_timeout_s : float option;
+  session_io : (Unix.file_descr -> P.io) option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    max_frame_bytes = P.default_max_frame_bytes;
+    idle_timeout_s = None;
+    frame_timeout_s = None;
+    session_io = None;
+  }
+
+type t = {
+  config : config;
+  handle : string -> string;
+  lfd : Unix.file_descr;
+  bound_port : int;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  mutable acceptor : Thread.t option;
+  mutable sessions : (Unix.file_descr * Thread.t option ref) list;
+      (* The thread slot is filled right after spawn; [stop] joins the
+         acceptor first, so by the time it walks this list every slot of
+         a registered session is filled. *)
+  m : Mutex.t;
+  c_sessions : Metrics.counter;
+  g_active_sessions : Metrics.gauge;
+  c_aborted_sessions : Metrics.counter;
+  c_idle_closed : Metrics.counter;
+  c_bad_frames : Metrics.counter;
+}
+
+let port t = t.bound_port
+
+let stopping t = t.stopping
+
+(* {1 Sessions} *)
+
+let unregister t fd =
+  Mutex.lock t.m;
+  t.sessions <- List.filter (fun (fd', _) -> fd' != fd) t.sessions;
+  Metrics.set_gauge t.g_active_sessions (List.length t.sessions);
+  Mutex.unlock t.m
+
+let session t fd =
+  let io =
+    match t.config.session_io with Some wrap -> wrap fd | None -> P.io_of_fd fd
+  in
+  let aborted = ref false in
+  let rec loop () =
+    match
+      P.read_frame_io ~max_bytes:t.config.max_frame_bytes
+        ?idle_timeout:t.config.idle_timeout_s
+        ?frame_timeout:t.config.frame_timeout_s io
+    with
+    | Error P.Eof -> ()
+    | Error P.Truncated ->
+        Metrics.incr t.c_bad_frames;
+        aborted := true
+    | Error (P.Stalled { mid_frame }) ->
+        (* Idle sessions are reaped quietly; a peer that went silent
+           inside a frame (slow-loris, partition) counts as aborted. *)
+        if mid_frame then aborted := true else Metrics.incr t.c_idle_closed
+    | Error (P.Oversized n) ->
+        (* The payload was not consumed, so the stream cannot be
+           resynchronized: answer once (best effort) and hang up. *)
+        Metrics.incr t.c_bad_frames;
+        (try
+           P.write_frame_io ?timeout:t.config.frame_timeout_s io
+             (P.encode_response
+                (P.Error
+                   {
+                     code = P.Bad_request;
+                     message = P.read_error_to_string (P.Oversized n);
+                   }))
+         with _ -> ())
+    | exception _ ->
+        (* Connection reset (or injected fault) mid-read. *)
+        aborted := true
+    | Ok payload -> (
+        match
+          let bytes = t.handle payload in
+          P.write_frame_io ?timeout:t.config.frame_timeout_s io bytes
+        with
+        | () -> loop ()
+        | exception _ ->
+            (* client went away mid-response *)
+            aborted := true)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if !aborted then Metrics.incr t.c_aborted_sessions;
+      (* Unregister first: once off the list, [stop] cannot touch this
+         fd, so closing (and the OS reusing the number) is safe. *)
+      unregister t fd;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+(* {1 Accepting} *)
+
+let rec accept_loop t =
+  match Unix.accept ~cloexec:true t.lfd with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop t
+  | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EAGAIN), _, _) ->
+      accept_loop t
+  | exception Unix.Unix_error _ ->
+      () (* listen socket closed or broken: stop accepting *)
+  | fd, _ ->
+      if t.stopping then begin
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        () (* the wake-up connection from [stop] *)
+      end
+      else begin
+        Metrics.incr t.c_sessions;
+        (* Register before spawning so [stop] can never miss a session
+           it has to join. *)
+        let slot = ref None in
+        Mutex.lock t.m;
+        t.sessions <- (fd, slot) :: t.sessions;
+        Metrics.set_gauge t.g_active_sessions (List.length t.sessions);
+        Mutex.unlock t.m;
+        slot := Some (Thread.create (fun () -> session t fd) ());
+        accept_loop t
+      end
+
+let start ?(config = default_config) ?metrics ?(metrics_prefix = "server")
+    ~handle () =
+  (* A dead client must surface as EPIPE on write, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let reg = match metrics with Some m -> m | None -> Metrics.global () in
+  let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+     Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen lfd 64
+   with e ->
+     (try Unix.close lfd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let metric name = metrics_prefix ^ "." ^ name in
+  let t =
+    {
+      config;
+      handle;
+      lfd;
+      bound_port;
+      stopping = false;
+      stopped = false;
+      acceptor = None;
+      sessions = [];
+      m = Mutex.create ();
+      c_sessions = Metrics.counter reg (metric "sessions");
+      g_active_sessions = Metrics.gauge reg (metric "sessions.active");
+      c_aborted_sessions = Metrics.counter reg (metric "sessions.aborted");
+      c_idle_closed = Metrics.counter reg (metric "sessions.idle_closed");
+      c_bad_frames = Metrics.counter reg (metric "bad_frames");
+    }
+  in
+  t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let stop ?(drain = ignore) t =
+  Mutex.lock t.m;
+  let already = t.stopped || t.stopping in
+  if not already then t.stopping <- true;
+  Mutex.unlock t.m;
+  if not already then begin
+    (* Wake the acceptor with a throwaway connection; it sees [stopping]
+       and exits. *)
+    (try
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_of_string t.config.host, t.bound_port))
+        with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+    (* The caller quiesces (e.g. admission drain: in-flight requests
+       finish and answer) while sessions can still write responses. *)
+    drain ();
+    (* Unblock sessions idling in [read_frame]; SHUT_RD only, so a
+       response still in flight is not torn.  Shutting down under the
+       lock pins each listed fd open (sessions unregister before they
+       close), so a recycled descriptor can never be hit. *)
+    Mutex.lock t.m;
+    let sessions = t.sessions in
+    List.iter
+      (fun (fd, _) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      sessions;
+    Mutex.unlock t.m;
+    List.iter
+      (fun (_, slot) -> match !slot with Some th -> Thread.join th | None -> ())
+      sessions;
+    t.stopped <- true
+  end

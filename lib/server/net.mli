@@ -1,0 +1,59 @@
+(** The generic concurrent TCP frame server under {!Server} — and, in
+    [lib/cluster], under the router.
+
+    This is the session machinery of PR 4/8 factored out of the query
+    server so a second kind of node (the cluster router) can serve the
+    same wire format without duplicating the lifecycle: one acceptor
+    thread, one thread per session doing blocking frame I/O through
+    {!Protocol.read_frame_io} / {!Protocol.write_frame_io}, per-session
+    idle/frame timeouts, an I/O wrap seam for fault injection, and a
+    graceful [stop] that joins every thread.
+
+    What stays with the caller: what a payload {e means}.  [handle]
+    maps one request payload to one encoded response payload; admission
+    control, dedup windows and execution all live behind it. *)
+
+type config = {
+  host : string;  (** bind address *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  max_frame_bytes : int;  (** per-frame payload cap *)
+  idle_timeout_s : float option;
+      (** close a session that starts no frame for this long *)
+  frame_timeout_s : float option;
+      (** bound reading one payload / writing one response *)
+  session_io : (Unix.file_descr -> Protocol.io) option;
+      (** wrap every session's socket, e.g. {!Faulty_net.wrap} *)
+}
+
+val default_config : config
+(** [127.0.0.1:0], 8 MiB frames, no timeouts, honest I/O. *)
+
+type t
+
+val start :
+  ?config:config ->
+  ?metrics:Sqp_obs.Metrics.t ->
+  ?metrics_prefix:string ->
+  handle:(string -> string) ->
+  unit ->
+  t
+(** Bind, listen, spawn the acceptor.  [handle] is called on each
+    session's thread with the raw request payload and must return the
+    encoded response payload; it must not raise (a raise aborts that
+    session).  [metrics_prefix] (default ["server"]) names the
+    instruments: [<p>.sessions], [<p>.sessions.active],
+    [<p>.sessions.aborted], [<p>.sessions.idle_closed],
+    [<p>.bad_frames].
+    @raise Unix.Unix_error if the address cannot be bound. *)
+
+val port : t -> int
+(** The actual listening port (useful with [port = 0]). *)
+
+val stopping : t -> bool
+(** True once {!stop} has begun: new connections are turned away. *)
+
+val stop : ?drain:(unit -> unit) -> t -> unit
+(** Graceful shutdown: stop accepting, join the acceptor, close the
+    listener, run [drain] (the caller's quiesce step — e.g. admission
+    drain — while sessions can still answer), then shut down each
+    session's read side and join it.  Idempotent; [drain] runs once. *)

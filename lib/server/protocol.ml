@@ -17,6 +17,9 @@ type request =
   | Live_range of { table : string; lo : int array; hi : int array }
   | Refresh_stats
   | Recover
+  | Shard_map_get
+  | Shard_map_set of { map : Shard_map.t; self : int }
+  | Forward of { epoch : int; payload : string }
 
 type idem = { client_id : int; request_seq : int }
 
@@ -35,6 +38,7 @@ type error_code =
   | Shutting_down
   | Server_error
   | Degraded
+  | Stale_epoch
 
 type health = {
   healthy : bool;
@@ -52,6 +56,7 @@ type response =
   | Health_report of health
   | Error of { code : error_code; message : string }
   | Ack of { applied : int; seq : int }
+  | Shard_map of Shard_map.t
 
 let error_code_name = function
   | Bad_request -> "bad_request"
@@ -62,6 +67,7 @@ let error_code_name = function
   | Shutting_down -> "shutting_down"
   | Server_error -> "server_error"
   | Degraded -> "degraded"
+  | Stale_epoch -> "stale_epoch"
 
 let error_code_byte = function
   | Bad_request -> 0
@@ -72,6 +78,7 @@ let error_code_byte = function
   | Shutting_down -> 5
   | Server_error -> 6
   | Degraded -> 7
+  | Stale_epoch -> 8
 
 let error_code_of_byte = function
   | 0 -> Bad_request
@@ -82,6 +89,7 @@ let error_code_of_byte = function
   | 5 -> Shutting_down
   | 6 -> Server_error
   | 7 -> Degraded
+  | 8 -> Stale_epoch
   | n -> raise (Wire.Corrupt (Printf.sprintf "unknown error code %d" n))
 
 (* {1 Payload codecs}
@@ -107,6 +115,9 @@ let request_tag = function
   | Live_range _ -> 9
   | Refresh_stats -> 10
   | Recover -> 11
+  | Shard_map_get -> 12
+  | Shard_map_set _ -> 13
+  | Forward _ -> 14
 
 (* Tags allowed to carry an idempotency key: the live-table frames.  The
    client only keys the true mutations (6-8), but a keyed 9 is harmless
@@ -151,7 +162,18 @@ let encode_request { deadline_ms; idem; request } =
       write_int_array b lo;
       write_int_array b hi
   | Refresh_stats -> ()
-  | Recover -> ());
+  | Recover -> ()
+  | Shard_map_get -> ()
+  | Shard_map_set { map; self } ->
+      Shard_map.write b map;
+      (* [self]: index of the recipient's own entry, or -1 when the
+         recipient owns no range under this map. *)
+      Wire.write_i64 b self
+  | Forward { epoch; payload } ->
+      if String.length payload >= 2 && Char.code payload.[1] = 14 then
+        invalid_arg "Protocol.encode_request: nested Forward envelope";
+      Wire.write_u32 b epoch;
+      Wire.write_string b payload);
   Buffer.contents b
 
 let decode_request payload =
@@ -223,6 +245,23 @@ let decode_request payload =
               Live_range { table; lo; hi }
           | 10 -> Refresh_stats
           | 11 -> Recover
+          | 12 -> Shard_map_get
+          | 13 ->
+              let map = Shard_map.read c in
+              let self = Wire.read_i64 c in
+              if self < -1 || self >= List.length map.Shard_map.entries then
+                raise (Wire.Corrupt "shard map self index out of range");
+              Shard_map_set { map; self }
+          | 14 ->
+              let epoch = Wire.read_u32 c in
+              let payload = Wire.read_string c in
+              if String.length payload < 2 then
+                raise (Wire.Corrupt "forwarded payload shorter than 2 bytes");
+              (* One level only: a Forward carrying a Forward is a
+                 routing loop, not a request. *)
+              if Char.code payload.[1] = 14 then
+                raise (Wire.Corrupt "nested Forward envelope");
+              Forward { epoch; payload }
           | t -> raise (Wire.Corrupt (Printf.sprintf "unknown request tag %d" t))
         in
         if not (Wire.at_end c) then raise (Wire.Corrupt "trailing bytes");
@@ -259,7 +298,11 @@ let encode_response ?version:(ver = version) resp =
       (* A v1 peer has no byte for [Degraded]; downgrade it to the
          lowest common denominator with the mode in the message. *)
       let code, message =
-        if ver < 2 && code = Degraded then (Server_error, "degraded: " ^ message)
+        if ver < 2 then
+          match code with
+          | Degraded -> (Server_error, "degraded: " ^ message)
+          | Stale_epoch -> (Server_error, "stale epoch: " ^ message)
+          | _ -> (code, message)
         else (code, message)
       in
       Wire.write_u8 b 5;
@@ -268,7 +311,10 @@ let encode_response ?version:(ver = version) resp =
   | Ack { applied; seq } ->
       Wire.write_u8 b 6;
       Wire.write_i64 b applied;
-      Wire.write_i64 b seq);
+      Wire.write_i64 b seq
+  | Shard_map map ->
+      Wire.write_u8 b 7;
+      Shard_map.write b map);
   Buffer.contents b
 
 let decode_response payload =
@@ -303,6 +349,7 @@ let decode_response payload =
             let applied = Wire.read_i64 c in
             let seq = Wire.read_i64 c in
             Ack { applied; seq }
+        | 7 -> Shard_map (Shard_map.read c)
         | t -> raise (Wire.Corrupt (Printf.sprintf "unknown response tag %d" t))
       in
       if not (Wire.at_end c) then raise (Wire.Corrupt "trailing bytes");

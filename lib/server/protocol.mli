@@ -80,6 +80,31 @@ type request =
           resume accepting mutations.  Bypasses admission control like
           [Health].  Answered by [Text], or [Error Degraded] if the
           stores are still sick. *)
+  | Shard_map_get
+      (** Fetch the current {!Shard_map.t} (from a router, the routing
+          truth; from a shard, the last map pushed to it).  Answered by
+          [Shard_map], or [Error Unknown_relation] when the peer has no
+          map.  Bypasses admission control like [Health]. *)
+  | Shard_map_set of { map : Shard_map.t; self : int }
+      (** Install a shard map (router → shard, at cluster bring-up and
+          on every epoch flip).  [self] is the index of the recipient's
+          own entry in [map.entries], or [-1] if it owns no range; the
+          shard derives its owned z interval from it and thereafter
+          filters range reads to that interval (so a just-moved range
+          cannot be double-answered by its old owner).  A map whose
+          epoch is below the installed one draws [Error Stale_epoch].
+          Answered by [Ack { applied = entries; seq = epoch }]. *)
+  | Forward of { epoch : int; payload : string }
+      (** The forwarded-request envelope (router → shard): [payload] is
+          a complete inner request payload (version byte, tag byte,
+          body — one level deep only), [epoch] the shard-map epoch the
+          sender routed under.  A shard holding a different epoch
+          answers [Error Stale_epoch] without looking at the inner
+          request — the fencing that makes rebalance flips safe.  The
+          inner request passes through the full normal pipeline
+          (admission, dedup window, degraded checks), so a forwarded
+          mutation carrying the {e origin client's} idempotency key is
+          exactly-once end to end across router and shard retries. *)
 
 type idem = { client_id : int; request_seq : int }
 (** An idempotency key: [client_id] names a client instance (random,
@@ -112,6 +137,12 @@ type error_code =
           mutations are rejected, reads keep serving.  Not sent to v1
           peers — they see [Server_error] with a ["degraded: "] message
           prefix. *)
+  | Stale_epoch
+      (** the request's shard-map epoch (a [Forward] envelope's stamp,
+          or a [Shard_map_set] going backwards) does not match the
+          shard's installed epoch: refetch the map and retry.  Not sent
+          to v1 peers — they see [Server_error] with a
+          ["stale epoch: "] message prefix. *)
 
 type health = {
   healthy : bool;
@@ -136,7 +167,9 @@ type response =
           table's batch sequence number after the mutation (reads after
           this sequence see the batch).  A replayed mutation (same
           idempotency key) returns the {e original} [Ack], byte for
-          byte. *)
+          byte.  Through a router, [applied] sums the per-shard counts
+          and [seq] is the highest per-shard sequence touched. *)
+  | Shard_map of Shard_map.t  (** result of [Shard_map_get] *)
 
 val error_code_name : error_code -> string
 (** Stable lower-snake name, e.g. ["overloaded"]. *)

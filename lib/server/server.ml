@@ -32,39 +32,41 @@ let default_config =
     on_execute = ignore;
   }
 
+(* Cluster membership, installed by a [Shard_map_set] frame: the map
+   (for epoch fencing of [Forward] envelopes) and this shard's owned z
+   interval ([None] = owns no range — every range read filters empty).
+   A server that never receives a map serves everything, as before. *)
+type cluster_state = {
+  map : Shard_map.t;
+  owned : (int * int) option;
+}
+
 type t = {
   config : config;
   cat : Catalog.t;
   pool : Sqp_parallel.Pool.t;
   adm : Admission.t;
-  lfd : Unix.file_descr;
-  bound_port : int;
-  mutable stopping : bool;
+  mutable net : Net.t option;  (* filled right after [Net.start] *)
   mutable stopped : bool;
   mutable degraded : string option;  (* read-only mode, with its reason *)
-  mutable acceptor : Thread.t option;
-  mutable sessions : (Unix.file_descr * Thread.t option ref) list;
-      (* The thread slot is filled right after spawn; [stop] joins the
-         acceptor first, so by the time it walks this list every slot of
-         a registered session is filled. *)
+  mutable cluster : cluster_state option;
   m : Mutex.t;
   (* instruments *)
   c_requests : Metrics.counter;
   c_ok : Metrics.counter;
   c_err : Metrics.counter;
-  c_bad_frames : Metrics.counter;
   c_timeouts : Metrics.counter;
   h_latency : Metrics.histogram;
-  c_sessions : Metrics.counter;
-  g_active_sessions : Metrics.gauge;
-  c_aborted_sessions : Metrics.counter;
-  c_idle_closed : Metrics.counter;
   c_dedup_hits : Metrics.counter;
+  c_stale_epoch : Metrics.counter;
   g_degraded : Metrics.gauge;
 }
 
-let port t = t.bound_port
+let port t = match t.net with Some n -> Net.port n | None -> 0
+
 let catalog t = t.cat
+
+let stopping t = match t.net with Some n -> Net.stopping n | None -> false
 
 let now = Unix.gettimeofday
 
@@ -95,6 +97,61 @@ let leave_degraded t =
   t.degraded <- None;
   Mutex.unlock t.m;
   Metrics.set_gauge t.g_degraded 0
+
+(* {1 Cluster membership} *)
+
+let cluster_state t =
+  Mutex.lock t.m;
+  let c = t.cluster in
+  Mutex.unlock t.m;
+  c
+
+(* The z interval range reads must stay inside, as an always-filterable
+   pair: [(1, 0)] (empty) when this shard owns no range, [None] when the
+   server is not cluster-aware at all (single-node: serve everything).
+   The filter is what keeps a just-moved range from being answered by
+   both its old and new owner after an epoch flip — the old owner's
+   catalog still holds the moved rows, but they are outside its owned
+   interval. *)
+let owned_interval t =
+  match cluster_state t with
+  | None -> None
+  | Some { owned = Some (zlo, zhi); _ } -> Some (zlo, zhi)
+  | Some { owned = None; _ } -> Some (1, 0)
+
+let in_owned t z =
+  match owned_interval t with
+  | None -> true
+  | Some (zlo, zhi) -> zlo <= z && z <= zhi
+
+let filter_owned_entries t entries =
+  match owned_interval t with
+  | None -> entries
+  | Some _ ->
+      let space = Catalog.space t.cat in
+      List.filter (fun (p, _) -> in_owned t (Shard_map.z_of_point space p)) entries
+
+(* Same filter over a coordinate-row relation (columns x0..xk, possibly
+   after an [id] column) — the planned range path answers with one. *)
+let filter_owned_rows t rel =
+  match owned_interval t with
+  | None -> rel
+  | Some _ ->
+      let space = Catalog.space t.cat in
+      let k = Sqp_zorder.Space.dims space in
+      let schema = R.Relation.schema rel in
+      let tuples =
+        List.filter
+          (fun tu ->
+            let p =
+              Array.init k (fun i ->
+                  R.Value.to_int
+                    (R.Relation.get tu schema (Printf.sprintf "x%d" i)))
+            in
+            in_owned t (Shard_map.z_of_point space p))
+          (R.Relation.tuples rel)
+      in
+      R.Relation.make ~name:(R.Relation.name rel) schema tuples
 
 let storage_failure_message e =
   match Storage_error.to_string e with
@@ -196,10 +253,10 @@ let range_search t ~lo ~hi =
         | O.Cost.Skip -> Sqp_core.Range_search.search_skip
       in
       let entries, _counters = search prep box in
-      coord_rows (Catalog.space t.cat) entries
+      coord_rows (Catalog.space t.cat) (filter_owned_entries t entries)
   | Catalog.Planned ->
       let plan = R.Plan.optimize (Catalog.range_plan t.cat ~lo ~hi) in
-      R.Plan.run_in_pool t.pool plan
+      filter_owned_rows t (R.Plan.run_in_pool t.pool plan)
 
 let execute t request =
   match request with
@@ -274,28 +331,41 @@ let execute t request =
                 fst (Sqp_btree.Zindex.range_search idx box)
             | _ -> fst (Live.range_search (Live.snapshot lv) box)
           in
-          P.Rows (live_rows space rows))
-  | P.Health | P.Recover -> assert false (* handled before admission *)
+          P.Rows (live_rows space (filter_owned_entries t rows)))
+  | P.Health | P.Recover | P.Shard_map_get | P.Shard_map_set _ | P.Forward _ ->
+      assert false (* handled before admission *)
 
 let is_mutation = function
   | P.Insert _ | P.Delete _ | P.Create_index _ -> true
   | P.Range_search _ | P.Query _ | P.Explain _ | P.Analyze _ | P.Health
-  | P.Live_range _ | P.Refresh_stats | P.Recover ->
+  | P.Live_range _ | P.Refresh_stats | P.Recover | P.Shard_map_get
+  | P.Shard_map_set _ | P.Forward _ ->
       false
 
 let mode t =
   match degraded_reason t with
   | Some reason -> "degraded: " ^ reason
-  | None -> if t.stopping then "draining" else "serving"
+  | None -> if stopping t then "draining" else "serving"
 
 let health t =
   let healthy, detail = Catalog.health_detail t.cat in
+  let detail =
+    match cluster_state t with
+    | None -> detail
+    | Some { map; owned } ->
+        detail
+        ^ Printf.sprintf "; cluster: epoch %d, owns %s" map.Shard_map.epoch
+            (match owned with
+            | Some (zlo, zhi) -> Printf.sprintf "z [%d, %d]" zlo zhi
+            | None -> "no range")
+  in
   let in_flight, queued, _draining = Admission.stats t.adm in
   let degraded = degraded_reason t <> None in
+  let draining = stopping t in
   P.Health_report
     {
-      P.healthy = healthy && (not t.stopping) && not degraded;
-      detail = (if t.stopping then detail ^ "; draining" else detail);
+      P.healthy = healthy && (not draining) && not degraded;
+      detail = (if draining then detail ^ "; draining" else detail);
       in_flight;
       queued;
       served = Metrics.counter_value t.c_ok + Metrics.counter_value t.c_err;
@@ -320,6 +390,44 @@ let recover t =
       in
       P.Error { code = P.Degraded; message = "recovery failed: " ^ message }
 
+(* [Shard_map_set]: install (or advance) cluster membership.  Equal or
+   newer epochs are accepted idempotently — a router retries the push on
+   a torn connection — while a map going {e backwards} is fenced off. *)
+let shard_map_set t map self =
+  Mutex.lock t.m;
+  let resp =
+    match t.cluster with
+    | Some { map = old; _ } when map.Shard_map.epoch < old.Shard_map.epoch ->
+        P.Error
+          {
+            code = P.Stale_epoch;
+            message =
+              Printf.sprintf "map epoch %d below installed epoch %d"
+                map.Shard_map.epoch old.Shard_map.epoch;
+          }
+    | _ ->
+        let owned =
+          if self < 0 then None
+          else
+            let e = List.nth map.Shard_map.entries self in
+            Some (e.Shard_map.zlo, e.Shard_map.zhi)
+        in
+        t.cluster <- Some { map; owned };
+        P.Ack
+          {
+            applied = List.length map.Shard_map.entries;
+            seq = map.Shard_map.epoch;
+          }
+  in
+  Mutex.unlock t.m;
+  resp
+
+let shard_map_get t =
+  match cluster_state t with
+  | Some { map; _ } -> P.Shard_map map
+  | None ->
+      P.Error { code = P.Unknown_relation; message = "no shard map installed" }
+
 (* One request payload in, one encoded response payload out.
 
    Keyed requests (protocol v2 idempotency keys) pass through the
@@ -331,7 +439,7 @@ let recover t =
    Admission-level failures (shed / queue timeout / draining / degraded
    rejection) release the slot instead: the client may retry and
    succeed later. *)
-let handle t payload =
+let rec handle t payload =
   let arrival = now () in
   Metrics.incr t.c_requests;
   (* Encode the reply at the requester's version (a v1 peer cannot
@@ -351,6 +459,35 @@ let handle t payload =
   | Error (code, message) -> finish (P.Error { code; message })
   | Ok { P.request = P.Health; _ } -> finish (health t)
   | Ok { P.request = P.Recover; _ } -> finish (recover t)
+  | Ok { P.request = P.Shard_map_get; _ } -> finish (shard_map_get t)
+  | Ok { P.request = P.Shard_map_set { map; self }; _ } ->
+      finish (shard_map_set t map self)
+  | Ok { P.request = P.Forward { epoch; payload = inner }; _ } -> (
+      (* Epoch fencing happens before the inner request is even decoded:
+         a sender routing under the wrong map learns so and refetches.
+         A matching envelope unwraps into the full normal pipeline —
+         admission, dedup window, degraded checks — so a forwarded
+         mutation keeps its origin client's exactly-once key. *)
+      match cluster_state t with
+      | Some { map; _ } when map.Shard_map.epoch = epoch -> handle t inner
+      | Some { map; _ } ->
+          Metrics.incr t.c_stale_epoch;
+          finish
+            (P.Error
+               {
+                 code = P.Stale_epoch;
+                 message =
+                   Printf.sprintf "forwarded at epoch %d; shard holds epoch %d"
+                     epoch map.Shard_map.epoch;
+               })
+      | None ->
+          Metrics.incr t.c_stale_epoch;
+          finish
+            (P.Error
+               {
+                 code = P.Stale_epoch;
+                 message = "forwarded to a shard holding no shard map";
+               }))
   | Ok { P.deadline_ms; idem; request } -> (
       let deadline =
         match
@@ -496,113 +633,14 @@ let handle t payload =
                           abort_idem ();
                           raise e)))))
 
-(* {1 Sessions} *)
+(* {1 Lifecycle}
 
-let unregister t fd =
-  Mutex.lock t.m;
-  t.sessions <- List.filter (fun (fd', _) -> fd' != fd) t.sessions;
-  Metrics.set_gauge t.g_active_sessions (List.length t.sessions);
-  Mutex.unlock t.m
-
-let session t fd =
-  let io =
-    match t.config.session_io with Some wrap -> wrap fd | None -> P.io_of_fd fd
-  in
-  let aborted = ref false in
-  let rec loop () =
-    match
-      P.read_frame_io ~max_bytes:t.config.max_frame_bytes
-        ?idle_timeout:t.config.idle_timeout_s
-        ?frame_timeout:t.config.frame_timeout_s io
-    with
-    | Error P.Eof -> ()
-    | Error P.Truncated ->
-        Metrics.incr t.c_bad_frames;
-        aborted := true
-    | Error (P.Stalled { mid_frame }) ->
-        (* Idle sessions are reaped quietly; a peer that went silent
-           inside a frame (slow-loris, partition) counts as aborted. *)
-        if mid_frame then aborted := true else Metrics.incr t.c_idle_closed
-    | Error (P.Oversized n) ->
-        (* The payload was not consumed, so the stream cannot be
-           resynchronized: answer once (best effort) and hang up. *)
-        Metrics.incr t.c_bad_frames;
-        (try
-           P.write_frame_io ?timeout:t.config.frame_timeout_s io
-             (P.encode_response
-                (P.Error
-                   {
-                     code = P.Bad_request;
-                     message = P.read_error_to_string (P.Oversized n);
-                   }))
-         with _ -> ())
-    | exception _ ->
-        (* Connection reset (or injected fault) mid-read. *)
-        aborted := true
-    | Ok payload -> (
-        match
-          let bytes = handle t payload in
-          P.write_frame_io ?timeout:t.config.frame_timeout_s io bytes
-        with
-        | () -> loop ()
-        | exception _ ->
-            (* client went away mid-response *)
-            aborted := true)
-  in
-  Fun.protect
-    ~finally:(fun () ->
-      if !aborted then Metrics.incr t.c_aborted_sessions;
-      (* Unregister first: once off the list, [stop] cannot touch this
-         fd, so closing (and the OS reusing the number) is safe. *)
-      unregister t fd;
-      try Unix.close fd with Unix.Unix_error _ -> ())
-    loop
-
-(* {1 Accepting} *)
-
-let rec accept_loop t =
-  match Unix.accept ~cloexec:true t.lfd with
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop t
-  | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EAGAIN), _, _) ->
-      accept_loop t
-  | exception Unix.Unix_error _ ->
-      () (* listen socket closed or broken: stop accepting *)
-  | fd, _ ->
-      if t.stopping then begin
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        () (* the wake-up connection from [stop] *)
-      end
-      else begin
-        Metrics.incr t.c_sessions;
-        (* Register before spawning so [stop] can never miss a session
-           it has to join. *)
-        let slot = ref None in
-        Mutex.lock t.m;
-        t.sessions <- (fd, slot) :: t.sessions;
-        Metrics.set_gauge t.g_active_sessions (List.length t.sessions);
-        Mutex.unlock t.m;
-        slot := Some (Thread.create (fun () -> session t fd) ());
-        accept_loop t
-      end
+   The listener, sessions and their threads live in {!Net}; this module
+   supplies the payload handler and the admission drain. *)
 
 let start ?(config = default_config) ?metrics cat =
   if config.parallelism < 1 then invalid_arg "Server.start: parallelism < 1";
-  (* A dead client must surface as EPIPE on write, not kill the process. *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let reg = match metrics with Some m -> m | None -> Metrics.global () in
-  let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try
-     Unix.setsockopt lfd Unix.SO_REUSEADDR true;
-     Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
-     Unix.listen lfd 64
-   with e ->
-     (try Unix.close lfd with Unix.Unix_error _ -> ());
-     raise e);
-  let bound_port =
-    match Unix.getsockname lfd with
-    | Unix.ADDR_INET (_, p) -> p
-    | _ -> assert false
-  in
   let t =
     {
       config;
@@ -611,66 +649,56 @@ let start ?(config = default_config) ?metrics cat =
       adm =
         Admission.create ~metrics:reg ~max_in_flight:config.max_in_flight
           ~max_queue:config.max_queue ();
-      lfd;
-      bound_port;
-      stopping = false;
+      net = None;
       stopped = false;
       degraded = None;
-      acceptor = None;
-      sessions = [];
+      cluster = None;
       m = Mutex.create ();
       c_requests = Metrics.counter reg "server.requests";
       c_ok = Metrics.counter reg "server.responses.ok";
       c_err = Metrics.counter reg "server.responses.error";
-      c_bad_frames = Metrics.counter reg "server.bad_frames";
       c_timeouts = Metrics.counter reg "server.timeouts";
       h_latency = Metrics.histogram reg "server.latency_us";
-      c_sessions = Metrics.counter reg "server.sessions";
-      g_active_sessions = Metrics.gauge reg "server.sessions.active";
-      c_aborted_sessions = Metrics.counter reg "server.sessions.aborted";
-      c_idle_closed = Metrics.counter reg "server.sessions.idle_closed";
       c_dedup_hits = Metrics.counter reg "server.dedup.hits";
+      c_stale_epoch = Metrics.counter reg "server.stale_epoch";
       g_degraded = Metrics.gauge reg "server.degraded";
     }
   in
-  t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
+  let net_config =
+    {
+      Net.host = config.host;
+      port = config.port;
+      max_frame_bytes = config.max_frame_bytes;
+      idle_timeout_s = config.idle_timeout_s;
+      frame_timeout_s = config.frame_timeout_s;
+      session_io = config.session_io;
+    }
+  in
+  (match
+     Net.start ~config:net_config ~metrics:reg ~handle:(fun payload ->
+         handle t payload) ()
+   with
+  | net -> t.net <- Some net
+  | exception e ->
+      Sqp_parallel.Pool.shutdown t.pool;
+      raise e);
   t
 
 let stop t =
   Mutex.lock t.m;
-  let already = t.stopped || t.stopping in
-  if not already then t.stopping <- true;
+  let already = t.stopped in
+  t.stopped <- true;
   Mutex.unlock t.m;
   if not already then begin
-    (* Wake the acceptor with a throwaway connection; it sees [stopping]
-       and exits. *)
-    (try
-       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-       (try
-          Unix.connect fd
-            (Unix.ADDR_INET (Unix.inet_addr_of_string t.config.host, t.bound_port))
-        with Unix.Unix_error _ -> ());
-       Unix.close fd
-     with Unix.Unix_error _ -> ());
-    (match t.acceptor with Some th -> Thread.join th | None -> ());
-    (try Unix.close t.lfd with Unix.Unix_error _ -> ());
-    (* Drain: new queries are refused, in-flight ones finish and answer. *)
-    Admission.begin_drain t.adm;
-    Admission.await_drain t.adm;
-    (* Unblock sessions idling in [read_frame]; SHUT_RD only, so a
-       response still in flight is not torn.  Shutting down under the
-       lock pins each listed fd open (sessions unregister before they
-       close), so a recycled descriptor can never be hit. *)
-    Mutex.lock t.m;
-    let sessions = t.sessions in
-    List.iter
-      (fun (fd, _) ->
-        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
-      sessions;
-    Mutex.unlock t.m;
-    List.iter
-      (fun (_, slot) -> match !slot with Some th -> Thread.join th | None -> ())
-      sessions;
-    Sqp_parallel.Pool.shutdown t.pool;
-    t.stopped <- true
+    (match t.net with
+    | Some net ->
+        (* Drain between acceptor shutdown and session teardown: new
+           queries are refused, in-flight ones finish and answer. *)
+        Net.stop
+          ~drain:(fun () ->
+            Admission.begin_drain t.adm;
+            Admission.await_drain t.adm)
+          net
+    | None -> ());
+    Sqp_parallel.Pool.shutdown t.pool
   end

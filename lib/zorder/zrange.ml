@@ -70,3 +70,16 @@ let intervals_to_elements space intervals =
 
 let total_cells intervals =
   List.fold_left (fun acc (lo, hi) -> acc + (hi - lo + 1)) 0 intervals
+
+(* [intervals] ascending and disjoint; one interval vs the list.  Early
+   exit both ways: stop as soon as an interval starts past [hi]. *)
+let overlaps_interval intervals ~lo ~hi =
+  if lo > hi then invalid_arg "Zrange.overlaps_interval: bad interval";
+  let rec go = function
+    | [] -> false
+    | (l, h) :: rest -> if l > hi then false else h >= lo || go rest
+  in
+  go intervals
+
+let cover_overlaps space elements ~lo ~hi =
+  overlaps_interval (elements_to_intervals space elements) ~lo ~hi

@@ -37,3 +37,15 @@ val intervals_to_elements : Space.t -> (int * int) list -> Element.t list
 
 val total_cells : (int * int) list -> int
 (** Total number of pixels in a disjoint interval list. *)
+
+val overlaps_interval : (int * int) list -> lo:int -> hi:int -> bool
+(** Does the z interval [lo, hi] intersect any interval of the
+    (ascending, disjoint) list?  Early-exits once an interval starts
+    past [hi] — the shard-routing pruning test.
+    @raise Invalid_argument if [lo > hi]. *)
+
+val cover_overlaps : Space.t -> Element.t list -> lo:int -> hi:int -> bool
+(** [overlaps_interval] over a z-ordered disjoint element list (e.g. a
+    decompose cover): does any element's z range intersect [lo, hi]?
+    This is the router's fan-out test — a query box is sent to a shard
+    iff its cover overlaps the shard's owned z interval. *)

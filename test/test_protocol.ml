@@ -125,6 +125,15 @@ let req_ok = function
   | Ok f -> f
   | Error (c, m) -> Alcotest.failf "request rejected (%s): %s" (P.error_code_name c) m
 
+(* A two-entry shard map for the cluster frames (tags 12/13/14 and
+   response tag 7). *)
+let shard_map =
+  Sqp_server.Shard_map.make ~epoch:7
+    [
+      { Sqp_server.Shard_map.zlo = 0; zhi = 2047; host = "127.0.0.1"; port = 4001 };
+      { Sqp_server.Shard_map.zlo = 2048; zhi = 4095; host = "10.0.0.2"; port = 65535 };
+    ]
+
 let test_request_roundtrip () =
   let key client_id request_seq = Some { P.client_id; request_seq } in
   let cases =
@@ -152,6 +161,11 @@ let test_request_roundtrip () =
       (None, None, P.Refresh_stats);
       (Some 3000, None, P.Refresh_stats);
       (None, None, P.Recover);
+      (None, None, P.Shard_map_get);
+      (Some 99, None, P.Shard_map_set { map = shard_map; self = 1 });
+      (None, None, P.Shard_map_set { map = shard_map; self = -1 });
+      (Some 10, None, P.Forward { epoch = 3; payload = "\x00\xffraw bytes" });
+      (None, None, P.Forward { epoch = 0xFFFF_FFFF; payload = "\x02\x07" });
     ]
   in
   List.iter
@@ -189,6 +203,8 @@ let test_response_roundtrip () =
       P.Error { code = P.Degraded; message = "disk full" };
       P.Ack { applied = 0; seq = 0 };
       P.Ack { applied = 42; seq = 1_000_000 };
+      P.Shard_map shard_map;
+      P.Error { code = P.Stale_epoch; message = "request epoch 3, shard at 4" };
     ]
   in
   List.iter

@@ -114,6 +114,27 @@ let test_shard_boundaries_are_element_ranges () =
   check "misaligned" true (R.to_element s23 ~lo:1 ~hi:2 = None);
   check "spanning a boundary" true (R.to_element s23 ~lo:31 ~hi:32 = None)
 
+let test_overlaps_interval () =
+  (* The router's fan-out test over an ascending disjoint list. *)
+  let ivs = [ (2, 5); (10, 10); (20, 30) ] in
+  check "inside first" true (R.overlaps_interval ivs ~lo:3 ~hi:4);
+  check "touching an end" true (R.overlaps_interval ivs ~lo:0 ~hi:2);
+  check "single-cell interval" true (R.overlaps_interval ivs ~lo:10 ~hi:10);
+  check "spanning a gap" true (R.overlaps_interval ivs ~lo:6 ~hi:12);
+  check "in a gap" false (R.overlaps_interval ivs ~lo:6 ~hi:9);
+  check "before everything" false (R.overlaps_interval ivs ~lo:0 ~hi:1);
+  check "past everything" false (R.overlaps_interval ivs ~lo:31 ~hi:99);
+  check "empty list" false (R.overlaps_interval [] ~lo:0 ~hi:63);
+  check "lo > hi rejected" true
+    (try
+       ignore (R.overlaps_interval ivs ~lo:5 ~hi:4);
+       false
+     with Invalid_argument _ -> true);
+  (* cover_overlaps agrees, through a real cover. *)
+  let els = R.cover s23 ~lo:9 ~hi:22 in
+  check "cover overlaps its own range" true (R.cover_overlaps s23 els ~lo:20 ~hi:40);
+  check "cover misses a disjoint shard" false (R.cover_overlaps s23 els ~lo:23 ~hi:63)
+
 (* Properties *)
 
 let s6 = Z.Space.make ~dims:2 ~depth:6
@@ -171,6 +192,21 @@ let prop_roundtrip_intervals =
       let els = R.intervals_to_elements s6 normalized in
       R.elements_to_intervals s6 els = normalized)
 
+let prop_overlaps_naive =
+  QCheck2.Test.make ~name:"overlaps_interval = naive scan" ~count:500
+    QCheck2.Gen.(pair (list_size (int_bound 5) gen_interval) gen_interval)
+    (fun (intervals, (lo, hi)) ->
+      let sorted = List.sort_uniq compare intervals in
+      let rec normalize = function
+        | (a1, b1) :: (a2, b2) :: rest ->
+            if a2 <= b1 + 1 then normalize ((a1, max b1 b2) :: rest)
+            else (a1, b1) :: normalize ((a2, b2) :: rest)
+        | l -> l
+      in
+      let normalized = normalize sorted in
+      let naive = List.exists (fun (a, b) -> a <= hi && lo <= b) normalized in
+      R.overlaps_interval normalized ~lo ~hi = naive)
+
 let () =
   Alcotest.run "zrange"
     [
@@ -191,8 +227,14 @@ let () =
             test_cover_touching_border;
           Alcotest.test_case "shard boundaries are element ranges" `Quick
             test_shard_boundaries_are_element_ranges;
+          Alcotest.test_case "overlaps_interval" `Quick test_overlaps_interval;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_cover_exact; prop_cover_minimal; prop_roundtrip_intervals ] );
+          [
+            prop_cover_exact;
+            prop_cover_minimal;
+            prop_roundtrip_intervals;
+            prop_overlaps_naive;
+          ] );
     ]
