@@ -44,20 +44,24 @@ type pool = { mutable free : Client.t list; pm : Mutex.t }
 (* Rebalance in flight: the state machine of [split].  [watermark] is
    the highest z already copied to the target (mutations at or below it
    are dual-written); [chunk] is the element being copied right now
-   (mutations inside it wait); [muts] counts gated mutations still in
-   flight (the copy loop waits for them before snapshotting a chunk);
-   [moved] counts, per coordinate, how many entries the target now holds
-   that the source also still holds — the cleanup list. *)
+   (mutations inside it wait); [tables] is the set of live tables the
+   move covers — copy, dual-writes and cleanup must agree on it;
+   [moved] counts, per (table, coordinate), how many entries the target
+   now holds that the source also still holds — the cleanup list;
+   [shadowed] records the origin idempotency keys whose dual-write has
+   already executed, so a replay (client retry, stale re-route) neither
+   re-applies it nor double-counts [moved]. *)
 type rebal = {
   move_lo : int;
   move_hi : int;
   dst_host : string;
   dst_port : int;
+  tables : string list;
   mutable watermark : int;
   mutable chunk : (int * int) option;
-  mutable muts : int;
   mutable failed : string option;
-  moved : (int array, int) Hashtbl.t;
+  moved : (string * int array, int) Hashtbl.t;
+  shadowed : (int * int, unit) Hashtbl.t;
 }
 
 type t = {
@@ -65,6 +69,15 @@ type t = {
   space : Z.Space.t;
   mutable rmap : SM.t;
   mutable rebal : rebal option;
+  mutable splitting : bool;
+      (* true from [split]'s claim to its return — outlives [rebal],
+         which is cleared at the epoch flip *)
+  mutable gate : int ref;
+      (* current generation bucket of in-flight routed mutations: every
+         gated mutation increments it (rebalance or not); the copy loop
+         and the flip swap in a fresh bucket and drain the old one, so
+         "wait for every mutation that started before now" terminates
+         even under continuous traffic *)
   m : Mutex.t;
   cv : Condition.t;
   pools : (string, pool) Hashtbl.t;
@@ -397,42 +410,68 @@ let plan_rejection =
    Every routed mutation passes here.  Points inside the chunk being
    copied wait (briefly — one chunk is a few thousand cells); points in
    the already-copied region are dual-written to the target so the copy
-   cannot go stale.  The in-flight count lets the copy loop wait out
-   mutations that passed the gate before the chunk was claimed. *)
+   cannot go stale.
+
+   The pass couples three facts read under one lock hold: the
+   generation bucket joined (so the copy loop and the flip can drain
+   every mutation that entered before them, including ones that predate
+   the rebalance), the rebalance snapshot (whether to dual-write, and
+   up to which watermark), and the routing map.  Snapshotting the map
+   here — not before the gate — is what makes the epoch flip safe: the
+   flip installs the new map and clears [rebal] in one critical
+   section, so a mutation either sees the old map {e and} dual-writes,
+   or sees the new map and routes straight to the new owner — never a
+   dual-write plus a new-map forward to the same shard. *)
+
+type pass = {
+  bucket : int ref;  (* the generation this mutation joined *)
+  dual : (rebal * int) option;  (* rebalance and its watermark at gate time *)
+  pmap : SM.t;  (* routing map, consistent with [dual] *)
+}
 
 let gate_begin t zs =
   Mutex.lock t.m;
   let rec wait_clear z =
     match t.rebal with
-    | Some ({ chunk = Some (clo, chi); _ } as _rb) when z >= clo && z <= chi ->
+    | Some { chunk = Some (clo, chi); _ } when z >= clo && z <= chi ->
         Condition.wait t.cv t.m;
         wait_clear z
     | _ -> ()
   in
   List.iter wait_clear zs;
+  let bucket = t.gate in
+  incr bucket;
   let dual =
-    match t.rebal with
-    | Some rb ->
-        rb.muts <- rb.muts + 1;
-        Some (rb.move_lo, rb.watermark, rb.dst_host, rb.dst_port)
-    | None -> None
+    match t.rebal with Some rb -> Some (rb, rb.watermark) | None -> None
   in
+  let pmap = t.rmap in
   Mutex.unlock t.m;
-  dual
+  { bucket; dual; pmap }
 
-let gate_end t ~record =
+let gate_end t pass ~record =
   Mutex.lock t.m;
-  (match t.rebal with
-  | Some rb ->
-      rb.muts <- rb.muts - 1;
+  decr pass.bucket;
+  (match pass.dual with
+  | Some (rb, _) ->
       List.iter
-        (fun (p, delta) ->
-          let n = try Hashtbl.find rb.moved p with Not_found -> 0 in
-          Hashtbl.replace rb.moved p (n + delta))
-        record;
-      Condition.broadcast t.cv
+        (fun (table, p, delta) ->
+          let key = (table, p) in
+          let n = try Hashtbl.find rb.moved key with Not_found -> 0 in
+          Hashtbl.replace rb.moved key (n + delta))
+        record
   | None -> ());
+  Condition.broadcast t.cv;
   Mutex.unlock t.m
+
+(* Swap in a fresh generation bucket and wait until every mutation in
+   the old one has called [gate_end].  Caller holds [t.m]; new
+   mutations join the fresh bucket, so this terminates under load. *)
+let drain_gate t =
+  let old = t.gate in
+  t.gate <- ref 0;
+  while !old > 0 do
+    Condition.wait t.cv t.m
+  done
 
 let rebal_fail t msg =
   Mutex.lock t.m;
@@ -440,6 +479,22 @@ let rebal_fail t msg =
   | Some rb when rb.failed = None -> rb.failed <- Some msg
   | _ -> ());
   Mutex.unlock t.m
+
+(* A dual-write executes once per origin idempotency key: replays
+   (client retries, stale re-routes through [with_stale_retry]) find
+   the key in [shadowed] and skip both the write and its [moved]
+   record.  Unkeyed (v1) mutations cannot be tracked and execute each
+   time — the same at-least-once contract an unkeyed client already
+   has against a single server. *)
+let shadow_fresh t rb = function
+  | None -> true
+  | Some { P.client_id; request_seq } ->
+      Mutex.lock t.m;
+      let k = (client_id, request_seq) in
+      let fresh = not (Hashtbl.mem rb.shadowed k) in
+      if fresh then Hashtbl.add rb.shadowed k ();
+      Mutex.unlock t.m;
+      fresh
 
 (* {1 Mutation routing} *)
 
@@ -451,6 +506,11 @@ let owner_idx m z =
   in
   go 0 m.SM.entries
 
+(* [Shard_map.make] guarantees contiguous coverage from z = 0, so an
+   unowned z can only mean a map built for a smaller space than the
+   router's — a deployment error worth naming, not an assert. *)
+exception Unowned_z of int
+
 let group_by_owner m items z_of =
   let n = List.length m.SM.entries in
   let buckets = Array.make n [] in
@@ -458,12 +518,26 @@ let group_by_owner m items z_of =
     (fun it ->
       match owner_idx m (z_of it) with
       | Some (i, _) -> buckets.(i) <- it :: buckets.(i)
-      | None -> (* map covers the full z range; unreachable *) assert false)
+      | None -> raise (Unowned_z (z_of it)))
     items;
   List.filteri (fun i _ -> buckets.(i) <> [])
   @@ List.mapi
        (fun i e -> (i, e, List.rev buckets.(i)))
        m.SM.entries
+
+let unowned_error m z =
+  P.Error
+    {
+      code = P.Bad_request;
+      message =
+        Printf.sprintf
+          "cluster: no shard owns z value %d (map epoch %d covers z up to %d \
+           — was the map built for a smaller space?)"
+          z m.SM.epoch
+          (match List.rev m.SM.entries with
+          | e :: _ -> e.SM.zhi
+          | [] -> -1);
+    }
 
 let merge_acks results =
   match first_error results with
@@ -507,61 +581,94 @@ let stale_or_acks results =
   if List.exists (fun (_, _, r) -> is_stale r) results then `Stale
   else `Done (merge_acks results)
 
-let route_insert t m frame ~table ~(points : (int array * int) list) =
-  let z_of (p, _) = SM.z_of_point t.space p in
+(* Shared shell of [route_insert]/[route_delete]: gate, dual-write the
+   already-copied region (idempotently, under the origin's key), then
+   forward per-owner sub-batches under the map snapshotted {e by} the
+   gate.  A mutation to a live table the rebalance is not copying
+   cannot be made safe (its moved-range rows would be orphaned at the
+   flip), so it poisons the rebalance instead — the split aborts with
+   the map unflipped and nothing is lost. *)
+let route_mutation t (frame : P.request_frame) ~table ~points ~z_of ~point_of
+    ~(shadow_write : rebal -> 'a list -> (unit, Client.error) result)
+    ~(shadow_delta : int) ~(make_req : 'a list -> P.request) =
   let zs = List.map z_of points in
-  let dual = gate_begin t zs in
+  let pass = gate_begin t zs in
+  let m = pass.pmap in
   let record = ref [] in
-  (match dual with
-  | Some (mlo, wm, dhost, dport) -> (
-      let shadow =
-        List.filter (fun it -> let z = z_of it in z >= mlo && z <= wm) points
-      in
-      if shadow <> [] then begin
-        Metrics.add t.c_reb_dual (List.length shadow);
-        match
-          with_endpoint t ~host:dhost ~port:dport (fun c ->
-              Client.insert c ~table shadow)
-        with
-        | Ok _ -> record := List.map (fun (p, _) -> (Array.copy p, 1)) shadow
-        | Error err ->
-            rebal_fail t ("dual insert failed: " ^ Client.error_to_string err)
-      end)
+  (match pass.dual with
+  | Some (rb, wm) ->
+      if not (List.mem table rb.tables) then begin
+        (* the whole moving range is at stake, not just the copied
+           prefix: a row landing above the watermark would simply never
+           be copied, then hidden at the flip — the same orphaning,
+           deferred *)
+        if
+          List.exists
+            (fun it ->
+              let z = z_of it in
+              z >= rb.move_lo && z <= rb.move_hi)
+            points
+        then
+          rebal_fail t
+            (Printf.sprintf
+               "mutation to live table %S, which this rebalance is not \
+                copying — aborting the move to avoid orphaning its rows"
+               table)
+      end
+      else begin
+        let shadow =
+          List.filter
+            (fun it -> let z = z_of it in z >= rb.move_lo && z <= wm)
+            points
+        in
+        if shadow <> [] then
+          if shadow_fresh t rb frame.P.idem then begin
+            Metrics.add t.c_reb_dual (List.length shadow);
+            match shadow_write rb shadow with
+            | Ok () ->
+                record :=
+                  List.map
+                    (fun it -> (table, Array.copy (point_of it), shadow_delta))
+                    shadow
+            | Error err ->
+                rebal_fail t
+                  ("dual write failed: " ^ Client.error_to_string err)
+          end
+      end
   | None -> ());
-  let groups = group_by_owner m points z_of in
-  let results =
-    forward_subbatches t m frame groups (fun sub -> P.Insert { table; points = sub })
-  in
-  gate_end t ~record:!record;
-  stale_or_acks results
+  match group_by_owner m points z_of with
+  | exception Unowned_z z ->
+      gate_end t pass ~record:[];
+      `Done (unowned_error m z)
+  | groups ->
+      let results = forward_subbatches t m frame groups make_req in
+      gate_end t pass ~record:!record;
+      stale_or_acks results
 
-let route_delete t m frame ~table ~(points : int array list) =
+let route_insert t frame ~table ~(points : (int array * int) list) =
+  let z_of (p, _) = SM.z_of_point t.space p in
+  route_mutation t frame ~table ~points ~z_of ~point_of:fst ~shadow_delta:1
+    ~shadow_write:(fun rb shadow ->
+      match
+        with_endpoint t ~host:rb.dst_host ~port:rb.dst_port (fun c ->
+            Client.insert ?idem:frame.P.idem c ~table shadow)
+      with
+      | Ok _ -> Ok ()
+      | Error err -> Error err)
+    ~make_req:(fun sub -> P.Insert { table; points = sub })
+
+let route_delete t frame ~table ~(points : int array list) =
   let z_of p = SM.z_of_point t.space p in
-  let zs = List.map z_of points in
-  let dual = gate_begin t zs in
-  let record = ref [] in
-  (match dual with
-  | Some (mlo, wm, dhost, dport) -> (
-      let shadow =
-        List.filter (fun p -> let z = z_of p in z >= mlo && z <= wm) points
-      in
-      if shadow <> [] then begin
-        Metrics.add t.c_reb_dual (List.length shadow);
-        match
-          with_endpoint t ~host:dhost ~port:dport (fun c ->
-              Client.delete c ~table shadow)
-        with
-        | Ok _ -> record := List.map (fun p -> (Array.copy p, -1)) shadow
-        | Error err ->
-            rebal_fail t ("dual delete failed: " ^ Client.error_to_string err)
-      end)
-  | None -> ());
-  let groups = group_by_owner m points z_of in
-  let results =
-    forward_subbatches t m frame groups (fun sub -> P.Delete { table; points = sub })
-  in
-  gate_end t ~record:!record;
-  stale_or_acks results
+  route_mutation t frame ~table ~points ~z_of ~point_of:Fun.id
+    ~shadow_delta:(-1)
+    ~shadow_write:(fun rb shadow ->
+      match
+        with_endpoint t ~host:rb.dst_host ~port:rb.dst_port (fun c ->
+            Client.delete ?idem:frame.P.idem c ~table shadow)
+      with
+      | Ok _ -> Ok ()
+      | Error err -> Error err)
+    ~make_req:(fun sub -> P.Delete { table; points = sub })
 
 (* {1 Broadcast plans and admin} *)
 
@@ -736,13 +843,15 @@ let route t (frame : P.request_frame) payload =
       | exception Invalid_argument msg ->
           P.Error { code = P.Bad_request; message = msg }
       | _ ->
-          with_stale_retry t 1 (fun m -> route_insert t m frame ~table ~points))
+          (* mutations snapshot their map inside the gate, not here —
+             the stale-retry loop only drives resync + re-route *)
+          with_stale_retry t 1 (fun _ -> route_insert t frame ~table ~points))
   | P.Delete { table; points } -> (
       match List.map (SM.z_of_point t.space) points with
       | exception Invalid_argument msg ->
           P.Error { code = P.Bad_request; message = msg }
       | _ ->
-          with_stale_retry t 1 (fun m -> route_delete t m frame ~table ~points))
+          with_stale_retry t 1 (fun _ -> route_delete t frame ~table ~points))
   | P.Create_index _ ->
       with_stale_retry t 1 (fun m ->
           stale_or_acks (broadcast t m ?deadline_ms payload))
@@ -754,7 +863,7 @@ let route t (frame : P.request_frame) payload =
   | P.Shard_map_set { map = m; self = _ } -> (
       Mutex.lock t.m;
       let current = t.rmap in
-      let busy = t.rebal <> None in
+      let busy = t.splitting in
       Mutex.unlock t.m;
       if busy then
         P.Error
@@ -813,12 +922,14 @@ let chunks_of t ~lo ~hi =
   in
   List.concat_map refine (Z.Zrange.cover t.space ~lo ~hi)
 
-let copy_chunk t ~src ~dst element =
+let copy_chunk t ~src ~dst ~table element =
   let lo, hi = Z.Element.box t.space element in
   match
-    with_entry t src (fun c -> Client.live_range c ~table:"L" ~lo ~hi)
+    with_entry t src (fun c -> Client.live_range c ~table ~lo ~hi)
   with
-  | Error err -> Error ("chunk read: " ^ Client.error_to_string err)
+  | Error err ->
+      Error
+        (Printf.sprintf "chunk read (%s): %s" table (Client.error_to_string err))
   | Ok rel -> (
       let schema = R.Relation.schema rel in
       let k = Z.Space.dims t.space in
@@ -838,16 +949,20 @@ let copy_chunk t ~src ~dst element =
       else
         match
           with_endpoint t ~host:dst.SM.host ~port:dst.SM.port (fun c ->
-              Client.insert c ~table:"L" entries)
+              Client.insert c ~table entries)
         with
         | Ok _ -> Ok (List.map fst entries)
-        | Error err -> Error ("chunk write: " ^ Client.error_to_string err))
+        | Error err ->
+            Error
+              (Printf.sprintf "chunk write (%s): %s" table
+                 (Client.error_to_string err)))
 
-let split t ~from_ ~at ~host ~port =
+let split ?(tables = [ "L" ]) t ~from_ ~at ~host ~port =
   (* 1. claim: one rebalance at a time, validated against the live map *)
   Mutex.lock t.m;
   let claim =
-    if t.rebal <> None then Error "a rebalance is already in progress"
+    if t.splitting then Error "a rebalance is already in progress"
+    else if tables = [] then Error "no tables to move"
     else
       match List.nth_opt t.rmap.SM.entries from_ with
       | None -> Error (Printf.sprintf "no shard entry %d" from_)
@@ -863,13 +978,15 @@ let split t ~from_ ~at ~host ~port =
                 move_hi = e.SM.zhi;
                 dst_host = host;
                 dst_port = port;
+                tables;
                 watermark = at - 1;
                 chunk = None;
-                muts = 0;
                 failed = None;
                 moved = Hashtbl.create 64;
+                shadowed = Hashtbl.create 64;
               }
             in
+            t.splitting <- true;
             t.rebal <- Some rb;
             Metrics.set_gauge t.g_reb_active 1;
             Ok (e, rb)
@@ -882,6 +999,7 @@ let split t ~from_ ~at ~host ~port =
       let finish r =
         Mutex.lock t.m;
         t.rebal <- None;
+        t.splitting <- false;
         Metrics.set_gauge t.g_reb_active 0;
         Condition.broadcast t.cv;
         Mutex.unlock t.m;
@@ -895,37 +1013,62 @@ let split t ~from_ ~at ~host ~port =
       | Error err ->
           finish (Error ("target unreachable: " ^ Client.error_to_string err))
       | Ok _ -> (
-          (* 3. chunked copy with catch-up: claim chunk -> wait out gated
-             mutations -> snapshot-read from source -> append to target ->
-             advance watermark (dual-writes take over for this chunk) *)
+          (* 3. chunked copy with catch-up: claim chunk -> drain every
+             mutation already past the gate (they may still be landing
+             rows in this chunk at the source — including ones that
+             entered before this rebalance began) -> snapshot-read each
+             table from source -> append to target -> advance the
+             watermark (dual-writes take over for this chunk) *)
           let rec copy = function
             | [] -> Ok ()
             | element :: rest -> (
                 let clo, chi = Z.Zrange.of_element t.space element in
                 Mutex.lock t.m;
                 rb.chunk <- Some (clo, chi);
-                while rb.muts > 0 do
-                  Condition.wait t.cv t.m
-                done;
+                drain_gate t;
                 Mutex.unlock t.m;
-                let r = copy_chunk t ~src ~dst:dst_entry element in
+                let copied =
+                  List.fold_left
+                    (fun acc table ->
+                      match acc with
+                      | Error _ as e -> e
+                      | Ok done_ -> (
+                          match copy_chunk t ~src ~dst:dst_entry ~table element with
+                          | Ok pts -> Ok ((table, pts) :: done_)
+                          | Error msg -> Error msg))
+                    (Ok []) rb.tables
+                in
                 Mutex.lock t.m;
-                (match r with
-                | Ok pts ->
+                (match copied with
+                | Ok per_table ->
                     List.iter
-                      (fun p ->
-                        let n = try Hashtbl.find rb.moved p with Not_found -> 0 in
-                        Hashtbl.replace rb.moved p (n + 1))
-                      pts;
-                    rb.watermark <- chi
+                      (fun (table, pts) ->
+                        List.iter
+                          (fun p ->
+                            let key = (table, p) in
+                            let n =
+                              try Hashtbl.find rb.moved key with Not_found -> 0
+                            in
+                            Hashtbl.replace rb.moved key (n + 1))
+                          pts)
+                      per_table
+                | Error _ -> ());
+                (* the watermark only advances once every table's slice
+                   of the chunk is on the target — dual-writes for any
+                   table are then safe for this range *)
+                (match copied with
+                | Ok _ -> rb.watermark <- chi
                 | Error _ -> ());
                 rb.chunk <- None;
                 Condition.broadcast t.cv;
                 Mutex.unlock t.m;
-                match r with
-                | Ok pts ->
+                match copied with
+                | Ok per_table ->
                     Metrics.incr t.c_reb_chunks;
-                    Metrics.add t.c_reb_rows (List.length pts);
+                    Metrics.add t.c_reb_rows
+                      (List.fold_left
+                         (fun n (_, pts) -> n + List.length pts)
+                         0 per_table);
                     copy rest
                 | Error msg -> Error msg)
           in
@@ -935,10 +1078,19 @@ let split t ~from_ ~at ~host ~port =
               match rb.failed with
               | Some msg -> finish (Error msg)
               | None -> (
-                  (* 4. atomic flip: install epoch+1 router-first, then
-                     push it to every shard.  Requests that raced the
-                     flip at the old epoch are fenced off by the shards
-                     and re-routed by the stale-retry loop. *)
+                  (* 4. atomic flip: install epoch+1 and retire the
+                     dual-write gate in ONE critical section — a
+                     mutation gated after this point routes under the
+                     new map straight to the new owner and is never
+                     also shadow-written to it.  Then drain mutations
+                     already past the gate: their dual-writes and
+                     old-epoch forwards (which the not-yet-fenced
+                     source still accepts) finish and land their
+                     [moved] records before the cleanup snapshot.
+                     Only after the drain is the map pushed; requests
+                     racing at the old epoch from here on are fenced
+                     off by the shards and re-routed by the
+                     stale-retry loop. *)
                   Mutex.lock t.m;
                   let old = t.rmap in
                   let entries =
@@ -953,6 +1105,10 @@ let split t ~from_ ~at ~host ~port =
                   let flipped = SM.make ~epoch:(old.SM.epoch + 1) entries in
                   t.rmap <- flipped;
                   Metrics.set_gauge t.g_epoch flipped.SM.epoch;
+                  t.rebal <- None;
+                  Metrics.set_gauge t.g_reb_active 0;
+                  Condition.broadcast t.cv;
+                  drain_gate t;
                   Mutex.unlock t.m;
                   let push_errors =
                     List.filter_map
@@ -961,19 +1117,21 @@ let split t ~from_ ~at ~host ~port =
                   in
                   (* 5. cleanup: the source still physically holds every
                      moved row (its ownership filter already hides them
-                     from reads); delete them so the space comes back *)
-                  let moved =
-                    Mutex.lock t.m;
-                    let l =
-                      Hashtbl.fold
-                        (fun p n acc ->
-                          if n > 0 then List.init n (fun _ -> p) @ acc else acc)
-                        rb.moved []
-                    in
-                    Mutex.unlock t.m;
-                    l
-                  in
-                  let rec cleanup = function
+                     from reads); delete them so the space comes back.
+                     No gated mutation can touch [moved] any more — the
+                     gate is retired and drained. *)
+                  let moved_by_table = Hashtbl.create 4 in
+                  Hashtbl.iter
+                    (fun (table, p) n ->
+                      if n > 0 then
+                        let cur =
+                          try Hashtbl.find moved_by_table table
+                          with Not_found -> []
+                        in
+                        Hashtbl.replace moved_by_table table
+                          (List.init n (fun _ -> p) @ cur))
+                    rb.moved;
+                  let rec cleanup table = function
                     | [] -> ()
                     | pts ->
                         let batch, rest =
@@ -984,10 +1142,11 @@ let split t ~from_ ~at ~host ~port =
                         in
                         ignore
                           (with_entry t src (fun c ->
-                               Client.delete c ~table:"L" batch));
-                        cleanup rest
+                               Client.delete c ~table batch));
+                        cleanup table rest
                   in
-                  cleanup moved;
+                  Hashtbl.iter (fun table pts -> cleanup table pts)
+                    moved_by_table;
                   if push_errors = [] then finish (Ok ())
                   else
                     finish
@@ -1008,6 +1167,8 @@ let start ?(config = default_config) ?metrics ~space ~map () =
       space;
       rmap = map;
       rebal = None;
+      splitting = false;
+      gate = ref 0;
       m = Mutex.create ();
       cv = Condition.create ();
       pools = Hashtbl.create 8;

@@ -48,12 +48,19 @@
     atomic-flip shape as {!Sqp_btree.Live.rebuild_online}: the moving
     range's canonical element cover is copied chunk by chunk (each
     aligned element is both a z interval and a box, so [Live_range]
-    reads it exactly); mutations touching the in-flight chunk block
-    briefly, mutations in the already-copied region are dual-written to
-    the target; then the new map (epoch + 1) is installed router-first
-    and pushed to every shard, and the moved rows are deleted from the
-    source.  Reads routed under the old epoch are fenced off by the
-    shards themselves. *)
+    reads it exactly), each chunk covering {e every} table the split
+    names; before a chunk is read, all in-flight routed mutations are
+    drained (a generation-counted gate), so no write can race the
+    snapshot.  Mutations touching the in-flight chunk block briefly;
+    mutations in the already-copied region are dual-written to the
+    target {e idempotently} — the shadow write carries the origin
+    client's idempotency key, so client retries and stale re-routes
+    collapse in the target's dedup window.  The flip installs the new
+    map (epoch + 1) and retires the dual-write gate in one critical
+    section (a mutation routed under the new map is never also
+    shadow-written), drains the stragglers, pushes the map to every
+    shard, and deletes the moved rows from the source.  Reads routed
+    under the old epoch are fenced off by the shards themselves. *)
 
 type config = {
   host : string;  (** bind address *)
@@ -102,15 +109,26 @@ val map : t -> Sqp_server.Shard_map.t
 (** The current routing truth (latest epoch). *)
 
 val split :
-  t -> from_:int -> at:int -> host:string -> port:int -> (unit, string) result
+  ?tables:string list ->
+  t ->
+  from_:int ->
+  at:int ->
+  host:string ->
+  port:int ->
+  (unit, string) result
 (** [split t ~from_ ~at ~host ~port] moves the z range [\[at, hi\]] of
     entry [from_] (which keeps [\[lo, at - 1\]]) to the — already
     running, typically [--live-empty] — shard at [host:port], with the
-    copy/catch-up/flip protocol described above.  Serving continues
-    throughout; only mutations touching the chunk being copied right
-    now block.  [Error] (with the map unflipped) if the move is invalid
-    or the target is unreachable; the target may then hold a partial
-    copy and should be restarted before retrying. *)
+    copy/catch-up/flip protocol described above.  [tables] (default
+    [["L"]], the canonical serving catalog's ingest table) names the
+    live tables to move; it must cover {e every} live table the shards
+    serve — a gated mutation to a table outside the list aborts the
+    split (map unflipped) rather than orphan that table's moved-range
+    rows.  Serving continues throughout; only mutations touching the
+    chunk being copied right now block.  [Error] (with the map
+    unflipped) if the move is invalid, the target is unreachable, or a
+    copy/dual-write failed; the target may then hold a partial copy
+    and should be restarted before retrying. *)
 
 val stop : t -> unit
 (** Graceful: drain client sessions (via {!Sqp_server.Net.stop}), then

@@ -8,14 +8,22 @@ type t = { epoch : int; entries : entry list }
 let make ~epoch entries =
   if epoch < 1 then invalid_arg "Shard_map.make: epoch < 1";
   if entries = [] then invalid_arg "Shard_map.make: no entries";
+  (* Contiguity is a correctness requirement, not hygiene: the router
+     routes every mutation by exact z ownership, so a gap would leave
+     z values no shard owns. *)
+  (match entries with
+  | e :: _ when e.zlo <> 0 ->
+      invalid_arg "Shard_map.make: first entry must start at z = 0"
+  | _ -> ());
   let rec check prev = function
     | [] -> ()
     | e :: rest ->
         if e.zlo > e.zhi then invalid_arg "Shard_map.make: entry with zlo > zhi";
-        if e.zlo < 0 then invalid_arg "Shard_map.make: negative z";
         (match prev with
-        | Some p when e.zlo <= p.zhi ->
-            invalid_arg "Shard_map.make: entries overlap or are out of order"
+        | Some p when e.zlo <> p.zhi + 1 ->
+            invalid_arg
+              "Shard_map.make: entries must be contiguous and ascending (gap \
+               or overlap between ranges)"
         | _ -> ());
         check (Some e) rest
   in

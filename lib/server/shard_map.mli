@@ -28,8 +28,10 @@ type t = {
 }
 
 val make : epoch:int -> entry list -> t
-(** Validates: non-empty, every [zlo <= zhi], strictly ascending and
-    disjoint, [epoch >= 1].
+(** Validates: non-empty, every [zlo <= zhi], contiguous coverage from
+    z = 0 (the first entry starts at 0 and each entry's [zlo] is its
+    predecessor's [zhi + 1] — so every z value up to the last [zhi] has
+    exactly one owner), [epoch >= 1].
     @raise Invalid_argument otherwise. *)
 
 val even_ranges : Sqp_zorder.Space.t -> int -> (int * int) list

@@ -397,16 +397,23 @@ let test_workload_differential () = List.iter workload_seed seeds
    refetch protocol by the shards themselves. *)
 
 let rebalance_seed seed =
-  let lv_src = Live.create ~encode:string_of_int ~decode:int_of_string small_space
-  and lv_dst =
+  (* two live tables per shard: the split must move BOTH — a rebalance
+     that only copied "L" would orphan "M"'s moved-range rows on the
+     source (hidden by ownership filtering = silent data loss) *)
+  let mk_live () =
     Live.create ~encode:string_of_int ~decode:int_of_string small_space
   in
-  let mk lv =
+  let lv_src = mk_live ()
+  and lv_dst = mk_live ()
+  and lv_src_m = mk_live ()
+  and lv_dst_m = mk_live () in
+  let mk lv lvm =
     Server.start ~metrics:(M.create ())
-      (Catalog.make ~lives:[ ("L", lv) ] ~space:small_space ~points:[]
-         ~relations:[] ())
+      (Catalog.make
+         ~lives:[ ("L", lv); ("M", lvm) ]
+         ~space:small_space ~points:[] ~relations:[] ())
   in
-  let src = mk lv_src and dst = mk lv_dst in
+  let src = mk lv_src lv_src_m and dst = mk lv_dst lv_dst_m in
   Fun.protect
     ~finally:(fun () ->
       Server.stop src;
@@ -422,6 +429,7 @@ let rebalance_seed seed =
         (fun () ->
           let zmax = (1 lsl 12) - 1 and at = 1 lsl 11 in
           let oracle = WG.Oracle.create small_space in
+          let oracle_m = WG.Oracle.create small_space in
           Client.with_connect
             ~port:(Router.port router)
             ~client_id:(seed * 41)
@@ -439,6 +447,20 @@ let rebalance_seed seed =
                 in
                 checki "seed batch applied" 20 applied;
                 List.iter (fun (p, v) -> WG.Oracle.insert oracle p v) batch
+              done;
+              (* seed the second table across the whole space too *)
+              let pt_m i = [| (i * 3) mod small_side; i / 2 mod small_side |] in
+              for b = 0 to 4 do
+                let batch =
+                  List.init 20 (fun j ->
+                      let i = (b * 20) + j in
+                      (pt_m i, (seed * 30_000) + i))
+                in
+                let applied, _ =
+                  reply_ok "seed insert M" (Client.insert cl ~table:"M" batch)
+                in
+                checki "seed M batch applied" 20 applied;
+                List.iter (fun (p, v) -> WG.Oracle.insert oracle_m p v) batch
               done;
               (* a map-caching client bootstraps at epoch 1 *)
               let cc = CC.connect ~router_port:(Router.port router) () in
@@ -493,15 +515,37 @@ let rebalance_seed seed =
                                     failwith
                                       (Printf.sprintf "mutator insert applied %d"
                                          applied);
-                                  WG.Oracle.insert oracle p v
+                                  WG.Oracle.insert oracle p v;
+                                  (* keep the second table hot too: its
+                                     dual-writes and chunk copies must
+                                     interleave with "L"'s *)
+                                  let pm =
+                                    [|
+                                      (j * 5) mod small_side;
+                                      50 + (j mod 14);
+                                    |]
+                                  in
+                                  let vm = (seed * 40_000) + j in
+                                  let applied_m, _ =
+                                    reply_ok "mutator insert M"
+                                      (Client.insert mcl ~table:"M"
+                                         [ (pm, vm) ])
+                                  in
+                                  if applied_m <> 1 then
+                                    failwith
+                                      (Printf.sprintf
+                                         "mutator M insert applied %d" applied_m);
+                                  WG.Oracle.insert oracle_m pm vm
                               done)
                         with e -> Atomic.set mutator_error (Some e))
                       ()
                   in
-                  (* move the upper half of the range to the empty shard *)
+                  (* move the upper half of the range — BOTH live
+                     tables — to the empty shard *)
                   (match
-                     Router.split router ~from_:0 ~at ~host:"127.0.0.1"
-                       ~port:(Server.port dst)
+                     Router.split router
+                       ~tables:[ "L"; "M" ]
+                       ~from_:0 ~at ~host:"127.0.0.1" ~port:(Server.port dst)
                    with
                   | Ok () -> ()
                   | Error m -> Alcotest.failf "split: %s" m);
@@ -534,6 +578,23 @@ let rebalance_seed seed =
                        (Live.snapshot_entries (Live.snapshot lv_dst)));
                   checkb "dst actually received rows" true
                     (Live.snapshot_length (Live.snapshot lv_dst) > 0);
+                  (* the second table moved too, with the same guarantees *)
+                  let got_m =
+                    reply_ok "post-split scan M"
+                      (Client.live_range cl ~table:"M" ~lo:small_full_lo
+                         ~hi:small_full_hi)
+                  in
+                  let expected_m = rows_of_entries (WG.Oracle.scan oracle_m) in
+                  checkb
+                    (Printf.sprintf "seed %d: post-split M state = oracle" seed)
+                    true
+                    (List.equal tuple_eq expected_m (Relation.tuples got_m));
+                  checkb "dst M rows are all in the moved range" true
+                    (List.for_all
+                       (fun (p, _) -> SM.z_of_point small_space p >= at)
+                       (Live.snapshot_entries (Live.snapshot lv_dst_m)));
+                  checkb "dst actually received M rows" true
+                    (Live.snapshot_length (Live.snapshot lv_dst_m) > 0);
                   (* the cached client is fenced off and recovers *)
                   ignore
                     (reply_ok "direct range after the move"
@@ -543,6 +604,102 @@ let rebalance_seed seed =
                   checki "cached epoch caught up" 2 (CC.epoch cc)))))
 
 let test_rebalance () = List.iter rebalance_seed seeds
+
+(* A split that omits a live table must abort — map unflipped, nothing
+   lost — as soon as a mutation touches that table anywhere in the
+   moving range (above the watermark included: a row landing in the
+   not-yet-copied suffix would never be copied, then hidden at the
+   flip).  The source is seeded heavy so the copy is slow enough that
+   the racing writes reliably land mid-move. *)
+let test_split_abort () =
+  let mk_live () =
+    Live.create ~encode:string_of_int ~decode:int_of_string small_space
+  in
+  let lv_src = mk_live ()
+  and lv_dst = mk_live ()
+  and lv_src_m = mk_live ()
+  and lv_dst_m = mk_live () in
+  let mk lv lvm =
+    Server.start ~metrics:(M.create ())
+      (Catalog.make
+         ~lives:[ ("L", lv); ("M", lvm) ]
+         ~space:small_space ~points:[] ~relations:[] ())
+  in
+  let src = mk lv_src lv_src_m and dst = mk lv_dst lv_dst_m in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop src;
+      Server.stop dst)
+    (fun () ->
+      let router =
+        Router.start ~metrics:(M.create ()) ~space:small_space
+          ~map:(SM.even small_space [ ("127.0.0.1", Server.port src) ])
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Router.stop router)
+        (fun () ->
+          let at = 1 lsl 11 in
+          Client.with_connect ~port:(Router.port router) ~client_id:91
+            (fun cl ->
+              for b = 0 to 99 do
+                let batch =
+                  List.init 100 (fun j ->
+                      let i = (b * 100) + j in
+                      ([| i mod small_side; i * 7 mod small_side |], i))
+                in
+                ignore (reply_ok "seed L" (Client.insert cl ~table:"L" batch))
+              done;
+              (* run the split in a background thread and write "M" from
+                 this one until it returns — the writes then necessarily
+                 span the whole move, so at least one is gated while the
+                 rebalance is live.  Both coordinates >= 32, so z >= at
+                 whatever the interleave order — every write is in the
+                 moving range. *)
+              let result = ref None in
+              let splitter =
+                Thread.create
+                  (fun () ->
+                    result :=
+                      Some
+                        (Router.split router ~tables:[ "L" ] ~from_:0 ~at
+                           ~host:"127.0.0.1" ~port:(Server.port dst)))
+                  ()
+              in
+              let oracle_m = ref [] in
+              let j = ref 0 in
+              while !result = None do
+                let c = 32 + (!j mod 32) in
+                (match Client.insert cl ~table:"M" [ ([| c; c |], !j) ] with
+                | Ok _ -> oracle_m := ([| c; c |], !j) :: !oracle_m
+                | Error _ -> ());
+                incr j
+              done;
+              Thread.join splitter;
+              (match Option.get !result with
+              | Error m ->
+                  checkb "abort names the orphaned table" true
+                    (String.length m > 0)
+              | Ok () -> Alcotest.fail "L-only split succeeded under M writes");
+              checki "map unflipped after abort" 1
+                (Router.map router).SM.epoch;
+              checki "single entry still" 1
+                (List.length (Router.map router).SM.entries);
+              (* nothing lost: every acked M write is still served *)
+              let got =
+                reply_ok "M scan after abort"
+                  (Client.live_range cl ~table:"M" ~lo:small_full_lo
+                     ~hi:small_full_hi)
+              in
+              checki "M rows all intact after abort"
+                (List.length !oracle_m)
+                (List.length (Relation.tuples got));
+              (* and the cluster still serves mutations normally *)
+              let applied, _ =
+                reply_ok "post-abort insert"
+                  (Client.insert cl ~table:"L" [ ([| 1; 1 |], 424242) ])
+              in
+              checki "post-abort insert applied" 1 applied)))
 
 (* {1 The spawned-process contract}
 
@@ -616,6 +773,8 @@ let () =
         [
           Alcotest.test_case "split under concurrent mutations" `Quick
             test_rebalance;
+          Alcotest.test_case "split omitting a live table aborts" `Quick
+            test_split_abort;
         ] );
       ( "process",
         [

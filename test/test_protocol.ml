@@ -134,6 +134,25 @@ let shard_map =
       { Sqp_server.Shard_map.zlo = 2048; zhi = 4095; host = "10.0.0.2"; port = 65535 };
     ]
 
+(* [Shard_map.make] must enforce contiguous coverage from z = 0: the
+   router routes mutations by exact ownership, so a gap would leave z
+   values no shard owns and a mutation there unroutable. *)
+let test_shard_map_validation () =
+  let module SM = Sqp_server.Shard_map in
+  let entry zlo zhi = { SM.zlo; zhi; host = "h"; port = 1 } in
+  let rejects what entries =
+    match SM.make ~epoch:1 entries with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "map with %s accepted" what
+  in
+  rejects "a coverage gap" [ entry 0 10; entry 12 20 ];
+  rejects "an overlap" [ entry 0 10; entry 10 20 ];
+  rejects "a nonzero start" [ entry 1 20 ];
+  rejects "descending entries" [ entry 11 20; entry 0 10 ];
+  rejects "inverted bounds" [ entry 0 10; entry 11 5 ];
+  rejects "no entries" [];
+  ignore (SM.make ~epoch:1 [ entry 0 10; entry 11 20 ])
+
 let test_request_roundtrip () =
   let key client_id request_seq = Some { P.client_id; request_seq } in
   let cases =
@@ -587,6 +606,8 @@ let () =
           Alcotest.test_case "malformed requests" `Quick test_malformed_requests;
           Alcotest.test_case "malformed responses" `Quick test_malformed_responses;
           Alcotest.test_case "v1 compatibility" `Quick test_v1_compat;
+          Alcotest.test_case "shard map validation" `Quick
+            test_shard_map_validation;
         ] );
       ( "fuzz",
         [
