@@ -211,6 +211,33 @@ let query_cmd =
                then ""
                else " [overrides heuristic]"))
           decisions;
+        (* Storage recalibration: what ANALYZE measured about the
+           front-coded point index, and the page prediction for a
+           representative range box before/after the learned density. *)
+        (match
+           ( Srv.Catalog.page_estimate cat
+               ~lo:(Sqp_geom.Box.lo wk.W.Seeded.query_boxes.(0))
+               ~hi:(Sqp_geom.Box.hi wk.W.Seeded.query_boxes.(0)),
+             wk.W.Seeded.query_boxes.(0) )
+         with
+        | Some pe, box ->
+            Printf.printf
+              "storage: P packed %d rows into %d front-coded pages (%.1f \
+               entries/page, %.2fx vs fixed-width's %d pages)\n"
+              pe.Srv.Catalog.rows pe.Srv.Catalog.compressed_pages
+              pe.Srv.Catalog.entries_per_page pe.Srv.Catalog.compression_ratio
+              pe.Srv.Catalog.fixed_pages;
+            Printf.printf
+              "range pages for box [%s]-[%s]: %.1f predicted fixed-width, \
+               %.1f at the learned density\n"
+              (String.concat ","
+                 (Array.to_list
+                    (Array.map string_of_int (Sqp_geom.Box.lo box))))
+              (String.concat ","
+                 (Array.to_list
+                    (Array.map string_of_int (Sqp_geom.Box.hi box))))
+              pe.Srv.Catalog.fixed_predicted pe.Srv.Catalog.learned_predicted
+        | None, _ -> ());
         print_newline ();
         Some (st, chosen)
       end
@@ -296,6 +323,30 @@ let fsck_cmd =
     Unix.close fd;
     Printf.printf "wrote a demo store with one corrupted page to %s\n" path
   in
+  (* When the store is a {!Sqp_btree.Persist} index dump, report its
+     format version and validate the page structure too — for v3 this
+     walks every front-coded run's restart points. *)
+  let index_report path =
+    match Sqp_btree.Persist.inspect ~path () with
+    | exception _ -> true  (* not an index dump (or unreadable): page-store report stands alone *)
+    | info ->
+        let module P = Sqp_btree.Persist in
+        Printf.printf
+          "index: format v%d, %dd space (depth %d), %d entries on %d data \
+           page(s)%s\n"
+          info.P.version info.P.dims info.P.depth info.P.count
+          info.P.data_pages
+          (match info.P.page_budget with
+          | Some b -> Printf.sprintf ", page budget %dB" b
+          | None -> "");
+        if info.P.found <> info.P.count then
+          Printf.printf "index: only %d of %d entries decode\n" info.P.found
+            info.P.count;
+        List.iter
+          (fun (slot, what) -> Printf.printf "index: page %d: %s\n" slot what)
+          (List.rev info.P.page_errors);
+        info.P.page_errors = [] && info.P.found = info.P.count
+  in
   let run path salvage demo =
     if demo then make_demo path;
     match S.Fsck.scan path with
@@ -304,13 +355,14 @@ let fsck_cmd =
         Stdlib.exit 1
     | report ->
         print_string (S.Fsck.to_text report);
+        let index_ok = index_report path in
         (match salvage with
         | None -> ()
         | Some dest ->
             let salvaged, lost = S.Fsck.salvage ~src:path ~dest () in
             Printf.printf "salvage: recovered %d page(s) into %s, lost %d\n" salvaged dest
               lost);
-        if not (S.Fsck.clean report) then Stdlib.exit 1
+        if not (S.Fsck.clean report && index_ok) then Stdlib.exit 1
   in
   Cmd.v
     (Cmd.info "fsck"
@@ -1299,6 +1351,175 @@ let bench_optimizer_cmd =
           seeded workloads; writes BENCH_optimizer.json.")
     Term.(const run $ quick_arg $ json_arg)
 
+(* Compression benchmark: front-coded pages against the fixed-width
+   baseline at the same byte budget — entries per page, data pages
+   touched per range query, on-disk dump sizes (v3 vs v2), and the
+   latency guardrails on the range and kernel-join paths. *)
+let bench_compress_cmd =
+  let module W = Sqp_workload in
+  let module Zi = Sqp_btree.Zindex in
+  let module P = Sqp_btree.Persist in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"CI smoke mode: 3 timing repetitions instead of 9.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt string "BENCH_compress.json"
+      & info [ "json" ] ~docv:"FILE" ~doc:"Where to write the results.")
+  in
+  let run quick json_path =
+    let reps = if quick then 3 else 9 in
+    let median_ms f =
+      ignore (f ()) (* warm caches *);
+      let samples =
+        List.init reps (fun _ ->
+            let t0 = Unix.gettimeofday () in
+            ignore (f ());
+            (Unix.gettimeofday () -. t0) *. 1e3)
+      in
+      List.nth (List.sort compare samples) (reps / 2)
+    in
+    let wk = W.Seeded.standard () in
+    let space = wk.W.Seeded.space in
+    let pts = W.Seeded.tagged_points wk in
+    let budget = 512 in
+    (* The payload is a row id: charge it as a u32, so the density
+       comparison measures the key layouts rather than payload padding. *)
+    let comp = Zi.of_points ~page_budget:budget ~value_bytes:4 space pts in
+    let fixed =
+      Zi.of_points ~page_budget:budget ~value_bytes:4 ~compressed:false space
+        pts
+    in
+    let boxes = Array.to_list wk.W.Seeded.query_boxes in
+    (* Differential sweep: identical rows, fewer pages. *)
+    let pages_comp = ref 0 and pages_fixed = ref 0 and mismatches = ref 0 in
+    List.iter
+      (fun b ->
+        let rc, sc = Zi.range_search comp b in
+        let rf, sf = Zi.range_search fixed b in
+        if rc <> rf then incr mismatches;
+        pages_comp := !pages_comp + sc.Zi.data_pages;
+        pages_fixed := !pages_fixed + sf.Zi.data_pages)
+      boxes;
+    let cstats =
+      match Zi.compression_stats comp with
+      | Some c -> c
+      | None -> assert false (* built with a budget *)
+    in
+    let fixed_epp = Zi.avg_leaf_entries fixed in
+    (* On-disk dumps of the same index in both formats. *)
+    let v3_path = Filename.temp_file "sqp_bench_compress" ".v3" in
+    let v2_path = Filename.temp_file "sqp_bench_compress" ".v2" in
+    let v3_pages = P.save ~format:P.V3 ~path:v3_path ~encode:string_of_int comp in
+    let v2_pages = P.save ~format:P.V2 ~path:v2_path ~encode:string_of_int comp in
+    let file_size p = (Unix.stat p).Unix.st_size in
+    let v3_bytes = file_size v3_path and v2_bytes = file_size v2_path in
+    Sys.remove v3_path;
+    Sys.remove v2_path;
+    (* Latency guardrails: the compressed layout must not slow the range
+       path, and the streaming runs sweep must hold its own against the
+       flat-array kernel. *)
+    let range_ms idx =
+      median_ms (fun () ->
+          List.iter (fun b -> ignore (Zi.range_search idx b)) boxes)
+    in
+    let range_comp_ms = range_ms comp and range_fixed_ms = range_ms fixed in
+    let l_elts, r_elts = W.Seeded.join_elements wk in
+    let comparisons = ref 0 in
+    let join =
+      match
+        ( Sqp_core.Zseq.of_list ~comparisons l_elts,
+          Sqp_core.Zseq.of_list ~comparisons r_elts )
+      with
+      | Some ls, Some rs ->
+          let lr = Sqp_core.Zseq.to_runs ls and rr = Sqp_core.Zseq.to_runs rs in
+          let flat_pairs, _ = Sqp_core.Zseq.pairs ~comparisons ls rs in
+          let runs_pairs, _ = Sqp_core.Zseq.pairs_runs ~comparisons lr rr in
+          let flat_ms =
+            median_ms (fun () -> Sqp_core.Zseq.pairs ~comparisons ls rs)
+          in
+          let runs_ms =
+            median_ms (fun () -> Sqp_core.Zseq.pairs_runs ~comparisons lr rr)
+          in
+          let z_bytes =
+            Sqp_core.Zseq.runs_bytes lr + Sqp_core.Zseq.runs_bytes rr
+          in
+          let z_raw =
+            Sqp_core.Zseq.runs_raw_bytes lr + Sqp_core.Zseq.runs_raw_bytes rr
+          in
+          Some (flat_ms, runs_ms, flat_pairs = runs_pairs, z_bytes, z_raw)
+      | _ -> None
+    in
+    Printf.printf
+      "leaf density (budget %dB): %.1f entries/page front-coded vs %.1f \
+       fixed-width (%.2fx, %d vs %d leaves)\n"
+      budget cstats.Zi.avg_entries_per_leaf fixed_epp cstats.Zi.ratio
+      cstats.Zi.leaves (Zi.data_page_count fixed);
+    Printf.printf
+      "range batch (%d boxes): %d data pages compressed vs %d fixed (rows %s); \
+       %.3f ms vs %.3f ms\n"
+      (List.length boxes) !pages_comp !pages_fixed
+      (if !mismatches = 0 then "identical" else
+         Printf.sprintf "MISMATCH on %d boxes" !mismatches)
+      range_comp_ms range_fixed_ms;
+    Printf.printf "on disk: v3 %d pages / %d bytes vs v2 %d pages / %d bytes\n"
+      v3_pages v3_bytes v2_pages v2_bytes;
+    (match join with
+    | Some (flat_ms, runs_ms, same, zb, zr) ->
+        Printf.printf
+          "kernel join: flat %.3f ms vs runs %.3f ms (pairs %s); z bytes %d vs \
+           %d raw (%.2fx)\n"
+          flat_ms runs_ms
+          (if same then "identical" else "MISMATCH")
+          zb zr
+          (float_of_int zr /. float_of_int (max 1 zb))
+    | None -> print_endline "kernel join: skipped (z values exceed Zpacked)");
+    let oc = open_out json_path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"compressed_vs_fixed_storage\",\n\
+      \  \"repetitions\": %d,\n\
+      \  \"page_budget_bytes\": %d,\n\
+      \  \"leaf_density\": { \"compressed\": %.2f, \"fixed\": %.2f, \"ratio\": \
+       %.3f },\n\
+      \  \"leaves\": { \"compressed\": %d, \"fixed\": %d },\n\
+      \  \"range_batch\": { \"boxes\": %d, \"data_pages_compressed\": %d,\n\
+      \                    \"data_pages_fixed\": %d, \"rows_identical\": %b,\n\
+      \                    \"ms_compressed\": %.4f, \"ms_fixed\": %.4f },\n\
+      \  \"on_disk\": { \"v3_pages\": %d, \"v3_bytes\": %d, \"v2_pages\": %d, \
+       \"v2_bytes\": %d },\n\
+       %s\
+      \  \"density_ratio_at_least_1_5\": %b,\n\
+      \  \"fewer_pages_than_fixed\": %b\n\
+       }\n"
+      reps budget cstats.Zi.avg_entries_per_leaf fixed_epp cstats.Zi.ratio
+      cstats.Zi.leaves (Zi.data_page_count fixed) (List.length boxes)
+      !pages_comp !pages_fixed (!mismatches = 0) range_comp_ms range_fixed_ms
+      v3_pages v3_bytes v2_pages v2_bytes
+      (match join with
+      | Some (flat_ms, runs_ms, same, zb, zr) ->
+          Printf.sprintf
+            "  \"kernel_join\": { \"ms_flat\": %.4f, \"ms_runs\": %.4f, \
+             \"pairs_identical\": %b,\n\
+            \                    \"z_bytes_runs\": %d, \"z_bytes_raw\": %d },\n"
+            flat_ms runs_ms same zb zr
+      | None -> "")
+      (cstats.Zi.ratio >= 1.5)
+      (!pages_comp < !pages_fixed);
+    close_out oc;
+    Printf.printf "wrote %s\n" json_path;
+    if !mismatches > 0 then Stdlib.exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-compress"
+       ~doc:
+         "Prefix-compression benchmark: front-coded vs fixed-width pages at \
+          the same byte budget (leaf density, pages per range query, v3 vs v2 \
+          dump sizes, kernel latencies); writes BENCH_compress.json.")
+    Term.(const run $ quick_arg $ json_arg)
+
 (* {1 Cluster: shard spawning, the router daemon, the scaling bench} *)
 
 (* Spawn [sqp serve --port 0 --shard spec] as a child process and parse
@@ -1612,5 +1833,6 @@ let () =
             coarsen_cmd; proximity_cmd; join_cmd; overlay_cmd; ccl_cmd;
             interference_cmd; fill_cmd; three_d_cmd; curves_cmd; object_join_cmd;
             all_cmd; query_cmd; fsck_cmd; serve_cmd; shell_cmd; bench_net_cmd;
-            bench_ingest_cmd; bench_optimizer_cmd; route_cmd; bench_cluster_cmd;
+            bench_ingest_cmd; bench_optimizer_cmd; bench_compress_cmd;
+            route_cmd; bench_cluster_cmd;
           ]))

@@ -4,6 +4,8 @@ module type KEY = sig
   val compare : t -> t -> int
   val separator : lo:t -> hi:t -> t
   val pp : Format.formatter -> t -> unit
+  val encoded_bytes : t -> int
+  val delta_bytes : prev:t -> t -> int
 end
 
 module Bitstring_key = struct
@@ -12,6 +14,15 @@ module Bitstring_key = struct
   let compare = Sqp_zorder.Bitstring.compare
   let separator ~lo ~hi = Sqp_zorder.Bitstring.shortest_separator ~lo ~hi
   let pp = Sqp_zorder.Bitstring.pp
+
+  (* Charges mirror the Zrun entry encodings: a whole key is a length
+     byte plus its packed bits; a delta is a shared-prefix byte plus the
+     packed suffix. *)
+  let encoded_bytes b = 1 + ((Sqp_zorder.Bitstring.length b + 7) / 8)
+
+  let delta_bytes ~prev b =
+    let shared = Sqp_zorder.Bitstring.common_prefix_len prev b in
+    1 + ((Sqp_zorder.Bitstring.length b - shared + 7) / 8)
 end
 
 module Int_key = struct
@@ -26,7 +37,28 @@ module Int_key = struct
     hi
 
   let pp = Format.pp_print_int
+
+  let encoded_bytes _ = 8
+
+  (* Leading equal bytes against the predecessor are elided, as a
+     front coder over the big-endian representation would. *)
+  let delta_bytes ~prev x =
+    let rec significant n = if n = 0 then 0 else 1 + significant (n lsr 8) in
+    1 + significant (prev lxor x)
 end
+
+(* Byte-budget page model: instead of fixed entry counts, a node is full
+   when its encoded size would exceed [page_bytes].  With [compressed]
+   set, keys after a node's first are charged their front-coded delta
+   size; otherwise every key is charged [fixed_entry_bytes] (the v2
+   fixed-width on-disk footprint), so the same byte budget reproduces
+   the uncompressed baseline's fan-out for differential comparisons. *)
+type budget = {
+  page_bytes : int;
+  compressed : bool;
+  entry_overhead : int;  (* per-entry payload/bookkeeping charge *)
+  fixed_entry_bytes : int;  (* per-key charge when not compressed *)
+}
 
 module Make (Key : KEY) = struct
   module Pool = Sqp_storage.Buffer_pool
@@ -51,13 +83,23 @@ module Make (Key : KEY) = struct
     mutable root : Pager.page_id;
     leaf_capacity : int;
     internal_capacity : int;
+    budget : budget option;
     counters : access_counters;
     mutable size : int;
   }
 
-  let create ?policy ?(pool_capacity = 8) ~leaf_capacity ~internal_capacity () =
+  let create ?policy ?(pool_capacity = 8) ?budget ~leaf_capacity
+      ~internal_capacity () =
     if leaf_capacity < 2 then invalid_arg "Bptree.create: leaf_capacity < 2";
     if internal_capacity < 3 then invalid_arg "Bptree.create: internal_capacity < 3";
+    (match budget with
+    | None -> ()
+    | Some b ->
+        if b.page_bytes < 16 then invalid_arg "Bptree.create: page_bytes < 16";
+        if b.entry_overhead < 0 then
+          invalid_arg "Bptree.create: negative entry_overhead";
+        if b.fixed_entry_bytes < 1 then
+          invalid_arg "Bptree.create: fixed_entry_bytes < 1");
     let pager = Pager.create () in
     let pool = Pool.create ?policy ~capacity:pool_capacity pager in
     let root = Pager.alloc pager (Leaf { keys = [||]; vals = [||]; next = None }) in
@@ -67,9 +109,55 @@ module Make (Key : KEY) = struct
       root;
       leaf_capacity;
       internal_capacity;
+      budget;
       counters = { leaf_reads = 0; internal_reads = 0 };
       size = 0;
     }
+
+  let budget t = t.budget
+
+  (* {2 Byte accounting (budget mode)} *)
+
+  let leaf_bytes b keys =
+    let n = Array.length keys in
+    let total = ref (n * b.entry_overhead) in
+    if b.compressed then begin
+      if n > 0 then total := !total + Key.encoded_bytes keys.(0);
+      for i = 1 to n - 1 do
+        total := !total + Key.delta_bytes ~prev:keys.(i - 1) keys.(i)
+      done
+    end
+    else total := !total + (n * b.fixed_entry_bytes);
+    !total
+
+  (* Internal nodes: 4 bytes per child pointer plus the (front-coded)
+     separators. *)
+  let node_bytes b seps nchildren =
+    let n = Array.length seps in
+    let total = ref (4 * nchildren) in
+    if b.compressed then begin
+      if n > 0 then total := !total + Key.encoded_bytes seps.(0);
+      for i = 1 to n - 1 do
+        total := !total + Key.delta_bytes ~prev:seps.(i - 1) seps.(i)
+      done
+    end
+    else total := !total + (n * b.fixed_entry_bytes);
+    !total
+
+  (* A budget-mode node must keep enough entries to split (2 keys / 3
+     children of the halves), so byte overflow only triggers a split
+     when one is possible. *)
+  let leaf_overfull t keys =
+    match t.budget with
+    | None -> Array.length keys > t.leaf_capacity
+    | Some b -> Array.length keys > 2 && leaf_bytes b keys > b.page_bytes
+
+  let node_overfull t seps children =
+    match t.budget with
+    | None -> Array.length children > t.internal_capacity
+    | Some b ->
+        Array.length children > 3
+        && node_bytes b seps (Array.length children) > b.page_bytes
 
   let io_stats t = Pager.stats t.pager
 
@@ -154,7 +242,7 @@ module Make (Key : KEY) = struct
     | Leaf { keys; vals; next } -> (
         let i = upper_bound keys k in
         let keys = array_insert keys i k and vals = array_insert vals i v in
-        if Array.length keys <= t.leaf_capacity then begin
+        if not (leaf_overfull t keys) then begin
           write_node t page (Leaf { keys; vals; next });
           None
         end
@@ -181,7 +269,7 @@ module Make (Key : KEY) = struct
         | Some (sep, new_child) ->
             let seps = array_insert seps i sep
             and children = array_insert children (i + 1) new_child in
-            if Array.length children <= t.internal_capacity then begin
+            if not (node_overfull t seps children) then begin
               write_node t page (Node { seps; children });
               None
             end
@@ -212,8 +300,14 @@ module Make (Key : KEY) = struct
 
   (* {2 Deletion with rebalancing} *)
 
-  let leaf_min t = max 1 (t.leaf_capacity / 2)
-  let node_min t = max 2 (t.internal_capacity / 2)
+  (* Budget-mode trees are bulk-built; deletion keeps them structurally
+     sound (empty leaves and single-child nodes are cleaned up) without
+     chasing a byte-occupancy target. *)
+  let leaf_min t =
+    match t.budget with Some _ -> 1 | None -> max 1 (t.leaf_capacity / 2)
+
+  let node_min t =
+    match t.budget with Some _ -> 2 | None -> max 2 (t.internal_capacity / 2)
 
   let node_size = function
     | Leaf { keys; _ } -> Array.length keys
@@ -362,11 +456,40 @@ module Make (Key : KEY) = struct
     if n = 0 then ()
     else begin
       let per_leaf = max 2 (int_of_float (fill *. float_of_int t.leaf_capacity)) in
+      (* Where a leaf starting at [s] would end: a fixed entry count, or
+         in budget mode the longest prefix fitting [fill] of the byte
+         budget (always at least 2 entries). *)
+      let leaf_stop s =
+        match t.budget with
+        | None -> min n (s + per_leaf)
+        | Some b ->
+            let target = fill *. float_of_int b.page_bytes in
+            let bytes = ref 0 and j = ref s in
+            let fits () =
+              let k = fst entries.(!j) in
+              let c =
+                b.entry_overhead
+                +
+                if not b.compressed then b.fixed_entry_bytes
+                else if !j = s then Key.encoded_bytes k
+                else Key.delta_bytes ~prev:(fst entries.(!j - 1)) k
+              in
+              if !j - s >= 2 && float_of_int (!bytes + c) > target then false
+              else begin
+                bytes := !bytes + c;
+                true
+              end
+            in
+            while !j < n && fits () do
+              incr j
+            done;
+            !j
+      in
       (* Chunk into leaves; never split a run of equal keys across leaves. *)
       let chunks = ref [] in
       let start = ref 0 in
       while !start < n do
-        let stop = ref (min n (!start + per_leaf)) in
+        let stop = ref (leaf_stop !start) in
         while
           !stop < n && !stop > !start + 1 && Key.compare (fst entries.(!stop - 1)) (fst entries.(!stop)) = 0
         do
@@ -412,14 +535,48 @@ module Make (Key : KEY) = struct
         | [] -> assert false
         | [ (id, _, _) ] -> id
         | _ ->
-            let per_node = max 2 t.internal_capacity in
-            let rec group acc cur cur_n = function
-              | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
-              | x :: rest ->
-                  if cur_n = per_node then group (List.rev cur :: acc) [ x ] 1 rest
-                  else group acc (x :: cur) (cur_n + 1) rest
+            let groups =
+              match t.budget with
+              | None ->
+                  let per_node = max 2 t.internal_capacity in
+                  let rec group acc cur cur_n = function
+                    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+                    | x :: rest ->
+                        if cur_n = per_node then
+                          group (List.rev cur :: acc) [ x ] 1 rest
+                        else group acc (x :: cur) (cur_n + 1) rest
+                  in
+                  group [] [] 0 level
+              | Some b ->
+                  (* Greedy byte packing with the real separators: a new
+                     child costs its pointer plus the separator against
+                     the previous child. *)
+                  let target = fill *. float_of_int b.page_bytes in
+                  let rec group acc cur cur_n bytes prev_sep prev_max =
+                    function
+                    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+                    | ((_, rmin, rmax) as x) :: rest ->
+                        if cur_n = 0 then group acc [ x ] 1 4 None rmax rest
+                        else
+                          let sep = Key.separator ~lo:prev_max ~hi:rmin in
+                          let c =
+                            4
+                            +
+                            if not b.compressed then b.fixed_entry_bytes
+                            else
+                              match prev_sep with
+                              | None -> Key.encoded_bytes sep
+                              | Some p -> Key.delta_bytes ~prev:p sep
+                          in
+                          if cur_n >= 2 && float_of_int (bytes + c) > target
+                          then group (List.rev cur :: acc) [ x ] 1 4 None rmax rest
+                          else
+                            group acc (x :: cur) (cur_n + 1) (bytes + c)
+                              (Some sep) rmax rest
+                  in
+                  let _, _, m0 = List.hd level in
+                  group [] [] 0 0 None m0 level
             in
-            let groups = group [] [] 0 level in
             (* Avoid a trailing 1-child group: rebalance with the previous
                group if needed. *)
             let groups =
@@ -608,6 +765,50 @@ module Make (Key : KEY) = struct
     t.counters.internal_reads <- cb.internal_reads;
     result
 
+  (* {2 Compression accounting} *)
+
+  (* Inspection-only leaf count: snapshot and restore the pool/I-O
+     counters the walk would otherwise perturb. *)
+  let quiet_leaf_count t =
+    let stats = io_stats t in
+    let before = Sqp_storage.Stats.snapshot stats in
+    let n = count_leaves t t.root in
+    stats.physical_reads <- before.physical_reads;
+    stats.physical_writes <- before.physical_writes;
+    stats.pool_hits <- before.pool_hits;
+    stats.pool_misses <- before.pool_misses;
+    n
+
+  let avg_leaf_entries t = float_of_int t.size /. float_of_int (quiet_leaf_count t)
+
+  type compression = {
+    leaves : int;
+    entries : int;
+    avg_entries_per_leaf : float;
+    fixed_entries_per_leaf : float;
+    ratio : float;
+  }
+
+  let compression_stats t =
+    match t.budget with
+    | None -> None
+    | Some b ->
+        let leaves = quiet_leaf_count t in
+        let entries = t.size in
+        let avg = float_of_int entries /. float_of_int (max 1 leaves) in
+        let fixed =
+          float_of_int b.page_bytes
+          /. float_of_int (b.fixed_entry_bytes + b.entry_overhead)
+        in
+        Some
+          {
+            leaves;
+            entries;
+            avg_entries_per_leaf = avg;
+            fixed_entries_per_leaf = fixed;
+            ratio = avg /. fixed;
+          }
+
   (* {2 Invariant checking} *)
 
   let check_invariants t =
@@ -632,7 +833,12 @@ module Make (Key : KEY) = struct
              keys can legally leave a slim sibling (see leaf_split_point),
              so only emptiness is structural. *)
           if (not is_root) && n < 1 then fail "leaf %d empty" page;
-          if n > t.leaf_capacity then begin
+          let overfull =
+            match t.budget with
+            | None -> n > t.leaf_capacity
+            | Some b -> n > 2 && leaf_bytes b keys > b.page_bytes
+          in
+          if overfull then begin
             (* Oversized leaves are only legal when all keys are equal. *)
             let all_equal =
               n = 0 || Array.for_all (fun k -> Key.compare k keys.(0) = 0) keys
@@ -657,7 +863,11 @@ module Make (Key : KEY) = struct
             fail "node %d: children/seps arity mismatch" page;
           if nc < 2 then fail "node %d: fewer than 2 children" page;
           if (not is_root) && nc < node_min t then fail "node %d underfull" page;
-          if nc > t.internal_capacity then fail "node %d overfull" page;
+          (match t.budget with
+          | None -> if nc > t.internal_capacity then fail "node %d overfull" page
+          | Some b ->
+              if nc > 3 && node_bytes b seps nc > b.page_bytes then
+                fail "node %d overfull (%d bytes)" page (node_bytes b seps nc));
           check_sorted seps (Printf.sprintf "node %d" page);
           (match (lo, hi) with
           | Some l, _ when Key.compare seps.(0) l < 0 -> fail "node %d: sep below bound" page

@@ -20,11 +20,34 @@ module type KEY = sig
       returns a short one. *)
 
   val pp : Format.formatter -> t -> unit
+
+  val encoded_bytes : t -> int
+  (** Bytes this key occupies stored whole (first key of a page). *)
+
+  val delta_bytes : prev:t -> t -> int
+  (** Bytes this key occupies front-coded against its in-page
+      predecessor — for z values, a shared-prefix byte plus the packed
+      suffix. *)
 end
 
 module Bitstring_key : KEY with type t = Sqp_zorder.Bitstring.t
 
 module Int_key : KEY with type t = int
+
+type budget = {
+  page_bytes : int;  (** byte capacity of a node *)
+  compressed : bool;
+      (** charge keys after the first their {!KEY.delta_bytes}; when
+          false, every key costs [fixed_entry_bytes], reproducing the
+          fixed-width baseline's fan-out under the same byte budget *)
+  entry_overhead : int;  (** per-entry payload/bookkeeping charge *)
+  fixed_entry_bytes : int;  (** per-key charge when not compressed *)
+}
+(** Byte-budget page model: a node is full when its encoded size exceeds
+    [page_bytes], so prefix compression directly raises the effective
+    fan-out (the tree gets shallower, range scans touch fewer pages).
+    The budget should be at least 4x the largest whole-entry encoding so
+    split halves always fit. *)
 
 module Make (Key : KEY) : sig
   type 'a t
@@ -37,6 +60,7 @@ module Make (Key : KEY) : sig
   val create :
     ?policy:Sqp_storage.Buffer_pool.policy ->
     ?pool_capacity:int ->
+    ?budget:budget ->
     leaf_capacity:int ->
     internal_capacity:int ->
     unit ->
@@ -44,8 +68,14 @@ module Make (Key : KEY) : sig
   (** [leaf_capacity]: max entries per leaf (the paper uses 20);
       [internal_capacity]: max children per internal node.
       [pool_capacity]: buffer-pool frames (default 8).
-      @raise Invalid_argument if [leaf_capacity < 2] or
-      [internal_capacity < 3]. *)
+      With [budget], entry-count capacities are superseded by the byte
+      model ({!budget}); deletion then only cleans up empty nodes rather
+      than rebalancing to a byte target (budget trees are bulk-built).
+      @raise Invalid_argument if [leaf_capacity < 2],
+      [internal_capacity < 3], or the budget is malformed
+      ([page_bytes < 16], negative overhead). *)
+
+  val budget : 'a t -> budget option
 
   val io_stats : 'a t -> Sqp_storage.Stats.t
   (** Physical I/O + pool hit/miss counters of the underlying pager. *)
@@ -117,6 +147,25 @@ module Make (Key : KEY) : sig
   val leaf_pages : 'a t -> (Sqp_storage.Pager.page_id * Key.t list) list
   (** Leaves in key order with their keys — used to draw Figure 6's
       page-partition maps.  Does not touch the counters. *)
+
+  (** {1 Compression accounting} *)
+
+  val avg_leaf_entries : 'a t -> float
+  (** Mean entries per leaf — the effective leaf capacity of a
+      budget-mode tree.  Does not touch the counters. *)
+
+  type compression = {
+    leaves : int;
+    entries : int;
+    avg_entries_per_leaf : float;
+    fixed_entries_per_leaf : float;
+        (** what a fixed-width entry layout fits in the same budget *)
+    ratio : float;  (** [avg_entries_per_leaf / fixed_entries_per_leaf] *)
+  }
+
+  val compression_stats : 'a t -> compression option
+  (** [None] unless the tree has a byte budget.  Does not touch the
+      counters. *)
 
   val check_invariants : 'a t -> (unit, string) result
   (** Verify ordering, separator correctness, uniform leaf depth,

@@ -40,8 +40,12 @@ type scan_stats = { entries_scanned : int; elements : int; results : int }
 
    One page store per table; each record (page payload) starts with a
    tag byte: 'M' metadata, 'B' a base-image chunk, 'L' a logged batch
-   part.  A batch too big for one page is split over parts allocated in
-   the same atomic store batch, so it is still all-or-nothing. *)
+   part, 'Z' a front-coded base-image chunk (checkpoints write 'Z'
+   whenever the space's z values pack into {!Sqp_zorder.Zpacked}; 'B'
+   remains both the fallback and the legacy decode path, so stores
+   written before compression keep loading).  A batch too big for one
+   page is split over parts allocated in the same atomic store batch,
+   so it is still all-or-nothing. *)
 
 let magic = "SQPL1"
 
@@ -164,20 +168,83 @@ let log_header_bytes = 1 + 8 + 2 + 2 (* 'L' seq part count *)
 
 let base_header_bytes = 1 + 4 + 2 (* 'B' part count *)
 
+let restart_interval = 16
+
+(* 'Z' part:u32 count:u16 run_bytes:u16, then the 7-byte run header. *)
+let z_base_header_bytes = 1 + 4 + 2 + 2 + 7
+
 (* Allocate the base-image chunks for [entries] (already in z order)
-   inside the currently open store batch. *)
+   inside the currently open store batch: front-coded 'Z' chunks when
+   the space packs, legacy 'B' chunks otherwise. *)
 let alloc_base t store entries =
-  let encoded = List.map (encode_entry t) entries in
   let cap = FP.payload_capacity store in
-  List.iteri
-    (fun part items ->
-      let b = Buffer.create cap in
-      buf_u8 b (Char.code 'B');
-      buf_u32 b part;
-      buf_u16 b (List.length items);
-      List.iter (Buffer.add_string b) items;
-      ignore (FP.alloc store (Buffer.to_bytes b)))
-    (pack ~cap ~header:base_header_bytes encoded)
+  if not (Z.Zpacked.fits_space t.space) then
+    let encoded = List.map (encode_entry t) entries in
+    List.iteri
+      (fun part items ->
+        let b = Buffer.create cap in
+        buf_u8 b (Char.code 'B');
+        buf_u32 b part;
+        buf_u16 b (List.length items);
+        List.iter (Buffer.add_string b) items;
+        ignore (FP.alloc store (Buffer.to_bytes b)))
+      (pack ~cap ~header:base_header_bytes encoded)
+  else begin
+    let total = Z.Space.total_bits t.space in
+    let kb bits = (bits + 7) / 8 in
+    (* Greedy byte-exact packing mirroring the Zrun entry encodings:
+       a restart costs its offset slot plus the whole key, any other a
+       shared byte plus its suffix. *)
+    let parts = ref [] and zs = ref [] and ps = ref [] and n = ref 0 in
+    let bytes = ref z_base_header_bytes in
+    let prev = ref Z.Zpacked.empty in
+    let flush () =
+      if !n > 0 then begin
+        parts := (List.rev !zs, List.rev !ps) :: !parts;
+        zs := [];
+        ps := [];
+        n := 0;
+        bytes := z_base_header_bytes
+      end
+    in
+    List.iter
+      (fun (p, v) ->
+        let z = Z.Zpacked.shuffle t.space p in
+        let payload = t.encode v in
+        let plen = String.length payload in
+        let cost_at i prev =
+          (if i mod restart_interval = 0 then 2 + kb total
+           else 1 + kb (total - Z.Zpacked.common_prefix_len prev z))
+          + 2 + plen
+        in
+        let cost = cost_at !n !prev in
+        if !n > 0 && !bytes + cost > cap then flush ();
+        let cost = if !n = 0 then cost_at 0 !prev else cost in
+        if z_base_header_bytes + cost > cap then
+          invalid_arg "Live: record exceeds page capacity";
+        zs := z :: !zs;
+        ps := payload :: !ps;
+        bytes := !bytes + cost;
+        prev := z;
+        incr n)
+      entries;
+    flush ();
+    List.iteri
+      (fun part (zl, pl) ->
+        let run =
+          Z.Zrun.encode ~restart_interval ~fixed_len:total (Array.of_list zl)
+        in
+        let rs = Z.Zrun.to_string run in
+        let b = Buffer.create cap in
+        buf_u8 b (Char.code 'Z');
+        buf_u32 b part;
+        buf_u16 b (List.length zl);
+        buf_u16 b (String.length rs);
+        Buffer.add_string b rs;
+        List.iter (fun payload -> buf_str b payload) pl;
+        ignore (FP.alloc store (Buffer.to_bytes b)))
+      (List.rev !parts)
+  end
 
 let alloc_log t store ~seq ops =
   let encoded = List.map (encode_op t) ops in
@@ -240,7 +307,9 @@ let create_durable ?io ?(page_bytes = 1024) ?(leaf_capacity = 20)
    base in sequence order. *)
 let load_store ~decode ~leaf_capacity ~internal_capacity ~path store =
   let meta = ref None in
-  let bases = ref [] (* (part, reader at first entry, count) *) in
+  (* (part, `Raw (reader at first entry, count)) for 'B' chunks,
+     (part, `Run (z run, reader at first payload)) for 'Z' chunks. *)
+  let bases = ref [] in
   let logs = ref [] (* (seq, part, reader at first op, count) *) in
   FP.iter store (fun _slot payload ->
       let r = { data = Bytes.to_string payload; pos = 0; r_path = path } in
@@ -258,7 +327,20 @@ let load_store ~decode ~leaf_capacity ~internal_capacity ~path store =
       | 'B' ->
           let part = rd_u32 r in
           let count = rd_u16 r in
-          bases := (part, r, count) :: !bases
+          bases := (part, `Raw (r, count)) :: !bases
+      | 'Z' ->
+          let part = rd_u32 r in
+          let count = rd_u16 r in
+          let run_bytes = rd_u16 r in
+          need r run_bytes;
+          let run =
+            try Z.Zrun.of_string ~pos:r.pos ~len:run_bytes r.data
+            with Invalid_argument msg -> fail r msg
+          in
+          r.pos <- r.pos + run_bytes;
+          if Z.Zrun.count run <> count then
+            fail r "base chunk entry count disagrees with its z run";
+          bases := (part, `Run (run, r)) :: !bases
       | 'L' ->
           let seq = rd_i64 r in
           let part = rd_u16 r in
@@ -273,13 +355,25 @@ let load_store ~decode ~leaf_capacity ~internal_capacity ~path store =
   in
   let entries = ref [] in
   List.iter
-    (fun (_, r, count) ->
-      for _ = 1 to count do
-        let p = decode_point space r in
-        let v = decode (rd_str r) in
-        entries := (zval space p, (p, v)) :: !entries
-      done)
-    (List.sort (fun (a, _, _) (b, _, _) -> compare a b) !bases);
+    (fun (_, chunk) ->
+      match chunk with
+      | `Raw (r, count) ->
+          for _ = 1 to count do
+            let p = decode_point space r in
+            let v = decode (rd_str r) in
+            entries := (zval space p, (p, v)) :: !entries
+          done
+      | `Run (run, r) ->
+          let zs =
+            try Z.Zrun.decode run with Invalid_argument msg -> fail r msg
+          in
+          Array.iter
+            (fun z ->
+              let p = Array.map fst (Z.Zpacked.unshuffle space z) in
+              let v = decode (rd_str r) in
+              entries := (Z.Zpacked.to_bitstring z, (p, v)) :: !entries)
+            zs)
+    (List.sort (fun (a, _) (b, _) -> compare a b) !bases);
   let entries = Array.of_list (List.rev !entries) in
   let tree =
     try Cow.of_sorted_array ~leaf_capacity ~internal_capacity entries

@@ -16,13 +16,33 @@ type query_stats = {
   elements : int;
   entries_scanned : int;
   results : int;
+  pool_hits : int;
+  pool_misses : int;
 }
 
+let default_value_bytes = 8
+
 let create ?policy ?pool_capacity ?(leaf_capacity = 20) ?(internal_capacity = 20)
-    space =
+    ?page_budget ?(compressed = true) ?(value_bytes = default_value_bytes) space =
+  let budget =
+    Option.map
+      (fun page_bytes ->
+        (* Per-entry overhead: payload charge plus a 2-byte length slot,
+           matching the v3 on-disk entry; fixed-width keys are charged
+           the v2 footprint (4 bytes per coordinate). *)
+        {
+          Bptree.page_bytes;
+          compressed;
+          entry_overhead = 2 + value_bytes;
+          fixed_entry_bytes = 4 * Z.Space.dims space;
+        })
+      page_budget
+  in
   {
     space;
-    tree = Tree.create ?policy ?pool_capacity ~leaf_capacity ~internal_capacity ();
+    tree =
+      Tree.create ?policy ?pool_capacity ?budget ~leaf_capacity
+        ~internal_capacity ();
     leaf_capacity;
   }
 
@@ -30,9 +50,12 @@ let space t = t.space
 
 let zval t p = Z.Interleave.shuffle t.space p
 
-let of_points ?policy ?pool_capacity ?leaf_capacity ?internal_capacity ?fill space
-    points =
-  let t = create ?policy ?pool_capacity ?leaf_capacity ?internal_capacity space in
+let of_points ?policy ?pool_capacity ?leaf_capacity ?internal_capacity
+    ?page_budget ?compressed ?value_bytes ?fill space points =
+  let t =
+    create ?policy ?pool_capacity ?leaf_capacity ?internal_capacity ?page_budget
+      ?compressed ?value_bytes space
+  in
   let entries =
     Array.map (fun (p, v) -> (Z.Interleave.shuffle space p, (p, v))) points
   in
@@ -52,6 +75,23 @@ let data_page_count t = Tree.leaf_count t.tree
 
 let leaf_capacity t = t.leaf_capacity
 
+let page_budget t = Option.map (fun b -> b.Bptree.page_bytes) (Tree.budget t.tree)
+
+let compressed t =
+  match Tree.budget t.tree with Some b -> b.Bptree.compressed | None -> false
+
+let avg_leaf_entries t = Tree.avg_leaf_entries t.tree
+
+type compression = Tree.compression = {
+  leaves : int;
+  entries : int;
+  avg_entries_per_leaf : float;
+  fixed_entries_per_leaf : float;
+  ratio : float;
+}
+
+let compression_stats t = Tree.compression_stats t.tree
+
 let tree t = t.tree
 
 (* {2 Search} *)
@@ -62,10 +102,21 @@ type 'a query_state = {
   mutable scanned : int;
   mutable elements_used : int;
   mutable acc : (Sqp_geom.Point.t * 'a) list;
+  hits0 : int;                    (* buffer-pool baseline at query start *)
+  misses0 : int;
 }
 
-let new_state () =
-  { pages = []; page_set = Hashtbl.create 16; scanned = 0; elements_used = 0; acc = [] }
+let new_state t =
+  let io = Tree.io_stats t.tree in
+  {
+    pages = [];
+    page_set = Hashtbl.create 16;
+    scanned = 0;
+    elements_used = 0;
+    acc = [];
+    hits0 = io.Sqp_storage.Stats.pool_hits;
+    misses0 = io.Sqp_storage.Stats.pool_misses;
+  }
 
 let note_page st cursor =
   match Tree.cursor_page cursor with
@@ -128,6 +179,7 @@ let merge_with_elements t st box_contains elements ~reseek_elements =
 
 let finish t st =
   let counters = Tree.counters t.tree in
+  let io = Tree.io_stats t.tree in
   let results = List.length st.acc in
   ( List.rev st.acc,
     {
@@ -137,13 +189,15 @@ let finish t st =
       elements = st.elements_used;
       entries_scanned = st.scanned;
       results;
+      pool_hits = io.Sqp_storage.Stats.pool_hits - st.hits0;
+      pool_misses = io.Sqp_storage.Stats.pool_misses - st.misses0;
     } )
 
 let range_search ?(strategy = Merge) t box =
   if Sqp_geom.Box.dims box <> Z.Space.dims t.space then
     invalid_arg "Zindex.range_search: dimension mismatch";
   Tree.reset_counters t.tree;
-  let st = new_state () in
+  let st = new_state t in
   let box =
     match Sqp_geom.Box.clip box ~side:(Z.Space.side t.space) with
     | Some b -> Some b
@@ -247,6 +301,8 @@ let add_stats a b =
     elements = a.elements + b.elements;
     entries_scanned = a.entries_scanned + b.entries_scanned;
     results = a.results + b.results;
+    pool_hits = a.pool_hits + b.pool_hits;
+    pool_misses = a.pool_misses + b.pool_misses;
   }
 
 let box_around t center radius =
@@ -325,6 +381,8 @@ let k_nearest ?strategy t center ~k =
         elements = 0;
         entries_scanned = 0;
         results = 0;
+        pool_hits = 0;
+        pool_misses = 0;
       } )
   else begin
     let side = Z.Space.side t.space in
@@ -374,8 +432,14 @@ let k_nearest ?strategy t center ~k =
 let efficiency t stats =
   if stats.data_pages = 0 then 0.0
   else
-    float_of_int stats.results
-    /. (float_of_int stats.data_pages *. float_of_int t.leaf_capacity)
+    (* Budget-mode trees have no fixed slot count; use the measured
+       effective capacity instead. *)
+    let cap =
+      match Tree.budget t.tree with
+      | None -> float_of_int t.leaf_capacity
+      | Some _ -> max 1.0 (Tree.avg_leaf_entries t.tree)
+    in
+    float_of_int stats.results /. (float_of_int stats.data_pages *. cap)
 
 let leaf_points t =
   List.map

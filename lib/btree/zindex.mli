@@ -28,6 +28,8 @@ type query_stats = {
   elements : int;         (** query-box elements generated / used *)
   entries_scanned : int;  (** entries examined in leaves *)
   results : int;
+  pool_hits : int;        (** buffer-pool hits during this query *)
+  pool_misses : int;      (** buffer-pool misses (physical page reads) *)
 }
 
 val create :
@@ -35,10 +37,18 @@ val create :
   ?pool_capacity:int ->
   ?leaf_capacity:int ->
   ?internal_capacity:int ->
+  ?page_budget:int ->
+  ?compressed:bool ->
+  ?value_bytes:int ->
   Sqp_zorder.Space.t ->
   'a t
 (** Defaults: leaf capacity 20 (the paper's page size), internal capacity
-    20, LRU pool of 8 frames. *)
+    20, LRU pool of 8 frames.  [page_budget] switches pages to the byte
+    model of {!Bptree.budget}: each node holds as many entries as fit in
+    that many bytes, front-coded when [compressed] (default [true]) or
+    at the v2 fixed width otherwise — the latter is the calibrated
+    baseline for differential tests.  [value_bytes] (default 8) is the
+    per-entry payload charge. *)
 
 val space : 'a t -> Sqp_zorder.Space.t
 
@@ -47,12 +57,16 @@ val of_points :
   ?pool_capacity:int ->
   ?leaf_capacity:int ->
   ?internal_capacity:int ->
+  ?page_budget:int ->
+  ?compressed:bool ->
+  ?value_bytes:int ->
   ?fill:float ->
   Sqp_zorder.Space.t ->
   (Sqp_geom.Point.t * 'a) array ->
   'a t
 (** Bulk build: shuffle, sort by z value, pack leaves ([fill] default 1.0).
-    This is the paper's "preprocessing step" (step 1 of Section 3.3). *)
+    This is the paper's "preprocessing step" (step 1 of Section 3.3).
+    Compression options as in {!create}. *)
 
 val insert : 'a t -> Sqp_geom.Point.t -> 'a -> unit
 
@@ -68,6 +82,29 @@ val data_page_count : 'a t -> int
 
 val leaf_capacity : 'a t -> int
 (** Page capacity the index was built with. *)
+
+val page_budget : 'a t -> int option
+(** The byte budget per page, when the index uses the byte model. *)
+
+val compressed : 'a t -> bool
+(** Whether pages are front-coded (implies a byte budget). *)
+
+val avg_leaf_entries : 'a t -> float
+(** Measured mean entries per data page — the effective leaf capacity.
+    Does not disturb the counters. *)
+
+type compression = Tree.compression = {
+  leaves : int;
+  entries : int;
+  avg_entries_per_leaf : float;
+  fixed_entries_per_leaf : float;
+  ratio : float;
+}
+
+val compression_stats : 'a t -> compression option
+(** [None] unless the index uses a byte budget; [ratio] is the
+    entries-per-page gain over a fixed-width layout of the same budget.
+    Does not disturb the counters. *)
 
 val tree : 'a t -> (Sqp_geom.Point.t * 'a) Tree.t
 (** The underlying prefix B+-tree (for inspection and tests). *)

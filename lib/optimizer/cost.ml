@@ -73,7 +73,17 @@ let predicted_rows_of_cover hist elements =
 let predicted_range_rows ~space ~hist ?max_level ~lo ~hi () =
   predicted_rows_of_cover hist (cover ~space ?max_level ~lo ~hi ())
 
-let predicted_range_pages ~n_pages ~space ~lo ~hi =
+let predicted_range_pages ?entries_per_page ?rows ~n_pages ~space ~lo ~hi () =
+  (* When ANALYZE has measured how many entries actually fit on a page
+     (front-coded pages hold more than the fixed-width assumption), the
+     learned density overrides the caller's page count. *)
+  let n_pages =
+    match (entries_per_page, rows) with
+    | Some epp, Some r when epp > 0.0 ->
+        if r <= 0 then 0
+        else max 1 (int_of_float (ceil (float_of_int r /. epp)))
+    | _ -> n_pages
+  in
   if n_pages = 0 then 0.0
   else
     let query_extents = Array.mapi (fun i l -> hi.(i) - l + 1) lo in

@@ -69,10 +69,23 @@ val predicted_range_rows :
 (** Expected rows matching the (possibly coarsened) cover of the box. *)
 
 val predicted_range_pages :
-  n_pages:int -> space:Sqp_zorder.Space.t -> lo:int array -> hi:int array -> float
+  ?entries_per_page:float ->
+  ?rows:int ->
+  n_pages:int ->
+  space:Sqp_zorder.Space.t ->
+  lo:int array ->
+  hi:int array ->
+  unit ->
+  float
 (** The paper's 5.3.1 block-model bound on data pages touched by a
     range query over a z-ordered paged relation of [n_pages] pages
-    ({!Sqp_zorder.Zmath.predicted_range_pages}); 0 when [n_pages = 0]. *)
+    ({!Sqp_zorder.Zmath.predicted_range_pages}); 0 when [n_pages = 0].
+    When both [entries_per_page] (the density ANALYZE measured — e.g.
+    {!Zindex.avg_leaf_entries} of a front-coded index) and [rows] are
+    given, the effective page count is recomputed as
+    [ceil (rows / entries_per_page)] instead of trusting [n_pages]:
+    compressed pages hold more entries, so the calibrated prediction
+    drops accordingly. *)
 
 val plan_path_cost : ?params:params -> points:int -> range_alternative -> float
 (** What the {e plan executor} (relational operators over boxed tuples)

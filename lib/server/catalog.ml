@@ -34,6 +34,9 @@ type t = {
   lives : (string * int Live.t) list;  (* mutable tables, payload = id *)
   prepared : int Sqp_core.Range_search.prepared Lazy.t;
       (* the z-sorted point sequence backing the direct range path *)
+  pindex : int Sqp_btree.Zindex.t Lazy.t;
+      (* front-coded packed index over the same points: the measured
+         entries-per-page that recalibrates the page cost model *)
   m : Mutex.t;  (* guards the mutable fields below *)
   mutable stats : O.Stats.t option;
   mutable packed : (string * (int Sqp_btree.Zindex.t * int)) list;
@@ -42,16 +45,26 @@ type t = {
   mutable dedup_tick : int;
 }
 
+(* Byte budget of the packed point index's pages.  Small enough that
+   the standard workload spans enough pages for the 5.3.1 block model
+   to have texture; the compression ratio is budget-independent to
+   first order. *)
+let pindex_page_bytes = 512
+
 let make ?(lives = []) ?shard ~space ~points ~relations () =
   let points_rel = R.Query.points_relation space points in
   let relations =
     if List.mem_assoc "P" relations then relations
     else relations @ [ ("P", R.Plan.Scan points_rel) ]
   in
+  let swapped = lazy (Array.of_list (List.map (fun (id, p) -> (p, id)) points)) in
   let prepared =
+    lazy (Sqp_core.Range_search.prepare space (Lazy.force swapped))
+  in
+  let pindex =
     lazy
-      (Sqp_core.Range_search.prepare space
-         (Array.of_list (List.map (fun (id, p) -> (p, id)) points)))
+      (Sqp_btree.Zindex.of_points ~page_budget:pindex_page_bytes space
+         (Lazy.force swapped))
   in
   {
     space;
@@ -60,6 +73,7 @@ let make ?(lives = []) ?shard ~space ~points ~relations () =
     relations;
     lives;
     prepared;
+    pindex;
     m = Mutex.create ();
     stats = None;
     packed = [];
@@ -150,6 +164,8 @@ let live t name = List.assoc_opt name t.lives
 
 let prepared_points t = Lazy.force t.prepared
 
+let point_index t = Lazy.force t.pindex
+
 (* {1 Statistics and caches} *)
 
 let stats t =
@@ -161,6 +177,10 @@ let stats t =
 let analyze t =
   let lives = List.map (fun (name, lv) -> (name, Live.length lv)) t.lives in
   let st = O.Stats.analyze ~lives ~space:t.space t.relations in
+  (* Part of the ANALYZE pass: build the packed point index so its
+     measured entries-per-page (the compressed density) is available to
+     the page cost model from here on. *)
+  ignore (Lazy.force t.pindex);
   Mutex.lock t.m;
   t.stats <- Some st;
   Mutex.unlock t.m;
@@ -344,6 +364,62 @@ let best_plan_budget t alts =
         | _ -> Some (a, c)
       end)
     None alts
+
+(* {1 Page cost recalibration}
+
+   The paper's 5.3.1 block model predicts pages touched from the page
+   count; front-coded pages hold more entries than the fixed-width
+   assumption, so the calibrated prediction uses the density measured
+   on the packed point index instead. *)
+
+type page_estimate = {
+  rows : int;
+  entries_per_page : float;
+  compression_ratio : float;
+  fixed_pages : int;
+  compressed_pages : int;
+  fixed_predicted : float;
+  learned_predicted : float;
+}
+
+let page_estimate t ~lo ~hi =
+  match stats t with
+  | None -> None  (* the density is measured by the ANALYZE pass *)
+  | Some _ ->
+      let idx = Lazy.force t.pindex in
+      let rows = Sqp_btree.Zindex.length idx in
+      let epp = Sqp_btree.Zindex.avg_leaf_entries idx in
+      let ratio, fixed_per_page =
+        match Sqp_btree.Zindex.compression_stats idx with
+        | Some c ->
+            ( c.Sqp_btree.Zindex.ratio,
+              c.Sqp_btree.Zindex.fixed_entries_per_leaf )
+        | None -> (1.0, Float.max 1.0 epp)
+      in
+      let fixed_pages =
+        if rows = 0 then 0
+        else
+          max 1
+            (int_of_float (ceil (float_of_int rows /. Float.max 1.0 fixed_per_page)))
+      in
+      let fixed_predicted =
+        O.Cost.predicted_range_pages ~n_pages:fixed_pages ~space:t.space ~lo
+          ~hi ()
+      in
+      let learned_predicted =
+        O.Cost.predicted_range_pages ~entries_per_page:epp ~rows
+          ~n_pages:fixed_pages ~space:t.space ~lo ~hi ()
+      in
+      Some
+        {
+          rows;
+          entries_per_page = epp;
+          compression_ratio = ratio;
+          fixed_pages;
+          compressed_pages = Sqp_btree.Zindex.data_page_count idx;
+          fixed_predicted;
+          learned_predicted;
+        }
 
 type range_access =
   | Direct of O.Cost.range_alternative

@@ -72,6 +72,12 @@ val prepared_points : t -> int Sqp_core.Range_search.prepared
 (** The z-sorted point sequence backing the direct range-search path
     (payload = row id).  Built lazily on first use, then shared. *)
 
+val point_index : t -> int Sqp_btree.Zindex.t
+(** A front-coded packed {!Sqp_btree.Zindex} over the same points
+    (payload = row id), built lazily (and always forced by {!analyze}).
+    Its measured entries-per-page is the density that recalibrates the
+    page cost model — see {!page_estimate}. *)
+
 (** {1 Idempotency dedup window}
 
     The exactly-once half of the retry contract.  Every keyed request
@@ -153,6 +159,27 @@ val range_decision :
 (** The costed range-search alternatives for this box under the current
     statistics (ascending direct-kernel cost), or [None] before the
     first {!analyze}. *)
+
+(** {1 Page cost recalibration} *)
+
+type page_estimate = {
+  rows : int;  (** points in the packed index *)
+  entries_per_page : float;  (** measured front-coded density *)
+  compression_ratio : float;  (** vs fixed-width at the same byte budget *)
+  fixed_pages : int;  (** pages a fixed-width layout would need *)
+  compressed_pages : int;  (** data pages the packed index actually has *)
+  fixed_predicted : float;
+      (** 5.3.1 block-model pages for the box, fixed-width page count *)
+  learned_predicted : float;
+      (** same prediction at the measured (compressed) density *)
+}
+
+val page_estimate : t -> lo:int array -> hi:int array -> page_estimate option
+(** The page cost model before and after recalibration for one range
+    box: {!Sqp_optimizer.Cost.predicted_range_pages} evaluated at the
+    fixed-width page count and again at the entries-per-page the ANALYZE
+    pass measured on the front-coded point index.  [None] until
+    {!analyze} has run (the density is measured then). *)
 
 type range_access =
   | Direct of Sqp_optimizer.Cost.range_alternative

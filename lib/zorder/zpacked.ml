@@ -165,6 +165,44 @@ let unshuffle space t =
   done;
   prefixes
 
+let take t n =
+  if n < 0 || n > t.len then invalid_arg "Zpacked.take";
+  {
+    len = n;
+    w0 = t.w0 land mask_first (min n word_bits);
+    w1 = t.w1 land mask_first (max 0 (n - word_bits));
+  }
+
+(* Bit [i] of the value, as 0/1, without the bounds check of [get]. *)
+let bit t i =
+  if i < word_bits then (t.w0 lsr (62 - i)) land 1 else (t.w1 lsr (125 - i)) land 1
+
+let suffix_bytes t ~pos =
+  if pos < 0 || pos > t.len then invalid_arg "Zpacked.suffix_bytes";
+  let nbits = t.len - pos in
+  let out = Bytes.make ((nbits + 7) / 8) '\000' in
+  for i = 0 to nbits - 1 do
+    if bit t (pos + i) = 1 then
+      Bytes.set_uint8 out (i / 8)
+        (Bytes.get_uint8 out (i / 8) lor (0x80 lsr (i mod 8)))
+  done;
+  Bytes.unsafe_to_string out
+
+let append_bytes t ~bytes ~pos ~nbits =
+  if nbits < 0 || t.len + nbits > max_bits then invalid_arg "Zpacked.append_bytes";
+  if pos < 0 || pos + ((nbits + 7) / 8) > String.length bytes then
+    invalid_arg "Zpacked.append_bytes: bytes too short";
+  let w0 = ref t.w0 and w1 = ref t.w1 in
+  for i = 0 to nbits - 1 do
+    let b = (Char.code bytes.[pos + (i / 8)] lsr (7 - (i mod 8))) land 1 in
+    if b = 1 then begin
+      let j = t.len + i in
+      if j < word_bits then w0 := !w0 lor (1 lsl (62 - j))
+      else w1 := !w1 lor (1 lsl (125 - j))
+    end
+  done;
+  { len = t.len + nbits; w0 = !w0; w1 = !w1 }
+
 let hash t = Hashtbl.hash (t.len, t.w0, t.w1)
 
 let pp ppf t =

@@ -85,6 +85,28 @@ val pad_to : t -> int -> bool -> t
     element into its \[zlo, zhi\] scan range in O(1).
     @raise Invalid_argument if [n < length t] or [n > max_bits]. *)
 
+(** {1 Bit surgery}
+
+    The primitives behind {!Zrun}'s front coding: split a value into a
+    shared prefix and a byte-packed suffix, and rebuild it from its
+    predecessor's prefix plus the stored suffix bytes. *)
+
+val take : t -> int -> t
+(** [take t n] is the first [n] bits of [t].
+    @raise Invalid_argument unless [0 <= n <= length t]. *)
+
+val suffix_bytes : t -> pos:int -> string
+(** Bits [\[pos, length t)] packed MSB-first into bytes (trailing bits of
+    the last byte zero) — the stored form of a front-coded suffix.
+    @raise Invalid_argument unless [0 <= pos <= length t]. *)
+
+val append_bytes : t -> bytes:string -> pos:int -> nbits:int -> t
+(** [append_bytes t ~bytes ~pos ~nbits] appends [nbits] bits read
+    MSB-first from [bytes] starting at byte [pos] — the inverse of
+    pairing {!take} with {!suffix_bytes}.
+    @raise Invalid_argument if the result would exceed {!max_bits} or
+    [bytes] is too short. *)
+
 (** {1 Interleaving} *)
 
 val fits_space : Space.t -> bool

@@ -220,6 +220,140 @@ let test_create_validation () =
       (fun () -> ignore (Ints.create ~leaf_capacity:4 ~internal_capacity:2 ()));
     ]
 
+(* {1 Byte-budget (compressed) page model} *)
+
+let mk_budget ?(compressed = true) ?(page_bytes = 256) () =
+  {
+    Sqp_btree.Bptree.page_bytes;
+    compressed;
+    entry_overhead = 6;
+    fixed_entry_bytes = 4;
+  }
+
+(* Sorted, deduplicated z values of seeded points — the workload whose
+   shared prefixes front coding is built for. *)
+let seeded_keys n =
+  let space = Sqp_zorder.Space.make ~dims:2 ~depth:10 in
+  let rng = Sqp_workload.Rng.create ~seed:77 in
+  let pts = Sqp_workload.Datagen.uniform rng ~side:1024 ~n ~dims:2 in
+  let zs = Array.map (Sqp_zorder.Interleave.shuffle space) pts in
+  Array.sort B.compare zs;
+  let dedup =
+    Array.to_list zs
+    |> List.fold_left
+         (fun acc z ->
+           match acc with
+           | prev :: _ when B.equal prev z -> acc
+           | _ -> z :: acc)
+         []
+    |> List.rev
+  in
+  Array.of_list dedup
+
+let test_budget_create_validation () =
+  List.iter
+    (fun budget ->
+      match Bits.create ~budget ~leaf_capacity:4 ~internal_capacity:4 () with
+      | _ -> Alcotest.fail "malformed budget should raise"
+      | exception Invalid_argument _ -> ())
+    [
+      mk_budget ~page_bytes:8 ();
+      { (mk_budget ()) with entry_overhead = -1 };
+      { (mk_budget ()) with fixed_entry_bytes = -1 };
+    ];
+  let b = mk_budget () in
+  let t = Bits.create ~budget:b ~leaf_capacity:4 ~internal_capacity:4 () in
+  check "budget accessor" true (Bits.budget t = Some b);
+  check "no budget" true (Ints.budget (small ()) = None)
+
+let test_budget_insert_churn () =
+  (* The byte model must keep the invariants through ordinary mutation,
+     not just bulk builds. *)
+  let t = Ints.create ~budget:(mk_budget ~page_bytes:64 ()) ~leaf_capacity:4
+      ~internal_capacity:4 ()
+  in
+  let expect_ok' t =
+    match Ints.check_invariants t with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "budget invariants: %s" m
+  in
+  let rng = Sqp_workload.Rng.create ~seed:321 in
+  let present = Hashtbl.create 64 in
+  for _ = 1 to 600 do
+    let k = Sqp_workload.Rng.int rng 300 in
+    if Sqp_workload.Rng.int rng 3 > 0 then begin
+      if not (Hashtbl.mem present k) then begin
+        Ints.insert t k (k * 7);
+        Hashtbl.replace present k ()
+      end
+    end
+    else begin
+      check "delete reflects membership" (Hashtbl.mem present k)
+        (Ints.delete t k);
+      Hashtbl.remove present k
+    end;
+    expect_ok' t
+  done;
+  check_int "final size" (Hashtbl.length present) (Ints.length t);
+  Hashtbl.iter
+    (fun k () -> check "find" true (Ints.find t k = Some (k * 7)))
+    present
+
+let test_budget_bulk_density () =
+  let keys = seeded_keys 3000 in
+  let entries = Array.map (fun k -> (k, ())) keys in
+  let build compressed =
+    let t =
+      Bits.create ~budget:(mk_budget ~compressed ()) ~leaf_capacity:4
+        ~internal_capacity:4 ()
+    in
+    Bits.bulk_load t entries;
+    (match Bits.check_invariants t with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "bulk invariants: %s" m);
+    t
+  in
+  let comp = build true and fixed = build false in
+  (* Same contents either way. *)
+  check_int "comp length" (Array.length keys) (Bits.length comp);
+  check "same keys" true
+    (List.for_all2
+       (fun (a, ()) (b, ()) -> B.equal a b)
+       (Bits.to_list comp) (Bits.to_list fixed));
+  (* Front coding packs more entries per leaf, so fewer leaves. *)
+  check "denser leaves" true
+    (Bits.avg_leaf_entries comp > Bits.avg_leaf_entries fixed);
+  check "fewer leaves" true (Bits.leaf_count comp < Bits.leaf_count fixed);
+  (* compression_stats is consistent with the direct observations. *)
+  (match Bits.compression_stats comp with
+  | None -> Alcotest.fail "budget tree must report compression stats"
+  | Some c ->
+      check_int "stats leaves" (Bits.leaf_count comp) c.Bits.leaves;
+      check_int "stats entries" (Bits.length comp) c.Bits.entries;
+      check "stats density" true
+        (abs_float (c.Bits.avg_entries_per_leaf -. Bits.avg_leaf_entries comp)
+        < 1e-9);
+      check "ratio above 1" true (c.Bits.ratio > 1.0));
+  check "no stats without a budget" true
+    (Bits.compression_stats (Bits.create ~leaf_capacity:4 ~internal_capacity:4 ())
+    = None)
+
+let test_budget_cursor_scan () =
+  let keys = seeded_keys 1000 in
+  let t =
+    Bits.create ~budget:(mk_budget ()) ~leaf_capacity:4 ~internal_capacity:4 ()
+  in
+  Bits.bulk_load t (Array.map (fun k -> (k, ())) keys);
+  let c = Bits.seek_first t in
+  Array.iter
+    (fun k ->
+      (match Bits.cursor_peek c with
+      | Some (k', ()) -> check "scan order" true (B.equal k k')
+      | None -> Alcotest.fail "cursor ended early");
+      Bits.cursor_next c)
+    keys;
+  check "exhausted" true (Bits.cursor_peek c = None)
+
 (* Properties *)
 
 let prop_model_check =
@@ -278,6 +412,16 @@ let () =
           Alcotest.test_case "leaf_pages side-effect free" `Quick test_leaf_pages_preserve_counters;
           Alcotest.test_case "bitstring prefix separators" `Quick test_bitstring_prefix_separators;
           Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+      ( "byte budget",
+        [
+          Alcotest.test_case "create validation" `Quick
+            test_budget_create_validation;
+          Alcotest.test_case "insert/delete churn" `Quick
+            test_budget_insert_churn;
+          Alcotest.test_case "bulk density vs fixed-width" `Quick
+            test_budget_bulk_density;
+          Alcotest.test_case "cursor scan" `Quick test_budget_cursor_scan;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_model_check; prop_bulk_equals_insert ] );

@@ -410,6 +410,129 @@ let test_salvage_then_lenient_load () =
           check "most entries recovered" true
             (Zindex.length loaded > 0 && Zindex.length loaded < 400)))
 
+(* {1 Format versions: v3 front-coded pages vs the v2 legacy format} *)
+
+let test_v2_v3_same_answers () =
+  with_file "v2v3" (fun path ->
+      let v2_path = path ^ ".v2" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists v2_path then Sys.remove v2_path)
+        (fun () ->
+          let index = build_index 500 in
+          ignore (Persist.save ~format:Persist.V3 ~path ~encode:string_of_int index);
+          ignore
+            (Persist.save ~format:Persist.V2 ~path:v2_path ~encode:string_of_int
+               index);
+          (* Version sniffing: both formats load transparently... *)
+          let from3 = Persist.load ~path ~decode:int_of_string () in
+          let from2 = Persist.load ~path:v2_path ~decode:int_of_string () in
+          check_int "v3 length" 500 (Zindex.length from3);
+          check_int "v2 length" 500 (Zindex.length from2);
+          (* ... and answer identically. *)
+          let rng = W.Rng.create ~seed:31 in
+          for _ = 1 to 25 do
+            let x1 = W.Rng.int rng 256 and x2 = W.Rng.int rng 256 in
+            let y1 = W.Rng.int rng 256 and y2 = W.Rng.int rng 256 in
+            let box =
+              Sqp_geom.Box.make ~lo:[| min x1 x2; min y1 y2 |]
+                ~hi:[| max x1 x2; max y1 y2 |]
+            in
+            let a, _ = Zindex.range_search from3 box in
+            let b, _ = Zindex.range_search from2 box in
+            if a <> b then Alcotest.fail "v2 and v3 answer differently"
+          done;
+          (* v3 packs the same entries onto strictly fewer data pages. *)
+          let i2 = Persist.inspect ~path:v2_path () in
+          let i3 = Persist.inspect ~path () in
+          check_int "v2 version" 2 i2.Persist.version;
+          check_int "v3 version" 3 i3.Persist.version;
+          check "fewer v3 pages" true (i3.Persist.data_pages < i2.Persist.data_pages)))
+
+let test_inspect_clean () =
+  with_file "inspect" (fun path ->
+      let index = build_index 400 in
+      ignore (Persist.save ~path ~encode:string_of_int index);
+      let info = Persist.inspect ~path () in
+      check_int "version" 3 info.Persist.version;
+      check_int "dims" 2 info.Persist.dims;
+      check_int "depth" 8 info.Persist.depth;
+      check_int "count" 400 info.Persist.count;
+      check_int "found" 400 info.Persist.found;
+      check "no page errors" true (info.Persist.page_errors = []);
+      check "some data pages" true (info.Persist.data_pages > 0))
+
+(* Patch payload bytes of a live page and re-checksum it, so the page
+   store stays clean and only the {e inner} v3 structure is rotten —
+   exactly the damage Zrun.validate exists to catch. *)
+let patch_within_checksum path ~page_bytes slot off bytes =
+  let img = Bytes.of_string (Bytes.to_string (read_at path (slot * page_bytes) page_bytes)) in
+  Bytes.blit bytes 0 img (FP.page_header_bytes + off) (Bytes.length bytes);
+  let len = Int32.to_int (Bytes.get_int32_be img 0) in
+  let crc =
+    Crc32.(finish (update (update init img ~pos:0 ~len:4) img ~pos:8 ~len))
+  in
+  Bytes.set_int32_be img 4 (Int32.of_int crc);
+  patch path (slot * page_bytes) img
+
+let test_inspect_reports_bad_page () =
+  with_file "inspectbad" (fun path ->
+      let index = build_index 400 in
+      ignore (Persist.save ~path ~page_bytes:256 ~encode:string_of_int index);
+      let clean = Persist.inspect ~path () in
+      (* Rot a data page's run body under a valid checksum: the page
+         store is clean, but inspect's deep v3 validation pins it. *)
+      let s = FP.open_existing path in
+      let slots = ref [] in
+      FP.iter s (fun slot _ -> slots := slot :: !slots);
+      FP.close s;
+      let victim = List.hd !slots in
+      patch_within_checksum path ~page_bytes:256 victim 4
+        (Bytes.of_string "\xff\xff\xff\xff");
+      check "page store itself is clean" true (Fsck.clean (Fsck.scan path));
+      let info = Persist.inspect ~path () in
+      check_int "version still read" 3 info.Persist.version;
+      check_int "one bad page" 1 (List.length info.Persist.page_errors);
+      check_int "bad slot pinned" victim (fst (List.hd info.Persist.page_errors));
+      check "entries missing" true (info.Persist.found < clean.Persist.found);
+      (* The strict loader refuses the same damage. *)
+      expect_corrupt "strict load fails" (fun () ->
+          Persist.load ~path ~decode:int_of_string ()))
+
+let test_v3_salvage_then_lenient_load () =
+  with_file "lenient3" (fun path ->
+      let dest = path ^ ".rescued" in
+      if Sys.file_exists dest then Sys.remove dest;
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists dest then Sys.remove dest)
+        (fun () ->
+          (* A budget-built index: the metadata round-trips the page
+             budget, so the recovered index keeps compressed geometry. *)
+          let space = Z.Space.make ~dims:2 ~depth:8 in
+          let rng = W.Rng.create ~seed:123 in
+          let points = W.Datagen.uniform rng ~side:256 ~n:400 ~dims:2 in
+          let index =
+            Zindex.of_points ~page_budget:512 space
+              (Array.mapi (fun i p -> (p, i)) points)
+          in
+          ignore (Persist.save ~path ~page_bytes:256 ~encode:string_of_int index);
+          check "v3 with budget" true
+            ((Persist.inspect ~path ()).Persist.page_budget = Some 512);
+          let s = FP.open_existing path in
+          let slots = ref [] in
+          FP.iter s (fun slot _ -> slots := slot :: !slots);
+          FP.close s;
+          patch path ((List.hd !slots * 256) + FP.page_header_bytes)
+            (Bytes.of_string "\xde\xad");
+          expect_corrupt "strict load fails" (fun () ->
+              Persist.load ~path ~decode:int_of_string ());
+          let _salvaged, lost = Fsck.salvage ~src:path ~dest () in
+          check_int "one page lost" 1 lost;
+          let loaded = Persist.load ~lenient:true ~path:dest ~decode:int_of_string () in
+          check "most entries recovered" true
+            (Zindex.length loaded > 0 && Zindex.length loaded < 400);
+          check "compressed geometry recovered" true
+            (Zindex.page_budget loaded = Some 512)))
+
 let () =
   Alcotest.run "persist"
     [
@@ -455,5 +578,15 @@ let () =
           Alcotest.test_case "empty index" `Quick test_save_empty_index;
           Alcotest.test_case "atomic replace" `Quick test_save_replaces_atomically;
           Alcotest.test_case "salvage + lenient load" `Quick test_salvage_then_lenient_load;
+        ] );
+      ( "format versions",
+        [
+          Alcotest.test_case "v2 and v3 answer identically" `Quick
+            test_v2_v3_same_answers;
+          Alcotest.test_case "inspect clean v3" `Quick test_inspect_clean;
+          Alcotest.test_case "inspect pins a bad page" `Quick
+            test_inspect_reports_bad_page;
+          Alcotest.test_case "v3 salvage + lenient load" `Quick
+            test_v3_salvage_then_lenient_load;
         ] );
     ]

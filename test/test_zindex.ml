@@ -310,6 +310,109 @@ let prop_strategies =
         (fun (_, strategy) -> fst (Zindex.range_search ~strategy index box) = expected)
         strategies)
 
+(* --- Compressed pages: differential against the fixed-width layout --- *)
+
+(* The same byte budget, front-coded vs charged at the v2 fixed width:
+   query answers and merge-driven counters must be bit-identical — only
+   the page partitioning (and so the page-access counters) may differ,
+   and the compressed layout must never touch more pages. *)
+let compressed_pair ?(n = 5000) () =
+  let wk = W.Seeded.standard ~n_points:n () in
+  let pts = W.Seeded.tagged_points wk in
+  let space = wk.W.Seeded.space in
+  (* Payloads are row ids: charge them as a u32 so the density ratio
+     measures the key layouts (mirrors [sqp bench-compress]). *)
+  let comp = Zindex.of_points ~page_budget:512 ~value_bytes:4 space pts in
+  let fixed =
+    Zindex.of_points ~page_budget:512 ~value_bytes:4 ~compressed:false space pts
+  in
+  (wk, comp, fixed)
+
+let test_compressed_differential () =
+  let wk, comp, fixed = compressed_pair () in
+  check "comp is compressed" true (Zindex.compressed comp);
+  check "fixed is not" false (Zindex.compressed fixed);
+  (match (Zindex.Tree.check_invariants (Zindex.tree comp),
+          Zindex.Tree.check_invariants (Zindex.tree fixed)) with
+  | Ok (), Ok () -> ()
+  | Error m, _ | _, Error m -> Alcotest.failf "invariants: %s" m);
+  (* Page boundaries are not nested between the layouts, so one query
+     can occasionally straddle a compressed boundary that falls inside
+     a single fixed page — the win is aggregate, and it must be strict. *)
+  let pages_comp = ref 0 and pages_fixed = ref 0 in
+  Array.iteri
+    (fun qi box ->
+      let rc, sc = Zindex.range_search comp box in
+      let rf, sf = Zindex.range_search fixed box in
+      if rc <> rf then Alcotest.failf "rows differ on box %d" qi;
+      if sc.Zindex.elements <> sf.Zindex.elements then
+        Alcotest.failf "elements differ on box %d" qi;
+      if sc.Zindex.results <> sf.Zindex.results then
+        Alcotest.failf "results differ on box %d" qi;
+      pages_comp := !pages_comp + sc.Zindex.data_pages;
+      pages_fixed := !pages_fixed + sf.Zindex.data_pages)
+    wk.W.Seeded.query_boxes;
+  check "strictly fewer pages over the batch" true (!pages_comp < !pages_fixed)
+
+let test_compressed_density () =
+  let _, comp, fixed = compressed_pair () in
+  (match Zindex.compression_stats comp with
+  | None -> Alcotest.fail "budget index must report compression"
+  | Some c ->
+      check "ratio over 1.5x" true (c.Zindex.ratio >= 1.5);
+      check "denser than fixed layout" true
+        (c.Zindex.avg_entries_per_leaf > Zindex.avg_leaf_entries fixed));
+  check "fewer leaves" true
+    (Zindex.data_page_count comp < Zindex.data_page_count fixed);
+  check_int "page budget surfaced" 512
+    (match Zindex.page_budget comp with Some b -> b | None -> -1)
+
+let test_compressed_mutations () =
+  (* Insert/delete churn on a budget tree keeps invariants and answers. *)
+  let wk, comp, fixed = compressed_pair ~n:800 () in
+  let rng = W.Rng.create ~seed:23 in
+  let side = Z.Space.side wk.W.Seeded.space in
+  for i = 0 to 399 do
+    let p = [| W.Rng.int rng side; W.Rng.int rng side |] in
+    if i mod 3 = 0 then begin
+      ignore (Zindex.delete comp p);
+      ignore (Zindex.delete fixed p)
+    end
+    else begin
+      Zindex.insert comp p (100_000 + i);
+      Zindex.insert fixed p (100_000 + i)
+    end
+  done;
+  check_int "same length" (Zindex.length fixed) (Zindex.length comp);
+  (match Zindex.Tree.check_invariants (Zindex.tree comp) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "compressed invariants after churn: %s" m);
+  (match Zindex.Tree.check_invariants (Zindex.tree fixed) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "fixed invariants after churn: %s" m);
+  Array.iter
+    (fun box ->
+      let rc, _ = Zindex.range_search comp box in
+      let rf, _ = Zindex.range_search fixed box in
+      if rc <> rf then Alcotest.fail "rows differ after churn")
+    (Array.sub wk.W.Seeded.query_boxes 0 60)
+
+let test_pool_counters () =
+  let wk, comp, _ = compressed_pair ~n:2000 () in
+  let total = ref 0 in
+  Array.iter
+    (fun box ->
+      let _, st = Zindex.range_search comp box in
+      check "hits nonneg" true (st.Zindex.pool_hits >= 0);
+      check "misses nonneg" true (st.Zindex.pool_misses >= 0);
+      (* Every page access is either a hit or a miss. *)
+      check "accesses covered" true
+        (st.Zindex.pool_hits + st.Zindex.pool_misses
+        >= st.Zindex.leaf_accesses + st.Zindex.internal_accesses);
+      total := !total + st.Zindex.pool_hits + st.Zindex.pool_misses)
+    (Array.sub wk.W.Seeded.query_boxes 0 40);
+  check "counters move" true (!total > 0)
+
 let () =
   Alcotest.run "zindex"
     [
@@ -335,6 +438,14 @@ let () =
           Alcotest.test_case "nearest exact hit" `Quick test_nearest_exact_hit;
           Alcotest.test_case "k nearest" `Quick test_k_nearest;
           Alcotest.test_case "k nearest edges" `Quick test_k_nearest_edges;
+        ] );
+      ( "compressed",
+        [
+          Alcotest.test_case "differential vs fixed-width" `Quick
+            test_compressed_differential;
+          Alcotest.test_case "density and ratio" `Quick test_compressed_density;
+          Alcotest.test_case "mutation churn" `Quick test_compressed_mutations;
+          Alcotest.test_case "pool counters" `Quick test_pool_counters;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ prop_strategies ]);
     ]

@@ -183,6 +183,85 @@ let test_order_is_total () =
     (fun i pb -> check "same sort order" true (B.equal (P.to_bitstring pb) b.(i)))
     p
 
+(* The Zrun building blocks: take / suffix_bytes / append_bytes must
+   compose back to the identity at every split point, and the stored
+   suffix must match a reference bit-by-bit extraction. *)
+let test_surgery_roundtrip () =
+  let rng = Rng.create ~seed:880 in
+  for _ = 1 to 800 do
+    let a = random_bits rng (Rng.int rng (P.max_bits + 1)) in
+    let pa = pack_exn a in
+    let s = Rng.int rng (B.length a + 1) in
+    check "take agrees" true
+      (B.equal (P.to_bitstring (P.take pa s)) (B.take a s));
+    let tail = P.length pa - s in
+    let suffix = P.suffix_bytes pa ~pos:s in
+    check_int "suffix byte count" ((tail + 7) / 8) (String.length suffix);
+    (* bits pack MSB-first; padding past the last bit is zero *)
+    String.iteri
+      (fun i c ->
+        let c = Char.code c in
+        for bit = 0 to 7 do
+          let idx = s + (8 * i) + bit in
+          let expect = idx < P.length pa && P.get pa idx in
+          check "suffix bit" expect (c land (0x80 lsr bit) <> 0)
+        done)
+      suffix;
+    check "split/rejoin identity" true
+      (P.equal pa (P.append_bytes (P.take pa s) ~bytes:suffix ~pos:0 ~nbits:tail));
+    (* reading the suffix out of a larger buffer, as Zrun does *)
+    let embedded = "\xAA\xBB" ^ suffix ^ "\xCC" in
+    check "embedded rejoin" true
+      (P.equal pa (P.append_bytes (P.take pa s) ~bytes:embedded ~pos:2 ~nbits:tail))
+  done;
+  (* grafting a suffix onto a different prefix keeps exactly those bits *)
+  let rng = Rng.create ~seed:881 in
+  for _ = 1 to 300 do
+    let a = pack_exn (random_bits rng (Rng.int rng (P.max_bits + 1))) in
+    let s = Rng.int rng (P.length a + 1) in
+    let prefix_len = Rng.int rng (P.max_bits - (P.length a - s) + 1) in
+    let prefix = pack_exn (random_bits rng prefix_len) in
+    let tail = P.length a - s in
+    let grafted =
+      P.append_bytes prefix ~bytes:(P.suffix_bytes a ~pos:s) ~pos:0 ~nbits:tail
+    in
+    check_int "grafted length" (prefix_len + tail) (P.length grafted);
+    check "grafted prefix" true (P.equal prefix (P.take grafted prefix_len));
+    for i = 0 to tail - 1 do
+      check "grafted suffix bit" (P.get a (s + i)) (P.get grafted (prefix_len + i))
+    done
+  done
+
+let test_surgery_guards () =
+  let p = pack_exn (B.of_string "10110") in
+  (match P.take p 6 with
+  | _ -> Alcotest.fail "take beyond length should raise"
+  | exception Invalid_argument _ -> ());
+  (match P.take p (-1) with
+  | _ -> Alcotest.fail "negative take should raise"
+  | exception Invalid_argument _ -> ());
+  (match P.suffix_bytes p ~pos:6 with
+  | _ -> Alcotest.fail "suffix_bytes beyond length should raise"
+  | exception Invalid_argument _ -> ());
+  (match P.suffix_bytes p ~pos:(-1) with
+  | _ -> Alcotest.fail "negative suffix_bytes pos should raise"
+  | exception Invalid_argument _ -> ());
+  let full = pack_exn (B.init P.max_bits (fun _ -> true)) in
+  (match P.append_bytes full ~bytes:"\xff" ~pos:0 ~nbits:1 with
+  | _ -> Alcotest.fail "append past max_bits should raise"
+  | exception Invalid_argument _ -> ());
+  (match P.append_bytes P.empty ~bytes:"\xff" ~pos:0 ~nbits:9 with
+  | _ -> Alcotest.fail "append past the buffer should raise"
+  | exception Invalid_argument _ -> ());
+  (* boundary cases that must NOT raise *)
+  check "empty suffix of empty" true (P.suffix_bytes P.empty ~pos:0 = "");
+  check "append nothing" true
+    (P.equal p (P.append_bytes p ~bytes:"" ~pos:0 ~nbits:0));
+  check_int "append up to max_bits" P.max_bits
+    (P.length
+       (P.append_bytes (P.take full 120)
+          ~bytes:(P.suffix_bytes full ~pos:120) ~pos:0 ~nbits:6))
+
 let test_hash_consistent () =
   let rng = Rng.create ~seed:11 in
   for _ = 1 to 200 do
@@ -210,6 +289,12 @@ let () =
       ( "interleaving",
         [
           Alcotest.test_case "shuffle/unshuffle" `Quick test_shuffle_unshuffle;
+        ] );
+      ( "bit surgery",
+        [
+          Alcotest.test_case "split/rejoin roundtrip" `Quick
+            test_surgery_roundtrip;
+          Alcotest.test_case "guards" `Quick test_surgery_guards;
         ] );
       ( "misc",
         [ Alcotest.test_case "hash" `Quick test_hash_consistent ] );
